@@ -1,0 +1,42 @@
+//! Benchmarks of classifier training and prediction on the paper's
+//! 70-feature task (Figure 2's cost axis: the paper argues its features +
+//! random forest are cheaper than the deep baselines).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traj_bench::bench_dataset;
+use traj_ml::ClassifierKind;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let dataset = bench_dataset(6, 13);
+
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+    for kind in [
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::XgBoost,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Svm,
+        ClassifierKind::NeuralNetwork,
+        ClassifierKind::Knn,
+    ] {
+        group.bench_function(format!("fit/{kind}"), |b| {
+            b.iter(|| {
+                let mut model = kind.build(7);
+                model.fit(black_box(&dataset));
+                model
+            })
+        });
+    }
+
+    // Prediction throughput of the paper's production model.
+    let mut forest = ClassifierKind::RandomForest.build(7);
+    forest.fit(&dataset);
+    group.bench_function("predict/RandomForest/full_dataset", |b| {
+        b.iter(|| forest.predict(black_box(&dataset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks of the cross-validation machinery: split construction for
+//! each scheme and a full cross-validation round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traj_bench::bench_dataset;
+use traj_ml::cv::{cross_validate, GroupKFold, GroupShuffleSplit, KFold, Splitter, StratifiedKFold};
+use traj_ml::ClassifierKind;
+
+fn bench_cv(c: &mut Criterion) {
+    let dataset = bench_dataset(8, 17);
+
+    let mut group = c.benchmark_group("cv");
+    group.bench_function("split/kfold", |b| {
+        let s = KFold::new(5, 1);
+        b.iter(|| s.split(black_box(&dataset)))
+    });
+    group.bench_function("split/stratified", |b| {
+        let s = StratifiedKFold { n_splits: 5, seed: 1 };
+        b.iter(|| s.split(black_box(&dataset)))
+    });
+    group.bench_function("split/group_kfold", |b| {
+        let s = GroupKFold { n_splits: 5 };
+        b.iter(|| s.split(black_box(&dataset)))
+    });
+    group.bench_function("split/group_shuffle", |b| {
+        let s = GroupShuffleSplit {
+            n_splits: 5,
+            test_fraction: 0.2,
+            seed: 1,
+        };
+        b.iter(|| s.split(black_box(&dataset)))
+    });
+
+    group.sample_size(10);
+    group.bench_function("cross_validate/decision_tree_5fold", |b| {
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(5, 1);
+        b.iter(|| cross_validate(&factory, black_box(&dataset), &splitter, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cv);
+criterion_main!(benches);

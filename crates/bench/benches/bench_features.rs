@@ -1,0 +1,39 @@
+//! Benchmarks of feature extraction (steps 2–3): per-segment point
+//! features and the full 70-feature vector, plus batch extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_bench::bench_segments;
+use traj_features::point_features::PointFeatures;
+use traj_features::trajectory_features::segment_features;
+use traj_features::extract_features;
+use traj_geo::LabelScheme;
+
+fn bench_features(c: &mut Criterion) {
+    let segments = bench_segments(4, 11);
+    let long = segments
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("segments exist")
+        .clone();
+
+    let mut group = c.benchmark_group("features");
+    group.bench_with_input(
+        BenchmarkId::new("point_features", long.len()),
+        &long,
+        |b, seg| b.iter(|| PointFeatures::compute(black_box(seg))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("segment_70_features", long.len()),
+        &long,
+        |b, seg| b.iter(|| segment_features(black_box(seg))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("extract_batch", segments.len()),
+        &segments,
+        |b, segs| b.iter(|| extract_features(black_box(segs), LabelScheme::Dabiri)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

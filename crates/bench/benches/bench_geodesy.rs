@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the geodesy kernel (haversine, bearing,
+//! destination) — the innermost loop of feature extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traj_geo::geodesy::{destination, haversine_m, initial_bearing_deg};
+
+fn bench_geodesy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geodesy");
+    group.bench_function("haversine", |b| {
+        b.iter(|| {
+            haversine_m(
+                black_box(39.9042),
+                black_box(116.4074),
+                black_box(39.0842),
+                black_box(117.2009),
+            )
+        })
+    });
+    group.bench_function("initial_bearing", |b| {
+        b.iter(|| {
+            initial_bearing_deg(
+                black_box(39.9042),
+                black_box(116.4074),
+                black_box(39.0842),
+                black_box(117.2009),
+            )
+        })
+    });
+    group.bench_function("destination", |b| {
+        b.iter(|| {
+            destination(
+                black_box(39.9042),
+                black_box(116.4074),
+                black_box(137.0),
+                black_box(2_500.0),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geodesy);
+criterion_main!(benches);

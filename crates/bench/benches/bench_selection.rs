@@ -1,0 +1,47 @@
+//! Benchmarks of the feature-selection engines (the §4.2 cost axis): the
+//! RF-importance ranking, one incremental-curve step, one wrapper step,
+//! and the mutual-information filter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traj_bench::bench_dataset;
+use traj_ml::cv::KFold;
+use traj_ml::ClassifierKind;
+use traj_select::wrapper::ForwardSelectionConfig;
+use traj_select::{forward_select, incremental_curve, mi_ranking, rf_importance_ranking};
+
+fn bench_selection(c: &mut Criterion) {
+    let dataset = bench_dataset(5, 19);
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+
+    group.bench_function("rf_importance_ranking/20trees", |b| {
+        b.iter(|| rf_importance_ranking(black_box(&dataset), 20, 1))
+    });
+
+    group.bench_function("mi_ranking/10bins", |b| {
+        b.iter(|| mi_ranking(black_box(&dataset), 10))
+    });
+
+    let order: Vec<usize> = (0..5).collect();
+    group.bench_function("incremental_curve/5features", |b| {
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        b.iter(|| incremental_curve(black_box(&dataset), &order, &factory, &splitter, 0))
+    });
+
+    group.bench_function("wrapper/1step_70candidates", |b| {
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let config = ForwardSelectionConfig {
+            max_features: 1,
+            seed: 0,
+            patience: None,
+        };
+        b.iter(|| forward_select(black_box(&dataset), &factory, &splitter, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

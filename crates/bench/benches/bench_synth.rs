@@ -1,0 +1,41 @@
+//! Benchmarks of the data substrate: synthetic-cohort generation and the
+//! GeoLife PLT text round trip.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traj_geolife::plt::{parse_plt, write_plt};
+use traj_geolife::{SynthConfig, SynthDataset};
+
+fn bench_synth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+
+    let config = SynthConfig {
+        n_users: 4,
+        segments_per_user: (8, 12),
+        seed: 3,
+        ..SynthConfig::default()
+    };
+    group.bench_function("generate/4users", |b| {
+        b.iter(|| SynthDataset::generate(black_box(&config)))
+    });
+
+    let dataset = SynthDataset::generate(&config);
+    group.bench_function("to_raw_trajectories", |b| {
+        b.iter(|| dataset.to_raw_trajectories(black_box(2)))
+    });
+
+    let points = dataset
+        .segments
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("segments exist")
+        .points
+        .clone();
+    group.bench_function("plt/write", |b| b.iter(|| write_plt(black_box(&points))));
+    let text = write_plt(&points);
+    group.bench_function("plt/parse", |b| b.iter(|| parse_plt(black_box(&text))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin ablations -- [all|heterogeneity|estimators|normalization|noise|min-points|feature-set] [--small]
+//! ```
+//!
+//! * **heterogeneity** — sweeps the generator's between-user
+//!   heterogeneity and shows the random-vs-user CV gap growing with it:
+//!   the mechanism behind the paper's §4.4 result, made explicit.
+//! * **estimators** — forest-size sweep (does 50 trees saturate?).
+//! * **normalization** — Min–Max vs z-score vs none, per classifier
+//!   family (step-7 ablation; trees are scale-invariant, SVM/MLP not).
+//! * **noise** — step 6 on/off under both CV schemes.
+//! * **min-points** — the step-1 threshold sweep (10 is the paper's
+//!   choice).
+//! * **feature-set** — the paper's 70 features vs the extended 80
+//!   (spatiotemporal extensions, the §5 future-work direction).
+
+use traj_bench::{results_dir, Cli};
+use trajlib::prelude::*;
+use trajlib::report::{pct, save_json, MarkdownTable};
+
+fn main() {
+    let cli = Cli::from_env();
+    let which = cli.args.first().cloned().unwrap_or_else(|| "all".to_owned());
+    let small = cli.small;
+
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    if which == "all" || which == "heterogeneity" {
+        outputs.push(("heterogeneity".into(), heterogeneity_sweep(small)));
+    }
+    if which == "all" || which == "estimators" {
+        outputs.push(("estimators".into(), estimator_sweep(small)));
+    }
+    if which == "all" || which == "normalization" {
+        outputs.push(("normalization".into(), normalization_sweep(small)));
+    }
+    if which == "all" || which == "noise" {
+        outputs.push(("noise".into(), noise_ablation(small)));
+    }
+    if which == "all" || which == "min-points" {
+        outputs.push(("min-points".into(), min_points_sweep(small)));
+    }
+    if which == "all" || which == "feature-set" {
+        outputs.push(("feature-set".into(), feature_set_ablation(small)));
+    }
+    if which == "all" || which == "learning-curve" {
+        outputs.push(("learning-curve".into(), learning_curve(small)));
+    }
+    if which == "all" || which == "tuning" {
+        outputs.push(("tuning".into(), tuning_grid(small)));
+    }
+    assert!(
+        !outputs.is_empty(),
+        "unknown ablation {which:?}; use all|heterogeneity|estimators|normalization|noise|min-points|feature-set|learning-curve|tuning"
+    );
+
+    for (name, text) in &outputs {
+        println!("## Ablation: {name}\n\n{text}");
+    }
+    save_json(&results_dir().join("ablations.json"), &outputs).expect("write results");
+}
+
+fn cohort(heterogeneity: f64, small: bool) -> SynthDataset {
+    SynthDataset::generate(&SynthConfig {
+        n_users: if small { 10 } else { 40 },
+        segments_per_user: if small { (10, 16) } else { (25, 40) },
+        seed: 42,
+        modes: None,
+        heterogeneity,
+        max_points_per_segment: 300,
+    })
+}
+
+fn rf_factory(n: usize) -> impl Fn(u64) -> Box<dyn Classifier> + Sync {
+    move |seed| Box::new(RandomForest::with_estimators(n, seed)) as Box<dyn Classifier>
+}
+
+fn heterogeneity_sweep(small: bool) -> String {
+    let mut table = MarkdownTable::new(vec![
+        "heterogeneity",
+        "random-CV acc",
+        "user-CV acc",
+        "gap",
+    ]);
+    for h in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let synth = cohort(h, small);
+        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo))
+            .dataset_from_segments(&synth.segments);
+        let factory = rf_factory(if small { 15 } else { 50 });
+        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        let (ra, ua) = (
+            traj_ml::cv::mean_accuracy(&random),
+            traj_ml::cv::mean_accuracy(&user),
+        );
+        table.push_row(vec![
+            format!("{h:.2}"),
+            pct(ra),
+            pct(ua),
+            format!("{:+.2}pp", (ra - ua) * 100.0),
+        ]);
+    }
+    format!(
+        "{}\nThe random-vs-user gap exists only when users differ — the §4.4\n\
+         mechanism. At heterogeneity 0 both schemes agree.\n",
+        table.render()
+    )
+}
+
+fn estimator_sweep(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri))
+        .dataset_from_segments(&synth.segments);
+    let mut table = MarkdownTable::new(vec!["trees", "random-CV acc"]);
+    for n in [5, 10, 25, 50, 100] {
+        let factory = rf_factory(n);
+        let scores = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        table.push_row(vec![n.to_string(), pct(traj_ml::cv::mean_accuracy(&scores))]);
+    }
+    format!(
+        "{}\nAccuracy saturates well before 100 trees; the paper's 50 is safe.\n",
+        table.render()
+    )
+}
+
+fn normalization_sweep(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let mut table = MarkdownTable::new(vec!["normalization", "RF acc", "SVM acc", "MLP acc"]);
+    for (label, norm) in [
+        ("min-max (paper)", Normalization::MinMax),
+        ("z-score", Normalization::ZScore),
+        ("none", Normalization::None),
+    ] {
+        let ds = Pipeline::new(
+            PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(norm),
+        )
+        .dataset_from_segments(&synth.segments);
+        let acc_of = |kind: ClassifierKind| {
+            let factory = move |seed: u64| kind.build(seed);
+            let scores = cross_validate(&factory, &ds, &KFold::new(3, 1), 0);
+            traj_ml::cv::mean_accuracy(&scores)
+        };
+        table.push_row(vec![
+            label.to_owned(),
+            pct(acc_of(ClassifierKind::RandomForest)),
+            pct(acc_of(ClassifierKind::Svm)),
+            pct(acc_of(ClassifierKind::NeuralNetwork)),
+        ]);
+    }
+    format!(
+        "{}\nTrees are scale-invariant; the margin/gradient models need step 7.\n",
+        table.render()
+    )
+}
+
+fn noise_ablation(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let mut table = MarkdownTable::new(vec!["noise handling", "random-CV acc", "user-CV acc"]);
+    for (label, noise) in [
+        ("off (paper §4.3)", NoiseConfig::disabled()),
+        ("on (speed threshold + Hampel)", NoiseConfig::enabled()),
+    ] {
+        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_noise(noise))
+            .dataset_from_segments(&synth.segments);
+        let factory = rf_factory(if small { 15 } else { 50 });
+        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        table.push_row(vec![
+            label.to_owned(),
+            pct(traj_ml::cv::mean_accuracy(&random)),
+            pct(traj_ml::cv::mean_accuracy(&user)),
+        ]);
+    }
+    format!(
+        "{}\nThe paper leaves step 6 off in its comparisons, arguing the filter\n\
+         inflates accuracy unrealistically; the delta here quantifies that.\n",
+        table.render()
+    )
+}
+
+fn feature_set_ablation(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let mut table = MarkdownTable::new(vec!["feature set", "random-CV acc", "user-CV acc"]);
+    for (label, set) in [
+        ("Zheng 11 (UbiComp'08 baseline)", FeatureSet::Zheng11),
+        ("paper 70", FeatureSet::Paper70),
+        ("extended 80 (§5 future work)", FeatureSet::Extended80),
+    ] {
+        let ds = Pipeline::new(
+            PipelineConfig::paper(LabelScheme::Endo).with_feature_set(set),
+        )
+        .dataset_from_segments(&synth.segments);
+        let factory = rf_factory(if small { 15 } else { 50 });
+        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        table.push_row(vec![
+            label.to_owned(),
+            pct(traj_ml::cv::mean_accuracy(&random)),
+            pct(traj_ml::cv::mean_accuracy(&user)),
+        ]);
+    }
+    format!(
+        "{}\nThe spatiotemporal extensions (straightness, stop rate, turn density,\n\
+         time-of-day) implement the paper's §5 future-work direction.\n",
+        table.render()
+    )
+}
+
+fn learning_curve(small: bool) -> String {
+    // Fixed fresh test cohort; sweep the number of training users.
+    let test_synth = SynthDataset::generate(&SynthConfig {
+        n_users: if small { 6 } else { 20 },
+        segments_per_user: (15, 25),
+        seed: 4242,
+        modes: None,
+        heterogeneity: 1.0,
+        max_points_per_segment: 300,
+    });
+    let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo));
+    let test = pipeline.dataset_from_segments(&test_synth.segments);
+
+    let sweep: &[usize] = if small { &[3, 6, 10] } else { &[5, 10, 20, 40, 69] };
+    let mut table = MarkdownTable::new(vec!["training users", "segments", "unseen-user acc"]);
+    for &n_users in sweep {
+        let train_synth = SynthDataset::generate(&SynthConfig {
+            n_users,
+            segments_per_user: (25, 40),
+            seed: 42,
+            modes: None,
+            heterogeneity: 1.0,
+            max_points_per_segment: 300,
+        });
+        let train = pipeline.dataset_from_segments(&train_synth.segments);
+        let mut forest = RandomForest::with_estimators(if small { 15 } else { 50 }, 1);
+        forest.fit(&train);
+        let acc = trajlib::ml::metrics::accuracy(&test.y, &forest.predict(&test));
+        table.push_row(vec![n_users.to_string(), train.len().to_string(), pct(acc)]);
+    }
+    format!(
+        "{}\nMore *users* (not just more segments) is what buys generalisation to\n\
+         unseen users — the direction GeoLife-scale studies should grow.\n",
+        table.render()
+    )
+}
+
+fn tuning_grid(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri))
+        .dataset_from_segments(&synth.segments);
+    let cells = trajlib::ml::tuning::forest_grid(
+        &ds,
+        if small { &[5, 15] } else { &[10, 25, 50] },
+        &[Some(5), Some(10), None],
+        &KFold::new(3, 1),
+        0,
+    );
+    let mut table = MarkdownTable::new(vec!["trees", "max depth", "random-CV acc"]);
+    for c in &cells {
+        table.push_row(vec![
+            c.params.n_estimators.to_string(),
+            c.params
+                .max_depth
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "∞".to_owned()),
+            pct(c.accuracy),
+        ]);
+    }
+    format!(
+        "{}\nGrid search over the forest's two axes; the paper's 50-tree,\n\
+         unlimited-depth setting sits at the plateau.\n",
+        table.render()
+    )
+}
+
+fn min_points_sweep(small: bool) -> String {
+    let synth = cohort(1.0, small);
+    let mut table = MarkdownTable::new(vec!["min points", "segments kept", "random-CV acc"]);
+    for min_points in [10usize, 30, 60, 100] {
+        let config = PipelineConfig {
+            segmentation: SegmentationConfig::paper().with_min_points(min_points),
+            ..PipelineConfig::paper(LabelScheme::Dabiri)
+        };
+        let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
+        if ds.len() < 25 {
+            table.push_row(vec![min_points.to_string(), ds.len().to_string(), "—".into()]);
+            continue;
+        }
+        let factory = rf_factory(if small { 15 } else { 50 });
+        let scores = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        table.push_row(vec![
+            min_points.to_string(),
+            ds.len().to_string(),
+            pct(traj_ml::cv::mean_accuracy(&scores)),
+        ]);
+    }
+    format!(
+        "{}\nLonger segments are easier to classify but discard data; the paper's\n\
+         threshold of 10 keeps nearly everything.\n",
+        table.render()
+    )
+}

@@ -1,0 +1,65 @@
+//! Per-class confusion analysis on held-out users: which transportation
+//! modes get mistaken for which — the kinematic rationale behind the
+//! paper's adoption of the [Dabiri] label merges (car+taxi → driving,
+//! train+subway → train).
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin confusion_analysis [-- --small]
+//! ```
+
+use traj_bench::{results_dir, Cli};
+use trajlib::experiments::{run_confusion_analysis, ConfusionConfig};
+use trajlib::ml::metrics::render_confusion_matrix;
+use trajlib::report::{pct, save_json, MarkdownTable};
+
+fn main() {
+    let cli = Cli::from_env();
+    let config = ConfusionConfig {
+        data: cli.data_config(),
+        ..ConfusionConfig::default()
+    };
+
+    eprintln!(
+        "Confusion analysis on held-out users ({} users)…",
+        config.data.n_users
+    );
+    let result = run_confusion_analysis(&config);
+
+    println!("# Per-class confusion on held-out users (Endo labels)\n");
+    println!("held-out accuracy: {}\n", pct(result.accuracy));
+    let names: Vec<&str> = result.class_names.iter().map(String::as_str).collect();
+    println!("{}", render_confusion_matrix(&result.matrix, &names));
+
+    let mut table = MarkdownTable::new(vec![
+        "class",
+        "precision",
+        "recall",
+        "F1",
+        "most confused with",
+    ]);
+    for (c, name) in result.class_names.iter().enumerate() {
+        table.push_row(vec![
+            name.clone(),
+            pct(result.precision[c]),
+            pct(result.recall[c]),
+            pct(result.f1[c]),
+            result.top_confusions[c]
+                .as_ref()
+                .map(|(other, rate)| format!("{other} ({})", pct(*rate)))
+                .unwrap_or_else(|| "—".to_owned()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "car→taxi {} / taxi→car {}; train→subway {} / subway→train {}.\n\
+         The Dabiri merges (driving = car+taxi, train = train+subway) absorb\n\
+         exactly these pairs — why the paper's §4.1/§4.3 protocols use them.",
+        pct(result.confusion_rate("car", "taxi")),
+        pct(result.confusion_rate("taxi", "car")),
+        pct(result.confusion_rate("train", "subway")),
+        pct(result.confusion_rate("subway", "train")),
+    );
+
+    save_json(&results_dir().join("confusion_analysis.json"), &result).expect("write results");
+}

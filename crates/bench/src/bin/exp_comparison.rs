@@ -1,0 +1,76 @@
+//! Regenerates the **§4.3 comparisons** against the published baselines:
+//!
+//! * vs [Endo et al. 2016] — user-disjoint 80/20 splits, Endo labels,
+//!   top-20 features, RF(50). Paper: 69.5 % vs published 67.9 %,
+//!   one-sample Wilcoxon p = 0.0431.
+//! * vs [Dabiri & Heaslip 2018] — random five-fold CV, Dabiri labels,
+//!   top-20 features, RF(50). Paper: 88.5 % vs published 84.8 %,
+//!   p = 0.0796.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin exp_comparison -- [endo|dabiri|both] [--small]
+//! ```
+
+use traj_bench::{results_dir, Cli};
+use trajlib::experiments::comparison::ComparisonResult;
+use trajlib::experiments::{run_dabiri_comparison, run_endo_comparison, ComparisonConfig};
+use trajlib::report::{pct, pvalue, save_json, MarkdownTable};
+
+fn main() {
+    let cli = Cli::from_env();
+    let which = cli.args.first().map(String::as_str).unwrap_or("both");
+    let config = ComparisonConfig {
+        data: cli.data_config(),
+        ..ComparisonConfig::default()
+    };
+
+    let mut results: Vec<(ComparisonResult, f64, f64)> = Vec::new();
+    if which == "endo" || which == "both" {
+        eprintln!("§4.3 vs Endo (user-disjoint splits)…");
+        results.push((run_endo_comparison(&config), 0.695, 0.0431));
+    }
+    if which == "dabiri" || which == "both" {
+        eprintln!("§4.3 vs Dabiri (random CV)…");
+        results.push((run_dabiri_comparison(&config), 0.885, 0.0796));
+    }
+    assert!(!results.is_empty(), "unknown selector {which:?}; use endo|dabiri|both");
+
+    let mut table = MarkdownTable::new(vec![
+        "protocol",
+        "published baseline",
+        "paper measured",
+        "ours measured",
+        "Wilcoxon p (greater)",
+        "paper p",
+    ]);
+    for (r, paper_acc, paper_p) in &results {
+        table.push_row(vec![
+            r.protocol.clone(),
+            pct(r.published_baseline),
+            pct(*paper_acc),
+            pct(r.mean_accuracy),
+            pvalue(r.wilcoxon.p_value),
+            pvalue(*paper_p),
+        ]);
+    }
+
+    println!("# §4.3 — comparison with published deep-learning baselines\n");
+    println!("{}", table.render());
+    for (r, _, _) in &results {
+        println!(
+            "{}: beats its baseline: {} (splits: {:?})",
+            r.protocol,
+            r.mean_accuracy > r.published_baseline,
+            r.split_accuracies
+                .iter()
+                .map(|a| format!("{:.3}", a))
+                .collect::<Vec<_>>()
+        );
+        println!("  top-20 features: {}", r.selected_features.join(", "));
+    }
+
+    for (r, _, _) in &results {
+        let name = format!("exp43_{}.json", r.protocol);
+        save_json(&results_dir().join(name), r).expect("write results");
+    }
+}

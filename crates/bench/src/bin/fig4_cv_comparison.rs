@@ -1,0 +1,95 @@
+//! Regenerates **Figure 4** (§4.4): accuracy and weighted F-score of
+//! every classifier under random versus user-oriented cross-validation.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin fig4_cv_comparison [-- --small]
+//! ```
+//!
+//! Paper's reading: "there is a considerable difference between the
+//! cross-validation results of user-oriented cross-validation and random
+//! cross-validation. The result indicates that random cross-validation
+//! provides optimistic accuracy and f-score results."
+
+use traj_bench::{results_dir, Cli};
+use trajlib::experiments::{run_cv_comparison, CvComparisonConfig};
+use trajlib::report::{pct, save_json, MarkdownTable};
+
+fn main() {
+    let cli = Cli::from_env();
+    let config = CvComparisonConfig {
+        data: cli.data_config(),
+        ..CvComparisonConfig::default()
+    };
+
+    eprintln!(
+        "Figure 4: random vs user-oriented CV over {} users…",
+        config.data.n_users
+    );
+    let started = std::time::Instant::now();
+    let result = run_cv_comparison(&config);
+
+    let mut table = MarkdownTable::new(vec![
+        "classifier",
+        "random acc",
+        "user acc",
+        "acc gap",
+        "random F1",
+        "user F1",
+    ]);
+    for row in &result.rows {
+        table.push_row(vec![
+            row.kind.name().to_owned(),
+            pct(row.random_accuracy),
+            pct(row.user_accuracy),
+            format!("{:+.2}pp", row.accuracy_gap() * 100.0),
+            pct(row.random_f1),
+            pct(row.user_f1),
+        ]);
+    }
+
+    println!("# Figure 4 — random vs user-oriented cross-validation\n");
+    println!("({:?} elapsed)\n", started.elapsed());
+    println!("{}", table.render());
+    println!(
+        "Mean accuracy gap (random − user): {:+.2}pp. Paper: random CV is\n\
+         optimistic on both accuracy and F-score.",
+        result.mean_gap * 100.0
+    );
+    let optimistic = result.rows.iter().filter(|r| r.accuracy_gap() > 0.0).count();
+    println!(
+        "Classifiers where random CV is optimistic: {}/{}.",
+        optimistic,
+        result.rows.len()
+    );
+
+    save_json(&results_dir().join("fig4_cv_comparison.json"), &result).expect("write results");
+
+    // The figure itself: grouped bars, random vs user per classifier,
+    // for accuracy and F-score (the paper's two panels in one).
+    let mut chart = trajlib::chart::BarChart::new(
+        "Figure 4 — random vs user-oriented cross-validation",
+        "score",
+    );
+    chart.categories = result.rows.iter().map(|r| r.kind.name().to_owned()).collect();
+    chart.series = vec![
+        (
+            "random CV accuracy".to_owned(),
+            result.rows.iter().map(|r| r.random_accuracy).collect(),
+        ),
+        (
+            "user CV accuracy".to_owned(),
+            result.rows.iter().map(|r| r.user_accuracy).collect(),
+        ),
+        (
+            "random CV F1".to_owned(),
+            result.rows.iter().map(|r| r.random_f1).collect(),
+        ),
+        (
+            "user CV F1".to_owned(),
+            result.rows.iter().map(|r| r.user_f1).collect(),
+        ),
+    ];
+    let svg_path = results_dir().join("fig4_cv_comparison.svg");
+    chart.save_svg(&svg_path).expect("write figure");
+    eprintln!("figure written to {}", svg_path.display());
+}

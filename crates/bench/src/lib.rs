@@ -1,0 +1,132 @@
+//! Shared plumbing of the experiment binaries: CLI parsing, result
+//! persistence, and fixture construction for the Criterion benches.
+
+use std::path::PathBuf;
+use trajlib::prelude::*;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Positional arguments (subcommand-ish selectors).
+    pub args: Vec<String>,
+    /// `--small`: run at test scale for a quick smoke.
+    pub small: bool,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn from_env() -> Cli {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut out = Cli {
+            args: Vec::new(),
+            small: false,
+            seed: None,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--small" => out.small = true,
+                "--seed" => {
+                    out.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--seed requires an integer"));
+                }
+                other => out.args.push(other.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// The experiment cohort this invocation asks for.
+    pub fn data_config(&self) -> experiments::DataConfig {
+        let mut config = if self.small {
+            experiments::DataConfig::small()
+        } else {
+            experiments::DataConfig::full()
+        };
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+}
+
+/// Directory experiment binaries write their JSON results to
+/// (`<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace
+    // root so EXPERIMENTS.md can reference them.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Builds a ready-to-train dataset for the Criterion benches: a small
+/// synthetic cohort pushed through the paper pipeline.
+pub fn bench_dataset(n_users: usize, seed: u64) -> Dataset {
+    let synth = SynthDataset::generate(&SynthConfig {
+        n_users,
+        segments_per_user: (10, 16),
+        seed,
+        modes: None,
+        heterogeneity: 1.0,
+        max_points_per_segment: 150,
+    });
+    let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri));
+    pipeline.dataset_from_segments(&synth.segments)
+}
+
+/// Builds raw segments for feature-extraction benches.
+pub fn bench_segments(n_users: usize, seed: u64) -> Vec<Segment> {
+    SynthDataset::generate(&SynthConfig {
+        n_users,
+        segments_per_user: (8, 12),
+        seed,
+        modes: None,
+        heterogeneity: 1.0,
+        max_points_per_segment: 200,
+    })
+    .segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_flags_and_positionals() {
+        let cli = Cli::parse(
+            ["endo", "--small", "--seed", "7", "extra"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.args, vec!["endo", "extra"]);
+        assert!(cli.small);
+        assert_eq!(cli.seed, Some(7));
+        assert_eq!(cli.data_config().seed, 7);
+        assert_eq!(cli.data_config().n_users, 10);
+    }
+
+    #[test]
+    fn cli_defaults_to_full_scale() {
+        let cli = Cli::parse(std::iter::empty());
+        assert!(!cli.small);
+        assert_eq!(cli.data_config().n_users, 69);
+    }
+
+    #[test]
+    fn bench_fixtures_build() {
+        let ds = bench_dataset(3, 1);
+        assert!(ds.len() > 10);
+        assert_eq!(ds.n_features(), 70);
+        let segs = bench_segments(2, 1);
+        assert!(!segs.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! `trajlib-cli` — the framework as a command-line tool.
+//!
+//! ```text
+//! trajlib-cli synth   --users 8 --seed 42 --out ./cohort        # GeoLife-layout export
+//! trajlib-cli extract --geolife ./cohort --scheme dabiri --out features.csv [--extended]
+//! trajlib-cli train   --csv features.csv --model rf --out model.json [--seed 7]
+//! trajlib-cli predict --csv features.csv --model-file model.json
+//! trajlib-cli cv      --csv features.csv --model rf --folds 5 [--grouped]
+//! ```
+//!
+//! `extract` consumes either a real GeoLife download or the output of
+//! `synth`; `train`/`predict`/`cv` work on the CSV feature tables, so the
+//! three stages can run on different machines.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use trajlib::geolife::loader::LoaderOptions;
+use trajlib::ml::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
+use trajlib::ml::forest::ForestConfig;
+use trajlib::ml::knn::{Knn, KnnConfig};
+use trajlib::ml::linear::{LinearSvm, SvmConfig};
+use trajlib::ml::metrics::ClassificationReport;
+use trajlib::ml::neural::{Mlp, MlpConfig};
+use trajlib::ml::tree::{DecisionTree, TreeConfig};
+use trajlib::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A self-describing, serialisable model file.
+#[derive(Serialize, Deserialize)]
+enum ModelFile {
+    RandomForest(RandomForest),
+    XgBoost(GradientBoosting),
+    DecisionTree(DecisionTree),
+    AdaBoost(AdaBoost),
+    Svm(LinearSvm),
+    Mlp(Mlp),
+    Knn(Knn),
+}
+
+impl ModelFile {
+    fn new(kind: &str, seed: u64) -> Result<ModelFile, String> {
+        Ok(match kind {
+            "rf" => ModelFile::RandomForest(RandomForest::new(ForestConfig {
+                n_estimators: 50,
+                seed,
+                ..ForestConfig::default()
+            })),
+            "xgb" => ModelFile::XgBoost(GradientBoosting::new(GbdtConfig {
+                n_rounds: 20,
+                max_depth: 4,
+                seed,
+                ..GbdtConfig::default()
+            })),
+            "tree" => ModelFile::DecisionTree(DecisionTree::new(TreeConfig {
+                seed,
+                ..TreeConfig::default()
+            })),
+            "ada" => ModelFile::AdaBoost(AdaBoost::new(AdaBoostConfig::default())),
+            "svm" => ModelFile::Svm(LinearSvm::new(SvmConfig {
+                seed,
+                ..SvmConfig::default()
+            })),
+            "mlp" => ModelFile::Mlp(Mlp::new(MlpConfig {
+                seed,
+                ..MlpConfig::default()
+            })),
+            "knn" => ModelFile::Knn(Knn::new(KnnConfig::default())),
+            other => return Err(format!("unknown model {other:?}; use rf|xgb|tree|ada|svm|mlp|knn")),
+        })
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        match self {
+            ModelFile::RandomForest(m) => Classifier::fit(m, data),
+            ModelFile::XgBoost(m) => Classifier::fit(m, data),
+            ModelFile::DecisionTree(m) => Classifier::fit(m, data),
+            ModelFile::AdaBoost(m) => Classifier::fit(m, data),
+            ModelFile::Svm(m) => Classifier::fit(m, data),
+            ModelFile::Mlp(m) => Classifier::fit(m, data),
+            ModelFile::Knn(m) => Classifier::fit(m, data),
+        }
+    }
+
+    fn predict(&self, data: &Dataset) -> Vec<usize> {
+        match self {
+            ModelFile::RandomForest(m) => Classifier::predict(m, data),
+            ModelFile::XgBoost(m) => Classifier::predict(m, data),
+            ModelFile::DecisionTree(m) => Classifier::predict(m, data),
+            ModelFile::AdaBoost(m) => Classifier::predict(m, data),
+            ModelFile::Svm(m) => Classifier::predict(m, data),
+            ModelFile::Mlp(m) => Classifier::predict(m, data),
+            ModelFile::Knn(m) => Classifier::predict(m, data),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `trajlib-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing subcommand".to_owned());
+    };
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "synth" => cmd_synth(&opts),
+        "extract" => cmd_extract(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "cv" => cmd_cv(&opts),
+        "help" | "--help" | "-h" => {
+            println!(
+                "trajlib-cli — transportation-mode prediction (Etemad et al., 2019)\n\n\
+                 subcommands:\n\
+                 \x20 synth   --users N [--seed S] --out DIR\n\
+                 \x20 extract --geolife DIR [--scheme raw|dabiri|endo] [--extended] --out FILE.csv\n\
+                 \x20 train   --csv FILE --model rf|xgb|tree|ada|svm|mlp|knn [--seed S] --out MODEL.json\n\
+                 \x20 predict --csv FILE --model-file MODEL.json\n\
+                 \x20 cv      --csv FILE --model KIND [--folds K] [--grouped] [--seed S]"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+type Options = HashMap<String, String>;
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        // Boolean flags take no value.
+        if matches!(key, "extended" | "grouped") {
+            opts.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        opts.insert(key.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn required<'a>(opts: &'a Options, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parsed<T: std::str::FromStr>(opts: &Options, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value {v:?}")),
+    }
+}
+
+fn scheme_of(opts: &Options) -> Result<LabelScheme, String> {
+    match opts.get("scheme").map(String::as_str) {
+        None | Some("dabiri") => Ok(LabelScheme::Dabiri),
+        Some("endo") => Ok(LabelScheme::Endo),
+        Some("raw") => Ok(LabelScheme::Raw),
+        Some(other) => Err(format!("unknown scheme {other:?}; use raw|dabiri|endo")),
+    }
+}
+
+fn cmd_synth(opts: &Options) -> Result<(), String> {
+    let users: usize = parsed(opts, "users", 8)?;
+    let seed: u64 = parsed(opts, "seed", 42)?;
+    let out = PathBuf::from(required(opts, "out")?);
+    let synth = SynthDataset::generate(&SynthConfig {
+        n_users: users,
+        segments_per_user: (10, 20),
+        seed,
+        ..SynthConfig::default()
+    });
+    trajlib::geolife::write_geolife_layout(&synth.to_raw_trajectories(2), &out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} users / {} segments in GeoLife layout under {}",
+        users,
+        synth.segments.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_extract(opts: &Options) -> Result<(), String> {
+    let dir = PathBuf::from(required(opts, "geolife")?);
+    let out = PathBuf::from(required(opts, "out")?);
+    let scheme = scheme_of(opts)?;
+    let trajectories =
+        trajlib::geolife::load_geolife_directory(&dir, &LoaderOptions::default())
+            .map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let mut config = PipelineConfig::paper(scheme);
+    if opts.contains_key("extended") {
+        config = config.with_feature_set(FeatureSet::Extended80);
+    }
+    let dataset = Pipeline::new(config).dataset_from_raw(&trajectories);
+    std::fs::write(&out, dataset.to_csv()).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "extracted {} samples × {} features ({} users) → {}",
+        dataset.len(),
+        dataset.n_features(),
+        dataset.distinct_groups().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_csv(path: &Path) -> Result<Dataset, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Dataset::from_csv(&text)
+}
+
+fn cmd_train(opts: &Options) -> Result<(), String> {
+    let dataset = load_csv(Path::new(required(opts, "csv")?))?;
+    let seed: u64 = parsed(opts, "seed", 0)?;
+    let out = PathBuf::from(required(opts, "out")?);
+    let mut model = ModelFile::new(required(opts, "model")?, seed)?;
+    model.fit(&dataset);
+    let train_acc = accuracy(&dataset.y, &model.predict(&dataset));
+    let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "trained on {} samples (training accuracy {:.3}) → {}",
+        dataset.len(),
+        train_acc,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_predict(opts: &Options) -> Result<(), String> {
+    let dataset = load_csv(Path::new(required(opts, "csv")?))?;
+    let model_path = Path::new(required(opts, "model-file")?);
+    let json = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("reading {}: {e}", model_path.display()))?;
+    let model: ModelFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let pred = model.predict(&dataset);
+    let report = ClassificationReport::compute(&dataset.y, &pred, dataset.n_classes);
+    println!(
+        "accuracy {:.4}  macro-F1 {:.4}  weighted-F1 {:.4}  ({} samples)",
+        report.accuracy,
+        report.f1_macro(),
+        report.f1_weighted(),
+        dataset.len()
+    );
+    Ok(())
+}
+
+fn cmd_cv(opts: &Options) -> Result<(), String> {
+    let dataset = load_csv(Path::new(required(opts, "csv")?))?;
+    let folds: usize = parsed(opts, "folds", 5)?;
+    let seed: u64 = parsed(opts, "seed", 0)?;
+    let kind = required(opts, "model")?.to_owned();
+    // Validate the model kind once, eagerly.
+    ModelFile::new(&kind, 0)?;
+
+    /// Adapts the serialisable model enum to the [`Classifier`] trait.
+    struct Adapter(ModelFile);
+    impl Classifier for Adapter {
+        fn fit(&mut self, data: &Dataset) {
+            self.0.fit(data);
+        }
+        fn predict_row(&self, row: &[f64]) -> usize {
+            // Single-row prediction goes through a 1-row dataset.
+            let data = Dataset::from_rows(&[row.to_vec()], vec![0], 1, vec![0], vec![]);
+            self.0.predict(&data)[0]
+        }
+        fn predict(&self, data: &Dataset) -> Vec<usize> {
+            self.0.predict(data)
+        }
+    }
+    let factory = move |s: u64| -> Box<dyn Classifier> {
+        Box::new(Adapter(ModelFile::new(&kind, s).expect("kind validated above")))
+    };
+
+    let scores = if opts.contains_key("grouped") {
+        cross_validate(&factory, &dataset, &GroupKFold { n_splits: folds }, seed)
+    } else {
+        cross_validate(&factory, &dataset, &KFold::new(folds, seed), seed)
+    };
+    for (i, s) in scores.iter().enumerate() {
+        println!(
+            "fold {i}: accuracy {:.4}  weighted-F1 {:.4}",
+            s.accuracy, s.f1_weighted
+        );
+    }
+    println!(
+        "mean accuracy {:.4}  mean weighted-F1 {:.4}",
+        trajlib::ml::cv::mean_accuracy(&scores),
+        trajlib::ml::cv::mean_f1_weighted(&scores)
+    );
+    Ok(())
+}

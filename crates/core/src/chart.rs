@@ -1,0 +1,468 @@
+//! Minimal SVG line charts — enough to regenerate the paper's figures as
+//! images without a plotting dependency.
+//!
+//! The experiment binaries write these next to their JSON results:
+//! `fig3a_importance.svg` is this reproduction's Figure 3(a), etc. The
+//! renderer draws axes with tick labels, one polyline per series, and a
+//! legend; styling is deliberately plain.
+
+use std::fmt::Write as _;
+
+/// One polyline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` pairs, drawn in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, drawn in palette order.
+    pub series: Vec<Series>,
+    /// Optional fixed y-range; `None` auto-scales with 5 % padding.
+    pub y_range: Option<(f64, f64)>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
+
+impl LineChart {
+    /// Creates an auto-scaled chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> LineChart {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_range: None,
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics when no series holds any point.
+    pub fn render_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "chart with no data points");
+
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if let Some((lo, hi)) = self.y_range {
+            y_min = lo;
+            y_max = hi;
+        } else {
+            let pad = ((y_max - y_min) * 0.05).max(1e-9);
+            y_min -= pad;
+            y_max += pad;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes + ticks.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        for i in 0..=5 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+            let px = sx(fx);
+            let _ = write!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{}" x2="{px:.1}" y2="{}" stroke="#ccc"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{px:.1}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                format_tick(fx)
+            );
+            let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+            let py = sy(fy);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#ccc"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                py + 4.0,
+                format_tick(fy)
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 14.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series + legend.
+        for (k, series) in self.series.iter().enumerate() {
+            let color = PALETTE[k % PALETTE.len()];
+            if !series.points.is_empty() {
+                let path: Vec<String> = series
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    path.join(" ")
+                );
+                for &(x, y) in &series.points {
+                    let _ = write!(
+                        svg,
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>"#,
+                        sx(x),
+                        sy(y)
+                    );
+                }
+            }
+            let ly = MARGIN_T + 16.0 + k as f64 * 20.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 22.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&series.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the SVG under `path`, creating parent
+    /// directories.
+    pub fn save_svg(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render_svg())
+    }
+}
+
+/// A grouped bar chart: one group per category, one bar per series
+/// within each group. Used for the Figure 2 / Figure 4 reproductions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    /// Title above the plot area.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category (x-axis group) labels.
+    pub categories: Vec<String>,
+    /// `(series label, one value per category)`.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Fixed y-range; bars are drawn from its lower bound.
+    pub y_range: (f64, f64),
+}
+
+impl BarChart {
+    /// Creates a chart with a `[0, 1]` y-range (accuracy-style).
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series: Vec::new(),
+            y_range: (0.0, 1.0),
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics with no categories or series, or when a series' length
+    /// differs from the category count.
+    pub fn render_svg(&self) -> String {
+        assert!(!self.categories.is_empty(), "bar chart with no categories");
+        assert!(!self.series.is_empty(), "bar chart with no series");
+        for (label, values) in &self.series {
+            assert_eq!(
+                values.len(),
+                self.categories.len(),
+                "series {label:?} length mismatch"
+            );
+        }
+        let (y_min, y_max) = self.y_range;
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        for i in 0..=5 {
+            let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+            let py = sy(fy);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#ccc"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                py + 4.0,
+                format_tick(fy)
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        let group_w = plot_w / self.categories.len() as f64;
+        let bar_w = (group_w * 0.8) / self.series.len() as f64;
+        for (c, category) in self.categories.iter().enumerate() {
+            let group_x = MARGIN_L + c as f64 * group_w;
+            for (k, (_, values)) in self.series.iter().enumerate() {
+                let v = values[c].clamp(y_min, y_max);
+                let x = group_x + group_w * 0.1 + k as f64 * bar_w;
+                let top = sy(v);
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{top:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}"/>"#,
+                    (MARGIN_T + plot_h - top).max(0.0),
+                    PALETTE[k % PALETTE.len()]
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{}" text-anchor="middle" font-size="10">{}</text>"#,
+                group_x + group_w / 2.0,
+                MARGIN_T + plot_h + 16.0,
+                escape(category)
+            );
+        }
+        for (k, (label, _)) in self.series.iter().enumerate() {
+            let ly = MARGIN_T + 16.0 + k as f64 * 20.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = write!(
+                svg,
+                r#"<rect x="{lx}" y="{}" width="14" height="14" fill="{}"/>"#,
+                ly - 10.0,
+                PALETTE[k % PALETTE.len()]
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 20.0,
+                ly + 2.0,
+                escape(label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the SVG under `path`, creating parent
+    /// directories.
+    pub fn save_svg(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render_svg())
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || (v.fract() == 0.0 && v.abs() < 1e6) {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        let mut chart = LineChart::new("Accuracy vs features", "k", "accuracy");
+        chart.push_series("importance", vec![(1.0, 0.6), (2.0, 0.7), (3.0, 0.75)]);
+        chart.push_series("wrapper", vec![(1.0, 0.62), (2.0, 0.74), (3.0, 0.78)]);
+        chart
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = sample_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("importance"));
+        assert!(svg.contains("wrapper"));
+        assert!(svg.contains("Accuracy vs features"));
+        // 6 points drawn as circles.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut chart = LineChart::new("a < b & c", "x", "y");
+        chart.push_series("s<1>", vec![(0.0, 0.0)]);
+        let svg = chart.render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn fixed_y_range_is_respected() {
+        let mut chart = sample_chart();
+        chart.y_range = Some((0.0, 1.0));
+        let svg = chart.render_svg();
+        // Y ticks include 0 and 1.
+        assert!(svg.contains(">0.00<") || svg.contains(">0<"));
+        assert!(svg.contains(">1.00<") || svg.contains(">1<"));
+    }
+
+    #[test]
+    fn degenerate_x_span_is_handled() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.push_series("point", vec![(5.0, 0.5)]);
+        let svg = chart.render_svg();
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data points")]
+    fn empty_chart_panics() {
+        let chart = LineChart::new("t", "x", "y");
+        let _ = chart.render_svg();
+    }
+
+    #[test]
+    fn bar_chart_renders_groups_and_legend() {
+        let mut chart = BarChart::new("Fig 2", "accuracy");
+        chart.categories = vec!["RF".into(), "SVM".into()];
+        chart.series = vec![
+            ("random CV".into(), vec![0.9, 0.6]),
+            ("user CV".into(), vec![0.8, 0.55]),
+        ];
+        let svg = chart.render_svg();
+        // 4 bars + 2 legend swatches + frame + background = rects.
+        assert!(svg.matches("<rect").count() >= 7);
+        assert!(svg.contains("RF") && svg.contains("SVM"));
+        assert!(svg.contains("random CV"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bar_chart_rejects_ragged_series() {
+        let mut chart = BarChart::new("t", "y");
+        chart.categories = vec!["a".into(), "b".into()];
+        chart.series = vec![("s".into(), vec![0.5])];
+        let _ = chart.render_svg();
+    }
+
+    #[test]
+    fn save_svg_writes_file() {
+        let dir = std::env::temp_dir().join(format!("trajlib_chart_{}", std::process::id()));
+        let path = dir.join("nested/chart.svg");
+        sample_chart().save_svg(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

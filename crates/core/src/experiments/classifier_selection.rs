@@ -1,0 +1,245 @@
+//! Experiment 1 (§4.1, Figure 2): which classifier is best?
+//!
+//! Six classifiers are trained under random cross-validation on the
+//! [Dabiri] label set ({walk, bike, bus, driving, train}, no noise
+//! removal, all 70 features) and compared by mean accuracy; Wilcoxon
+//! signed-rank tests over the fold accuracies compare the best classifier
+//! against every other, reproducing the paper's finding that the random
+//! forest leads, XGBoost is statistically indistinguishable from it, and
+//! the SVM trails.
+
+use crate::experiments::DataConfig;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+use traj_geo::LabelScheme;
+use traj_ml::cv::{cross_validate, KFold};
+use traj_ml::stats_tests::{
+    friedman_test, nemenyi_critical_difference, wilcoxon_signed_rank, Alternative,
+    FriedmanResult, WilcoxonResult,
+};
+use traj_ml::ClassifierKind;
+
+/// Configuration of the classifier-selection experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierSelectionConfig {
+    /// Synthetic cohort.
+    pub data: DataConfig,
+    /// Random-CV fold count (10 gives the Wilcoxon tests reasonable
+    /// power; the paper's figure aggregates per-fold accuracies).
+    pub folds: usize,
+    /// Experiment seed (CV shuffling and per-fold model seeds).
+    pub seed: u64,
+    /// Classifiers to compare; defaults to the paper's six.
+    pub classifiers: Vec<ClassifierKind>,
+}
+
+impl Default for ClassifierSelectionConfig {
+    fn default() -> Self {
+        ClassifierSelectionConfig {
+            data: DataConfig::full(),
+            folds: 10,
+            seed: 0,
+            classifiers: ClassifierKind::PAPER_SIX.to_vec(),
+        }
+    }
+}
+
+/// Per-classifier outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierScore {
+    /// The classifier.
+    pub kind: ClassifierKind,
+    /// Accuracy per fold.
+    pub fold_accuracies: Vec<f64>,
+    /// Mean accuracy over folds (Figure 2's bar).
+    pub mean_accuracy: f64,
+    /// Mean weighted F1 over folds.
+    pub mean_f1_weighted: f64,
+    /// Two-sided Wilcoxon signed-rank test of the best classifier's fold
+    /// accuracies against this classifier's (absent for the best itself,
+    /// or when every fold ties).
+    pub wilcoxon_vs_best: Option<WilcoxonResult>,
+}
+
+/// Outcome of the experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierSelectionResult {
+    /// Per-classifier scores, sorted by descending mean accuracy.
+    pub scores: Vec<ClassifierScore>,
+    /// The winner.
+    pub best: ClassifierKind,
+    /// Dataset size the experiment ran on.
+    pub n_samples: usize,
+    /// Friedman omnibus test over the fold-accuracy blocks — do the
+    /// classifiers differ at all? (Demšar's recommended companion to the
+    /// pairwise Wilcoxon tests; absent with fewer than two classifiers.)
+    pub friedman: Option<FriedmanResult>,
+    /// Nemenyi critical difference at α = 0.05 for the mean ranks in
+    /// `friedman` (two classifiers differ when their mean ranks differ by
+    /// more than this).
+    pub nemenyi_cd: Option<f64>,
+}
+
+/// Runs the experiment.
+pub fn run_classifier_selection(
+    config: &ClassifierSelectionConfig,
+) -> ClassifierSelectionResult {
+    assert!(!config.classifiers.is_empty(), "need at least one classifier");
+    let synth = config.data.generate();
+    let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri));
+    let dataset = pipeline.dataset_from_segments(&synth.segments);
+    let splitter = KFold::new(config.folds, config.seed);
+
+    let mut raw: Vec<(ClassifierKind, Vec<f64>, f64)> = config
+        .classifiers
+        .iter()
+        .map(|&kind| {
+            let factory = move |seed: u64| kind.build(seed);
+            let scores = cross_validate(&factory, &dataset, &splitter, config.seed);
+            let accs: Vec<f64> = scores.iter().map(|s| s.accuracy).collect();
+            let f1 = traj_ml::cv::mean_f1_weighted(&scores);
+            (kind, accs, f1)
+        })
+        .collect();
+
+    raw.sort_by(|a, b| {
+        let ma = mean(&a.1);
+        let mb = mean(&b.1);
+        mb.partial_cmp(&ma).expect("finite accuracies")
+    });
+
+    let best_kind = raw[0].0;
+    let best_accs = raw[0].1.clone();
+
+    // Omnibus test across all classifiers (fold accuracies as blocks).
+    let (friedman, nemenyi_cd) = if raw.len() >= 2 && raw.len() <= 10 {
+        let measurements: Vec<Vec<f64>> = raw.iter().map(|(_, accs, _)| accs.clone()).collect();
+        let fr = friedman_test(&measurements);
+        let cd = nemenyi_critical_difference(raw.len(), config.folds);
+        (Some(fr), Some(cd))
+    } else {
+        (None, None)
+    };
+    let scores = raw
+        .into_iter()
+        .map(|(kind, accs, f1)| {
+            // Skip the test for the best itself, and when every fold ties
+            // (the signed-rank test is undefined on all-zero differences).
+            let identical = best_accs.iter().zip(&accs).all(|(a, b)| a == b);
+            let wilcoxon_vs_best = (kind != best_kind && !identical)
+                .then(|| wilcoxon_signed_rank(&best_accs, &accs, Alternative::TwoSided));
+            ClassifierScore {
+                kind,
+                mean_accuracy: mean(&accs),
+                mean_f1_weighted: f1,
+                fold_accuracies: accs,
+                wilcoxon_vs_best,
+            }
+        })
+        .collect();
+
+    ClassifierSelectionResult {
+        scores,
+        best: best_kind,
+        n_samples: dataset.len(),
+        friedman,
+        nemenyi_cd,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ClassifierSelectionConfig {
+        ClassifierSelectionConfig {
+            data: DataConfig::small(),
+            folds: 3,
+            seed: 1,
+            classifiers: vec![
+                ClassifierKind::RandomForest,
+                ClassifierKind::DecisionTree,
+                ClassifierKind::Svm,
+            ],
+        }
+    }
+
+    #[test]
+    fn runs_and_orders_by_accuracy() {
+        let result = run_classifier_selection(&tiny_config());
+        assert_eq!(result.scores.len(), 3);
+        assert!(result
+            .scores
+            .windows(2)
+            .all(|w| w[0].mean_accuracy >= w[1].mean_accuracy));
+        assert_eq!(result.best, result.scores[0].kind);
+        assert!(result.scores[0].wilcoxon_vs_best.is_none());
+        assert!(result.n_samples > 50);
+        for s in &result.scores {
+            assert_eq!(s.fold_accuracies.len(), 3);
+            assert!((0.0..=1.0).contains(&s.mean_accuracy));
+        }
+    }
+
+    #[test]
+    fn tree_ensemble_beats_linear_svm() {
+        let result = run_classifier_selection(&tiny_config());
+        let acc = |k: ClassifierKind| {
+            result
+                .scores
+                .iter()
+                .find(|s| s.kind == k)
+                .map(|s| s.mean_accuracy)
+                .unwrap()
+        };
+        assert!(
+            acc(ClassifierKind::RandomForest) > acc(ClassifierKind::Svm),
+            "rf {} vs svm {}",
+            acc(ClassifierKind::RandomForest),
+            acc(ClassifierKind::Svm)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_classifier_selection(&tiny_config());
+        let b = run_classifier_selection(&tiny_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn friedman_omnibus_accompanies_the_comparison() {
+        let result = run_classifier_selection(&tiny_config());
+        let fr = result.friedman.expect("three classifiers → omnibus runs");
+        assert_eq!(fr.df, 2);
+        assert!((0.0..=1.0).contains(&fr.p_value));
+        assert_eq!(fr.mean_ranks.len(), 3);
+        let cd = result.nemenyi_cd.expect("CD available");
+        assert!(cd > 0.0);
+        // RF vs SVM is a big gap; it should exceed the CD on ranks.
+        // (mean_ranks are ordered like result.scores.)
+        let spread = fr
+            .mean_ranks
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - fr.mean_ranks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one classifier")]
+    fn empty_roster_panics() {
+        let mut config = tiny_config();
+        config.classifiers.clear();
+        let _ = run_classifier_selection(&config);
+    }
+}

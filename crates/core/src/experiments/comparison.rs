@@ -1,0 +1,234 @@
+//! Experiment 3 (§4.3): comparison with the published deep-learning
+//! baselines.
+//!
+//! The paper never re-runs [Endo et al. 2016] or [Dabiri & Heaslip 2018];
+//! it compares its measured accuracies against their *published* numbers
+//! with one-sample Wilcoxon signed-rank tests:
+//!
+//! * **vs Endo** — Endo label set, user-disjoint 80/20 split, top-20
+//!   features, RF with 50 trees; measured 69.5 % vs published 67.9 %,
+//!   p = 0.0431.
+//! * **vs Dabiri** — Dabiri label set, random five-fold CV, top-20
+//!   features, RF with 50 trees; measured 88.5 % vs published 84.8 %,
+//!   p = 0.0796.
+//!
+//! We follow the same protocol; the published constants are recorded in
+//! [`ENDO_PUBLISHED_ACCURACY`] and [`DABIRI_PUBLISHED_ACCURACY`].
+
+use crate::experiments::DataConfig;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+use traj_geo::LabelScheme;
+use traj_ml::cv::{cross_validate, GroupShuffleSplit, KFold, Splitter};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::stats_tests::{wilcoxon_one_sample, Alternative, WilcoxonResult};
+use traj_ml::{Classifier, Dataset};
+
+/// Mean accuracy published by Endo et al. (2016) under user-disjoint
+/// evaluation, as cited in the paper's §4.3.
+pub const ENDO_PUBLISHED_ACCURACY: f64 = 0.679;
+/// Accuracy published by Dabiri & Heaslip (2018) under random CV, as
+/// cited in the paper's §4.3.
+pub const DABIRI_PUBLISHED_ACCURACY: f64 = 0.848;
+
+/// Configuration of a baseline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonConfig {
+    /// Synthetic cohort.
+    pub data: DataConfig,
+    /// Number of evaluation splits (repeated user-disjoint splits for
+    /// Endo; `n_splits`-fold random CV for Dabiri). More splits give the
+    /// one-sample Wilcoxon test more power; the paper used enough folds
+    /// to reach p < 0.05 against Endo.
+    pub n_splits: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Forest size (the paper's §4.3 uses 50 estimators).
+    pub n_estimators: usize,
+    /// Number of top-importance features to select (the paper's step 5:
+    /// 20).
+    pub top_k: usize,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            data: DataConfig::full(),
+            n_splits: 10,
+            seed: 0,
+            n_estimators: 50,
+            top_k: 20,
+        }
+    }
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// Protocol name (`"endo"` or `"dabiri"`).
+    pub protocol: String,
+    /// Accuracy per split.
+    pub split_accuracies: Vec<f64>,
+    /// Mean accuracy.
+    pub mean_accuracy: f64,
+    /// Mean weighted F1.
+    pub mean_f1_weighted: f64,
+    /// The published baseline accuracy compared against.
+    pub published_baseline: f64,
+    /// One-sample Wilcoxon signed-rank test of the split accuracies
+    /// against the baseline, alternative *greater*.
+    pub wilcoxon: WilcoxonResult,
+    /// Names of the selected top-k features.
+    pub selected_features: Vec<String>,
+}
+
+/// §4.3 first comparison: user-disjoint 80/20 splits on the Endo label
+/// set.
+pub fn run_endo_comparison(config: &ComparisonConfig) -> ComparisonResult {
+    let splitter = GroupShuffleSplit {
+        n_splits: config.n_splits,
+        test_fraction: 0.2,
+        seed: config.seed,
+    };
+    run_comparison(
+        config,
+        LabelScheme::Endo,
+        &splitter,
+        "endo",
+        ENDO_PUBLISHED_ACCURACY,
+    )
+}
+
+/// §4.3 second comparison: random five-fold CV on the Dabiri label set.
+pub fn run_dabiri_comparison(config: &ComparisonConfig) -> ComparisonResult {
+    let splitter = KFold::new(config.n_splits, config.seed);
+    run_comparison(
+        config,
+        LabelScheme::Dabiri,
+        &splitter,
+        "dabiri",
+        DABIRI_PUBLISHED_ACCURACY,
+    )
+}
+
+fn run_comparison(
+    config: &ComparisonConfig,
+    scheme: LabelScheme,
+    splitter: &dyn Splitter,
+    protocol: &str,
+    baseline: f64,
+) -> ComparisonResult {
+    let synth = config.data.generate();
+    let pipeline = Pipeline::new(PipelineConfig::paper(scheme));
+    let full = pipeline.dataset_from_segments(&synth.segments);
+
+    // Step 4+5: top-k features by RF importance.
+    let selected = top_k_features(&full, config.top_k, config.seed);
+    let dataset = full.select_features(&selected);
+    let selected_features: Vec<String> = selected
+        .iter()
+        .map(|&i| full.feature_names[i].clone())
+        .collect();
+
+    let estimators = config.n_estimators;
+    let factory = move |seed: u64| -> Box<dyn Classifier> {
+        Box::new(RandomForest::new(ForestConfig {
+            n_estimators: estimators,
+            seed,
+            ..ForestConfig::default()
+        }))
+    };
+    let scores = cross_validate(&factory, &dataset, splitter, config.seed);
+    let split_accuracies: Vec<f64> = scores.iter().map(|s| s.accuracy).collect();
+    let mean_accuracy = traj_ml::cv::mean_accuracy(&scores);
+    let mean_f1_weighted = traj_ml::cv::mean_f1_weighted(&scores);
+
+    let wilcoxon = wilcoxon_one_sample(&split_accuracies, baseline, Alternative::Greater);
+
+    ComparisonResult {
+        protocol: protocol.to_owned(),
+        split_accuracies,
+        mean_accuracy,
+        mean_f1_weighted,
+        published_baseline: baseline,
+        wilcoxon,
+        selected_features,
+    }
+}
+
+/// The paper's step-5 subset: top `k` features by random-forest impurity
+/// importance.
+pub fn top_k_features(dataset: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    traj_select::rf_importance_ranking(dataset, 50, seed)
+        .into_iter()
+        .take(k)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ComparisonConfig {
+        ComparisonConfig {
+            data: DataConfig::small(),
+            n_splits: 4,
+            seed: 1,
+            n_estimators: 10,
+            top_k: 10,
+        }
+    }
+
+    #[test]
+    fn endo_comparison_runs() {
+        let r = run_endo_comparison(&tiny_config());
+        assert_eq!(r.protocol, "endo");
+        assert_eq!(r.split_accuracies.len(), 4);
+        assert_eq!(r.published_baseline, ENDO_PUBLISHED_ACCURACY);
+        assert_eq!(r.selected_features.len(), 10);
+        assert!((0.0..=1.0).contains(&r.mean_accuracy));
+        assert!((0.0..=1.0).contains(&r.wilcoxon.p_value));
+    }
+
+    #[test]
+    fn dabiri_comparison_runs() {
+        let r = run_dabiri_comparison(&tiny_config());
+        assert_eq!(r.protocol, "dabiri");
+        assert_eq!(r.published_baseline, DABIRI_PUBLISHED_ACCURACY);
+        assert_eq!(r.split_accuracies.len(), 4);
+    }
+
+    #[test]
+    fn dabiri_random_cv_scores_above_endo_user_split() {
+        // Random CV on the 5-class task is the easier protocol; its mean
+        // accuracy should exceed the user-split 7-class protocol — the
+        // same asymmetry the paper's two comparisons show (88.5 vs 69.5).
+        let config = tiny_config();
+        let endo = run_endo_comparison(&config);
+        let dabiri = run_dabiri_comparison(&config);
+        assert!(
+            dabiri.mean_accuracy > endo.mean_accuracy,
+            "dabiri {} vs endo {}",
+            dabiri.mean_accuracy,
+            endo.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn selected_features_include_a_speed_statistic() {
+        let r = run_dabiri_comparison(&tiny_config());
+        assert!(
+            r.selected_features.iter().any(|n| n.starts_with("speed")),
+            "{:?}",
+            r.selected_features
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_endo_comparison(&tiny_config());
+        let b = run_endo_comparison(&tiny_config());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-class analysis: which transportation modes get confused?
+//!
+//! Not a numbered figure in the paper, but the analysis behind two of its
+//! modelling decisions: [Dabiri & Heaslip] merge car+taxi into *driving*
+//! and train+subway into *train* because their kinematics are nearly
+//! indistinguishable, and the paper adopts those merges for its §4.1/§4.3
+//! protocols. This experiment quantifies that on the Endo label set
+//! (everything unmerged) under user-oriented evaluation: the confusion
+//! matrix concentrates exactly on the car↔taxi and train↔subway pairs.
+
+use crate::experiments::DataConfig;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+use traj_geo::LabelScheme;
+use traj_ml::cv::{GroupShuffleSplit, Splitter};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::metrics::ClassificationReport;
+
+/// Configuration of the confusion analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionConfig {
+    /// Synthetic cohort.
+    pub data: DataConfig,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Forest size.
+    pub n_estimators: usize,
+    /// Label scheme to analyse (Endo keeps the confusable pairs apart).
+    pub scheme: LabelScheme,
+}
+
+impl Default for ConfusionConfig {
+    fn default() -> Self {
+        ConfusionConfig {
+            data: DataConfig::full(),
+            seed: 0,
+            n_estimators: 50,
+            scheme: LabelScheme::Endo,
+        }
+    }
+}
+
+/// Outcome of the confusion analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionResult {
+    /// Class names, indexing the matrix and the per-class vectors.
+    pub class_names: Vec<String>,
+    /// Confusion matrix over the held-out users: `matrix[truth][pred]`.
+    pub matrix: Vec<Vec<usize>>,
+    /// Per-class recall.
+    pub recall: Vec<f64>,
+    /// Per-class precision.
+    pub precision: Vec<f64>,
+    /// Per-class F1.
+    pub f1: Vec<f64>,
+    /// Overall held-out accuracy.
+    pub accuracy: f64,
+    /// For every class, the most common *wrong* prediction and the
+    /// fraction of that class's samples it absorbs (`None` when the
+    /// class has no errors or no samples).
+    pub top_confusions: Vec<Option<(String, f64)>>,
+}
+
+impl ConfusionResult {
+    /// Fraction of class `a`'s samples predicted as class `b` (by name).
+    pub fn confusion_rate(&self, a: &str, b: &str) -> f64 {
+        let ia = self.class_names.iter().position(|n| n == a);
+        let ib = self.class_names.iter().position(|n| n == b);
+        let (Some(ia), Some(ib)) = (ia, ib) else {
+            return 0.0;
+        };
+        let total: usize = self.matrix[ia].iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.matrix[ia][ib] as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the analysis: trains on 80 % of users, evaluates on the held-out
+/// 20 % (user-disjoint), and aggregates the confusion matrix.
+pub fn run_confusion_analysis(config: &ConfusionConfig) -> ConfusionResult {
+    let synth = config.data.generate();
+    let pipeline = Pipeline::new(PipelineConfig::paper(config.scheme));
+    let dataset = pipeline.dataset_from_segments(&synth.segments);
+
+    let splitter = GroupShuffleSplit {
+        n_splits: 1,
+        test_fraction: 0.2,
+        seed: config.seed,
+    };
+    let (train_idx, test_idx) = splitter.split(&dataset).remove(0);
+    let train = dataset.subset(&train_idx);
+    let test = dataset.subset(&test_idx);
+
+    let mut forest = RandomForest::new(ForestConfig {
+        n_estimators: config.n_estimators,
+        seed: config.seed,
+        ..ForestConfig::default()
+    });
+    forest.fit(&train);
+    let pred = forest.predict(&test);
+
+    let n_classes = dataset.n_classes;
+    let matrix = traj_ml::metrics::confusion_matrix(&test.y, &pred, n_classes);
+    let report = ClassificationReport::compute(&test.y, &pred, n_classes);
+    let class_names: Vec<String> = config
+        .scheme
+        .class_names()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+
+    let top_confusions = (0..n_classes)
+        .map(|t| {
+            let total: usize = matrix[t].iter().sum();
+            if total == 0 {
+                return None;
+            }
+            let wrong = (0..n_classes)
+                .filter(|&p| p != t)
+                .max_by_key(|&p| matrix[t][p])?;
+            if matrix[t][wrong] == 0 {
+                return None;
+            }
+            Some((
+                class_names[wrong].clone(),
+                matrix[t][wrong] as f64 / total as f64,
+            ))
+        })
+        .collect();
+
+    ConfusionResult {
+        class_names,
+        matrix,
+        recall: report.recall,
+        precision: report.precision,
+        f1: report.f1,
+        accuracy: report.accuracy,
+        top_confusions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ConfusionConfig {
+        ConfusionConfig {
+            data: DataConfig {
+                n_users: 12,
+                segments_per_user: (14, 20),
+                seed: 42,
+                heterogeneity: 1.0,
+            },
+            seed: 1,
+            n_estimators: 25,
+            scheme: LabelScheme::Endo,
+        }
+    }
+
+    #[test]
+    fn analysis_runs_and_is_consistent() {
+        let r = run_confusion_analysis(&tiny_config());
+        assert_eq!(r.class_names.len(), 7);
+        assert_eq!(r.matrix.len(), 7);
+        assert!((0.0..=1.0).contains(&r.accuracy));
+        // Matrix totals match recall denominators.
+        for (t, row) in r.matrix.iter().enumerate() {
+            let total: usize = row.iter().sum();
+            if total > 0 {
+                let recall_check = row[t] as f64 / total as f64;
+                assert!((r.recall[t] - recall_check).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn car_and_taxi_confuse_each_other() {
+        // The generator gives car and taxi nearly identical kinematics;
+        // the held-out confusion must reflect that (the Dabiri-merge
+        // rationale). Taxi is only ~4 % of segments, so the cohort must
+        // be large enough for taxis to reach the 20 % holdout.
+        let r = run_confusion_analysis(&ConfusionConfig {
+            data: DataConfig {
+                n_users: 25,
+                segments_per_user: (20, 30),
+                seed: 42,
+                heterogeneity: 1.0,
+            },
+            seed: 1,
+            n_estimators: 25,
+            scheme: LabelScheme::Endo,
+        });
+        let car_as_taxi = r.confusion_rate("car", "taxi");
+        let taxi_as_car = r.confusion_rate("taxi", "car");
+        assert!(
+            car_as_taxi + taxi_as_car > 0.1,
+            "driving modes should confuse: car→taxi {car_as_taxi}, taxi→car {taxi_as_car}"
+        );
+        // Walk, by contrast, is rarely confused with driving.
+        assert!(r.confusion_rate("walk", "car") < 0.1);
+        assert!(r.confusion_rate("walk", "taxi") < 0.1);
+    }
+
+    #[test]
+    fn confusion_rate_handles_unknown_names() {
+        let r = run_confusion_analysis(&tiny_config());
+        assert_eq!(r.confusion_rate("walk", "hovercraft"), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_confusion_analysis(&tiny_config());
+        let b = run_confusion_analysis(&tiny_config());
+        assert_eq!(a, b);
+    }
+}

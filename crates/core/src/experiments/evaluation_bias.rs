@@ -1,0 +1,229 @@
+//! Evaluation-strategy bias — extending §4.4 with ground truth.
+//!
+//! The paper shows random CV scores *higher* than user-oriented CV and
+//! argues the random numbers are optimistic, but on real data the true
+//! generalisation accuracy is unobservable, so "optimistic" remains an
+//! inference. The synthetic substrate removes that limit: we can draw a
+//! **fresh cohort of users** from the same population, measure the
+//! deployed model's true accuracy on them, and report each evaluation
+//! strategy's *bias* (estimate − truth).
+//!
+//! §5 names this the future work ("deeply investigate the effects of
+//! cross-validation and other strategies like holdout"); this experiment
+//! runs it:
+//!
+//! * random K-fold CV (the field's convention),
+//! * user-oriented (group) K-fold CV (the paper's recommendation),
+//! * a single random 80/20 holdout,
+//! * a single user-disjoint 80/20 holdout.
+
+use crate::experiments::DataConfig;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+use traj_geo::LabelScheme;
+use traj_ml::cv::{
+    cross_validate, mean_accuracy, train_test_split, GroupKFold, GroupShuffleSplit, KFold,
+    Splitter,
+};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::{Classifier, Dataset};
+
+/// Configuration of the evaluation-bias experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationBiasConfig {
+    /// The development cohort every strategy estimates from.
+    pub data: DataConfig,
+    /// Users in the fresh ground-truth cohort (drawn with a different
+    /// seed ⇒ disjoint user traits).
+    pub fresh_users: usize,
+    /// Folds of the CV strategies.
+    pub folds: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Forest size.
+    pub n_estimators: usize,
+}
+
+impl Default for EvaluationBiasConfig {
+    fn default() -> Self {
+        EvaluationBiasConfig {
+            data: DataConfig::full(),
+            fresh_users: 30,
+            folds: 5,
+            seed: 0,
+            n_estimators: 50,
+        }
+    }
+}
+
+/// One strategy's estimate and its bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyEstimate {
+    /// Strategy name.
+    pub strategy: String,
+    /// The accuracy the strategy reports.
+    pub estimate: f64,
+    /// `estimate − true_accuracy` (positive = optimistic).
+    pub bias: f64,
+}
+
+/// Outcome of the experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationBiasResult {
+    /// True accuracy: the model trained on the full development cohort,
+    /// evaluated on the fresh cohort of unseen users.
+    pub true_accuracy: f64,
+    /// Each strategy's estimate and bias.
+    pub estimates: Vec<StrategyEstimate>,
+}
+
+/// Runs the experiment.
+pub fn run_evaluation_bias(config: &EvaluationBiasConfig) -> EvaluationBiasResult {
+    let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo));
+
+    // Development cohort.
+    let dev_cohort = config.data.generate();
+    let dev = pipeline.dataset_from_segments(&dev_cohort.segments);
+
+    // Fresh cohort: same population, different users (different seed).
+    let fresh_cohort = DataConfig {
+        n_users: config.fresh_users,
+        seed: config.data.seed.wrapping_add(0x5EED_F00D),
+        ..config.data
+    }
+    .generate();
+    let fresh = pipeline.dataset_from_segments(&fresh_cohort.segments);
+
+    // Ground truth: train on all development data, test on fresh users.
+    let estimators = config.n_estimators;
+    let factory = move |seed: u64| -> Box<dyn Classifier> {
+        Box::new(RandomForest::new(ForestConfig {
+            n_estimators: estimators,
+            seed,
+            ..ForestConfig::default()
+        }))
+    };
+    let mut deployed = factory(config.seed);
+    deployed.fit(&dev);
+    let true_accuracy = traj_ml::metrics::accuracy(&fresh.y, &deployed.predict(&fresh));
+
+    let mut estimates = Vec::new();
+    let mut push = |name: &str, estimate: f64| {
+        estimates.push(StrategyEstimate {
+            strategy: name.to_owned(),
+            estimate,
+            bias: estimate - true_accuracy,
+        });
+    };
+
+    // Strategy 1: random K-fold CV.
+    let scores = cross_validate(&factory, &dev, &KFold::new(config.folds, config.seed), config.seed);
+    push("random k-fold CV", mean_accuracy(&scores));
+
+    // Strategy 2: user-oriented (group) K-fold CV.
+    let scores = cross_validate(
+        &factory,
+        &dev,
+        &GroupKFold {
+            n_splits: config.folds,
+        },
+        config.seed,
+    );
+    push("user-oriented k-fold CV", mean_accuracy(&scores));
+
+    // Strategy 3: one random 80/20 holdout.
+    let (train_idx, test_idx) = train_test_split(&dev, 0.2, config.seed);
+    push(
+        "random 80/20 holdout",
+        holdout_accuracy(&factory, &dev, &train_idx, &test_idx, config.seed),
+    );
+
+    // Strategy 4: one user-disjoint 80/20 holdout.
+    let split = GroupShuffleSplit {
+        n_splits: 1,
+        test_fraction: 0.2,
+        seed: config.seed,
+    }
+    .split(&dev)
+    .remove(0);
+    push(
+        "user-disjoint 80/20 holdout",
+        holdout_accuracy(&factory, &dev, &split.0, &split.1, config.seed),
+    );
+
+    EvaluationBiasResult {
+        true_accuracy,
+        estimates,
+    }
+}
+
+fn holdout_accuracy(
+    factory: &dyn Fn(u64) -> Box<dyn Classifier>,
+    data: &Dataset,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    seed: u64,
+) -> f64 {
+    let train = data.subset(train_idx);
+    let test = data.subset(test_idx);
+    let mut model = factory(seed);
+    model.fit(&train);
+    traj_ml::metrics::accuracy(&test.y, &model.predict(&test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EvaluationBiasConfig {
+        EvaluationBiasConfig {
+            data: DataConfig {
+                n_users: 12,
+                segments_per_user: (12, 18),
+                seed: 42,
+                heterogeneity: 1.0,
+            },
+            fresh_users: 8,
+            folds: 3,
+            seed: 1,
+            n_estimators: 20,
+        }
+    }
+
+    #[test]
+    fn produces_all_four_strategies() {
+        let r = run_evaluation_bias(&tiny_config());
+        assert_eq!(r.estimates.len(), 4);
+        assert!((0.0..=1.0).contains(&r.true_accuracy));
+        for e in &r.estimates {
+            assert!((0.0..=1.0).contains(&e.estimate), "{e:?}");
+            assert!((e.bias - (e.estimate - r.true_accuracy)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_cv_is_more_optimistic_than_user_cv() {
+        // The §4.4 claim in bias terms: the random estimate exceeds the
+        // user-oriented estimate (both measured against the same truth).
+        let r = run_evaluation_bias(&tiny_config());
+        let bias_of = |name: &str| {
+            r.estimates
+                .iter()
+                .find(|e| e.strategy.starts_with(name))
+                .map(|e| e.bias)
+                .unwrap()
+        };
+        assert!(
+            bias_of("random k-fold") > bias_of("user-oriented"),
+            "{:?}",
+            r.estimates
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_evaluation_bias(&tiny_config());
+        let b = run_evaluation_bias(&tiny_config());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's experiments as library functions.
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`classifier_selection`] | §4.1 / Figure 2 — six classifiers under random CV, Wilcoxon tests against the best |
+//! | [`feature_selection`] | §4.2 / Figure 3 — wrapper and RF-importance selection curves |
+//! | [`comparison`] | §4.3 — accuracy vs the published [Endo] (67.9 %) and [Dabiri] (84.8 %) baselines with one-sample Wilcoxon tests |
+//! | [`cv_comparison`] | §4.4 / Figure 4 — random vs user-oriented cross-validation per classifier |
+//! | [`confusion`] | per-class confusion analysis — the rationale behind the Dabiri label merges |
+//! | [`evaluation_bias`] | §5 future work: estimate − ground-truth bias of four evaluation strategies |
+//!
+//! Every experiment consumes a [`DataConfig`] describing the synthetic
+//! GeoLife cohort, so binaries run at full scale while tests run small.
+
+pub mod classifier_selection;
+pub mod comparison;
+pub mod confusion;
+pub mod cv_comparison;
+pub mod evaluation_bias;
+pub mod feature_selection;
+
+pub use classifier_selection::{run_classifier_selection, ClassifierSelectionConfig};
+pub use comparison::{run_dabiri_comparison, run_endo_comparison, ComparisonConfig};
+pub use confusion::{run_confusion_analysis, ConfusionConfig};
+pub use cv_comparison::{run_cv_comparison, CvComparisonConfig};
+pub use evaluation_bias::{run_evaluation_bias, EvaluationBiasConfig};
+pub use feature_selection::{run_feature_selection, FeatureSelectionConfig, SelectionMethod};
+
+use serde::{Deserialize, Serialize};
+use traj_geolife::{SynthConfig, SynthDataset};
+
+/// Size and seed of the synthetic GeoLife cohort an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Labeled segments per user (inclusive range).
+    pub segments_per_user: (usize, usize),
+    /// Generator seed.
+    pub seed: u64,
+    /// Between-user heterogeneity (see
+    /// [`traj_geolife::synth::UserProfile::sample`]).
+    pub heterogeneity: f64,
+}
+
+impl DataConfig {
+    /// Experiment scale: a cohort comparable to GeoLife's 69 labeled
+    /// users.
+    pub fn full() -> Self {
+        DataConfig {
+            n_users: 69,
+            segments_per_user: (30, 60),
+            seed: 42,
+            heterogeneity: 1.0,
+        }
+    }
+
+    /// Reduced scale for tests and examples.
+    pub fn small() -> Self {
+        DataConfig {
+            n_users: 10,
+            segments_per_user: (10, 16),
+            seed: 42,
+            heterogeneity: 1.0,
+        }
+    }
+
+    /// Generates the cohort.
+    pub fn generate(&self) -> SynthDataset {
+        SynthDataset::generate(&SynthConfig {
+            n_users: self.n_users,
+            segments_per_user: self.segments_per_user,
+            seed: self.seed,
+            modes: None,
+            heterogeneity: self.heterogeneity,
+            max_points_per_segment: 300,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_configs_generate() {
+        let d = DataConfig::small().generate();
+        assert_eq!(d.users.len(), 10);
+        assert!(!d.segments.is_empty());
+    }
+
+    #[test]
+    fn full_config_matches_geolife_cohort() {
+        let c = DataConfig::full();
+        assert_eq!(c.n_users, 69);
+    }
+}

@@ -1,0 +1,80 @@
+//! # trajlib
+//!
+//! The transportation-mode prediction framework of Etemad, Soares Júnior
+//! and Matwin, *"On Feature Selection and Evaluation of Transportation
+//! Mode Prediction Strategies"* (EDBT 2019), reproduced in Rust.
+//!
+//! The paper's eight-step framework (its Figure 1) maps onto this
+//! workspace as:
+//!
+//! | Step | Paper | Here |
+//! |------|-------|------|
+//! | 1 | Segmentation by user/day/mode, ≥ 10 points | [`traj_geo::segmentation`] |
+//! | 2 | Point features (speed, acceleration, jerk, bearing, …) | [`traj_features::point_features`] |
+//! | 3 | 70 trajectory features (10 stats × 7 point features) | [`traj_features::trajectory_features`] |
+//! | 4 | Wrapper + RF-importance feature selection | [`traj_select`] |
+//! | 5 | Top-20 subset | [`traj_select::SelectionCurve::prefix`] |
+//! | 6 | Optional noise handling | [`traj_features::noise`] |
+//! | 7 | Min–Max normalisation | [`traj_features::normalize`] |
+//! | 8 | Classification + evaluation | [`traj_ml`] |
+//!
+//! [`Pipeline`] wires steps 1–3 and 6–7 into one configurable object;
+//! the [`experiments`] module packages the paper's four experiments
+//! (classifier selection, feature selection, comparisons with published
+//! baselines, and the random-vs-user cross-validation study) as library
+//! functions the `traj-bench` binaries and the examples call.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trajlib::prelude::*;
+//!
+//! // Synthesize a small GeoLife-like dataset (the real data cannot ship
+//! // with the repository; see DESIGN.md for the substitution).
+//! let synth = SynthDataset::generate(&SynthConfig::small(7));
+//!
+//! // Steps 1–3 + 7: extract the 70-feature table, Min–Max normalised.
+//! let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri));
+//! let dataset = pipeline.dataset_from_segments(&synth.segments);
+//! assert_eq!(dataset.n_features(), 70);
+//!
+//! // Step 8: random forest under random 3-fold cross-validation.
+//! let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+//! let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
+//! assert!(traj_ml::cv::mean_accuracy(&scores) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{FeatureSet, Normalization, Pipeline, PipelineConfig};
+
+// Re-export the component crates under their role names.
+pub use traj_features as features;
+pub use traj_geo as geo;
+pub use traj_geolife as geolife;
+pub use traj_ml as ml;
+pub use traj_select as select;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiments;
+    pub use crate::pipeline::{FeatureSet, Normalization, Pipeline, PipelineConfig};
+    pub use traj_features::{extract_features, FeatureTable, MinMaxScaler, NoiseConfig};
+    pub use traj_geo::segmentation::{segment_by_user_day_mode, SegmentationConfig};
+    pub use traj_geo::{
+        LabelScheme, LabeledPoint, RawTrajectory, Segment, Timestamp, TrajectoryPoint,
+        TransportMode,
+    };
+    pub use traj_geolife::{DatasetStats, SynthConfig, SynthDataset};
+    pub use traj_ml::cv::{cross_validate, GroupKFold, GroupShuffleSplit, KFold, StratifiedKFold};
+    pub use traj_ml::{
+        accuracy, f1_weighted, Alternative, Classifier, ClassifierKind, Dataset, RandomForest,
+    };
+    pub use traj_select::{forward_select, incremental_curve, rf_importance_ranking};
+}

@@ -1,0 +1,377 @@
+//! The feature pipeline: steps 1–3, 6 and 7 of the paper's framework,
+//! wired into one configurable object that turns raw trajectories (or
+//! pre-cut segments) into a normalised [`Dataset`] ready for step 8.
+
+use serde::{Deserialize, Serialize};
+use traj_features::noise::NoiseConfig;
+use traj_features::normalize::{MinMaxScaler, StandardScaler};
+use traj_features::point_features::PointFeatures;
+use traj_features::trajectory_features::{feature_names, features_from_point_features};
+use traj_geo::segmentation::{segment_all, SegmentationConfig};
+use traj_geo::{LabelScheme, RawTrajectory, Segment};
+use traj_ml::Dataset;
+
+/// Which trajectory-feature set step 3 emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FeatureSet {
+    /// The paper's 70 features (10 statistics × 7 point features).
+    #[default]
+    Paper70,
+    /// The 70 plus ten spatiotemporal extensions
+    /// ([`traj_features::extended`]) — the paper's §5 future work.
+    Extended80,
+    /// The classic 11 features of Zheng et al. (UbiComp 2008) — the
+    /// prior-art baseline ([`traj_features::zheng`]).
+    Zheng11,
+}
+
+/// Step-7 normalisation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Normalization {
+    /// Min–Max to `[0, 1]` (the paper's choice).
+    #[default]
+    MinMax,
+    /// z-score standardisation (ablation).
+    ZScore,
+    /// No normalisation (ablation; tree models are scale-invariant).
+    None,
+}
+
+/// Configuration of a [`Pipeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Step 1: segmentation parameters.
+    pub segmentation: SegmentationConfig,
+    /// Label grouping of the produced dataset.
+    pub scheme: LabelScheme,
+    /// Step 6: optional noise handling (the paper's comparison
+    /// experiments disable it, and so does [`PipelineConfig::paper`]).
+    pub noise: NoiseConfig,
+    /// Step 7: normalisation.
+    pub normalization: Normalization,
+    /// Step 5: restrict to these features, by name (`None` keeps all 70).
+    pub selected_features: Option<Vec<String>>,
+    /// Step 3: the paper's 70 features, the extended 80, or the classic
+    /// Zheng 11.
+    #[serde(default)]
+    pub feature_set: FeatureSet,
+}
+
+impl PipelineConfig {
+    /// The paper's configuration for a label scheme: 10-point minimum
+    /// segments, no noise removal, Min–Max normalisation, all features.
+    pub fn paper(scheme: LabelScheme) -> Self {
+        PipelineConfig {
+            segmentation: SegmentationConfig::paper(),
+            scheme,
+            noise: NoiseConfig::disabled(),
+            normalization: Normalization::MinMax,
+            selected_features: None,
+            feature_set: FeatureSet::Paper70,
+        }
+    }
+
+    /// Switches step 3 to the extended 80-feature set.
+    pub fn with_feature_set(mut self, feature_set: FeatureSet) -> Self {
+        self.feature_set = feature_set;
+        self
+    }
+
+    /// Restricts the pipeline to the named features (step 5).
+    pub fn with_selected_features(mut self, names: Vec<String>) -> Self {
+        self.selected_features = Some(names);
+        self
+    }
+
+    /// Enables the optional noise handling (step 6).
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the normalisation (step 7).
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+}
+
+/// The feature pipeline (steps 1–3, 6, 7).
+///
+/// Note on leakage: mirroring the paper, normalisation statistics are fit
+/// on the *whole* table before cross-validation (its step 7 precedes step
+/// 8). Min–Max scaling is monotone per feature, so tree-based models —
+/// every headline result — are unaffected; margin/gradient models see a
+/// negligible range leak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Steps 1 → 7 from raw labeled trajectories.
+    pub fn dataset_from_raw(&self, trajectories: &[RawTrajectory]) -> Dataset {
+        let segments = segment_all(trajectories, &self.config.segmentation);
+        self.dataset_from_segments(&segments)
+    }
+
+    /// Steps 2 → 7 from pre-cut segments (step 1 already applied — e.g.
+    /// by the synthetic generator, which emits labeled segments
+    /// directly). Segments shorter than the segmentation minimum or with
+    /// modes outside the scheme are dropped.
+    pub fn dataset_from_segments(&self, segments: &[Segment]) -> Dataset {
+        let mut all_names = match self.config.feature_set {
+            FeatureSet::Zheng11 => traj_features::zheng::zheng_feature_names(),
+            _ => feature_names(),
+        };
+        if self.config.feature_set == FeatureSet::Extended80 {
+            all_names.extend(traj_features::extended::extended_feature_names());
+        }
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut groups = Vec::new();
+
+        for seg in segments {
+            if seg.len() < self.config.segmentation.min_points {
+                continue;
+            }
+            let Some(class) = self.config.scheme.class_of(seg.mode) else {
+                continue;
+            };
+            // Step 6 (optional): clean positions, then series.
+            let cleaned;
+            let seg_ref = if self.config.noise.is_active() {
+                cleaned = self.config.noise.clean_segment(seg);
+                if cleaned.len() < self.config.segmentation.min_points {
+                    continue;
+                }
+                &cleaned
+            } else {
+                seg
+            };
+            // Steps 2–3.
+            let mut pf = PointFeatures::compute(seg_ref);
+            self.config.noise.clean_point_features(&mut pf);
+            let mut row = match self.config.feature_set {
+                FeatureSet::Zheng11 => traj_features::zheng::zheng_features(seg_ref, &pf),
+                _ => features_from_point_features(&pf),
+            };
+            if self.config.feature_set == FeatureSet::Extended80 {
+                row.extend(traj_features::extended::extended_features(seg_ref, &pf));
+            }
+            rows.push(row);
+            labels.push(class);
+            groups.push(seg.user);
+        }
+
+        // Step 5 (optional): project onto the selected features.
+        let names: Vec<String> = match &self.config.selected_features {
+            None => all_names,
+            Some(wanted) => {
+                let indices: Vec<usize> = wanted
+                    .iter()
+                    .map(|w| {
+                        all_names
+                            .iter()
+                            .position(|n| n == w)
+                            .unwrap_or_else(|| panic!("unknown feature name: {w}"))
+                    })
+                    .collect();
+                rows = rows
+                    .iter()
+                    .map(|r| indices.iter().map(|&i| r[i]).collect())
+                    .collect();
+                wanted.clone()
+            }
+        };
+
+        // Step 7.
+        match self.config.normalization {
+            Normalization::MinMax => {
+                if !rows.is_empty() {
+                    MinMaxScaler::fit_transform(&mut rows);
+                }
+            }
+            Normalization::ZScore => {
+                if !rows.is_empty() {
+                    StandardScaler::fit_transform(&mut rows);
+                }
+            }
+            Normalization::None => {}
+        }
+
+        Dataset::from_rows(&rows, labels, self.config.scheme.n_classes(), groups, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geolife::{SynthConfig, SynthDataset};
+
+    fn small_segments() -> Vec<Segment> {
+        SynthDataset::generate(&SynthConfig::small(21)).segments
+    }
+
+    #[test]
+    fn paper_pipeline_produces_70_normalised_features() {
+        let segments = small_segments();
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let ds = pipeline.dataset_from_segments(&segments);
+        assert_eq!(ds.n_features(), 70);
+        assert_eq!(ds.len(), segments.len());
+        for i in 0..ds.len() {
+            for &v in ds.row(i) {
+                assert!((0.0..=1.0).contains(&v), "minmax range: {v}");
+            }
+        }
+        assert_eq!(ds.n_classes, 11);
+    }
+
+    #[test]
+    fn scheme_filters_and_relabels() {
+        let segments = small_segments();
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri));
+        let ds = pipeline.dataset_from_segments(&segments);
+        assert!(ds.len() <= segments.len());
+        assert_eq!(ds.n_classes, 5);
+        assert!(ds.y.iter().all(|&c| c < 5));
+    }
+
+    #[test]
+    fn feature_selection_projects_named_columns() {
+        let segments = small_segments();
+        let config = PipelineConfig::paper(LabelScheme::Raw)
+            .with_selected_features(vec!["speed_p90".into(), "speed_mean".into()]);
+        let ds = Pipeline::new(config).dataset_from_segments(&segments);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.feature_names, vec!["speed_p90", "speed_mean"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature name")]
+    fn unknown_feature_name_panics() {
+        let segments = small_segments();
+        let config = PipelineConfig::paper(LabelScheme::Raw)
+            .with_selected_features(vec!["bogus".into()]);
+        let _ = Pipeline::new(config).dataset_from_segments(&segments);
+    }
+
+    #[test]
+    fn normalization_variants() {
+        let segments = small_segments();
+        let raw = Pipeline::new(
+            PipelineConfig::paper(LabelScheme::Raw).with_normalization(Normalization::None),
+        )
+        .dataset_from_segments(&segments);
+        // Unnormalised speeds exceed 1 m/s somewhere.
+        let any_large = (0..raw.len()).any(|i| raw.row(i).iter().any(|&v| v > 1.5));
+        assert!(any_large);
+
+        let z = Pipeline::new(
+            PipelineConfig::paper(LabelScheme::Raw).with_normalization(Normalization::ZScore),
+        )
+        .dataset_from_segments(&segments);
+        // z-scored columns have mean ≈ 0.
+        let mean0: f64 =
+            (0..z.len()).map(|i| z.value(i, 0)).sum::<f64>() / z.len() as f64;
+        assert!(mean0.abs() < 1e-9, "{mean0}");
+    }
+
+    #[test]
+    fn noise_step_changes_features() {
+        let segments = small_segments();
+        let clean = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw))
+            .dataset_from_segments(&segments);
+        let filtered = Pipeline::new(
+            PipelineConfig::paper(LabelScheme::Raw).with_noise(NoiseConfig::enabled()),
+        )
+        .dataset_from_segments(&segments);
+        assert_eq!(clean.len(), filtered.len());
+        // Normalised values differ somewhere once outliers are removed.
+        let differs = (0..clean.len())
+            .any(|i| clean.row(i) != filtered.row(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn from_raw_runs_segmentation_first() {
+        let synth = SynthDataset::generate(&SynthConfig::small(22));
+        let raws = synth.to_raw_trajectories(2);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let from_raw = pipeline.dataset_from_raw(&raws);
+        assert_eq!(from_raw.len(), synth.segments.len());
+        assert_eq!(from_raw.n_features(), 70);
+    }
+
+    #[test]
+    fn extended_feature_set_appends_ten_columns() {
+        let segments = small_segments();
+        let config =
+            PipelineConfig::paper(LabelScheme::Raw).with_feature_set(FeatureSet::Extended80);
+        let ds = Pipeline::new(config).dataset_from_segments(&segments);
+        assert_eq!(ds.n_features(), 80);
+        assert!(ds.feature_index("straightness").is_some());
+        assert!(ds.feature_index("start_hour_sin").is_some());
+        assert!(ds.feature_index("speed_p90").is_some());
+        // Extended columns are normalised along with the base ones.
+        for i in 0..ds.len() {
+            assert!(ds.row(i).iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn zheng_feature_set_produces_eleven_columns() {
+        let segments = small_segments();
+        let config =
+            PipelineConfig::paper(LabelScheme::Dabiri).with_feature_set(FeatureSet::Zheng11);
+        let ds = Pipeline::new(config).dataset_from_segments(&segments);
+        assert_eq!(ds.n_features(), 11);
+        assert!(ds.feature_index("zheng_heading_change_rate").is_some());
+        assert!(ds.feature_index("speed_p90").is_none());
+        // Still a usable classification table.
+        let mut tree = traj_ml::tree::DecisionTree::new(traj_ml::tree::TreeConfig::default());
+        traj_ml::Classifier::fit(&mut tree, &ds);
+        let acc = traj_ml::accuracy(&ds.y, &traj_ml::Classifier::predict(&tree, &ds));
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn extended_selection_by_name_works() {
+        let segments = small_segments();
+        let config = PipelineConfig::paper(LabelScheme::Raw)
+            .with_feature_set(FeatureSet::Extended80)
+            .with_selected_features(vec!["straightness".into(), "speed_p90".into()]);
+        let ds = Pipeline::new(config).dataset_from_segments(&segments);
+        assert_eq!(ds.n_features(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dataset() {
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let ds = pipeline.dataset_from_segments(&[]);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn short_segments_are_dropped() {
+        let mut segments = small_segments();
+        let seg = segments[0].clone();
+        let mut short = seg.clone();
+        short.points.truncate(5);
+        segments.push(short);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let ds = pipeline.dataset_from_segments(&segments);
+        assert_eq!(ds.len(), segments.len() - 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Result rendering: markdown tables for the experiment binaries and JSON
+//! persistence for EXPERIMENTS.md provenance.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-column markdown table builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkdownTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        MarkdownTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell/header count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown with aligned
+    /// columns.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, " {:<width$} |", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        out.push('|');
+        for w in widths.iter().take(n) {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Serialises `value` as pretty JSON under `path`, creating parent
+/// directories as needed.
+pub fn save_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Formats a proportion as a percent string with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a p-value compactly.
+pub fn pvalue(p: f64) -> String {
+    if p < 0.0001 {
+        "<0.0001".to_string()
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = MarkdownTable::new(vec!["classifier", "accuracy"]);
+        t.push_row(vec!["Random Forest", "90.40%"]);
+        t.push_row(vec!["SVM", "70.00%"]);
+        let s = t.render();
+        assert!(s.starts_with("| classifier"));
+        assert!(s.contains("| Random Forest | 90.40%"));
+        assert!(s.contains("|---"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/header count mismatch")]
+    fn wrong_cell_count_panics() {
+        let mut t = MarkdownTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let dir = std::env::temp_dir().join(format!("trajlib_report_{}", std::process::id()));
+        let path = dir.join("nested/result.json");
+        save_json(&path, &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.904), "90.40%");
+        assert_eq!(pvalue(0.0431), "0.0431");
+        assert_eq!(pvalue(1e-9), "<0.0001");
+    }
+}

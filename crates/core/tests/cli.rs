@@ -1,0 +1,122 @@
+//! End-to-end tests of the `trajlib-cli` binary: synth → extract →
+//! train → predict → cv as a real user would run them.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trajlib-cli"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trajlib_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_succeeds() {
+    let dir = workdir("flow");
+    let cohort = dir.join("cohort");
+    let csv = dir.join("features.csv");
+    let model = dir.join("model.json");
+
+    let synth = cli()
+        .args(["synth", "--users", "5", "--seed", "3", "--out"])
+        .arg(&cohort)
+        .output()
+        .expect("run synth");
+    assert!(synth.status.success(), "{}", String::from_utf8_lossy(&synth.stderr));
+    assert!(cohort.join("Data/000/labels.txt").is_file());
+
+    let extract = cli()
+        .args(["extract", "--geolife"])
+        .arg(&cohort)
+        .args(["--scheme", "dabiri", "--out"])
+        .arg(&csv)
+        .output()
+        .expect("run extract");
+    assert!(extract.status.success(), "{}", String::from_utf8_lossy(&extract.stderr));
+    let header = std::fs::read_to_string(&csv).unwrap();
+    assert!(header.starts_with("distance_min,"));
+    assert!(header.lines().next().unwrap().ends_with("label,group"));
+
+    let train = cli()
+        .args(["train", "--csv"])
+        .arg(&csv)
+        .args(["--model", "tree", "--out"])
+        .arg(&model)
+        .output()
+        .expect("run train");
+    assert!(train.status.success(), "{}", String::from_utf8_lossy(&train.stderr));
+    assert!(model.is_file());
+
+    let predict = cli()
+        .args(["predict", "--csv"])
+        .arg(&csv)
+        .arg("--model-file")
+        .arg(&model)
+        .output()
+        .expect("run predict");
+    assert!(predict.status.success());
+    let text = String::from_utf8_lossy(&predict.stdout);
+    assert!(text.contains("accuracy 1.0000"), "tree memorises: {text}");
+
+    let cv = cli()
+        .args(["cv", "--csv"])
+        .arg(&csv)
+        .args(["--model", "tree", "--folds", "3"])
+        .output()
+        .expect("run cv");
+    assert!(cv.status.success(), "{}", String::from_utf8_lossy(&cv.stderr));
+    assert!(String::from_utf8_lossy(&cv.stdout).contains("mean accuracy"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown subcommand.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    // Missing required option.
+    let out = cli().arg("synth").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Unknown model kind.
+    let dir = workdir("err");
+    let csv = dir.join("f.csv");
+    std::fs::write(&csv, "a,label,group\n1.0,0,0\n2.0,1,0\n").unwrap();
+    let out = cli()
+        .args(["train", "--csv"])
+        .arg(&csv)
+        .args(["--model", "quantum", "--out"])
+        .arg(dir.join("m.json"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+
+    // Nonexistent input file.
+    let out = cli()
+        .args(["predict", "--csv", "/nonexistent.csv", "--model-file", "/nonexistent.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in ["synth", "extract", "train", "predict", "cv"] {
+        assert!(text.contains(sub), "help missing {sub}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Extended trajectory features — the paper's future work, implemented.
+//!
+//! §5: "The spatiotemporal characteristic of trajectory data is not taken
+//! into account in most of the works from literature. […] space and time
+//! dependencies can also be explored to tailor features for
+//! transportation means prediction."
+//!
+//! This module adds ten segment-level features beyond the paper's 70
+//! statistics:
+//!
+//! | feature | what it captures |
+//! |---------|------------------|
+//! | `total_duration_s` | trip length in time |
+//! | `path_length_m` | trip length in space |
+//! | `displacement_m` | start→end great-circle distance |
+//! | `straightness` | displacement / path length ∈ [0, 1]; rail ≈ 1, strolls ≪ 1 |
+//! | `stop_rate` | fraction of fixes below 0.5 m/s; buses/subways stop, trains don't |
+//! | `turn_density_deg_per_km` | total absolute heading change per kilometre |
+//! | `start_hour_sin`, `start_hour_cos` | time of day, circularly encoded |
+//! | `day_of_week_sin`, `day_of_week_cos` | day of week, circularly encoded |
+//!
+//! The extended set is opt-in: the reproduction experiments run the
+//! paper's 70 exactly; `trajlib`'s pipeline exposes the 80-feature
+//! variant for the extension ablation.
+
+use crate::point_features::PointFeatures;
+use traj_geo::geodesy;
+use traj_geo::Segment;
+
+/// Number of extended features appended after the paper's 70.
+pub const EXTENDED_FEATURE_COUNT: usize = 10;
+
+/// Speed below which a fix counts as stopped, m/s.
+pub const STOP_SPEED_THRESHOLD_MS: f64 = 0.5;
+
+/// Names of the extended features, in vector order.
+pub fn extended_feature_names() -> Vec<String> {
+    [
+        "total_duration_s",
+        "path_length_m",
+        "displacement_m",
+        "straightness",
+        "stop_rate",
+        "turn_density_deg_per_km",
+        "start_hour_sin",
+        "start_hour_cos",
+        "day_of_week_sin",
+        "day_of_week_cos",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Computes the ten extended features of a segment (zeros for degenerate
+/// segments, matching the base extractor's convention).
+pub fn extended_features(segment: &Segment, pf: &PointFeatures) -> Vec<f64> {
+    let mut out = Vec::with_capacity(EXTENDED_FEATURE_COUNT);
+    let duration = segment.duration_s();
+    let path: f64 = pf.distance.iter().skip(1).sum();
+    let displacement = match (segment.points.first(), segment.points.last()) {
+        (Some(a), Some(b)) => geodesy::point_distance_m(a, b),
+        _ => 0.0,
+    };
+    let straightness = if path > 0.0 {
+        (displacement / path).min(1.0)
+    } else {
+        0.0
+    };
+    let stop_rate = if pf.speed.is_empty() {
+        0.0
+    } else {
+        pf.speed
+            .iter()
+            .filter(|&&v| v < STOP_SPEED_THRESHOLD_MS)
+            .count() as f64
+            / pf.speed.len() as f64
+    };
+    // Total absolute heading change (skip the back-filled head) per km.
+    let total_turn_deg: f64 = pf
+        .bearing_rate
+        .iter()
+        .skip(1)
+        .zip(pf.duration.iter().skip(1))
+        .map(|(&rate, &dt)| (rate * dt).abs())
+        .sum();
+    let turn_density = if path > 0.0 {
+        total_turn_deg / (path / 1_000.0)
+    } else {
+        0.0
+    };
+    let (hour_sin, hour_cos, dow_sin, dow_cos) = match segment.points.first() {
+        Some(p) => {
+            let hour = p.t.millis_of_day() as f64 / 3_600_000.0; // [0, 24)
+            let hour_angle = hour / 24.0 * std::f64::consts::TAU;
+            let dow = p.t.day_index().rem_euclid(7) as f64;
+            let dow_angle = dow / 7.0 * std::f64::consts::TAU;
+            (
+                hour_angle.sin(),
+                hour_angle.cos(),
+                dow_angle.sin(),
+                dow_angle.cos(),
+            )
+        }
+        None => (0.0, 0.0, 0.0, 0.0),
+    };
+
+    out.push(duration);
+    out.push(path);
+    out.push(displacement);
+    out.push(straightness);
+    out.push(stop_rate);
+    out.push(turn_density);
+    out.push(hour_sin);
+    out.push(hour_cos);
+    out.push(dow_sin);
+    out.push(dow_cos);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::{Timestamp, TrajectoryPoint, TransportMode};
+
+    fn straight_segment(speed_ms: f64, n: usize, start_s: i64) -> Segment {
+        let mut points = Vec::with_capacity(n);
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..n {
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(start_s + i as i64 * 2),
+            ));
+            let (nlat, nlon) = destination(lat, lon, 45.0, speed_ms * 2.0);
+            lat = nlat;
+            lon = nlon;
+        }
+        let day = Timestamp::from_seconds(start_s).day_index();
+        Segment::new(1, TransportMode::Train, day, points)
+    }
+
+    fn features_of(seg: &Segment) -> Vec<f64> {
+        extended_features(seg, &PointFeatures::compute(seg))
+    }
+
+    #[test]
+    fn names_match_count() {
+        let names = extended_feature_names();
+        assert_eq!(names.len(), EXTENDED_FEATURE_COUNT);
+        let seg = straight_segment(10.0, 20, 0);
+        assert_eq!(features_of(&seg).len(), EXTENDED_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn straight_segment_has_unit_straightness_and_no_stops() {
+        let seg = straight_segment(10.0, 30, 3600 * 8);
+        let f = features_of(&seg);
+        assert_eq!(f[0], 58.0, "duration: 29 intervals × 2 s");
+        assert!((f[3] - 1.0).abs() < 0.01, "straightness {}", f[3]);
+        assert_eq!(f[4], 0.0, "no stops at 10 m/s");
+        assert!(f[5] < 10.0, "turn density {}", f[5]);
+        // Path ≈ displacement ≈ 29 × 20 m.
+        assert!((f[1] - 580.0).abs() < 2.0, "path {}", f[1]);
+        assert!((f[2] - 580.0).abs() < 2.0, "displacement {}", f[2]);
+    }
+
+    #[test]
+    fn out_and_back_has_near_zero_straightness() {
+        // March north then back south to the start.
+        let mut points = Vec::new();
+        let (mut lat, lon) = (39.9, 116.3);
+        for i in 0..10 {
+            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            let (nlat, _) = destination(lat, lon, 0.0, 20.0);
+            lat = nlat;
+        }
+        for i in 10..20 {
+            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            let (nlat, _) = destination(lat, lon, 180.0, 20.0);
+            lat = nlat;
+        }
+        let seg = Segment::new(1, TransportMode::Walk, 0, points);
+        let f = features_of(&seg);
+        assert!(f[3] < 0.15, "straightness {}", f[3]);
+        // The U-turn contributes ~180° of turning.
+        assert!(f[5] > 100.0, "turn density {}", f[5]);
+    }
+
+    #[test]
+    fn stop_rate_counts_slow_fixes() {
+        // Half the fixes stationary.
+        let mut points = Vec::new();
+        let (mut lat, lon) = (39.9, 116.3);
+        for i in 0..20 {
+            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            if i >= 10 {
+                let (nlat, _) = destination(lat, lon, 0.0, 10.0);
+                lat = nlat;
+            }
+        }
+        let seg = Segment::new(1, TransportMode::Bus, 0, points);
+        let f = features_of(&seg);
+        assert!((0.35..=0.65).contains(&f[4]), "stop rate {}", f[4]);
+    }
+
+    #[test]
+    fn time_encodings_are_circular() {
+        let morning = features_of(&straight_segment(5.0, 15, 8 * 3600));
+        let evening = features_of(&straight_segment(5.0, 15, 20 * 3600));
+        // 8 h and 20 h are opposite on the clock circle.
+        assert!((morning[6] + evening[6]).abs() < 0.01, "hour_sin opposition");
+        assert!((morning[7] + evening[7]).abs() < 0.01, "hour_cos opposition");
+        // sin² + cos² = 1.
+        assert!((morning[6] * morning[6] + morning[7] * morning[7] - 1.0).abs() < 1e-9);
+        assert!((morning[8] * morning[8] + morning[9] * morning[9] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_of_week_distinguishes_days() {
+        let monday = features_of(&straight_segment(5.0, 15, 0));
+        let thursday = features_of(&straight_segment(5.0, 15, 3 * 86_400));
+        assert_ne!((monday[8], monday[9]), (thursday[8], thursday[9]));
+        let next_week = features_of(&straight_segment(5.0, 15, 7 * 86_400));
+        assert!((monday[8] - next_week[8]).abs() < 1e-9, "weekly period");
+        assert!((monday[9] - next_week[9]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_segments_yield_zeros() {
+        let empty = Segment::new(1, TransportMode::Walk, 0, vec![]);
+        let f = features_of(&empty);
+        assert_eq!(f, vec![0.0; EXTENDED_FEATURE_COUNT]);
+
+        let single = Segment::new(
+            1,
+            TransportMode::Walk,
+            0,
+            vec![TrajectoryPoint::new(0.0, 0.0, Timestamp::from_seconds(0))],
+        );
+        let f = features_of(&single);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f[1], 0.0, "no path");
+        assert_eq!(f[3], 0.0, "straightness of a point");
+    }
+}

@@ -1,0 +1,44 @@
+//! # traj-features
+//!
+//! Feature engineering for transportation-mode prediction, implementing
+//! steps 2, 3, 6 and 7 of the framework in Etemad et al., *"On Feature
+//! Selection and Evaluation of Transportation Mode Prediction Strategies"*
+//! (EDBT 2019):
+//!
+//! * [`point_features`] — step 2: per-point kinematics (duration, distance,
+//!   speed, acceleration, jerk, bearing, bearing rate, rate of the bearing
+//!   rate).
+//! * [`trajectory_features`] — step 3: ten statistics (five *global*: min,
+//!   max, mean, median, standard deviation; five *local*: percentiles 10,
+//!   25, 50, 75, 90) of each of seven point features ⇒ the paper's
+//!   **70-dimensional** feature vector per sub-trajectory.
+//! * [`extended`] — ten extra spatiotemporal features (straightness, stop
+//!   rate, turn density, time-of-day/day-of-week encodings) implementing
+//!   the paper's §5 future-work direction; opt-in.
+//! * [`noise`] — step 6 (optional): speed-threshold, Hampel and median
+//!   filters.
+//! * [`normalize`] — step 7: Min–Max normalisation (plus z-score for
+//!   ablations).
+//! * [`stats`] — the descriptive-statistics kernel shared by the above.
+//! * [`zheng`] — the classic 11-feature set of Zheng et al. (UbiComp
+//!   2008), the prior-art baseline the feature-set ablation compares
+//!   against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extended;
+pub mod noise;
+pub mod normalize;
+pub mod point_features;
+pub mod stats;
+pub mod trajectory_features;
+pub mod zheng;
+
+pub use noise::NoiseConfig;
+pub use normalize::{MinMaxScaler, StandardScaler};
+pub use point_features::PointFeatures;
+pub use trajectory_features::{
+    extract_features, extract_features_parallel, feature_names, FeatureTable,
+    FEATURES_PER_SEGMENT,
+};

@@ -1,0 +1,271 @@
+//! Noise handling — step 6 of the paper's framework (optional).
+//!
+//! GeoLife GPS logs carry systematic error (poor satellite fixes) and
+//! random error (atmospheric/ionospheric effects), plus occasional outlier
+//! spikes (§4 of the paper). Step 6 of the framework "deals with noise in
+//! the data optionally" — the paper's comparison experiments deliberately
+//! run *without* it, and we keep that default, but expose the filters the
+//! companion work (Etemad et al., Canadian AI 2018) applies:
+//!
+//! * [`speed_threshold_filter`] — drop fixes implying a physically
+//!   implausible speed for any transportation mode;
+//! * [`hampel_filter`] — replace outliers of a scalar series by the local
+//!   median when they deviate more than `k` scaled MADs from it;
+//! * [`median_smooth`] — sliding-window median smoothing of a series.
+
+use crate::point_features::PointFeatures;
+use serde::{Deserialize, Serialize};
+use traj_geo::{geodesy, Segment};
+
+/// Configuration of the optional noise-handling step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Drop fixes implying a speed above this many m/s (`None` disables).
+    /// 120 m/s comfortably exceeds any ground mode while catching GPS
+    /// teleports; airplane segments should disable the threshold.
+    pub max_speed_ms: Option<f64>,
+    /// Apply a Hampel filter to the speed series with this window
+    /// half-width (`None` disables).
+    pub hampel_half_window: Option<usize>,
+    /// Hampel threshold in scaled-MAD units (ignored unless the Hampel
+    /// window is set). 3.0 is the classical default.
+    pub hampel_k: f64,
+}
+
+impl Default for NoiseConfig {
+    /// The paper's comparison-experiment setting: noise handling disabled.
+    fn default() -> Self {
+        NoiseConfig {
+            max_speed_ms: None,
+            hampel_half_window: None,
+            hampel_k: 3.0,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Noise handling disabled (the paper's default for §4.3).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// The companion paper's setting: speed threshold plus Hampel filter.
+    pub fn enabled() -> Self {
+        NoiseConfig {
+            max_speed_ms: Some(120.0),
+            hampel_half_window: Some(3),
+            hampel_k: 3.0,
+        }
+    }
+
+    /// `true` when any filter is active.
+    pub fn is_active(&self) -> bool {
+        self.max_speed_ms.is_some() || self.hampel_half_window.is_some()
+    }
+
+    /// Applies the configured position-level filters to a segment,
+    /// returning the cleaned copy. With everything disabled this is a
+    /// clone.
+    pub fn clean_segment(&self, segment: &Segment) -> Segment {
+        match self.max_speed_ms {
+            Some(limit) => speed_threshold_filter(segment, limit),
+            None => segment.clone(),
+        }
+    }
+
+    /// Applies the configured series-level filters to point features in
+    /// place (currently the Hampel filter on the speed series).
+    pub fn clean_point_features(&self, pf: &mut PointFeatures) {
+        if let Some(half) = self.hampel_half_window {
+            pf.speed = hampel_filter(&pf.speed, half, self.hampel_k);
+        }
+    }
+}
+
+/// Removes fixes whose implied speed from the previous *kept* fix exceeds
+/// `max_speed_ms`. The first fix is always kept.
+pub fn speed_threshold_filter(segment: &Segment, max_speed_ms: f64) -> Segment {
+    let mut kept = Vec::with_capacity(segment.points.len());
+    for &p in &segment.points {
+        match kept.last() {
+            None => kept.push(p),
+            Some(prev) => {
+                let dt = p.t.seconds_since(prev.t);
+                let d = geodesy::point_distance_m(prev, &p);
+                let v = if dt > 0.0 { d / dt } else { f64::INFINITY };
+                if v <= max_speed_ms {
+                    kept.push(p);
+                }
+            }
+        }
+    }
+    Segment::new(segment.user, segment.mode, segment.day, kept)
+}
+
+/// Hampel filter: replaces `xs[i]` by the median of its
+/// `[i-half, i+half]` window whenever it deviates from that median by more
+/// than `k` scaled MADs (`1.4826 · MAD`). Returns the filtered copy.
+pub fn hampel_filter(xs: &[f64], half_window: usize, k: f64) -> Vec<f64> {
+    if xs.is_empty() || half_window == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = xs.to_vec();
+    let mut window = Vec::with_capacity(2 * half_window + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_window);
+        let hi = (i + half_window + 1).min(n);
+        window.clear();
+        window.extend_from_slice(&xs[lo..hi]);
+        window.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let med = crate::stats::percentile_of_sorted(&window, 50.0);
+        let mut deviations: Vec<f64> = window.iter().map(|&v| (v - med).abs()).collect();
+        deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mad = crate::stats::percentile_of_sorted(&deviations, 50.0);
+        let sigma = 1.4826 * mad;
+        // With MAD = 0 (an otherwise-constant window) any deviation is an
+        // outlier; this is the standard zero-MAD Hampel convention.
+        let threshold = if sigma > 0.0 { k * sigma } else { 0.0 };
+        if (xs[i] - med).abs() > threshold {
+            out[i] = med;
+        }
+    }
+    out
+}
+
+/// Sliding-window median smoothing with window half-width `half_window`.
+pub fn median_smooth(xs: &[f64], half_window: usize) -> Vec<f64> {
+    if xs.is_empty() || half_window == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    let mut window = Vec::with_capacity(2 * half_window + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_window);
+        let hi = (i + half_window + 1).min(n);
+        window.clear();
+        window.extend_from_slice(&xs[lo..hi]);
+        window.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        out.push(crate::stats::percentile_of_sorted(&window, 50.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::{Timestamp, TrajectoryPoint, TransportMode};
+
+    fn walking_segment_with_teleport() -> Segment {
+        let mut points = Vec::new();
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..10 {
+            // Inject a GPS teleport at fix 5: jump 5 km away for one fix.
+            let p = if i == 5 {
+                let (tlat, tlon) = destination(lat, lon, 90.0, 5_000.0);
+                TrajectoryPoint::new(tlat, tlon, Timestamp::from_seconds(i * 5))
+            } else {
+                TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 5))
+            };
+            points.push(p);
+            if i != 5 {
+                let (nlat, nlon) = destination(lat, lon, 0.0, 7.0);
+                lat = nlat;
+                lon = nlon;
+            }
+        }
+        Segment::new(1, TransportMode::Walk, 0, points)
+    }
+
+    #[test]
+    fn speed_threshold_removes_teleports() {
+        let seg = walking_segment_with_teleport();
+        let cleaned = speed_threshold_filter(&seg, 50.0);
+        assert_eq!(cleaned.len(), seg.len() - 1, "exactly the teleport dropped");
+        // Every remaining step is plausible.
+        let pf = PointFeatures::compute(&cleaned);
+        assert!(pf.speed.iter().all(|&v| v <= 50.0));
+    }
+
+    #[test]
+    fn speed_threshold_keeps_clean_segments_intact() {
+        let mut seg = walking_segment_with_teleport();
+        seg.points.remove(5);
+        let cleaned = speed_threshold_filter(&seg, 50.0);
+        assert_eq!(cleaned.points, seg.points);
+    }
+
+    #[test]
+    fn speed_threshold_drops_zero_duration_duplicates() {
+        let p0 = TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0));
+        let p1 = TrajectoryPoint::new(39.9001, 116.3, Timestamp::from_seconds(0));
+        let seg = Segment::new(1, TransportMode::Walk, 0, vec![p0, p1]);
+        let cleaned = speed_threshold_filter(&seg, 50.0);
+        assert_eq!(cleaned.len(), 1, "zero-dt displaced fix treated as outlier");
+    }
+
+    #[test]
+    fn hampel_replaces_spike_with_local_median() {
+        let mut xs = vec![1.0; 21];
+        xs[10] = 100.0;
+        let filtered = hampel_filter(&xs, 3, 3.0);
+        assert_eq!(filtered[10], 1.0, "spike replaced");
+        assert!(filtered.iter().take(10).all(|&v| v == 1.0), "rest untouched");
+    }
+
+    #[test]
+    fn hampel_preserves_constant_and_smooth_series() {
+        let constant = vec![2.5; 15];
+        assert_eq!(hampel_filter(&constant, 3, 3.0), constant);
+        let ramp: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let filtered = hampel_filter(&ramp, 3, 3.0);
+        assert_eq!(filtered, ramp, "monotone ramp has no outliers");
+    }
+
+    #[test]
+    fn hampel_degenerate_inputs() {
+        assert!(hampel_filter(&[], 3, 3.0).is_empty());
+        assert_eq!(hampel_filter(&[5.0], 3, 3.0), vec![5.0]);
+        let xs = vec![1.0, 9.0, 1.0];
+        assert_eq!(hampel_filter(&xs, 0, 3.0), xs, "zero window is a no-op");
+    }
+
+    #[test]
+    fn median_smooth_flattens_single_spike() {
+        let mut xs = vec![1.0; 11];
+        xs[5] = 50.0;
+        let smoothed = median_smooth(&xs, 2);
+        assert_eq!(smoothed[5], 1.0);
+        assert_eq!(median_smooth(&xs, 0), xs);
+        assert!(median_smooth(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn config_default_is_inactive_and_identity() {
+        let config = NoiseConfig::default();
+        assert!(!config.is_active());
+        let seg = walking_segment_with_teleport();
+        assert_eq!(config.clean_segment(&seg), seg);
+        let mut pf = PointFeatures::compute(&seg);
+        let before = pf.clone();
+        config.clean_point_features(&mut pf);
+        assert_eq!(pf, before);
+    }
+
+    #[test]
+    fn config_enabled_cleans_both_levels() {
+        let config = NoiseConfig::enabled();
+        assert!(config.is_active());
+        let seg = walking_segment_with_teleport();
+        let cleaned = config.clean_segment(&seg);
+        assert!(cleaned.len() < seg.len());
+
+        let mut xs = PointFeatures::compute(&seg);
+        let spike_max = xs.speed.iter().cloned().fold(0.0f64, f64::max);
+        config.clean_point_features(&mut xs);
+        let filtered_max = xs.speed.iter().cloned().fold(0.0f64, f64::max);
+        assert!(filtered_max < spike_max, "{filtered_max} < {spike_max}");
+    }
+}

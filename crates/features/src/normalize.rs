@@ -1,0 +1,258 @@
+//! Feature normalisation — step 7 of the paper's framework.
+//!
+//! The paper uses Min–Max normalisation "since this method preserves the
+//! relationship between the values to transform features to the same range
+//! and improves the quality of the classification process" (§3.2). A
+//! z-score scaler is provided for the normalisation ablation.
+//!
+//! Both scalers follow the fit/transform convention: fit on training rows
+//! only, then apply the frozen parameters to training and test rows, so no
+//! information leaks from the test set.
+
+use serde::{Deserialize, Serialize};
+
+/// Min–Max scaler: maps each feature column to `[0, 1]` using the
+/// column's training minimum and maximum. Constant columns map to `0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-column minima and ranges from `rows`.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or rows have inconsistent widths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        let d = rows[0].len();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in rows {
+            assert_eq!(row.len(), d, "inconsistent row width");
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| hi - lo)
+            .collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Scales one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if self.ranges[j] > 0.0 {
+                (*v - self.mins[j]) / self.ranges[j]
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Scales every row in place.
+    pub fn transform(&self, rows: &mut [Vec<f64>]) {
+        for row in rows {
+            self.transform_row(row);
+        }
+    }
+
+    /// Fits on `rows` and scales them in place; the common single-split
+    /// path.
+    pub fn fit_transform(rows: &mut [Vec<f64>]) -> Self {
+        let scaler = MinMaxScaler::fit(rows);
+        scaler.transform(rows);
+        scaler
+    }
+
+    /// Inverts the scaling of one row in place (constant columns recover
+    /// the training minimum).
+    pub fn inverse_transform_row(&self, row: &mut [f64]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = *v * self.ranges[j] + self.mins[j];
+        }
+    }
+
+    /// Number of feature columns the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+/// z-score scaler: maps each column to zero mean and unit variance on the
+/// training rows. Constant columns map to `0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learns per-column means and population standard deviations.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or rows have inconsistent widths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in rows {
+            assert_eq!(row.len(), d, "inconsistent row width");
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                let dlt = v - means[j];
+                vars[j] += dlt * dlt;
+            }
+        }
+        let stds = vars.iter().map(|&v| (v / n).sqrt()).collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Scales one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if self.stds[j] > 0.0 {
+                (*v - self.means[j]) / self.stds[j]
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Scales every row in place.
+    pub fn transform(&self, rows: &mut [Vec<f64>]) {
+        for row in rows {
+            self.transform_row(row);
+        }
+    }
+
+    /// Fits on `rows` and scales them in place.
+    pub fn fit_transform(rows: &mut [Vec<f64>]) -> Self {
+        let scaler = StandardScaler::fit(rows);
+        scaler.transform(rows);
+        scaler
+    }
+
+    /// Number of feature columns the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 10.0, 5.0],
+            vec![5.0, 20.0, 5.0],
+            vec![10.0, 40.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut rows = sample_rows();
+        MinMaxScaler::fit_transform(&mut rows);
+        for row in &rows {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "value {v}");
+            }
+        }
+        assert_eq!(rows[0][0], 0.0);
+        assert_eq!(rows[2][0], 1.0);
+        assert_eq!(rows[1][0], 0.5);
+        // Column 1 is nonlinearly spaced but order-preserving.
+        assert!(rows[0][1] < rows[1][1] && rows[1][1] < rows[2][1]);
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_zero() {
+        let mut rows = sample_rows();
+        MinMaxScaler::fit_transform(&mut rows);
+        assert!(rows.iter().all(|r| r[2] == 0.0));
+    }
+
+    #[test]
+    fn minmax_transform_uses_training_parameters_on_new_rows() {
+        let train = sample_rows();
+        let scaler = MinMaxScaler::fit(&train);
+        let mut test_row = vec![20.0, 25.0, 9.0];
+        scaler.transform_row(&mut test_row);
+        assert_eq!(test_row[0], 2.0, "out-of-range test values may exceed 1");
+        assert_eq!(test_row[1], 0.5);
+        assert_eq!(test_row[2], 0.0, "constant training column still collapses");
+    }
+
+    #[test]
+    fn minmax_inverse_round_trips() {
+        let train = sample_rows();
+        let scaler = MinMaxScaler::fit(&train);
+        let original = vec![7.0, 15.0, 5.0];
+        let mut row = original.clone();
+        scaler.transform_row(&mut row);
+        scaler.inverse_transform_row(&mut row);
+        assert!((row[0] - original[0]).abs() < 1e-12);
+        assert!((row[1] - original[1]).abs() < 1e-12);
+        // Constant column cannot round-trip; it recovers the training min.
+        assert_eq!(row[2], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn minmax_fit_panics_on_empty() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row width")]
+    fn minmax_fit_panics_on_jagged_rows() {
+        let _ = MinMaxScaler::fit(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let mut rows = sample_rows();
+        StandardScaler::fit_transform(&mut rows);
+        for j in 0..2 {
+            let n = rows.len() as f64;
+            let mean: f64 = rows.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var: f64 = rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-12, "column {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-12, "column {j} var {var}");
+        }
+        assert!(rows.iter().all(|r| r[2] == 0.0), "constant column collapses");
+    }
+
+    #[test]
+    fn scalers_report_dimensionality() {
+        let rows = sample_rows();
+        assert_eq!(MinMaxScaler::fit(&rows).n_features(), 3);
+        assert_eq!(StandardScaler::fit(&rows).n_features(), 3);
+    }
+
+    #[test]
+    fn single_row_fit_is_degenerate_but_finite() {
+        let mut rows = vec![vec![3.0, -4.0]];
+        MinMaxScaler::fit_transform(&mut rows);
+        assert_eq!(rows[0], vec![0.0, 0.0]);
+        let mut rows = vec![vec![3.0, -4.0]];
+        StandardScaler::fit_transform(&mut rows);
+        assert_eq!(rows[0], vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Point features — step 2 of the paper's framework.
+//!
+//! For a segment of `n` fixes we compute eight per-point series, each of
+//! length `n`:
+//!
+//! * **duration** `Δt_i` — seconds between fix `i-1` and fix `i`;
+//! * **distance** `d_i` — haversine metres between fix `i-1` and fix `i`;
+//! * **speed** `S_i = d_i / Δt_i`;
+//! * **acceleration** `A_{i+1} = (S_{i+1} - S_i) / Δt`;
+//! * **jerk** `J_{i+1} = (A_{i+1} - A_i) / Δt`;
+//! * **bearing** `B_i` — initial great-circle bearing from fix `i-1` to
+//!   fix `i`, degrees in `[0, 360)`;
+//! * **bearing rate** `Brate_{i+1} = (B_{i+1} - B_i) / Δt`;
+//! * **rate of the bearing rate** `Brrate_{i+1} = (Brate_{i+1} - Brate_i) / Δt`.
+//!
+//! Following §3.1 ("we assume the speed of the first trajectory point is
+//! equal to the speed of the second trajectory point"), every series is
+//! back-filled at its head so each has exactly one value per fix.
+//! Zero-duration steps (duplicate timestamps survive some parsers) produce
+//! a `0` rate rather than an infinity, keeping every feature finite.
+
+use serde::{Deserialize, Serialize};
+use traj_geo::geodesy;
+use traj_geo::Segment;
+
+/// The per-point feature series of one segment. All vectors share the
+/// segment's length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointFeatures {
+    /// Seconds since the previous fix (head back-filled).
+    pub duration: Vec<f64>,
+    /// Haversine metres since the previous fix (head back-filled).
+    pub distance: Vec<f64>,
+    /// Speed in m/s.
+    pub speed: Vec<f64>,
+    /// Acceleration in m/s².
+    pub acceleration: Vec<f64>,
+    /// Jerk in m/s³.
+    pub jerk: Vec<f64>,
+    /// Bearing in degrees `[0, 360)`.
+    pub bearing: Vec<f64>,
+    /// Bearing rate in degrees/s.
+    pub bearing_rate: Vec<f64>,
+    /// Rate of the bearing rate in degrees/s².
+    pub bearing_rate_rate: Vec<f64>,
+}
+
+impl PointFeatures {
+    /// Computes all eight series for a segment.
+    pub fn compute(segment: &Segment) -> Self {
+        let n = segment.points.len();
+        if n == 0 {
+            return PointFeatures::empty();
+        }
+        if n == 1 {
+            return PointFeatures::zeros(1);
+        }
+
+        // First-difference series over consecutive fixes (length n-1), then
+        // back-fill the head so every series has length n.
+        let mut duration = Vec::with_capacity(n);
+        let mut distance = Vec::with_capacity(n);
+        let mut speed = Vec::with_capacity(n);
+        let mut bearing = Vec::with_capacity(n);
+        duration.push(0.0); // placeholders, back-filled below
+        distance.push(0.0);
+        speed.push(0.0);
+        bearing.push(0.0);
+
+        for w in segment.points.windows(2) {
+            let dt = w[1].t.seconds_since(w[0].t);
+            let d = geodesy::point_distance_m(&w[0], &w[1]);
+            duration.push(dt);
+            distance.push(d);
+            speed.push(safe_rate(d, dt));
+            bearing.push(geodesy::point_bearing_deg(&w[0], &w[1]));
+        }
+        duration[0] = duration[1];
+        distance[0] = distance[1];
+        speed[0] = speed[1];
+        bearing[0] = bearing[1];
+
+        let acceleration = derivative(&speed, &duration);
+        let jerk = derivative(&acceleration, &duration);
+        let bearing_rate = angular_derivative(&bearing, &duration);
+        let bearing_rate_rate = derivative(&bearing_rate, &duration);
+
+        PointFeatures {
+            duration,
+            distance,
+            speed,
+            acceleration,
+            jerk,
+            bearing,
+            bearing_rate,
+            bearing_rate_rate,
+        }
+    }
+
+    /// Number of fixes covered (the shared length of every series).
+    pub fn len(&self) -> usize {
+        self.speed.len()
+    }
+
+    /// `true` when the series are empty.
+    pub fn is_empty(&self) -> bool {
+        self.speed.is_empty()
+    }
+
+    /// `true` when every value of every series is finite.
+    pub fn all_finite(&self) -> bool {
+        self.series().iter().all(|s| s.iter().all(|v| v.is_finite()))
+    }
+
+    /// The eight series in canonical order (duration, distance, speed,
+    /// acceleration, jerk, bearing, bearing rate, rate of bearing rate).
+    pub fn series(&self) -> [&[f64]; 8] {
+        [
+            &self.duration,
+            &self.distance,
+            &self.speed,
+            &self.acceleration,
+            &self.jerk,
+            &self.bearing,
+            &self.bearing_rate,
+            &self.bearing_rate_rate,
+        ]
+    }
+
+    fn empty() -> Self {
+        PointFeatures::zeros(0)
+    }
+
+    fn zeros(n: usize) -> Self {
+        PointFeatures {
+            duration: vec![0.0; n],
+            distance: vec![0.0; n],
+            speed: vec![0.0; n],
+            acceleration: vec![0.0; n],
+            jerk: vec![0.0; n],
+            bearing: vec![0.0; n],
+            bearing_rate: vec![0.0; n],
+            bearing_rate_rate: vec![0.0; n],
+        }
+    }
+}
+
+/// Finite-difference derivative of `values` with per-step `dt`, head
+/// back-filled. `values` and `dt` share their length; entry `i ≥ 1` is
+/// `(values[i] - values[i-1]) / dt[i]`.
+fn derivative(values: &[f64], dt: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    out.push(0.0);
+    for i in 1..n {
+        out.push(safe_rate(values[i] - values[i - 1], dt[i]));
+    }
+    if n > 1 {
+        out[0] = out[1];
+    }
+    out
+}
+
+/// Derivative of a *circular* series (degrees in `[0, 360)`): the step
+/// `B_{i} - B_{i-1}` is taken as the signed smallest angular difference in
+/// `[-180, 180)`, so a heading oscillating across north produces a small
+/// turn rate rather than ±360°/s. The paper's `Brate` formula uses a raw
+/// difference, which is equivalent away from the 0°/360° seam.
+fn angular_derivative(bearing: &[f64], dt: &[f64]) -> Vec<f64> {
+    let n = bearing.len();
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    out.push(0.0);
+    for i in 1..n {
+        let step = (bearing[i] - bearing[i - 1] + 540.0).rem_euclid(360.0) - 180.0;
+        out.push(safe_rate(step, dt[i]));
+    }
+    if n > 1 {
+        out[0] = out[1];
+    }
+    out
+}
+
+/// `num / dt`, defined as `0` when `dt ≤ 0` so duplicate timestamps never
+/// produce infinities.
+fn safe_rate(num: f64, dt: f64) -> f64 {
+    if dt > 0.0 {
+        num / dt
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::{Timestamp, TrajectoryPoint, TransportMode};
+
+    /// Builds a segment moving due north at a constant `speed_ms`, one fix
+    /// per `dt_s` seconds.
+    fn constant_speed_segment(speed_ms: f64, dt_s: f64, n: usize) -> Segment {
+        let mut points = Vec::with_capacity(n);
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..n {
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds_f64(i as f64 * dt_s),
+            ));
+            let (nlat, nlon) = destination(lat, lon, 0.0, speed_ms * dt_s);
+            lat = nlat;
+            lon = nlon;
+        }
+        Segment::new(1, TransportMode::Walk, 0, points)
+    }
+
+    #[test]
+    fn constant_speed_yields_flat_series() {
+        let seg = constant_speed_segment(5.0, 2.0, 20);
+        let f = PointFeatures::compute(&seg);
+        assert_eq!(f.len(), 20);
+        assert!(f.all_finite());
+        for &v in &f.speed {
+            assert!((v - 5.0).abs() < 0.01, "speed {v}");
+        }
+        for &dt in &f.duration {
+            assert!((dt - 2.0).abs() < 1e-9);
+        }
+        for &d in &f.distance {
+            assert!((d - 10.0).abs() < 0.02, "distance {d}");
+        }
+        // Constant speed due north: acceleration, jerk ≈ 0; bearing ≈ 0.
+        for &a in &f.acceleration {
+            assert!(a.abs() < 0.01, "acceleration {a}");
+        }
+        for &j in &f.jerk {
+            assert!(j.abs() < 0.01, "jerk {j}");
+        }
+        for &b in &f.bearing {
+            assert!(!(0.5..=359.5).contains(&b), "bearing {b}");
+        }
+    }
+
+    #[test]
+    fn head_is_backfilled() {
+        let seg = constant_speed_segment(3.0, 1.0, 5);
+        let f = PointFeatures::compute(&seg);
+        assert_eq!(f.speed[0], f.speed[1]);
+        assert_eq!(f.duration[0], f.duration[1]);
+        assert_eq!(f.distance[0], f.distance[1]);
+        assert_eq!(f.bearing[0], f.bearing[1]);
+        assert_eq!(f.acceleration[0], f.acceleration[1]);
+        assert_eq!(f.jerk[0], f.jerk[1]);
+    }
+
+    #[test]
+    fn acceleration_detects_speedup() {
+        // Speeds 0→2→4 m/s over 1 s steps: acceleration ≈ 2 m/s².
+        let mut points = Vec::new();
+        let (mut lat, lon) = (39.9, 116.3);
+        let speeds = [2.0, 4.0, 6.0, 8.0];
+        points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(0)));
+        for (i, &v) in speeds.iter().enumerate() {
+            let (nlat, _) = destination(lat, lon, 0.0, v);
+            lat = nlat;
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i as i64 + 1),
+            ));
+        }
+        let seg = Segment::new(1, TransportMode::Car, 0, points);
+        let f = PointFeatures::compute(&seg);
+        // speed[i] for i>=1 is ~2,4,6,8; acceleration from i>=2 is ~2.
+        for &a in &f.acceleration[2..] {
+            assert!((a - 2.0).abs() < 0.05, "acceleration {a}");
+        }
+        // Jerk of a linear speed ramp ≈ 0 (after the backfilled head).
+        for &j in &f.jerk[3..] {
+            assert!(j.abs() < 0.05, "jerk {j}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_steps_produce_finite_rates() {
+        // Duplicate timestamps with distinct positions.
+        let points = vec![
+            TrajectoryPoint::new(39.9, 116.3, Timestamp::from_millis(0)),
+            TrajectoryPoint::new(39.901, 116.3, Timestamp::from_millis(0)),
+            TrajectoryPoint::new(39.902, 116.3, Timestamp::from_millis(1000)),
+        ];
+        let seg = Segment::new(1, TransportMode::Walk, 0, points);
+        let f = PointFeatures::compute(&seg);
+        assert!(f.all_finite());
+        assert_eq!(f.speed[1], 0.0, "zero-duration step contributes zero speed");
+    }
+
+    #[test]
+    fn degenerate_segments() {
+        let empty = Segment::new(1, TransportMode::Walk, 0, vec![]);
+        let f = PointFeatures::compute(&empty);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+
+        let single = Segment::new(
+            1,
+            TransportMode::Walk,
+            0,
+            vec![TrajectoryPoint::new(0.0, 0.0, Timestamp::from_seconds(0))],
+        );
+        let f = PointFeatures::compute(&single);
+        assert_eq!(f.len(), 1);
+        assert!(f.all_finite());
+        assert_eq!(f.speed[0], 0.0);
+    }
+
+    #[test]
+    fn series_exposes_all_eight() {
+        let seg = constant_speed_segment(1.0, 1.0, 12);
+        let f = PointFeatures::compute(&seg);
+        let series = f.series();
+        assert_eq!(series.len(), 8);
+        assert!(series.iter().all(|s| s.len() == 12));
+    }
+
+    #[test]
+    fn turning_changes_bearing_rate() {
+        // A right-angle turn: north for 5 fixes, then east for 5 fixes.
+        let mut points = Vec::new();
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..10 {
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i as i64),
+            ));
+            let bearing = if i < 5 { 0.0 } else { 90.0 };
+            let (nlat, nlon) = destination(lat, lon, bearing, 5.0);
+            lat = nlat;
+            lon = nlon;
+        }
+        let seg = Segment::new(1, TransportMode::Bike, 0, points);
+        let f = PointFeatures::compute(&seg);
+        let max_rate = f.bearing_rate.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max_rate > 45.0, "turn visible in bearing rate: {max_rate}");
+        // Straight sections have ~zero bearing rate.
+        assert!(f.bearing_rate[2].abs() < 1.0);
+    }
+}

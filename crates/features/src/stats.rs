@@ -1,0 +1,211 @@
+//! Descriptive statistics used to summarise point-feature series.
+//!
+//! These are the ten trajectory-feature statistics of the paper's step 3:
+//! minimum, maximum, mean, median and standard deviation (*global*
+//! features) plus the 10th/25th/50th/75th/90th percentiles (*local*
+//! features). Percentiles use linear interpolation between closest ranks —
+//! the same convention as NumPy's default `percentile`, which the authors'
+//! Python reference implementation relied on.
+
+/// Minimum of a slice; `0.0` for an empty slice (a degenerate segment
+/// contributes neutral features rather than NaN, so downstream classifiers
+/// never see non-finite inputs).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).min_finite_or_zero()
+}
+
+/// Maximum of a slice; `0.0` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min_finite_or_zero()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (ddof = 0, NumPy's default);
+/// `0.0` for slices with fewer than two elements.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Median (the 50th percentile with linear interpolation); `0.0` for an
+/// empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The `p`-th percentile (`p ∈ [0, 100]`) with linear interpolation
+/// between closest ranks; `0.0` for an empty slice.
+///
+/// For a sorted sample `x_0 ≤ … ≤ x_{n-1}` the percentile is
+/// `x_floor(h) + (h - floor(h)) · (x_ceil(h) - x_floor(h))` with
+/// `h = p/100 · (n - 1)`.
+///
+/// ```
+/// use traj_features::stats::percentile;
+/// let speeds = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&speeds, 90.0), 3.7); // numpy convention
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// The `p`-th percentile of an already-sorted slice. Callers that need
+/// several percentiles of the same series should sort once and use this.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let h = p / 100.0 * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Several percentiles of the same series, sorting only once.
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return vec![0.0; ps.len()];
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+}
+
+trait FiniteOrZero {
+    fn min_finite_or_zero(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_finite_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 5] = [3.0, 1.0, 4.0, 1.0, 5.0];
+
+    #[test]
+    fn min_max_mean() {
+        assert_eq!(min(&XS), 1.0);
+        assert_eq!(max(&XS), 5.0);
+        assert!((mean(&XS) - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_yield_zero() {
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[], 90.0), 0.0);
+        assert_eq!(percentiles(&[], &[10.0, 90.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn singleton_statistics() {
+        let xs = [42.0];
+        assert_eq!(min(&xs), 42.0);
+        assert_eq!(max(&xs), 42.0);
+        assert_eq!(mean(&xs), 42.0);
+        assert_eq!(std_dev(&xs), 0.0);
+        assert_eq!(median(&xs), 42.0);
+        for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile(&xs, p), 42.0);
+        }
+    }
+
+    #[test]
+    fn population_std_matches_numpy() {
+        // numpy.std([3,1,4,1,5]) == 1.6.
+        assert!((std_dev(&XS) - 1.6).abs() < 1e-12);
+        assert_eq!(std_dev(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&XS), 3.0);
+    }
+
+    #[test]
+    fn percentile_linear_interpolation_matches_numpy() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // numpy.percentile([1,2,3,4], 10) == 1.3
+        assert!((percentile(&xs, 10.0) - 1.3).abs() < 1e-12);
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+        // numpy.percentile([1,2,3,4], 90) == 3.7
+        assert!((percentile(&xs, 90.0) - 3.7).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 150.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+            assert_eq!(percentile(&a, p), percentile(&b, p));
+        }
+    }
+
+    #[test]
+    fn percentiles_batch_matches_individual() {
+        let ps = [10.0, 25.0, 50.0, 75.0, 90.0];
+        let batch = percentiles(&XS, &ps);
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(batch[i], percentile(&XS, p));
+        }
+    }
+
+    #[test]
+    fn percentile_of_sorted_requires_no_resort() {
+        let sorted = [1.0, 1.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_of_sorted(&sorted, 50.0), 3.0);
+        assert_eq!(percentile_of_sorted(&[], 50.0), 0.0);
+    }
+}

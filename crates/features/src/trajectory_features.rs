@@ -1,0 +1,393 @@
+//! Trajectory features — step 3 of the paper's framework.
+//!
+//! Ten statistics of each of seven point features give the paper's
+//! 70-dimensional feature vector per sub-trajectory:
+//!
+//! * *global* statistics: minimum, maximum, mean, median, standard
+//!   deviation;
+//! * *local* statistics: percentiles 10, 25, 50, 75 and 90.
+//!
+//! The seven point features are distance, speed, acceleration, jerk,
+//! bearing, bearing rate and rate of the bearing rate. (The paper computes
+//! eight point-feature series but summarises seven — duration is an
+//! artefact of the device's sampling interval rather than of movement, so
+//! it is used only to derive the rates. This matches the authors' TrajLib
+//! reference implementation.)
+//!
+//! Feature naming follows the paper's `F^p_stat` notation flattened to
+//! `"{point_feature}_{stat}"`, e.g. `speed_p90` is the paper's
+//! `F^speed_p90` — the feature both selection methods rank first (§5).
+
+use crate::point_features::PointFeatures;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+use traj_geo::{LabelScheme, Segment, TransportMode, UserId};
+
+/// Number of point features summarised per segment.
+pub const POINT_FEATURE_COUNT: usize = 7;
+/// Number of statistics per point feature (5 global + 5 local).
+pub const STATS_PER_FEATURE: usize = 10;
+/// Dimensionality of a segment's feature vector (the paper's 70).
+pub const FEATURES_PER_SEGMENT: usize = POINT_FEATURE_COUNT * STATS_PER_FEATURE;
+
+/// Names of the summarised point features, in feature-vector order.
+pub const POINT_FEATURE_NAMES: [&str; POINT_FEATURE_COUNT] = [
+    "distance",
+    "speed",
+    "acceleration",
+    "jerk",
+    "bearing",
+    "bearing_rate",
+    "bearing_rate_rate",
+];
+
+/// Names of the statistics, in feature-vector order. The first five are
+/// the paper's global features, the last five its local (percentile)
+/// features.
+pub const STAT_NAMES: [&str; STATS_PER_FEATURE] = [
+    "min", "max", "mean", "median", "std", "p10", "p25", "p50", "p75", "p90",
+];
+
+/// The 70 canonical feature names, `"{point_feature}_{stat}"`, in
+/// feature-vector order.
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::with_capacity(FEATURES_PER_SEGMENT);
+    for pf in POINT_FEATURE_NAMES {
+        for st in STAT_NAMES {
+            names.push(format!("{pf}_{st}"));
+        }
+    }
+    names
+}
+
+/// Computes the ten statistics of one series, in [`STAT_NAMES`] order.
+pub fn summarize_series(xs: &[f64]) -> [f64; STATS_PER_FEATURE] {
+    if xs.is_empty() {
+        return [0.0; STATS_PER_FEATURE];
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    [
+        sorted[0],
+        sorted[sorted.len() - 1],
+        stats::mean(xs),
+        stats::percentile_of_sorted(&sorted, 50.0),
+        stats::std_dev(xs),
+        stats::percentile_of_sorted(&sorted, 10.0),
+        stats::percentile_of_sorted(&sorted, 25.0),
+        stats::percentile_of_sorted(&sorted, 50.0),
+        stats::percentile_of_sorted(&sorted, 75.0),
+        stats::percentile_of_sorted(&sorted, 90.0),
+    ]
+}
+
+/// Computes a segment's 70-dimensional feature vector.
+pub fn segment_features(segment: &Segment) -> Vec<f64> {
+    let pf = PointFeatures::compute(segment);
+    features_from_point_features(&pf)
+}
+
+/// Computes the 70-dimensional vector from precomputed point features
+/// (lets noise filters rewrite the series first).
+pub fn features_from_point_features(pf: &PointFeatures) -> Vec<f64> {
+    let mut out = Vec::with_capacity(FEATURES_PER_SEGMENT);
+    let series: [&[f64]; POINT_FEATURE_COUNT] = [
+        &pf.distance,
+        &pf.speed,
+        &pf.acceleration,
+        &pf.jerk,
+        &pf.bearing,
+        &pf.bearing_rate,
+        &pf.bearing_rate_rate,
+    ];
+    for s in series {
+        out.extend_from_slice(&summarize_series(s));
+    }
+    out
+}
+
+/// A table of extracted features: one row per segment that survives the
+/// label scheme, plus the metadata needed by every downstream experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureTable {
+    /// Feature names, length [`FEATURES_PER_SEGMENT`].
+    pub names: Vec<String>,
+    /// Feature rows; `rows[i][j]` is feature `names[j]` of segment `i`.
+    pub rows: Vec<Vec<f64>>,
+    /// Class index of each row under the extraction's label scheme.
+    pub labels: Vec<usize>,
+    /// Owner (user id) of each row — the grouping key of user-oriented
+    /// cross-validation.
+    pub groups: Vec<UserId>,
+    /// Raw transportation mode of each row.
+    pub modes: Vec<TransportMode>,
+    /// Label scheme the class indices refer to.
+    pub scheme: LabelScheme,
+}
+
+impl FeatureTable {
+    /// Number of rows (segments).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of prediction classes under the table's scheme.
+    pub fn n_classes(&self) -> usize {
+        self.scheme.n_classes()
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// A copy of the table restricted to the given feature columns (in the
+    /// given order). Out-of-range indices panic.
+    pub fn select_columns(&self, columns: &[usize]) -> FeatureTable {
+        FeatureTable {
+            names: columns.iter().map(|&c| self.names[c].clone()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| columns.iter().map(|&c| r[c]).collect())
+                .collect(),
+            labels: self.labels.clone(),
+            groups: self.groups.clone(),
+            modes: self.modes.clone(),
+            scheme: self.scheme,
+        }
+    }
+}
+
+/// Extracts the feature table of a segment collection under a label scheme
+/// (the paper's steps 2 + 3). Segments whose mode is excluded by the
+/// scheme are dropped — e.g. airplane segments under the Dabiri scheme.
+pub fn extract_features(segments: &[Segment], scheme: LabelScheme) -> FeatureTable {
+    build_table(segments, scheme, |kept| {
+        kept.iter().map(|seg| segment_features(seg)).collect()
+    })
+}
+
+/// [`extract_features`] with the per-segment work spread over scoped
+/// worker threads. Per-segment extraction is independent, so the output
+/// is identical to the sequential version; worth it from a few thousand
+/// segments on multi-core hosts.
+pub fn extract_features_parallel(segments: &[Segment], scheme: LabelScheme) -> FeatureTable {
+    build_table(segments, scheme, |kept| {
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(kept.len().max(1));
+        if n_threads <= 1 {
+            return kept.iter().map(|seg| segment_features(seg)).collect();
+        }
+        let chunk = kept.len().div_ceil(n_threads);
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); kept.len()];
+        crossbeam_scope_extract(kept, chunk, &mut rows);
+        rows
+    })
+}
+
+fn crossbeam_scope_extract(kept: &[&Segment], chunk: usize, rows: &mut [Vec<f64>]) {
+    // Split the output buffer into per-worker windows: no locking needed.
+    std::thread::scope(|scope| {
+        let mut rest = rows;
+        let mut offset = 0usize;
+        while offset < kept.len() {
+            let take = chunk.min(kept.len() - offset);
+            let (window, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let slice = &kept[offset..offset + take];
+            scope.spawn(move || {
+                for (out, seg) in window.iter_mut().zip(slice) {
+                    *out = segment_features(seg);
+                }
+            });
+            offset += take;
+        }
+    });
+}
+
+fn build_table(
+    segments: &[Segment],
+    scheme: LabelScheme,
+    extract: impl FnOnce(&[&Segment]) -> Vec<Vec<f64>>,
+) -> FeatureTable {
+    let kept: Vec<&Segment> = segments
+        .iter()
+        .filter(|seg| scheme.class_of(seg.mode).is_some())
+        .collect();
+    let rows = extract(&kept);
+    let labels = kept
+        .iter()
+        .map(|seg| scheme.class_of(seg.mode).expect("filtered above"))
+        .collect();
+    let groups = kept.iter().map(|seg| seg.user).collect();
+    let modes = kept.iter().map(|seg| seg.mode).collect();
+    FeatureTable {
+        names: feature_names(),
+        rows,
+        labels,
+        groups,
+        modes,
+        scheme,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::{Timestamp, TrajectoryPoint};
+
+    fn segment(user: UserId, mode: TransportMode, speed_ms: f64, n: usize) -> Segment {
+        let mut points = Vec::with_capacity(n);
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..n {
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i as i64 * 2),
+            ));
+            let (nlat, nlon) = destination(lat, lon, 45.0, speed_ms * 2.0);
+            lat = nlat;
+            lon = nlon;
+        }
+        Segment::new(user, mode, 0, points)
+    }
+
+    #[test]
+    fn names_are_70_and_unique() {
+        let names = feature_names();
+        assert_eq!(names.len(), FEATURES_PER_SEGMENT);
+        assert_eq!(names.len(), 70);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 70, "feature names are unique");
+        assert!(names.contains(&"speed_p90".to_string()));
+        assert!(names.contains(&"bearing_rate_rate_std".to_string()));
+    }
+
+    #[test]
+    fn summarize_series_orders_stats_correctly() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summarize_series(&xs);
+        assert_eq!(s[0], 1.0); // min
+        assert_eq!(s[1], 5.0); // max
+        assert_eq!(s[2], 3.0); // mean
+        assert_eq!(s[3], 3.0); // median
+        assert!((s[4] - std::f64::consts::SQRT_2).abs() < 1e-12); // population std
+        assert!((s[5] - 1.4).abs() < 1e-12); // p10
+        assert_eq!(s[6], 2.0); // p25
+        assert_eq!(s[7], 3.0); // p50 == median
+        assert_eq!(s[8], 4.0); // p75
+        assert!((s[9] - 4.6).abs() < 1e-12); // p90
+    }
+
+    #[test]
+    fn summarize_empty_series_is_zeros() {
+        assert_eq!(summarize_series(&[]), [0.0; STATS_PER_FEATURE]);
+    }
+
+    #[test]
+    fn segment_features_dimension_and_finiteness() {
+        let seg = segment(1, TransportMode::Bike, 4.0, 30);
+        let f = segment_features(&seg);
+        assert_eq!(f.len(), FEATURES_PER_SEGMENT);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn speed_statistics_reflect_motion() {
+        let names = feature_names();
+        let fast = segment_features(&segment(1, TransportMode::Car, 15.0, 30));
+        let slow = segment_features(&segment(1, TransportMode::Walk, 1.4, 30));
+        let i_mean = names.iter().position(|n| n == "speed_mean").unwrap();
+        let i_p90 = names.iter().position(|n| n == "speed_p90").unwrap();
+        assert!(fast[i_mean] > 10.0 && fast[i_mean] < 20.0, "{}", fast[i_mean]);
+        assert!(slow[i_mean] > 1.0 && slow[i_mean] < 2.0, "{}", slow[i_mean]);
+        assert!(fast[i_p90] > slow[i_p90]);
+    }
+
+    #[test]
+    fn median_column_equals_p50_column() {
+        let seg = segment(1, TransportMode::Bus, 7.0, 25);
+        let f = segment_features(&seg);
+        let names = feature_names();
+        for pf in POINT_FEATURE_NAMES {
+            let i_med = names.iter().position(|n| *n == format!("{pf}_median")).unwrap();
+            let i_p50 = names.iter().position(|n| *n == format!("{pf}_p50")).unwrap();
+            assert_eq!(f[i_med], f[i_p50], "{pf}: median equals p50 by construction");
+        }
+    }
+
+    #[test]
+    fn extract_filters_by_scheme() {
+        let segs = vec![
+            segment(1, TransportMode::Walk, 1.4, 20),
+            segment(2, TransportMode::Airplane, 200.0, 20),
+            segment(3, TransportMode::Taxi, 9.0, 20),
+        ];
+        let table = extract_features(&segs, LabelScheme::Dabiri);
+        assert_eq!(table.len(), 2, "airplane excluded under Dabiri");
+        assert_eq!(table.labels[0], 0); // walk
+        assert_eq!(table.labels[1], 3); // taxi → driving
+        assert_eq!(table.groups, vec![1, 3]);
+        assert_eq!(table.modes, vec![TransportMode::Walk, TransportMode::Taxi]);
+        assert_eq!(table.n_classes(), 5);
+        assert_eq!(table.n_features(), 70);
+    }
+
+    #[test]
+    fn select_columns_projects_names_and_rows() {
+        let segs = vec![segment(1, TransportMode::Walk, 1.4, 20)];
+        let table = extract_features(&segs, LabelScheme::Raw);
+        let i_p90 = table.feature_index("speed_p90").unwrap();
+        let i_mean = table.feature_index("speed_mean").unwrap();
+        let sub = table.select_columns(&[i_p90, i_mean]);
+        assert_eq!(sub.names, vec!["speed_p90", "speed_mean"]);
+        assert_eq!(sub.rows[0].len(), 2);
+        assert_eq!(sub.rows[0][0], table.rows[0][i_p90]);
+        assert_eq!(sub.rows[0][1], table.rows[0][i_mean]);
+        assert_eq!(sub.labels, table.labels);
+        assert!(!sub.is_empty());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let table = extract_features(&[], LabelScheme::Raw);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.n_features(), 70);
+        let parallel = extract_features_parallel(&[], LabelScheme::Raw);
+        assert!(parallel.is_empty());
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential() {
+        let segs: Vec<Segment> = (0..17)
+            .map(|i| {
+                segment(
+                    i as UserId,
+                    if i % 2 == 0 { TransportMode::Walk } else { TransportMode::Bus },
+                    1.0 + i as f64,
+                    15 + i as usize,
+                )
+            })
+            .collect();
+        let sequential = extract_features(&segs, LabelScheme::Dabiri);
+        let parallel = extract_features_parallel(&segs, LabelScheme::Dabiri);
+        assert_eq!(sequential, parallel);
+    }
+}

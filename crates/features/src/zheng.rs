@@ -1,0 +1,234 @@
+//! The classic Zheng et al. feature set.
+//!
+//! Zheng, Li, Chen, Xie & Ma, *"Understanding mobility based on GPS
+//! data"* (UbiComp 2008) — the paper's citation [30] and the source of
+//! the GeoLife dataset — classified transportation modes with a compact
+//! hand-picked feature set: segment length, basic velocity statistics,
+//! top-three velocities and accelerations, and three robust rate
+//! features — **heading change rate (HCR)**, **stop rate (SR)** and
+//! **velocity change rate (VCR)**.
+//!
+//! Implemented here as a third feature set so the reproduction can
+//! compare the paper's 70 statistics against the classic 11 (the
+//! `feature-set` ablation): a faithful "prior state of the art" baseline
+//! built from the same point features.
+
+use crate::point_features::PointFeatures;
+use traj_geo::Segment;
+
+/// Number of Zheng features.
+pub const ZHENG_FEATURE_COUNT: usize = 11;
+
+/// Heading-change threshold (degrees) above which a fix counts toward
+/// the heading change rate; Zheng et al. tune this on a validation set,
+/// 19° is in their reported range.
+pub const HCR_THRESHOLD_DEG: f64 = 19.0;
+
+/// Speed (m/s) below which a fix counts toward the stop rate.
+pub const SR_THRESHOLD_MS: f64 = 0.6;
+
+/// Relative velocity change above which a fix counts toward the velocity
+/// change rate.
+pub const VCR_THRESHOLD: f64 = 0.7;
+
+/// Names of the Zheng features, in vector order.
+pub fn zheng_feature_names() -> Vec<String> {
+    [
+        "zheng_length_m",
+        "zheng_mean_velocity",
+        "zheng_velocity_std",
+        "zheng_top1_velocity",
+        "zheng_top2_velocity",
+        "zheng_top3_velocity",
+        "zheng_top1_acceleration",
+        "zheng_top2_acceleration",
+        "zheng_top3_acceleration",
+        "zheng_heading_change_rate",
+        "zheng_stop_rate",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Computes the 11 Zheng features of a segment (zeros for degenerate
+/// segments).
+pub fn zheng_features(segment: &Segment, pf: &PointFeatures) -> Vec<f64> {
+    let n = pf.len();
+    if n == 0 {
+        return vec![0.0; ZHENG_FEATURE_COUNT];
+    }
+    let length: f64 = pf.distance.iter().skip(1).sum();
+    let duration = segment.duration_s();
+    let mean_velocity = if duration > 0.0 { length / duration } else { 0.0 };
+    let velocity_std = crate::stats::std_dev(&pf.speed);
+
+    let top3 = |xs: &[f64]| -> [f64; 3] {
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+        [
+            sorted.first().copied().unwrap_or(0.0),
+            sorted.get(1).copied().unwrap_or(0.0),
+            sorted.get(2).copied().unwrap_or(0.0),
+        ]
+    };
+    let top_v = top3(&pf.speed);
+    let abs_acc: Vec<f64> = pf.acceleration.iter().map(|a| a.abs()).collect();
+    let top_a = top3(&abs_acc);
+
+    // Rates are normalised by the segment's path length ("per metre"
+    // rates in Zheng et al.; distance normalisation makes them robust to
+    // the sampling interval). Zero-length segments get zero rates.
+    let per_metre = |count: usize| {
+        if length > 0.0 {
+            count as f64 / length
+        } else {
+            0.0
+        }
+    };
+    let hcr_count = pf
+        .bearing_rate
+        .iter()
+        .skip(1)
+        .zip(pf.duration.iter().skip(1))
+        .filter(|(&rate, &dt)| (rate * dt).abs() > HCR_THRESHOLD_DEG)
+        .count();
+    let sr_count = pf.speed.iter().filter(|&&v| v < SR_THRESHOLD_MS).count();
+
+    vec![
+        length,
+        mean_velocity,
+        velocity_std,
+        top_v[0],
+        top_v[1],
+        top_v[2],
+        top_a[0],
+        top_a[1],
+        top_a[2],
+        per_metre(hcr_count),
+        per_metre(sr_count),
+    ]
+}
+
+/// Velocity change rate — exposed separately because Zheng et al. report
+/// it as a tuned add-on: the per-metre count of fixes whose relative
+/// speed change `|v_{i+1} − v_i| / max(v_i, ε)` exceeds
+/// [`VCR_THRESHOLD`].
+pub fn velocity_change_rate(pf: &PointFeatures) -> f64 {
+    let length: f64 = pf.distance.iter().skip(1).sum();
+    if length <= 0.0 {
+        return 0.0;
+    }
+    let count = pf
+        .speed
+        .windows(2)
+        .filter(|w| {
+            let base = w[0].max(0.1);
+            ((w[1] - w[0]).abs() / base) > VCR_THRESHOLD
+        })
+        .count();
+    count as f64 / length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::{Timestamp, TrajectoryPoint, TransportMode};
+
+    fn segment_with_speeds(speeds: &[f64], headings: &[f64]) -> Segment {
+        assert_eq!(speeds.len(), headings.len());
+        let mut points = Vec::with_capacity(speeds.len() + 1);
+        let (mut lat, mut lon) = (39.9, 116.3);
+        points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(0)));
+        for (i, (&v, &h)) in speeds.iter().zip(headings).enumerate() {
+            let (nlat, nlon) = destination(lat, lon, h, v * 2.0);
+            lat = nlat;
+            lon = nlon;
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds((i as i64 + 1) * 2),
+            ));
+        }
+        Segment::new(1, TransportMode::Bus, 0, points)
+    }
+
+    fn features_of(seg: &Segment) -> Vec<f64> {
+        zheng_features(seg, &PointFeatures::compute(seg))
+    }
+
+    #[test]
+    fn names_match_count() {
+        assert_eq!(zheng_feature_names().len(), ZHENG_FEATURE_COUNT);
+        let seg = segment_with_speeds(&[5.0; 10], &[0.0; 10]);
+        assert_eq!(features_of(&seg).len(), ZHENG_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn straight_constant_run_has_clean_statistics() {
+        let seg = segment_with_speeds(&[10.0; 20], &[90.0; 20]);
+        let f = features_of(&seg);
+        assert!((f[0] - 400.0).abs() < 1.0, "length {}", f[0]);
+        assert!((f[1] - 10.0).abs() < 0.05, "mean velocity {}", f[1]);
+        assert!(f[2] < 0.1, "velocity std {}", f[2]);
+        assert!((f[3] - 10.0).abs() < 0.1, "top1 {}", f[3]);
+        assert!(f[3] >= f[4] && f[4] >= f[5], "top-3 ordered");
+        assert_eq!(f[9], 0.0, "no heading changes");
+        assert_eq!(f[10], 0.0, "no stops");
+    }
+
+    #[test]
+    fn turns_raise_the_heading_change_rate() {
+        let straight = segment_with_speeds(&[5.0; 20], &[0.0; 20]);
+        let mut headings = vec![0.0; 20];
+        for (i, h) in headings.iter_mut().enumerate() {
+            *h = (i as f64) * 45.0; // constant 45°/fix turning
+        }
+        let turning = segment_with_speeds(&[5.0; 20], &headings);
+        assert!(features_of(&turning)[9] > features_of(&straight)[9]);
+        assert!(features_of(&turning)[9] > 0.0);
+    }
+
+    #[test]
+    fn stops_raise_the_stop_rate() {
+        let moving = segment_with_speeds(&[5.0; 20], &[0.0; 20]);
+        let mut speeds = vec![5.0; 20];
+        for v in speeds.iter_mut().take(10) {
+            *v = 0.1; // stopped half the time
+        }
+        let stopping = segment_with_speeds(&speeds, &[0.0; 20]);
+        assert!(features_of(&stopping)[10] > features_of(&moving)[10]);
+    }
+
+    #[test]
+    fn velocity_change_rate_detects_speed_jitter() {
+        let smooth = segment_with_speeds(&[8.0; 20], &[0.0; 20]);
+        let jittery =
+            segment_with_speeds(&[2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0], &[0.0; 10]);
+        let smooth_vcr = velocity_change_rate(&PointFeatures::compute(&smooth));
+        let jitter_vcr = velocity_change_rate(&PointFeatures::compute(&jittery));
+        assert!(jitter_vcr > smooth_vcr);
+        assert!(jitter_vcr > 0.0);
+        assert!(smooth_vcr < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_segment_is_all_zeros() {
+        let seg = Segment::new(1, TransportMode::Walk, 0, vec![]);
+        assert_eq!(features_of(&seg), vec![0.0; ZHENG_FEATURE_COUNT]);
+        assert_eq!(velocity_change_rate(&PointFeatures::compute(&seg)), 0.0);
+    }
+
+    #[test]
+    fn top3_handles_short_segments() {
+        // Two speed values only: top3 back-fills with the smallest... the
+        // convention is zeros for missing slots.
+        let seg = segment_with_speeds(&[4.0], &[0.0]);
+        let f = features_of(&seg);
+        // Speeds are [4, 4] (head back-filled) → top3 = 4, 4, 0.
+        assert!((f[3] - 4.0).abs() < 0.1);
+        assert!((f[4] - 4.0).abs() < 0.1);
+        assert_eq!(f[5], 0.0);
+    }
+}

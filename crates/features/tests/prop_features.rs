@@ -1,0 +1,156 @@
+//! Property-based tests for statistics, extraction and normalisation
+//! invariants.
+
+use proptest::prelude::*;
+use traj_features::noise::{hampel_filter, median_smooth};
+use traj_features::stats;
+use traj_features::trajectory_features::{
+    segment_features, summarize_series, FEATURES_PER_SEGMENT,
+};
+use traj_features::{MinMaxScaler, PointFeatures, StandardScaler};
+use traj_geo::geodesy::destination;
+use traj_geo::{Segment, Timestamp, TrajectoryPoint, TransportMode};
+
+fn finite_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6..1e6f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone_in_p(xs in finite_series(), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(stats::percentile(&xs, lo) <= stats::percentile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_extremes(xs in finite_series(), p in 0.0..100.0f64) {
+        let v = stats::percentile(&xs, p);
+        prop_assert!(v >= stats::min(&xs) - 1e-9);
+        prop_assert!(v <= stats::max(&xs) + 1e-9);
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max(xs in finite_series()) {
+        let m = stats::mean(&xs);
+        prop_assert!(m >= stats::min(&xs) - 1e-9);
+        prop_assert!(m <= stats::max(&xs) + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_is_nonnegative_and_shift_invariant(xs in finite_series(), shift in -1e5..1e5f64) {
+        let s1 = stats::std_dev(&xs);
+        prop_assert!(s1 >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + shift).collect();
+        let s2 = stats::std_dev(&shifted);
+        prop_assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1.abs()), "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn summarize_series_stats_are_internally_consistent(xs in finite_series()) {
+        let s = summarize_series(&xs);
+        // min <= p10 <= p25 <= median <= p75 <= p90 <= max.
+        prop_assert!(s[0] <= s[5] + 1e-9);
+        prop_assert!(s[5] <= s[6] + 1e-9);
+        prop_assert!(s[6] <= s[3] + 1e-9);
+        prop_assert!(s[3] <= s[8] + 1e-9);
+        prop_assert!(s[8] <= s[9] + 1e-9);
+        prop_assert!(s[9] <= s[1] + 1e-9);
+        // median column equals p50 column.
+        prop_assert_eq!(s[3], s[7]);
+    }
+
+    #[test]
+    fn hampel_output_stays_within_input_range(xs in finite_series(), half in 1usize..5) {
+        let filtered = hampel_filter(&xs, half, 3.0);
+        prop_assert_eq!(filtered.len(), xs.len());
+        let (lo, hi) = (stats::min(&xs), stats::max(&xs));
+        for &v in &filtered {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn median_smooth_is_idempotent_on_constants(c in -1e3..1e3f64, n in 1usize..50, half in 1usize..4) {
+        let xs = vec![c; n];
+        prop_assert_eq!(median_smooth(&xs, half), xs);
+    }
+
+    #[test]
+    fn minmax_scaled_training_rows_are_in_unit_interval(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6..1e6f64, 4),
+            1..40,
+        )
+    ) {
+        let mut rows = rows;
+        MinMaxScaler::fit_transform(&mut rows);
+        for row in &rows {
+            for &v in row {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn standard_scaled_training_rows_have_zero_mean(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3..1e3f64, 3),
+            2..40,
+        )
+    ) {
+        let mut rows = rows;
+        StandardScaler::fit_transform(&mut rows);
+        for j in 0..3 {
+            let mean: f64 = rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {j} mean {mean}");
+        }
+    }
+}
+
+/// Random synthetic segments: speeds and headings drawn per step.
+fn arbitrary_segment() -> impl Strategy<Value = Segment> {
+    (
+        proptest::collection::vec((0.0..50.0f64, 0.0..360.0f64), 2..60),
+        1u32..100,
+    )
+        .prop_map(|(steps, user)| {
+            let mut points = Vec::with_capacity(steps.len() + 1);
+            let (mut lat, mut lon) = (39.9, 116.3);
+            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(0)));
+            for (i, (speed, heading)) in steps.iter().enumerate() {
+                let (nlat, nlon) = destination(lat, lon, *heading, speed * 2.0);
+                lat = nlat;
+                lon = nlon;
+                points.push(TrajectoryPoint::new(
+                    lat,
+                    lon,
+                    Timestamp::from_seconds((i as i64 + 1) * 2),
+                ));
+            }
+            Segment::new(user, TransportMode::Bus, 0, points)
+        })
+}
+
+proptest! {
+    #[test]
+    fn point_features_are_always_finite_and_sized(seg in arbitrary_segment()) {
+        let pf = PointFeatures::compute(&seg);
+        prop_assert_eq!(pf.len(), seg.len());
+        prop_assert!(pf.all_finite());
+        // Speeds are non-negative and bounded by construction (≤ 50 m/s
+        // plus great-circle rounding).
+        for &v in &pf.speed {
+            prop_assert!((0.0..51.0).contains(&v), "speed {v}");
+        }
+        for &b in &pf.bearing {
+            prop_assert!((0.0..360.0).contains(&b), "bearing {b}");
+        }
+    }
+
+    #[test]
+    fn feature_vector_is_70_dimensional_and_finite(seg in arbitrary_segment()) {
+        let f = segment_features(&seg);
+        prop_assert_eq!(f.len(), FEATURES_PER_SEGMENT);
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

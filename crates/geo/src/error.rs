@@ -1,0 +1,73 @@
+//! Error type shared by the trajectory model.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating trajectory data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A latitude outside the valid range `[-90, 90]` degrees.
+    InvalidLatitude(f64),
+    /// A longitude outside the valid range `[-180, 180]` degrees.
+    InvalidLongitude(f64),
+    /// A coordinate or timestamp that is NaN or infinite.
+    NonFiniteValue(&'static str),
+    /// Points of a trajectory are not sorted by strictly increasing time.
+    NonMonotonicTime {
+        /// Index of the offending point (the one that is not later than its
+        /// predecessor).
+        index: usize,
+    },
+    /// An operation that requires a non-empty trajectory received an empty
+    /// one.
+    EmptyTrajectory,
+    /// An unknown transportation-mode label string.
+    UnknownMode(String),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} outside [-90, 90] degrees")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} outside [-180, 180] degrees")
+            }
+            GeoError::NonFiniteValue(what) => write!(f, "non-finite {what}"),
+            GeoError::NonMonotonicTime { index } => {
+                write!(f, "timestamp at index {index} is not after its predecessor")
+            }
+            GeoError::EmptyTrajectory => write!(f, "trajectory contains no points"),
+            GeoError::UnknownMode(s) => write!(f, "unknown transportation mode label: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GeoError::InvalidLatitude(99.0).to_string().contains("99"));
+        assert!(GeoError::InvalidLongitude(-200.0).to_string().contains("-200"));
+        assert!(GeoError::NonFiniteValue("latitude")
+            .to_string()
+            .contains("latitude"));
+        assert!(GeoError::NonMonotonicTime { index: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(GeoError::EmptyTrajectory.to_string().contains("no points"));
+        assert!(GeoError::UnknownMode("hovercraft".into())
+            .to_string()
+            .contains("hovercraft"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<GeoError>();
+    }
+}

@@ -1,0 +1,195 @@
+//! Great-circle geodesy on the WGS-84 mean sphere.
+//!
+//! The paper computes inter-point distance with the haversine formula and a
+//! bearing between consecutive points (§3.2, step 2). We also provide the
+//! inverse *destination point* computation, which the synthetic GeoLife
+//! generator uses to integrate simulated motion.
+
+use crate::point::TrajectoryPoint;
+
+/// Mean Earth radius in metres (IUGG mean radius `R1`).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Haversine great-circle distance between two coordinates, in metres.
+///
+/// Accurate to ~0.5 % of true WGS-84 geodesic distance, which is far below
+/// GPS noise for the inter-point distances (metres to a few hundred metres)
+/// this pipeline works with.
+///
+/// ```
+/// use traj_geo::geodesy::haversine_m;
+/// // Beijing → Tianjin ≈ 113 km.
+/// let d = haversine_m(39.9042, 116.4074, 39.0842, 117.2009);
+/// assert!((110_000.0..118_000.0).contains(&d));
+/// ```
+pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+
+    let a = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    // Clamp guards the asin domain against floating-point drift for
+    // antipodal points.
+    2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+}
+
+/// Haversine distance between two trajectory points, in metres.
+pub fn point_distance_m(a: &TrajectoryPoint, b: &TrajectoryPoint) -> f64 {
+    haversine_m(a.lat, a.lon, b.lat, b.lon)
+}
+
+/// Initial great-circle bearing from `(lat1, lon1)` toward `(lat2, lon2)`,
+/// in degrees clockwise from true north, normalised to `[0, 360)`.
+///
+/// For coincident points the bearing is defined as `0.0`.
+pub fn initial_bearing_deg(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dlambda = (lon2 - lon1).to_radians();
+
+    let y = dlambda.sin() * phi2.cos();
+    let x = phi1.cos() * phi2.sin() - phi1.sin() * phi2.cos() * dlambda.cos();
+    if y == 0.0 && x == 0.0 {
+        return 0.0;
+    }
+    let theta = y.atan2(x).to_degrees();
+    theta.rem_euclid(360.0)
+}
+
+/// Initial bearing between two trajectory points, degrees in `[0, 360)`.
+pub fn point_bearing_deg(a: &TrajectoryPoint, b: &TrajectoryPoint) -> f64 {
+    initial_bearing_deg(a.lat, a.lon, b.lat, b.lon)
+}
+
+/// Great-circle destination: starting at `(lat, lon)`, travel `distance_m`
+/// metres along `bearing_deg` (clockwise from north). Returns the
+/// destination `(lat, lon)` in degrees, longitude normalised to
+/// `[-180, 180)`.
+pub fn destination(lat: f64, lon: f64, bearing_deg: f64, distance_m: f64) -> (f64, f64) {
+    let delta = distance_m / EARTH_RADIUS_M;
+    let theta = bearing_deg.to_radians();
+    let phi1 = lat.to_radians();
+    let lambda1 = lon.to_radians();
+
+    let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos())
+        .clamp(-1.0, 1.0)
+        .asin();
+    let lambda2 = lambda1
+        + (theta.sin() * delta.sin() * phi1.cos())
+            .atan2(delta.cos() - phi1.sin() * phi2.sin());
+
+    let lon2 = (lambda2.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
+    (phi2.to_degrees(), lon2)
+}
+
+/// Smallest absolute angular difference between two bearings, in degrees
+/// `[0, 180]`. Used by heading-dynamics tests and the synthetic generator.
+pub fn bearing_difference_deg(b1: f64, b2: f64) -> f64 {
+    let d = (b2 - b1).rem_euclid(360.0);
+    d.min(360.0 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn pt(lat: f64, lon: f64) -> TrajectoryPoint {
+        TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(0))
+    }
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        assert_eq!(haversine_m(39.9, 116.4, 39.9, 116.4), 0.0);
+    }
+
+    #[test]
+    fn known_distance_beijing_to_tianjin() {
+        // Beijing (39.9042, 116.4074) to Tianjin (39.0842, 117.2009):
+        // roughly 113–114 km.
+        let d = haversine_m(39.9042, 116.4074, 39.0842, 117.2009);
+        assert!((110_000.0..118_000.0).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let d = haversine_m(0.0, 0.0, 1.0, 0.0);
+        assert!((d - 111_195.0).abs() < 100.0, "distance {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = haversine_m(10.0, 20.0, -5.0, 133.0);
+        let d2 = haversine_m(-5.0, 133.0, 10.0, 20.0);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let d = haversine_m(0.0, 0.0, 0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0, "distance {d} vs {half}");
+    }
+
+    #[test]
+    fn cardinal_bearings() {
+        assert!((initial_bearing_deg(0.0, 0.0, 1.0, 0.0) - 0.0).abs() < 1e-9); // north
+        assert!((initial_bearing_deg(0.0, 0.0, 0.0, 1.0) - 90.0).abs() < 1e-9); // east
+        assert!((initial_bearing_deg(0.0, 0.0, -1.0, 0.0) - 180.0).abs() < 1e-9); // south
+        assert!((initial_bearing_deg(0.0, 0.0, 0.0, -1.0) - 270.0).abs() < 1e-9); // west
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        assert_eq!(initial_bearing_deg(45.0, 45.0, 45.0, 45.0), 0.0);
+    }
+
+    #[test]
+    fn bearing_is_normalised() {
+        for (lat2, lon2) in [(0.5, -0.5), (-0.3, -0.9), (0.9, 0.1), (-1.0, 1.0)] {
+            let b = initial_bearing_deg(0.0, 0.0, lat2, lon2);
+            assert!((0.0..360.0).contains(&b), "bearing {b}");
+        }
+    }
+
+    #[test]
+    fn destination_inverts_haversine_and_bearing() {
+        let (lat1, lon1) = (39.98, 116.30);
+        for bearing in [0.0, 37.0, 123.0, 251.0, 359.0] {
+            for dist in [5.0, 250.0, 12_000.0] {
+                let (lat2, lon2) = destination(lat1, lon1, bearing, dist);
+                let d = haversine_m(lat1, lon1, lat2, lon2);
+                assert!((d - dist).abs() < 1e-3, "round-trip distance {d} vs {dist}");
+                let b = initial_bearing_deg(lat1, lon1, lat2, lon2);
+                assert!(
+                    bearing_difference_deg(b, bearing) < 0.01,
+                    "round-trip bearing {b} vs {bearing}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn destination_normalises_longitude_across_antimeridian() {
+        let (_lat, lon) = destination(0.0, 179.9, 90.0, 50_000.0);
+        assert!((-180.0..180.0).contains(&lon), "longitude {lon}");
+    }
+
+    #[test]
+    fn point_helpers_match_scalar_functions() {
+        let a = pt(39.9, 116.3);
+        let b = pt(40.0, 116.5);
+        assert_eq!(point_distance_m(&a, &b), haversine_m(39.9, 116.3, 40.0, 116.5));
+        assert_eq!(
+            point_bearing_deg(&a, &b),
+            initial_bearing_deg(39.9, 116.3, 40.0, 116.5)
+        );
+    }
+
+    #[test]
+    fn bearing_difference_wraps_correctly() {
+        assert_eq!(bearing_difference_deg(350.0, 10.0), 20.0);
+        assert_eq!(bearing_difference_deg(10.0, 350.0), 20.0);
+        assert_eq!(bearing_difference_deg(0.0, 180.0), 180.0);
+        assert_eq!(bearing_difference_deg(90.0, 90.0), 0.0);
+    }
+}

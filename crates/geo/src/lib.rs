@@ -1,0 +1,54 @@
+//! # traj-geo
+//!
+//! Trajectory data model, geodesy, and segmentation primitives underlying the
+//! transportation-mode prediction framework of Etemad, Soares Júnior and
+//! Matwin, *"On Feature Selection and Evaluation of Transportation Mode
+//! Prediction Strategies"* (EDBT 2019).
+//!
+//! The crate provides:
+//!
+//! * [`TrajectoryPoint`] / [`LabeledPoint`] — a GPS fix `(latitude,
+//!   longitude, timestamp)`, optionally annotated with a [`TransportMode`].
+//! * [`RawTrajectory`] — the sequence of fixes recorded by one user.
+//! * [`Segment`] — a sub-trajectory obtained by grouping a raw trajectory by
+//!   *(user, day, transportation mode)*; the classification unit of the
+//!   paper (its §3.1 "sub-trajectory").
+//! * [`geodesy`] — haversine distance, initial bearing and destination-point
+//!   computations on the WGS-84 mean sphere.
+//! * [`segmentation`] — the paper's step 1: grouping labeled points into
+//!   segments and discarding segments with fewer than
+//!   [`segmentation::MIN_SEGMENT_POINTS`] points.
+//! * [`simplify`] — Douglas–Peucker polyline simplification.
+//! * [`walk_segmentation`] — label-free change-point segmentation via the
+//!   walk/non-walk heuristic of Zheng et al. (2008).
+//! * [`staypoints`] — stay-point detection (Li et al., 2008), the trip
+//!   boundary primitive of semantic-trajectory pipelines.
+//! * [`mode`] — the eleven GeoLife transportation modes and the label
+//!   groupings used by the paper's comparison experiments
+//!   ([`mode::LabelScheme`]).
+//!
+//! All coordinates are in decimal degrees, all timestamps in milliseconds
+//! since the Unix epoch, and all derived quantities in SI units (metres,
+//! seconds, metres/second).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geodesy;
+pub mod mode;
+pub mod point;
+pub mod segmentation;
+pub mod simplify;
+pub mod staypoints;
+pub mod time;
+pub mod walk_segmentation;
+pub mod trajectory;
+
+pub use error::GeoError;
+pub use mode::{LabelScheme, TransportMode};
+pub use point::{LabeledPoint, TrajectoryPoint};
+pub use segmentation::{segment_by_user_day_mode, SegmentationConfig};
+pub use simplify::douglas_peucker;
+pub use time::Timestamp;
+pub use trajectory::{RawTrajectory, Segment, UserId};

@@ -1,0 +1,299 @@
+//! The eleven GeoLife transportation modes and the label groupings used by
+//! the paper's experiments.
+//!
+//! GeoLife annotations use eleven modes (§4 of the paper, with the fraction
+//! of GPS records per mode): taxi (4.41 %), car (9.40 %), train (10.19 %),
+//! subway (5.68 %), walk (29.35 %), airplane (0.16 %), boat (0.06 %), bike
+//! (17.34 %), run (0.03 %), motorcycle (0.006 %) and bus (23.33 %).
+//!
+//! The comparison experiments remap these raw modes:
+//!
+//! * **[Dabiri & Heaslip 2018]** (`LabelScheme::Dabiri`): walk, bike, bus,
+//!   *driving* (car + taxi) and *train* (train + subway) — five classes.
+//! * **[Endo et al. 2016]** (`LabelScheme::Endo`): the frequent raw modes
+//!   kept separate — walk, bike, bus, car, taxi, subway, train.
+
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A GeoLife transportation-mode annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum TransportMode {
+    Walk,
+    Bike,
+    Bus,
+    Car,
+    Taxi,
+    Subway,
+    Train,
+    Airplane,
+    Boat,
+    Run,
+    Motorcycle,
+}
+
+impl TransportMode {
+    /// All eleven modes, in a fixed canonical order.
+    pub const ALL: [TransportMode; 11] = [
+        TransportMode::Walk,
+        TransportMode::Bike,
+        TransportMode::Bus,
+        TransportMode::Car,
+        TransportMode::Taxi,
+        TransportMode::Subway,
+        TransportMode::Train,
+        TransportMode::Airplane,
+        TransportMode::Boat,
+        TransportMode::Run,
+        TransportMode::Motorcycle,
+    ];
+
+    /// Fraction of GeoLife GPS records carrying this mode, as published in
+    /// §4 of the paper. Sums to ≈ 1 over [`TransportMode::ALL`].
+    pub const fn geolife_fraction(self) -> f64 {
+        match self {
+            TransportMode::Walk => 0.2935,
+            TransportMode::Bike => 0.1734,
+            TransportMode::Bus => 0.2333,
+            TransportMode::Car => 0.0940,
+            TransportMode::Taxi => 0.0441,
+            TransportMode::Subway => 0.0568,
+            TransportMode::Train => 0.1019,
+            TransportMode::Airplane => 0.0016,
+            TransportMode::Boat => 0.0006,
+            TransportMode::Run => 0.0003,
+            TransportMode::Motorcycle => 0.00006,
+        }
+    }
+
+    /// The lowercase canonical name, matching GeoLife `labels.txt` strings.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TransportMode::Walk => "walk",
+            TransportMode::Bike => "bike",
+            TransportMode::Bus => "bus",
+            TransportMode::Car => "car",
+            TransportMode::Taxi => "taxi",
+            TransportMode::Subway => "subway",
+            TransportMode::Train => "train",
+            TransportMode::Airplane => "airplane",
+            TransportMode::Boat => "boat",
+            TransportMode::Run => "run",
+            TransportMode::Motorcycle => "motorcycle",
+        }
+    }
+
+    /// Canonical dense index of this mode inside [`TransportMode::ALL`].
+    pub fn index(self) -> usize {
+        TransportMode::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("mode present in ALL")
+    }
+}
+
+impl fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TransportMode {
+    type Err = GeoError;
+
+    /// Parses a GeoLife `labels.txt` mode string.
+    ///
+    /// Parsing is case-insensitive and tolerates the aliases found in the
+    /// raw dataset (`"motorcycle"`/`"motocycle"` and `"run"`/`"running"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "walk" => Ok(TransportMode::Walk),
+            "bike" => Ok(TransportMode::Bike),
+            "bus" => Ok(TransportMode::Bus),
+            "car" => Ok(TransportMode::Car),
+            "taxi" => Ok(TransportMode::Taxi),
+            "subway" => Ok(TransportMode::Subway),
+            "train" => Ok(TransportMode::Train),
+            "airplane" | "plane" => Ok(TransportMode::Airplane),
+            "boat" => Ok(TransportMode::Boat),
+            "run" | "running" => Ok(TransportMode::Run),
+            "motorcycle" | "motocycle" => Ok(TransportMode::Motorcycle),
+            other => Err(GeoError::UnknownMode(other.to_owned())),
+        }
+    }
+}
+
+/// A target-label grouping: which raw modes are kept, and how they are
+/// merged into prediction classes.
+///
+/// The paper runs each experiment under the label scheme of the work it
+/// compares against (§4.1, §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelScheme {
+    /// All eleven raw GeoLife modes, unmerged.
+    Raw,
+    /// [Dabiri & Heaslip 2018]: walk, bike, bus, driving (car+taxi),
+    /// train (train+subway). Five classes.
+    Dabiri,
+    /// [Endo et al. 2016]: walk, bike, bus, car, taxi, subway, train kept
+    /// separate. Seven classes.
+    Endo,
+}
+
+impl LabelScheme {
+    /// Maps a raw mode to this scheme's class index, or `None` when the
+    /// mode is excluded from the scheme.
+    pub fn class_of(self, mode: TransportMode) -> Option<usize> {
+        match self {
+            LabelScheme::Raw => Some(mode.index()),
+            LabelScheme::Dabiri => match mode {
+                TransportMode::Walk => Some(0),
+                TransportMode::Bike => Some(1),
+                TransportMode::Bus => Some(2),
+                TransportMode::Car | TransportMode::Taxi => Some(3),
+                TransportMode::Train | TransportMode::Subway => Some(4),
+                _ => None,
+            },
+            LabelScheme::Endo => match mode {
+                TransportMode::Walk => Some(0),
+                TransportMode::Bike => Some(1),
+                TransportMode::Bus => Some(2),
+                TransportMode::Car => Some(3),
+                TransportMode::Taxi => Some(4),
+                TransportMode::Subway => Some(5),
+                TransportMode::Train => Some(6),
+                _ => None,
+            },
+        }
+    }
+
+    /// Number of prediction classes under this scheme.
+    pub const fn n_classes(self) -> usize {
+        match self {
+            LabelScheme::Raw => 11,
+            LabelScheme::Dabiri => 5,
+            LabelScheme::Endo => 7,
+        }
+    }
+
+    /// Human-readable names of the prediction classes, indexed by
+    /// [`LabelScheme::class_of`].
+    pub fn class_names(self) -> Vec<&'static str> {
+        match self {
+            LabelScheme::Raw => TransportMode::ALL.iter().map(|m| m.name()).collect(),
+            LabelScheme::Dabiri => vec!["walk", "bike", "bus", "driving", "train"],
+            LabelScheme::Endo => {
+                vec!["walk", "bike", "bus", "car", "taxi", "subway", "train"]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let total: f64 = TransportMode::ALL.iter().map(|m| m.geolife_fraction()).sum();
+        assert!((total - 1.0).abs() < 0.01, "fractions sum to {total}");
+    }
+
+    #[test]
+    fn parse_round_trips_canonical_names() {
+        for &m in &TransportMode::ALL {
+            assert_eq!(m.name().parse::<TransportMode>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_handles_aliases() {
+        assert_eq!("WALK".parse::<TransportMode>().unwrap(), TransportMode::Walk);
+        assert_eq!(" Bus ".parse::<TransportMode>().unwrap(), TransportMode::Bus);
+        assert_eq!(
+            "motocycle".parse::<TransportMode>().unwrap(),
+            TransportMode::Motorcycle
+        );
+        assert_eq!("running".parse::<TransportMode>().unwrap(), TransportMode::Run);
+        assert_eq!("plane".parse::<TransportMode>().unwrap(), TransportMode::Airplane);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_modes() {
+        assert!(matches!(
+            "hovercraft".parse::<TransportMode>(),
+            Err(GeoError::UnknownMode(_))
+        ));
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        for (i, &m) in TransportMode::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn dabiri_scheme_merges_driving_and_rail() {
+        let s = LabelScheme::Dabiri;
+        assert_eq!(s.class_of(TransportMode::Car), s.class_of(TransportMode::Taxi));
+        assert_eq!(
+            s.class_of(TransportMode::Train),
+            s.class_of(TransportMode::Subway)
+        );
+        assert_ne!(s.class_of(TransportMode::Walk), s.class_of(TransportMode::Bike));
+        assert_eq!(s.class_of(TransportMode::Airplane), None);
+        assert_eq!(s.n_classes(), 5);
+        assert_eq!(s.class_names().len(), 5);
+    }
+
+    #[test]
+    fn endo_scheme_keeps_frequent_modes_separate() {
+        let s = LabelScheme::Endo;
+        let classes: Vec<_> = [
+            TransportMode::Walk,
+            TransportMode::Bike,
+            TransportMode::Bus,
+            TransportMode::Car,
+            TransportMode::Taxi,
+            TransportMode::Subway,
+            TransportMode::Train,
+        ]
+        .iter()
+        .map(|&m| s.class_of(m).unwrap())
+        .collect();
+        let mut sorted = classes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7, "all seven classes distinct");
+        assert_eq!(s.class_of(TransportMode::Boat), None);
+        assert_eq!(s.n_classes(), 7);
+    }
+
+    #[test]
+    fn raw_scheme_covers_every_mode() {
+        let s = LabelScheme::Raw;
+        for &m in &TransportMode::ALL {
+            assert!(s.class_of(m).is_some());
+        }
+        assert_eq!(s.n_classes(), 11);
+        assert_eq!(s.class_names().len(), 11);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        for scheme in [LabelScheme::Raw, LabelScheme::Dabiri, LabelScheme::Endo] {
+            let mut seen = vec![false; scheme.n_classes()];
+            for &m in &TransportMode::ALL {
+                if let Some(c) = scheme.class_of(m) {
+                    assert!(c < scheme.n_classes());
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "{scheme:?} has unused class indices");
+        }
+    }
+}

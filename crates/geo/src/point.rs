@@ -1,0 +1,157 @@
+//! GPS fixes: the paper's *trajectory point* `l_i = (x_i, y_i, t_i)` (§3.1).
+
+use crate::error::GeoError;
+use crate::mode::TransportMode;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A single GPS fix: latitude and longitude in decimal degrees plus a
+/// capture timestamp.
+///
+/// The paper's §3.1 defines a trajectory point as `l_i = (x_i, y_i, t_i)`
+/// with longitude `x ∈ [-180°, 180°]`, latitude `y ∈ [-90°, 90°]` and
+/// strictly increasing capture times within a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Latitude in decimal degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in decimal degrees, in `[-180, 180]`.
+    pub lon: f64,
+    /// Capture time.
+    pub t: Timestamp,
+}
+
+impl TrajectoryPoint {
+    /// Creates a point without validating coordinate ranges.
+    ///
+    /// Useful for trusted generators and parsers that validate separately;
+    /// prefer [`TrajectoryPoint::try_new`] for untrusted input.
+    pub const fn new(lat: f64, lon: f64, t: Timestamp) -> Self {
+        TrajectoryPoint { lat, lon, t }
+    }
+
+    /// Creates a point, validating that the coordinates are finite and in
+    /// range.
+    pub fn try_new(lat: f64, lon: f64, t: Timestamp) -> Result<Self, GeoError> {
+        if !lat.is_finite() {
+            return Err(GeoError::NonFiniteValue("latitude"));
+        }
+        if !lon.is_finite() {
+            return Err(GeoError::NonFiniteValue("longitude"));
+        }
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(GeoError::InvalidLatitude(lat));
+        }
+        if !(-180.0..=180.0).contains(&lon) {
+            return Err(GeoError::InvalidLongitude(lon));
+        }
+        Ok(TrajectoryPoint { lat, lon, t })
+    }
+
+    /// `true` when both coordinates are finite and within their legal
+    /// ranges.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+}
+
+/// A trajectory point optionally annotated with a transportation mode.
+///
+/// GeoLife annotations cover only part of each user's recording, so a point
+/// may be unlabeled (`mode == None`); the paper discards unlabeled spans
+/// during segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    /// The GPS fix.
+    pub point: TrajectoryPoint,
+    /// The annotated transportation mode, when the fix falls inside a
+    /// labeled interval.
+    pub mode: Option<TransportMode>,
+}
+
+impl LabeledPoint {
+    /// Creates a labeled point.
+    pub const fn new(point: TrajectoryPoint, mode: Option<TransportMode>) -> Self {
+        LabeledPoint { point, mode }
+    }
+
+    /// Shorthand for an annotated point.
+    pub const fn labeled(point: TrajectoryPoint, mode: TransportMode) -> Self {
+        LabeledPoint {
+            point,
+            mode: Some(mode),
+        }
+    }
+
+    /// Shorthand for an unannotated point.
+    pub const fn unlabeled(point: TrajectoryPoint) -> Self {
+        LabeledPoint { point, mode: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_seconds(s)
+    }
+
+    #[test]
+    fn try_new_accepts_valid_coordinates() {
+        let p = TrajectoryPoint::try_new(39.9, 116.3, ts(0)).unwrap();
+        assert!(p.is_valid());
+        assert_eq!(p.lat, 39.9);
+        assert_eq!(p.lon, 116.3);
+    }
+
+    #[test]
+    fn try_new_accepts_boundary_coordinates() {
+        assert!(TrajectoryPoint::try_new(90.0, 180.0, ts(0)).is_ok());
+        assert!(TrajectoryPoint::try_new(-90.0, -180.0, ts(0)).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert_eq!(
+            TrajectoryPoint::try_new(90.1, 0.0, ts(0)),
+            Err(GeoError::InvalidLatitude(90.1))
+        );
+        assert_eq!(
+            TrajectoryPoint::try_new(0.0, -180.5, ts(0)),
+            Err(GeoError::InvalidLongitude(-180.5))
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite() {
+        assert_eq!(
+            TrajectoryPoint::try_new(f64::NAN, 0.0, ts(0)),
+            Err(GeoError::NonFiniteValue("latitude"))
+        );
+        assert_eq!(
+            TrajectoryPoint::try_new(0.0, f64::INFINITY, ts(0)),
+            Err(GeoError::NonFiniteValue("longitude"))
+        );
+    }
+
+    #[test]
+    fn unchecked_new_reports_invalidity() {
+        let p = TrajectoryPoint::new(200.0, 0.0, ts(0));
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn labeled_point_constructors() {
+        let p = TrajectoryPoint::new(1.0, 2.0, ts(3));
+        assert_eq!(
+            LabeledPoint::labeled(p, TransportMode::Walk).mode,
+            Some(TransportMode::Walk)
+        );
+        assert_eq!(LabeledPoint::unlabeled(p).mode, None);
+        assert_eq!(LabeledPoint::new(p, None), LabeledPoint::unlabeled(p));
+    }
+}

@@ -1,0 +1,352 @@
+//! Segmentation — step 1 of the paper's framework.
+//!
+//! "The first step groups the trajectory points by user id, day and
+//! transportation modes to create sub trajectories (segmentation). Sub
+//! trajectories with less than ten trajectory points were discarded to
+//! avoid generating low-quality trajectories." (§3.2)
+//!
+//! Besides the paper's user/day/mode grouping this module offers gap-based
+//! splitting (break a segment when the inter-fix interval exceeds a
+//! threshold, a common pre-processing step for signal loss) and explicit
+//! split-point segmentation matching the paper's §3.1 definition.
+
+use crate::point::TrajectoryPoint;
+use crate::time::MILLIS_PER_DAY;
+use crate::trajectory::{RawTrajectory, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of points a segment must contain to be retained;
+/// the paper discards sub-trajectories with fewer than ten points.
+pub const MIN_SEGMENT_POINTS: usize = 10;
+
+/// Configuration of the paper's segmentation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentationConfig {
+    /// Minimum points per retained segment (paper: 10).
+    pub min_points: usize,
+    /// Optional maximum gap between consecutive fixes, in seconds; when a
+    /// larger gap occurs the segment is split there. `None` reproduces the
+    /// paper exactly (no gap splitting inside a day/mode group).
+    pub max_gap_s: Option<f64>,
+}
+
+impl Default for SegmentationConfig {
+    fn default() -> Self {
+        SegmentationConfig {
+            min_points: MIN_SEGMENT_POINTS,
+            max_gap_s: None,
+        }
+    }
+}
+
+impl SegmentationConfig {
+    /// The paper's configuration: minimum 10 points, no gap splitting.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Sets the minimum segment size.
+    pub fn with_min_points(mut self, min_points: usize) -> Self {
+        self.min_points = min_points;
+        self
+    }
+
+    /// Enables gap splitting at `max_gap_s` seconds.
+    pub fn with_max_gap_s(mut self, max_gap_s: f64) -> Self {
+        self.max_gap_s = Some(max_gap_s);
+        self
+    }
+}
+
+/// Groups a raw trajectory's labeled points by *(day, mode)* and returns
+/// the resulting segments, discarding unlabeled points and segments shorter
+/// than `config.min_points`.
+///
+/// A new segment starts whenever the calendar day changes, the annotation
+/// changes (including to/from unlabeled), or — when `config.max_gap_s` is
+/// set — the time gap to the previous fix exceeds the threshold.
+pub fn segment_by_user_day_mode(
+    trajectory: &RawTrajectory,
+    config: &SegmentationConfig,
+) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut current: Vec<TrajectoryPoint> = Vec::new();
+    let mut current_key: Option<(i64, crate::mode::TransportMode)> = None;
+
+    let mut flush =
+        |buf: &mut Vec<TrajectoryPoint>, key: Option<(i64, crate::mode::TransportMode)>| {
+            if let Some((day, mode)) = key {
+                if buf.len() >= config.min_points {
+                    segments.push(Segment::new(trajectory.user, mode, day, std::mem::take(buf)));
+                } else {
+                    buf.clear();
+                }
+            } else {
+                buf.clear();
+            }
+        };
+
+    for lp in &trajectory.points {
+        let key = lp.mode.map(|m| (lp.point.t.day_index(), m));
+        let gap_broken = match (config.max_gap_s, current.last()) {
+            (Some(max_gap), Some(prev)) => lp.point.t.seconds_since(prev.t) > max_gap,
+            _ => false,
+        };
+        if key != current_key || gap_broken {
+            flush(&mut current, current_key);
+            current_key = key;
+        }
+        if key.is_some() {
+            current.push(lp.point);
+        }
+    }
+    flush(&mut current, current_key);
+    segments
+}
+
+/// Splits a segment at explicit point indices, per the paper's §3.1
+/// split-point definition: split point `k` produces `points[..=k]` and
+/// `points[k+1..]`. Indices must be strictly increasing and in
+/// `0..len - 1`; out-of-range or unordered indices are ignored.
+pub fn split_at_points(segment: &Segment, split_indices: &[usize]) -> Vec<Segment> {
+    let n = segment.points.len();
+    let mut out = Vec::with_capacity(split_indices.len() + 1);
+    let mut start = 0usize;
+    for &k in split_indices {
+        if k < start || k + 1 >= n {
+            continue;
+        }
+        out.push(Segment::new(
+            segment.user,
+            segment.mode,
+            segment.day,
+            segment.points[start..=k].to_vec(),
+        ));
+        start = k + 1;
+    }
+    if start < n {
+        out.push(Segment::new(
+            segment.user,
+            segment.mode,
+            segment.day,
+            segment.points[start..].to_vec(),
+        ));
+    }
+    out
+}
+
+/// Splits a segment wherever the interval between consecutive fixes exceeds
+/// `max_gap_s` seconds, keeping only pieces of at least `min_points` fixes.
+pub fn split_on_gaps(segment: &Segment, max_gap_s: f64, min_points: usize) -> Vec<Segment> {
+    let mut out = Vec::new();
+    let mut piece: Vec<TrajectoryPoint> = Vec::new();
+    for &p in &segment.points {
+        if let Some(prev) = piece.last() {
+            if p.t.seconds_since(prev.t) > max_gap_s {
+                if piece.len() >= min_points {
+                    out.push(Segment::new(
+                        segment.user,
+                        segment.mode,
+                        segment.day,
+                        std::mem::take(&mut piece),
+                    ));
+                } else {
+                    piece.clear();
+                }
+            }
+        }
+        piece.push(p);
+    }
+    if piece.len() >= min_points {
+        out.push(Segment::new(segment.user, segment.mode, segment.day, piece));
+    }
+    out
+}
+
+/// Convenience: segments every trajectory of a collection and concatenates
+/// the results.
+pub fn segment_all(
+    trajectories: &[RawTrajectory],
+    config: &SegmentationConfig,
+) -> Vec<Segment> {
+    trajectories
+        .iter()
+        .flat_map(|t| segment_by_user_day_mode(t, config))
+        .collect()
+}
+
+/// Returns the day index spanned by a millisecond timestamp; exposed for
+/// tests that build day-aligned fixtures.
+pub fn day_of_millis(ms: i64) -> i64 {
+    ms.div_euclid(MILLIS_PER_DAY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::TransportMode;
+    use crate::point::LabeledPoint;
+    use crate::time::Timestamp;
+
+    fn fix(s: i64) -> TrajectoryPoint {
+        // March points eastward so they are spatially distinct.
+        TrajectoryPoint::new(39.9, 116.3 + s as f64 * 1e-5, Timestamp::from_seconds(s))
+    }
+
+    fn run_of(mode: TransportMode, start_s: i64, n: usize, step_s: i64) -> Vec<LabeledPoint> {
+        (0..n)
+            .map(|i| LabeledPoint::labeled(fix(start_s + i as i64 * step_s), mode))
+            .collect()
+    }
+
+    #[test]
+    fn groups_by_mode_change() {
+        let mut pts = run_of(TransportMode::Walk, 0, 12, 5);
+        pts.extend(run_of(TransportMode::Bus, 100, 15, 5));
+        let traj = RawTrajectory::new(3, pts);
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].mode, TransportMode::Walk);
+        assert_eq!(segs[0].len(), 12);
+        assert_eq!(segs[1].mode, TransportMode::Bus);
+        assert_eq!(segs[1].len(), 15);
+        assert!(segs.iter().all(|s| s.user == 3));
+    }
+
+    #[test]
+    fn groups_by_day_change() {
+        let day = 86_400;
+        let mut pts = run_of(TransportMode::Walk, day - 30, 12, 5);
+        // Crosses midnight at the 7th point (6 fixes before, 6 after).
+        let traj = RawTrajectory::new(1, pts.clone());
+        let segs = segment_by_user_day_mode(
+            &traj,
+            &SegmentationConfig::paper().with_min_points(2),
+        );
+        assert_eq!(segs.len(), 2, "split at midnight");
+        assert_eq!(segs[0].day + 1, segs[1].day);
+
+        // Without crossing midnight there is a single segment.
+        pts = run_of(TransportMode::Walk, 0, 12, 5);
+        let traj = RawTrajectory::new(1, pts);
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].day, 0);
+    }
+
+    #[test]
+    fn discards_short_segments() {
+        let mut pts = run_of(TransportMode::Walk, 0, 9, 5); // below MIN_SEGMENT_POINTS
+        pts.extend(run_of(TransportMode::Bike, 100, 10, 5)); // exactly at threshold
+        let traj = RawTrajectory::new(1, pts);
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].mode, TransportMode::Bike);
+    }
+
+    #[test]
+    fn discards_unlabeled_spans() {
+        let mut pts = run_of(TransportMode::Walk, 0, 12, 5);
+        pts.extend((0..20).map(|i| LabeledPoint::unlabeled(fix(200 + i * 5))));
+        pts.extend(run_of(TransportMode::Bus, 400, 12, 5));
+        let traj = RawTrajectory::new(1, pts);
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].mode, TransportMode::Walk);
+        assert_eq!(segs[1].mode, TransportMode::Bus);
+    }
+
+    #[test]
+    fn unlabeled_gap_breaks_a_mode_run() {
+        let mut pts = run_of(TransportMode::Walk, 0, 6, 5);
+        pts.push(LabeledPoint::unlabeled(fix(31)));
+        pts.extend(run_of(TransportMode::Walk, 40, 6, 5));
+        let traj = RawTrajectory::new(1, pts);
+        // With min_points=6 both halves survive as separate segments.
+        let segs = segment_by_user_day_mode(
+            &traj,
+            &SegmentationConfig::paper().with_min_points(6),
+        );
+        assert_eq!(segs.len(), 2);
+        // With the paper's min_points=10 both halves are discarded.
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn gap_splitting_breaks_on_signal_loss() {
+        let mut pts = run_of(TransportMode::Bus, 0, 10, 5);
+        pts.extend(run_of(TransportMode::Bus, 10_000, 10, 5)); // 10 ks gap
+        let traj = RawTrajectory::new(1, pts);
+
+        let no_gap = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
+        assert_eq!(no_gap.len(), 1, "paper config keeps the run together");
+
+        let with_gap = segment_by_user_day_mode(
+            &traj,
+            &SegmentationConfig::paper().with_max_gap_s(120.0),
+        );
+        assert_eq!(with_gap.len(), 2, "gap config splits at the signal loss");
+    }
+
+    #[test]
+    fn split_at_points_matches_paper_definition() {
+        let seg = Segment::new(
+            1,
+            TransportMode::Walk,
+            0,
+            (0..10).map(|i| fix(i * 5)).collect(),
+        );
+        let parts = split_at_points(&seg, &[3, 6]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4); // points[0..=3]
+        assert_eq!(parts[1].len(), 3); // points[4..=6]
+        assert_eq!(parts[2].len(), 3); // points[7..]
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, seg.len(), "partition covers every point");
+    }
+
+    #[test]
+    fn split_at_points_ignores_bad_indices() {
+        let seg = Segment::new(
+            1,
+            TransportMode::Walk,
+            0,
+            (0..5).map(|i| fix(i * 5)).collect(),
+        );
+        // 9 out of range, 2 after 3 unordered; only 3 is honoured.
+        let parts = split_at_points(&seg, &[3, 2, 9]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 1);
+    }
+
+    #[test]
+    fn split_on_gaps_filters_short_pieces() {
+        let seg = {
+            let mut p: Vec<TrajectoryPoint> = (0..10).map(|i| fix(i * 5)).collect();
+            p.push(fix(5_000)); // lone fix after a gap
+            p.extend((0..10).map(|i| fix(20_000 + i * 5)));
+            Segment::new(1, TransportMode::Car, 0, p)
+        };
+        let parts = split_on_gaps(&seg, 60.0, 5);
+        assert_eq!(parts.len(), 2, "the lone fix is dropped");
+        assert!(parts.iter().all(|p| p.len() == 10));
+    }
+
+    #[test]
+    fn segment_all_concatenates_users() {
+        let t1 = RawTrajectory::new(1, run_of(TransportMode::Walk, 0, 12, 5));
+        let t2 = RawTrajectory::new(2, run_of(TransportMode::Bike, 0, 12, 5));
+        let segs = segment_all(&[t1, t2], &SegmentationConfig::paper());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].user, 1);
+        assert_eq!(segs[1].user, 2);
+    }
+
+    #[test]
+    fn empty_trajectory_produces_no_segments() {
+        let traj = RawTrajectory::new(1, vec![]);
+        assert!(segment_by_user_day_mode(&traj, &SegmentationConfig::paper()).is_empty());
+    }
+}

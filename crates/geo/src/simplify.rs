@@ -1,0 +1,179 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! Not a step of the paper's framework, but standard trajectory-library
+//! functionality: GPS logs at 1–5 s cadence are heavily oversampled on
+//! straight stretches, and downstream consumers (visualisation, storage,
+//! map matching) routinely simplify first. The reproduction also uses it
+//! to probe feature robustness: percentile features should degrade
+//! gracefully under mild simplification.
+
+use crate::point::TrajectoryPoint;
+
+/// Simplifies a polyline of GPS fixes with the Douglas–Peucker
+/// algorithm: a fix is kept when it deviates more than `epsilon_m` metres
+/// from the straight line between the retained fixes around it. The first
+/// and last fixes are always kept; capture order is preserved.
+pub fn douglas_peucker(points: &[TrajectoryPoint], epsilon_m: f64) -> Vec<TrajectoryPoint> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    simplify_range(points, 0, points.len() - 1, epsilon_m, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+fn simplify_range(
+    points: &[TrajectoryPoint],
+    first: usize,
+    last: usize,
+    epsilon_m: f64,
+    keep: &mut [bool],
+) {
+    if last <= first + 1 {
+        return;
+    }
+    let (mut max_dist, mut max_idx) = (0.0f64, first);
+    for i in first + 1..last {
+        let d = perpendicular_distance_m(&points[i], &points[first], &points[last]);
+        if d > max_dist {
+            max_dist = d;
+            max_idx = i;
+        }
+    }
+    if max_dist > epsilon_m {
+        keep[max_idx] = true;
+        simplify_range(points, first, max_idx, epsilon_m, keep);
+        simplify_range(points, max_idx, last, epsilon_m, keep);
+    }
+}
+
+/// Perpendicular distance (metres) of `p` from the segment `a`–`b`, via a
+/// local equirectangular projection centred on `a`. Exact enough for the
+/// sub-kilometre spans simplification operates on.
+pub fn perpendicular_distance_m(
+    p: &TrajectoryPoint,
+    a: &TrajectoryPoint,
+    b: &TrajectoryPoint,
+) -> f64 {
+    const M_PER_DEG: f64 = 111_320.0;
+    let cos_lat = a.lat.to_radians().cos();
+    let (px, py) = ((p.lon - a.lon) * M_PER_DEG * cos_lat, (p.lat - a.lat) * M_PER_DEG);
+    let (bx, by) = ((b.lon - a.lon) * M_PER_DEG * cos_lat, (b.lat - a.lat) * M_PER_DEG);
+
+    let len_sq = bx * bx + by * by;
+    if len_sq == 0.0 {
+        return (px * px + py * py).sqrt();
+    }
+    // Project p onto the segment, clamping to its ends.
+    let t = ((px * bx + py * by) / len_sq).clamp(0.0, 1.0);
+    let (dx, dy) = (px - t * bx, py - t * by);
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn pt(lat: f64, lon: f64, s: i64) -> TrajectoryPoint {
+        TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(s))
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let points: Vec<TrajectoryPoint> = (0..20)
+            .map(|i| pt(39.9 + i as f64 * 1e-4, 116.3, i))
+            .collect();
+        let simplified = douglas_peucker(&points, 1.0);
+        assert_eq!(simplified.len(), 2);
+        assert_eq!(simplified[0], points[0]);
+        assert_eq!(simplified[1], points[19]);
+    }
+
+    #[test]
+    fn corner_is_retained() {
+        // North for 10 fixes then east for 10: the corner must survive.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(pt(39.9 + i as f64 * 1e-4, 116.3, i));
+        }
+        for i in 0..10 {
+            points.push(pt(39.9009, 116.3 + (i + 1) as f64 * 1e-4, 10 + i));
+        }
+        let simplified = douglas_peucker(&points, 2.0);
+        assert!(simplified.len() >= 3, "{}", simplified.len());
+        // The corner fix (index 9) is among the retained ones.
+        assert!(simplified.iter().any(|p| p == &points[9]));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_every_deviating_point() {
+        let points = vec![
+            pt(0.0, 0.0, 0),
+            pt(0.0005, 0.001, 1), // off the straight line
+            pt(0.0, 0.002, 2),
+        ];
+        let simplified = douglas_peucker(&points, 0.0);
+        assert_eq!(simplified.len(), 3);
+    }
+
+    #[test]
+    fn huge_epsilon_keeps_only_endpoints() {
+        let points: Vec<TrajectoryPoint> =
+            (0..15).map(|i| pt(39.9 + (i % 3) as f64 * 1e-4, 116.3 + i as f64 * 1e-4, i)).collect();
+        let simplified = douglas_peucker(&points, 1e9);
+        assert_eq!(simplified.len(), 2);
+    }
+
+    #[test]
+    fn short_inputs_pass_through() {
+        assert!(douglas_peucker(&[], 1.0).is_empty());
+        let one = vec![pt(1.0, 2.0, 0)];
+        assert_eq!(douglas_peucker(&one, 1.0), one);
+        let two = vec![pt(1.0, 2.0, 0), pt(1.1, 2.1, 1)];
+        assert_eq!(douglas_peucker(&two, 1.0), two);
+    }
+
+    #[test]
+    fn time_order_is_preserved_and_small_jitter_removed() {
+        // A big dog-leg at the middle plus ~5 m jitter everywhere: a 15 m
+        // epsilon must drop the jitter but keep the corner.
+        let points: Vec<TrajectoryPoint> = (0..30)
+            .map(|i| {
+                let jitter = if i % 2 == 0 { 0.0 } else { 5e-5 };
+                let east = if i < 15 { 0.0 } else { (i - 15) as f64 * 2e-4 };
+                pt(39.9 + i as f64 * 1e-4, 116.3 + east + jitter, i)
+            })
+            .collect();
+        let simplified = douglas_peucker(&points, 15.0);
+        assert!(simplified.windows(2).all(|w| w[0].t < w[1].t));
+        assert!(simplified.len() < points.len(), "jitter removed");
+        assert!(simplified.len() > 2, "the dog-leg survives: {}", simplified.len());
+    }
+
+    #[test]
+    fn perpendicular_distance_basics() {
+        let a = pt(0.0, 0.0, 0);
+        let b = pt(0.0, 0.001, 1); // ~111 m east
+        // A point 0.0005° north of the midpoint: ~55.66 m off the line.
+        let p = pt(0.0005, 0.0005, 0);
+        let d = perpendicular_distance_m(&p, &a, &b);
+        assert!((d - 55.66).abs() < 0.5, "distance {d}");
+        // A point on the line has zero distance.
+        let on = pt(0.0, 0.0005, 0);
+        assert!(perpendicular_distance_m(&on, &a, &b) < 1e-9);
+        // Degenerate segment: distance to the point a.
+        let d0 = perpendicular_distance_m(&p, &a, &a);
+        assert!(d0 > 55.0, "distance {d0}");
+        // Beyond the segment end, distance clamps to the endpoint.
+        let beyond = pt(0.0, 0.002, 0);
+        let d_end = perpendicular_distance_m(&beyond, &a, &b);
+        assert!((d_end - 111.32).abs() < 1.0, "distance {d_end}");
+    }
+}

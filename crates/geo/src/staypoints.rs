@@ -1,0 +1,242 @@
+//! Stay-point detection (Li et al., 2008).
+//!
+//! A *stay point* is a region where a moving object lingers — home, the
+//! office, a bus terminus. Detecting them is the other classic GeoLife
+//! primitive (Li, Zheng et al., *"Mining user similarity based on
+//! location history"*), and the paper's related-work thread on semantic
+//! trajectories builds on exactly this notion. For mode prediction, stay
+//! points double as candidate trip boundaries: trips start and end where
+//! people stay.
+//!
+//! The algorithm: scan forward from each anchor fix; if every fix within
+//! `distance_threshold_m` of the anchor spans at least
+//! `duration_threshold_s`, emit the group's centroid as a stay point and
+//! continue after it.
+
+use crate::geodesy;
+use crate::point::TrajectoryPoint;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of [`detect_stay_points`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StayPointConfig {
+    /// Maximum distance from the anchor fix, metres (Li et al. use 200).
+    pub distance_threshold_m: f64,
+    /// Minimum dwell time, seconds (Li et al. use 30 min; 20 min here —
+    /// GeoLife trips are urban).
+    pub duration_threshold_s: f64,
+}
+
+impl Default for StayPointConfig {
+    fn default() -> Self {
+        StayPointConfig {
+            distance_threshold_m: 200.0,
+            duration_threshold_s: 20.0 * 60.0,
+        }
+    }
+}
+
+/// A detected stay point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StayPoint {
+    /// Mean latitude of the contributing fixes.
+    pub lat: f64,
+    /// Mean longitude of the contributing fixes.
+    pub lon: f64,
+    /// Arrival time (first contributing fix).
+    pub arrival: Timestamp,
+    /// Departure time (last contributing fix).
+    pub departure: Timestamp,
+    /// Index range `[start, end)` of the contributing fixes.
+    pub start_index: usize,
+    /// Exclusive end index.
+    pub end_index: usize,
+}
+
+impl StayPoint {
+    /// Dwell duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.departure.seconds_since(self.arrival)
+    }
+}
+
+/// Detects stay points in a time-ordered fix sequence.
+pub fn detect_stay_points(
+    points: &[TrajectoryPoint],
+    config: &StayPointConfig,
+) -> Vec<StayPoint> {
+    let n = points.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // Extend j while every fix stays near the anchor i.
+        let mut j = i + 1;
+        while j < n
+            && geodesy::point_distance_m(&points[i], &points[j]) <= config.distance_threshold_m
+        {
+            j += 1;
+        }
+        // Fixes i..j are within the radius; check the dwell time.
+        let dwell = points[j - 1].t.seconds_since(points[i].t);
+        if j > i + 1 && dwell >= config.duration_threshold_s {
+            let count = (j - i) as f64;
+            let lat = points[i..j].iter().map(|p| p.lat).sum::<f64>() / count;
+            let lon = points[i..j].iter().map(|p| p.lon).sum::<f64>() / count;
+            out.push(StayPoint {
+                lat,
+                lon,
+                arrival: points[i].t,
+                departure: points[j - 1].t,
+                start_index: i,
+                end_index: j,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Splits a fix sequence into trips at the detected stay points: the
+/// returned pieces are the movement spans between consecutive stays,
+/// dropping pieces shorter than `min_points`.
+pub fn split_at_stay_points(
+    points: &[TrajectoryPoint],
+    stay_points: &[StayPoint],
+    min_points: usize,
+) -> Vec<Vec<TrajectoryPoint>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for sp in stay_points {
+        if sp.start_index > start && sp.start_index - start >= min_points {
+            out.push(points[start..sp.start_index].to_vec());
+        }
+        start = sp.end_index;
+    }
+    if points.len() > start && points.len() - start >= min_points {
+        out.push(points[start..].to_vec());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geodesy::destination;
+
+    fn pt(lat: f64, lon: f64, s: i64) -> TrajectoryPoint {
+        TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(s))
+    }
+
+    /// A commute: move 10 min, dwell 30 min in one spot, move again.
+    fn commute() -> Vec<TrajectoryPoint> {
+        let mut points = Vec::new();
+        let (mut lat, mut lon) = (39.9, 116.3);
+        let mut t = 0i64;
+        for _ in 0..60 {
+            points.push(pt(lat, lon, t));
+            let (nlat, nlon) = destination(lat, lon, 90.0, 50.0); // 5 m/s
+            lat = nlat;
+            lon = nlon;
+            t += 10;
+        }
+        // Dwell: 30 min of small jitter (< 50 m).
+        let (home_lat, home_lon) = (lat, lon);
+        for k in 0..180 {
+            let (jlat, jlon) =
+                destination(home_lat, home_lon, (k * 37 % 360) as f64, (k % 5) as f64 * 8.0);
+            points.push(pt(jlat, jlon, t));
+            t += 10;
+        }
+        for _ in 0..60 {
+            let (nlat, nlon) = destination(lat, lon, 0.0, 50.0);
+            lat = nlat;
+            lon = nlon;
+            points.push(pt(lat, lon, t));
+            t += 10;
+        }
+        points
+    }
+
+    #[test]
+    fn detects_the_dwell() {
+        let points = commute();
+        let sps = detect_stay_points(&points, &StayPointConfig::default());
+        assert_eq!(sps.len(), 1, "exactly the 30-minute dwell");
+        let sp = &sps[0];
+        assert!(sp.duration_s() >= 20.0 * 60.0, "{}", sp.duration_s());
+        assert!(sp.start_index >= 55 && sp.start_index <= 65, "{}", sp.start_index);
+        // Centroid is near the dwell location.
+        let d = crate::geodesy::haversine_m(sp.lat, sp.lon, points[70].lat, points[70].lon);
+        assert!(d < 100.0, "centroid {d} m from a dwell fix");
+    }
+
+    #[test]
+    fn continuous_motion_has_no_stay_points() {
+        let mut points = Vec::new();
+        let (mut lat, mut lon) = (39.9, 116.3);
+        for i in 0..300 {
+            points.push(pt(lat, lon, i * 10));
+            let (nlat, nlon) = destination(lat, lon, 45.0, 60.0);
+            lat = nlat;
+            lon = nlon;
+        }
+        assert!(detect_stay_points(&points, &StayPointConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn short_pauses_are_ignored() {
+        // A 5-minute pause is below the 20-minute threshold.
+        let mut points = Vec::new();
+        let (mut lat, mut lon) = (39.9, 116.3);
+        let mut t = 0i64;
+        for _ in 0..30 {
+            points.push(pt(lat, lon, t));
+            let (nlat, nlon) = destination(lat, lon, 90.0, 60.0);
+            lat = nlat;
+            lon = nlon;
+            t += 10;
+        }
+        for _ in 0..30 {
+            points.push(pt(lat, lon, t));
+            t += 10;
+        }
+        for _ in 0..30 {
+            let (nlat, nlon) = destination(lat, lon, 90.0, 60.0);
+            lat = nlat;
+            lon = nlon;
+            points.push(pt(lat, lon, t));
+            t += 10;
+        }
+        assert!(detect_stay_points(&points, &StayPointConfig::default()).is_empty());
+        // But a permissive config finds it.
+        let permissive = StayPointConfig {
+            distance_threshold_m: 100.0,
+            duration_threshold_s: 120.0,
+        };
+        assert_eq!(detect_stay_points(&points, &permissive).len(), 1);
+    }
+
+    #[test]
+    fn split_at_stay_points_extracts_trips() {
+        let points = commute();
+        let sps = detect_stay_points(&points, &StayPointConfig::default());
+        let trips = split_at_stay_points(&points, &sps, 10);
+        assert_eq!(trips.len(), 2, "before and after the dwell");
+        assert!(trips[0].len() >= 50);
+        assert!(trips[1].len() >= 50);
+        // Trips don't overlap the stay.
+        let sp = &sps[0];
+        assert!(trips[0].len() <= sp.start_index);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(detect_stay_points(&[], &StayPointConfig::default()).is_empty());
+        assert!(detect_stay_points(&[pt(0.0, 0.0, 0)], &StayPointConfig::default()).is_empty());
+        let trips = split_at_stay_points(&[], &[], 1);
+        assert!(trips.is_empty());
+    }
+}

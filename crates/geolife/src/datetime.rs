@@ -1,0 +1,181 @@
+//! Calendar parsing for GeoLife timestamps, with no external date crate.
+//!
+//! GeoLife PLT rows carry `YYYY-MM-DD,HH:MM:SS` fields; `labels.txt` uses
+//! `YYYY/MM/DD HH:MM:SS`. Everything is treated as UTC (GeoLife files use
+//! a single consistent timezone; the experiments only ever need
+//! *consistent* day grouping, not local-time correctness).
+
+use traj_geo::{GeoError, Timestamp};
+
+/// Days from the civil epoch 1970-01-01 to `y-m-d` (proleptic Gregorian).
+/// Howard Hinnant's `days_from_civil` algorithm.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy as u64; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: `(year, month, day)` of a day count.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses a date like `2009-10-11` or `2009/10/11`.
+pub fn parse_date(s: &str) -> Result<i64, GeoError> {
+    let norm = s.trim().replace('/', "-");
+    let mut parts = norm.split('-');
+    let (y, m, d) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(y), Some(m), Some(d), None) => (y, m, d),
+        _ => return Err(bad(s)),
+    };
+    let y: i64 = y.parse().map_err(|_| bad(s))?;
+    let m: u32 = m.parse().map_err(|_| bad(s))?;
+    let d: u32 = d.parse().map_err(|_| bad(s))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad(s));
+    }
+    Ok(days_from_civil(y, m, d))
+}
+
+/// Parses a time like `14:04:30` into seconds since midnight.
+pub fn parse_time(s: &str) -> Result<i64, GeoError> {
+    let mut parts = s.trim().split(':');
+    let (h, m, sec) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(h), Some(m), Some(sec), None) => (h, m, sec),
+        _ => return Err(bad(s)),
+    };
+    let h: i64 = h.parse().map_err(|_| bad(s))?;
+    let m: i64 = m.parse().map_err(|_| bad(s))?;
+    let sec: i64 = sec.parse().map_err(|_| bad(s))?;
+    if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec) {
+        return Err(bad(s));
+    }
+    Ok(h * 3600 + m * 60 + sec)
+}
+
+/// Parses a PLT-style split timestamp (`2009-10-11`, `14:04:30`).
+pub fn parse_date_time(date: &str, time: &str) -> Result<Timestamp, GeoError> {
+    let days = parse_date(date)?;
+    let secs = parse_time(time)?;
+    Ok(Timestamp::from_seconds(days * 86_400 + secs))
+}
+
+/// Parses a labels.txt-style combined timestamp (`2008/04/02 11:24:21`).
+pub fn parse_label_datetime(s: &str) -> Result<Timestamp, GeoError> {
+    let mut parts = s.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(date), Some(time), None) => parse_date_time(date, time),
+        _ => Err(bad(s)),
+    }
+}
+
+/// Formats a timestamp back into PLT-style `(date, time)` strings.
+pub fn format_date_time(t: Timestamp) -> (String, String) {
+    let (y, m, d) = civil_from_days(t.day_index());
+    let ms = t.millis_of_day();
+    let secs = ms / 1000;
+    (
+        format!("{y:04}-{m:02}-{d:02}"),
+        format!("{:02}:{:02}:{:02}", secs / 3600, (secs / 60) % 60, secs % 60),
+    )
+}
+
+fn bad(s: &str) -> GeoError {
+    GeoError::UnknownMode(format!("unparseable date/time: {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-03-01 is day 11017.
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        // GeoLife collection start, 2007-04-01.
+        assert_eq!(days_from_civil(2007, 4, 1), 13_604);
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        for z in [-1000, -1, 0, 1, 11_017, 13_604, 20_000] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(
+            days_from_civil(2008, 2, 29) + 1,
+            days_from_civil(2008, 3, 1)
+        );
+        // 1900 was not a leap year, 2000 was.
+        assert_eq!(
+            days_from_civil(1900, 2, 28) + 1,
+            days_from_civil(1900, 3, 1)
+        );
+        assert_eq!(
+            days_from_civil(2000, 2, 28) + 2,
+            days_from_civil(2000, 3, 1)
+        );
+    }
+
+    #[test]
+    fn parse_date_both_separators() {
+        assert_eq!(parse_date("2009-10-11").unwrap(), days_from_civil(2009, 10, 11));
+        assert_eq!(parse_date("2009/10/11").unwrap(), days_from_civil(2009, 10, 11));
+        assert!(parse_date("2009-13-01").is_err());
+        assert!(parse_date("2009-00-01").is_err());
+        assert!(parse_date("garbage").is_err());
+        assert!(parse_date("2009-10").is_err());
+    }
+
+    #[test]
+    fn parse_time_validates_fields() {
+        assert_eq!(parse_time("14:04:30").unwrap(), 14 * 3600 + 4 * 60 + 30);
+        assert_eq!(parse_time("00:00:00").unwrap(), 0);
+        assert_eq!(parse_time("23:59:59").unwrap(), 86_399);
+        assert!(parse_time("24:00:00").is_err());
+        assert!(parse_time("12:60:00").is_err());
+        assert!(parse_time("12:00").is_err());
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let t = parse_date_time("2009-10-11", "14:04:30").unwrap();
+        let (date, time) = format_date_time(t);
+        assert_eq!(date, "2009-10-11");
+        assert_eq!(time, "14:04:30");
+    }
+
+    #[test]
+    fn label_datetime_format() {
+        let t = parse_label_datetime("2008/04/02 11:24:21").unwrap();
+        let (date, time) = format_date_time(t);
+        assert_eq!(date, "2008-04-02");
+        assert_eq!(time, "11:24:21");
+        assert!(parse_label_datetime("2008/04/02").is_err());
+        assert!(parse_label_datetime("2008/04/02 11:24:21 extra").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! GeoLife `labels.txt` annotation tables.
+//!
+//! Sixty-nine users carry a `labels.txt` next to their `Trajectory/`
+//! directory:
+//!
+//! ```text
+//! Start Time\tEnd Time\tTransportation Mode
+//! 2008/04/02 11:24:21\t2008/04/02 11:50:45\ttrain
+//! …
+//! ```
+//!
+//! Annotation intervals are closed on both ends; applying them to a point
+//! sequence yields the [`traj_geo::LabeledPoint`]s the segmentation step
+//! consumes.
+
+use crate::datetime::parse_label_datetime;
+use traj_geo::{GeoError, LabeledPoint, Timestamp, TrajectoryPoint, TransportMode};
+
+/// One annotation interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelInterval {
+    /// Inclusive start of the annotation.
+    pub start: Timestamp,
+    /// Inclusive end of the annotation.
+    pub end: Timestamp,
+    /// Annotated mode.
+    pub mode: TransportMode,
+}
+
+/// Parses the contents of a `labels.txt` file.
+///
+/// The header line is skipped; rows with unknown modes or unparseable
+/// timestamps produce an error (the real files are clean), and inverted
+/// intervals are dropped.
+pub fn parse_labels(content: &str) -> Result<Vec<LabelInterval>, GeoError> {
+    let mut intervals = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line.to_ascii_lowercase().contains("start time")) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(GeoError::UnknownMode(format!(
+                "labels.txt row {i} has {} fields, expected 3",
+                fields.len()
+            )));
+        }
+        let start = parse_label_datetime(fields[0])?;
+        let end = parse_label_datetime(fields[1])?;
+        let mode: TransportMode = fields[2].parse()?;
+        if end >= start {
+            intervals.push(LabelInterval { start, end, mode });
+        }
+    }
+    intervals.sort_by_key(|iv| iv.start);
+    Ok(intervals)
+}
+
+/// Annotates points with the intervals: a point falling inside an interval
+/// (inclusive) receives its mode; overlapping intervals resolve to the one
+/// that starts last (the annotation closest to the point's activity).
+///
+/// Runs in `O(n + m)` for sorted points and intervals.
+pub fn apply_labels(points: &[TrajectoryPoint], intervals: &[LabelInterval]) -> Vec<LabeledPoint> {
+    let mut out = Vec::with_capacity(points.len());
+    let mut cursor = 0usize;
+    for &p in points {
+        // Advance past intervals that ended before this point.
+        while cursor < intervals.len() && intervals[cursor].end < p.t {
+            cursor += 1;
+        }
+        // Among intervals covering p (there may be a few overlapping),
+        // prefer the latest-starting one.
+        let mut mode = None;
+        let mut j = cursor;
+        while j < intervals.len() && intervals[j].start <= p.t {
+            if intervals[j].end >= p.t {
+                mode = Some(intervals[j].mode);
+            }
+            j += 1;
+        }
+        out.push(LabeledPoint::new(p, mode));
+    }
+    out
+}
+
+/// Serialises intervals back to the `labels.txt` format.
+pub fn write_labels(intervals: &[LabelInterval]) -> String {
+    let mut out = String::from("Start Time\tEnd Time\tTransportation Mode\n");
+    for iv in intervals {
+        let (d1, t1) = crate::datetime::format_date_time(iv.start);
+        let (d2, t2) = crate::datetime::format_date_time(iv.end);
+        out.push_str(&format!(
+            "{}\t{}\t{}\n",
+            format_args!("{} {}", d1.replace('-', "/"), t1),
+            format_args!("{} {}", d2.replace('-', "/"), t2),
+            iv.mode
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Start Time\tEnd Time\tTransportation Mode\n2008/04/02 11:24:21\t2008/04/02 11:50:45\ttrain\n2008/04/03 01:07:03\t2008/04/03 11:31:55\ttrain\n2008/04/03 11:32:24\t2008/04/03 11:46:14\twalk\n";
+
+    #[test]
+    fn parses_the_documented_example() {
+        let ivs = parse_labels(SAMPLE).unwrap();
+        assert_eq!(ivs.len(), 3);
+        assert_eq!(ivs[0].mode, TransportMode::Train);
+        assert_eq!(ivs[2].mode, TransportMode::Walk);
+        assert!(ivs[0].start < ivs[0].end);
+    }
+
+    #[test]
+    fn rejects_unknown_modes_and_bad_rows() {
+        assert!(parse_labels("Start Time\tEnd Time\tTransportation Mode\n2008/04/02 11:24:21\t2008/04/02 11:50:45\thovercraft\n").is_err());
+        assert!(parse_labels("Start Time\tEnd Time\tTransportation Mode\nonly two\tfields\n").is_err());
+    }
+
+    #[test]
+    fn drops_inverted_intervals() {
+        let ivs = parse_labels("Start Time\tEnd Time\tTransportation Mode\n2008/04/02 12:00:00\t2008/04/02 11:00:00\twalk\n").unwrap();
+        assert!(ivs.is_empty());
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let ivs =
+            parse_labels("2008/04/02 11:24:21\t2008/04/02 11:50:45\tbus\n").unwrap();
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].mode, TransportMode::Bus);
+    }
+
+    fn pt(s: i64) -> TrajectoryPoint {
+        TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(s))
+    }
+
+    #[test]
+    fn apply_labels_annotates_inclusively() {
+        let ivs = vec![LabelInterval {
+            start: Timestamp::from_seconds(100),
+            end: Timestamp::from_seconds(200),
+            mode: TransportMode::Bike,
+        }];
+        let points = vec![pt(99), pt(100), pt(150), pt(200), pt(201)];
+        let labeled = apply_labels(&points, &ivs);
+        assert_eq!(labeled[0].mode, None);
+        assert_eq!(labeled[1].mode, Some(TransportMode::Bike));
+        assert_eq!(labeled[2].mode, Some(TransportMode::Bike));
+        assert_eq!(labeled[3].mode, Some(TransportMode::Bike));
+        assert_eq!(labeled[4].mode, None);
+    }
+
+    #[test]
+    fn overlapping_intervals_prefer_latest_start() {
+        let ivs = vec![
+            LabelInterval {
+                start: Timestamp::from_seconds(0),
+                end: Timestamp::from_seconds(300),
+                mode: TransportMode::Bus,
+            },
+            LabelInterval {
+                start: Timestamp::from_seconds(100),
+                end: Timestamp::from_seconds(200),
+                mode: TransportMode::Walk,
+            },
+        ];
+        let labeled = apply_labels(&[pt(50), pt(150), pt(250)], &ivs);
+        assert_eq!(labeled[0].mode, Some(TransportMode::Bus));
+        assert_eq!(labeled[1].mode, Some(TransportMode::Walk));
+        assert_eq!(labeled[2].mode, Some(TransportMode::Bus));
+    }
+
+    #[test]
+    fn unlabeled_when_no_intervals() {
+        let labeled = apply_labels(&[pt(1), pt(2)], &[]);
+        assert!(labeled.iter().all(|l| l.mode.is_none()));
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let ivs = parse_labels(SAMPLE).unwrap();
+        let text = write_labels(&ivs);
+        let reparsed = parse_labels(&text).unwrap();
+        assert_eq!(ivs, reparsed);
+    }
+}

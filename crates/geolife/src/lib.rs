@@ -1,0 +1,34 @@
+//! # traj-geolife
+//!
+//! GeoLife dataset support for the reproduction of Etemad et al. (EDBT
+//! 2019):
+//!
+//! * [`plt`] / [`labels`] / [`loader`] — parsers for the real GeoLife
+//!   distribution (`Data/<user>/Trajectory/*.plt` files and the
+//!   `labels.txt` annotation tables), so the pipeline runs unchanged on
+//!   the actual dataset when it is available.
+//! * [`synth`] — a calibrated **synthetic GeoLife generator**. The real
+//!   dataset (5.5 M GPS points, 69 labeled users) cannot be redistributed
+//!   with this repository, so every experiment here runs on synthetic
+//!   trajectories that reproduce the dataset's published structure: the
+//!   paper's eleven-mode label distribution, mode-specific kinematics,
+//!   per-user idiosyncrasies (pace, device noise, sampling rate) and a GPS
+//!   error model (random error, systematic drift, outlier spikes, signal
+//!   loss). See `DESIGN.md` for the substitution rationale.
+//! * [`stats`] — dataset summaries mirroring the paper's §4 description.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datetime;
+pub mod export;
+pub mod labels;
+pub mod loader;
+pub mod plt;
+pub mod stats;
+pub mod synth;
+
+pub use export::write_geolife_layout;
+pub use loader::load_geolife_directory;
+pub use stats::DatasetStats;
+pub use synth::{SynthConfig, SynthDataset};

@@ -1,0 +1,192 @@
+//! Loading a real GeoLife distribution from disk.
+//!
+//! Expected layout (the official download):
+//!
+//! ```text
+//! <root>/Data/<user-id>/Trajectory/*.plt
+//! <root>/Data/<user-id>/labels.txt        (only for labeled users)
+//! ```
+//!
+//! Users without a `labels.txt` are skipped by default — the paper's task
+//! is supervised, so only the 69 annotated users matter.
+
+use crate::labels::{apply_labels, parse_labels, LabelInterval};
+use crate::plt::parse_plt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use traj_geo::{LabeledPoint, RawTrajectory, TrajectoryPoint, UserId};
+
+/// Options of [`load_geolife_directory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoaderOptions {
+    /// Skip users that carry no `labels.txt` (default `true`).
+    pub labeled_users_only: bool,
+    /// Stop after this many users (`None` loads all) — useful for smoke
+    /// tests against the full dataset.
+    pub max_users: Option<usize>,
+}
+
+impl Default for LoaderOptions {
+    fn default() -> Self {
+        LoaderOptions {
+            labeled_users_only: true,
+            max_users: None,
+        }
+    }
+}
+
+/// Loads a GeoLife directory into one [`RawTrajectory`] per user (all PLT
+/// files concatenated in time order, annotations applied).
+pub fn load_geolife_directory(
+    root: &Path,
+    options: &LoaderOptions,
+) -> io::Result<Vec<RawTrajectory>> {
+    let data_dir = if root.join("Data").is_dir() {
+        root.join("Data")
+    } else {
+        root.to_path_buf()
+    };
+
+    let mut user_dirs: Vec<(UserId, std::path::PathBuf)> = Vec::new();
+    for entry in fs::read_dir(&data_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(user_id) = name.to_str().and_then(|s| s.parse::<UserId>().ok()) else {
+            continue;
+        };
+        user_dirs.push((user_id, entry.path()));
+    }
+    user_dirs.sort_by_key(|(id, _)| *id);
+
+    let mut out = Vec::new();
+    for (user_id, dir) in user_dirs {
+        if let Some(max) = options.max_users {
+            if out.len() >= max {
+                break;
+            }
+        }
+        let labels_path = dir.join("labels.txt");
+        let intervals: Vec<LabelInterval> = if labels_path.is_file() {
+            let content = fs::read_to_string(&labels_path)?;
+            parse_labels(&content).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        } else if options.labeled_users_only {
+            continue;
+        } else {
+            Vec::new()
+        };
+
+        let mut points: Vec<TrajectoryPoint> = Vec::new();
+        let traj_dir = dir.join("Trajectory");
+        if traj_dir.is_dir() {
+            let mut plt_files: Vec<std::path::PathBuf> = fs::read_dir(&traj_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "plt"))
+                .collect();
+            plt_files.sort();
+            for file in plt_files {
+                let content = fs::read_to_string(&file)?;
+                let pts = parse_plt(&content)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                points.extend(pts);
+            }
+        }
+        if points.is_empty() {
+            continue;
+        }
+        // PLT file names sort chronologically, but guard against overlap.
+        points.sort_by_key(|p| p.t);
+        points.dedup_by_key(|p| p.t);
+
+        let labeled: Vec<LabeledPoint> = apply_labels(&points, &intervals);
+        out.push(RawTrajectory::new(user_id, labeled));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::write_labels;
+    use crate::plt::write_plt;
+    use traj_geo::{Timestamp, TransportMode};
+
+    /// Builds a miniature on-disk GeoLife distribution.
+    fn build_fixture(root: &Path) {
+        let base = Timestamp::from_seconds(1_200_000_000);
+        for user in ["010", "011", "012"] {
+            let traj_dir = root.join("Data").join(user).join("Trajectory");
+            fs::create_dir_all(&traj_dir).unwrap();
+            let points: Vec<TrajectoryPoint> = (0..30)
+                .map(|i| {
+                    TrajectoryPoint::new(39.9 + i as f64 * 1e-4, 116.3, base + i * 5_000)
+                })
+                .collect();
+            fs::write(traj_dir.join("20080110000000.plt"), write_plt(&points)).unwrap();
+            // Users 010 and 011 are labeled; 012 is not.
+            if user != "012" {
+                let labels = vec![crate::labels::LabelInterval {
+                    start: base,
+                    end: base + 200_000,
+                    mode: TransportMode::Walk,
+                }];
+                fs::write(
+                    root.join("Data").join(user).join("labels.txt"),
+                    write_labels(&labels),
+                )
+                .unwrap();
+            }
+        }
+        // A non-numeric directory to ignore.
+        fs::create_dir_all(root.join("Data").join("README")).unwrap();
+    }
+
+    #[test]
+    fn loads_labeled_users_only_by_default() {
+        let dir = std::env::temp_dir().join(format!("geolife_fixture_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        build_fixture(&dir);
+
+        let users = load_geolife_directory(&dir, &LoaderOptions::default()).unwrap();
+        assert_eq!(users.len(), 2, "user 012 has no labels.txt");
+        assert_eq!(users[0].user, 10);
+        assert_eq!(users[1].user, 11);
+        assert_eq!(users[0].len(), 30);
+        // First 41 fixes fall inside the 200 s interval (0..=200_000 ms
+        // at 5 s cadence); here all 30 do.
+        assert!(users[0].points.iter().all(|p| p.mode == Some(TransportMode::Walk)));
+
+        let all = load_geolife_directory(
+            &dir,
+            &LoaderOptions {
+                labeled_users_only: false,
+                max_users: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all[2].points.iter().all(|p| p.mode.is_none()));
+
+        let capped = load_geolife_directory(
+            &dir,
+            &LoaderOptions {
+                labeled_users_only: true,
+                max_users: Some(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.len(), 1);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let missing = Path::new("/nonexistent/geolife/root");
+        assert!(load_geolife_directory(missing, &LoaderOptions::default()).is_err());
+    }
+}

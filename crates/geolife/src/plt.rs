@@ -1,0 +1,137 @@
+//! GeoLife PLT trajectory files.
+//!
+//! A PLT file holds one recording session:
+//!
+//! ```text
+//! Geolife trajectory
+//! WGS 84
+//! Altitude is in Feet
+//! Reserved 3
+//! 0,2,255,My Track,0,0,2,8421376
+//! 0
+//! 39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30
+//! …
+//! ```
+//!
+//! Six header lines, then one CSV row per fix: latitude, longitude, a
+//! reserved `0`, altitude in feet (`-777` when invalid), days since
+//! 1899-12-30 as a float, date, time.
+
+use crate::datetime::{format_date_time, parse_date_time};
+use traj_geo::{GeoError, TrajectoryPoint};
+
+/// Number of header lines preceding the data rows.
+pub const PLT_HEADER_LINES: usize = 6;
+
+/// Offset (in days) between the PLT serial-date epoch (1899-12-30) and the
+/// Unix epoch (1970-01-01).
+pub const SERIAL_DATE_EPOCH_OFFSET_DAYS: f64 = 25_569.0;
+
+/// Parses the contents of a PLT file into trajectory points.
+///
+/// Malformed rows are skipped (the real dataset contains a handful);
+/// out-of-range coordinates produce an error because they indicate a file
+/// that is not actually PLT.
+pub fn parse_plt(content: &str) -> Result<Vec<TrajectoryPoint>, GeoError> {
+    let mut points = Vec::new();
+    for line in content.lines().skip(PLT_HEADER_LINES) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 7 {
+            continue; // malformed row
+        }
+        let (Ok(lat), Ok(lon)) = (fields[0].parse::<f64>(), fields[1].parse::<f64>()) else {
+            continue;
+        };
+        let Ok(t) = parse_date_time(fields[5], fields[6]) else {
+            continue;
+        };
+        points.push(TrajectoryPoint::try_new(lat, lon, t)?);
+    }
+    Ok(points)
+}
+
+/// Serialises trajectory points back to PLT format (altitude written as
+/// `-777` = unknown). Round-trips through [`parse_plt`] up to second
+/// precision.
+pub fn write_plt(points: &[TrajectoryPoint]) -> String {
+    let mut out = String::with_capacity(64 * (points.len() + PLT_HEADER_LINES));
+    out.push_str("Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n");
+    out.push_str("0,2,255,My Track,0,0,2,8421376\n0\n");
+    for p in points {
+        let (date, time) = format_date_time(p.t);
+        let serial = p.t.seconds_f64() / 86_400.0 + SERIAL_DATE_EPOCH_OFFSET_DAYS;
+        out.push_str(&format!(
+            "{:.6},{:.6},0,-777,{:.10},{},{}\n",
+            p.lat, p.lon, serial, date, time
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::Timestamp;
+
+    const SAMPLE: &str = "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30\n39.906705,116.385592,0,492,40097.5865162037,2009-10-11,14:04:35\n";
+
+    #[test]
+    fn parses_the_documented_example() {
+        let pts = parse_plt(SAMPLE).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].lat - 39.906631).abs() < 1e-9);
+        assert!((pts[0].lon - 116.385564).abs() < 1e-9);
+        assert_eq!(pts[1].t - pts[0].t, 5_000, "5 s apart");
+    }
+
+    #[test]
+    fn skips_malformed_rows() {
+        let content = format!("{SAMPLE}not,a,row\n,,,,,,\n39.9,116.4,0,10,0,2009-10-11,14:05:00\n");
+        let pts = parse_plt(&content).unwrap();
+        assert_eq!(pts.len(), 3, "two good + one more; two junk rows skipped");
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        let content = "h\nh\nh\nh\nh\nh\n99.0,116.4,0,10,0,2009-10-11,14:05:00\n";
+        assert!(matches!(
+            parse_plt(content),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+    }
+
+    #[test]
+    fn empty_file_has_no_points() {
+        assert!(parse_plt("a\nb\nc\nd\ne\nf\n").unwrap().is_empty());
+        assert!(parse_plt("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let original = vec![
+            TrajectoryPoint::new(39.906631, 116.385564, Timestamp::from_seconds(1_255_269_870)),
+            TrajectoryPoint::new(39.907, 116.386, Timestamp::from_seconds(1_255_269_875)),
+            TrajectoryPoint::new(-33.5, -70.6, Timestamp::from_seconds(1_255_270_000)),
+        ];
+        let serialized = write_plt(&original);
+        let parsed = parse_plt(&serialized).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(&original) {
+            assert!((a.lat - b.lat).abs() < 1e-6);
+            assert!((a.lon - b.lon).abs() < 1e-6);
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn serial_date_matches_documented_value() {
+        // 2009-10-11 14:04:30 ↦ serial ≈ 40097.586458.
+        let t = crate::datetime::parse_date_time("2009-10-11", "14:04:30").unwrap();
+        let serial = t.seconds_f64() / 86_400.0 + SERIAL_DATE_EPOCH_OFFSET_DAYS;
+        assert!((serial - 40_097.586_458_333_3).abs() < 1e-6, "{serial}");
+    }
+}

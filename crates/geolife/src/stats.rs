@@ -1,0 +1,158 @@
+//! Dataset summaries mirroring the paper's §4 description of GeoLife
+//! ("5,504,363 GPS records collected by 69 users … labeled with eleven
+//! transportation modes").
+
+use serde::{Deserialize, Serialize};
+use traj_geo::{Segment, TransportMode};
+
+/// Aggregate statistics of a segment collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total GPS points across all segments.
+    pub n_points: usize,
+    /// Total segments (classification samples).
+    pub n_segments: usize,
+    /// Distinct users.
+    pub n_users: usize,
+    /// Points per mode, indexed by [`TransportMode::index`].
+    pub points_per_mode: Vec<usize>,
+    /// Segments per mode, indexed by [`TransportMode::index`].
+    pub segments_per_mode: Vec<usize>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over segments.
+    pub fn compute(segments: &[Segment]) -> DatasetStats {
+        let mut points_per_mode = vec![0usize; TransportMode::ALL.len()];
+        let mut segments_per_mode = vec![0usize; TransportMode::ALL.len()];
+        let mut users = std::collections::BTreeSet::new();
+        let mut n_points = 0usize;
+        for seg in segments {
+            let idx = seg.mode.index();
+            points_per_mode[idx] += seg.len();
+            segments_per_mode[idx] += 1;
+            n_points += seg.len();
+            users.insert(seg.user);
+        }
+        DatasetStats {
+            n_points,
+            n_segments: segments.len(),
+            n_users: users.len(),
+            points_per_mode,
+            segments_per_mode,
+        }
+    }
+
+    /// Fraction of GPS points per mode, indexed by
+    /// [`TransportMode::index`]; zeros when the collection is empty.
+    pub fn point_fractions(&self) -> Vec<f64> {
+        if self.n_points == 0 {
+            return vec![0.0; self.points_per_mode.len()];
+        }
+        self.points_per_mode
+            .iter()
+            .map(|&c| c as f64 / self.n_points as f64)
+            .collect()
+    }
+
+    /// A fixed-width table comparing measured point fractions with the
+    /// paper's published GeoLife distribution.
+    pub fn to_table(&self) -> String {
+        let fractions = self.point_fractions();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} GPS points, {} segments, {} users\n",
+            self.n_points, self.n_segments, self.n_users
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>10}\n",
+            "mode", "segments", "measured%", "paper%"
+        ));
+        for &mode in &TransportMode::ALL {
+            let i = mode.index();
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>9.2}% {:>9.2}%\n",
+                mode.name(),
+                self.segments_per_mode[i],
+                fractions[i] * 100.0,
+                mode.geolife_fraction() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthDataset};
+    use traj_geo::{Timestamp, TrajectoryPoint};
+
+    fn seg(user: u32, mode: TransportMode, n: usize) -> Segment {
+        let points = (0..n)
+            .map(|i| TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(i as i64)))
+            .collect();
+        Segment::new(user, mode, 0, points)
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let segments = vec![
+            seg(1, TransportMode::Walk, 10),
+            seg(1, TransportMode::Bus, 20),
+            seg(2, TransportMode::Walk, 30),
+        ];
+        let s = DatasetStats::compute(&segments);
+        assert_eq!(s.n_points, 60);
+        assert_eq!(s.n_segments, 3);
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.points_per_mode[TransportMode::Walk.index()], 40);
+        assert_eq!(s.segments_per_mode[TransportMode::Bus.index()], 1);
+        let f = s.point_fractions();
+        assert!((f[TransportMode::Walk.index()] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let s = DatasetStats::compute(&[]);
+        assert_eq!(s.n_points, 0);
+        assert!(s.point_fractions().iter().all(|&f| f == 0.0));
+        assert!(s.to_table().contains("0 GPS points"));
+    }
+
+    #[test]
+    fn synthetic_distribution_tracks_the_paper() {
+        // With enough users the generated mode mix must resemble the
+        // published fractions (preference jitter averages out).
+        let d = SynthDataset::generate(&SynthConfig {
+            n_users: 40,
+            segments_per_user: (20, 30),
+            ..SynthConfig::small(9)
+        });
+        let s = DatasetStats::compute(&d.segments);
+        let seg_frac = |m: TransportMode| {
+            s.segments_per_mode[m.index()] as f64 / s.n_segments as f64
+        };
+        // Walk is the most common mode, as in the paper (29.35 %).
+        assert!(seg_frac(TransportMode::Walk) > 0.18, "{}", seg_frac(TransportMode::Walk));
+        // The big four dominate.
+        let big4 = seg_frac(TransportMode::Walk)
+            + seg_frac(TransportMode::Bus)
+            + seg_frac(TransportMode::Bike)
+            + seg_frac(TransportMode::Train);
+        assert!(big4 > 0.6, "{big4}");
+        // Rare modes stay rare.
+        assert!(seg_frac(TransportMode::Motorcycle) < 0.02);
+        assert!(seg_frac(TransportMode::Run) < 0.03);
+    }
+
+    #[test]
+    fn table_mentions_every_mode() {
+        let d = SynthDataset::generate(&SynthConfig::small(10));
+        let s = DatasetStats::compute(&d.segments);
+        let table = s.to_table();
+        for &m in &TransportMode::ALL {
+            assert!(table.contains(m.name()), "table missing {m}");
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The trajectory simulator.
+
+use crate::synth::profile::ModeProfile;
+use crate::synth::user::UserProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traj_geo::geodesy::destination;
+use traj_geo::{
+    LabeledPoint, RawTrajectory, Segment, Timestamp, TrajectoryPoint, TransportMode, UserId,
+};
+
+/// Configuration of the synthetic GeoLife generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of users (GeoLife has 69 labeled ones).
+    pub n_users: usize,
+    /// Range of labeled segments per user (inclusive bounds).
+    pub segments_per_user: (usize, usize),
+    /// Master seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// Restrict generation to these modes (`None` = all eleven, weighted
+    /// by the paper's GeoLife distribution).
+    pub modes: Option<Vec<TransportMode>>,
+    /// Between-user heterogeneity in `[0, 1]`; see
+    /// [`UserProfile::sample`]. The §4.4 CV-gap result needs `> 0`.
+    pub heterogeneity: f64,
+    /// Cap on points per segment (limits runtime; ≥ 30).
+    pub max_points_per_segment: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            n_users: 69,
+            segments_per_user: (30, 70),
+            seed: 42,
+            modes: None,
+            heterogeneity: 1.0,
+            max_points_per_segment: 400,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small configuration for tests and examples (a few users, short
+    /// segments).
+    pub fn small(seed: u64) -> Self {
+        SynthConfig {
+            n_users: 8,
+            segments_per_user: (8, 14),
+            seed,
+            modes: None,
+            heterogeneity: 1.0,
+            max_points_per_segment: 120,
+        }
+    }
+}
+
+/// A generated dataset: labeled segments plus the user roster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthDataset {
+    /// Labeled sub-trajectories, the classification samples.
+    pub segments: Vec<Segment>,
+    /// The synthetic users, indexed by id.
+    pub users: Vec<UserProfile>,
+    /// The configuration that produced the dataset.
+    pub config: SynthConfig,
+}
+
+impl SynthDataset {
+    /// Generates a dataset. Deterministic in `config.seed`.
+    pub fn generate(config: &SynthConfig) -> SynthDataset {
+        assert!(config.n_users > 0, "need at least one user");
+        assert!(
+            config.segments_per_user.0 >= 1
+                && config.segments_per_user.0 <= config.segments_per_user.1,
+            "invalid segments_per_user range"
+        );
+        assert!(config.max_points_per_segment >= 30, "segments need ≥ 30 points");
+
+        let allowed: Vec<TransportMode> = config
+            .modes
+            .clone()
+            .unwrap_or_else(|| TransportMode::ALL.to_vec());
+        assert!(!allowed.is_empty(), "mode set must be non-empty");
+
+        let mut master = StdRng::seed_from_u64(config.seed);
+        let mut segments = Vec::new();
+        let mut users = Vec::with_capacity(config.n_users);
+
+        for uid in 0..config.n_users as UserId {
+            let user = UserProfile::sample(uid, config.heterogeneity, &mut master);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (0xA5A5_0000 + uid as u64) << 1);
+            let n_segments =
+                rng.gen_range(config.segments_per_user.0..=config.segments_per_user.1);
+
+            // Cumulative mode weights for this user.
+            let weights: Vec<f64> = allowed
+                .iter()
+                .map(|&m| m.geolife_fraction() * user.mode_preference[m.index()])
+                .collect();
+            let total_w: f64 = weights.iter().sum();
+
+            for seg_idx in 0..n_segments {
+                let mode = {
+                    let mut pick = rng.gen_range(0.0..total_w);
+                    let mut chosen = allowed[allowed.len() - 1];
+                    for (m, w) in allowed.iter().zip(&weights) {
+                        if pick < *w {
+                            chosen = *m;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    chosen
+                };
+                // One labeled segment per day keeps the paper's
+                // user+day+mode grouping trivially consistent.
+                let day = seg_idx as i64;
+                segments.push(simulate_segment(&user, mode, day, config, &mut rng));
+            }
+            users.push(user);
+        }
+        SynthDataset {
+            segments,
+            users,
+            config: config.clone(),
+        }
+    }
+
+    /// Rebuilds per-user raw trajectories from the segments, adding
+    /// annotation slop: the first and last `label_slop` points of every
+    /// segment are left unlabeled, mimicking GeoLife's after-the-fact
+    /// human annotation (§4's "human error").
+    pub fn to_raw_trajectories(&self, label_slop: usize) -> Vec<RawTrajectory> {
+        let mut by_user: std::collections::BTreeMap<UserId, Vec<&Segment>> =
+            std::collections::BTreeMap::new();
+        for seg in &self.segments {
+            by_user.entry(seg.user).or_default().push(seg);
+        }
+        by_user
+            .into_iter()
+            .map(|(uid, mut segs)| {
+                segs.sort_by_key(|s| s.start_time());
+                let mut points = Vec::new();
+                for seg in segs {
+                    let n = seg.points.len();
+                    for (i, &p) in seg.points.iter().enumerate() {
+                        let labeled = i >= label_slop && i + label_slop < n;
+                        points.push(if labeled {
+                            LabeledPoint::labeled(p, seg.mode)
+                        } else {
+                            LabeledPoint::unlabeled(p)
+                        });
+                    }
+                }
+                RawTrajectory::new(uid, points)
+            })
+            .collect()
+    }
+}
+
+/// Simulates one labeled segment of `mode` for `user` on day `day`.
+fn simulate_segment(
+    user: &UserProfile,
+    mode: TransportMode,
+    day: i64,
+    config: &SynthConfig,
+    rng: &mut StdRng,
+) -> Segment {
+    let profile = ModeProfile::of(mode);
+    let dt = user.sampling_interval_s;
+    let duration = rng.gen_range(profile.segment_duration_s.0..profile.segment_duration_s.1);
+    let n_points = ((duration / dt) as usize).clamp(30, config.max_points_per_segment);
+
+    // Start position: within ~5 km of home; start time: daytime.
+    let (mut lat, mut lon) = destination(
+        user.home.0,
+        user.home.1,
+        rng.gen_range(0.0..360.0),
+        rng.gen_range(0.0..5_000.0),
+    );
+    let start_s = day * 86_400 + rng.gen_range(6 * 3600..20 * 3600) as i64;
+    let mut t = start_s as f64;
+
+    // The user's personal cruise speed for this mode: global pace ×
+    // per-mode pace. Between-segment spread is kept small relative to the
+    // between-user spread — a user's trips are self-similar, which is the
+    // auto-correlation random CV exploits.
+    let personal_cruise = profile.cruise_speed_ms * user.pace * user.mode_pace[mode.index()];
+    let target = normal(rng, personal_cruise, 0.5 * profile.cruise_sd_between)
+        .max(0.3 * personal_cruise)
+        .min(profile.max_speed_ms);
+    let mut v = target * rng.gen_range(0.3..0.9);
+    let mut heading = rng.gen_range(0.0..360.0);
+
+    // Stop scheduling (exponential inter-stop times scaled by the user's
+    // stop affinity).
+    let stop_mean = profile.stop_interval_s.map(|s| s / user.stop_affinity);
+    let mut next_stop_in = stop_mean.map(|m| exponential(rng, m)).unwrap_or(f64::MAX);
+    let mut stop_remaining = 0.0f64;
+
+    // GPS error = slow systematic drift (OU, ~minutes) + random error
+    // (AR(1), ~15 s correlation). Real receiver error is temporally
+    // correlated — white noise at metres per fix would inflate apparent
+    // speeds far beyond what GeoLife devices show.
+    let (mut drift_e, mut drift_n) = (0.0f64, 0.0f64);
+    let (mut rand_e, mut rand_n) = (0.0f64, 0.0f64);
+    let rho = (-dt / 15.0f64).exp();
+    let innovation_sd = user.gps_noise_m * (1.0 - rho * rho).sqrt();
+
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        if stop_remaining > 0.0 {
+            stop_remaining -= dt;
+            v *= 0.4; // decelerate sharply toward the stop
+        } else {
+            next_stop_in -= dt;
+            if next_stop_in <= 0.0 {
+                if let Some(mean) = stop_mean {
+                    stop_remaining =
+                        rng.gen_range(profile.stop_duration_s.0..=profile.stop_duration_s.1.max(profile.stop_duration_s.0 + 1e-9));
+                    next_stop_in = exponential(rng, mean) + stop_remaining;
+                }
+            }
+            // Mean-reverting speed with within-segment fluctuation.
+            v += profile.accel_response * (target - v) * dt
+                + normal(rng, 0.0, profile.speed_sd_within * dt.sqrt());
+            v = v.clamp(0.0, profile.max_speed_ms);
+        }
+        heading += normal(rng, 0.0, profile.heading_volatility_deg * dt.sqrt());
+        heading = heading.rem_euclid(360.0);
+
+        // True motion.
+        let (nlat, nlon) = destination(lat, lon, heading, v * dt);
+        lat = nlat.clamp(-89.9, 89.9);
+        lon = nlon;
+
+        // GPS observation: correlated random error + drift (+ rare
+        // outlier spike).
+        drift_e += -0.02 * drift_e * dt + normal(rng, 0.0, 0.3 * dt.sqrt());
+        drift_n += -0.02 * drift_n * dt + normal(rng, 0.0, 0.3 * dt.sqrt());
+        rand_e = rand_e * rho + normal(rng, 0.0, innovation_sd);
+        rand_n = rand_n * rho + normal(rng, 0.0, innovation_sd);
+        let mut err_e = drift_e + rand_e;
+        let mut err_n = drift_n + rand_n;
+        if rng.gen::<f64>() < user.outlier_rate {
+            let spike = rng.gen_range(30.0..200.0);
+            let dir = rng.gen_range(0.0..std::f64::consts::TAU);
+            err_e += spike * dir.cos();
+            err_n += spike * dir.sin();
+        }
+        let obs_lat = (lat + err_n / 111_320.0).clamp(-90.0, 90.0);
+        let obs_lon = lon + err_e / (111_320.0 * lat.to_radians().cos().max(0.01));
+
+        points.push(TrajectoryPoint::new(
+            obs_lat,
+            obs_lon,
+            Timestamp::from_seconds_f64(t),
+        ));
+
+        // Clock advance, with occasional signal loss (the clock jumps and
+        // the vehicle keeps moving).
+        t += dt;
+        if rng.gen::<f64>() < user.signal_loss_rate {
+            let gap = rng.gen_range(20.0..180.0);
+            let (glat, glon) = destination(lat, lon, heading, v * gap);
+            lat = glat.clamp(-89.9, 89.9);
+            lon = glon;
+            t += gap;
+        }
+    }
+    Segment::new(user.id, mode, day, points)
+}
+
+/// Box–Muller normal sample.
+fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    if sd <= 0.0 {
+        return mean;
+    }
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential sample with the given mean.
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SynthConfig::small(7);
+        let a = SynthDataset::generate(&config);
+        let b = SynthDataset::generate(&config);
+        assert_eq!(a.segments.len(), b.segments.len());
+        assert_eq!(a.segments[0].points, b.segments[0].points);
+        let mut c2 = config;
+        c2.seed = 8;
+        let c = SynthDataset::generate(&c2);
+        assert_ne!(a.segments[0].points, c.segments[0].points);
+    }
+
+    #[test]
+    fn respects_user_and_segment_counts() {
+        let config = SynthConfig {
+            n_users: 5,
+            segments_per_user: (4, 6),
+            ..SynthConfig::small(1)
+        };
+        let d = SynthDataset::generate(&config);
+        assert_eq!(d.users.len(), 5);
+        for uid in 0..5u32 {
+            let n = d.segments.iter().filter(|s| s.user == uid).count();
+            assert!((4..=6).contains(&n), "user {uid} has {n} segments");
+        }
+    }
+
+    #[test]
+    fn segments_are_valid_trajectories() {
+        let d = SynthDataset::generate(&SynthConfig::small(2));
+        for seg in &d.segments {
+            assert!(seg.len() >= 30);
+            assert!(seg.points.iter().all(|p| p.is_valid()), "invalid coordinates");
+            assert!(
+                seg.points.windows(2).all(|w| w[0].t < w[1].t),
+                "time must increase"
+            );
+            assert!(seg.points.iter().all(|p| p.t.day_index() == seg.day));
+        }
+    }
+
+    #[test]
+    fn mode_restriction_is_honoured() {
+        let config = SynthConfig {
+            modes: Some(vec![TransportMode::Walk, TransportMode::Bus]),
+            ..SynthConfig::small(3)
+        };
+        let d = SynthDataset::generate(&config);
+        assert!(d
+            .segments
+            .iter()
+            .all(|s| matches!(s.mode, TransportMode::Walk | TransportMode::Bus)));
+        // Both modes appear.
+        assert!(d.segments.iter().any(|s| s.mode == TransportMode::Walk));
+        assert!(d.segments.iter().any(|s| s.mode == TransportMode::Bus));
+    }
+
+    #[test]
+    fn kinematics_separate_slow_and_fast_modes() {
+        let config = SynthConfig {
+            n_users: 6,
+            segments_per_user: (10, 15),
+            modes: Some(vec![TransportMode::Walk, TransportMode::Train]),
+            ..SynthConfig::small(4)
+        };
+        let d = SynthDataset::generate(&config);
+        let mean_speed = |m: TransportMode| {
+            let (mut sum, mut n) = (0.0, 0);
+            for s in d.segments.iter().filter(|s| s.mode == m) {
+                sum += s.mean_speed_ms();
+                n += 1;
+            }
+            sum / n as f64
+        };
+        let walk = mean_speed(TransportMode::Walk);
+        let train = mean_speed(TransportMode::Train);
+        assert!(walk < 3.0, "walk speed {walk}");
+        assert!(train > 8.0, "train speed {train}");
+    }
+
+    #[test]
+    fn walk_speeds_are_plausible() {
+        let config = SynthConfig {
+            n_users: 4,
+            modes: Some(vec![TransportMode::Walk]),
+            ..SynthConfig::small(5)
+        };
+        let d = SynthDataset::generate(&config);
+        // Outlier spikes legitimately inflate a few short segments (the
+        // noise the paper's percentile features are robust to), so check
+        // the typical segment, not the worst case.
+        let mut speeds: Vec<f64> = d.segments.iter().map(|s| s.mean_speed_ms()).collect();
+        speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = speeds[speeds.len() / 2];
+        assert!(median < 2.5, "median walking speed {median} m/s");
+        let p90 = speeds[speeds.len() * 9 / 10];
+        assert!(p90 < 5.0, "90th-percentile walking speed {p90} m/s");
+    }
+
+    #[test]
+    fn heterogeneous_users_have_different_paces() {
+        let d = SynthDataset::generate(&SynthConfig::small(6));
+        let paces: Vec<f64> = d.users.iter().map(|u| u.pace).collect();
+        let spread = paces.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - paces.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.1, "pace spread {spread}");
+    }
+
+    #[test]
+    fn raw_trajectory_round_trip_through_segmentation() {
+        use traj_geo::segmentation::{segment_by_user_day_mode, SegmentationConfig};
+        let d = SynthDataset::generate(&SynthConfig {
+            n_users: 3,
+            segments_per_user: (5, 8),
+            ..SynthConfig::small(7)
+        });
+        let raws = d.to_raw_trajectories(2);
+        assert_eq!(raws.len(), 3);
+        let mut recovered = 0usize;
+        for raw in &raws {
+            assert!(raw.validate().is_ok(), "{:?}", raw.validate());
+            recovered += segment_by_user_day_mode(raw, &SegmentationConfig::paper()).len();
+        }
+        // Label slop trims ends but every generated segment (≥ 30 points,
+        // slop 2×2) survives the 10-point minimum.
+        assert_eq!(recovered, d.segments.len());
+    }
+
+    #[test]
+    fn label_slop_unlabels_boundaries() {
+        let d = SynthDataset::generate(&SynthConfig {
+            n_users: 1,
+            segments_per_user: (1, 1),
+            ..SynthConfig::small(8)
+        });
+        let raws = d.to_raw_trajectories(3);
+        let pts = &raws[0].points;
+        assert!(pts[0].mode.is_none());
+        assert!(pts[2].mode.is_none());
+        assert!(pts[3].mode.is_some());
+        assert!(pts[pts.len() - 1].mode.is_none());
+    }
+
+    #[test]
+    fn full_default_scale_generates_plausibly() {
+        // The experiment-scale config, kept cheap by capping users here.
+        let config = SynthConfig {
+            n_users: 10,
+            ..SynthConfig::default()
+        };
+        let d = SynthDataset::generate(&config);
+        assert!(d.segments.len() >= 10 * 30);
+        // Walk should dominate, matching the paper's distribution.
+        let walk = d
+            .segments
+            .iter()
+            .filter(|s| s.mode == TransportMode::Walk)
+            .count();
+        assert!(
+            walk as f64 / d.segments.len() as f64 > 0.15,
+            "walk fraction too low"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        let _ = SynthDataset::generate(&SynthConfig {
+            n_users: 0,
+            ..SynthConfig::small(1)
+        });
+    }
+}

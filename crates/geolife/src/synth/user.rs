@@ -1,0 +1,147 @@
+//! Per-user idiosyncrasies.
+//!
+//! Real GeoLife users differ systematically: their devices log at
+//! different rates with different error levels, their walking/driving
+//! pace differs, their cities impose different stop patterns, and their
+//! mode mix differs (commuters ride the subway daily, cyclists bike). The
+//! paper's §4.4 result — random cross-validation is optimistic — exists
+//! *because* of this between-user structure, so the generator draws these
+//! traits once per user and holds them fixed across all of the user's
+//! segments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use traj_geo::{TransportMode, UserId};
+
+/// The fixed traits of one synthetic user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User id (also the cross-validation group key).
+    pub id: UserId,
+    /// Multiplier on every mode's cruise speed (a brisk walker drives
+    /// faster too — urban pace correlates across modes).
+    pub pace: f64,
+    /// Standard deviation of the device's random GPS error, metres.
+    pub gps_noise_m: f64,
+    /// Device logging interval, seconds.
+    pub sampling_interval_s: f64,
+    /// Multiplier on stop frequency (dense-city users stop more).
+    pub stop_affinity: f64,
+    /// Probability of an outlier GPS spike per fix.
+    pub outlier_rate: f64,
+    /// Probability of a signal-loss gap starting at any fix.
+    pub signal_loss_rate: f64,
+    /// Per-mode preference multipliers over the global GeoLife mode
+    /// distribution, indexed by [`TransportMode::index`].
+    pub mode_preference: Vec<f64>,
+    /// Per-mode pace multipliers (on top of the global `pace`), indexed by
+    /// [`TransportMode::index`]. A user's bus route is consistently fast
+    /// or slow — this within-user consistency is what random
+    /// cross-validation exploits and user-oriented cross-validation
+    /// cannot.
+    pub mode_pace: Vec<f64>,
+    /// Home location (lat, lon) segments start near.
+    pub home: (f64, f64),
+}
+
+impl UserProfile {
+    /// Samples a user. `heterogeneity` in `[0, 1]` scales how much users
+    /// differ: `0` makes every user identical (an ablation setting that
+    /// should collapse the random-vs-user CV gap), `1` is the calibrated
+    /// default.
+    pub fn sample(id: UserId, heterogeneity: f64, rng: &mut StdRng) -> UserProfile {
+        let h = heterogeneity.clamp(0.0, 1.0);
+        // ln-pace ~ U(−0.55, 0.55) scaled by h → pace in [0.58, 1.73] at
+        // h = 1.
+        let pace = (rng.gen_range(-0.55..0.55) * h).exp();
+        let gps_noise_m = 1.0 + rng.gen_range(0.0..4.0) * h;
+        let sampling_interval_s = if h == 0.0 {
+            2.0
+        } else {
+            *[1.0, 2.0, 3.0, 5.0]
+                .get(rng.gen_range(0..4))
+                .expect("four intervals")
+        };
+        let stop_affinity = 1.0 + rng.gen_range(-0.5..1.0) * h;
+        let outlier_rate = 0.002 + rng.gen_range(0.0..0.006) * h;
+        let signal_loss_rate = 0.001 + rng.gen_range(0.0..0.004) * h;
+        let mode_preference = (0..TransportMode::ALL.len())
+            .map(|_| (rng.gen_range(-0.8..0.8) * h).exp())
+            .collect();
+        let mode_pace = (0..TransportMode::ALL.len())
+            .map(|_| (rng.gen_range(-0.45..0.45) * h).exp())
+            .collect();
+        // Users scattered around Beijing (the real dataset's center).
+        let home = (
+            39.9 + rng.gen_range(-0.3..0.3),
+            116.4 + rng.gen_range(-0.4..0.4),
+        );
+        UserProfile {
+            id,
+            pace,
+            gps_noise_m,
+            sampling_interval_s,
+            stop_affinity,
+            outlier_rate,
+            signal_loss_rate,
+            mode_preference,
+            mode_pace,
+            home,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_traits_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for id in 0..50 {
+            let u = UserProfile::sample(id, 1.0, &mut rng);
+            assert!(u.pace > 0.55 && u.pace < 1.75, "pace {}", u.pace);
+            assert_eq!(u.mode_pace.len(), 11);
+            assert!(u.mode_pace.iter().all(|&p| (0.6..1.6).contains(&p)));
+            assert!(u.gps_noise_m >= 1.0 && u.gps_noise_m <= 5.0);
+            assert!([1.0, 2.0, 3.0, 5.0].contains(&u.sampling_interval_s));
+            assert!(u.stop_affinity > 0.4 && u.stop_affinity < 2.1);
+            assert!(u.outlier_rate > 0.0 && u.outlier_rate < 0.01);
+            assert_eq!(u.mode_preference.len(), 11);
+            assert!((39.0..41.0).contains(&u.home.0));
+        }
+    }
+
+    #[test]
+    fn zero_heterogeneity_makes_identical_behavioural_traits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = UserProfile::sample(1, 0.0, &mut rng);
+        let b = UserProfile::sample(2, 0.0, &mut rng);
+        assert_eq!(a.pace, 1.0);
+        assert_eq!(b.pace, 1.0);
+        assert_eq!(a.sampling_interval_s, b.sampling_interval_s);
+        assert!(a.mode_preference.iter().all(|&p| p == 1.0));
+        // Homes still differ (location is not a feature of the pipeline).
+    }
+
+    #[test]
+    fn users_differ_at_full_heterogeneity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = UserProfile::sample(1, 1.0, &mut rng);
+        let b = UserProfile::sample(2, 1.0, &mut rng);
+        assert_ne!(a.pace, b.pace);
+        assert_ne!(a.mode_preference, b.mode_preference);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_rng_seed() {
+        let mut r1 = StdRng::seed_from_u64(4);
+        let mut r2 = StdRng::seed_from_u64(4);
+        assert_eq!(
+            UserProfile::sample(7, 1.0, &mut r1),
+            UserProfile::sample(7, 1.0, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Boosted ensembles: the paper's "XGBoost" (second-order gradient-boosted
+//! trees with a softmax objective) and AdaBoost·SAMME.
+
+pub mod adaboost;
+pub mod gbdt;
+pub mod regression_tree;
+
+pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use gbdt::{GradientBoosting, GbdtConfig};
+pub use regression_tree::RegressionTree;

@@ -1,0 +1,231 @@
+//! A uniform interface over every classifier, and the paper's roster.
+//!
+//! [`ClassifierKind`] enumerates the six classifiers of the paper's §4.1
+//! comparison (XGBoost, SVM, decision tree, random forest, neural network,
+//! AdaBoost) plus the extra kNN baseline; [`ClassifierKind::build`] is the
+//! factory the cross-validation and feature-selection machinery uses.
+
+use crate::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
+use crate::dataset::Dataset;
+use crate::forest::{ForestConfig, RandomForest};
+use crate::knn::{Knn, KnnConfig};
+use crate::linear::{LinearSvm, SvmConfig};
+use crate::neural::{Mlp, MlpConfig};
+use crate::tree::{DecisionTree, TreeConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Object-safe classifier interface: fit on a dataset, predict dense class
+/// indices.
+pub trait Classifier: Send {
+    /// Fits the model.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predicted class of one feature row.
+    fn predict_row(&self, row: &[f64]) -> usize;
+
+    /// Predicted classes of a dataset.
+    fn predict(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        RandomForest::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        RandomForest::predict_row(self, row)
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, data: &Dataset) {
+        GradientBoosting::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        GradientBoosting::predict_row(self, row)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        DecisionTree::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        DecisionTree::predict_row(self, row)
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, data: &Dataset) {
+        AdaBoost::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        AdaBoost::predict_row(self, row)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset) {
+        LinearSvm::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        LinearSvm::predict_row(self, row)
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset) {
+        Mlp::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        Mlp::predict_row(self, row)
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) {
+        Knn::fit(self, data);
+    }
+    fn predict_row(&self, row: &[f64]) -> usize {
+        Knn::predict_row(self, row)
+    }
+}
+
+/// The classifier roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Gradient-boosted trees (the paper's "XGBoost").
+    XgBoost,
+    /// Linear SVM (Pegasos, one-vs-rest).
+    Svm,
+    /// Single CART decision tree.
+    DecisionTree,
+    /// Random forest.
+    RandomForest,
+    /// Multilayer perceptron.
+    NeuralNetwork,
+    /// AdaBoost·SAMME over decision stumps.
+    AdaBoost,
+    /// k-nearest-neighbours (extra baseline, not in the paper's six).
+    Knn,
+}
+
+impl ClassifierKind {
+    /// The six classifiers of the paper's §4.1 comparison, in the order
+    /// Figure 2 discusses them.
+    pub const PAPER_SIX: [ClassifierKind; 6] = [
+        ClassifierKind::XgBoost,
+        ClassifierKind::Svm,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::NeuralNetwork,
+        ClassifierKind::AdaBoost,
+    ];
+
+    /// Builds an unfitted classifier with reproduction-default
+    /// hyper-parameters and the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::XgBoost => Box::new(GradientBoosting::new(GbdtConfig {
+                n_rounds: 20,
+                max_depth: 4,
+                seed,
+                ..GbdtConfig::default()
+            })),
+            ClassifierKind::Svm => Box::new(LinearSvm::new(SvmConfig {
+                seed,
+                ..SvmConfig::default()
+            })),
+            ClassifierKind::DecisionTree => Box::new(DecisionTree::new(TreeConfig {
+                seed,
+                ..TreeConfig::default()
+            })),
+            ClassifierKind::RandomForest => Box::new(RandomForest::new(ForestConfig {
+                n_estimators: 50,
+                seed,
+                ..ForestConfig::default()
+            })),
+            ClassifierKind::NeuralNetwork => Box::new(Mlp::new(MlpConfig {
+                seed,
+                ..MlpConfig::default()
+            })),
+            ClassifierKind::AdaBoost => Box::new(AdaBoost::new(AdaBoostConfig::default())),
+            ClassifierKind::Knn => Box::new(Knn::new(KnnConfig::default())),
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::XgBoost => "XGBoost",
+            ClassifierKind::Svm => "SVM",
+            ClassifierKind::DecisionTree => "Decision Tree",
+            ClassifierKind::RandomForest => "Random Forest",
+            ClassifierKind::NeuralNetwork => "Neural Network",
+            ClassifierKind::AdaBoost => "AdaBoost",
+            ClassifierKind::Knn => "kNN",
+        }
+    }
+}
+
+impl fmt::Display for ClassifierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for class in 0..2usize {
+            let center = class as f64 * 4.0;
+            for _ in 0..n_per_class {
+                rows.push(vec![
+                    center + rng.gen_range(-1.0..1.0),
+                    center + rng.gen_range(-1.0..1.0),
+                ]);
+                y.push(class);
+            }
+        }
+        let n = rows.len();
+        Dataset::from_rows(&rows, y, 2, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn every_kind_builds_fits_and_predicts() {
+        let data = blob_data(25, 51);
+        for kind in ClassifierKind::PAPER_SIX.into_iter().chain([ClassifierKind::Knn]) {
+            let mut model = kind.build(7);
+            model.fit(&data);
+            let pred = model.predict(&data);
+            assert_eq!(pred.len(), data.len(), "{kind}");
+            let acc = crate::metrics::accuracy(&data.y, &pred);
+            assert!(acc > 0.8, "{kind} training accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn paper_six_has_exactly_the_papers_roster() {
+        assert_eq!(ClassifierKind::PAPER_SIX.len(), 6);
+        assert!(!ClassifierKind::PAPER_SIX.contains(&ClassifierKind::Knn));
+        let names: Vec<&str> = ClassifierKind::PAPER_SIX.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"XGBoost"));
+        assert!(names.contains(&"Random Forest"));
+        assert!(names.contains(&"SVM"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ClassifierKind::RandomForest.to_string(), "Random Forest");
+        assert_eq!(format!("{}", ClassifierKind::Svm), "SVM");
+    }
+}

@@ -1,0 +1,593 @@
+//! Cross-validation: the evaluation machinery the paper's §4.4 is about.
+//!
+//! The paper contrasts two schemes:
+//!
+//! * **random cross-validation** ([`KFold`] with shuffling, or
+//!   [`StratifiedKFold`]) — samples are split regardless of which user
+//!   produced them, the convention of [Dabiri & Heaslip], [Liu & Lee] and
+//!   [Xiao];
+//! * **user-oriented cross-validation** ([`GroupKFold`]) — every user's
+//!   segments fall entirely in the training *or* the test side of each
+//!   fold, the convention of [Endo et al.].
+//!
+//! Because GPS trajectories are auto-correlated within a user, the random
+//! scheme leaks user identity across the split and reports optimistic
+//! scores — the paper's Figure 4 finding, which [`cross_validate`] lets
+//! you reproduce with any classifier.
+
+use crate::classifier::Classifier;
+use crate::dataset::Dataset;
+use crate::metrics::ClassificationReport;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A cross-validation splitter: yields `(train_indices, test_indices)`
+/// pairs over a dataset.
+pub trait Splitter {
+    /// The folds of `data`. Implementations must return disjoint
+    /// train/test pairs whose test sides cover every usable sample once.
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)>;
+}
+
+/// Random K-fold: shuffle sample indices, cut into `k` contiguous folds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KFold {
+    /// Number of folds.
+    pub n_splits: usize,
+    /// Shuffle before folding (the paper's "random cross-validation").
+    pub shuffle: bool,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl KFold {
+    /// A shuffled K-fold with the given seed.
+    pub fn new(n_splits: usize, seed: u64) -> Self {
+        KFold {
+            n_splits,
+            shuffle: true,
+            seed,
+        }
+    }
+}
+
+impl Splitter for KFold {
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_splits >= 2, "need at least two folds");
+        assert!(
+            data.len() >= self.n_splits,
+            "fewer samples than folds ({} < {})",
+            data.len(),
+            self.n_splits
+        );
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        if self.shuffle {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            indices.shuffle(&mut rng);
+        }
+        contiguous_folds(&indices, self.n_splits)
+    }
+}
+
+/// Stratified K-fold: class proportions are preserved per fold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedKFold {
+    /// Number of folds.
+    pub n_splits: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Splitter for StratifiedKFold {
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_splits >= 2, "need at least two folds");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut fold_of = vec![0usize; data.len()];
+        for class in 0..data.n_classes {
+            let mut members: Vec<usize> =
+                (0..data.len()).filter(|&i| data.y[i] == class).collect();
+            members.shuffle(&mut rng);
+            for (pos, &i) in members.iter().enumerate() {
+                fold_of[i] = pos % self.n_splits;
+            }
+        }
+        folds_from_assignment(&fold_of, self.n_splits)
+    }
+}
+
+/// User-oriented (group) K-fold: whole groups are assigned to folds,
+/// larger groups first onto the currently smallest fold, so every user
+/// appears in exactly one test fold — the paper's "cross-validation by
+/// dividing users".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupKFold {
+    /// Number of folds; must not exceed the number of distinct groups.
+    pub n_splits: usize,
+}
+
+impl Splitter for GroupKFold {
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_splits >= 2, "need at least two folds");
+        let groups = data.distinct_groups();
+        assert!(
+            groups.len() >= self.n_splits,
+            "fewer groups than folds ({} < {})",
+            groups.len(),
+            self.n_splits
+        );
+        // Count samples per group.
+        let mut sizes: Vec<(u32, usize)> = groups
+            .iter()
+            .map(|&g| (g, data.groups.iter().filter(|&&x| x == g).count()))
+            .collect();
+        // Largest group first onto the lightest fold (greedy balancing,
+        // the scikit-learn GroupKFold strategy).
+        sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut fold_sizes = vec![0usize; self.n_splits];
+        let mut fold_of_group = std::collections::HashMap::new();
+        for (g, size) in sizes {
+            let lightest = (0..self.n_splits)
+                .min_by_key(|&f| fold_sizes[f])
+                .expect("non-zero folds");
+            fold_sizes[lightest] += size;
+            fold_of_group.insert(g, lightest);
+        }
+        let fold_of: Vec<usize> = data.groups.iter().map(|g| fold_of_group[g]).collect();
+        folds_from_assignment(&fold_of, self.n_splits)
+    }
+}
+
+/// Repeated random group-aware train/test splits: each split holds out a
+/// random subset of groups whose samples total roughly `test_fraction` of
+/// the data — the paper's §4.3 "80 % training / 20 % test, each user in
+/// only one side" protocol, repeated for significance testing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupShuffleSplit {
+    /// Number of independent splits.
+    pub n_splits: usize,
+    /// Target fraction of samples in the test side.
+    pub test_fraction: f64,
+    /// Seed of the group shuffling.
+    pub seed: u64,
+}
+
+impl Splitter for GroupShuffleSplit {
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_splits >= 1, "need at least one split");
+        assert!(
+            (0.0..1.0).contains(&self.test_fraction) && self.test_fraction > 0.0,
+            "test fraction must be in (0, 1)"
+        );
+        let groups = data.distinct_groups();
+        assert!(groups.len() >= 2, "need at least two groups");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let target = (data.len() as f64 * self.test_fraction).round() as usize;
+
+        (0..self.n_splits)
+            .map(|_| {
+                let mut order = groups.clone();
+                order.shuffle(&mut rng);
+                let mut test_groups = std::collections::HashSet::new();
+                let mut test_size = 0usize;
+                for &g in &order {
+                    if test_size >= target {
+                        break;
+                    }
+                    let size = data.groups.iter().filter(|&&x| x == g).count();
+                    test_groups.insert(g);
+                    test_size += size;
+                }
+                // Never consume every group: keep at least one for training.
+                if test_groups.len() == groups.len() {
+                    let dropped = *order.last().expect("non-empty groups");
+                    test_groups.remove(&dropped);
+                }
+                let mut train = Vec::new();
+                let mut test = Vec::new();
+                for (i, g) in data.groups.iter().enumerate() {
+                    if test_groups.contains(g) {
+                        test.push(i);
+                    } else {
+                        train.push(i);
+                    }
+                }
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+/// Repeated random K-fold: `n_repeats` independent shufflings of a
+/// [`KFold`], yielding `n_repeats × n_splits` folds. Used where a single
+/// K-fold gives a significance test too few samples (e.g. a one-sample
+/// Wilcoxon over five folds can never reach p < 0.03).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepeatedKFold {
+    /// Folds per repetition.
+    pub n_splits: usize,
+    /// Number of independent repetitions.
+    pub n_repeats: usize,
+    /// Base seed; repetition `r` shuffles with `seed + r`.
+    pub seed: u64,
+}
+
+impl Splitter for RepeatedKFold {
+    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(self.n_repeats >= 1, "need at least one repeat");
+        (0..self.n_repeats)
+            .flat_map(|r| {
+                KFold::new(self.n_splits, self.seed.wrapping_add(r as u64)).split(data)
+            })
+            .collect()
+    }
+}
+
+/// One random train/test split: shuffles samples and holds out
+/// `test_fraction` of them. Returns `(train_indices, test_indices)`.
+///
+/// # Panics
+/// Panics unless `test_fraction ∈ (0, 1)` produces non-empty sides.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_test = ((data.len() as f64 * test_fraction).round() as usize).clamp(1, data.len() - 1);
+    let test = indices.split_off(data.len() - n_test);
+    (indices, test)
+}
+
+fn contiguous_folds(indices: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let n = indices.len();
+    let mut out = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = indices[start..start + size].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + size..])
+            .copied()
+            .collect();
+        out.push((train, test));
+        start += size;
+    }
+    out
+}
+
+fn folds_from_assignment(fold_of: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &fi) in fold_of.iter().enumerate() {
+                if fi == f {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Scores of one cross-validation fold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldScore {
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Unweighted mean F1 over supported classes.
+    pub f1_macro: f64,
+    /// Support-weighted mean F1.
+    pub f1_weighted: f64,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+}
+
+/// Runs cross-validation: for each fold a fresh classifier is built by
+/// `factory` (receiving a per-fold seed derived from `base_seed`), fitted
+/// on the training side, and scored on the test side. Folds whose test
+/// side is empty are skipped.
+///
+/// ```
+/// use traj_ml::{cross_validate, ClassifierKind, Dataset, KFold};
+/// let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+/// let y: Vec<usize> = (0..30).map(|i| usize::from(i >= 15)).collect();
+/// let data = Dataset::from_rows(&rows, y, 2, vec![0; 30], vec![]);
+///
+/// let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+/// let scores = cross_validate(&factory, &data, &KFold::new(3, 1), 0);
+/// assert_eq!(scores.len(), 3);
+/// assert!(traj_ml::cv::mean_accuracy(&scores) > 0.8);
+/// ```
+pub fn cross_validate(
+    factory: &dyn Fn(u64) -> Box<dyn Classifier>,
+    data: &Dataset,
+    splitter: &dyn Splitter,
+    base_seed: u64,
+) -> Vec<FoldScore> {
+    let folds = splitter.split(data);
+    let mut scores = Vec::with_capacity(folds.len());
+    for (fold_idx, (train_idx, test_idx)) in folds.into_iter().enumerate() {
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let mut model = factory(base_seed.wrapping_add(fold_idx as u64));
+        model.fit(&train);
+        let pred = model.predict(&test);
+        let report = ClassificationReport::compute(&test.y, &pred, data.n_classes);
+        scores.push(FoldScore {
+            accuracy: report.accuracy,
+            f1_macro: report.f1_macro(),
+            f1_weighted: report.f1_weighted(),
+            train_size: train_idx.len(),
+            test_size: test_idx.len(),
+        });
+    }
+    scores
+}
+
+/// Mean accuracy over folds.
+pub fn mean_accuracy(scores: &[FoldScore]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().map(|s| s.accuracy).sum::<f64>() / scores.len() as f64
+}
+
+/// Mean weighted F1 over folds.
+pub fn mean_f1_weighted(scores: &[FoldScore]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().map(|s| s.f1_weighted).sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierKind;
+    use rand::Rng;
+
+    /// Dataset with group structure: each of `n_groups` users has
+    /// `per_group` samples, labels alternate by class.
+    fn grouped_data(n_groups: u32, per_group: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for g in 0..n_groups {
+            for s in 0..per_group {
+                let class = s % 2;
+                rows.push(vec![
+                    class as f64 * 3.0 + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]);
+                y.push(class);
+                groups.push(g);
+            }
+        }
+        Dataset::from_rows(&rows, y, 2, groups, vec![])
+    }
+
+    fn assert_is_partition(folds: &[(Vec<usize>, Vec<usize>)], n: usize) {
+        let mut covered = vec![false; n];
+        for (train, test) in folds {
+            for &i in test {
+                assert!(!covered[i], "sample {i} in two test folds");
+                covered[i] = true;
+            }
+            let train_set: std::collections::HashSet<_> = train.iter().collect();
+            assert!(test.iter().all(|i| !train_set.contains(i)), "overlap");
+            assert_eq!(train.len() + test.len(), n, "fold covers all samples");
+        }
+        assert!(covered.iter().all(|&b| b), "every sample tested once");
+    }
+
+    #[test]
+    fn kfold_partitions_cleanly() {
+        let data = grouped_data(5, 7, 1);
+        let folds = KFold::new(5, 3).split(&data);
+        assert_eq!(folds.len(), 5);
+        assert_is_partition(&folds, data.len());
+    }
+
+    #[test]
+    fn kfold_is_deterministic_per_seed() {
+        let data = grouped_data(4, 5, 2);
+        assert_eq!(KFold::new(4, 9).split(&data), KFold::new(4, 9).split(&data));
+        assert_ne!(KFold::new(4, 9).split(&data), KFold::new(4, 10).split(&data));
+    }
+
+    #[test]
+    fn unshuffled_kfold_is_contiguous() {
+        let data = grouped_data(2, 6, 3);
+        let folds = KFold {
+            n_splits: 3,
+            shuffle: false,
+            seed: 0,
+        }
+        .split(&data);
+        assert_eq!(folds[0].1, vec![0, 1, 2, 3]);
+        assert_eq!(folds[2].1, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer samples than folds")]
+    fn kfold_rejects_more_folds_than_samples() {
+        let data = grouped_data(1, 3, 4);
+        let _ = KFold::new(5, 0).split(&data);
+    }
+
+    #[test]
+    fn stratified_kfold_preserves_class_balance() {
+        let data = grouped_data(10, 10, 5); // 50/50 classes
+        let folds = StratifiedKFold { n_splits: 5, seed: 1 }.split(&data);
+        assert_is_partition(&folds, data.len());
+        for (_, test) in &folds {
+            let ones = test.iter().filter(|&&i| data.y[i] == 1).count();
+            let ratio = ones as f64 / test.len() as f64;
+            assert!((ratio - 0.5).abs() < 0.11, "fold class ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn group_kfold_keeps_users_whole() {
+        let data = grouped_data(9, 6, 6);
+        let folds = GroupKFold { n_splits: 3 }.split(&data);
+        assert_is_partition(&folds, data.len());
+        for (train, test) in &folds {
+            let test_groups: std::collections::HashSet<u32> =
+                test.iter().map(|&i| data.groups[i]).collect();
+            let train_groups: std::collections::HashSet<u32> =
+                train.iter().map(|&i| data.groups[i]).collect();
+            assert!(
+                test_groups.is_disjoint(&train_groups),
+                "user leaked across a fold"
+            );
+        }
+    }
+
+    #[test]
+    fn group_kfold_balances_unequal_groups() {
+        // Group sizes 10, 1, 1, 1, 1, 10 into 2 folds → 12/12 split.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for (g, size) in [(0u32, 10usize), (1, 1), (2, 1), (3, 1), (4, 1), (5, 10)] {
+            for s in 0..size {
+                rows.push(vec![s as f64]);
+                y.push(0usize);
+                groups.push(g);
+            }
+        }
+        let data = Dataset::from_rows(&rows, y, 1, groups, vec![]);
+        let folds = GroupKFold { n_splits: 2 }.split(&data);
+        for (_, test) in &folds {
+            assert_eq!(test.len(), 12, "greedy balancing equalises folds");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer groups than folds")]
+    fn group_kfold_rejects_too_few_groups() {
+        let data = grouped_data(2, 4, 7);
+        let _ = GroupKFold { n_splits: 3 }.split(&data);
+    }
+
+    #[test]
+    fn group_shuffle_split_respects_fraction_and_purity() {
+        let data = grouped_data(20, 5, 8);
+        let splits = GroupShuffleSplit {
+            n_splits: 10,
+            test_fraction: 0.2,
+            seed: 4,
+        }
+        .split(&data);
+        assert_eq!(splits.len(), 10);
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), data.len());
+            let frac = test.len() as f64 / data.len() as f64;
+            assert!((0.1..0.4).contains(&frac), "test fraction {frac}");
+            let test_groups: std::collections::HashSet<u32> =
+                test.iter().map(|&i| data.groups[i]).collect();
+            assert!(train.iter().all(|&i| !test_groups.contains(&data.groups[i])));
+        }
+    }
+
+    #[test]
+    fn cross_validate_scores_are_sane() {
+        let data = grouped_data(8, 12, 9);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let scores = cross_validate(&factory, &data, &KFold::new(4, 1), 0);
+        assert_eq!(scores.len(), 4);
+        for s in &scores {
+            assert!((0.0..=1.0).contains(&s.accuracy));
+            assert!((0.0..=1.0).contains(&s.f1_macro));
+            assert!((0.0..=1.0).contains(&s.f1_weighted));
+            assert_eq!(s.train_size + s.test_size, data.len());
+        }
+        // Blobs are easy — the tree should do well.
+        assert!(mean_accuracy(&scores) > 0.85, "{}", mean_accuracy(&scores));
+        assert!(mean_f1_weighted(&scores) > 0.8);
+    }
+
+    #[test]
+    fn cross_validate_is_reproducible() {
+        let data = grouped_data(6, 10, 10);
+        let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+        let a = cross_validate(&factory, &data, &KFold::new(3, 2), 5);
+        let b = cross_validate(&factory, &data, &KFold::new(3, 2), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_helpers_handle_empty() {
+        assert_eq!(mean_accuracy(&[]), 0.0);
+        assert_eq!(mean_f1_weighted(&[]), 0.0);
+    }
+
+    #[test]
+    fn repeated_kfold_yields_n_repeats_partitions() {
+        let data = grouped_data(4, 6, 11);
+        let folds = RepeatedKFold {
+            n_splits: 3,
+            n_repeats: 4,
+            seed: 2,
+        }
+        .split(&data);
+        assert_eq!(folds.len(), 12);
+        // Each repetition is itself a partition.
+        for rep in folds.chunks(3) {
+            assert_is_partition(rep, data.len());
+        }
+        // Repetitions differ (different shuffles).
+        assert_ne!(folds[0].1, folds[3].1);
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint_and_sized() {
+        let data = grouped_data(5, 8, 12);
+        let (train, test) = train_test_split(&data, 0.25, 3);
+        assert_eq!(train.len() + test.len(), data.len());
+        assert_eq!(test.len(), 10, "25% of 40");
+        let train_set: std::collections::HashSet<_> = train.iter().collect();
+        assert!(test.iter().all(|i| !train_set.contains(i)));
+        // Deterministic per seed.
+        assert_eq!(train_test_split(&data, 0.25, 3), (train, test));
+    }
+
+    #[test]
+    fn train_test_split_never_empties_a_side() {
+        let data = grouped_data(1, 3, 13);
+        let (train, test) = train_test_split(&data, 0.01, 0);
+        assert!(!test.is_empty());
+        assert!(!train.is_empty());
+        let (train, test) = train_test_split(&data, 0.99, 0);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn train_test_split_rejects_bad_fraction() {
+        let data = grouped_data(1, 3, 14);
+        let _ = train_test_split(&data, 1.5, 0);
+    }
+}

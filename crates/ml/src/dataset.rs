@@ -1,0 +1,385 @@
+//! Dense datasets: a row-major feature matrix plus labels and group ids.
+
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset.
+///
+/// Features are stored row-major in one contiguous buffer; `row(i)` is a
+/// slice view, so per-sample access in the hot training loops is
+/// allocation-free. Labels are dense class indices `0..n_classes`, and
+/// each sample carries a *group* id (the owning GeoLife user), the key of
+/// user-oriented cross-validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+    /// Class index per row, in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of distinct classes the labels may take.
+    pub n_classes: usize,
+    /// Group (user) id per row.
+    pub groups: Vec<u32>,
+    /// Optional feature names, length `n_cols` when present.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset from feature rows.
+    ///
+    /// ```
+    /// use traj_ml::Dataset;
+    /// let data = Dataset::from_rows(
+    ///     &[vec![1.0, 2.0], vec![3.0, 4.0]],
+    ///     vec![0, 1],          // class per row
+    ///     2,                   // number of classes
+    ///     vec![10, 11],        // owning user per row
+    ///     vec!["a".into(), "b".into()],
+    /// );
+    /// assert_eq!(data.len(), 2);
+    /// assert_eq!(data.row(1), &[3.0, 4.0]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics when rows are jagged, lengths disagree, or any label is
+    /// `≥ n_classes`.
+    pub fn from_rows(
+        rows: &[Vec<f64>],
+        y: Vec<usize>,
+        n_classes: usize,
+        groups: Vec<u32>,
+        feature_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(rows.len(), y.len(), "one label per row");
+        assert_eq!(rows.len(), groups.len(), "one group per row");
+        let n_cols = rows.first().map_or(feature_names.len(), |r| r.len());
+        if !feature_names.is_empty() {
+            assert_eq!(feature_names.len(), n_cols, "one name per column");
+        }
+        let mut x = Vec::with_capacity(rows.len() * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "jagged feature rows");
+            x.extend_from_slice(row);
+        }
+        assert!(
+            y.iter().all(|&c| c < n_classes),
+            "labels must be below n_classes"
+        );
+        Dataset {
+            x,
+            n_rows: rows.len(),
+            n_cols,
+            y,
+            n_classes,
+            groups,
+            feature_names,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The feature slice of sample `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Value of feature `j` of sample `i`.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.x[i * self.n_cols + j]
+    }
+
+    /// A new dataset holding the samples at `indices` (with repetition
+    /// allowed — bootstrap sampling uses this).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut x = Vec::with_capacity(indices.len() * self.n_cols);
+        let mut y = Vec::with_capacity(indices.len());
+        let mut groups = Vec::with_capacity(indices.len());
+        for &i in indices {
+            x.extend_from_slice(self.row(i));
+            y.push(self.y[i]);
+            groups.push(self.groups[i]);
+        }
+        Dataset {
+            x,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+            y,
+            n_classes: self.n_classes,
+            groups,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// A new dataset restricted to the feature columns `columns` (in that
+    /// order). Used by the feature-selection searches.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        let mut x = Vec::with_capacity(self.n_rows * columns.len());
+        for i in 0..self.n_rows {
+            let row = self.row(i);
+            for &c in columns {
+                x.push(row[c]);
+            }
+        }
+        let feature_names = if self.feature_names.is_empty() {
+            Vec::new()
+        } else {
+            columns
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect()
+        };
+        Dataset {
+            x,
+            n_rows: self.n_rows,
+            n_cols: columns.len(),
+            y: self.y.clone(),
+            n_classes: self.n_classes,
+            groups: self.groups.clone(),
+            feature_names,
+        }
+    }
+
+    /// Per-class sample counts, length `n_classes`.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in &self.y {
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// Distinct group ids, sorted.
+    pub fn distinct_groups(&self) -> Vec<u32> {
+        let mut gs = self.groups.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// Index of a feature by name, when names are present.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Parses the CSV produced by [`Dataset::to_csv`]: a header whose last
+    /// two columns are `label` and `group`, then one row per sample.
+    /// `n_classes` is inferred as `max(label) + 1`.
+    pub fn from_csv(csv: &str) -> Result<Dataset, String> {
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty CSV")?;
+        let columns: Vec<&str> = header.split(',').collect();
+        if columns.len() < 2 || columns[columns.len() - 2] != "label" || columns[columns.len() - 1] != "group"
+        {
+            return Err("header must end with `label,group`".to_owned());
+        }
+        let d = columns.len() - 2;
+        let feature_names: Vec<String> = columns[..d].iter().map(|s| s.to_string()).collect();
+
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        let mut groups: Vec<u32> = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != d + 2 {
+                return Err(format!(
+                    "row {}: expected {} fields, found {}",
+                    lineno + 2,
+                    d + 2,
+                    fields.len()
+                ));
+            }
+            let mut row = Vec::with_capacity(d);
+            for f in &fields[..d] {
+                row.push(
+                    f.parse::<f64>()
+                        .map_err(|e| format!("row {}: bad feature {f:?}: {e}", lineno + 2))?,
+                );
+            }
+            y.push(
+                fields[d]
+                    .parse()
+                    .map_err(|e| format!("row {}: bad label: {e}", lineno + 2))?,
+            );
+            groups.push(
+                fields[d + 1]
+                    .parse()
+                    .map_err(|e| format!("row {}: bad group: {e}", lineno + 2))?,
+            );
+            rows.push(row);
+        }
+        let n_classes = y.iter().max().map_or(0, |&m| m + 1);
+        Ok(Dataset::from_rows(&rows, y, n_classes.max(1), groups, feature_names))
+    }
+
+    /// Serialises the dataset as CSV: a header of feature names (or
+    /// `f0..fN` when unnamed) plus `label` and `group` columns, one row
+    /// per sample. For interoperability with pandas/scikit-learn
+    /// notebooks replicating the paper's plots.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.feature_names.is_empty() {
+            for j in 0..self.n_cols {
+                let _ = write!(out, "f{j},");
+            }
+        } else {
+            for name in &self.feature_names {
+                let _ = write!(out, "{name},");
+            }
+        }
+        out.push_str("label,group\n");
+        for i in 0..self.n_rows {
+            for &v in self.row(i) {
+                let _ = write!(out, "{v},");
+            }
+            let _ = writeln!(out, "{},{}", self.y[i], self.groups[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            &[
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ],
+            vec![0, 1, 0, 1],
+            2,
+            vec![7, 7, 8, 9],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(2), &[3.0, 30.0]);
+        assert_eq!(d.value(1, 1), 20.0);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert_eq!(d.distinct_groups(), vec![7, 8, 9]);
+        assert_eq!(d.feature_index("b"), Some(1));
+        assert_eq!(d.feature_index("zz"), None);
+    }
+
+    #[test]
+    fn subset_preserves_metadata_and_allows_repeats() {
+        let d = toy();
+        let s = d.subset(&[3, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), &[4.0, 40.0]);
+        assert_eq!(s.row(1), &[1.0, 10.0]);
+        assert_eq!(s.row(2), &[4.0, 40.0]);
+        assert_eq!(s.y, vec![1, 0, 1]);
+        assert_eq!(s.groups, vec![9, 7, 9]);
+        assert_eq!(s.n_classes, 2);
+        assert_eq!(s.feature_names, d.feature_names);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let d = toy();
+        let p = d.select_features(&[1]);
+        assert_eq!(p.n_features(), 1);
+        assert_eq!(p.row(0), &[10.0]);
+        assert_eq!(p.feature_names, vec!["b".to_string()]);
+        assert_eq!(p.y, d.y);
+        // Re-ordering columns works too.
+        let swapped = d.select_features(&[1, 0]);
+        assert_eq!(swapped.row(3), &[40.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::from_rows(&[], vec![], 3, vec![], vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.class_counts(), vec![0, 0, 0]);
+        assert!(d.distinct_groups().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::from_rows(&[vec![1.0]], vec![], 1, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jagged")]
+    fn jagged_rows_panic() {
+        let _ = Dataset::from_rows(
+            &[vec![1.0, 2.0], vec![1.0]],
+            vec![0, 0],
+            1,
+            vec![0, 0],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below n_classes")]
+    fn out_of_range_label_panics() {
+        let _ = Dataset::from_rows(&[vec![1.0]], vec![5], 2, vec![0], vec![]);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let d = toy();
+        let csv = d.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "a,b,label,group");
+        assert_eq!(lines[1], "1,10,0,7");
+        assert_eq!(lines[4], "4,40,1,9");
+    }
+
+    #[test]
+    fn csv_export_names_unnamed_columns() {
+        let d = Dataset::from_rows(&[vec![0.5, 1.5]], vec![0], 1, vec![3], vec![]);
+        assert!(d.to_csv().starts_with("f0,f1,label,group\n0.5,1.5,0,3"));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let d = toy();
+        let back = Dataset::from_csv(&d.to_csv()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn csv_parse_rejects_malformed_input() {
+        assert!(Dataset::from_csv("").is_err());
+        assert!(Dataset::from_csv("a,b\n1,2\n").is_err(), "no label/group columns");
+        assert!(Dataset::from_csv("a,label,group\n1,0\n").is_err(), "short row");
+        assert!(Dataset::from_csv("a,label,group\nx,0,0\n").is_err(), "bad float");
+        assert!(Dataset::from_csv("a,label,group\n1,zero,0\n").is_err(), "bad label");
+    }
+
+    #[test]
+    fn csv_parse_skips_blank_lines_and_infers_classes() {
+        let d = Dataset::from_csv("a,label,group\n1,2,0\n\n2,0,1\n").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_classes, 3, "max label 2 → 3 classes");
+    }
+}

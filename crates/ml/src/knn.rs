@@ -1,0 +1,146 @@
+//! k-nearest-neighbours — an additional baseline beyond the paper's six
+//! classifiers, useful for sanity-checking feature spaces (a strong kNN
+//! score means the features cluster by mode at all).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours.
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5 }
+    }
+}
+
+/// A brute-force Euclidean kNN classifier (stores the training set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    config: KnnConfig,
+    train: Option<Dataset>,
+}
+
+impl Knn {
+    /// Creates an unfitted classifier.
+    pub fn new(config: KnnConfig) -> Self {
+        Knn {
+            config,
+            train: None,
+        }
+    }
+
+    /// Memorises the training set.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `k == 0`.
+    pub fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit kNN on zero samples");
+        assert!(self.config.k > 0, "k must be positive");
+        self.train = Some(data.clone());
+    }
+
+    /// Predicted class of one row: majority vote of the `k` nearest
+    /// training samples, ties broken toward the nearer neighbour's class.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let train = self.train.as_ref().expect("predict on an unfitted kNN");
+        let k = self.config.k.min(train.len());
+
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = (0..train.len())
+            .map(|i| (squared_distance(train.row(i), row), train.y[i]))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let neighbours = &mut dists[..k];
+        neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+        let mut votes = vec![0usize; train.n_classes];
+        for &(_, c) in neighbours.iter() {
+            votes[c] += 1;
+        }
+        let best_count = *votes.iter().max().expect("at least one class");
+        // Nearest-first tie break.
+        neighbours
+            .iter()
+            .map(|&(_, c)| c)
+            .find(|&c| votes[c] == best_count)
+            .expect("k >= 1")
+    }
+
+    /// Predicted classes of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        Dataset::from_rows(&rows, y, 2, vec![0; 10], vec![])
+    }
+
+    #[test]
+    fn one_nn_memorises_training_data() {
+        let data = line_data();
+        let mut knn = Knn::new(KnnConfig { k: 1 });
+        knn.fit(&data);
+        assert_eq!(knn.predict(&data), data.y);
+    }
+
+    #[test]
+    fn five_nn_majority_vote() {
+        let data = line_data();
+        let mut knn = Knn::new(KnnConfig { k: 5 });
+        knn.fit(&data);
+        assert_eq!(knn.predict_row(&[0.0]), 0);
+        assert_eq!(knn.predict_row(&[9.0]), 1);
+        assert_eq!(knn.predict_row(&[100.0]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let data = line_data();
+        let mut knn = Knn::new(KnnConfig { k: 100 });
+        knn.fit(&data);
+        // All 10 points vote: 5 vs 5 tie broken toward the nearer class.
+        assert_eq!(knn.predict_row(&[0.0]), 0);
+        assert_eq!(knn.predict_row(&[9.0]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest_neighbour() {
+        let rows = vec![vec![0.0], vec![2.0]];
+        let data = Dataset::from_rows(&rows, vec![0, 1], 2, vec![0; 2], vec![]);
+        let mut knn = Knn::new(KnnConfig { k: 2 });
+        knn.fit(&data);
+        assert_eq!(knn.predict_row(&[0.5]), 0, "closer to class 0");
+        assert_eq!(knn.predict_row(&[1.5]), 1, "closer to class 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted kNN")]
+    fn predict_unfitted_panics() {
+        let knn = Knn::new(KnnConfig::default());
+        let _ = knn.predict_row(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = line_data();
+        let mut knn = Knn::new(KnnConfig { k: 0 });
+        knn.fit(&data);
+    }
+}

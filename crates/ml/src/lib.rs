@@ -1,0 +1,55 @@
+//! # traj-ml
+//!
+//! A self-contained machine-learning stack implemented from scratch for the
+//! reproduction of Etemad et al., *"On Feature Selection and Evaluation of
+//! Transportation Mode Prediction Strategies"* (EDBT 2019). No external ML
+//! framework is used — every classifier, metric, cross-validation scheme
+//! and statistical test the paper relies on is implemented here:
+//!
+//! * [`dataset`] — dense row-major feature matrices with labels and group
+//!   (user) ids.
+//! * [`tree`] — CART decision trees (gini/entropy).
+//! * [`forest`] — random forests with bootstrap sampling, feature
+//!   subsampling, parallel training and impurity-based feature importances
+//!   (the paper's "information theoretical" ranking source).
+//! * [`boosting`] — second-order gradient-boosted trees (the paper's
+//!   "XGBoost") and AdaBoost·SAMME.
+//! * [`linear`] — a linear SVM trained with the Pegasos sub-gradient
+//!   method, one-vs-rest for multi-class.
+//! * [`neural`] — a multilayer perceptron (ReLU, softmax, momentum SGD).
+//! * [`knn`] — k-nearest-neighbours, an extra baseline.
+//! * [`metrics`] — accuracy, precision/recall/F1 (per-class, macro,
+//!   weighted), confusion matrices.
+//! * [`cv`] — random K-fold, stratified K-fold, user-oriented group
+//!   K-fold and group shuffle splits; the paper's §4.4 contrast between
+//!   *random* and *user-oriented* cross-validation maps to
+//!   [`cv::KFold`] vs [`cv::GroupKFold`].
+//! * [`stats_tests`] — Wilcoxon signed-rank tests (paired and one-sample,
+//!   exact for small samples, normal approximation otherwise), plus the
+//!   Friedman omnibus and Nemenyi post-hoc tests for multi-classifier
+//!   comparisons.
+//! * [`tuning`] — exhaustive grid search over classifier
+//!   hyper-parameters under any cross-validation scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boosting;
+pub mod classifier;
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod neural;
+pub mod stats_tests;
+pub mod tree;
+pub mod tuning;
+
+pub use classifier::{Classifier, ClassifierKind};
+pub use cv::{cross_validate, FoldScore, GroupKFold, GroupShuffleSplit, KFold, Splitter};
+pub use dataset::Dataset;
+pub use forest::RandomForest;
+pub use metrics::{accuracy, confusion_matrix, f1_macro, f1_weighted, ClassificationReport};
+pub use stats_tests::{wilcoxon_one_sample, wilcoxon_signed_rank, Alternative, WilcoxonResult};

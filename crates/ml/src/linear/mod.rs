@@ -1,0 +1,5 @@
+//! Linear models: the SVM of the paper's classifier comparison.
+
+pub mod svm;
+
+pub use svm::{LinearSvm, SvmConfig};

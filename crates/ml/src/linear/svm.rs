@@ -1,0 +1,227 @@
+//! Linear support-vector machine trained with Pegasos, one-vs-rest for
+//! multi-class — the paper's "SVM" comparison classifier (its worst
+//! performer, §4.1/§5; trajectory features are not linearly separable, so
+//! a margin-based linear model trails the tree ensembles).
+//!
+//! Pegasos (Shalev-Shwartz et al., 2011) minimises the regularised hinge
+//! loss `λ/2‖w‖² + mean(max(0, 1 − y·(w·x + b)))` by stochastic
+//! sub-gradient steps with learning rate `1/(λt)`.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of [`LinearSvm`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Regularisation strength λ.
+    pub lambda: f64,
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Seed of the per-epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    config: SvmConfig,
+    /// `weights[c]` is the weight vector of the class-`c`-vs-rest machine.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    n_classes: usize,
+}
+
+impl LinearSvm {
+    /// Creates an unfitted SVM.
+    pub fn new(config: SvmConfig) -> Self {
+        LinearSvm {
+            config,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Fits one Pegasos machine per class.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit an SVM on zero samples");
+        let n = data.len();
+        let d = data.n_features();
+        self.n_classes = data.n_classes;
+        self.weights = vec![vec![0.0; d]; self.n_classes];
+        self.biases = vec![0.0; self.n_classes];
+
+        let lambda = self.config.lambda;
+        for c in 0..self.n_classes {
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(c as u64));
+            let mut order: Vec<usize> = (0..n).collect();
+            let w = &mut self.weights[c];
+            let b = &mut self.biases[c];
+            let mut t = 0usize;
+            for _epoch in 0..self.config.epochs {
+                order.shuffle(&mut rng);
+                for &i in &order {
+                    t += 1;
+                    let eta = 1.0 / (lambda * t as f64);
+                    let row = data.row(i);
+                    let y = if data.y[i] == c { 1.0 } else { -1.0 };
+                    let margin = y * (dot(w, row) + *b);
+                    // w ← (1 − ηλ) w (+ ηyx when the margin is violated).
+                    let shrink = 1.0 - eta * lambda;
+                    w.iter_mut().for_each(|wj| *wj *= shrink);
+                    if margin < 1.0 {
+                        for (wj, &xj) in w.iter_mut().zip(row) {
+                            *wj += eta * y * xj;
+                        }
+                        *b += eta * y;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-vs-rest decision values of one row.
+    pub fn decision_row(&self, row: &[f64]) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "predict on an unfitted SVM");
+        (0..self.n_classes)
+            .map(|c| dot(&self.weights[c], row) + self.biases[c])
+            .collect()
+    }
+
+    /// Predicted class of one row (largest decision value).
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let scores = self.decision_row(row);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Predicted classes of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn separable_blobs(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for class in 0..3usize {
+            let angle = class as f64 * 2.0 * std::f64::consts::PI / 3.0;
+            let (cx, cy) = (3.0 * angle.cos(), 3.0 * angle.sin());
+            for _ in 0..n_per_class {
+                rows.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
+                y.push(class);
+            }
+        }
+        let n = rows.len();
+        Dataset::from_rows(&rows, y, 3, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn separates_linear_blobs() {
+        let data = separable_blobs(40, 31);
+        let mut svm = LinearSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        let acc = crate::metrics::accuracy(&data.y, &svm.predict(&data));
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn binary_margin_signs_are_correct() {
+        let rows = vec![
+            vec![-2.0], vec![-1.5], vec![-1.0],
+            vec![1.0], vec![1.5], vec![2.0],
+        ];
+        let data = Dataset::from_rows(&rows, vec![0, 0, 0, 1, 1, 1], 2, vec![0; 6], vec![]);
+        let mut svm = LinearSvm::new(SvmConfig { epochs: 100, ..Default::default() });
+        svm.fit(&data);
+        assert_eq!(svm.predict_row(&[-3.0]), 0);
+        assert_eq!(svm.predict_row(&[3.0]), 1);
+        let d = svm.decision_row(&[3.0]);
+        assert!(d[1] > d[0]);
+    }
+
+    #[test]
+    fn fails_on_xor_as_a_linear_model_must() {
+        // The paper's SVM is worst; linearly inseparable structure is why.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (cx, cy, label) in [(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
+            for k in 0..10 {
+                rows.push(vec![cx + k as f64 * 0.001, cy]);
+                y.push(label);
+            }
+        }
+        let n = rows.len();
+        let data = Dataset::from_rows(&rows, y, 2, vec![0; n], vec![]);
+        let mut svm = LinearSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        let acc = crate::metrics::accuracy(&data.y, &svm.predict(&data));
+        assert!(acc < 0.8, "XOR cannot be separated linearly: {acc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = separable_blobs(20, 32);
+        let fit = |seed| {
+            let mut svm = LinearSvm::new(SvmConfig { seed, ..Default::default() });
+            svm.fit(&data);
+            svm.decision_row(data.row(0))
+        };
+        assert_eq!(fit(5), fit(5));
+    }
+
+    #[test]
+    fn stronger_regularisation_shrinks_weights() {
+        let data = separable_blobs(20, 33);
+        let norm_at = |lambda| {
+            let mut svm = LinearSvm::new(SvmConfig { lambda, epochs: 20, seed: 1 });
+            svm.fit(&data);
+            svm.weights
+                .iter()
+                .flat_map(|w| w.iter().map(|&v| v * v))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(norm_at(1.0) < norm_at(1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted SVM")]
+    fn predict_unfitted_panics() {
+        let svm = LinearSvm::new(SvmConfig::default());
+        let _ = svm.predict_row(&[0.0]);
+    }
+}

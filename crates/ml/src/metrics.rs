@@ -1,0 +1,346 @@
+//! Classification metrics: accuracy, confusion matrices and F-scores.
+//!
+//! The paper reports *accuracy* (its comparison metric with prior work) and
+//! the *F-score* "since the data was imbalanced" (§2). We provide per-class
+//! precision/recall/F1 plus macro and support-weighted averages; Figure 4
+//! plots the weighted F-score next to accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics when the slices disagree in length or are empty.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "prediction/label length mismatch");
+    assert!(!y_true.is_empty(), "accuracy of zero samples is undefined");
+    let correct = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(t, p)| t == p)
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Confusion matrix `m[t][p]` = number of samples with truth `t` predicted
+/// as `p`.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len(), "prediction/label length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class and aggregate precision/recall/F1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Per-class precision; `0` for classes never predicted.
+    pub precision: Vec<f64>,
+    /// Per-class recall; `0` for classes with no samples.
+    pub recall: Vec<f64>,
+    /// Per-class F1.
+    pub f1: Vec<f64>,
+    /// Number of true samples per class.
+    pub support: Vec<usize>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl ClassificationReport {
+    /// Computes the report from truth and predictions.
+    pub fn compute(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Self {
+        let m = confusion_matrix(y_true, y_pred, n_classes);
+        let mut precision = vec![0.0; n_classes];
+        let mut recall = vec![0.0; n_classes];
+        let mut f1 = vec![0.0; n_classes];
+        let mut support = vec![0usize; n_classes];
+        for c in 0..n_classes {
+            let tp = m[c][c] as f64;
+            let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            support[c] = m[c].iter().sum();
+            precision[c] = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            recall[c] = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            f1[c] = if precision[c] + recall[c] > 0.0 {
+                2.0 * precision[c] * recall[c] / (precision[c] + recall[c])
+            } else {
+                0.0
+            };
+        }
+        ClassificationReport {
+            precision,
+            recall,
+            f1,
+            support,
+            accuracy: accuracy(y_true, y_pred),
+        }
+    }
+
+    /// Unweighted mean F1 over classes that have support.
+    pub fn f1_macro(&self) -> f64 {
+        let supported: Vec<usize> = (0..self.f1.len())
+            .filter(|&c| self.support[c] > 0)
+            .collect();
+        if supported.is_empty() {
+            return 0.0;
+        }
+        supported.iter().map(|&c| self.f1[c]).sum::<f64>() / supported.len() as f64
+    }
+
+    /// Support-weighted mean F1.
+    pub fn f1_weighted(&self) -> f64 {
+        let total: usize = self.support.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.f1
+            .iter()
+            .zip(&self.support)
+            .map(|(&f, &s)| f * s as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Multi-class logarithmic loss: `−mean(log p_i[y_i])`, with
+/// probabilities clipped to `[1e-15, 1 − 1e-15]` so degenerate
+/// predictions stay finite.
+///
+/// # Panics
+/// Panics when lengths disagree or the input is empty.
+pub fn log_loss(y_true: &[usize], probabilities: &[Vec<f64>]) -> f64 {
+    assert_eq!(
+        y_true.len(),
+        probabilities.len(),
+        "prediction/label length mismatch"
+    );
+    assert!(!y_true.is_empty(), "log loss of zero samples is undefined");
+    let mut total = 0.0;
+    for (&t, probs) in y_true.iter().zip(probabilities) {
+        let p = probs[t].clamp(1e-15, 1.0 - 1e-15);
+        total -= p.ln();
+    }
+    total / y_true.len() as f64
+}
+
+/// Cohen's kappa: agreement between truth and prediction corrected for
+/// chance agreement, `κ = (p_o − p_e) / (1 − p_e)`. `1` is perfect,
+/// `0` is chance level; defined as `0` when `p_e = 1` (a single class).
+pub fn cohen_kappa(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    let m = confusion_matrix(y_true, y_pred, n_classes);
+    let n = y_true.len() as f64;
+    assert!(n > 0.0, "kappa of zero samples is undefined");
+    let p_o: f64 = (0..n_classes).map(|c| m[c][c] as f64).sum::<f64>() / n;
+    let p_e: f64 = (0..n_classes)
+        .map(|c| {
+            let row: f64 = m[c].iter().sum::<usize>() as f64;
+            let col: f64 = (0..n_classes).map(|t| m[t][c] as f64).sum();
+            (row / n) * (col / n)
+        })
+        .sum();
+    if (1.0 - p_e).abs() < 1e-12 {
+        0.0
+    } else {
+        (p_o - p_e) / (1.0 - p_e)
+    }
+}
+
+/// Renders a confusion matrix as a fixed-width text table with the given
+/// class names on both axes (rows = truth, columns = prediction).
+pub fn render_confusion_matrix(matrix: &[Vec<usize>], class_names: &[&str]) -> String {
+    assert_eq!(matrix.len(), class_names.len(), "one name per class");
+    let width = class_names
+        .iter()
+        .map(|n| n.len())
+        .chain(
+            matrix
+                .iter()
+                .flatten()
+                .map(|v| v.to_string().len()),
+        )
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    out.push_str(&format!("{:>width$} ", "t\\p", width = width));
+    for name in class_names {
+        out.push_str(&format!("{:>width$} ", name, width = width));
+    }
+    out.push('\n');
+    for (t, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("{:>width$} ", class_names[t], width = width));
+        for v in row {
+            out.push_str(&format!("{:>width$} ", v, width = width));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Unweighted mean F1 over supported classes.
+pub fn f1_macro(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    ClassificationReport::compute(y_true, y_pred, n_classes).f1_macro()
+}
+
+/// Support-weighted mean F1.
+pub fn f1_weighted(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    ClassificationReport::compute(y_true, y_pred, n_classes).f1_weighted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[1], &[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn accuracy_rejects_empty() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let m = confusion_matrix(&[0, 0, 1, 1, 2], &[0, 1, 1, 1, 0], 3);
+        assert_eq!(m[0], vec![1, 1, 0]);
+        assert_eq!(m[1], vec![0, 2, 0]);
+        assert_eq!(m[2], vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn report_matches_hand_computation() {
+        // truth:      0 0 0 1 1 2
+        // prediction: 0 1 0 1 1 1
+        let r = ClassificationReport::compute(&[0, 0, 0, 1, 1, 2], &[0, 1, 0, 1, 1, 1], 3);
+        // class 0: tp=2, fp=0, fn=1 → p=1, r=2/3, f1=0.8
+        assert!((r.precision[0] - 1.0).abs() < 1e-12);
+        assert!((r.recall[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.f1[0] - 0.8).abs() < 1e-12);
+        // class 1: tp=2, fp=2, fn=0 → p=0.5, r=1, f1=2/3
+        assert!((r.precision[1] - 0.5).abs() < 1e-12);
+        assert!((r.recall[1] - 1.0).abs() < 1e-12);
+        assert!((r.f1[1] - 2.0 / 3.0).abs() < 1e-12);
+        // class 2: tp=0 → all zero
+        assert_eq!(r.f1[2], 0.0);
+        assert_eq!(r.support, vec![3, 2, 1]);
+        assert!((r.accuracy - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_supported_classes_only() {
+        // Class 2 has no true samples; it must not drag down the macro F1.
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [0, 0, 1, 1];
+        assert_eq!(f1_macro(&y_true, &y_pred, 3), 1.0);
+    }
+
+    #[test]
+    fn weighted_f1_weights_by_support() {
+        // truth: 3×0 (all right), 1×1 (wrong) → f1_0=1 (weight 3/4)...
+        let y_true = [0, 0, 0, 1];
+        let y_pred = [0, 0, 0, 0];
+        let r = ClassificationReport::compute(&y_true, &y_pred, 2);
+        // class 0: p=3/4, r=1 → f1 = 6/7; class 1: f1 = 0.
+        let expected = (6.0 / 7.0) * 3.0 / 4.0;
+        assert!((r.f1_weighted() - expected).abs() < 1e-12);
+        assert!(r.f1_weighted() < r.accuracy, "imbalance penalised");
+    }
+
+    #[test]
+    fn perfect_prediction_gives_unit_scores() {
+        let y = [0, 1, 2, 1, 0];
+        let r = ClassificationReport::compute(&y, &y, 3);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.f1_macro(), 1.0);
+        assert_eq!(r.f1_weighted(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_wrong() {
+        let r = ClassificationReport::compute(&[0, 0], &[1, 1], 2);
+        assert_eq!(r.accuracy, 0.0);
+        assert_eq!(r.f1_macro(), 0.0);
+        assert_eq!(r.f1_weighted(), 0.0);
+    }
+
+    #[test]
+    fn log_loss_of_confident_correct_predictions_is_tiny() {
+        let probs = vec![vec![0.99, 0.01], vec![0.01, 0.99]];
+        let loss = log_loss(&[0, 1], &probs);
+        assert!(loss < 0.02, "loss {loss}");
+    }
+
+    #[test]
+    fn log_loss_matches_hand_computation() {
+        // −(ln 0.8 + ln 0.4)/2
+        let probs = vec![vec![0.8, 0.2], vec![0.6, 0.4]];
+        let expected = -(0.8f64.ln() + 0.4f64.ln()) / 2.0;
+        assert!((log_loss(&[0, 1], &probs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clips_zero_probabilities() {
+        let probs = vec![vec![1.0, 0.0]];
+        let loss = log_loss(&[1], &probs);
+        assert!(loss.is_finite());
+        assert!(loss > 30.0, "clipped at 1e-15: {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn log_loss_rejects_empty() {
+        let _ = log_loss(&[], &[]);
+    }
+
+    #[test]
+    fn kappa_perfect_chance_and_inverse() {
+        let y = [0, 1, 0, 1, 0, 1];
+        assert!((cohen_kappa(&y, &y, 2) - 1.0).abs() < 1e-12);
+        // Constant prediction on balanced labels: p_o = 0.5 = p_e → κ = 0.
+        let constant = [0usize; 6];
+        assert!(cohen_kappa(&y, &constant, 2).abs() < 1e-12);
+        // Systematic disagreement is negative.
+        let flipped: Vec<usize> = y.iter().map(|&c| 1 - c).collect();
+        assert!(cohen_kappa(&y, &flipped, 2) < -0.9);
+    }
+
+    #[test]
+    fn kappa_degenerate_single_class_is_zero() {
+        let y = [0, 0, 0];
+        assert_eq!(cohen_kappa(&y, &y, 1), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_rendering_lines_up() {
+        let m = confusion_matrix(&[0, 0, 1, 2], &[0, 1, 1, 2], 3);
+        let text = render_confusion_matrix(&m, &["walk", "bike", "bus"]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 rows");
+        assert!(lines[0].contains("walk") && lines[0].contains("bus"));
+        assert!(lines[1].trim_start().starts_with("walk"));
+        // Every line has the same width (fixed columns).
+        let widths: std::collections::HashSet<usize> =
+            lines.iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per class")]
+    fn rendering_requires_matching_names() {
+        let m = confusion_matrix(&[0], &[0], 1);
+        let _ = render_confusion_matrix(&m, &["a", "b"]);
+    }
+}

@@ -1,0 +1,609 @@
+//! Wilcoxon signed-rank tests.
+//!
+//! The paper uses the Wilcoxon signed-ranks test three ways:
+//!
+//! * *paired two-sample* over cross-validation fold accuracies, to compare
+//!   the random forest against each other classifier (§4.1);
+//! * *one-sample* against a published constant, to compare measured
+//!   accuracy with the 67.9 % of [Endo et al.] and the 84.8 % of
+//!   [Dabiri & Heaslip] (§4.3).
+//!
+//! Zero differences are discarded (Wilcoxon's original treatment), ties in
+//! absolute differences receive average ranks, and the p-value is computed
+//! from the exact null distribution of `W+` when the effective sample is
+//! small (`n ≤ 25`) and tie-free, falling back to the normal approximation
+//! with tie and continuity corrections otherwise — mirroring SciPy's
+//! `wilcoxon`, which the authors used.
+
+use serde::{Deserialize, Serialize};
+
+/// Alternative hypothesis of a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alternative {
+    /// The distributions differ (two-sided).
+    TwoSided,
+    /// The first sample is stochastically greater.
+    Greater,
+    /// The first sample is stochastically less.
+    Less,
+}
+
+/// How the p-value was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PValueMethod {
+    /// Exact enumeration of the signed-rank null distribution.
+    Exact,
+    /// Normal approximation with tie and continuity corrections.
+    NormalApproximation,
+}
+
+/// Outcome of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WilcoxonResult {
+    /// The test statistic `W = min(W+, W−)`.
+    pub statistic: f64,
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences the test ran on.
+    pub n_effective: usize,
+    /// The p-value under the requested alternative.
+    pub p_value: f64,
+    /// How the p-value was computed.
+    pub method: PValueMethod,
+}
+
+/// Paired Wilcoxon signed-rank test of `xs` against `ys`.
+///
+/// ```
+/// use traj_ml::{wilcoxon_signed_rank, Alternative};
+/// // Model A's fold accuracies consistently beat model B's.
+/// let a = [0.91, 0.93, 0.90, 0.92, 0.94, 0.915, 0.935];
+/// let b = [0.88, 0.90, 0.885, 0.89, 0.91, 0.88, 0.90];
+/// let r = wilcoxon_signed_rank(&a, &b, Alternative::Greater);
+/// assert!(r.p_value < 0.05);
+/// ```
+///
+/// # Panics
+/// Panics when the samples differ in length, or every difference is zero
+/// (the test is undefined).
+pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64], alternative: Alternative) -> WilcoxonResult {
+    assert_eq!(xs.len(), ys.len(), "paired samples must share a length");
+    let diffs: Vec<f64> = xs.iter().zip(ys).map(|(&a, &b)| a - b).collect();
+    wilcoxon_from_differences(&diffs, alternative)
+}
+
+/// One-sample Wilcoxon signed-rank test of `xs` against the constant `mu`.
+///
+/// # Panics
+/// Panics when every `x - mu` is zero.
+pub fn wilcoxon_one_sample(xs: &[f64], mu: f64, alternative: Alternative) -> WilcoxonResult {
+    let diffs: Vec<f64> = xs.iter().map(|&x| x - mu).collect();
+    wilcoxon_from_differences(&diffs, alternative)
+}
+
+fn wilcoxon_from_differences(diffs: &[f64], alternative: Alternative) -> WilcoxonResult {
+    let nonzero: Vec<f64> = diffs.iter().copied().filter(|&d| d != 0.0).collect();
+    assert!(
+        !nonzero.is_empty(),
+        "all differences are zero; the signed-rank test is undefined"
+    );
+    let n = nonzero.len();
+    let abs: Vec<f64> = nonzero.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+
+    let mut w_plus = 0.0;
+    for (d, r) in nonzero.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        }
+    }
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let statistic = w_plus.min(w_minus);
+
+    let has_ties = {
+        let mut sorted = abs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite differences"));
+        sorted.windows(2).any(|w| w[0] == w[1])
+    };
+
+    let (p_value, method) = if n <= 25 && !has_ties {
+        (exact_p_value(w_plus, n, alternative), PValueMethod::Exact)
+    } else {
+        (
+            normal_p_value(w_plus, &ranks, alternative),
+            PValueMethod::NormalApproximation,
+        )
+    };
+
+    WilcoxonResult {
+        statistic,
+        w_plus,
+        w_minus,
+        n_effective: n,
+        p_value: p_value.clamp(0.0, 1.0),
+        method,
+    }
+}
+
+/// Average (midrank) ranks of a sample, 1-based.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Exact p-value from the null distribution of `W+` for `n` tie-free
+/// differences: each rank `1..=n` is included with probability ½.
+fn exact_p_value(w_plus: f64, n: usize, alternative: Alternative) -> f64 {
+    // counts[w] = number of sign assignments with rank-sum w.
+    let max_sum = n * (n + 1) / 2;
+    let mut counts = vec![0.0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for rank in 1..=n {
+        for w in (rank..=max_sum).rev() {
+            counts[w] += counts[w - rank];
+        }
+    }
+    let total = 2f64.powi(n as i32);
+    let w = w_plus.round() as usize;
+    let cdf_le = |w: usize| -> f64 {
+        counts[..=w.min(max_sum)].iter().sum::<f64>() / total
+    };
+    let sf_ge = |w: usize| -> f64 {
+        if w > max_sum {
+            0.0
+        } else {
+            counts[w..].iter().sum::<f64>() / total
+        }
+    };
+    match alternative {
+        Alternative::Greater => sf_ge(w),
+        Alternative::Less => cdf_le(w),
+        Alternative::TwoSided => (2.0 * cdf_le(w).min(sf_ge(w))).min(1.0),
+    }
+}
+
+/// Normal approximation with tie correction and a 0.5 continuity
+/// correction.
+fn normal_p_value(w_plus: f64, ranks: &[f64], alternative: Alternative) -> f64 {
+    let n = ranks.len() as f64;
+    let mean = n * (n + 1.0) / 4.0;
+    // Tie correction: subtract Σ(t³ − t)/48 over tie groups; equivalently
+    // use the rank variance directly.
+    let mut sorted = ranks.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ranks"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+    let sd = var.max(1e-12).sqrt();
+    match alternative {
+        Alternative::Greater => 1.0 - normal_cdf((w_plus - mean - 0.5) / sd),
+        Alternative::Less => normal_cdf((w_plus - mean + 0.5) / sd),
+        Alternative::TwoSided => {
+            let z = (w_plus - mean).abs() - 0.5;
+            2.0 * (1.0 - normal_cdf(z.max(0.0) / sd))
+        }
+    }
+}
+
+/// Outcome of a Friedman test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FriedmanResult {
+    /// The χ²_F statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// Approximate p-value from the χ² distribution.
+    pub p_value: f64,
+    /// Mean rank of each treatment (lower = better when ranking errors,
+    /// higher = better when ranking accuracies — ranks ascend with the
+    /// measurements).
+    pub mean_ranks: Vec<f64>,
+}
+
+/// Friedman test: do `k` treatments (classifiers) measured on the same
+/// `n` blocks (CV folds) differ? The standard omnibus companion to the
+/// pairwise Wilcoxon tests of the paper's §4.1 (Demšar 2006 recommends
+/// it for multi-classifier comparisons).
+///
+/// `measurements[treatment][block]`; every treatment needs the same
+/// number of blocks. Ties within a block receive average ranks; the
+/// statistic includes the standard tie correction.
+///
+/// # Panics
+/// Panics with fewer than two treatments, zero blocks, or ragged input.
+pub fn friedman_test(measurements: &[Vec<f64>]) -> FriedmanResult {
+    let k = measurements.len();
+    assert!(k >= 2, "need at least two treatments");
+    let n = measurements[0].len();
+    assert!(n >= 1, "need at least one block");
+    assert!(
+        measurements.iter().all(|m| m.len() == n),
+        "every treatment needs the same number of blocks"
+    );
+
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_correction = 0.0;
+    let mut block = Vec::with_capacity(k);
+    for b in 0..n {
+        block.clear();
+        block.extend(measurements.iter().map(|m| m[b]));
+        let ranks = average_ranks(&block);
+        for (s, r) in rank_sums.iter_mut().zip(&ranks) {
+            *s += r;
+        }
+        // Tie term Σ(t³ − t) within this block.
+        let mut sorted = block.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_correction += t * t * t - t;
+            i = j + 1;
+        }
+    }
+    let mean_ranks: Vec<f64> = rank_sums.iter().map(|&s| s / n as f64).collect();
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_r2: f64 = rank_sums.iter().map(|&s| s * s).sum();
+    // χ²_F = 12/(nk(k+1)) Σ R_j² − 3n(k+1), divided by the tie factor
+    // C = 1 − Σ(t³−t) / (n(k³−k)) (Siegel & Castellan).
+    let chi2 = 12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
+    let tie_factor = 1.0 - tie_correction / (nf * (kf * kf * kf - kf));
+    let statistic = if tie_factor > 0.0 {
+        (chi2 / tie_factor).max(0.0)
+    } else {
+        0.0 // every block fully tied: no evidence of any difference
+    };
+    let df = k - 1;
+    FriedmanResult {
+        statistic,
+        df,
+        p_value: chi_square_sf(statistic, df),
+        mean_ranks,
+    }
+}
+
+/// Critical difference of the Nemenyi post-hoc test at α = 0.05: two of
+/// `k` treatments compared over `n` blocks differ significantly when
+/// their mean ranks differ by more than `CD = q_α √(k(k+1)/(6n))`
+/// (Demšar 2006). Supported for `k ∈ 2..=10`.
+///
+/// # Panics
+/// Panics for `k` outside `2..=10` or `n = 0`.
+pub fn nemenyi_critical_difference(k: usize, n: usize) -> f64 {
+    // Studentised-range q_0.05 / √2 for k = 2..=10 (Demšar 2006, Table 5).
+    const Q_ALPHA_05: [f64; 9] = [
+        1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+    ];
+    assert!((2..=10).contains(&k), "Nemenyi table covers k in 2..=10");
+    assert!(n > 0, "need at least one block");
+    let q = Q_ALPHA_05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Pairwise Nemenyi verdicts after a significant Friedman test: entry
+/// `(i, j)` is `true` when treatments `i` and `j` differ at α = 0.05.
+pub fn nemenyi_pairwise(mean_ranks: &[f64], n_blocks: usize) -> Vec<Vec<bool>> {
+    let k = mean_ranks.len();
+    let cd = nemenyi_critical_difference(k, n_blocks);
+    (0..k)
+        .map(|i| {
+            (0..k)
+                .map(|j| i != j && (mean_ranks[i] - mean_ranks[j]).abs() > cd)
+                .collect()
+        })
+        .collect()
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom
+/// (via the Wilson–Hilferty normal approximation for df > 2 and exact
+/// forms for df ∈ {1, 2}).
+pub fn chi_square_sf(x: f64, df: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    match df {
+        0 => 1.0,
+        1 => 2.0 * (1.0 - normal_cdf(x.sqrt())),
+        2 => (-x / 2.0).exp(),
+        _ => {
+            let k = df as f64;
+            // Wilson–Hilferty: (χ²/k)^(1/3) ≈ N(1 − 2/(9k), 2/(9k)).
+            let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
+                / (2.0 / (9.0 * k)).sqrt();
+            (1.0 - normal_cdf(z)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_ranks_without_ties() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        // 10 10 20 → ranks 1.5 1.5 3
+        assert_eq!(average_ranks(&[10.0, 10.0, 20.0]), vec![1.5, 1.5, 3.0]);
+        // All equal → everyone gets the middle rank.
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(-1.644_853_627) - 0.05).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn paired_test_matches_textbook_blood_pressure_example() {
+        // Differences: 15, −7, 5, 20, 0, −9, 17, −12, 5, −10. The zero is
+        // dropped (n = 9); |5| ties at midrank 1.5 force the normal path.
+        // W+ = 7 + 1.5 + 9 + 8 + 1.5 = 27, W− = 18, statistic = 18.
+        // With tie correction (one pair) and continuity correction:
+        // z = (27 − 22.5 − 0.5)/√71.125 → two-sided p ≈ 0.635.
+        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        assert_eq!(r.n_effective, 9);
+        assert_eq!(r.statistic, 18.0);
+        assert_eq!(r.w_plus, 27.0);
+        assert_eq!(r.method, PValueMethod::NormalApproximation);
+        assert!((r.p_value - 0.635).abs() < 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn tie_free_small_sample_uses_exact_distribution() {
+        // Distinct |differences|: 2, −1, 4, 8, −5, 9 (n = 6, no ties).
+        // Ranks: 2→2, 1→1, 4→3, 8→5, 5→4, 9→6; W+ = 2+3+5+6 = 16.
+        let x = [3.0, 1.0, 7.0, 10.0, 0.0, 12.0];
+        let y = [1.0, 2.0, 3.0, 2.0, 5.0, 3.0];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        assert_eq!(r.method, PValueMethod::Exact);
+        assert_eq!(r.w_plus, 16.0);
+        assert_eq!(r.statistic, 5.0);
+        // Exact two-sided p: 2·P(W+ ≥ 16) = 2·(#assignments with sum ≥ 16)/64.
+        assert!(r.p_value > 0.2 && r.p_value < 0.7, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn one_sided_p_is_half_of_two_sided_without_center_mass() {
+        // Tie-free, all-positive differences: 0.5, 0.9, 0.7, 0.55, 1.8,
+        // 1.9, 1.5 — the strongest one-sided evidence at n = 7.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let y = [0.5, 1.1, 2.3, 3.45, 3.2, 4.1, 5.5];
+        let two = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        let greater = wilcoxon_signed_rank(&x, &y, Alternative::Greater);
+        assert!(greater.p_value < two.p_value);
+        assert_eq!(greater.method, PValueMethod::Exact);
+        assert_eq!(greater.w_plus, 28.0);
+        assert!((greater.p_value - 1.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sample_test_detects_shift() {
+        // Ten accuracies around 0.695 tested against the published 0.679.
+        let acc = [0.69, 0.70, 0.71, 0.68, 0.695, 0.70, 0.72, 0.69, 0.705, 0.70];
+        let r = wilcoxon_one_sample(&acc, 0.679, Alternative::Greater);
+        assert!(r.p_value < 0.01, "p={}", r.p_value);
+        let r_less = wilcoxon_one_sample(&acc, 0.679, Alternative::Less);
+        assert!(r_less.p_value > 0.95);
+    }
+
+    #[test]
+    fn symmetric_data_is_not_significant() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+        assert_eq!(r.w_plus, r.w_minus);
+    }
+
+    #[test]
+    fn swapping_samples_mirrors_alternative() {
+        let x = [5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.5];
+        let g = wilcoxon_signed_rank(&x, &y, Alternative::Greater);
+        let l = wilcoxon_signed_rank(&y, &x, Alternative::Less);
+        assert!((g.p_value - l.p_value).abs() < 1e-12);
+        assert_eq!(g.w_plus, l.w_minus);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        assert_eq!(r.n_effective, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "all differences are zero")]
+    fn identical_samples_panic() {
+        let x = [1.0, 2.0];
+        let _ = wilcoxon_signed_rank(&x, &x, Alternative::TwoSided);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn length_mismatch_panics() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0], Alternative::TwoSided);
+    }
+
+    #[test]
+    fn ties_fall_back_to_normal_approximation() {
+        // Repeated |differences| force midranks → normal path.
+        let x = [2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0];
+        let y = [1.0; 10];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Greater);
+        assert_eq!(r.method, PValueMethod::NormalApproximation);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn large_samples_use_normal_approximation() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 + 0.6).collect();
+        let y: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Greater);
+        assert_eq!(r.method, PValueMethod::NormalApproximation);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn friedman_detects_a_consistently_better_treatment() {
+        // Treatment 0 wins every block by a margin; 1 and 2 shuffle.
+        let measurements = vec![
+            vec![0.9, 0.91, 0.92, 0.9, 0.93, 0.9, 0.91, 0.9],
+            vec![0.8, 0.82, 0.81, 0.8, 0.79, 0.8, 0.83, 0.81],
+            vec![0.81, 0.8, 0.82, 0.79, 0.8, 0.81, 0.8, 0.8],
+        ];
+        let r = friedman_test(&measurements);
+        assert_eq!(r.df, 2);
+        assert!(r.p_value < 0.01, "p={}", r.p_value);
+        // Treatment 0 has the highest mean rank (ranks ascend with value).
+        assert!(r.mean_ranks[0] > r.mean_ranks[1]);
+        assert!(r.mean_ranks[0] > r.mean_ranks[2]);
+        assert!((r.mean_ranks.iter().sum::<f64>() - 6.0).abs() < 1e-9, "ranks sum to k(k+1)/2");
+    }
+
+    #[test]
+    fn friedman_on_identical_treatments_is_not_significant() {
+        let same = vec![0.8, 0.81, 0.79, 0.8, 0.82];
+        let r = friedman_test(&[same.clone(), same.clone(), same]);
+        assert_eq!(r.statistic, 0.0, "all blocks fully tied");
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn friedman_matches_textbook_example() {
+        // Classic 3-treatment, 4-block example with full rank variation:
+        // ranks per block all (1,2,3) in the same order →
+        // χ² = 12/(4·3·4)·(4²+8²+12²) − 3·4·4 = 56 − 48 = 8.
+        let measurements = vec![
+            vec![1.0, 1.1, 1.2, 1.3],
+            vec![2.0, 2.1, 2.2, 2.3],
+            vec![3.0, 3.1, 3.2, 3.3],
+        ];
+        let r = friedman_test(&measurements);
+        assert!((r.statistic - 8.0).abs() < 1e-9, "{}", r.statistic);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of blocks")]
+    fn friedman_rejects_ragged_input() {
+        let _ = friedman_test(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two treatments")]
+    fn friedman_rejects_single_treatment() {
+        let _ = friedman_test(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn nemenyi_critical_difference_matches_demsar() {
+        // Demšar's worked example: k = 4, N = 14 → CD ≈ 1.25.
+        let cd = nemenyi_critical_difference(4, 14);
+        assert!((cd - 1.25).abs() < 0.01, "cd = {cd}");
+        // More blocks shrink the CD; more treatments grow it.
+        assert!(nemenyi_critical_difference(4, 30) < cd);
+        assert!(nemenyi_critical_difference(6, 14) > cd);
+    }
+
+    #[test]
+    fn nemenyi_pairwise_flags_big_rank_gaps() {
+        // Ranks 1, 2, 3.8 over 20 blocks: CD(3, 20) ≈ 0.74.
+        let verdicts = nemenyi_pairwise(&[1.0, 2.0, 3.8], 20);
+        assert!(verdicts[0][1], "gap 1.0 > CD");
+        assert!(verdicts[0][2]);
+        assert!(verdicts[1][2], "gap 1.8 > CD");
+        assert!(!verdicts[0][0], "diagonal never significant");
+        // Symmetric matrix.
+        assert_eq!(verdicts[0][1], verdicts[1][0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=10")]
+    fn nemenyi_rejects_unsupported_k() {
+        let _ = nemenyi_critical_difference(11, 10);
+    }
+
+    #[test]
+    fn chi_square_sf_reference_values() {
+        // df=1: P(χ² > 3.841) ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1) - 0.05).abs() < 0.001);
+        // df=2: exact exp(−x/2): P(χ² > 5.991) ≈ 0.05.
+        assert!((chi_square_sf(5.991, 2) - 0.05).abs() < 0.001);
+        // df=5: P(χ² > 11.07) ≈ 0.05 (Wilson–Hilferty ±0.002).
+        assert!((chi_square_sf(11.07, 5) - 0.05).abs() < 0.005);
+        assert_eq!(chi_square_sf(0.0, 3), 1.0);
+        assert_eq!(chi_square_sf(-1.0, 3), 1.0);
+        assert!(chi_square_sf(100.0, 3) < 1e-6);
+    }
+
+    #[test]
+    fn exact_two_sided_never_exceeds_one() {
+        let x = [1.0, 2.0];
+        let y = [0.5, 2.5];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
+        assert!(r.p_value <= 1.0);
+        assert!(r.p_value > 0.5, "n=2 cannot be significant");
+    }
+}

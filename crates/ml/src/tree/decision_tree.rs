@@ -1,0 +1,495 @@
+//! The CART classification tree.
+
+use crate::dataset::Dataset;
+use crate::tree::split::{best_split, Criterion, SplitScratch};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Impurity criterion.
+    pub criterion: Criterion,
+    /// Maximum tree depth; `None` grows until purity or the minimum-sample
+    /// limits stop a node.
+    pub max_depth: Option<usize>,
+    /// Minimum samples a node must hold to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must receive.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per node; `None` considers all.
+    /// Random forests pass `⌈√d⌉`.
+    pub max_features: Option<usize>,
+    /// Seed of the per-node feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            criterion: Criterion::Gini,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in the node arena; the right child is
+        /// stored at `left + right_offset`.
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        class: usize,
+        /// Training class distribution at the leaf (weighted, normalised).
+        probs: Vec<f64>,
+    },
+}
+
+/// A CART decision tree classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+    /// Unnormalised impurity-decrease importance per feature.
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+            importances: Vec::new(),
+        }
+    }
+
+    /// Fits the tree on every sample with unit weights.
+    pub fn fit(&mut self, data: &Dataset) {
+        let weights = vec![1.0; data.len()];
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_weighted_on(data, &indices, &weights);
+    }
+
+    /// Fits the tree on every sample with the given weights (AdaBoost's
+    /// path).
+    ///
+    /// # Panics
+    /// Panics when `weights.len() != data.len()` or the dataset is empty.
+    pub fn fit_weighted(&mut self, data: &Dataset, weights: &[f64]) {
+        assert_eq!(weights.len(), data.len(), "one weight per sample");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_weighted_on(data, &indices, weights);
+    }
+
+    /// Fits the tree on the subset `indices` (with repetition allowed —
+    /// the forest's bootstrap path) using per-sample `weights` indexed by
+    /// the *original* dataset positions.
+    pub fn fit_weighted_on(&mut self, data: &Dataset, indices: &[usize], weights: &[f64]) {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        self.n_classes = data.n_classes;
+        self.n_features = data.n_features();
+        self.nodes.clear();
+        self.importances = vec![0.0; self.n_features];
+
+        let total_weight: f64 = indices.iter().map(|&i| weights[i]).sum();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut scratch = SplitScratch::new(self.n_classes);
+        let mut owned = indices.to_vec();
+        let mut all_features: Vec<usize> = (0..self.n_features).collect();
+        self.build(
+            data,
+            &mut owned,
+            weights,
+            0,
+            total_weight,
+            &mut rng,
+            &mut scratch,
+            &mut all_features,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        weights: &[f64],
+        depth: usize,
+        root_weight: f64,
+        rng: &mut StdRng,
+        scratch: &mut SplitScratch,
+        feature_pool: &mut Vec<usize>,
+    ) -> usize {
+        let (class_weights, node_weight) = self.class_weights(data, indices, weights);
+        let node_impurity = self.config.criterion.impurity(&class_weights, node_weight);
+
+        let depth_ok = self.config.max_depth.is_none_or(|d| depth < d);
+        let size_ok = indices.len() >= self.config.min_samples_split;
+        let impure = node_impurity > 1e-12;
+
+        if depth_ok && size_ok && impure {
+            let features: &[usize] = match self.config.max_features {
+                Some(k) if k < feature_pool.len() => {
+                    feature_pool.shuffle(rng);
+                    &feature_pool[..k]
+                }
+                _ => feature_pool,
+            };
+            // The shuffled prefix must be copied: recursion below reuses
+            // the pool.
+            let features: Vec<usize> = features.to_vec();
+            if let Some(split) = best_split(
+                data,
+                indices,
+                weights,
+                &features,
+                self.config.criterion,
+                self.config.min_samples_leaf,
+                node_impurity,
+                scratch,
+            ) {
+                self.importances[split.feature] +=
+                    (node_weight / root_weight) * split.impurity_decrease;
+
+                // Partition indices in place around the threshold.
+                let mut lt = 0usize;
+                for i in 0..indices.len() {
+                    if data.value(indices[i], split.feature) <= split.threshold {
+                        indices.swap(lt, i);
+                        lt += 1;
+                    }
+                }
+                debug_assert_eq!(lt, split.n_left);
+
+                let node_id = self.nodes.len();
+                self.nodes.push(Node::Internal {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: 0,
+                    right: 0,
+                });
+                let (left_ix, right_ix) = indices.split_at_mut(lt);
+                let left = self.build(
+                    data, left_ix, weights, depth + 1, root_weight, rng, scratch, feature_pool,
+                );
+                let right = self.build(
+                    data, right_ix, weights, depth + 1, root_weight, rng, scratch, feature_pool,
+                );
+                if let Node::Internal {
+                    left: l, right: r, ..
+                } = &mut self.nodes[node_id]
+                {
+                    *l = left;
+                    *r = right;
+                }
+                return node_id;
+            }
+        }
+
+        // Leaf: majority class by weight.
+        let node_id = self.nodes.len();
+        let class = argmax(&class_weights);
+        let probs = if node_weight > 0.0 {
+            class_weights.iter().map(|&w| w / node_weight).collect()
+        } else {
+            vec![1.0 / self.n_classes as f64; self.n_classes]
+        };
+        self.nodes.push(Node::Leaf { class, probs });
+        node_id
+    }
+
+    fn class_weights(&self, data: &Dataset, indices: &[usize], weights: &[f64]) -> (Vec<f64>, f64) {
+        let mut cw = vec![0.0; self.n_classes];
+        let mut total = 0.0;
+        for &i in indices {
+            cw[data.y[i]] += weights[i];
+            total += weights[i];
+        }
+        (cw, total)
+    }
+
+    /// Predicted class of one feature row.
+    ///
+    /// # Panics
+    /// Panics when the tree is unfitted.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        match &self.nodes[self.leaf_of(row)] {
+            Node::Leaf { class, .. } => *class,
+            Node::Internal { .. } => unreachable!("leaf_of returns a leaf"),
+        }
+    }
+
+    /// Training class distribution at the leaf `row` lands in.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        match &self.nodes[self.leaf_of(row)] {
+            Node::Leaf { probs, .. } => probs.clone(),
+            Node::Internal { .. } => unreachable!("leaf_of returns a leaf"),
+        }
+    }
+
+    fn leaf_of(&self, row: &[f64]) -> usize {
+        assert!(!self.nodes.is_empty(), "predict on an unfitted tree");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicted classes of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Per-feature impurity-decrease importances, normalised to sum to 1
+    /// (all-zero when the tree is a single leaf).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            self.importances.iter().map(|&v| v / total).collect()
+        } else {
+            vec![0.0; self.importances.len()]
+        }
+    }
+
+    /// Raw (unnormalised) importance accumulators; the forest averages
+    /// these before normalising.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Dataset {
+        // XOR with 4 clusters of 10 points each; not linearly separable
+        // but a shallow tree nails it. Random jitter breaks the exact
+        // symmetry that would zero out every root split's gain.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (cx, cy, label) in [
+            (0.0, 0.0, 0usize),
+            (1.0, 1.0, 0),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+        ] {
+            for _ in 0..10 {
+                rows.push(vec![
+                    cx + rng.gen_range(-0.1..0.1),
+                    cy + rng.gen_range(-0.1..0.1),
+                ]);
+                y.push(label);
+            }
+        }
+        let n = rows.len();
+        Dataset::from_rows(&rows, y, 2, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn learns_xor_perfectly() {
+        let data = xor_data();
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        let pred = tree.predict(&data);
+        assert_eq!(pred, data.y);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let data = xor_data();
+        let mut stump = DecisionTree::new(TreeConfig {
+            max_depth: Some(1),
+            ..TreeConfig::default()
+        });
+        stump.fit(&data);
+        assert!(stump.depth() <= 1);
+        assert!(stump.n_nodes() <= 3);
+    }
+
+    #[test]
+    fn pure_training_set_is_single_leaf() {
+        let data = Dataset::from_rows(
+            &[vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1],
+            2,
+            vec![0; 3],
+            vec![],
+        );
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_row(&[9.9]), 1);
+        assert!(tree.feature_importances().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_distribution() {
+        // One feature, threshold at 1.5; right side is 3:1 mixed but
+        // unsplittable (constant feature value).
+        let data = Dataset::from_rows(
+            &[vec![1.0], vec![2.0], vec![2.0], vec![2.0], vec![2.0]],
+            vec![0, 1, 1, 1, 0],
+            2,
+            vec![0; 5],
+            vec![],
+        );
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        let p = tree.predict_proba_row(&[2.0]);
+        assert!((p[1] - 0.75).abs() < 1e-12, "{p:?}");
+        assert_eq!(tree.predict_row(&[2.0]), 1);
+        assert_eq!(tree.predict_row(&[1.0]), 0);
+        let p_left = tree.predict_proba_row(&[1.0]);
+        assert_eq!(p_left, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        // Feature 1 is pure signal, features 0 and 2 are constants.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![1.0, i as f64, 2.0])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let data = Dataset::from_rows(&rows, y, 2, vec![0; 40], vec![]);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        let imp = tree.feature_importances();
+        assert_eq!(imp[1], 1.0, "{imp:?}");
+        assert_eq!(imp[0] + imp[2], 0.0);
+        let sum: f64 = imp.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_respects_weights() {
+        // Second cluster outweighs the first despite fewer samples.
+        let data = Dataset::from_rows(
+            &[vec![1.0], vec![1.0], vec![1.0], vec![2.0]],
+            vec![0, 0, 0, 1],
+            2,
+            vec![0; 4],
+            vec![],
+        );
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit_weighted(&data, &[0.1, 0.1, 0.1, 10.0]);
+        assert_eq!(tree.predict_row(&[2.0]), 1);
+        assert_eq!(tree.predict_row(&[1.0]), 0);
+    }
+
+    #[test]
+    fn min_samples_split_stops_early() {
+        let data = xor_data();
+        let mut tree = DecisionTree::new(TreeConfig {
+            min_samples_split: 1000,
+            ..TreeConfig::default()
+        });
+        tree.fit(&data);
+        assert_eq!(tree.n_nodes(), 1, "root cannot split");
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let data = xor_data();
+        let config = TreeConfig {
+            max_features: Some(1),
+            seed: 42,
+            ..TreeConfig::default()
+        };
+        let mut t1 = DecisionTree::new(config);
+        let mut t2 = DecisionTree::new(config);
+        t1.fit(&data);
+        t2.fit(&data);
+        assert_eq!(t1.predict(&data), t2.predict(&data));
+        assert_eq!(t1.n_nodes(), t2.n_nodes());
+    }
+
+    #[test]
+    fn multiclass_prediction() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let data = Dataset::from_rows(&rows, y.clone(), 3, vec![0; 30], vec![]);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        assert_eq!(tree.predict(&data), y);
+        assert_eq!(tree.predict_row(&[-5.0]), 0);
+        assert_eq!(tree.predict_row(&[99.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted tree")]
+    fn predict_on_unfitted_tree_panics() {
+        let tree = DecisionTree::new(TreeConfig::default());
+        let _ = tree.predict_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn fit_on_empty_dataset_panics() {
+        let data = Dataset::from_rows(&[], vec![], 2, vec![], vec![]);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+    }
+}

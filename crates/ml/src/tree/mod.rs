@@ -1,0 +1,13 @@
+//! CART decision trees.
+//!
+//! [`DecisionTree`] is the classification tree used directly as the
+//! paper's "decision tree" classifier, as the base learner of the random
+//! forest (with per-node feature subsampling), and — with sample weights —
+//! as the weak learner of AdaBoost. Regression trees on
+//! gradient/hessian targets live in [`crate::boosting::regression_tree`].
+
+mod decision_tree;
+mod split;
+
+pub use decision_tree::{DecisionTree, TreeConfig};
+pub use split::Criterion;

@@ -1,0 +1,186 @@
+//! Hyper-parameter search.
+//!
+//! The paper fixes its hyper-parameters (50 estimators, scikit-learn
+//! defaults) and the ablation benches sweep them one axis at a time; this
+//! module provides the general tool: exhaustive grid search over any
+//! classifier family under any cross-validation scheme, scored by mean
+//! accuracy. The forest-specific [`forest_grid`] covers the two axes
+//! that matter for the paper's model (tree count, depth).
+
+use crate::classifier::Classifier;
+use crate::cv::{cross_validate, mean_accuracy, mean_f1_weighted, Splitter};
+use crate::dataset::Dataset;
+use crate::forest::{ForestConfig, RandomForest};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint<P> {
+    /// The parameter combination.
+    pub params: P,
+    /// Mean cross-validated accuracy.
+    pub accuracy: f64,
+    /// Mean cross-validated weighted F1.
+    pub f1_weighted: f64,
+}
+
+/// Exhaustive grid search: evaluates `build(params)` for every entry of
+/// `grid` under `splitter`, returning all cells sorted by descending
+/// accuracy (ties keep grid order, so earlier = simpler wins on ties
+/// when the grid is ordered simple → complex).
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn grid_search<P: Clone>(
+    data: &Dataset,
+    grid: &[P],
+    build: &dyn Fn(&P, u64) -> Box<dyn Classifier>,
+    splitter: &dyn Splitter,
+    seed: u64,
+) -> Vec<GridPoint<P>> {
+    assert!(!grid.is_empty(), "grid search over an empty grid");
+    let mut cells: Vec<(usize, GridPoint<P>)> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let factory = |s: u64| build(params, s);
+            let scores = cross_validate(&factory, data, splitter, seed);
+            (
+                i,
+                GridPoint {
+                    params: params.clone(),
+                    accuracy: mean_accuracy(&scores),
+                    f1_weighted: mean_f1_weighted(&scores),
+                },
+            )
+        })
+        .collect();
+    cells.sort_by(|a, b| {
+        b.1.accuracy
+            .partial_cmp(&a.1.accuracy)
+            .expect("finite accuracies")
+            .then(a.0.cmp(&b.0))
+    });
+    cells.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Random-forest parameter combination for [`forest_grid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Maximum depth (`None` = unlimited).
+    pub max_depth: Option<usize>,
+}
+
+/// Grid search over a random forest's tree count × depth.
+pub fn forest_grid(
+    data: &Dataset,
+    n_estimators: &[usize],
+    max_depths: &[Option<usize>],
+    splitter: &dyn Splitter,
+    seed: u64,
+) -> Vec<GridPoint<ForestParams>> {
+    let grid: Vec<ForestParams> = n_estimators
+        .iter()
+        .flat_map(|&n| {
+            max_depths.iter().map(move |&d| ForestParams {
+                n_estimators: n,
+                max_depth: d,
+            })
+        })
+        .collect();
+    let build = |p: &ForestParams, s: u64| -> Box<dyn Classifier> {
+        Box::new(RandomForest::new(ForestConfig {
+            n_estimators: p.n_estimators,
+            max_depth: p.max_depth,
+            seed: s,
+            ..ForestConfig::default()
+        }))
+    };
+    grid_search(data, &grid, &build, splitter, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierKind;
+    use crate::cv::KFold;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for class in 0..2usize {
+            for _ in 0..60 {
+                rows.push(vec![
+                    class as f64 * 3.0 + rng.gen_range(-1.5..1.5),
+                    rng.gen_range(-1.0..1.0),
+                ]);
+                y.push(class);
+            }
+        }
+        let n = rows.len();
+        Dataset::from_rows(&rows, y, 2, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn forest_grid_covers_the_product_and_sorts() {
+        let data = blob_data(1);
+        let cells = forest_grid(
+            &data,
+            &[2, 8],
+            &[Some(2), None],
+            &KFold::new(3, 1),
+            0,
+        );
+        assert_eq!(cells.len(), 4);
+        assert!(cells.windows(2).all(|w| w[0].accuracy >= w[1].accuracy));
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.accuracy));
+            assert!((0.0..=1.0).contains(&c.f1_weighted));
+        }
+        // The winner should be competitive: more trees rarely hurt.
+        assert!(cells[0].accuracy >= cells.last().unwrap().accuracy);
+    }
+
+    #[test]
+    fn generic_grid_search_works_over_arbitrary_params() {
+        let data = blob_data(2);
+        // Grid over kNN's k.
+        let grid = vec![1usize, 5, 25];
+        let build = |&k: &usize, _s: u64| -> Box<dyn Classifier> {
+            Box::new(crate::knn::Knn::new(crate::knn::KnnConfig { k }))
+        };
+        let cells = grid_search(&data, &grid, &build, &KFold::new(3, 2), 0);
+        assert_eq!(cells.len(), 3);
+        assert!(cells[0].accuracy >= cells[2].accuracy);
+    }
+
+    #[test]
+    fn grid_search_is_deterministic() {
+        let data = blob_data(3);
+        let grid = vec![ForestParams { n_estimators: 3, max_depth: Some(3) }];
+        let build = |p: &ForestParams, s: u64| -> Box<dyn Classifier> {
+            Box::new(RandomForest::new(ForestConfig {
+                n_estimators: p.n_estimators,
+                max_depth: p.max_depth,
+                seed: s,
+                ..ForestConfig::default()
+            }))
+        };
+        let a = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5);
+        let b = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let data = blob_data(4);
+        let build = |_: &usize, s: u64| ClassifierKind::DecisionTree.build(s);
+        let _ = grid_search(&data, &[], &build, &KFold::new(2, 0), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over the ML stack: classifiers stay sane for
+//! arbitrary well-formed data, metrics respect their bounds, and the
+//! statistical tests return lawful p-values.
+
+use proptest::prelude::*;
+use traj_ml::boosting::{GbdtConfig, GradientBoosting};
+use traj_ml::cv::{train_test_split, KFold, Splitter};
+use traj_ml::forest::ForestConfig;
+use traj_ml::metrics::{cohen_kappa, ClassificationReport};
+use traj_ml::stats_tests::{
+    chi_square_sf, friedman_test, normal_cdf, wilcoxon_signed_rank, Alternative,
+};
+use traj_ml::tree::{DecisionTree, TreeConfig};
+use traj_ml::{Classifier, Dataset, RandomForest};
+
+/// Arbitrary small classification dataset: 2–4 classes, 2–4 features,
+/// 12–60 samples, values in a modest range.
+fn arbitrary_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 2usize..5, 12usize..60, any::<u64>()).prop_flat_map(
+        |(n_classes, n_features, n, seed)| {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(-100.0..100.0f64, n_features),
+                    n,
+                ),
+                proptest::collection::vec(0..n_classes, n),
+                Just(seed),
+                Just(n_classes),
+            )
+                .prop_map(move |(rows, y, _seed, n_classes)| {
+                    let groups: Vec<u32> = (0..rows.len() as u32).map(|i| i % 5).collect();
+                    Dataset::from_rows(&rows, y, n_classes, groups, vec![])
+                })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_predictions_are_valid_classes(data in arbitrary_dataset()) {
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        Classifier::fit(&mut tree, &data);
+        for p in Classifier::predict(&tree, &data) {
+            prop_assert!(p < data.n_classes);
+        }
+    }
+
+    #[test]
+    fn forest_predictions_are_valid_classes(data in arbitrary_dataset()) {
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 5,
+            ..ForestConfig::default()
+        });
+        Classifier::fit(&mut forest, &data);
+        for p in Classifier::predict(&forest, &data) {
+            prop_assert!(p < data.n_classes);
+        }
+        let imp = forest.feature_importances();
+        prop_assert_eq!(imp.len(), data.n_features());
+        let sum: f64 = imp.iter().sum();
+        prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn gbdt_probabilities_are_distributions(data in arbitrary_dataset()) {
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 2,
+            ..GbdtConfig::default()
+        });
+        Classifier::fit(&mut gbdt, &data);
+        for i in 0..data.len().min(10) {
+            let p = gbdt.predict_proba_row(data.row(i));
+            prop_assert_eq!(p.len(), data.n_classes);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn report_metrics_are_bounded(data in arbitrary_dataset()) {
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: Some(3),
+            ..TreeConfig::default()
+        });
+        Classifier::fit(&mut tree, &data);
+        let pred = Classifier::predict(&tree, &data);
+        let report = ClassificationReport::compute(&data.y, &pred, data.n_classes);
+        prop_assert!((0.0..=1.0).contains(&report.accuracy));
+        prop_assert!((0.0..=1.0).contains(&report.f1_macro()));
+        prop_assert!((0.0..=1.0).contains(&report.f1_weighted()));
+        for c in 0..data.n_classes {
+            prop_assert!((0.0..=1.0).contains(&report.precision[c]));
+            prop_assert!((0.0..=1.0).contains(&report.recall[c]));
+            prop_assert!((0.0..=1.0).contains(&report.f1[c]));
+        }
+        let kappa = cohen_kappa(&data.y, &pred, data.n_classes);
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&kappa), "kappa {}", kappa);
+        // F1-weighted never exceeds... no fixed relation with accuracy;
+        // but support sums to n.
+        let support: usize = report.support.iter().sum();
+        prop_assert_eq!(support, data.len());
+    }
+
+    #[test]
+    fn kfold_and_split_partition(data in arbitrary_dataset(), folds in 2usize..5) {
+        prop_assume!(data.len() >= folds);
+        let splits = KFold::new(folds, 7).split(&data);
+        let mut seen = vec![false; data.len()];
+        for (train, test) in &splits {
+            prop_assert_eq!(train.len() + test.len(), data.len());
+            for &i in test {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+
+        let (train, test) = train_test_split(&data, 0.3, 7);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn wilcoxon_p_values_are_lawful(
+        diffs in proptest::collection::vec(-10.0..10.0f64, 3..40)
+    ) {
+        prop_assume!(diffs.iter().any(|&d| d != 0.0));
+        let zeros = vec![0.0; diffs.len()];
+        for alt in [Alternative::TwoSided, Alternative::Greater, Alternative::Less] {
+            let r = wilcoxon_signed_rank(&diffs, &zeros, alt);
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert!(r.w_plus >= 0.0 && r.w_minus >= 0.0);
+            let total = r.n_effective as f64 * (r.n_effective as f64 + 1.0) / 2.0;
+            prop_assert!((r.w_plus + r.w_minus - total).abs() < 1e-9);
+        }
+        // Greater and Less are complementary up to the point mass at W+.
+        let g = wilcoxon_signed_rank(&diffs, &zeros, Alternative::Greater);
+        let l = wilcoxon_signed_rank(&diffs, &zeros, Alternative::Less);
+        prop_assert!(g.p_value + l.p_value >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn friedman_p_is_lawful(
+        blocks in 2usize..12,
+        treatments in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m: Vec<Vec<f64>> = (0..treatments)
+            .map(|_| (0..blocks).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let r = friedman_test(&m);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert_eq!(r.df, treatments - 1);
+        let rank_sum: f64 = r.mean_ranks.iter().sum();
+        let expected = treatments as f64 * (treatments as f64 + 1.0) / 2.0;
+        prop_assert!((rank_sum - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_sf_is_monotone(df in 1usize..10, x1 in 0.0..30.0f64, x2 in 0.0..30.0f64) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(chi_square_sf(lo, df) >= chi_square_sf(hi, df) - 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_symmetric(z in -6.0..6.0f64) {
+        prop_assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-6);
+        prop_assert!(normal_cdf(z) <= normal_cdf(z + 0.1) + 1e-12);
+    }
+}
+
+#[test]
+fn classifiers_survive_constant_features() {
+    // Every feature identical: no split exists anywhere; all models must
+    // still fit and predict the majority class.
+    let rows: Vec<Vec<f64>> = (0..30).map(|_| vec![5.0, 5.0]).collect();
+    let mut y = vec![0usize; 20];
+    y.extend(vec![1usize; 10]);
+    let data = Dataset::from_rows(&rows, y, 2, vec![0; 30], vec![]);
+    for kind in traj_ml::ClassifierKind::PAPER_SIX {
+        let mut model = kind.build(1);
+        model.fit(&data);
+        let pred = model.predict(&data);
+        assert_eq!(pred.len(), 30, "{kind}");
+        assert!(pred.iter().all(|&p| p < 2), "{kind}");
+    }
+}
+
+#[test]
+fn classifiers_survive_single_class_data() {
+    let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+    let data = Dataset::from_rows(&rows, vec![1; 20], 3, vec![0; 20], vec![]);
+    for kind in traj_ml::ClassifierKind::PAPER_SIX {
+        let mut model = kind.build(1);
+        model.fit(&data);
+        let pred = model.predict(&data);
+        // A single-class training set must be predicted perfectly.
+        assert!(pred.iter().all(|&p| p == 1), "{kind}: {pred:?}");
+    }
+}
+
+#[test]
+fn classifiers_survive_duplicate_rows() {
+    let rows: Vec<Vec<f64>> = (0..24).map(|i| vec![(i % 2) as f64]).collect();
+    let y: Vec<usize> = (0..24).map(|i| i % 2).collect();
+    let data = Dataset::from_rows(&rows, y.clone(), 2, vec![0; 24], vec![]);
+    for kind in traj_ml::ClassifierKind::PAPER_SIX {
+        let mut model = kind.build(1);
+        model.fit(&data);
+        let acc = traj_ml::accuracy(&y, &model.predict(&data));
+        assert!(acc > 0.9, "{kind}: {acc}");
+    }
+}

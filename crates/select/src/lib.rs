@@ -1,0 +1,122 @@
+//! # traj-select
+//!
+//! Feature-selection engines for the paper's §4.2 experiment:
+//!
+//! * [`wrapper`] — sequential-forward **wrapper** search: grow the
+//!   selected set one feature at a time, always adding the feature that
+//!   maximises cross-validated accuracy of the chosen classifier
+//!   (Fig. 3b; the paper finds the top-20 subset plateaus).
+//! * [`importance`] — the **information theoretical** method: rank all
+//!   features by random-forest impurity importance, then append them in
+//!   rank order measuring cross-validated accuracy after each append
+//!   (Fig. 3a).
+//! * [`mutual_info`] — a filter-style mutual-information ranking
+//!   (quantile-binned), the classical information-theoretic criterion the
+//!   related-work section discusses; included for the selection-method
+//!   ablation.
+//! * [`active`] — pool-based active learning (uncertainty sampling with a
+//!   random-forest committee), the open trajectory-mining topic the
+//!   paper's introduction cites ([Soares Júnior et al., ANALYTIC]).
+//!
+//! All engines operate on [`traj_ml::Dataset`] and are generic over the
+//! classifier (via the same factory closures the cross-validation module
+//! uses), exactly as a wrapper method must be.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod importance;
+pub mod mutual_info;
+pub mod wrapper;
+
+pub use active::{active_learning_curve, ActiveLearningConfig, QueryStrategy};
+pub use importance::{incremental_curve, rf_importance_ranking};
+pub use mutual_info::{mi_ranking, mutual_information};
+pub use wrapper::{forward_select, ForwardSelectionConfig};
+
+use serde::{Deserialize, Serialize};
+
+/// One step of a selection curve: the feature added at this step and the
+/// cross-validated scores of the selected set *after* adding it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionStep {
+    /// Column index of the feature added at this step.
+    pub feature: usize,
+    /// Name of the feature (empty when the dataset is unnamed).
+    pub feature_name: String,
+    /// Mean cross-validated accuracy of the selected set.
+    pub accuracy: f64,
+    /// Mean cross-validated weighted F1 of the selected set.
+    pub f1_weighted: f64,
+}
+
+/// A selection trajectory: `steps[k]` describes the `(k+1)`-feature set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SelectionCurve {
+    /// The steps, in selection order.
+    pub steps: Vec<SelectionStep>,
+}
+
+impl SelectionCurve {
+    /// Feature indices of the best-scoring prefix (the paper's "top-k
+    /// subset"): the first `k` features where `k` maximises accuracy.
+    pub fn best_prefix(&self) -> Vec<usize> {
+        let best_k = self
+            .steps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.accuracy
+                    .partial_cmp(&b.1.accuracy)
+                    .expect("finite accuracies")
+            })
+            .map(|(k, _)| k + 1)
+            .unwrap_or(0);
+        self.steps[..best_k].iter().map(|s| s.feature).collect()
+    }
+
+    /// The first `k` selected features (or all when `k` exceeds the
+    /// curve).
+    pub fn prefix(&self, k: usize) -> Vec<usize> {
+        self.steps.iter().take(k).map(|s| s.feature).collect()
+    }
+
+    /// Accuracy after each step, for plotting.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.accuracy).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(feature: usize, accuracy: f64) -> SelectionStep {
+        SelectionStep {
+            feature,
+            feature_name: format!("f{feature}"),
+            accuracy,
+            f1_weighted: accuracy,
+        }
+    }
+
+    #[test]
+    fn best_prefix_maximises_accuracy() {
+        let curve = SelectionCurve {
+            steps: vec![step(4, 0.6), step(1, 0.8), step(9, 0.75), step(2, 0.79)],
+        };
+        assert_eq!(curve.best_prefix(), vec![4, 1]);
+        assert_eq!(curve.prefix(3), vec![4, 1, 9]);
+        assert_eq!(curve.prefix(99).len(), 4);
+        assert_eq!(curve.accuracies(), vec![0.6, 0.8, 0.75, 0.79]);
+    }
+
+    #[test]
+    fn empty_curve_is_harmless() {
+        let curve = SelectionCurve::default();
+        assert!(curve.best_prefix().is_empty());
+        assert!(curve.prefix(5).is_empty());
+        assert!(curve.accuracies().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Mutual-information filter ranking.
+//!
+//! The classical information-theoretic criterion (the family of [Peng et
+//! al. 2005] the paper's related work cites): estimate `I(X_j; Y)` for
+//! every feature by quantile-binning `X_j` and ranking features by the
+//! estimate. A *filter* — no classifier in the loop — included for the
+//! selection-method ablation alongside the paper's wrapper and
+//! RF-importance engines.
+
+use traj_ml::dataset::Dataset;
+
+/// Estimates the mutual information (in bits) between feature `feature`
+/// and the class label, discretising the feature into `n_bins` quantile
+/// bins.
+///
+/// # Panics
+/// Panics on an empty dataset or `n_bins < 2`.
+pub fn mutual_information(data: &Dataset, feature: usize, n_bins: usize) -> f64 {
+    assert!(!data.is_empty(), "mutual information of zero samples");
+    assert!(n_bins >= 2, "need at least two bins");
+    let n = data.len();
+    let bins = quantile_bins(data, feature, n_bins);
+
+    // Joint histogram bin × class.
+    let k = data.n_classes;
+    let mut joint = vec![0usize; n_bins * k];
+    let mut bin_counts = vec![0usize; n_bins];
+    let mut class_counts = vec![0usize; k];
+    for (&b, &c) in bins.iter().zip(&data.y) {
+        joint[b * k + c] += 1;
+        bin_counts[b] += 1;
+        class_counts[c] += 1;
+    }
+
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for b in 0..n_bins {
+        for c in 0..k {
+            let pxy = joint[b * k + c] as f64 / nf;
+            if pxy == 0.0 {
+                continue;
+            }
+            let px = bin_counts[b] as f64 / nf;
+            let py = class_counts[c] as f64 / nf;
+            mi += pxy * (pxy / (px * py)).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Ranks every feature by estimated mutual information with the label,
+/// descending. Returns `(feature_index, mi_bits)` pairs.
+pub fn mi_ranking(data: &Dataset, n_bins: usize) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = (0..data.n_features())
+        .map(|j| (j, mutual_information(data, j, n_bins)))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite MI")
+            .then(a.0.cmp(&b.0))
+    });
+    ranked
+}
+
+/// Assigns each sample's `feature` value to one of `n_bins` quantile bins.
+fn quantile_bins(data: &Dataset, feature: usize, n_bins: usize) -> Vec<usize> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        data.value(a, feature)
+            .partial_cmp(&data.value(b, feature))
+            .expect("finite feature values")
+    });
+    let mut bins = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        bins[i] = (rank * n_bins / n).min(n_bins - 1);
+    }
+    // Equal values must share a bin (otherwise the estimator invents
+    // information); merge runs of equal values into the first one's bin.
+    for w in 1..n {
+        let (prev, here) = (order[w - 1], order[w]);
+        if data.value(here, feature) == data.value(prev, feature) {
+            bins[here] = bins[prev];
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn labeled_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            rows.push(vec![
+                class as f64 * 10.0 + rng.gen_range(-1.0..1.0), // strong
+                rng.gen_range(-1.0..1.0),                       // noise
+                class as f64,                                   // perfectly informative
+            ]);
+            y.push(class);
+        }
+        Dataset::from_rows(&rows, y, 2, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn perfect_feature_has_one_bit() {
+        let data = labeled_data(400, 81);
+        let mi = mutual_information(&data, 2, 4);
+        assert!((mi - 1.0).abs() < 0.05, "mi = {mi}");
+    }
+
+    #[test]
+    fn noise_feature_has_near_zero_information() {
+        let data = labeled_data(400, 82);
+        let mi = mutual_information(&data, 1, 4);
+        assert!(mi < 0.05, "mi = {mi}");
+    }
+
+    #[test]
+    fn ranking_orders_signal_over_noise() {
+        let data = labeled_data(400, 83);
+        let ranked = mi_ranking(&data, 4);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[2].0, 1, "noise last: {ranked:?}");
+        assert!(ranked[0].1 >= ranked[1].1);
+    }
+
+    #[test]
+    fn mi_is_nonnegative_and_bounded_by_label_entropy() {
+        let data = labeled_data(200, 84);
+        for j in 0..3 {
+            let mi = mutual_information(&data, j, 8);
+            assert!(mi >= 0.0);
+            assert!(mi <= 1.0 + 0.1, "binary labels bound MI by 1 bit: {mi}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_has_zero_information() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![7.0]).collect();
+        let y: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let data = Dataset::from_rows(&rows, y, 2, vec![0; 100], vec![]);
+        assert_eq!(mutual_information(&data, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn more_bins_never_lose_the_strong_signal() {
+        let data = labeled_data(300, 85);
+        for bins in [2, 4, 8, 16] {
+            let mi = mutual_information(&data, 0, bins);
+            assert!(mi > 0.8, "bins={bins} mi={mi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn one_bin_panics() {
+        let data = labeled_data(10, 86);
+        let _ = mutual_information(&data, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_data_panics() {
+        let data = Dataset::from_rows(&[], vec![], 2, vec![], vec![]);
+        let _ = mutual_information(&data, 0, 4);
+    }
+}

@@ -1,0 +1,266 @@
+//! Sequential-forward wrapper feature selection (§4.2, Fig. 3b).
+//!
+//! "Using this approach, we first defined an empty set for selected
+//! features. Then, we searched all the trajectory features one by one to
+//! find the best feature to append to the selected feature set. The
+//! maximum accuracy score was the metric for selecting the best feature
+//! to append […] After, we removed the selected feature from the set of
+//! features and repeated the search for union of selected features and
+//! next candidate feature."
+//!
+//! Candidate evaluation is embarrassingly parallel; each step fans the
+//! remaining candidates out over scoped worker threads.
+
+use crate::importance::feature_name;
+use crate::{SelectionCurve, SelectionStep};
+use parking_lot::Mutex;
+use traj_ml::classifier::Classifier;
+use traj_ml::cv::{cross_validate, mean_accuracy, mean_f1_weighted, Splitter};
+use traj_ml::dataset::Dataset;
+
+/// Configuration of [`forward_select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardSelectionConfig {
+    /// Stop after selecting this many features (the paper explores all 70
+    /// but settles on 20; searches are quadratic, so cap what you need).
+    pub max_features: usize,
+    /// Base seed forwarded to per-fold classifier construction.
+    pub seed: u64,
+    /// Stop early when accuracy has not improved for this many
+    /// consecutive steps (`None` disables early stopping).
+    pub patience: Option<usize>,
+}
+
+impl Default for ForwardSelectionConfig {
+    fn default() -> Self {
+        ForwardSelectionConfig {
+            max_features: 20,
+            seed: 0,
+            patience: None,
+        }
+    }
+}
+
+/// Greedy forward selection maximising cross-validated accuracy of the
+/// classifier built by `factory`. Returns the selection curve (one step
+/// per added feature).
+pub fn forward_select(
+    data: &Dataset,
+    factory: &(dyn Fn(u64) -> Box<dyn Classifier> + Sync),
+    splitter: &(dyn Splitter + Sync),
+    config: &ForwardSelectionConfig,
+) -> SelectionCurve {
+    let d = data.n_features();
+    let budget = config.max_features.min(d);
+    let mut selected: Vec<usize> = Vec::with_capacity(budget);
+    let mut remaining: Vec<usize> = (0..d).collect();
+    let mut steps: Vec<SelectionStep> = Vec::with_capacity(budget);
+    let mut best_so_far = f64::NEG_INFINITY;
+    let mut stale_steps = 0usize;
+
+    while selected.len() < budget && !remaining.is_empty() {
+        // Evaluate every candidate in parallel.
+        let results: Mutex<Vec<(usize, f64, f64)>> =
+            Mutex::new(Vec::with_capacity(remaining.len()));
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(remaining.len());
+        let chunk = remaining.len().div_ceil(n_threads);
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..n_threads {
+                let lo = worker * chunk;
+                let hi = ((worker + 1) * chunk).min(remaining.len());
+                if lo >= hi {
+                    continue;
+                }
+                let candidates = &remaining[lo..hi];
+                let selected = &selected;
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut trial: Vec<usize> = Vec::with_capacity(selected.len() + 1);
+                    for &candidate in candidates {
+                        trial.clear();
+                        trial.extend_from_slice(selected);
+                        trial.push(candidate);
+                        let subset = data.select_features(&trial);
+                        let scores = cross_validate(&factory, &subset, splitter, config.seed);
+                        results.lock().push((
+                            candidate,
+                            mean_accuracy(&scores),
+                            mean_f1_weighted(&scores),
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("selection worker panicked");
+
+        let mut results = results.into_inner();
+        // Deterministic winner: highest accuracy, lowest index on ties.
+        results.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite accuracies")
+                .then(a.0.cmp(&b.0))
+        });
+        let (winner, accuracy, f1_weighted) = results[0];
+
+        selected.push(winner);
+        remaining.retain(|&f| f != winner);
+        steps.push(SelectionStep {
+            feature: winner,
+            feature_name: feature_name(data, winner),
+            accuracy,
+            f1_weighted,
+        });
+
+        if accuracy > best_so_far + 1e-12 {
+            best_so_far = accuracy;
+            stale_steps = 0;
+        } else {
+            stale_steps += 1;
+            if config.patience.is_some_and(|p| stale_steps >= p) {
+                break;
+            }
+        }
+    }
+    SelectionCurve { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use traj_ml::classifier::ClassifierKind;
+    use traj_ml::cv::KFold;
+
+    /// f0 and f1 are each half of an XOR (useful only together); f2 is a
+    /// weak single signal; f3 is pure noise.
+    fn xor_plus_weak(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen_bool(0.5);
+            let b = rng.gen_bool(0.5);
+            let class = usize::from(a ^ b);
+            rows.push(vec![
+                f64::from(a as u8) + rng.gen_range(-0.2..0.2),
+                f64::from(b as u8) + rng.gen_range(-0.2..0.2),
+                class as f64 * 0.6 + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(class);
+        }
+        Dataset::from_rows(
+            &rows,
+            y,
+            2,
+            vec![0; n],
+            vec!["xor_a".into(), "xor_b".into(), "weak".into(), "noise".into()],
+        )
+    }
+
+    #[test]
+    fn finds_the_interacting_pair() {
+        let data = xor_plus_weak(240, 71);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let curve = forward_select(
+            &data,
+            &factory,
+            &splitter,
+            &ForwardSelectionConfig {
+                max_features: 3,
+                seed: 0,
+                patience: None,
+            },
+        );
+        assert_eq!(curve.steps.len(), 3);
+        let top2: Vec<usize> = curve.prefix(2);
+        // Wrapper search must discover that xor_a + xor_b together beat
+        // any other pair; at least both XOR halves appear in the top 3.
+        let top3 = curve.prefix(3);
+        assert!(top3.contains(&0) && top3.contains(&1), "{top2:?} / {top3:?}");
+        // Accuracy once the pair is on board beats any single feature
+        // (the weak feature alone tops out near 0.66).
+        assert!(
+            curve.steps.iter().any(|s| s.accuracy > 0.75),
+            "{:?}",
+            curve.accuracies()
+        );
+    }
+
+    #[test]
+    fn respects_max_features_budget() {
+        let data = xor_plus_weak(120, 72);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let curve = forward_select(
+            &data,
+            &factory,
+            &splitter,
+            &ForwardSelectionConfig {
+                max_features: 2,
+                seed: 0,
+                patience: None,
+            },
+        );
+        assert_eq!(curve.steps.len(), 2);
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let data = xor_plus_weak(120, 73);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let curve = forward_select(
+            &data,
+            &factory,
+            &splitter,
+            &ForwardSelectionConfig {
+                max_features: 4,
+                seed: 0,
+                patience: Some(1),
+            },
+        );
+        assert!(curve.steps.len() <= 4);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let data = xor_plus_weak(120, 74);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let config = ForwardSelectionConfig {
+            max_features: 3,
+            seed: 2,
+            patience: None,
+        };
+        let a = forward_select(&data, &factory, &splitter, &config);
+        let b = forward_select(&data, &factory, &splitter, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_larger_than_dimensionality_selects_all() {
+        let data = xor_plus_weak(100, 75);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter = KFold::new(3, 1);
+        let curve = forward_select(
+            &data,
+            &factory,
+            &splitter,
+            &ForwardSelectionConfig {
+                max_features: 99,
+                seed: 0,
+                patience: None,
+            },
+        );
+        assert_eq!(curve.steps.len(), 4);
+        let mut features = curve.prefix(4);
+        features.sort_unstable();
+        assert_eq!(features, vec![0, 1, 2, 3]);
+    }
+}

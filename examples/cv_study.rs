@@ -1,0 +1,47 @@
+//! The paper's headline methodological finding (§4.4): random
+//! cross-validation is optimistic for trajectory data, because segments
+//! of the same user are auto-correlated and random folds leak user
+//! identity across the train/test boundary.
+//!
+//! ```text
+//! cargo run --release --example cv_study
+//! ```
+//!
+//! This example makes the mechanism visible by sweeping the synthetic
+//! cohort's between-user heterogeneity: with identical users the two
+//! schemes agree; the more users differ, the more optimistic random CV
+//! becomes.
+
+use trajlib::prelude::*;
+
+fn main() {
+    println!("heterogeneity | random-CV acc | user-CV acc | gap");
+    println!("--------------+---------------+-------------+------");
+    for heterogeneity in [0.0, 0.5, 1.0] {
+        let synth = SynthDataset::generate(&SynthConfig {
+            n_users: 15,
+            segments_per_user: (12, 20),
+            seed: 5,
+            heterogeneity,
+            ..SynthConfig::default()
+        });
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo));
+        let dataset = pipeline.dataset_from_segments(&synth.segments);
+
+        let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+        let random = cross_validate(&factory, &dataset, &KFold::new(5, 1), 0);
+        let user = cross_validate(&factory, &dataset, &GroupKFold { n_splits: 5 }, 0);
+        let (ra, ua) = (
+            trajlib::ml::cv::mean_accuracy(&random),
+            trajlib::ml::cv::mean_accuracy(&user),
+        );
+        println!(
+            "{heterogeneity:>13.1} | {ra:>13.3} | {ua:>11.3} | {:+.3}",
+            ra - ua
+        );
+    }
+    println!();
+    println!("Paper §4.4: \"the random cross-validation method suggests optimistic");
+    println!("results in comparison to user-oriented cross-validation\" — the gap");
+    println!("above appears exactly when users behave differently from each other.");
+}

@@ -1,0 +1,10 @@
+//! Reproduction package for Etemad, Soares Júnior and Matwin, *"On
+//! Feature Selection and Evaluation of Transportation Mode Prediction
+//! Strategies"* (EDBT 2019).
+//!
+//! This crate only re-exports [`trajlib`] so that the repository-level
+//! `examples/` and `tests/` have a single dependency root; the actual
+//! library lives in the `crates/` workspace members.
+
+pub use trajlib;
+pub use trajlib::prelude;

@@ -1,0 +1,122 @@
+//! Model persistence: every fitted model serialises through serde (JSON)
+//! and the deserialised copy predicts identically — the property a
+//! downstream deployment (train offline, ship the model) relies on.
+
+use trajlib::ml::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
+use trajlib::ml::forest::ForestConfig;
+use trajlib::ml::linear::{LinearSvm, SvmConfig};
+use trajlib::ml::neural::{Mlp, MlpConfig};
+use trajlib::ml::tree::{DecisionTree, TreeConfig};
+use trajlib::prelude::*;
+
+fn dataset() -> Dataset {
+    let synth = SynthDataset::generate(&SynthConfig {
+        n_users: 5,
+        segments_per_user: (6, 9),
+        seed: 31,
+        ..SynthConfig::default()
+    });
+    Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri)).dataset_from_segments(&synth.segments)
+}
+
+fn assert_identical_predictions<M>(model: &M, data: &Dataset)
+where
+    M: serde::Serialize + serde::de::DeserializeOwned + Classifier,
+{
+    let json = serde_json::to_string(model).expect("serialise");
+    let restored: M = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(model.predict(data), restored.predict(data));
+}
+
+#[test]
+fn decision_tree_round_trips() {
+    let data = dataset();
+    let mut tree = DecisionTree::new(TreeConfig::default());
+    Classifier::fit(&mut tree, &data);
+    assert_identical_predictions(&tree, &data);
+}
+
+#[test]
+fn random_forest_round_trips() {
+    let data = dataset();
+    let mut forest = RandomForest::new(ForestConfig {
+        n_estimators: 8,
+        ..ForestConfig::default()
+    });
+    Classifier::fit(&mut forest, &data);
+    assert_identical_predictions(&forest, &data);
+
+    // Importances and OOB survive the round trip too.
+    let json = serde_json::to_string(&forest).unwrap();
+    let restored: RandomForest = serde_json::from_str(&json).unwrap();
+    assert_eq!(forest.feature_importances(), restored.feature_importances());
+    assert_eq!(forest.oob_score(), restored.oob_score());
+}
+
+#[test]
+fn gradient_boosting_round_trips() {
+    let data = dataset();
+    let mut gbdt = GradientBoosting::new(GbdtConfig {
+        n_rounds: 4,
+        ..GbdtConfig::default()
+    });
+    Classifier::fit(&mut gbdt, &data);
+    assert_identical_predictions(&gbdt, &data);
+}
+
+#[test]
+fn adaboost_round_trips() {
+    let data = dataset();
+    let mut ada = AdaBoost::new(AdaBoostConfig {
+        n_estimators: 6,
+        ..AdaBoostConfig::default()
+    });
+    Classifier::fit(&mut ada, &data);
+    assert_identical_predictions(&ada, &data);
+}
+
+#[test]
+fn svm_round_trips() {
+    let data = dataset();
+    let mut svm = LinearSvm::new(SvmConfig {
+        epochs: 3,
+        ..SvmConfig::default()
+    });
+    Classifier::fit(&mut svm, &data);
+    assert_identical_predictions(&svm, &data);
+}
+
+#[test]
+fn mlp_round_trips() {
+    let data = dataset();
+    let mut mlp = Mlp::new(MlpConfig {
+        epochs: 3,
+        hidden: vec![8],
+        ..MlpConfig::default()
+    });
+    Classifier::fit(&mut mlp, &data);
+    assert_identical_predictions(&mlp, &data);
+}
+
+#[test]
+fn scaler_round_trips() {
+    let rows = vec![vec![0.0, 5.0], vec![2.0, 9.0], vec![1.0, 7.0]];
+    let scaler = MinMaxScaler::fit(&rows);
+    let json = serde_json::to_string(&scaler).unwrap();
+    let restored: MinMaxScaler = serde_json::from_str(&json).unwrap();
+    let mut a = vec![1.5, 6.0];
+    let mut b = a.clone();
+    scaler.transform_row(&mut a);
+    restored.transform_row(&mut b);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pipeline_config_round_trips() {
+    let config = PipelineConfig::paper(LabelScheme::Endo)
+        .with_selected_features(vec!["speed_p90".into()])
+        .with_noise(NoiseConfig::enabled());
+    let json = serde_json::to_string(&config).unwrap();
+    let restored: PipelineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(config, restored);
+}

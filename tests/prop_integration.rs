@@ -1,0 +1,109 @@
+//! Property-based integration tests over the whole stack: for arbitrary
+//! generator configurations the pipeline must produce well-formed,
+//! finite, normalised datasets, and the cross-validation machinery must
+//! partition them lawfully.
+
+use proptest::prelude::*;
+use trajlib::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = SynthConfig> {
+    (2usize..6, 3usize..7, any::<u64>(), 0.0..1.0f64).prop_map(
+        |(n_users, min_segments, seed, heterogeneity)| SynthConfig {
+            n_users,
+            segments_per_user: (min_segments, min_segments + 3),
+            seed,
+            modes: None,
+            heterogeneity,
+            max_points_per_segment: 60,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pipeline_output_is_wellformed(config in arbitrary_config()) {
+        let synth = SynthDataset::generate(&config);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let dataset = pipeline.dataset_from_segments(&synth.segments);
+
+        prop_assert_eq!(dataset.len(), synth.segments.len());
+        prop_assert_eq!(dataset.n_features(), 70);
+        for i in 0..dataset.len() {
+            for &v in dataset.row(i) {
+                prop_assert!(v.is_finite());
+                prop_assert!((0.0..=1.0).contains(&v), "minmax bound: {}", v);
+            }
+            prop_assert!(dataset.y[i] < dataset.n_classes);
+        }
+    }
+
+    #[test]
+    fn label_slop_only_shrinks_segments(config in arbitrary_config(), slop in 0usize..4) {
+        let synth = SynthDataset::generate(&config);
+        let raws = synth.to_raw_trajectories(slop);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let dataset = pipeline.dataset_from_raw(&raws);
+        // Slop trims boundary labels; segments only disappear, never
+        // multiply (each generated segment sits on its own user+day).
+        prop_assert!(dataset.len() <= synth.segments.len());
+        // Mild slop keeps everything (segments have ≥ 30 points).
+        if slop <= 2 {
+            prop_assert_eq!(dataset.len(), synth.segments.len());
+        }
+    }
+
+    #[test]
+    fn kfold_partitions_any_pipeline_output(config in arbitrary_config(), folds in 2usize..5) {
+        let synth = SynthDataset::generate(&config);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let dataset = pipeline.dataset_from_segments(&synth.segments);
+        prop_assume!(dataset.len() >= folds);
+
+        let splits = trajlib::ml::cv::Splitter::split(&KFold::new(folds, 3), &dataset);
+        let mut seen = vec![false; dataset.len()];
+        for (train, test) in &splits {
+            prop_assert_eq!(train.len() + test.len(), dataset.len());
+            for &i in test {
+                prop_assert!(!seen[i], "sample {} tested twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn group_kfold_respects_user_boundaries_always(config in arbitrary_config()) {
+        let synth = SynthDataset::generate(&config);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let dataset = pipeline.dataset_from_segments(&synth.segments);
+        let n_groups = dataset.distinct_groups().len();
+        prop_assume!(n_groups >= 2);
+
+        let splits =
+            trajlib::ml::cv::Splitter::split(&GroupKFold { n_splits: 2 }, &dataset);
+        for (train, test) in &splits {
+            let train_users: std::collections::HashSet<u32> =
+                train.iter().map(|&i| dataset.groups[i]).collect();
+            for &i in test {
+                prop_assert!(!train_users.contains(&dataset.groups[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_tree_training_accuracy_dominates_chance(config in arbitrary_config()) {
+        let synth = SynthDataset::generate(&config);
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw));
+        let dataset = pipeline.dataset_from_segments(&synth.segments);
+        prop_assume!(dataset.len() >= 10);
+
+        let mut model = ClassifierKind::DecisionTree.build(1);
+        model.fit(&dataset);
+        let pred = model.predict(&dataset);
+        let acc = accuracy(&dataset.y, &pred);
+        // An unpruned CART must (near-)memorise its training set.
+        prop_assert!(acc > 0.95, "training accuracy {}", acc);
+    }
+}
