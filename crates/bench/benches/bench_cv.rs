@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use traj_bench::bench_dataset;
-use traj_ml::cv::{cross_validate, GroupKFold, GroupShuffleSplit, KFold, Splitter, StratifiedKFold};
+use traj_ml::cv::{
+    cross_validate, GroupKFold, GroupShuffleSplit, KFold, Splitter, StratifiedKFold,
+};
 use traj_ml::ClassifierKind;
 
 fn bench_cv(c: &mut Criterion) {
@@ -15,7 +17,10 @@ fn bench_cv(c: &mut Criterion) {
         b.iter(|| s.split(black_box(&dataset)))
     });
     group.bench_function("split/stratified", |b| {
-        let s = StratifiedKFold { n_splits: 5, seed: 1 };
+        let s = StratifiedKFold {
+            n_splits: 5,
+            seed: 1,
+        };
         b.iter(|| s.split(black_box(&dataset)))
     });
     group.bench_function("split/group_kfold", |b| {

@@ -3,9 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use traj_bench::bench_segments;
+use traj_features::extract_features;
 use traj_features::point_features::PointFeatures;
 use traj_features::trajectory_features::segment_features;
-use traj_features::extract_features;
 use traj_geo::LabelScheme;
 
 fn bench_features(c: &mut Criterion) {

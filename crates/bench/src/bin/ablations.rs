@@ -22,7 +22,11 @@ use trajlib::report::{pct, save_json, MarkdownTable};
 
 fn main() {
     let cli = Cli::from_env();
-    let which = cli.args.first().cloned().unwrap_or_else(|| "all".to_owned());
+    let which = cli
+        .args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
     let small = cli.small;
 
     let mut outputs: Vec<(String, String)> = Vec::new();
@@ -77,12 +81,8 @@ fn rf_factory(n: usize) -> impl Fn(u64) -> Box<dyn Classifier> + Sync {
 }
 
 fn heterogeneity_sweep(small: bool) -> String {
-    let mut table = MarkdownTable::new(vec![
-        "heterogeneity",
-        "random-CV acc",
-        "user-CV acc",
-        "gap",
-    ]);
+    let mut table =
+        MarkdownTable::new(vec!["heterogeneity", "random-CV acc", "user-CV acc", "gap"]);
     for h in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let synth = cohort(h, small);
         let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo))
@@ -116,7 +116,10 @@ fn estimator_sweep(small: bool) -> String {
     for n in [5, 10, 25, 50, 100] {
         let factory = rf_factory(n);
         let scores = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
-        table.push_row(vec![n.to_string(), pct(traj_ml::cv::mean_accuracy(&scores))]);
+        table.push_row(vec![
+            n.to_string(),
+            pct(traj_ml::cv::mean_accuracy(&scores)),
+        ]);
     }
     format!(
         "{}\nAccuracy saturates well before 100 trees; the paper's 50 is safe.\n",
@@ -132,10 +135,8 @@ fn normalization_sweep(small: bool) -> String {
         ("z-score", Normalization::ZScore),
         ("none", Normalization::None),
     ] {
-        let ds = Pipeline::new(
-            PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(norm),
-        )
-        .dataset_from_segments(&synth.segments);
+        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(norm))
+            .dataset_from_segments(&synth.segments);
         let acc_of = |kind: ClassifierKind| {
             let factory = move |seed: u64| kind.build(seed);
             let scores = cross_validate(&factory, &ds, &KFold::new(3, 1), 0);
@@ -187,10 +188,8 @@ fn feature_set_ablation(small: bool) -> String {
         ("paper 70", FeatureSet::Paper70),
         ("extended 80 (§5 future work)", FeatureSet::Extended80),
     ] {
-        let ds = Pipeline::new(
-            PipelineConfig::paper(LabelScheme::Endo).with_feature_set(set),
-        )
-        .dataset_from_segments(&synth.segments);
+        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo).with_feature_set(set))
+            .dataset_from_segments(&synth.segments);
         let factory = rf_factory(if small { 15 } else { 50 });
         let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
         let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
@@ -220,7 +219,11 @@ fn learning_curve(small: bool) -> String {
     let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo));
     let test = pipeline.dataset_from_segments(&test_synth.segments);
 
-    let sweep: &[usize] = if small { &[3, 6, 10] } else { &[5, 10, 20, 40, 69] };
+    let sweep: &[usize] = if small {
+        &[3, 6, 10]
+    } else {
+        &[5, 10, 20, 40, 69]
+    };
     let mut table = MarkdownTable::new(vec!["training users", "segments", "unseen-user acc"]);
     for &n_users in sweep {
         let train_synth = SynthDataset::generate(&SynthConfig {
@@ -283,7 +286,11 @@ fn min_points_sweep(small: bool) -> String {
         };
         let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
         if ds.len() < 25 {
-            table.push_row(vec![min_points.to_string(), ds.len().to_string(), "—".into()]);
+            table.push_row(vec![
+                min_points.to_string(),
+                ds.len().to_string(),
+                "—".into(),
+            ]);
             continue;
         }
         let factory = rf_factory(if small { 15 } else { 50 });

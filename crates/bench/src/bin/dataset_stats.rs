@@ -14,7 +14,10 @@ use trajlib::report::save_json;
 fn main() {
     let cli = Cli::from_env();
     let data = cli.data_config();
-    eprintln!("Generating the synthetic GeoLife cohort ({} users)…", data.n_users);
+    eprintln!(
+        "Generating the synthetic GeoLife cohort ({} users)…",
+        data.n_users
+    );
     let synth = data.generate();
     let stats = DatasetStats::compute(&synth.segments);
 

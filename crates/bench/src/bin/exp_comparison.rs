@@ -33,7 +33,10 @@ fn main() {
         eprintln!("§4.3 vs Dabiri (random CV)…");
         results.push((run_dabiri_comparison(&config), 0.885, 0.0796));
     }
-    assert!(!results.is_empty(), "unknown selector {which:?}; use endo|dabiri|both");
+    assert!(
+        !results.is_empty(),
+        "unknown selector {which:?}; use endo|dabiri|both"
+    );
 
     let mut table = MarkdownTable::new(vec![
         "protocol",

@@ -49,7 +49,11 @@ fn main() {
     }
 
     println!("# Figure 2 — classifier selection (random CV, Dabiri labels)\n");
-    println!("{} samples, {:?} elapsed\n", result.n_samples, started.elapsed());
+    println!(
+        "{} samples, {:?} elapsed\n",
+        result.n_samples,
+        started.elapsed()
+    );
     println!("{}", table.render());
     println!(
         "Paper: RF 90.4% best; XGB 90.0% not significantly different; SVM worst.\n\
@@ -67,15 +71,22 @@ fn main() {
         );
     }
 
-    save_json(&results_dir().join("fig2_classifier_selection.json"), &result)
-        .expect("write results");
+    save_json(
+        &results_dir().join("fig2_classifier_selection.json"),
+        &result,
+    )
+    .expect("write results");
 
     // The figure itself.
     let mut chart = trajlib::chart::BarChart::new(
         "Figure 2 — classifier selection (random CV)",
         "mean accuracy",
     );
-    chart.categories = result.scores.iter().map(|s| s.kind.name().to_owned()).collect();
+    chart.categories = result
+        .scores
+        .iter()
+        .map(|s| s.kind.name().to_owned())
+        .collect();
     chart.series = vec![
         (
             "accuracy".to_owned(),

@@ -55,7 +55,11 @@ fn main() {
          optimistic on both accuracy and F-score.",
         result.mean_gap * 100.0
     );
-    let optimistic = result.rows.iter().filter(|r| r.accuracy_gap() > 0.0).count();
+    let optimistic = result
+        .rows
+        .iter()
+        .filter(|r| r.accuracy_gap() > 0.0)
+        .count();
     println!(
         "Classifiers where random CV is optimistic: {}/{}.",
         optimistic,
@@ -70,7 +74,11 @@ fn main() {
         "Figure 4 — random vs user-oriented cross-validation",
         "score",
     );
-    chart.categories = result.rows.iter().map(|r| r.kind.name().to_owned()).collect();
+    chart.categories = result
+        .rows
+        .iter()
+        .map(|r| r.kind.name().to_owned())
+        .collect();
     chart.series = vec![
         (
             "random CV accuracy".to_owned(),

@@ -6,6 +6,8 @@
 //! trajlib-cli train   --csv features.csv --model rf --out model.json [--seed 7]
 //! trajlib-cli predict --csv features.csv --model-file model.json
 //! trajlib-cli cv      --csv features.csv --model rf --folds 5 [--grouped]
+//! trajlib-cli train-artifact --out rf.json [--geolife DIR | --users 8] --model rf [--top-k 20]
+//! trajlib-cli serve   --artifacts DIR [--addr 127.0.0.1:8080] [--workers N]
 //! ```
 //!
 //! `extract` consumes either a real GeoLife download or the output of
@@ -15,85 +17,15 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+use traj_serve::artifact::{ModelArtifact, TrainSpec};
+use traj_serve::featurize::ServeFeatureSet;
+use traj_serve::registry::ModelRegistry;
+use traj_serve::server::{serve, ServerConfig};
 use trajlib::geolife::loader::LoaderOptions;
-use trajlib::ml::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
-use trajlib::ml::forest::ForestConfig;
-use trajlib::ml::knn::{Knn, KnnConfig};
-use trajlib::ml::linear::{LinearSvm, SvmConfig};
 use trajlib::ml::metrics::ClassificationReport;
-use trajlib::ml::neural::{Mlp, MlpConfig};
-use trajlib::ml::tree::{DecisionTree, TreeConfig};
+use trajlib::ml::ErasedModel;
 use trajlib::prelude::*;
-use serde::{Deserialize, Serialize};
-
-/// A self-describing, serialisable model file.
-#[derive(Serialize, Deserialize)]
-enum ModelFile {
-    RandomForest(RandomForest),
-    XgBoost(GradientBoosting),
-    DecisionTree(DecisionTree),
-    AdaBoost(AdaBoost),
-    Svm(LinearSvm),
-    Mlp(Mlp),
-    Knn(Knn),
-}
-
-impl ModelFile {
-    fn new(kind: &str, seed: u64) -> Result<ModelFile, String> {
-        Ok(match kind {
-            "rf" => ModelFile::RandomForest(RandomForest::new(ForestConfig {
-                n_estimators: 50,
-                seed,
-                ..ForestConfig::default()
-            })),
-            "xgb" => ModelFile::XgBoost(GradientBoosting::new(GbdtConfig {
-                n_rounds: 20,
-                max_depth: 4,
-                seed,
-                ..GbdtConfig::default()
-            })),
-            "tree" => ModelFile::DecisionTree(DecisionTree::new(TreeConfig {
-                seed,
-                ..TreeConfig::default()
-            })),
-            "ada" => ModelFile::AdaBoost(AdaBoost::new(AdaBoostConfig::default())),
-            "svm" => ModelFile::Svm(LinearSvm::new(SvmConfig {
-                seed,
-                ..SvmConfig::default()
-            })),
-            "mlp" => ModelFile::Mlp(Mlp::new(MlpConfig {
-                seed,
-                ..MlpConfig::default()
-            })),
-            "knn" => ModelFile::Knn(Knn::new(KnnConfig::default())),
-            other => return Err(format!("unknown model {other:?}; use rf|xgb|tree|ada|svm|mlp|knn")),
-        })
-    }
-
-    fn fit(&mut self, data: &Dataset) {
-        match self {
-            ModelFile::RandomForest(m) => Classifier::fit(m, data),
-            ModelFile::XgBoost(m) => Classifier::fit(m, data),
-            ModelFile::DecisionTree(m) => Classifier::fit(m, data),
-            ModelFile::AdaBoost(m) => Classifier::fit(m, data),
-            ModelFile::Svm(m) => Classifier::fit(m, data),
-            ModelFile::Mlp(m) => Classifier::fit(m, data),
-            ModelFile::Knn(m) => Classifier::fit(m, data),
-        }
-    }
-
-    fn predict(&self, data: &Dataset) -> Vec<usize> {
-        match self {
-            ModelFile::RandomForest(m) => Classifier::predict(m, data),
-            ModelFile::XgBoost(m) => Classifier::predict(m, data),
-            ModelFile::DecisionTree(m) => Classifier::predict(m, data),
-            ModelFile::AdaBoost(m) => Classifier::predict(m, data),
-            ModelFile::Svm(m) => Classifier::predict(m, data),
-            ModelFile::Mlp(m) => Classifier::predict(m, data),
-            ModelFile::Knn(m) => Classifier::predict(m, data),
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -118,6 +50,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "train" => cmd_train(&opts),
         "predict" => cmd_predict(&opts),
         "cv" => cmd_cv(&opts),
+        "train-artifact" => cmd_train_artifact(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!(
                 "trajlib-cli — transportation-mode prediction (Etemad et al., 2019)\n\n\
@@ -126,7 +60,12 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 extract --geolife DIR [--scheme raw|dabiri|endo] [--extended] --out FILE.csv\n\
                  \x20 train   --csv FILE --model rf|xgb|tree|ada|svm|mlp|knn [--seed S] --out MODEL.json\n\
                  \x20 predict --csv FILE --model-file MODEL.json\n\
-                 \x20 cv      --csv FILE --model KIND [--folds K] [--grouped] [--seed S]"
+                 \x20 cv      --csv FILE --model KIND [--folds K] [--grouped] [--seed S]\n\
+                 \x20 train-artifact --out FILE.json [--geolife DIR | --users N [--synth-seed S]]\n\
+                 \x20         [--name NAME] [--version V] [--model KIND] [--scheme raw|dabiri|endo]\n\
+                 \x20         [--top-k K] [--extended] [--seed S]\n\
+                 \x20 serve   (--artifacts DIR | --artifact FILE.json) [--addr HOST:PORT]\n\
+                 \x20         [--workers N] [--batch-max N] [--batch-delay-ms MS]"
             );
             Ok(())
         }
@@ -165,7 +104,9 @@ fn required<'a>(opts: &'a Options, key: &str) -> Result<&'a str, String> {
 fn parsed<T: std::str::FromStr>(opts: &Options, key: &str, default: T) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --{key} value {v:?}")),
     }
 }
 
@@ -203,15 +144,15 @@ fn cmd_extract(opts: &Options) -> Result<(), String> {
     let dir = PathBuf::from(required(opts, "geolife")?);
     let out = PathBuf::from(required(opts, "out")?);
     let scheme = scheme_of(opts)?;
-    let trajectories =
-        trajlib::geolife::load_geolife_directory(&dir, &LoaderOptions::default())
-            .map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let trajectories = trajlib::geolife::load_geolife_directory(&dir, &LoaderOptions::default())
+        .map_err(|e| format!("loading {}: {e}", dir.display()))?;
     let mut config = PipelineConfig::paper(scheme);
     if opts.contains_key("extended") {
         config = config.with_feature_set(FeatureSet::Extended80);
     }
     let dataset = Pipeline::new(config).dataset_from_raw(&trajectories);
-    std::fs::write(&out, dataset.to_csv()).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    std::fs::write(&out, dataset.to_csv())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
         "extracted {} samples × {} features ({} users) → {}",
         dataset.len(),
@@ -232,7 +173,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let dataset = load_csv(Path::new(required(opts, "csv")?))?;
     let seed: u64 = parsed(opts, "seed", 0)?;
     let out = PathBuf::from(required(opts, "out")?);
-    let mut model = ModelFile::new(required(opts, "model")?, seed)?;
+    let mut model = ErasedModel::from_cli_name(required(opts, "model")?, seed)?;
     model.fit(&dataset);
     let train_acc = accuracy(&dataset.y, &model.predict(&dataset));
     let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
@@ -251,7 +192,7 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
     let model_path = Path::new(required(opts, "model-file")?);
     let json = std::fs::read_to_string(model_path)
         .map_err(|e| format!("reading {}: {e}", model_path.display()))?;
-    let model: ModelFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let model: ErasedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
     let pred = model.predict(&dataset);
     let report = ClassificationReport::compute(&dataset.y, &pred, dataset.n_classes);
     println!(
@@ -270,25 +211,9 @@ fn cmd_cv(opts: &Options) -> Result<(), String> {
     let seed: u64 = parsed(opts, "seed", 0)?;
     let kind = required(opts, "model")?.to_owned();
     // Validate the model kind once, eagerly.
-    ModelFile::new(&kind, 0)?;
-
-    /// Adapts the serialisable model enum to the [`Classifier`] trait.
-    struct Adapter(ModelFile);
-    impl Classifier for Adapter {
-        fn fit(&mut self, data: &Dataset) {
-            self.0.fit(data);
-        }
-        fn predict_row(&self, row: &[f64]) -> usize {
-            // Single-row prediction goes through a 1-row dataset.
-            let data = Dataset::from_rows(&[row.to_vec()], vec![0], 1, vec![0], vec![]);
-            self.0.predict(&data)[0]
-        }
-        fn predict(&self, data: &Dataset) -> Vec<usize> {
-            self.0.predict(data)
-        }
-    }
+    ErasedModel::from_cli_name(&kind, 0)?;
     let factory = move |s: u64| -> Box<dyn Classifier> {
-        Box::new(Adapter(ModelFile::new(&kind, s).expect("kind validated above")))
+        Box::new(ErasedModel::from_cli_name(&kind, s).expect("kind validated above"))
     };
 
     let scores = if opts.contains_key("grouped") {
@@ -308,4 +233,111 @@ fn cmd_cv(opts: &Options) -> Result<(), String> {
         trajlib::ml::cv::mean_f1_weighted(&scores)
     );
     Ok(())
+}
+
+/// Collects labeled segments either from a GeoLife-layout directory
+/// (paper segmentation) or from the synthetic generator.
+fn load_segments(opts: &Options) -> Result<Vec<Segment>, String> {
+    if let Some(dir) = opts.get("geolife") {
+        let dir = PathBuf::from(dir);
+        let trajectories =
+            trajlib::geolife::load_geolife_directory(&dir, &LoaderOptions::default())
+                .map_err(|e| format!("loading {}: {e}", dir.display()))?;
+        Ok(trajlib::geo::segmentation::segment_all(
+            &trajectories,
+            &SegmentationConfig::paper(),
+        ))
+    } else {
+        let users: usize = parsed(opts, "users", 8)?;
+        let synth_seed: u64 = parsed(opts, "synth-seed", 42)?;
+        Ok(SynthDataset::generate(&SynthConfig {
+            n_users: users,
+            seed: synth_seed,
+            ..SynthConfig::default()
+        })
+        .segments)
+    }
+}
+
+fn cmd_train_artifact(opts: &Options) -> Result<(), String> {
+    let out = PathBuf::from(required(opts, "out")?);
+    let model_name = opts.get("model").map(String::as_str).unwrap_or("rf");
+    let kind = ErasedModel::from_cli_name(model_name, 0)?.kind();
+
+    let mut spec = TrainSpec::paper_default(
+        opts.get("name")
+            .cloned()
+            .unwrap_or_else(|| model_name.to_owned()),
+    );
+    spec.version = parsed(opts, "version", 1)?;
+    spec.scheme = scheme_of(opts)?;
+    spec.kind = kind;
+    spec.seed = parsed(opts, "seed", 0)?;
+    if opts.contains_key("extended") {
+        spec.feature_set = ServeFeatureSet::Extended80;
+    }
+    spec.top_k = match opts.get("top-k") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid --top-k value {v:?}"))?,
+        ),
+    };
+
+    let segments = load_segments(opts)?;
+    let artifact = ModelArtifact::train(&spec, &segments)?;
+    let train_acc = artifact.training_accuracy(&segments);
+    artifact.save(&out)?;
+    println!(
+        "trained artifact {}@v{} ({:?}, {} features, {} segments, training accuracy {:.3}) -> {}",
+        artifact.name,
+        artifact.version,
+        spec.kind,
+        artifact.feature_names.len(),
+        segments.len(),
+        train_acc,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let mut registry = ModelRegistry::new();
+    match (opts.get("artifacts"), opts.get("artifact")) {
+        (Some(dir), _) => {
+            let n = registry.load_dir(Path::new(dir))?;
+            if n == 0 {
+                return Err(format!("no *.json artifacts found under {dir}"));
+            }
+        }
+        (None, Some(file)) => registry.load_file(Path::new(file))?,
+        (None, None) => return Err("serve needs --artifacts DIR or --artifact FILE".to_owned()),
+    }
+
+    let mut config = ServerConfig::default();
+    config.workers = parsed(opts, "workers", config.workers)?;
+    config.batch.max_batch = parsed(opts, "batch-max", config.batch.max_batch)?;
+    config.batch.max_delay = Duration::from_millis(parsed(
+        opts,
+        "batch-delay-ms",
+        config.batch.max_delay.as_millis() as u64,
+    )?);
+
+    let addr = opts
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080");
+    let names = registry.names();
+    let handle = serve(addr, registry, config)?;
+    println!(
+        "serving {} model(s) [{}] on http://{}",
+        names.len(),
+        names.join(", "),
+        handle.addr()
+    );
+    println!("endpoints: POST /predict  POST /predict_batch  GET /healthz  GET /metrics");
+    // Block forever; Ctrl-C tears the process down.
+    loop {
+        std::thread::park();
+    }
 }

@@ -108,7 +108,10 @@ impl LineChart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
@@ -271,7 +274,10 @@ impl BarChart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
@@ -369,7 +375,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use traj_geo::LabelScheme;
 use traj_ml::cv::{cross_validate, KFold};
 use traj_ml::stats_tests::{
-    friedman_test, nemenyi_critical_difference, wilcoxon_signed_rank, Alternative,
-    FriedmanResult, WilcoxonResult,
+    friedman_test, nemenyi_critical_difference, wilcoxon_signed_rank, Alternative, FriedmanResult,
+    WilcoxonResult,
 };
 use traj_ml::ClassifierKind;
 
@@ -81,10 +81,11 @@ pub struct ClassifierSelectionResult {
 }
 
 /// Runs the experiment.
-pub fn run_classifier_selection(
-    config: &ClassifierSelectionConfig,
-) -> ClassifierSelectionResult {
-    assert!(!config.classifiers.is_empty(), "need at least one classifier");
+pub fn run_classifier_selection(config: &ClassifierSelectionConfig) -> ClassifierSelectionResult {
+    assert!(
+        !config.classifiers.is_empty(),
+        "need at least one classifier"
+    );
     let synth = config.data.generate();
     let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri));
     let dataset = pipeline.dataset_from_segments(&synth.segments);

@@ -22,8 +22,7 @@ use crate::pipeline::{Pipeline, PipelineConfig};
 use serde::{Deserialize, Serialize};
 use traj_geo::LabelScheme;
 use traj_ml::cv::{
-    cross_validate, mean_accuracy, train_test_split, GroupKFold, GroupShuffleSplit, KFold,
-    Splitter,
+    cross_validate, mean_accuracy, train_test_split, GroupKFold, GroupShuffleSplit, KFold, Splitter,
 };
 use traj_ml::forest::{ForestConfig, RandomForest};
 use traj_ml::{Classifier, Dataset};
@@ -117,7 +116,12 @@ pub fn run_evaluation_bias(config: &EvaluationBiasConfig) -> EvaluationBiasResul
     };
 
     // Strategy 1: random K-fold CV.
-    let scores = cross_validate(&factory, &dev, &KFold::new(config.folds, config.seed), config.seed);
+    let scores = cross_validate(
+        &factory,
+        &dev,
+        &KFold::new(config.folds, config.seed),
+        config.seed,
+    );
     push("random k-fold CV", mean_accuracy(&scores));
 
     // Strategy 2: user-oriented (group) K-fold CV.

@@ -119,8 +119,11 @@ pub fn run_feature_selection(config: &FeatureSelectionConfig) -> FeatureSelectio
             },
         ),
         SelectionMethod::Importance => {
-            let ranked =
-                traj_select::rf_importance_ranking(&dataset, config.forest_estimators.max(50), config.seed);
+            let ranked = traj_select::rf_importance_ranking(
+                &dataset,
+                config.forest_estimators.max(50),
+                config.seed,
+            );
             let order: Vec<usize> = ranked
                 .iter()
                 .take(config.max_features)

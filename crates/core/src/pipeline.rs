@@ -262,8 +262,8 @@ mod tests {
     #[should_panic(expected = "unknown feature name")]
     fn unknown_feature_name_panics() {
         let segments = small_segments();
-        let config = PipelineConfig::paper(LabelScheme::Raw)
-            .with_selected_features(vec!["bogus".into()]);
+        let config =
+            PipelineConfig::paper(LabelScheme::Raw).with_selected_features(vec!["bogus".into()]);
         let _ = Pipeline::new(config).dataset_from_segments(&segments);
     }
 
@@ -283,24 +283,22 @@ mod tests {
         )
         .dataset_from_segments(&segments);
         // z-scored columns have mean ≈ 0.
-        let mean0: f64 =
-            (0..z.len()).map(|i| z.value(i, 0)).sum::<f64>() / z.len() as f64;
+        let mean0: f64 = (0..z.len()).map(|i| z.value(i, 0)).sum::<f64>() / z.len() as f64;
         assert!(mean0.abs() < 1e-9, "{mean0}");
     }
 
     #[test]
     fn noise_step_changes_features() {
         let segments = small_segments();
-        let clean = Pipeline::new(PipelineConfig::paper(LabelScheme::Raw))
-            .dataset_from_segments(&segments);
+        let clean =
+            Pipeline::new(PipelineConfig::paper(LabelScheme::Raw)).dataset_from_segments(&segments);
         let filtered = Pipeline::new(
             PipelineConfig::paper(LabelScheme::Raw).with_noise(NoiseConfig::enabled()),
         )
         .dataset_from_segments(&segments);
         assert_eq!(clean.len(), filtered.len());
         // Normalised values differ somewhere once outliers are removed.
-        let differs = (0..clean.len())
-            .any(|i| clean.row(i) != filtered.row(i));
+        let differs = (0..clean.len()).any(|i| clean.row(i) != filtered.row(i));
         assert!(differs);
     }
 

@@ -28,7 +28,11 @@ impl MarkdownTable {
     /// Panics when the cell count differs from the header count.
     pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "cell/header count mismatch");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "cell/header count mismatch"
+        );
         self.rows.push(cells);
     }
 

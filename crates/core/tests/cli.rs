@@ -27,7 +27,11 @@ fn full_workflow_succeeds() {
         .arg(&cohort)
         .output()
         .expect("run synth");
-    assert!(synth.status.success(), "{}", String::from_utf8_lossy(&synth.stderr));
+    assert!(
+        synth.status.success(),
+        "{}",
+        String::from_utf8_lossy(&synth.stderr)
+    );
     assert!(cohort.join("Data/000/labels.txt").is_file());
 
     let extract = cli()
@@ -37,7 +41,11 @@ fn full_workflow_succeeds() {
         .arg(&csv)
         .output()
         .expect("run extract");
-    assert!(extract.status.success(), "{}", String::from_utf8_lossy(&extract.stderr));
+    assert!(
+        extract.status.success(),
+        "{}",
+        String::from_utf8_lossy(&extract.stderr)
+    );
     let header = std::fs::read_to_string(&csv).unwrap();
     assert!(header.starts_with("distance_min,"));
     assert!(header.lines().next().unwrap().ends_with("label,group"));
@@ -49,7 +57,11 @@ fn full_workflow_succeeds() {
         .arg(&model)
         .output()
         .expect("run train");
-    assert!(train.status.success(), "{}", String::from_utf8_lossy(&train.stderr));
+    assert!(
+        train.status.success(),
+        "{}",
+        String::from_utf8_lossy(&train.stderr)
+    );
     assert!(model.is_file());
 
     let predict = cli()
@@ -69,7 +81,11 @@ fn full_workflow_succeeds() {
         .args(["--model", "tree", "--folds", "3"])
         .output()
         .expect("run cv");
-    assert!(cv.status.success(), "{}", String::from_utf8_lossy(&cv.stderr));
+    assert!(
+        cv.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cv.stderr)
+    );
     assert!(String::from_utf8_lossy(&cv.stdout).contains("mean accuracy"));
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -103,7 +119,13 @@ fn errors_are_reported_not_panicked() {
 
     // Nonexistent input file.
     let out = cli()
-        .args(["predict", "--csv", "/nonexistent.csv", "--model-file", "/nonexistent.json"])
+        .args([
+            "predict",
+            "--csv",
+            "/nonexistent.csv",
+            "--model-file",
+            "/nonexistent.json",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -172,12 +172,20 @@ mod tests {
         let mut points = Vec::new();
         let (mut lat, lon) = (39.9, 116.3);
         for i in 0..10 {
-            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i * 2),
+            ));
             let (nlat, _) = destination(lat, lon, 0.0, 20.0);
             lat = nlat;
         }
         for i in 10..20 {
-            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i * 2),
+            ));
             let (nlat, _) = destination(lat, lon, 180.0, 20.0);
             lat = nlat;
         }
@@ -194,7 +202,11 @@ mod tests {
         let mut points = Vec::new();
         let (mut lat, lon) = (39.9, 116.3);
         for i in 0..20 {
-            points.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(i * 2)));
+            points.push(TrajectoryPoint::new(
+                lat,
+                lon,
+                Timestamp::from_seconds(i * 2),
+            ));
             if i >= 10 {
                 let (nlat, _) = destination(lat, lon, 0.0, 10.0);
                 lat = nlat;
@@ -210,8 +222,14 @@ mod tests {
         let morning = features_of(&straight_segment(5.0, 15, 8 * 3600));
         let evening = features_of(&straight_segment(5.0, 15, 20 * 3600));
         // 8 h and 20 h are opposite on the clock circle.
-        assert!((morning[6] + evening[6]).abs() < 0.01, "hour_sin opposition");
-        assert!((morning[7] + evening[7]).abs() < 0.01, "hour_cos opposition");
+        assert!(
+            (morning[6] + evening[6]).abs() < 0.01,
+            "hour_sin opposition"
+        );
+        assert!(
+            (morning[7] + evening[7]).abs() < 0.01,
+            "hour_cos opposition"
+        );
         // sin² + cos² = 1.
         assert!((morning[6] * morning[6] + morning[7] * morning[7] - 1.0).abs() < 1e-9);
         assert!((morning[8] * morning[8] + morning[9] * morning[9] - 1.0).abs() < 1e-9);

@@ -39,6 +39,5 @@ pub use noise::NoiseConfig;
 pub use normalize::{MinMaxScaler, StandardScaler};
 pub use point_features::PointFeatures;
 pub use trajectory_features::{
-    extract_features, extract_features_parallel, feature_names, FeatureTable,
-    FEATURES_PER_SEGMENT,
+    extract_features, extract_features_parallel, feature_names, FeatureTable, FEATURES_PER_SEGMENT,
 };

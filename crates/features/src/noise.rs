@@ -212,7 +212,10 @@ mod tests {
         xs[10] = 100.0;
         let filtered = hampel_filter(&xs, 3, 3.0);
         assert_eq!(filtered[10], 1.0, "spike replaced");
-        assert!(filtered.iter().take(10).all(|&v| v == 1.0), "rest untouched");
+        assert!(
+            filtered.iter().take(10).all(|&v| v == 1.0),
+            "rest untouched"
+        );
     }
 
     #[test]

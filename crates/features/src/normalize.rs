@@ -36,11 +36,7 @@ impl MinMaxScaler {
                 maxs[j] = maxs[j].max(v);
             }
         }
-        let ranges = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| hi - lo)
-            .collect();
+        let ranges = mins.iter().zip(&maxs).map(|(&lo, &hi)| hi - lo).collect();
         MinMaxScaler { mins, ranges }
     }
 
@@ -236,7 +232,10 @@ mod tests {
             assert!(mean.abs() < 1e-12, "column {j} mean {mean}");
             assert!((var - 1.0).abs() < 1e-12, "column {j} var {var}");
         }
-        assert!(rows.iter().all(|r| r[2] == 0.0), "constant column collapses");
+        assert!(
+            rows.iter().all(|r| r[2] == 0.0),
+            "constant column collapses"
+        );
     }
 
     #[test]

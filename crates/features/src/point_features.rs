@@ -109,7 +109,9 @@ impl PointFeatures {
 
     /// `true` when every value of every series is finite.
     pub fn all_finite(&self) -> bool {
-        self.series().iter().all(|s| s.iter().all(|v| v.is_finite()))
+        self.series()
+            .iter()
+            .all(|s| s.iter().all(|v| v.is_finite()))
     }
 
     /// The eight series in canonical order (duration, distance, speed,

@@ -11,7 +11,10 @@
 /// contributes neutral features rather than NaN, so downstream classifiers
 /// never see non-finite inputs).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min).min_finite_or_zero()
+    xs.iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min_finite_or_zero()
 }
 
 /// Maximum of a slice; `0.0` for an empty slice.
@@ -96,7 +99,9 @@ pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
-    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+    ps.iter()
+        .map(|&p| percentile_of_sorted(&sorted, p))
+        .collect()
 }
 
 trait FiniteOrZero {

@@ -193,12 +193,12 @@ pub fn extract_features_parallel(segments: &[Segment], scheme: LabelScheme) -> F
         }
         let chunk = kept.len().div_ceil(n_threads);
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); kept.len()];
-        crossbeam_scope_extract(kept, chunk, &mut rows);
+        scoped_extract(kept, chunk, &mut rows);
         rows
     })
 }
 
-fn crossbeam_scope_extract(kept: &[&Segment], chunk: usize, rows: &mut [Vec<f64>]) {
+fn scoped_extract(kept: &[&Segment], chunk: usize, rows: &mut [Vec<f64>]) {
     // Split the output buffer into per-worker windows: no locking needed.
     std::thread::scope(|scope| {
         let mut rest = rows;
@@ -315,7 +315,11 @@ mod tests {
         let slow = segment_features(&segment(1, TransportMode::Walk, 1.4, 30));
         let i_mean = names.iter().position(|n| n == "speed_mean").unwrap();
         let i_p90 = names.iter().position(|n| n == "speed_p90").unwrap();
-        assert!(fast[i_mean] > 10.0 && fast[i_mean] < 20.0, "{}", fast[i_mean]);
+        assert!(
+            fast[i_mean] > 10.0 && fast[i_mean] < 20.0,
+            "{}",
+            fast[i_mean]
+        );
         assert!(slow[i_mean] > 1.0 && slow[i_mean] < 2.0, "{}", slow[i_mean]);
         assert!(fast[i_p90] > slow[i_p90]);
     }
@@ -326,9 +330,18 @@ mod tests {
         let f = segment_features(&seg);
         let names = feature_names();
         for pf in POINT_FEATURE_NAMES {
-            let i_med = names.iter().position(|n| *n == format!("{pf}_median")).unwrap();
-            let i_p50 = names.iter().position(|n| *n == format!("{pf}_p50")).unwrap();
-            assert_eq!(f[i_med], f[i_p50], "{pf}: median equals p50 by construction");
+            let i_med = names
+                .iter()
+                .position(|n| *n == format!("{pf}_median"))
+                .unwrap();
+            let i_p50 = names
+                .iter()
+                .position(|n| *n == format!("{pf}_p50"))
+                .unwrap();
+            assert_eq!(
+                f[i_med], f[i_p50],
+                "{pf}: median equals p50 by construction"
+            );
         }
     }
 
@@ -380,7 +393,11 @@ mod tests {
             .map(|i| {
                 segment(
                     i as UserId,
-                    if i % 2 == 0 { TransportMode::Walk } else { TransportMode::Bus },
+                    if i % 2 == 0 {
+                        TransportMode::Walk
+                    } else {
+                        TransportMode::Bus
+                    },
                     1.0 + i as f64,
                     15 + i as usize,
                 )

@@ -60,7 +60,11 @@ pub fn zheng_features(segment: &Segment, pf: &PointFeatures) -> Vec<f64> {
     }
     let length: f64 = pf.distance.iter().skip(1).sum();
     let duration = segment.duration_s();
-    let mean_velocity = if duration > 0.0 { length / duration } else { 0.0 };
+    let mean_velocity = if duration > 0.0 {
+        length / duration
+    } else {
+        0.0
+    };
     let velocity_std = crate::stats::std_dev(&pf.speed);
 
     let top3 = |xs: &[f64]| -> [f64; 3] {
@@ -204,8 +208,10 @@ mod tests {
     #[test]
     fn velocity_change_rate_detects_speed_jitter() {
         let smooth = segment_with_speeds(&[8.0; 20], &[0.0; 20]);
-        let jittery =
-            segment_with_speeds(&[2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0], &[0.0; 10]);
+        let jittery = segment_with_speeds(
+            &[2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0, 2.0, 9.0],
+            &[0.0; 10],
+        );
         let smooth_vcr = velocity_change_rate(&PointFeatures::compute(&smooth));
         let jitter_vcr = velocity_change_rate(&PointFeatures::compute(&jittery));
         assert!(jitter_vcr > smooth_vcr);

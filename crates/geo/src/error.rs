@@ -52,7 +52,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(GeoError::InvalidLatitude(99.0).to_string().contains("99"));
-        assert!(GeoError::InvalidLongitude(-200.0).to_string().contains("-200"));
+        assert!(GeoError::InvalidLongitude(-200.0)
+            .to_string()
+            .contains("-200"));
         assert!(GeoError::NonFiniteValue("latitude")
             .to_string()
             .contains("latitude"));

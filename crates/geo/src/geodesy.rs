@@ -74,8 +74,7 @@ pub fn destination(lat: f64, lon: f64, bearing_deg: f64, distance_m: f64) -> (f6
         .clamp(-1.0, 1.0)
         .asin();
     let lambda2 = lambda1
-        + (theta.sin() * delta.sin() * phi1.cos())
-            .atan2(delta.cos() - phi1.sin() * phi2.sin());
+        + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
 
     let lon2 = (lambda2.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
     (phi2.to_degrees(), lon2)
@@ -135,7 +134,8 @@ mod tests {
         assert!((initial_bearing_deg(0.0, 0.0, 1.0, 0.0) - 0.0).abs() < 1e-9); // north
         assert!((initial_bearing_deg(0.0, 0.0, 0.0, 1.0) - 90.0).abs() < 1e-9); // east
         assert!((initial_bearing_deg(0.0, 0.0, -1.0, 0.0) - 180.0).abs() < 1e-9); // south
-        assert!((initial_bearing_deg(0.0, 0.0, 0.0, -1.0) - 270.0).abs() < 1e-9); // west
+        assert!((initial_bearing_deg(0.0, 0.0, 0.0, -1.0) - 270.0).abs() < 1e-9);
+        // west
     }
 
     #[test]
@@ -178,7 +178,10 @@ mod tests {
     fn point_helpers_match_scalar_functions() {
         let a = pt(39.9, 116.3);
         let b = pt(40.0, 116.5);
-        assert_eq!(point_distance_m(&a, &b), haversine_m(39.9, 116.3, 40.0, 116.5));
+        assert_eq!(
+            point_distance_m(&a, &b),
+            haversine_m(39.9, 116.3, 40.0, 116.5)
+        );
         assert_eq!(
             point_bearing_deg(&a, &b),
             initial_bearing_deg(39.9, 116.3, 40.0, 116.5)

@@ -42,8 +42,8 @@ pub mod segmentation;
 pub mod simplify;
 pub mod staypoints;
 pub mod time;
-pub mod walk_segmentation;
 pub mod trajectory;
+pub mod walk_segmentation;
 
 pub use error::GeoError;
 pub use mode::{LabelScheme, TransportMode};

@@ -198,7 +198,10 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let total: f64 = TransportMode::ALL.iter().map(|m| m.geolife_fraction()).sum();
+        let total: f64 = TransportMode::ALL
+            .iter()
+            .map(|m| m.geolife_fraction())
+            .sum();
         assert!((total - 1.0).abs() < 0.01, "fractions sum to {total}");
     }
 
@@ -211,14 +214,26 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive_and_handles_aliases() {
-        assert_eq!("WALK".parse::<TransportMode>().unwrap(), TransportMode::Walk);
-        assert_eq!(" Bus ".parse::<TransportMode>().unwrap(), TransportMode::Bus);
+        assert_eq!(
+            "WALK".parse::<TransportMode>().unwrap(),
+            TransportMode::Walk
+        );
+        assert_eq!(
+            " Bus ".parse::<TransportMode>().unwrap(),
+            TransportMode::Bus
+        );
         assert_eq!(
             "motocycle".parse::<TransportMode>().unwrap(),
             TransportMode::Motorcycle
         );
-        assert_eq!("running".parse::<TransportMode>().unwrap(), TransportMode::Run);
-        assert_eq!("plane".parse::<TransportMode>().unwrap(), TransportMode::Airplane);
+        assert_eq!(
+            "running".parse::<TransportMode>().unwrap(),
+            TransportMode::Run
+        );
+        assert_eq!(
+            "plane".parse::<TransportMode>().unwrap(),
+            TransportMode::Airplane
+        );
     }
 
     #[test]
@@ -239,12 +254,18 @@ mod tests {
     #[test]
     fn dabiri_scheme_merges_driving_and_rail() {
         let s = LabelScheme::Dabiri;
-        assert_eq!(s.class_of(TransportMode::Car), s.class_of(TransportMode::Taxi));
+        assert_eq!(
+            s.class_of(TransportMode::Car),
+            s.class_of(TransportMode::Taxi)
+        );
         assert_eq!(
             s.class_of(TransportMode::Train),
             s.class_of(TransportMode::Subway)
         );
-        assert_ne!(s.class_of(TransportMode::Walk), s.class_of(TransportMode::Bike));
+        assert_ne!(
+            s.class_of(TransportMode::Walk),
+            s.class_of(TransportMode::Bike)
+        );
         assert_eq!(s.class_of(TransportMode::Airplane), None);
         assert_eq!(s.n_classes(), 5);
         assert_eq!(s.class_names().len(), 5);
@@ -293,7 +314,10 @@ mod tests {
                     seen[c] = true;
                 }
             }
-            assert!(seen.iter().all(|&b| b), "{scheme:?} has unused class indices");
+            assert!(
+                seen.iter().all(|&b| b),
+                "{scheme:?} has unused class indices"
+            );
         }
     }
 }

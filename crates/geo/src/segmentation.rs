@@ -73,18 +73,23 @@ pub fn segment_by_user_day_mode(
     let mut current: Vec<TrajectoryPoint> = Vec::new();
     let mut current_key: Option<(i64, crate::mode::TransportMode)> = None;
 
-    let mut flush =
-        |buf: &mut Vec<TrajectoryPoint>, key: Option<(i64, crate::mode::TransportMode)>| {
-            if let Some((day, mode)) = key {
-                if buf.len() >= config.min_points {
-                    segments.push(Segment::new(trajectory.user, mode, day, std::mem::take(buf)));
-                } else {
-                    buf.clear();
-                }
+    let mut flush = |buf: &mut Vec<TrajectoryPoint>,
+                     key: Option<(i64, crate::mode::TransportMode)>| {
+        if let Some((day, mode)) = key {
+            if buf.len() >= config.min_points {
+                segments.push(Segment::new(
+                    trajectory.user,
+                    mode,
+                    day,
+                    std::mem::take(buf),
+                ));
             } else {
                 buf.clear();
             }
-        };
+        } else {
+            buf.clear();
+        }
+    };
 
     for lp in &trajectory.points {
         let key = lp.mode.map(|m| (lp.point.t.day_index(), m));
@@ -165,10 +170,7 @@ pub fn split_on_gaps(segment: &Segment, max_gap_s: f64, min_points: usize) -> Ve
 
 /// Convenience: segments every trajectory of a collection and concatenates
 /// the results.
-pub fn segment_all(
-    trajectories: &[RawTrajectory],
-    config: &SegmentationConfig,
-) -> Vec<Segment> {
+pub fn segment_all(trajectories: &[RawTrajectory], config: &SegmentationConfig) -> Vec<Segment> {
     trajectories
         .iter()
         .flat_map(|t| segment_by_user_day_mode(t, config))
@@ -219,10 +221,7 @@ mod tests {
         let mut pts = run_of(TransportMode::Walk, day - 30, 12, 5);
         // Crosses midnight at the 7th point (6 fixes before, 6 after).
         let traj = RawTrajectory::new(1, pts.clone());
-        let segs = segment_by_user_day_mode(
-            &traj,
-            &SegmentationConfig::paper().with_min_points(2),
-        );
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper().with_min_points(2));
         assert_eq!(segs.len(), 2, "split at midnight");
         assert_eq!(segs[0].day + 1, segs[1].day);
 
@@ -263,10 +262,7 @@ mod tests {
         pts.extend(run_of(TransportMode::Walk, 40, 6, 5));
         let traj = RawTrajectory::new(1, pts);
         // With min_points=6 both halves survive as separate segments.
-        let segs = segment_by_user_day_mode(
-            &traj,
-            &SegmentationConfig::paper().with_min_points(6),
-        );
+        let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper().with_min_points(6));
         assert_eq!(segs.len(), 2);
         // With the paper's min_points=10 both halves are discarded.
         let segs = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
@@ -282,10 +278,8 @@ mod tests {
         let no_gap = segment_by_user_day_mode(&traj, &SegmentationConfig::paper());
         assert_eq!(no_gap.len(), 1, "paper config keeps the run together");
 
-        let with_gap = segment_by_user_day_mode(
-            &traj,
-            &SegmentationConfig::paper().with_max_gap_s(120.0),
-        );
+        let with_gap =
+            segment_by_user_day_mode(&traj, &SegmentationConfig::paper().with_max_gap_s(120.0));
         assert_eq!(with_gap.len(), 2, "gap config splits at the signal loss");
     }
 

@@ -63,8 +63,14 @@ pub fn perpendicular_distance_m(
 ) -> f64 {
     const M_PER_DEG: f64 = 111_320.0;
     let cos_lat = a.lat.to_radians().cos();
-    let (px, py) = ((p.lon - a.lon) * M_PER_DEG * cos_lat, (p.lat - a.lat) * M_PER_DEG);
-    let (bx, by) = ((b.lon - a.lon) * M_PER_DEG * cos_lat, (b.lat - a.lat) * M_PER_DEG);
+    let (px, py) = (
+        (p.lon - a.lon) * M_PER_DEG * cos_lat,
+        (p.lat - a.lat) * M_PER_DEG,
+    );
+    let (bx, by) = (
+        (b.lon - a.lon) * M_PER_DEG * cos_lat,
+        (b.lat - a.lat) * M_PER_DEG,
+    );
 
     let len_sq = bx * bx + by * by;
     if len_sq == 0.0 {
@@ -125,8 +131,9 @@ mod tests {
 
     #[test]
     fn huge_epsilon_keeps_only_endpoints() {
-        let points: Vec<TrajectoryPoint> =
-            (0..15).map(|i| pt(39.9 + (i % 3) as f64 * 1e-4, 116.3 + i as f64 * 1e-4, i)).collect();
+        let points: Vec<TrajectoryPoint> = (0..15)
+            .map(|i| pt(39.9 + (i % 3) as f64 * 1e-4, 116.3 + i as f64 * 1e-4, i))
+            .collect();
         let simplified = douglas_peucker(&points, 1e9);
         assert_eq!(simplified.len(), 2);
     }
@@ -154,14 +161,18 @@ mod tests {
         let simplified = douglas_peucker(&points, 15.0);
         assert!(simplified.windows(2).all(|w| w[0].t < w[1].t));
         assert!(simplified.len() < points.len(), "jitter removed");
-        assert!(simplified.len() > 2, "the dog-leg survives: {}", simplified.len());
+        assert!(
+            simplified.len() > 2,
+            "the dog-leg survives: {}",
+            simplified.len()
+        );
     }
 
     #[test]
     fn perpendicular_distance_basics() {
         let a = pt(0.0, 0.0, 0);
         let b = pt(0.0, 0.001, 1); // ~111 m east
-        // A point 0.0005° north of the midpoint: ~55.66 m off the line.
+                                   // A point 0.0005° north of the midpoint: ~55.66 m off the line.
         let p = pt(0.0005, 0.0005, 0);
         let d = perpendicular_distance_m(&p, &a, &b);
         assert!((d - 55.66).abs() < 0.5, "distance {d}");

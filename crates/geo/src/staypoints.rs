@@ -62,10 +62,7 @@ impl StayPoint {
 }
 
 /// Detects stay points in a time-ordered fix sequence.
-pub fn detect_stay_points(
-    points: &[TrajectoryPoint],
-    config: &StayPointConfig,
-) -> Vec<StayPoint> {
+pub fn detect_stay_points(points: &[TrajectoryPoint], config: &StayPointConfig) -> Vec<StayPoint> {
     let n = points.len();
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -145,8 +142,12 @@ mod tests {
         // Dwell: 30 min of small jitter (< 50 m).
         let (home_lat, home_lon) = (lat, lon);
         for k in 0..180 {
-            let (jlat, jlon) =
-                destination(home_lat, home_lon, (k * 37 % 360) as f64, (k % 5) as f64 * 8.0);
+            let (jlat, jlon) = destination(
+                home_lat,
+                home_lon,
+                (k * 37 % 360) as f64,
+                (k % 5) as f64 * 8.0,
+            );
             points.push(pt(jlat, jlon, t));
             t += 10;
         }
@@ -167,7 +168,11 @@ mod tests {
         assert_eq!(sps.len(), 1, "exactly the 30-minute dwell");
         let sp = &sps[0];
         assert!(sp.duration_s() >= 20.0 * 60.0, "{}", sp.duration_s());
-        assert!(sp.start_index >= 55 && sp.start_index <= 65, "{}", sp.start_index);
+        assert!(
+            sp.start_index >= 55 && sp.start_index <= 65,
+            "{}",
+            sp.start_index
+        );
         // Centroid is near the dwell location.
         let d = crate::geodesy::haversine_m(sp.lat, sp.lon, points[70].lat, points[70].lon);
         assert!(d < 100.0, "centroid {d} m from a dwell fix");

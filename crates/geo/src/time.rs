@@ -145,7 +145,13 @@ mod tests {
 
     #[test]
     fn display_formats_time_of_day() {
-        let t = Timestamp::from_millis(MILLIS_PER_DAY + 3 * MILLIS_PER_HOUR + 4 * MILLIS_PER_MINUTE + 5 * MILLIS_PER_SECOND + 6);
+        let t = Timestamp::from_millis(
+            MILLIS_PER_DAY
+                + 3 * MILLIS_PER_HOUR
+                + 4 * MILLIS_PER_MINUTE
+                + 5 * MILLIS_PER_SECOND
+                + 6,
+        );
         assert_eq!(t.to_string(), "day1+03:04:05.006");
     }
 

@@ -170,18 +170,14 @@ mod tests {
 
     #[test]
     fn validate_rejects_time_regression_and_duplicates() {
-        let regressed = RawTrajectory::new(
-            1,
-            vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 5))],
-        );
+        let regressed =
+            RawTrajectory::new(1, vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 5))]);
         assert_eq!(
             regressed.validate(),
             Err(GeoError::NonMonotonicTime { index: 1 })
         );
-        let duplicate = RawTrajectory::new(
-            1,
-            vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 10))],
-        );
+        let duplicate =
+            RawTrajectory::new(1, vec![walk(fix(0.0, 0.0, 10)), walk(fix(0.0, 0.0, 10))]);
         assert_eq!(
             duplicate.validate(),
             Err(GeoError::NonMonotonicTime { index: 1 })

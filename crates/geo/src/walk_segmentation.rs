@@ -69,7 +69,11 @@ pub fn classify_walk_points(
     let mut accel = vec![0.0f64; n];
     for i in 1..n {
         let dt = points[i].t.seconds_since(points[i - 1].t);
-        accel[i] = if dt > 0.0 { (speed[i] - speed[i - 1]) / dt } else { 0.0 };
+        accel[i] = if dt > 0.0 {
+            (speed[i] - speed[i - 1]) / dt
+        } else {
+            0.0
+        };
     }
     if n > 1 {
         accel[0] = accel[1];
@@ -206,7 +210,11 @@ mod tests {
 
     #[test]
     fn classify_separates_walk_from_drive() {
-        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        let mut points = vec![TrajectoryPoint::new(
+            39.9,
+            116.3,
+            Timestamp::from_seconds(0),
+        )];
         extend_at_speed(&mut points, 1.3, 15); // walk
         extend_at_speed(&mut points, 12.0, 15); // drive
         let flags = classify_walk_points(&points, &WalkSegmentationConfig::default());
@@ -245,7 +253,11 @@ mod tests {
 
     #[test]
     fn segmentation_finds_the_mode_change() {
-        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        let mut points = vec![TrajectoryPoint::new(
+            39.9,
+            116.3,
+            Timestamp::from_seconds(0),
+        )];
         extend_at_speed(&mut points, 1.2, 30); // walk
         extend_at_speed(&mut points, 11.0, 30); // bus ride
         extend_at_speed(&mut points, 1.2, 30); // walk again
@@ -263,7 +275,11 @@ mod tests {
 
     #[test]
     fn constant_motion_yields_single_segment() {
-        let mut points = vec![TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0))];
+        let mut points = vec![TrajectoryPoint::new(
+            39.9,
+            116.3,
+            Timestamp::from_seconds(0),
+        )];
         extend_at_speed(&mut points, 9.0, 40);
         let (parts, change_points) =
             walk_based_segmentation(&points, &WalkSegmentationConfig::default());

@@ -89,7 +89,12 @@ pub fn format_date_time(t: Timestamp) -> (String, String) {
     let secs = ms / 1000;
     (
         format!("{y:04}-{m:02}-{d:02}"),
-        format!("{:02}:{:02}:{:02}", secs / 3600, (secs / 60) % 60, secs % 60),
+        format!(
+            "{:02}:{:02}:{:02}",
+            secs / 3600,
+            (secs / 60) % 60,
+            secs % 60
+        ),
     )
 }
 
@@ -143,8 +148,14 @@ mod tests {
 
     #[test]
     fn parse_date_both_separators() {
-        assert_eq!(parse_date("2009-10-11").unwrap(), days_from_civil(2009, 10, 11));
-        assert_eq!(parse_date("2009/10/11").unwrap(), days_from_civil(2009, 10, 11));
+        assert_eq!(
+            parse_date("2009-10-11").unwrap(),
+            days_from_civil(2009, 10, 11)
+        );
+        assert_eq!(
+            parse_date("2009/10/11").unwrap(),
+            days_from_civil(2009, 10, 11)
+        );
         assert!(parse_date("2009-13-01").is_err());
         assert!(parse_date("2009-00-01").is_err());
         assert!(parse_date("garbage").is_err());

@@ -119,8 +119,7 @@ mod tests {
             ..SynthConfig::small(55)
         });
         let raws = synth.to_raw_trajectories(0);
-        let root =
-            std::env::temp_dir().join(format!("geolife_export_{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("geolife_export_{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         write_geolife_layout(&raws, &root).unwrap();
 

@@ -119,7 +119,9 @@ mod tests {
     #[test]
     fn rejects_unknown_modes_and_bad_rows() {
         assert!(parse_labels("Start Time\tEnd Time\tTransportation Mode\n2008/04/02 11:24:21\t2008/04/02 11:50:45\thovercraft\n").is_err());
-        assert!(parse_labels("Start Time\tEnd Time\tTransportation Mode\nonly two\tfields\n").is_err());
+        assert!(
+            parse_labels("Start Time\tEnd Time\tTransportation Mode\nonly two\tfields\n").is_err()
+        );
     }
 
     #[test]
@@ -130,8 +132,7 @@ mod tests {
 
     #[test]
     fn header_is_optional() {
-        let ivs =
-            parse_labels("2008/04/02 11:24:21\t2008/04/02 11:50:45\tbus\n").unwrap();
+        let ivs = parse_labels("2008/04/02 11:24:21\t2008/04/02 11:50:45\tbus\n").unwrap();
         assert_eq!(ivs.len(), 1);
         assert_eq!(ivs[0].mode, TransportMode::Bus);
     }

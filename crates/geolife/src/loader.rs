@@ -122,9 +122,7 @@ mod tests {
             let traj_dir = root.join("Data").join(user).join("Trajectory");
             fs::create_dir_all(&traj_dir).unwrap();
             let points: Vec<TrajectoryPoint> = (0..30)
-                .map(|i| {
-                    TrajectoryPoint::new(39.9 + i as f64 * 1e-4, 116.3, base + i * 5_000)
-                })
+                .map(|i| TrajectoryPoint::new(39.9 + i as f64 * 1e-4, 116.3, base + i * 5_000))
                 .collect();
             fs::write(traj_dir.join("20080110000000.plt"), write_plt(&points)).unwrap();
             // Users 010 and 011 are labeled; 012 is not.
@@ -158,7 +156,10 @@ mod tests {
         assert_eq!(users[0].len(), 30);
         // First 41 fixes fall inside the 200 s interval (0..=200_000 ms
         // at 5 s cadence); here all 30 do.
-        assert!(users[0].points.iter().all(|p| p.mode == Some(TransportMode::Walk)));
+        assert!(users[0]
+            .points
+            .iter()
+            .all(|p| p.mode == Some(TransportMode::Walk)));
 
         let all = load_geolife_directory(
             &dir,

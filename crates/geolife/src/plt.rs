@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn write_parse_round_trip() {
         let original = vec![
-            TrajectoryPoint::new(39.906631, 116.385564, Timestamp::from_seconds(1_255_269_870)),
+            TrajectoryPoint::new(
+                39.906631,
+                116.385564,
+                Timestamp::from_seconds(1_255_269_870),
+            ),
             TrajectoryPoint::new(39.907, 116.386, Timestamp::from_seconds(1_255_269_875)),
             TrajectoryPoint::new(-33.5, -70.6, Timestamp::from_seconds(1_255_270_000)),
         ];

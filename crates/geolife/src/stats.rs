@@ -130,11 +130,14 @@ mod tests {
             ..SynthConfig::small(9)
         });
         let s = DatasetStats::compute(&d.segments);
-        let seg_frac = |m: TransportMode| {
-            s.segments_per_mode[m.index()] as f64 / s.n_segments as f64
-        };
+        let seg_frac =
+            |m: TransportMode| s.segments_per_mode[m.index()] as f64 / s.n_segments as f64;
         // Walk is the most common mode, as in the paper (29.35 %).
-        assert!(seg_frac(TransportMode::Walk) > 0.18, "{}", seg_frac(TransportMode::Walk));
+        assert!(
+            seg_frac(TransportMode::Walk) > 0.18,
+            "{}",
+            seg_frac(TransportMode::Walk)
+        );
         // The big four dominate.
         let big4 = seg_frac(TransportMode::Walk)
             + seg_frac(TransportMode::Bus)

@@ -77,7 +77,10 @@ impl SynthDataset {
                 && config.segments_per_user.0 <= config.segments_per_user.1,
             "invalid segments_per_user range"
         );
-        assert!(config.max_points_per_segment >= 30, "segments need ≥ 30 points");
+        assert!(
+            config.max_points_per_segment >= 30,
+            "segments need ≥ 30 points"
+        );
 
         let allowed: Vec<TransportMode> = config
             .modes
@@ -92,8 +95,7 @@ impl SynthDataset {
         for uid in 0..config.n_users as UserId {
             let user = UserProfile::sample(uid, config.heterogeneity, &mut master);
             let mut rng = StdRng::seed_from_u64(config.seed ^ (0xA5A5_0000 + uid as u64) << 1);
-            let n_segments =
-                rng.gen_range(config.segments_per_user.0..=config.segments_per_user.1);
+            let n_segments = rng.gen_range(config.segments_per_user.0..=config.segments_per_user.1);
 
             // Cumulative mode weights for this user.
             let weights: Vec<f64> = allowed
@@ -219,8 +221,13 @@ fn simulate_segment(
             next_stop_in -= dt;
             if next_stop_in <= 0.0 {
                 if let Some(mean) = stop_mean {
-                    stop_remaining =
-                        rng.gen_range(profile.stop_duration_s.0..=profile.stop_duration_s.1.max(profile.stop_duration_s.0 + 1e-9));
+                    stop_remaining = rng.gen_range(
+                        profile.stop_duration_s.0
+                            ..=profile
+                                .stop_duration_s
+                                .1
+                                .max(profile.stop_duration_s.0 + 1e-9),
+                    );
                     next_stop_in = exponential(rng, mean) + stop_remaining;
                 }
             }
@@ -327,7 +334,10 @@ mod tests {
         let d = SynthDataset::generate(&SynthConfig::small(2));
         for seg in &d.segments {
             assert!(seg.len() >= 30);
-            assert!(seg.points.iter().all(|p| p.is_valid()), "invalid coordinates");
+            assert!(
+                seg.points.iter().all(|p| p.is_valid()),
+                "invalid coordinates"
+            );
             assert!(
                 seg.points.windows(2).all(|w| w[0].t < w[1].t),
                 "time must increase"

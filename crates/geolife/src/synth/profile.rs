@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn rail_modes_run_straight() {
-        for m in [TransportMode::Subway, TransportMode::Train, TransportMode::Airplane] {
+        for m in [
+            TransportMode::Subway,
+            TransportMode::Train,
+            TransportMode::Airplane,
+        ] {
             assert!(
                 ModeProfile::of(m).heading_volatility_deg < 2.0,
                 "{m} should be straight"
@@ -218,8 +222,12 @@ mod tests {
     #[test]
     fn buses_stop_often_trains_rarely() {
         let bus = ModeProfile::of(TransportMode::Bus).stop_interval_s.unwrap();
-        let train = ModeProfile::of(TransportMode::Train).stop_interval_s.unwrap();
+        let train = ModeProfile::of(TransportMode::Train)
+            .stop_interval_s
+            .unwrap();
         assert!(bus < train / 4.0);
-        assert!(ModeProfile::of(TransportMode::Airplane).stop_interval_s.is_none());
+        assert!(ModeProfile::of(TransportMode::Airplane)
+            .stop_interval_s
+            .is_none());
     }
 }

@@ -132,7 +132,9 @@ impl AdaBoost {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Number of fitted stages.
@@ -192,14 +194,22 @@ mod tests {
         // Three vertical stripes: one threshold cannot separate class 1 in
         // the middle, boosting can.
         let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
-        let y: Vec<usize> = (0..60).map(|i| usize::from((20..40).contains(&i))).collect();
+        let y: Vec<usize> = (0..60)
+            .map(|i| usize::from((20..40).contains(&i)))
+            .collect();
         let data = Dataset::from_rows(&rows, y.clone(), 2, vec![0; 60], vec![]);
 
-        let mut single = AdaBoost::new(AdaBoostConfig { n_estimators: 1, ..Default::default() });
+        let mut single = AdaBoost::new(AdaBoostConfig {
+            n_estimators: 1,
+            ..Default::default()
+        });
         single.fit(&data);
         let acc1 = crate::metrics::accuracy(&data.y, &single.predict(&data));
 
-        let mut many = AdaBoost::new(AdaBoostConfig { n_estimators: 50, ..Default::default() });
+        let mut many = AdaBoost::new(AdaBoostConfig {
+            n_estimators: 50,
+            ..Default::default()
+        });
         many.fit(&data);
         let acc50 = crate::metrics::accuracy(&data.y, &many.predict(&data));
         assert!(acc50 > acc1, "boosting improves: {acc1} → {acc50}");
@@ -209,7 +219,11 @@ mod tests {
     #[test]
     fn deeper_weak_learners_work_too() {
         let data = blob_data(30, 22);
-        let mut ada = AdaBoost::new(AdaBoostConfig { max_depth: 3, n_estimators: 10, ..Default::default() });
+        let mut ada = AdaBoost::new(AdaBoostConfig {
+            max_depth: 3,
+            n_estimators: 10,
+            ..Default::default()
+        });
         ada.fit(&data);
         let acc = crate::metrics::accuracy(&data.y, &ada.predict(&data));
         assert!(acc > 0.95, "{acc}");

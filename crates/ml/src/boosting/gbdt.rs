@@ -149,8 +149,7 @@ impl GradientBoosting {
                     }
                 };
                 for i in 0..n {
-                    scores[i * k + c] +=
-                        self.config.learning_rate * tree.predict_row(data.row(i));
+                    scores[i * k + c] += self.config.learning_rate * tree.predict_row(data.row(i));
                 }
                 round_trees.push(tree);
             }
@@ -192,7 +191,9 @@ impl GradientBoosting {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Number of completed boosting rounds.
@@ -269,7 +270,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let mut rows = Vec::new();
         let mut y = Vec::new();
-        for (cx, cy, label) in [(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
+        for (cx, cy, label) in [
+            (0.0, 0.0, 0usize),
+            (1.0, 1.0, 0),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+        ] {
             for _ in 0..15 {
                 // Random jitter breaks the symmetry that would zero out
                 // every first-split gain on exact XOR.
@@ -282,7 +288,10 @@ mod tests {
         }
         let n = rows.len();
         let data = Dataset::from_rows(&rows, y, 2, vec![0; n], vec![]);
-        let mut gbdt = GradientBoosting::new(GbdtConfig { n_rounds: 15, ..Default::default() });
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 15,
+            ..Default::default()
+        });
         gbdt.fit(&data);
         let acc = crate::metrics::accuracy(&data.y, &gbdt.predict(&data));
         assert!(acc > 0.95, "training accuracy {acc}");
@@ -291,7 +300,10 @@ mod tests {
     #[test]
     fn probabilities_are_a_distribution() {
         let data = blob_data(20, 12);
-        let mut gbdt = GradientBoosting::new(GbdtConfig { n_rounds: 5, ..Default::default() });
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 5,
+            ..Default::default()
+        });
         gbdt.fit(&data);
         let p = gbdt.predict_proba_row(data.row(0));
         assert_eq!(p.len(), 3);
@@ -341,7 +353,10 @@ mod tests {
         let mut y = vec![0usize; 18];
         y.extend([1, 1]);
         let data = Dataset::from_rows(&rows, y, 2, vec![0; 20], vec![]);
-        let mut gbdt = GradientBoosting::new(GbdtConfig { n_rounds: 0, ..Default::default() });
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 0,
+            ..Default::default()
+        });
         gbdt.fit(&data);
         assert_eq!(gbdt.predict_row(&[3.0]), 0);
     }
@@ -362,7 +377,10 @@ mod tests {
             .collect();
         let y: Vec<usize> = (0..80).map(|i| i % 2).collect();
         let data = Dataset::from_rows(&rows, y, 2, vec![0; 80], vec![]);
-        let mut gbdt = GradientBoosting::new(GbdtConfig { n_rounds: 5, ..Default::default() });
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 5,
+            ..Default::default()
+        });
         gbdt.fit(&data);
         let imp = gbdt.feature_importances();
         assert_eq!(imp.len(), 2);

@@ -6,5 +6,5 @@ pub mod gbdt;
 pub mod regression_tree;
 
 pub use adaboost::{AdaBoost, AdaBoostConfig};
-pub use gbdt::{GradientBoosting, GbdtConfig};
+pub use gbdt::{GbdtConfig, GradientBoosting};
 pub use regression_tree::RegressionTree;

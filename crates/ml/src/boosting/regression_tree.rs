@@ -71,11 +71,20 @@ impl RegressionTree {
         tree
     }
 
-    fn build(&mut self, data: &Dataset, indices: &mut [usize], g: &[f64], h: &[f64], depth: usize) -> usize {
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        g: &[f64],
+        h: &[f64],
+        depth: usize,
+    ) -> usize {
         let (gsum, hsum) = sums(indices, g, h);
 
         if depth < self.config.max_depth && indices.len() >= 2 {
-            if let Some((feature, threshold, n_left, gain)) = self.best_split(data, indices, g, h, gsum, hsum) {
+            if let Some((feature, threshold, n_left, gain)) =
+                self.best_split(data, indices, g, h, gsum, hsum)
+            {
                 self.importances[feature] += gain;
                 let mut lt = 0usize;
                 for i in 0..indices.len() {
@@ -95,7 +104,10 @@ impl RegressionTree {
                 let (left_ix, right_ix) = indices.split_at_mut(lt);
                 let left = self.build(data, left_ix, g, h, depth + 1);
                 let right = self.build(data, right_ix, g, h, depth + 1);
-                if let RNode::Internal { left: l, right: r, .. } = &mut self.nodes[node_id] {
+                if let RNode::Internal {
+                    left: l, right: r, ..
+                } = &mut self.nodes[node_id]
+                {
                     *l = left;
                     *r = right;
                 }
@@ -126,7 +138,11 @@ impl RegressionTree {
         let mut triples: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..data.n_features() {
             triples.clear();
-            triples.extend(indices.iter().map(|&i| (data.value(i, feature), g[i], h[i])));
+            triples.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.value(i, feature), g[i], h[i])),
+            );
             triples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
 
             let mut gl = 0.0;
@@ -142,8 +158,7 @@ impl RegressionTree {
                 if hl < self.config.min_child_weight || hr < self.config.min_child_weight {
                     continue;
                 }
-                let gain = 0.5
-                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
                 if gain > best_gain {
                     best_gain = gain;
                     let mut threshold = 0.5 * (v_prev + v_here);
@@ -169,7 +184,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -212,7 +231,10 @@ mod tests {
     #[test]
     fn fits_a_step_function() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| if x < 10.0 { -1.0 } else { 1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 10.0 { -1.0 } else { 1.0 })
+            .collect();
         let tree = squared_error_fit(
             &xs,
             &ys,
@@ -230,8 +252,24 @@ mod tests {
     fn lambda_shrinks_leaf_weights() {
         let xs = [0.0, 1.0];
         let ys = [2.0, 2.0];
-        let free = squared_error_fit(&xs, &ys, RegressionTreeConfig { lambda: 0.0, min_child_weight: 0.0, ..Default::default() });
-        let ridge = squared_error_fit(&xs, &ys, RegressionTreeConfig { lambda: 2.0, min_child_weight: 0.0, ..Default::default() });
+        let free = squared_error_fit(
+            &xs,
+            &ys,
+            RegressionTreeConfig {
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        let ridge = squared_error_fit(
+            &xs,
+            &ys,
+            RegressionTreeConfig {
+                lambda: 2.0,
+                min_child_weight: 0.0,
+                ..Default::default()
+            },
+        );
         assert!((free.predict_row(&[0.0]) - 2.0).abs() < 1e-9);
         // Constant target → single leaf: weight = Σy/(n+λ) = 4/(2+2) = 1.
         assert!((ridge.predict_row(&[0.0]) - 1.0).abs() < 1e-9);
@@ -241,9 +279,30 @@ mod tests {
     fn gamma_prunes_weak_splits() {
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
         // Tiny signal — splitting gains little.
-        let ys: Vec<f64> = xs.iter().map(|&x| if x < 5.0 { 0.0 } else { 0.01 }).collect();
-        let eager = squared_error_fit(&xs, &ys, RegressionTreeConfig { lambda: 0.0, gamma: 0.0, min_child_weight: 0.0, ..Default::default() });
-        let pruned = squared_error_fit(&xs, &ys, RegressionTreeConfig { lambda: 0.0, gamma: 10.0, min_child_weight: 0.0, ..Default::default() });
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 5.0 { 0.0 } else { 0.01 })
+            .collect();
+        let eager = squared_error_fit(
+            &xs,
+            &ys,
+            RegressionTreeConfig {
+                lambda: 0.0,
+                gamma: 0.0,
+                min_child_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        let pruned = squared_error_fit(
+            &xs,
+            &ys,
+            RegressionTreeConfig {
+                lambda: 0.0,
+                gamma: 10.0,
+                min_child_weight: 0.0,
+                ..Default::default()
+            },
+        );
         assert!(eager.n_nodes() > 1);
         assert_eq!(pruned.n_nodes(), 1, "gain below gamma → single leaf");
     }
@@ -252,7 +311,16 @@ mod tests {
     fn max_depth_zero_gives_single_leaf() {
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.to_vec();
-        let tree = squared_error_fit(&xs, &ys, RegressionTreeConfig { max_depth: 0, lambda: 0.0, min_child_weight: 0.0, ..Default::default() });
+        let tree = squared_error_fit(
+            &xs,
+            &ys,
+            RegressionTreeConfig {
+                max_depth: 0,
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(tree.n_nodes(), 1);
         // Leaf = mean of targets = 4.5.
         assert!((tree.predict_row(&[0.0]) - 4.5).abs() < 1e-9);
@@ -267,7 +335,12 @@ mod tests {
         let tree = squared_error_fit(
             &xs,
             &ys,
-            RegressionTreeConfig { lambda: 0.0, min_child_weight: 2.0, max_depth: 1, ..Default::default() },
+            RegressionTreeConfig {
+                lambda: 0.0,
+                min_child_weight: 2.0,
+                max_depth: 1,
+                ..Default::default()
+            },
         );
         if tree.n_nodes() > 1 {
             // The only legal split is between x=1 and x=2.

@@ -26,7 +26,9 @@ pub trait Classifier: Send {
 
     /// Predicted classes of a dataset.
     fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 }
 
@@ -203,7 +205,10 @@ mod tests {
     #[test]
     fn every_kind_builds_fits_and_predicts() {
         let data = blob_data(25, 51);
-        for kind in ClassifierKind::PAPER_SIX.into_iter().chain([ClassifierKind::Knn]) {
+        for kind in ClassifierKind::PAPER_SIX
+            .into_iter()
+            .chain([ClassifierKind::Knn])
+        {
             let mut model = kind.build(7);
             model.fit(&data);
             let pred = model.predict(&data);

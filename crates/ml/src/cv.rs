@@ -86,8 +86,7 @@ impl Splitter for StratifiedKFold {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut fold_of = vec![0usize; data.len()];
         for class in 0..data.n_classes {
-            let mut members: Vec<usize> =
-                (0..data.len()).filter(|&i| data.y[i] == class).collect();
+            let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.y[i] == class).collect();
             members.shuffle(&mut rng);
             for (pos, &i) in members.iter().enumerate() {
                 fold_of[i] = pos % self.n_splits;
@@ -217,9 +216,7 @@ impl Splitter for RepeatedKFold {
     fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
         assert!(self.n_repeats >= 1, "need at least one repeat");
         (0..self.n_repeats)
-            .flat_map(|r| {
-                KFold::new(self.n_splits, self.seed.wrapping_add(r as u64)).split(data)
-            })
+            .flat_map(|r| KFold::new(self.n_splits, self.seed.wrapping_add(r as u64)).split(data))
             .collect()
     }
 }
@@ -229,11 +226,7 @@ impl Splitter for RepeatedKFold {
 ///
 /// # Panics
 /// Panics unless `test_fraction ∈ (0, 1)` produces non-empty sides.
-pub fn train_test_split(
-    data: &Dataset,
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!(
         test_fraction > 0.0 && test_fraction < 1.0,
         "test fraction must be in (0, 1)"
@@ -412,7 +405,10 @@ mod tests {
     fn kfold_is_deterministic_per_seed() {
         let data = grouped_data(4, 5, 2);
         assert_eq!(KFold::new(4, 9).split(&data), KFold::new(4, 9).split(&data));
-        assert_ne!(KFold::new(4, 9).split(&data), KFold::new(4, 10).split(&data));
+        assert_ne!(
+            KFold::new(4, 9).split(&data),
+            KFold::new(4, 10).split(&data)
+        );
     }
 
     #[test]
@@ -438,7 +434,11 @@ mod tests {
     #[test]
     fn stratified_kfold_preserves_class_balance() {
         let data = grouped_data(10, 10, 5); // 50/50 classes
-        let folds = StratifiedKFold { n_splits: 5, seed: 1 }.split(&data);
+        let folds = StratifiedKFold {
+            n_splits: 5,
+            seed: 1,
+        }
+        .split(&data);
         assert_is_partition(&folds, data.len());
         for (_, test) in &folds {
             let ones = test.iter().filter(|&&i| data.y[i] == 1).count();
@@ -507,7 +507,9 @@ mod tests {
             assert!((0.1..0.4).contains(&frac), "test fraction {frac}");
             let test_groups: std::collections::HashSet<u32> =
                 test.iter().map(|&i| data.groups[i]).collect();
-            assert!(train.iter().all(|&i| !test_groups.contains(&data.groups[i])));
+            assert!(train
+                .iter()
+                .all(|&i| !test_groups.contains(&data.groups[i])));
         }
     }
 

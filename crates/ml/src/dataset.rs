@@ -181,7 +181,9 @@ impl Dataset {
         let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
         let header = lines.next().ok_or("empty CSV")?;
         let columns: Vec<&str> = header.split(',').collect();
-        if columns.len() < 2 || columns[columns.len() - 2] != "label" || columns[columns.len() - 1] != "group"
+        if columns.len() < 2
+            || columns[columns.len() - 2] != "label"
+            || columns[columns.len() - 1] != "group"
         {
             return Err("header must end with `label,group`".to_owned());
         }
@@ -221,7 +223,13 @@ impl Dataset {
             rows.push(row);
         }
         let n_classes = y.iter().max().map_or(0, |&m| m + 1);
-        Ok(Dataset::from_rows(&rows, y, n_classes.max(1), groups, feature_names))
+        Ok(Dataset::from_rows(
+            &rows,
+            y,
+            n_classes.max(1),
+            groups,
+            feature_names,
+        ))
     }
 
     /// Serialises the dataset as CSV: a header of feature names (or
@@ -370,10 +378,22 @@ mod tests {
     #[test]
     fn csv_parse_rejects_malformed_input() {
         assert!(Dataset::from_csv("").is_err());
-        assert!(Dataset::from_csv("a,b\n1,2\n").is_err(), "no label/group columns");
-        assert!(Dataset::from_csv("a,label,group\n1,0\n").is_err(), "short row");
-        assert!(Dataset::from_csv("a,label,group\nx,0,0\n").is_err(), "bad float");
-        assert!(Dataset::from_csv("a,label,group\n1,zero,0\n").is_err(), "bad label");
+        assert!(
+            Dataset::from_csv("a,b\n1,2\n").is_err(),
+            "no label/group columns"
+        );
+        assert!(
+            Dataset::from_csv("a,label,group\n1,0\n").is_err(),
+            "short row"
+        );
+        assert!(
+            Dataset::from_csv("a,label,group\nx,0,0\n").is_err(),
+            "bad float"
+        );
+        assert!(
+            Dataset::from_csv("a,label,group\n1,zero,0\n").is_err(),
+            "bad label"
+        );
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! A serialisable, type-erased fitted model.
+//!
+//! [`Classifier`] trait objects cannot be serialised (serde needs a
+//! concrete type on both ends), so persistence and serving go through
+//! [`ErasedModel`]: a closed enum over the workspace's classifier roster
+//! whose JSON form is self-describing (`{"RandomForest": {...}}`). The
+//! CLI's model files, the serving artifacts and the registry all store
+//! this type; callers that want dynamic dispatch use its [`Classifier`]
+//! impl.
+
+use crate::boosting::{AdaBoost, GradientBoosting};
+use crate::classifier::{Classifier, ClassifierKind};
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use crate::knn::Knn;
+use crate::linear::LinearSvm;
+use crate::neural::Mlp;
+use crate::tree::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+/// A fitted (or fittable) model of any supported kind.
+///
+/// The variant name doubles as the JSON tag, so a model file records what
+/// it contains and deserialisation dispatches on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ErasedModel {
+    /// Random forest.
+    RandomForest(RandomForest),
+    /// Gradient-boosted trees (the paper's "XGBoost").
+    XgBoost(GradientBoosting),
+    /// Single CART decision tree.
+    DecisionTree(DecisionTree),
+    /// AdaBoost·SAMME over decision stumps.
+    AdaBoost(AdaBoost),
+    /// Linear SVM (Pegasos, one-vs-rest).
+    Svm(LinearSvm),
+    /// Multilayer perceptron.
+    Mlp(Mlp),
+    /// k-nearest-neighbours.
+    Knn(Knn),
+}
+
+impl ErasedModel {
+    /// Builds an unfitted model of `kind` with reproduction-default
+    /// hyper-parameters (the same ones [`ClassifierKind::build`] uses).
+    pub fn new(kind: ClassifierKind, seed: u64) -> ErasedModel {
+        use crate::boosting::{AdaBoostConfig, GbdtConfig};
+        use crate::forest::ForestConfig;
+        use crate::knn::KnnConfig;
+        use crate::linear::SvmConfig;
+        use crate::neural::MlpConfig;
+        use crate::tree::TreeConfig;
+        match kind {
+            ClassifierKind::RandomForest => {
+                ErasedModel::RandomForest(RandomForest::new(ForestConfig {
+                    n_estimators: 50,
+                    seed,
+                    ..ForestConfig::default()
+                }))
+            }
+            ClassifierKind::XgBoost => ErasedModel::XgBoost(GradientBoosting::new(GbdtConfig {
+                n_rounds: 20,
+                max_depth: 4,
+                seed,
+                ..GbdtConfig::default()
+            })),
+            ClassifierKind::DecisionTree => {
+                ErasedModel::DecisionTree(DecisionTree::new(TreeConfig {
+                    seed,
+                    ..TreeConfig::default()
+                }))
+            }
+            ClassifierKind::AdaBoost => {
+                ErasedModel::AdaBoost(AdaBoost::new(AdaBoostConfig::default()))
+            }
+            ClassifierKind::Svm => ErasedModel::Svm(LinearSvm::new(SvmConfig {
+                seed,
+                ..SvmConfig::default()
+            })),
+            ClassifierKind::NeuralNetwork => ErasedModel::Mlp(Mlp::new(MlpConfig {
+                seed,
+                ..MlpConfig::default()
+            })),
+            ClassifierKind::Knn => ErasedModel::Knn(Knn::new(KnnConfig::default())),
+        }
+    }
+
+    /// Parses the CLI's short model names (`rf`, `xgb`, …).
+    pub fn from_cli_name(name: &str, seed: u64) -> Result<ErasedModel, String> {
+        let kind = match name {
+            "rf" => ClassifierKind::RandomForest,
+            "xgb" => ClassifierKind::XgBoost,
+            "tree" => ClassifierKind::DecisionTree,
+            "ada" => ClassifierKind::AdaBoost,
+            "svm" => ClassifierKind::Svm,
+            "mlp" => ClassifierKind::NeuralNetwork,
+            "knn" => ClassifierKind::Knn,
+            other => {
+                return Err(format!(
+                    "unknown model {other:?}; use rf|xgb|tree|ada|svm|mlp|knn"
+                ))
+            }
+        };
+        Ok(ErasedModel::new(kind, seed))
+    }
+
+    /// The roster entry this model is an instance of.
+    pub fn kind(&self) -> ClassifierKind {
+        match self {
+            ErasedModel::RandomForest(_) => ClassifierKind::RandomForest,
+            ErasedModel::XgBoost(_) => ClassifierKind::XgBoost,
+            ErasedModel::DecisionTree(_) => ClassifierKind::DecisionTree,
+            ErasedModel::AdaBoost(_) => ClassifierKind::AdaBoost,
+            ErasedModel::Svm(_) => ClassifierKind::Svm,
+            ErasedModel::Mlp(_) => ClassifierKind::NeuralNetwork,
+            ErasedModel::Knn(_) => ClassifierKind::Knn,
+        }
+    }
+
+    /// Per-class scores of one row, normalised to sum to 1.
+    ///
+    /// Probabilistic models return their probabilities; margin models
+    /// (SVM) go through a softmax; vote-based models (AdaBoost, kNN)
+    /// return vote fractions. The class [`Classifier::predict_row`]
+    /// returns always attains the maximum score (ties may resolve to a
+    /// different index than a naive arg-max).
+    pub fn predict_scores_row(&self, row: &[f64]) -> Vec<f64> {
+        match self {
+            ErasedModel::RandomForest(m) => m.predict_proba_row(row),
+            ErasedModel::XgBoost(m) => m.predict_proba_row(row),
+            ErasedModel::DecisionTree(m) => m.predict_proba_row(row),
+            ErasedModel::Mlp(m) => m.predict_proba_row(row),
+            ErasedModel::AdaBoost(m) => normalize_votes(m.decision_row(row)),
+            ErasedModel::Svm(m) => softmax(m.decision_row(row)),
+            ErasedModel::Knn(m) => m.vote_fractions_row(row),
+        }
+    }
+}
+
+impl Classifier for ErasedModel {
+    fn fit(&mut self, data: &Dataset) {
+        match self {
+            ErasedModel::RandomForest(m) => Classifier::fit(m, data),
+            ErasedModel::XgBoost(m) => Classifier::fit(m, data),
+            ErasedModel::DecisionTree(m) => Classifier::fit(m, data),
+            ErasedModel::AdaBoost(m) => Classifier::fit(m, data),
+            ErasedModel::Svm(m) => Classifier::fit(m, data),
+            ErasedModel::Mlp(m) => Classifier::fit(m, data),
+            ErasedModel::Knn(m) => Classifier::fit(m, data),
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> usize {
+        match self {
+            ErasedModel::RandomForest(m) => Classifier::predict_row(m, row),
+            ErasedModel::XgBoost(m) => Classifier::predict_row(m, row),
+            ErasedModel::DecisionTree(m) => Classifier::predict_row(m, row),
+            ErasedModel::AdaBoost(m) => Classifier::predict_row(m, row),
+            ErasedModel::Svm(m) => Classifier::predict_row(m, row),
+            ErasedModel::Mlp(m) => Classifier::predict_row(m, row),
+            ErasedModel::Knn(m) => Classifier::predict_row(m, row),
+        }
+    }
+
+    fn predict(&self, data: &Dataset) -> Vec<usize> {
+        match self {
+            ErasedModel::RandomForest(m) => Classifier::predict(m, data),
+            ErasedModel::XgBoost(m) => Classifier::predict(m, data),
+            ErasedModel::DecisionTree(m) => Classifier::predict(m, data),
+            ErasedModel::AdaBoost(m) => Classifier::predict(m, data),
+            ErasedModel::Svm(m) => Classifier::predict(m, data),
+            ErasedModel::Mlp(m) => Classifier::predict(m, data),
+            ErasedModel::Knn(m) => Classifier::predict(m, data),
+        }
+    }
+}
+
+/// Non-negative vote totals → fractions; all-zero → uniform.
+fn normalize_votes(votes: Vec<f64>) -> Vec<f64> {
+    let total: f64 = votes.iter().sum();
+    if total > 0.0 {
+        votes.into_iter().map(|v| v / total).collect()
+    } else {
+        let n = votes.len().max(1);
+        vec![1.0 / n as f64; n]
+    }
+}
+
+/// Numerically stable softmax of decision values.
+fn softmax(decisions: Vec<f64>) -> Vec<f64> {
+    let max = decisions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = decisions.iter().map(|&d| (d - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for class in 0..3usize {
+            let center = class as f64 * 4.0;
+            for _ in 0..n_per_class {
+                rows.push(vec![
+                    center + rng.gen_range(-1.0..1.0),
+                    center + rng.gen_range(-1.0..1.0),
+                ]);
+                y.push(class);
+            }
+        }
+        let n = rows.len();
+        Dataset::from_rows(&rows, y, 3, vec![0; n], vec![])
+    }
+
+    const ALL_KINDS: [ClassifierKind; 7] = [
+        ClassifierKind::RandomForest,
+        ClassifierKind::XgBoost,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Svm,
+        ClassifierKind::NeuralNetwork,
+        ClassifierKind::Knn,
+    ];
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        let data = blob_data(20, 9);
+        for kind in ALL_KINDS {
+            let mut model = ErasedModel::new(kind, 3);
+            model.fit(&data);
+            let json = serde_json::to_string(&model).expect("serialise");
+            let restored: ErasedModel = serde_json::from_str(&json).expect("deserialise");
+            assert_eq!(restored.kind(), kind);
+            assert_eq!(model.predict(&data), restored.predict(&data), "{kind}");
+        }
+    }
+
+    #[test]
+    fn scores_are_distributions_and_argmax_matches_predict() {
+        let data = blob_data(20, 11);
+        for kind in ALL_KINDS {
+            let mut model = ErasedModel::new(kind, 3);
+            model.fit(&data);
+            for i in 0..data.len() {
+                let scores = model.predict_scores_row(data.row(i));
+                assert_eq!(scores.len(), data.n_classes, "{kind}");
+                let sum: f64 = scores.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{kind} scores sum to {sum}");
+                assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)), "{kind}");
+                let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let pred = model.predict_row(data.row(i));
+                assert!(
+                    scores[pred] >= max - 1e-12,
+                    "{kind} row {i}: predicted class {pred} scores {} < max {max}",
+                    scores[pred]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cli_names_map_to_kinds() {
+        for (name, kind) in [
+            ("rf", ClassifierKind::RandomForest),
+            ("xgb", ClassifierKind::XgBoost),
+            ("tree", ClassifierKind::DecisionTree),
+            ("ada", ClassifierKind::AdaBoost),
+            ("svm", ClassifierKind::Svm),
+            ("mlp", ClassifierKind::NeuralNetwork),
+            ("knn", ClassifierKind::Knn),
+        ] {
+            assert_eq!(ErasedModel::from_cli_name(name, 0).unwrap().kind(), kind);
+        }
+        assert!(ErasedModel::from_cli_name("bogus", 0).is_err());
+    }
+}

@@ -11,10 +11,10 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{Criterion, DecisionTree, TreeConfig};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Hyper-parameters of a [`RandomForest`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,7 +103,9 @@ impl RandomForest {
         // Derive per-tree seeds up front so results are independent of
         // thread scheduling.
         let mut master = StdRng::seed_from_u64(self.config.seed);
-        let tree_seeds: Vec<u64> = (0..self.config.n_estimators).map(|_| master.gen()).collect();
+        let tree_seeds: Vec<u64> = (0..self.config.n_estimators)
+            .map(|_| master.gen())
+            .collect();
 
         let weights = vec![1.0; n];
         let results: Mutex<Vec<(usize, DecisionTree, Vec<usize>)>> =
@@ -115,7 +117,7 @@ impl RandomForest {
             .min(self.config.n_estimators.max(1));
         let chunk = self.config.n_estimators.div_ceil(n_threads);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..n_threads {
                 let lo = worker * chunk;
                 let hi = ((worker + 1) * chunk).min(self.config.n_estimators);
@@ -126,7 +128,7 @@ impl RandomForest {
                 let results = &results;
                 let weights = &weights;
                 let config = self.config;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, &seed) in seeds.iter().enumerate() {
                         let t = lo + offset;
                         let mut rng = StdRng::seed_from_u64(seed);
@@ -144,14 +146,16 @@ impl RandomForest {
                             seed: seed ^ 0x9e37_79b9_7f4a_7c15,
                         });
                         tree.fit_weighted_on(data, &indices, weights);
-                        results.lock().push((t, tree, indices));
+                        results
+                            .lock()
+                            .expect("forest results lock")
+                            .push((t, tree, indices));
                     }
                 });
             }
-        })
-        .expect("forest worker panicked");
+        });
 
-        let mut results = results.into_inner();
+        let mut results = results.into_inner().expect("forest worker panicked");
         results.sort_by_key(|(t, _, _)| *t);
 
         // Out-of-bag score: majority vote among trees whose bootstrap
@@ -224,7 +228,9 @@ impl RandomForest {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Mean impurity-decrease feature importances over trees, normalised
@@ -346,7 +352,10 @@ mod tests {
         assert_eq!(imp.len(), 3);
         let sum: f64 = imp.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        assert!(imp[0] > imp[2] && imp[1] > imp[2], "noise ranked last: {imp:?}");
+        assert!(
+            imp[0] > imp[2] && imp[1] > imp[2],
+            "noise ranked last: {imp:?}"
+        );
     }
 
     #[test]

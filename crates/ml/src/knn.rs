@@ -54,7 +54,9 @@ impl Knn {
         let mut dists: Vec<(f64, usize)> = (0..train.len())
             .map(|i| (squared_distance(train.row(i), row), train.y[i]))
             .collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
         let neighbours = &mut dists[..k];
         neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
 
@@ -71,9 +73,32 @@ impl Knn {
             .expect("k >= 1")
     }
 
+    /// Per-class vote fractions of the `k` nearest neighbours.
+    ///
+    /// # Panics
+    /// Panics on an unfitted classifier.
+    pub fn vote_fractions_row(&self, row: &[f64]) -> Vec<f64> {
+        let train = self.train.as_ref().expect("predict on an unfitted kNN");
+        let k = self.config.k.min(train.len());
+        let mut dists: Vec<(f64, usize)> = (0..train.len())
+            .map(|i| (squared_distance(train.row(i), row), train.y[i]))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let mut votes = vec![0.0; train.n_classes];
+        for &(_, c) in &dists[..k] {
+            votes[c] += 1.0;
+        }
+        votes.iter_mut().for_each(|v| *v /= k as f64);
+        votes
+    }
+
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 }
 

@@ -18,6 +18,8 @@
 //!   method, one-vs-rest for multi-class.
 //! * [`neural`] — a multilayer perceptron (ReLU, softmax, momentum SGD).
 //! * [`knn`] — k-nearest-neighbours, an extra baseline.
+//! * [`erased`] — a serialisable type-erased model enum over the whole
+//!   roster, the unit of model persistence and serving.
 //! * [`metrics`] — accuracy, precision/recall/F1 (per-class, macro,
 //!   weighted), confusion matrices.
 //! * [`cv`] — random K-fold, stratified K-fold, user-oriented group
@@ -38,6 +40,7 @@ pub mod boosting;
 pub mod classifier;
 pub mod cv;
 pub mod dataset;
+pub mod erased;
 pub mod forest;
 pub mod knn;
 pub mod linear;
@@ -50,6 +53,7 @@ pub mod tuning;
 pub use classifier::{Classifier, ClassifierKind};
 pub use cv::{cross_validate, FoldScore, GroupKFold, GroupShuffleSplit, KFold, Splitter};
 pub use dataset::Dataset;
+pub use erased::ErasedModel;
 pub use forest::RandomForest;
 pub use metrics::{accuracy, confusion_matrix, f1_macro, f1_weighted, ClassificationReport};
 pub use stats_tests::{wilcoxon_one_sample, wilcoxon_signed_rank, Alternative, WilcoxonResult};

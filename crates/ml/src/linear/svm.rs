@@ -91,6 +91,16 @@ impl LinearSvm {
                         }
                         *b += eta * y;
                     }
+                    // Optional Pegasos projection onto the ball
+                    // ‖w‖ ≤ 1/√λ (Shalev-Shwartz et al., 2011, fig. 1);
+                    // bounds the iterates against the large early steps
+                    // of the 1/(λt) schedule.
+                    let norm = dot(w, w).sqrt();
+                    let radius = 1.0 / lambda.sqrt();
+                    if norm > radius {
+                        let scale = radius / norm;
+                        w.iter_mut().for_each(|wj| *wj *= scale);
+                    }
                 }
             }
         }
@@ -117,7 +127,9 @@ impl LinearSvm {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 }
 
@@ -161,11 +173,18 @@ mod tests {
     #[test]
     fn binary_margin_signs_are_correct() {
         let rows = vec![
-            vec![-2.0], vec![-1.5], vec![-1.0],
-            vec![1.0], vec![1.5], vec![2.0],
+            vec![-2.0],
+            vec![-1.5],
+            vec![-1.0],
+            vec![1.0],
+            vec![1.5],
+            vec![2.0],
         ];
         let data = Dataset::from_rows(&rows, vec![0, 0, 0, 1, 1, 1], 2, vec![0; 6], vec![]);
-        let mut svm = LinearSvm::new(SvmConfig { epochs: 100, ..Default::default() });
+        let mut svm = LinearSvm::new(SvmConfig {
+            epochs: 100,
+            ..Default::default()
+        });
         svm.fit(&data);
         assert_eq!(svm.predict_row(&[-3.0]), 0);
         assert_eq!(svm.predict_row(&[3.0]), 1);
@@ -178,7 +197,12 @@ mod tests {
         // The paper's SVM is worst; linearly inseparable structure is why.
         let mut rows = Vec::new();
         let mut y = Vec::new();
-        for (cx, cy, label) in [(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
+        for (cx, cy, label) in [
+            (0.0, 0.0, 0usize),
+            (1.0, 1.0, 0),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+        ] {
             for k in 0..10 {
                 rows.push(vec![cx + k as f64 * 0.001, cy]);
                 y.push(label);
@@ -196,7 +220,10 @@ mod tests {
     fn deterministic_per_seed() {
         let data = separable_blobs(20, 32);
         let fit = |seed| {
-            let mut svm = LinearSvm::new(SvmConfig { seed, ..Default::default() });
+            let mut svm = LinearSvm::new(SvmConfig {
+                seed,
+                ..Default::default()
+            });
             svm.fit(&data);
             svm.decision_row(data.row(0))
         };
@@ -207,7 +234,11 @@ mod tests {
     fn stronger_regularisation_shrinks_weights() {
         let data = separable_blobs(20, 33);
         let norm_at = |lambda| {
-            let mut svm = LinearSvm::new(SvmConfig { lambda, epochs: 20, seed: 1 });
+            let mut svm = LinearSvm::new(SvmConfig {
+                lambda,
+                epochs: 20,
+                seed: 1,
+            });
             svm.fit(&data);
             svm.weights
                 .iter()

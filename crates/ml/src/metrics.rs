@@ -12,20 +12,24 @@ use serde::{Deserialize, Serialize};
 /// # Panics
 /// Panics when the slices disagree in length or are empty.
 pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
-    assert_eq!(y_true.len(), y_pred.len(), "prediction/label length mismatch");
+    assert_eq!(
+        y_true.len(),
+        y_pred.len(),
+        "prediction/label length mismatch"
+    );
     assert!(!y_true.is_empty(), "accuracy of zero samples is undefined");
-    let correct = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
     correct as f64 / y_true.len() as f64
 }
 
 /// Confusion matrix `m[t][p]` = number of samples with truth `t` predicted
 /// as `p`.
 pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
-    assert_eq!(y_true.len(), y_pred.len(), "prediction/label length mismatch");
+    assert_eq!(
+        y_true.len(),
+        y_pred.len(),
+        "prediction/label length mismatch"
+    );
     let mut m = vec![vec![0usize; n_classes]; n_classes];
     for (&t, &p) in y_true.iter().zip(y_pred) {
         m[t][p] += 1;
@@ -58,8 +62,14 @@ impl ClassificationReport {
         let mut support = vec![0usize; n_classes];
         for c in 0..n_classes {
             let tp = m[c][c] as f64;
-            let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
-            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            let fp: f64 = (0..n_classes)
+                .filter(|&t| t != c)
+                .map(|t| m[t][c] as f64)
+                .sum();
+            let fn_: f64 = (0..n_classes)
+                .filter(|&p| p != c)
+                .map(|p| m[c][p] as f64)
+                .sum();
             support[c] = m[c].iter().sum();
             precision[c] = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             recall[c] = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
@@ -154,12 +164,7 @@ pub fn render_confusion_matrix(matrix: &[Vec<usize>], class_names: &[&str]) -> S
     let width = class_names
         .iter()
         .map(|n| n.len())
-        .chain(
-            matrix
-                .iter()
-                .flatten()
-                .map(|v| v.to_string().len()),
-        )
+        .chain(matrix.iter().flatten().map(|v| v.to_string().len()))
         .max()
         .unwrap_or(4)
         .max(4);
@@ -332,8 +337,7 @@ mod tests {
         assert!(lines[0].contains("walk") && lines[0].contains("bus"));
         assert!(lines[1].trim_start().starts_with("walk"));
         // Every line has the same width (fixed columns).
-        let widths: std::collections::HashSet<usize> =
-            lines.iter().map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "{text}");
     }
 

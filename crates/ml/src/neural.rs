@@ -62,7 +62,9 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         // He-uniform: U(−√(6/n_in), √(6/n_in)).
         let limit = (6.0 / n_in as f64).sqrt();
-        let weights = (0..n_in * n_out).map(|_| rng.gen_range(-limit..limit)).collect();
+        let weights = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Layer {
             weights,
             biases: vec![0.0; n_out],
@@ -77,7 +79,8 @@ impl Layer {
         output.clear();
         for o in 0..self.n_out {
             let w = &self.weights[o * self.n_in..(o + 1) * self.n_in];
-            let z: f64 = w.iter().zip(input).map(|(&wj, &xj)| wj * xj).sum::<f64>() + self.biases[o];
+            let z: f64 =
+                w.iter().zip(input).map(|(&wj, &xj)| wj * xj).sum::<f64>() + self.biases[o];
             output.push(z);
         }
     }
@@ -127,8 +130,16 @@ impl Mlp {
         // Per-layer activation buffers (post-ReLU, except the last layer's
         // raw logits) and gradient accumulators.
         let n_layers = self.layers.len();
-        let mut grads_w: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
-        let mut grads_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut grads_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grads_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
 
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
@@ -244,7 +255,9 @@ impl Mlp {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 }
 
@@ -280,7 +293,10 @@ mod tests {
     #[test]
     fn learns_blobs() {
         let data = blob_data(40, 41);
-        let mut mlp = Mlp::new(MlpConfig { epochs: 80, ..Default::default() });
+        let mut mlp = Mlp::new(MlpConfig {
+            epochs: 80,
+            ..Default::default()
+        });
         mlp.fit(&data);
         let acc = crate::metrics::accuracy(&data.y, &mlp.predict(&data));
         assert!(acc > 0.9, "training accuracy {acc}");
@@ -290,7 +306,12 @@ mod tests {
     fn learns_xor_with_hidden_layer() {
         let mut rows = Vec::new();
         let mut y = Vec::new();
-        for (cx, cy, label) in [(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
+        for (cx, cy, label) in [
+            (0.0, 0.0, 0usize),
+            (1.0, 1.0, 0),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+        ] {
             for k in 0..10 {
                 rows.push(vec![cx + k as f64 * 0.01, cy + k as f64 * 0.01]);
                 y.push(label);
@@ -313,7 +334,10 @@ mod tests {
     #[test]
     fn probabilities_are_a_distribution() {
         let data = blob_data(10, 42);
-        let mut mlp = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
+        let mut mlp = Mlp::new(MlpConfig {
+            epochs: 5,
+            ..Default::default()
+        });
         mlp.fit(&data);
         let p = mlp.predict_proba_row(data.row(0));
         let sum: f64 = p.iter().sum();
@@ -325,7 +349,11 @@ mod tests {
     fn deterministic_per_seed() {
         let data = blob_data(15, 43);
         let fit = |seed| {
-            let mut mlp = Mlp::new(MlpConfig { epochs: 5, seed, ..Default::default() });
+            let mut mlp = Mlp::new(MlpConfig {
+                epochs: 5,
+                seed,
+                ..Default::default()
+            });
             mlp.fit(&data);
             mlp.predict_proba_row(data.row(0))
         };
@@ -356,7 +384,10 @@ mod tests {
         });
         mlp.fit(&data);
         let acc = crate::metrics::accuracy(&data.y, &mlp.predict(&data));
-        assert!(acc > 0.85, "linear blobs solvable by softmax regression: {acc}");
+        assert!(
+            acc > 0.85,
+            "linear blobs solvable by softmax regression: {acc}"
+        );
     }
 
     #[test]

@@ -164,9 +164,7 @@ fn exact_p_value(w_plus: f64, n: usize, alternative: Alternative) -> f64 {
     }
     let total = 2f64.powi(n as i32);
     let w = w_plus.round() as usize;
-    let cdf_le = |w: usize| -> f64 {
-        counts[..=w.min(max_sum)].iter().sum::<f64>() / total
-    };
+    let cdf_le = |w: usize| -> f64 { counts[..=w.min(max_sum)].iter().sum::<f64>() / total };
     let sf_ge = |w: usize| -> f64 {
         if w > max_sum {
             0.0
@@ -342,8 +340,7 @@ pub fn chi_square_sf(x: f64, df: usize) -> f64 {
         _ => {
             let k = df as f64;
             // Wilson–Hilferty: (χ²/k)^(1/3) ≈ N(1 − 2/(9k), 2/(9k)).
-            let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
-                / (2.0 / (9.0 * k)).sqrt();
+            let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
             (1.0 - normal_cdf(z)).clamp(0.0, 1.0)
         }
     }
@@ -361,7 +358,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -398,8 +396,12 @@ mod tests {
         // W+ = 7 + 1.5 + 9 + 8 + 1.5 = 27, W− = 18, statistic = 18.
         // With tie correction (one pair) and continuity correction:
         // z = (27 − 22.5 − 0.5)/√71.125 → two-sided p ≈ 0.635.
-        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let x = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let y = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided);
         assert_eq!(r.n_effective, 9);
         assert_eq!(r.statistic, 18.0);
@@ -519,7 +521,10 @@ mod tests {
         // Treatment 0 has the highest mean rank (ranks ascend with value).
         assert!(r.mean_ranks[0] > r.mean_ranks[1]);
         assert!(r.mean_ranks[0] > r.mean_ranks[2]);
-        assert!((r.mean_ranks.iter().sum::<f64>() - 6.0).abs() < 1e-9, "ranks sum to k(k+1)/2");
+        assert!(
+            (r.mean_ranks.iter().sum::<f64>() - 6.0).abs() < 1e-9,
+            "ranks sum to k(k+1)/2"
+        );
     }
 
     #[test]

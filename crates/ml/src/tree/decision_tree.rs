@@ -2,8 +2,8 @@
 
 use crate::dataset::Dataset;
 use crate::tree::split::{best_split, Criterion, SplitScratch};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -186,10 +186,24 @@ impl DecisionTree {
                 });
                 let (left_ix, right_ix) = indices.split_at_mut(lt);
                 let left = self.build(
-                    data, left_ix, weights, depth + 1, root_weight, rng, scratch, feature_pool,
+                    data,
+                    left_ix,
+                    weights,
+                    depth + 1,
+                    root_weight,
+                    rng,
+                    scratch,
+                    feature_pool,
                 );
                 let right = self.build(
-                    data, right_ix, weights, depth + 1, root_weight, rng, scratch, feature_pool,
+                    data,
+                    right_ix,
+                    weights,
+                    depth + 1,
+                    root_weight,
+                    rng,
+                    scratch,
+                    feature_pool,
                 );
                 if let Node::Internal {
                     left: l, right: r, ..
@@ -255,7 +269,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -263,7 +281,9 @@ impl DecisionTree {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Per-feature impurity-decrease importances, normalised to sum to 1
@@ -409,9 +429,7 @@ mod tests {
     #[test]
     fn importances_identify_the_informative_feature() {
         // Feature 1 is pure signal, features 0 and 2 are constants.
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![1.0, i as f64, 2.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![1.0, i as f64, 2.0]).collect();
         let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
         let data = Dataset::from_rows(&rows, y, 2, vec![0; 40], vec![]);
         let mut tree = DecisionTree::new(TreeConfig::default());

@@ -20,7 +20,10 @@ impl Criterion {
         }
         match self {
             Criterion::Gini => {
-                let sum_sq: f64 = class_weights.iter().map(|&w| (w / total) * (w / total)).sum();
+                let sum_sq: f64 = class_weights
+                    .iter()
+                    .map(|&w| (w / total) * (w / total))
+                    .sum();
                 1.0 - sum_sq
             }
             Criterion::Entropy => class_weights
@@ -92,9 +95,11 @@ pub(crate) fn best_split(
 
     for &feature in features {
         scratch.triples.clear();
-        scratch
-            .triples
-            .extend(indices.iter().map(|&i| (data.value(i, feature), data.y[i], weights[i])));
+        scratch.triples.extend(
+            indices
+                .iter()
+                .map(|&i| (data.value(i, feature), data.y[i], weights[i])),
+        );
         scratch
             .triples
             .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
@@ -125,8 +130,7 @@ pub(crate) fn best_split(
             }
             let imp_l = criterion.impurity(&scratch.left_weights, left_weight);
             let imp_r = criterion.impurity(&scratch.right_weights, right_weight);
-            let weighted_child =
-                (left_weight * imp_l + right_weight * imp_r) / total_weight;
+            let weighted_child = (left_weight * imp_l + right_weight * imp_r) / total_weight;
             let decrease = node_impurity - weighted_child;
             if decrease <= 1e-12 {
                 continue;

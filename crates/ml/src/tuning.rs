@@ -129,13 +129,7 @@ mod tests {
     #[test]
     fn forest_grid_covers_the_product_and_sorts() {
         let data = blob_data(1);
-        let cells = forest_grid(
-            &data,
-            &[2, 8],
-            &[Some(2), None],
-            &KFold::new(3, 1),
-            0,
-        );
+        let cells = forest_grid(&data, &[2, 8], &[Some(2), None], &KFold::new(3, 1), 0);
         assert_eq!(cells.len(), 4);
         assert!(cells.windows(2).all(|w| w[0].accuracy >= w[1].accuracy));
         for c in &cells {
@@ -162,7 +156,10 @@ mod tests {
     #[test]
     fn grid_search_is_deterministic() {
         let data = blob_data(3);
-        let grid = vec![ForestParams { n_estimators: 3, max_depth: Some(3) }];
+        let grid = vec![ForestParams {
+            n_estimators: 3,
+            max_depth: Some(3),
+        }];
         let build = |p: &ForestParams, s: u64| -> Box<dyn Classifier> {
             Box::new(RandomForest::new(ForestConfig {
                 n_estimators: p.n_estimators,

@@ -126,7 +126,9 @@ pub fn active_learning_curve(
                 pool.sort_by(|&a, &b| {
                     let ea = entropy(&forest.predict_proba_row(train_pool.row(a)));
                     let eb = entropy(&forest.predict_proba_row(train_pool.row(b)));
-                    eb.partial_cmp(&ea).expect("finite entropies").then(a.cmp(&b))
+                    eb.partial_cmp(&ea)
+                        .expect("finite entropies")
+                        .then(a.cmp(&b))
                 });
             }
             QueryStrategy::Margin => {

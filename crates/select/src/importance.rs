@@ -16,11 +16,7 @@ use traj_ml::forest::{ForestConfig, RandomForest};
 
 /// Ranks every feature by random-forest impurity importance, descending.
 /// Returns `(feature_index, importance)` pairs.
-pub fn rf_importance_ranking(
-    data: &Dataset,
-    n_estimators: usize,
-    seed: u64,
-) -> Vec<(usize, f64)> {
+pub fn rf_importance_ranking(data: &Dataset, n_estimators: usize, seed: u64) -> Vec<(usize, f64)> {
     let mut forest = RandomForest::new(ForestConfig {
         n_estimators,
         seed,
@@ -69,10 +65,7 @@ pub fn incremental_curve(
 }
 
 pub(crate) fn feature_name(data: &Dataset, feature: usize) -> String {
-    data.feature_names
-        .get(feature)
-        .cloned()
-        .unwrap_or_default()
+    data.feature_names.get(feature).cloned().unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::importance::feature_name;
 use crate::{SelectionCurve, SelectionStep};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use traj_ml::classifier::Classifier;
 use traj_ml::cv::{cross_validate, mean_accuracy, mean_f1_weighted, Splitter};
 use traj_ml::dataset::Dataset;
@@ -67,7 +67,7 @@ pub fn forward_select(
             .unwrap_or(1)
             .min(remaining.len());
         let chunk = remaining.len().div_ceil(n_threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..n_threads {
                 let lo = worker * chunk;
                 let hi = ((worker + 1) * chunk).min(remaining.len());
@@ -77,7 +77,7 @@ pub fn forward_select(
                 let candidates = &remaining[lo..hi];
                 let selected = &selected;
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut trial: Vec<usize> = Vec::with_capacity(selected.len() + 1);
                     for &candidate in candidates {
                         trial.clear();
@@ -85,7 +85,7 @@ pub fn forward_select(
                         trial.push(candidate);
                         let subset = data.select_features(&trial);
                         let scores = cross_validate(&factory, &subset, splitter, config.seed);
-                        results.lock().push((
+                        results.lock().expect("selection results lock").push((
                             candidate,
                             mean_accuracy(&scores),
                             mean_f1_weighted(&scores),
@@ -93,10 +93,9 @@ pub fn forward_select(
                     }
                 });
             }
-        })
-        .expect("selection worker panicked");
+        });
 
-        let mut results = results.into_inner();
+        let mut results = results.into_inner().expect("selection worker panicked");
         // Deterministic winner: highest accuracy, lowest index on ties.
         results.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -158,7 +157,12 @@ mod tests {
             y,
             2,
             vec![0; n],
-            vec!["xor_a".into(), "xor_b".into(), "weak".into(), "noise".into()],
+            vec![
+                "xor_a".into(),
+                "xor_b".into(),
+                "weak".into(),
+                "noise".into(),
+            ],
         )
     }
 
@@ -182,7 +186,10 @@ mod tests {
         // Wrapper search must discover that xor_a + xor_b together beat
         // any other pair; at least both XOR halves appear in the top 3.
         let top3 = curve.prefix(3);
-        assert!(top3.contains(&0) && top3.contains(&1), "{top2:?} / {top3:?}");
+        assert!(
+            top3.contains(&0) && top3.contains(&1),
+            "{top2:?} / {top3:?}"
+        );
         // Accuracy once the pair is on board beats any single feature
         // (the weak feature alone tops out near 0.66).
         assert!(

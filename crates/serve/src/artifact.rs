@@ -1,0 +1,261 @@
+//! Trained-model artifacts: everything inference needs, in one JSON file.
+//!
+//! A model alone cannot serve predictions — the server must also know
+//! which features the model consumes (step 5's selection), how to scale
+//! them (step 7's Min–Max parameters, captured at training time), and
+//! which label scheme maps class indices back to mode names. An artifact
+//! bundles all four so that `train-artifact` (offline) and the registry
+//! (online) agree by construction.
+
+use crate::featurize::ServeFeatureSet;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use traj_features::normalize::MinMaxScaler;
+use traj_geo::{LabelScheme, Segment};
+use traj_ml::{Classifier, ClassifierKind, Dataset, ErasedModel};
+
+/// Minimum points per servable segment, mirroring the paper's
+/// segmentation floor (segments below it were never seen in training).
+pub const MIN_SEGMENT_POINTS: usize = 10;
+
+/// A self-contained trained model: metadata, feature selection,
+/// normalisation parameters and the fitted classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Monotonically increasing version; the registry keeps the latest
+    /// per name and serves pinned `name@vN` lookups for the rest.
+    pub version: u32,
+    /// Label grouping; maps predicted class indices to mode names.
+    pub scheme: LabelScheme,
+    /// Base feature table the model was trained on.
+    #[serde(default)]
+    pub feature_set: ServeFeatureSet,
+    /// Selected features in model-input order (step 5). A subset of
+    /// `feature_set.full_feature_names()`.
+    pub feature_names: Vec<String>,
+    /// Min–Max parameters fitted on the (selected) training columns
+    /// (step 7).
+    pub scaler: MinMaxScaler,
+    /// The fitted classifier (step 8).
+    pub model: ErasedModel,
+}
+
+/// Training-time options of [`ModelArtifact::train`].
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// Registry name.
+    pub name: String,
+    /// Artifact version.
+    pub version: u32,
+    /// Label scheme to train under.
+    pub scheme: LabelScheme,
+    /// Base feature table.
+    pub feature_set: ServeFeatureSet,
+    /// Classifier to fit.
+    pub kind: ClassifierKind,
+    /// Keep only the top-k features by random-forest importance
+    /// (the paper's step 4/5); `None` keeps the full table.
+    pub top_k: Option<usize>,
+    /// Seed of the importance forest and the classifier.
+    pub seed: u64,
+}
+
+impl TrainSpec {
+    /// A spec with the paper's defaults: Dabiri scheme, 70 features, no
+    /// selection, random forest.
+    pub fn paper_default(name: impl Into<String>) -> TrainSpec {
+        TrainSpec {
+            name: name.into(),
+            version: 1,
+            scheme: LabelScheme::Dabiri,
+            feature_set: ServeFeatureSet::Paper70,
+            kind: ClassifierKind::RandomForest,
+            top_k: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ModelArtifact {
+    /// Trains an artifact from labeled segments: featurise, optionally
+    /// select the top-k features, fit the scaler on the selected columns,
+    /// scale, and fit the classifier.
+    ///
+    /// Unlike `trajlib::Pipeline` (which normalises and then discards the
+    /// scaler — cross-validation refits per run), the fitted scaler is
+    /// retained in the artifact because serving must apply the *training*
+    /// ranges to unseen requests.
+    pub fn train(spec: &TrainSpec, segments: &[Segment]) -> Result<ModelArtifact, String> {
+        let full_names = spec.feature_set.full_feature_names();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut groups = Vec::new();
+        for seg in segments {
+            if seg.len() < MIN_SEGMENT_POINTS {
+                continue;
+            }
+            let Some(class) = spec.scheme.class_of(seg.mode) else {
+                continue;
+            };
+            rows.push(spec.feature_set.featurize(seg));
+            labels.push(class);
+            groups.push(seg.user);
+        }
+        if rows.is_empty() {
+            return Err("no trainable segments (too short or outside the scheme)".to_owned());
+        }
+
+        // Step 4/5: optional importance-ranked selection on the raw table
+        // (Min–Max scaling is monotone per feature, so tree importances
+        // are unaffected by ranking before scaling).
+        let (feature_names, mut rows) = match spec.top_k {
+            None => (full_names, rows),
+            Some(k) => {
+                let k = k.min(full_names.len());
+                if k == 0 {
+                    return Err("--top-k must be at least 1".to_owned());
+                }
+                let full = Dataset::from_rows(
+                    &rows,
+                    labels.clone(),
+                    spec.scheme.n_classes(),
+                    groups.clone(),
+                    full_names.clone(),
+                );
+                let ranked = traj_select::rf_importance_ranking(&full, 50, spec.seed);
+                let indices: Vec<usize> = ranked.iter().take(k).map(|&(i, _)| i).collect();
+                let names = indices.iter().map(|&i| full_names[i].clone()).collect();
+                let projected = rows
+                    .iter()
+                    .map(|r| indices.iter().map(|&i| r[i]).collect())
+                    .collect();
+                (names, projected)
+            }
+        };
+
+        // Step 7: fit Min–Max on the training columns, keep the params.
+        let scaler = MinMaxScaler::fit(&rows);
+        scaler.transform(&mut rows);
+
+        // Step 8.
+        let data = Dataset::from_rows(
+            &rows,
+            labels,
+            spec.scheme.n_classes(),
+            groups,
+            feature_names.clone(),
+        );
+        let mut model = ErasedModel::new(spec.kind, spec.seed);
+        model.fit(&data);
+
+        Ok(ModelArtifact {
+            name: spec.name.clone(),
+            version: spec.version,
+            scheme: spec.scheme,
+            feature_set: spec.feature_set,
+            feature_names,
+            scaler,
+            model,
+        })
+    }
+
+    /// Training accuracy of the artifact on the segments it was (or could
+    /// have been) trained on — a smoke check for `train-artifact`.
+    pub fn training_accuracy(&self, segments: &[Segment]) -> f64 {
+        let full_names = self.feature_set.full_feature_names();
+        let indices: Vec<usize> = self
+            .feature_names
+            .iter()
+            .map(|n| full_names.iter().position(|f| f == n).expect("known name"))
+            .collect();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for seg in segments {
+            if seg.len() < MIN_SEGMENT_POINTS {
+                continue;
+            }
+            let Some(class) = self.scheme.class_of(seg.mode) else {
+                continue;
+            };
+            let full = self.feature_set.featurize(seg);
+            let mut row: Vec<f64> = indices.iter().map(|&i| full[i]).collect();
+            self.scaler.transform_row(&mut row);
+            total += 1;
+            if self.model.predict_row(&row) == class {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(json: &str) -> Result<ModelArtifact, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid artifact JSON: {e}"))
+    }
+
+    /// Writes the artifact to a file.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+
+    /// Reads an artifact from a file.
+    pub fn load(path: &Path) -> Result<ModelArtifact, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        ModelArtifact::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geolife::{SynthConfig, SynthDataset};
+
+    fn segments() -> Vec<Segment> {
+        SynthDataset::generate(&SynthConfig::small(77)).segments
+    }
+
+    #[test]
+    fn train_full_table_round_trips() {
+        let segs = segments();
+        let artifact =
+            ModelArtifact::train(&TrainSpec::paper_default("rf-full"), &segs).expect("train");
+        assert_eq!(artifact.feature_names.len(), 70);
+        let json = artifact.to_json().unwrap();
+        let back = ModelArtifact::from_json(&json).unwrap();
+        assert_eq!(artifact, back);
+        assert!(artifact.training_accuracy(&segs) > 0.8);
+    }
+
+    #[test]
+    fn top_k_selects_k_features() {
+        let segs = segments();
+        let spec = TrainSpec {
+            top_k: Some(20),
+            ..TrainSpec::paper_default("rf-top20")
+        };
+        let artifact = ModelArtifact::train(&spec, &segs).expect("train");
+        assert_eq!(artifact.feature_names.len(), 20);
+        let full = ServeFeatureSet::Paper70.full_feature_names();
+        for name in &artifact.feature_names {
+            assert!(full.contains(name), "{name} not a known feature");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(ModelArtifact::train(&TrainSpec::paper_default("x"), &[]).is_err());
+    }
+}

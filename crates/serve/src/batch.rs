@@ -1,0 +1,164 @@
+//! Micro-batching: concurrent prediction jobs are coalesced and flushed
+//! together when either the batch fills (`max_batch`) or the oldest job
+//! has waited `max_delay`.
+//!
+//! Feature extraction stays on the request workers (it is per-segment and
+//! embarrassingly parallel); only the scaled model-input rows flow through
+//! the batcher, so a flush is a tight prediction loop over one or more
+//! models. Each job carries a reply channel; callers block on it.
+
+use crate::metrics::ServeMetrics;
+use crate::registry::{LoadedModel, Prediction};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Flush policy of the [`MicroBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Flush when this many jobs are queued.
+    pub max_batch: usize,
+    /// Flush when the oldest queued job is this old.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One queued prediction.
+struct Job {
+    model: Arc<LoadedModel>,
+    row: Vec<f64>,
+    reply: SyncSender<Prediction>,
+}
+
+/// Handle to the batching thread. Dropping it stops the thread.
+pub struct MicroBatcher {
+    tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Spawns the batching thread.
+    pub fn new(config: BatchConfig, metrics: Arc<ServeMetrics>) -> MicroBatcher {
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let max_batch = config.max_batch.max(1);
+        let worker = std::thread::Builder::new()
+            .name("traj-serve-batcher".to_owned())
+            .spawn(move || batch_loop(&rx, max_batch, config.max_delay, &metrics))
+            .expect("spawn batcher thread");
+        MicroBatcher {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues one scaled row for `model`; the prediction arrives on the
+    /// returned channel after the batch it joins is flushed.
+    pub fn submit(&self, model: Arc<LoadedModel>, row: Vec<f64>) -> Receiver<Prediction> {
+        let (reply, result) = sync_channel(1);
+        // A disconnected queue surfaces as a dropped reply sender, which
+        // the caller observes as RecvError.
+        let job = Job { model, row, reply };
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+        result
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.tx = None; // Disconnects the queue; the thread drains and exits.
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn batch_loop(rx: &Receiver<Job>, max_batch: usize, max_delay: Duration, metrics: &ServeMetrics) {
+    loop {
+        // Block for the first job of a batch.
+        let Ok(first) = rx.recv() else {
+            return; // Queue disconnected: server shut down.
+        };
+        let deadline = Instant::now() + max_delay;
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        metrics.batch_size.record(batch.len() as u64);
+        for job in batch {
+            let prediction = job.model.predict_scaled_row(&job.row);
+            metrics.record_predictions(&job.model.artifact.name, 1);
+            let _ = job.reply.send(prediction);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ModelArtifact, TrainSpec};
+    use crate::registry::ModelRegistry;
+    use traj_geolife::{SynthConfig, SynthDataset};
+
+    fn loaded_model() -> Arc<LoadedModel> {
+        let segs = SynthDataset::generate(&SynthConfig {
+            n_users: 3,
+            segments_per_user: (4, 6),
+            seed: 13,
+            ..SynthConfig::default()
+        })
+        .segments;
+        let spec = TrainSpec {
+            kind: traj_ml::ClassifierKind::DecisionTree,
+            ..TrainSpec::paper_default("batcher-test")
+        };
+        let mut reg = ModelRegistry::new();
+        reg.insert(ModelArtifact::train(&spec, &segs).unwrap())
+            .unwrap();
+        reg.get(None).unwrap()
+    }
+
+    #[test]
+    fn batcher_answers_every_submission() {
+        let model = loaded_model();
+        let metrics = Arc::new(ServeMetrics::new(&["batcher-test".to_owned()]));
+        let batcher = MicroBatcher::new(
+            BatchConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(5),
+            },
+            Arc::clone(&metrics),
+        );
+
+        let n_features = model.artifact.feature_names.len();
+        let receivers: Vec<_> = (0..10)
+            .map(|i| batcher.submit(Arc::clone(&model), vec![i as f64 * 0.05; n_features]))
+            .collect();
+        for rx in receivers {
+            let pred = rx.recv().expect("prediction");
+            assert!(pred.class < model.artifact.scheme.n_classes());
+        }
+        assert!(metrics.batch_size.count() > 0);
+        drop(batcher);
+        // All 10 predictions were counted.
+        assert!(metrics.render_json().contains("\"batcher-test\": 10"));
+    }
+}

@@ -1,0 +1,245 @@
+//! `loadgen` — replays synthetic GeoLife-like traffic against a running
+//! `traj-serve` instance and reports throughput and latency.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:8080 [--connections 8] [--duration-secs 10]
+//!         [--model NAME] [--batch N] [--seed S]
+//! ```
+//!
+//! Each connection is a keep-alive HTTP/1.1 client cycling through
+//! request bodies pre-built from synthetic segments (`--batch N` switches
+//! to `/predict_batch` with N segments per request). The summary reports
+//! requests/s, segment predictions/s, client-side latency percentiles and
+//! the non-2xx count — the acceptance gate for the serving stack.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use traj_geolife::{SynthConfig, SynthDataset};
+use traj_serve::http::client_request;
+
+struct Args {
+    addr: String,
+    connections: usize,
+    duration: Duration,
+    model: Option<String>,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut map = HashMap::new();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        map.insert(key.to_owned(), value.clone());
+    }
+    let parsed = |key: &str, default: u64| -> Result<u64, String> {
+        match map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+        }
+    };
+    Ok(Args {
+        addr: map
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+        connections: parsed("connections", 8)? as usize,
+        duration: Duration::from_secs(parsed("duration-secs", 10)?),
+        model: map.get("model").cloned(),
+        batch: parsed("batch", 0)? as usize,
+        seed: parsed("seed", 42)?,
+    })
+}
+
+/// Pre-builds JSON request bodies from synthetic segments.
+fn build_bodies(args: &Args) -> Vec<String> {
+    let synth = SynthDataset::generate(&SynthConfig::small(args.seed));
+    let segments: Vec<String> = synth
+        .segments
+        .iter()
+        .filter(|s| s.len() >= 10)
+        .map(|seg| {
+            let points: Vec<String> = seg
+                .points
+                .iter()
+                .map(|p| format!("{{\"lat\":{},\"lon\":{},\"t\":{}}}", p.lat, p.lon, p.t.0))
+                .collect();
+            format!("[{}]", points.join(","))
+        })
+        .collect();
+    let model_field = match &args.model {
+        Some(m) => format!("\"model\":\"{m}\","),
+        None => String::new(),
+    };
+    if args.batch == 0 {
+        segments
+            .iter()
+            .map(|s| format!("{{{model_field}\"points\":{s}}}"))
+            .collect()
+    } else {
+        segments
+            .chunks(args.batch.max(1))
+            .map(|chunk| format!("{{{model_field}\"segments\":[{}]}}", chunk.join(",")))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    requests: u64,
+    non_2xx: u64,
+    transport_errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn worker(
+    addr: &str,
+    path: &str,
+    bodies: &[String],
+    offset: usize,
+    stop: &AtomicBool,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut client = None;
+    let mut i = offset;
+    while !stop.load(Ordering::Relaxed) {
+        if client.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    client = Some(BufReader::new(stream));
+                }
+                Err(_) => {
+                    stats.transport_errors += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        let body = &bodies[i % bodies.len()];
+        i += 1;
+        let started = Instant::now();
+        match client_request(
+            client.as_mut().expect("connected"),
+            "POST",
+            path,
+            Some(body),
+        ) {
+            Ok((status, _)) => {
+                stats.requests += 1;
+                stats
+                    .latencies_us
+                    .push(started.elapsed().as_micros() as u64);
+                if !(200..300).contains(&status) {
+                    stats.non_2xx += 1;
+                }
+            }
+            Err(_) => {
+                stats.transport_errors += 1;
+                client = None; // Reconnect on the next iteration.
+            }
+        }
+    }
+    stats
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
+                 [--model NAME] [--batch N] [--seed S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let bodies = Arc::new(build_bodies(&args));
+    if bodies.is_empty() {
+        eprintln!("error: no request bodies generated");
+        return ExitCode::FAILURE;
+    }
+    let path = if args.batch == 0 {
+        "/predict"
+    } else {
+        "/predict_batch"
+    };
+    let segments_per_request = args.batch.max(1) as u64;
+
+    println!(
+        "loadgen: {} connections × {}s against http://{}{} ({} distinct bodies)",
+        args.connections,
+        args.duration.as_secs(),
+        args.addr,
+        path,
+        bodies.len()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.connections.max(1))
+        .map(|c| {
+            let addr = args.addr.clone();
+            let bodies = Arc::clone(&bodies);
+            let stop = Arc::clone(&stop);
+            let path = path.to_owned();
+            std::thread::spawn(move || worker(&addr, &path, &bodies, c * 7, &stop))
+        })
+        .collect();
+
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut all = WorkerStats::default();
+    for handle in handles {
+        let stats = handle.join().expect("worker panicked");
+        all.requests += stats.requests;
+        all.non_2xx += stats.non_2xx;
+        all.transport_errors += stats.transport_errors;
+        all.latencies_us.extend(stats.latencies_us);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    all.latencies_us.sort_unstable();
+
+    let rps = all.requests as f64 / elapsed;
+    println!("requests:          {:>10}", all.requests);
+    println!("throughput:        {rps:>10.1} req/s");
+    println!(
+        "predictions:       {:>10.1} segments/s",
+        rps * segments_per_request as f64
+    );
+    println!(
+        "latency:           p50 {} µs   p95 {} µs   p99 {} µs",
+        percentile(&all.latencies_us, 0.50),
+        percentile(&all.latencies_us, 0.95),
+        percentile(&all.latencies_us, 0.99)
+    );
+    println!("non-2xx:           {:>10}", all.non_2xx);
+    println!("transport errors:  {:>10}", all.transport_errors);
+
+    if all.requests == 0 || all.non_2xx > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

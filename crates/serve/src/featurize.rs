@@ -1,0 +1,102 @@
+//! Per-segment featurisation for inference — steps 2–3 of the paper's
+//! framework applied to a single unlabeled segment.
+//!
+//! Training runs the same steps through `trajlib::Pipeline` over a whole
+//! corpus; at serving time each request carries one segment, so the
+//! pipeline is re-expressed here as a pure function of the points. The
+//! feature order matches the training-side tables exactly (the artifact
+//! stores the selected names, and [`crate::registry::LoadedModel`]
+//! resolves them against [`full_feature_names`]).
+
+use serde::{Deserialize, Serialize};
+use traj_features::point_features::PointFeatures;
+use traj_features::trajectory_features::{feature_names, features_from_point_features};
+use traj_geo::{Segment, TrajectoryPoint, TransportMode};
+
+/// Which base feature table the model was trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ServeFeatureSet {
+    /// The paper's 70 features (10 statistics × 7 point features).
+    #[default]
+    Paper70,
+    /// The 70 plus the ten spatiotemporal extensions.
+    Extended80,
+    /// The classic 11 features of Zheng et al. (UbiComp 2008).
+    Zheng11,
+}
+
+impl ServeFeatureSet {
+    /// Column names of the full (pre-selection) feature table, in order.
+    pub fn full_feature_names(self) -> Vec<String> {
+        match self {
+            ServeFeatureSet::Paper70 => feature_names(),
+            ServeFeatureSet::Extended80 => {
+                let mut names = feature_names();
+                names.extend(traj_features::extended::extended_feature_names());
+                names
+            }
+            ServeFeatureSet::Zheng11 => traj_features::zheng::zheng_feature_names(),
+        }
+    }
+
+    /// The full feature row of one segment, matching
+    /// [`ServeFeatureSet::full_feature_names`] column for column.
+    pub fn featurize(self, segment: &Segment) -> Vec<f64> {
+        let pf = PointFeatures::compute(segment);
+        match self {
+            ServeFeatureSet::Paper70 => features_from_point_features(&pf),
+            ServeFeatureSet::Extended80 => {
+                let mut row = features_from_point_features(&pf);
+                row.extend(traj_features::extended::extended_features(segment, &pf));
+                row
+            }
+            ServeFeatureSet::Zheng11 => traj_features::zheng::zheng_features(segment, &pf),
+        }
+    }
+}
+
+/// Wraps raw inference points into a [`Segment`].
+///
+/// The mode is what the model will predict and the user/day grouping only
+/// matters for cross-validation, so placeholders fill those fields.
+pub fn segment_of_points(points: Vec<TrajectoryPoint>) -> Segment {
+    Segment::new(0, TransportMode::Walk, 0, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::Timestamp;
+
+    fn walk_points(n: usize) -> Vec<TrajectoryPoint> {
+        (0..n)
+            .map(|i| TrajectoryPoint::new(39.9 + i as f64 * 1e-5, 116.3, Timestamp(i as i64 * 10)))
+            .collect()
+    }
+
+    #[test]
+    fn featurize_matches_name_count() {
+        let seg = segment_of_points(walk_points(20));
+        for set in [
+            ServeFeatureSet::Paper70,
+            ServeFeatureSet::Extended80,
+            ServeFeatureSet::Zheng11,
+        ] {
+            let names = set.full_feature_names();
+            let row = set.featurize(&seg);
+            assert_eq!(names.len(), row.len(), "{set:?}");
+            assert!(row.iter().all(|v| v.is_finite()), "{set:?}");
+        }
+        assert_eq!(ServeFeatureSet::Paper70.full_feature_names().len(), 70);
+        assert_eq!(ServeFeatureSet::Extended80.full_feature_names().len(), 80);
+        assert_eq!(ServeFeatureSet::Zheng11.full_feature_names().len(), 11);
+    }
+
+    #[test]
+    fn feature_set_serialises_as_tag() {
+        let json = serde_json::to_string(&ServeFeatureSet::Extended80).unwrap();
+        assert_eq!(json, "\"Extended80\"");
+        let back: ServeFeatureSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ServeFeatureSet::Extended80);
+    }
+}

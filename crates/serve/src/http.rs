@@ -1,0 +1,301 @@
+//! Minimal HTTP/1.1 on `std::net`: enough of the protocol for a JSON
+//! inference API (request-line + headers + `Content-Length` bodies,
+//! keep-alive), with hard caps on head and body sizes so a misbehaving
+//! client cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercase as sent).
+    pub method: String,
+    /// Path component only (no query parsing — the API doesn't use one).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// `false` when the client sent `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed head or unsupported framing → 400.
+    BadRequest(String),
+    /// Declared body exceeds the configured cap → 413.
+    BodyTooLarge,
+    /// Socket failure or timeout; no response possible.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// Status code and message for errors that still get a response.
+    pub fn status(&self) -> Option<(u16, String)> {
+        match self {
+            HttpError::BadRequest(msg) => Some((400, msg.clone())),
+            HttpError::BodyTooLarge => Some((413, "request body too large".to_owned())),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the client closed the connection
+/// cleanly between requests.
+pub fn read_request<S: BufRead>(
+    stream: &mut S,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    // Request line. EOF before any byte = clean close.
+    let request_line = match read_crlf_line(stream, MAX_HEAD_BYTES)? {
+        None => return Ok(None),
+        Some(line) if line.is_empty() => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_crlf_line(stream, MAX_HEAD_BYTES)?
+            .ok_or_else(|| HttpError::BadRequest("unexpected EOF in headers".to_owned()))?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("headers too large".to_owned()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v == "close" {
+                    keep_alive = false;
+                } else if v == "keep-alive" {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::BadRequest(
+                    "chunked bodies are not supported".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one `\r\n`-terminated line (without the terminator). `Ok(None)`
+/// on immediate EOF.
+fn read_crlf_line<S: BufRead>(stream: &mut S, cap: usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("unexpected EOF mid-line".to_owned()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header".to_owned()))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > cap {
+                    return Err(HttpError::BadRequest("header line too long".to_owned()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reason phrases for the statuses the API emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response.
+pub fn write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        reason_phrase(status),
+        body.len(),
+        connection,
+        body
+    )?;
+    stream.flush()
+}
+
+/// Blocking single-request client used by the load generator, the e2e
+/// tests and the demo example. Takes a buffered duplex stream (e.g.
+/// `BufReader<TcpStream>`); writes go through the inner stream directly.
+/// Returns `(status, body)`.
+pub fn client_request<S: Read + Write>(
+    stream: &mut BufReader<S>,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let body = body.unwrap_or("");
+    write!(
+        stream.get_mut(),
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.get_mut().flush()?;
+
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let status_line = read_crlf_line(stream, MAX_HEAD_BYTES)
+        .map_err(|_| bad("bad status line"))?
+        .ok_or_else(|| bad("server closed before status line"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status"))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_crlf_line(stream, MAX_HEAD_BYTES)
+            .map_err(|_| bad("bad header"))?
+            .ok_or_else(|| bad("EOF in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| bad("bad length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| bad("non-UTF-8 body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(&raw[..]), 1024)
+            .expect("parse")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..]), 1024)
+            .expect("parse")
+            .expect("some");
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        let err = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+        assert_eq!(err.status().unwrap().0, 413);
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let raw = b"NONSENSE\r\n\r\n";
+        let err = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap_err();
+        assert_eq!(err.status().unwrap().0, 400);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let req = read_request(&mut Cursor::new(&b""[..]), 1024).expect("ok");
+        assert!(req.is_none());
+    }
+
+    #[test]
+    fn response_round_trips_through_client_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+    }
+}

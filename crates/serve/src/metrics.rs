@@ -1,0 +1,255 @@
+//! Lock-free serving metrics: request/error counters, latency and
+//! batch-size histograms, and per-model prediction counters.
+//!
+//! Everything is atomics over fixed bucket layouts, so the hot path never
+//! takes a lock; `/metrics` renders a JSON snapshot with percentiles
+//! estimated from the histogram buckets (upper-bound interpolation).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive) of the latency buckets, in microseconds.
+const LATENCY_BOUNDS_US: [u64; 14] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000,
+];
+
+/// Upper bounds (inclusive) of the batch-size buckets.
+const BATCH_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A fixed-bucket histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+    /// Overflow bucket for values above the last bound.
+    overflow: AtomicU64,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// q-th observation (`q` in `[0, 1]`). Returns 0 with no data; values
+    /// past the last bound report the last bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.bounds[i];
+            }
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// `[bound, count]` pairs including the overflow bucket (bound 0).
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
+            .collect();
+        out.push((0, self.overflow.load(Ordering::Relaxed)));
+        out
+    }
+}
+
+/// All serving metrics; shared across workers behind an `Arc`.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Requests accepted (any route, any outcome).
+    pub requests_total: AtomicU64,
+    /// Responses with 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// End-to-end request latency, microseconds.
+    pub latency_us: Histogram,
+    /// Sizes of flushed prediction micro-batches.
+    pub batch_size: Histogram,
+    /// Predictions served per registry model name.
+    per_model: BTreeMap<String, AtomicU64>,
+}
+
+impl ServeMetrics {
+    /// Creates metrics with one prediction counter per model name.
+    pub fn new(model_names: &[String]) -> ServeMetrics {
+        ServeMetrics {
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            latency_us: Histogram::new(&LATENCY_BOUNDS_US),
+            batch_size: Histogram::new(&BATCH_BOUNDS),
+            per_model: model_names
+                .iter()
+                .map(|n| (n.clone(), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Counts one response with `status`, observed after `latency_us`.
+    pub fn record_response(&self, status: u16, latency_us: u64) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(latency_us);
+    }
+
+    /// Counts `n` predictions served by `model`.
+    pub fn record_predictions(&self, model: &str, n: u64) {
+        if let Some(counter) = self.per_model.get(model) {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The `/metrics` JSON document.
+    pub fn render_json(&self) -> String {
+        let lat = &self.latency_us;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"requests_total\": {},\n  \"responses_2xx\": {},\n  \"responses_4xx\": {},\n  \"responses_5xx\": {},\n",
+            self.requests_total.load(Ordering::Relaxed),
+            self.responses_2xx.load(Ordering::Relaxed),
+            self.responses_4xx.load(Ordering::Relaxed),
+            self.responses_5xx.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "  \"latency_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {}}},\n",
+            lat.count(),
+            lat.mean(),
+            lat.quantile(0.50),
+            lat.quantile(0.95),
+            lat.quantile(0.99),
+            render_buckets(&lat.snapshot()),
+        ));
+        let batch = &self.batch_size;
+        out.push_str(&format!(
+            "  \"batch_size\": {{\"count\": {}, \"mean\": {:.2}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {}}},\n",
+            batch.count(),
+            batch.mean(),
+            batch.quantile(0.50),
+            batch.quantile(0.95),
+            batch.quantile(0.99),
+            render_buckets(&batch.snapshot()),
+        ));
+        out.push_str("  \"predictions_per_model\": {");
+        let mut first = true;
+        for (name, counter) in &self.per_model {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\": {}",
+                name,
+                counter.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+/// Buckets as a JSON array of `{"le": bound, "count": n}` (the overflow
+/// bucket renders `"le": "inf"`).
+fn render_buckets(snapshot: &[(u64, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, &(bound, count)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if bound == 0 {
+            out.push_str(&format!("{{\"le\": \"inf\", \"count\": {count}}}"));
+        } else {
+            out.push_str(&format!("{{\"le\": {bound}, \"count\": {count}}}"));
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_buckets() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [40, 40, 40, 40, 40, 40, 40, 40, 40, 9_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.99), 10_000);
+        assert!(h.mean() > 40.0);
+        // Overflow values clamp to the last bound.
+        h.record(10_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn metrics_render_valid_json_with_counters() {
+        let m = ServeMetrics::new(&["rf".to_owned(), "xgb".to_owned()]);
+        m.record_response(200, 750);
+        m.record_response(404, 80);
+        m.record_predictions("rf", 3);
+        m.batch_size.record(3);
+        let json = m.render_json();
+        let value = serde_json::parse_value(&json).expect("valid JSON");
+        let text = serde_json::to_string(&value).unwrap();
+        assert!(text.contains("\"requests_total\":2"));
+        assert!(text.contains("\"rf\":3"));
+        assert!(text.contains("\"responses_4xx\":1"));
+    }
+}

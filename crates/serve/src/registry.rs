@@ -1,0 +1,264 @@
+//! The model registry: named, versioned, ready-to-serve models.
+//!
+//! Loading resolves each artifact's selected feature names against the
+//! full feature table once, so the per-request hot path is index lookups
+//! only: featurise → project → scale → predict.
+
+use crate::artifact::{ModelArtifact, MIN_SEGMENT_POINTS};
+use crate::featurize::segment_of_points;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use traj_geo::TrajectoryPoint;
+use traj_ml::Classifier;
+
+/// One model prediction: the dense class index, its mode name, and the
+/// per-class scores in class-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Dense class index under the artifact's label scheme.
+    pub class: usize,
+    /// Mode name of `class` (e.g. `"walk"`).
+    pub label: String,
+    /// Per-class scores, summing to 1.
+    pub scores: Vec<f64>,
+}
+
+/// An artifact with its feature projection resolved, ready to predict.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The artifact as loaded.
+    pub artifact: ModelArtifact,
+    /// Indices of the selected features in the full feature row.
+    feature_indices: Vec<usize>,
+}
+
+impl LoadedModel {
+    /// Resolves an artifact's feature names; fails on names the feature
+    /// set does not produce or a scaler of the wrong width.
+    pub fn new(artifact: ModelArtifact) -> Result<LoadedModel, String> {
+        let full_names = artifact.feature_set.full_feature_names();
+        let feature_indices = artifact
+            .feature_names
+            .iter()
+            .map(|n| {
+                full_names
+                    .iter()
+                    .position(|f| f == n)
+                    .ok_or_else(|| format!("artifact {}: unknown feature {n:?}", artifact.name))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        if artifact.scaler.n_features() != feature_indices.len() {
+            return Err(format!(
+                "artifact {}: scaler width {} != {} selected features",
+                artifact.name,
+                artifact.scaler.n_features(),
+                feature_indices.len()
+            ));
+        }
+        Ok(LoadedModel {
+            artifact,
+            feature_indices,
+        })
+    }
+
+    /// Registry key of this exact version (`name@v3`).
+    pub fn versioned_key(&self) -> String {
+        format!("{}@v{}", self.artifact.name, self.artifact.version)
+    }
+
+    /// The scaled model-input row of one segment of raw points.
+    ///
+    /// Errors when the segment is shorter than the training segmentation
+    /// floor — the model never saw such inputs.
+    pub fn features_of_points(&self, points: &[TrajectoryPoint]) -> Result<Vec<f64>, String> {
+        if points.len() < MIN_SEGMENT_POINTS {
+            return Err(format!(
+                "segment has {} points; at least {MIN_SEGMENT_POINTS} required",
+                points.len()
+            ));
+        }
+        let segment = segment_of_points(points.to_vec());
+        let full = self.artifact.feature_set.featurize(&segment);
+        let mut row: Vec<f64> = self.feature_indices.iter().map(|&i| full[i]).collect();
+        self.artifact.scaler.transform_row(&mut row);
+        Ok(row)
+    }
+
+    /// Predicts from an already scaled model-input row.
+    pub fn predict_scaled_row(&self, row: &[f64]) -> Prediction {
+        let class = self.artifact.model.predict_row(row);
+        let scores = self.artifact.model.predict_scores_row(row);
+        let names = self.artifact.scheme.class_names();
+        let label = names.get(class).copied().unwrap_or("?").to_owned();
+        Prediction {
+            class,
+            label,
+            scores,
+        }
+    }
+
+    /// Full hot path: raw points → prediction.
+    pub fn predict_points(&self, points: &[TrajectoryPoint]) -> Result<Prediction, String> {
+        Ok(self.predict_scaled_row(&self.features_of_points(points)?))
+    }
+}
+
+/// Name → model map with a default entry.
+///
+/// Each artifact registers under two keys: its plain name (latest version
+/// wins) and its pinned `name@vN`. The first loaded name becomes the
+/// default served when a request names no model.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<LoadedModel>>,
+    default_name: Option<String>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers an artifact under its name and pinned version key.
+    pub fn insert(&mut self, artifact: ModelArtifact) -> Result<(), String> {
+        let loaded = Arc::new(LoadedModel::new(artifact)?);
+        let name = loaded.artifact.name.clone();
+        self.models
+            .insert(loaded.versioned_key(), Arc::clone(&loaded));
+        match self.models.get(&name) {
+            Some(existing) if existing.artifact.version > loaded.artifact.version => {}
+            _ => {
+                self.models.insert(name.clone(), loaded);
+            }
+        }
+        if self.default_name.is_none() {
+            self.default_name = Some(name);
+        }
+        Ok(())
+    }
+
+    /// Loads one artifact file.
+    pub fn load_file(&mut self, path: &Path) -> Result<(), String> {
+        self.insert(ModelArtifact::load(path)?)
+    }
+
+    /// Loads every `*.json` artifact in a directory (sorted by file name,
+    /// so default-model selection is deterministic).
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize, String> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut loaded = 0usize;
+        for path in &paths {
+            self.load_file(path)?;
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Looks a model up by name (`None` → the default model).
+    pub fn get(&self, name: Option<&str>) -> Option<Arc<LoadedModel>> {
+        let key = match name {
+            Some(n) => n,
+            None => self.default_name.as_deref()?,
+        };
+        self.models.get(key).cloned()
+    }
+
+    /// All registry keys (plain and pinned), sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Plain model names (no `@vN` pins), sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models
+            .keys()
+            .filter(|k| !k.contains("@v"))
+            .cloned()
+            .collect()
+    }
+
+    /// Name of the default model, when any model is loaded.
+    pub fn default_name(&self) -> Option<&str> {
+        self.default_name.as_deref()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when no model is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::TrainSpec;
+    use traj_geolife::{SynthConfig, SynthDataset};
+
+    fn artifact(name: &str, version: u32) -> ModelArtifact {
+        let segs = SynthDataset::generate(&SynthConfig {
+            n_users: 4,
+            segments_per_user: (4, 6),
+            seed: 5,
+            ..SynthConfig::default()
+        })
+        .segments;
+        let spec = TrainSpec {
+            version,
+            kind: traj_ml::ClassifierKind::DecisionTree,
+            ..TrainSpec::paper_default(name)
+        };
+        ModelArtifact::train(&spec, &segs).expect("train")
+    }
+
+    #[test]
+    fn registry_resolves_names_versions_and_default() {
+        let mut reg = ModelRegistry::new();
+        reg.insert(artifact("alpha", 1)).unwrap();
+        reg.insert(artifact("alpha", 2)).unwrap();
+        reg.insert(artifact("beta", 1)).unwrap();
+
+        assert_eq!(reg.default_name(), Some("alpha"));
+        assert_eq!(reg.get(None).unwrap().artifact.version, 2);
+        assert_eq!(reg.get(Some("alpha")).unwrap().artifact.version, 2);
+        assert_eq!(reg.get(Some("alpha@v1")).unwrap().artifact.version, 1);
+        assert_eq!(reg.names(), vec!["alpha", "beta"]);
+        assert!(reg.get(Some("missing")).is_none());
+    }
+
+    #[test]
+    fn loaded_model_predicts_points_and_rejects_short_segments() {
+        let mut reg = ModelRegistry::new();
+        reg.insert(artifact("m", 1)).unwrap();
+        let model = reg.get(None).unwrap();
+
+        let segs = SynthDataset::generate(&SynthConfig::small(6)).segments;
+        let seg = segs.iter().find(|s| s.len() >= MIN_SEGMENT_POINTS).unwrap();
+        let pred = model.predict_points(&seg.points).expect("predict");
+        assert!(pred.class < model.artifact.scheme.n_classes());
+        assert_eq!(pred.scores.len(), model.artifact.scheme.n_classes());
+        assert!(!pred.label.is_empty());
+        let sum: f64 = pred.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+
+        assert!(model.predict_points(&seg.points[..3]).is_err());
+    }
+
+    #[test]
+    fn bad_feature_name_fails_to_load() {
+        let mut bad = artifact("x", 1);
+        bad.feature_names[0] = "not_a_feature".to_owned();
+        assert!(LoadedModel::new(bad).is_err());
+    }
+}

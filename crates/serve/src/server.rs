@@ -1,0 +1,520 @@
+//! The inference server: a `TcpListener` accept loop feeding a fixed
+//! worker pool, JSON routing, and graceful shutdown.
+//!
+//! ```text
+//! POST /predict        one segment  → label + per-class scores
+//! POST /predict_batch  N segments   → N results, micro-batched
+//! GET  /healthz        liveness + loaded models
+//! GET  /metrics        counters, latency percentiles, batch sizes
+//! ```
+
+use crate::batch::{BatchConfig, MicroBatcher};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::ServeMetrics;
+use crate::registry::{ModelRegistry, Prediction};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (bounds how long a worker waits on an idle
+    /// keep-alive connection).
+    pub read_timeout: Duration,
+    /// Micro-batching policy for `/predict_batch`.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- wire DTOs
+
+/// One GPS fix in a request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PointDto {
+    lat: f64,
+    lon: f64,
+    /// Unix seconds.
+    t: i64,
+}
+
+#[derive(Debug, Deserialize)]
+struct PredictRequest {
+    /// Registry name (`None` → default model).
+    model: Option<String>,
+    points: Vec<PointDto>,
+}
+
+#[derive(Debug, Deserialize)]
+struct PredictBatchRequest {
+    model: Option<String>,
+    segments: Vec<Vec<PointDto>>,
+}
+
+#[derive(Debug, Serialize)]
+struct PredictResponse {
+    model: String,
+    version: u32,
+    class: usize,
+    label: String,
+    scores: Vec<f64>,
+    class_names: Vec<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct BatchItemResponse {
+    class: Option<usize>,
+    label: Option<String>,
+    scores: Option<Vec<f64>>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct PredictBatchResponse {
+    model: String,
+    version: u32,
+    class_names: Vec<String>,
+    results: Vec<BatchItemResponse>,
+}
+
+#[derive(Debug, Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: message.to_owned(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+}
+
+fn points_of(dtos: &[PointDto]) -> Vec<traj_geo::TrajectoryPoint> {
+    dtos.iter()
+        .map(|p| traj_geo::TrajectoryPoint::new(p.lat, p.lon, traj_geo::Timestamp(p.t)))
+        .collect()
+}
+
+// ---------------------------------------------------------------- routing
+
+/// Shared state of all workers.
+struct AppState {
+    registry: ModelRegistry,
+    metrics: Arc<ServeMetrics>,
+    batcher: MicroBatcher,
+}
+
+/// Routes one request to `(status, JSON body)`. Never panics on client
+/// input; internal failures map to 500.
+fn route(state: &AppState, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => (200, state.metrics.render_json()),
+        ("POST", "/predict") => handle_predict(state, &request.body),
+        ("POST", "/predict_batch") => handle_predict_batch(state, &request.body),
+        ("GET", "/predict" | "/predict_batch") | ("POST", "/healthz" | "/metrics") => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+fn handle_healthz(state: &AppState) -> (u16, String) {
+    #[derive(Serialize)]
+    struct Health {
+        status: String,
+        default_model: Option<String>,
+        models: Vec<String>,
+    }
+    let health = Health {
+        status: "ok".to_owned(),
+        default_model: state.registry.default_name().map(str::to_owned),
+        models: state.registry.keys(),
+    };
+    match serde_json::to_string(&health) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_predict(state: &AppState, body: &[u8]) -> (u16, String) {
+    let parsed: PredictRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+        return (404, error_body("unknown model"));
+    };
+    let points = points_of(&parsed.points);
+    let row = match model.features_of_points(&points) {
+        Ok(row) => row,
+        Err(msg) => return (422, error_body(&msg)),
+    };
+    let prediction = model.predict_scaled_row(&row);
+    state.metrics.record_predictions(&model.artifact.name, 1);
+    let response = PredictResponse {
+        model: model.artifact.name.clone(),
+        version: model.artifact.version,
+        class: prediction.class,
+        label: prediction.label,
+        scores: prediction.scores,
+        class_names: class_names_of(&model.artifact.scheme),
+    };
+    match serde_json::to_string(&response) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
+    let parsed: PredictBatchRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+        return (404, error_body("unknown model"));
+    };
+    if parsed.segments.is_empty() {
+        return (422, error_body("empty segments array"));
+    }
+
+    // Featurise inline (per-segment, worker-parallel across requests),
+    // then push the rows through the shared micro-batcher so concurrent
+    // requests coalesce into larger prediction batches.
+    enum Pending {
+        Waiting(Receiver<Prediction>),
+        Failed(String),
+    }
+    let pending: Vec<Pending> = parsed
+        .segments
+        .iter()
+        .map(|dtos| {
+            let points = points_of(dtos);
+            match model.features_of_points(&points) {
+                Ok(row) => Pending::Waiting(state.batcher.submit(Arc::clone(&model), row)),
+                Err(msg) => Pending::Failed(msg),
+            }
+        })
+        .collect();
+
+    let results: Vec<BatchItemResponse> = pending
+        .into_iter()
+        .map(|p| match p {
+            Pending::Failed(msg) => BatchItemResponse {
+                class: None,
+                label: None,
+                scores: None,
+                error: Some(msg),
+            },
+            Pending::Waiting(rx) => match rx.recv() {
+                Ok(pred) => BatchItemResponse {
+                    class: Some(pred.class),
+                    label: Some(pred.label),
+                    scores: Some(pred.scores),
+                    error: None,
+                },
+                Err(_) => BatchItemResponse {
+                    class: None,
+                    label: None,
+                    scores: None,
+                    error: Some("prediction queue unavailable".to_owned()),
+                },
+            },
+        })
+        .collect();
+
+    let response = PredictBatchResponse {
+        model: model.artifact.name.clone(),
+        version: model.artifact.version,
+        class_names: class_names_of(&model.artifact.scheme),
+        results,
+    };
+    match serde_json::to_string(&response) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn parse_json_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, (u16, String)> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| (400, error_body("request body is not UTF-8")))?;
+    serde_json::from_str(text).map_err(|e| (400, error_body(&format!("invalid JSON: {e}"))))
+}
+
+fn class_names_of(scheme: &traj_geo::LabelScheme) -> Vec<String> {
+    scheme
+        .class_names()
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
+}
+
+// ----------------------------------------------------------------- server
+
+/// A running server; dropping or [`ServerHandle::stop`] shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics, for in-process inspection.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn stop(&mut self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves `registry` until the handle is stopped.
+///
+/// `addr` may use port 0 to let the OS pick; read the effective address
+/// off the handle.
+pub fn serve(
+    addr: &str,
+    registry: ModelRegistry,
+    config: ServerConfig,
+) -> Result<ServerHandle, String> {
+    if registry.is_empty() {
+        return Err("refusing to serve an empty model registry".to_owned());
+    }
+    let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let metrics = Arc::new(ServeMetrics::new(&registry.names()));
+    let batcher = MicroBatcher::new(config.batch, Arc::clone(&metrics));
+    let state = Arc::new(AppState {
+        registry,
+        metrics: Arc::clone(&metrics),
+        batcher,
+    });
+    let running = Arc::new(AtomicBool::new(true));
+
+    // Fan connections out to the workers over one shared queue.
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let workers = config.workers.max(1);
+    let mut worker_threads = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = Arc::clone(&conn_rx);
+        let state = Arc::clone(&state);
+        let config = config.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("traj-serve-worker-{i}"))
+            .spawn(move || worker_loop(&rx, &state, &config))
+            .map_err(|e| format!("spawning worker: {e}"))?;
+        worker_threads.push(thread);
+    }
+
+    let accept_running = Arc::clone(&running);
+    let accept_thread = std::thread::Builder::new()
+        .name("traj-serve-accept".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if !accept_running.load(Ordering::SeqCst) {
+                    break; // conn_tx drops here; workers drain and exit.
+                }
+                if let Ok(stream) = stream {
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+        .map_err(|e| format!("spawning acceptor: {e}"))?;
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        running,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+        metrics,
+    })
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<std::sync::mpsc::Receiver<TcpStream>>>,
+    state: &Arc<AppState>,
+    config: &ServerConfig,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue lock");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, state, config),
+            Err(_) => return, // Acceptor gone: shutdown.
+        }
+    }
+}
+
+/// Serves one (possibly keep-alive) connection to completion.
+fn handle_connection(stream: TcpStream, state: &Arc<AppState>, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let started = Instant::now();
+        match read_request(&mut reader, config.max_body_bytes) {
+            Ok(None) => return, // Clean close between requests.
+            Ok(Some(request)) => {
+                let (status, body) = route(state, &request);
+                state
+                    .metrics
+                    .record_response(status, started.elapsed().as_micros() as u64);
+                if write_response(&mut writer, status, &body, request.keep_alive).is_err() {
+                    return;
+                }
+                if !request.keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                // Malformed input still gets a response when possible;
+                // framing is unrecoverable either way, so close after.
+                if let Some((status, message)) = error.status() {
+                    state
+                        .metrics
+                        .record_response(status, started.elapsed().as_micros() as u64);
+                    let _ = write_response(&mut writer, status, &error_body(&message), false);
+                } else if !matches!(error, HttpError::Io(_)) {
+                    state
+                        .metrics
+                        .record_response(400, started.elapsed().as_micros() as u64);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ModelArtifact, TrainSpec};
+    use crate::http::client_request;
+    use std::io::BufReader as ClientBufReader;
+    use traj_geolife::{SynthConfig, SynthDataset};
+
+    fn test_registry() -> (ModelRegistry, Vec<traj_geo::Segment>) {
+        let segs = SynthDataset::generate(&SynthConfig {
+            n_users: 4,
+            segments_per_user: (4, 6),
+            seed: 23,
+            ..SynthConfig::default()
+        })
+        .segments;
+        let spec = TrainSpec {
+            kind: traj_ml::ClassifierKind::DecisionTree,
+            ..TrainSpec::paper_default("tree")
+        };
+        let mut reg = ModelRegistry::new();
+        reg.insert(ModelArtifact::train(&spec, &segs).unwrap())
+            .unwrap();
+        (reg, segs)
+    }
+
+    fn body_of(segment: &traj_geo::Segment) -> String {
+        let points: Vec<String> = segment
+            .points
+            .iter()
+            .map(|p| format!("{{\"lat\":{},\"lon\":{},\"t\":{}}}", p.lat, p.lon, p.t.0))
+            .collect();
+        format!("{{\"points\":[{}]}}", points.join(","))
+    }
+
+    #[test]
+    fn server_round_trips_predict_and_metrics() {
+        let (registry, segs) = test_registry();
+        let mut handle = serve(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut client = ClientBufReader::new(stream);
+
+        let (status, body) = client_request(&mut client, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"tree\""));
+
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+        let (status, body) =
+            client_request(&mut client, "POST", "/predict", Some(&body_of(seg))).expect("predict");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"label\":"));
+
+        let (status, body) =
+            client_request(&mut client, "POST", "/predict", Some("{not json")).expect("bad json");
+        assert_eq!(status, 400, "{body}");
+
+        let (status, body) = client_request(&mut client, "GET", "/metrics", None).expect("metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"requests_total\""));
+
+        handle.stop();
+    }
+
+    #[test]
+    fn refuses_empty_registry() {
+        assert!(serve("127.0.0.1:0", ModelRegistry::new(), ServerConfig::default()).is_err());
+    }
+}

@@ -66,7 +66,10 @@ fn main() {
         let n = curves[0].1[i].n_labeled;
         print!("{n:>6} |");
         for (_, curve) in &curves {
-            print!(" {:>7.3} |", curve.get(i).map_or(f64::NAN, |r| r.test_accuracy));
+            print!(
+                " {:>7.3} |",
+                curve.get(i).map_or(f64::NAN, |r| r.test_accuracy)
+            );
         }
         println!();
     }

@@ -46,9 +46,8 @@ fn main() {
 
     // Method 2 (Fig. 3b): wrapper forward search (first 5 steps, small
     // forest — the wrapper is quadratic in evaluations).
-    let factory = |seed: u64| -> Box<dyn Classifier> {
-        Box::new(RandomForest::with_estimators(15, seed))
-    };
+    let factory =
+        |seed: u64| -> Box<dyn Classifier> { Box::new(RandomForest::with_estimators(15, seed)) };
     let splitter = GroupKFold { n_splits: 3 };
     let curve = forward_select(
         &dataset,

@@ -23,8 +23,9 @@ fn main() {
         PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(Normalization::None),
     );
     let train_raw = unnormalised.dataset_from_segments(&train_cohort.segments);
-    let mut train_rows: Vec<Vec<f64>> =
-        (0..train_raw.len()).map(|i| train_raw.row(i).to_vec()).collect();
+    let mut train_rows: Vec<Vec<f64>> = (0..train_raw.len())
+        .map(|i| train_raw.row(i).to_vec())
+        .collect();
     let scaler = MinMaxScaler::fit(&train_rows);
     scaler.transform(&mut train_rows);
     let train = Dataset::from_rows(

@@ -49,7 +49,10 @@ fn main() {
         );
     }
     let mean_acc = trajlib::ml::cv::mean_accuracy(&scores);
-    println!("mean accuracy: {:.3} (paper's Fig. 2: RF ≈ 0.904 on real GeoLife)", mean_acc);
+    println!(
+        "mean accuracy: {:.3} (paper's Fig. 2: RF ≈ 0.904 on real GeoLife)",
+        mean_acc
+    );
 
     // Bonus: a single fitted model and one prediction.
     let mut forest = RandomForest::with_estimators(50, 0);
@@ -61,5 +64,8 @@ fn main() {
     for (name, p) in class_names.iter().zip(&probs) {
         println!("  P({name:<8}) = {p:.3}");
     }
-    assert!(mean_acc > 0.5, "the pipeline should comfortably beat chance");
+    assert!(
+        mean_acc > 0.5,
+        "the pipeline should comfortably beat chance"
+    );
 }

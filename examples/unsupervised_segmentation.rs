@@ -72,7 +72,10 @@ fn main() {
     println!(
         "incoming stream: {} fixes, true modes: {:?}",
         stream.len(),
-        truth_segments.iter().map(|s| s.mode.name()).collect::<Vec<_>>()
+        truth_segments
+            .iter()
+            .map(|s| s.mode.name())
+            .collect::<Vec<_>>()
     );
 
     // 1. Cut the stream without labels. Buses and cars *stop* (lights,
@@ -101,8 +104,9 @@ fn main() {
         PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(Normalization::None),
     );
     let raw_train = raw_pipeline.dataset_from_segments(&train_cohort.segments);
-    let mut rows: Vec<Vec<f64>> =
-        (0..raw_train.len()).map(|r| raw_train.row(r).to_vec()).collect();
+    let mut rows: Vec<Vec<f64>> = (0..raw_train.len())
+        .map(|r| raw_train.row(r).to_vec())
+        .collect();
     let scaler = MinMaxScaler::fit(&rows);
     scaler.transform(&mut rows);
     let scaled_train = Dataset::from_rows(

@@ -1,0 +1,465 @@
+//! Offline drop-in replacement for the subset of `serde_json` this
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`].
+//!
+//! Works over the value-based data model of the workspace `serde` shim.
+//! Floating-point round-trips are bit-exact: the writer uses Rust's
+//! shortest-round-trip float formatting and the parser is `str::parse`,
+//! which is correctly rounding — the pair the real crate's
+//! `float_roundtrip` feature guarantees (`tests/model_persistence.rs`
+//! relies on this).
+//!
+//! The parser is strict (no trailing garbage, no comments, no NaN
+//! literals) and depth-limited so untrusted request bodies — the serving
+//! stack parses those — cannot overflow the stack.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Parse/serialise error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Maximum container nesting depth the parser accepts.
+const MAX_DEPTH: usize = 128;
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses `text` into a `T`, rejecting malformed JSON and trailing input.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses `text` into the shim's [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_at(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Rust's float `Display` emits the shortest decimal that parses back to
+/// the same bits, so `write → parse` is the identity on finite values.
+/// JSON has no non-finite literals; mirror serde_json and emit `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&x.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(Error::new("JSON nesting too deep"));
+    }
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(Error::new(format!(
+            "unexpected character {:?} at byte {}",
+            *c as char, *pos
+        ))),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value> {
+    *pos += 1; // '{'
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Map(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b':') => *pos += 1,
+            _ => return Err(Error::new(format!("expected ':' at byte {}", *pos))),
+        }
+        skip_ws(bytes, pos);
+        let value = parse_at(bytes, pos, depth + 1)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Seq(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_at(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(Error::new("unpaired surrogate"));
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(Error::new("unescaped control character in string"))
+            }
+            Some(_) => {
+                // Advance one UTF-8 character.
+                let rest = &bytes[*pos..];
+                let len = utf8_len(rest[0]);
+                let chunk = rest
+                    .get(..len)
+                    .ok_or_else(|| Error::new("truncated UTF-8 sequence"))?;
+                let s = std::str::from_utf8(chunk)
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+/// Reads the `XXXX` of a `\uXXXX` escape; `pos` is on the `u` on entry and
+/// on the last hex digit on exit (the caller advances past it).
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let start = *pos + 1;
+    let chunk = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| Error::new("truncated unicode escape"))?;
+    let s = std::str::from_utf8(chunk).map_err(|_| Error::new("invalid unicode escape"))?;
+    let code = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+    *pos = start + 3;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::new(format!("invalid number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(from_str::<i64>("-17").unwrap(), -17);
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.5e-8,
+            123_456_789.123_456_79,
+            std::f64::consts::PI,
+            -0.0,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert!(
+                back.to_bits() == x.to_bits() || back == x,
+                "{x} vs {back}"
+            );
+        }
+        // Typical values round-trip to identical bits.
+        for &x in &[0.1, std::f64::consts::PI, 1e300] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<u8>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u8>>>(&json).unwrap(), v);
+
+        let t: (u8, f64, String) = (1, 2.5, "x".into());
+        let back: (u8, f64, String) = from_str(&to_string(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u8>>("[1,2").is_err());
+        assert!(from_str::<Vec<u8>>("[1,2] trailing").is_err());
+        assert!(from_str::<f64>("\"nope\"").is_err());
+        assert!(parse_value("{\"a\" 1}").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_value(&deep).is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct P {
+            a: u32,
+            b: Vec<f64>,
+        }
+        let p = P {
+            a: 1,
+            b: vec![0.5, 2.0],
+        };
+        let pretty = to_string_pretty(&p).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert_eq!(from_str::<P>(&pretty).unwrap(), p);
+    }
+}

@@ -112,6 +112,86 @@ fn scaler_round_trips() {
 }
 
 #[test]
+fn erased_model_round_trips_for_every_kind() {
+    // The serving stack persists classifiers through the type-erased enum;
+    // every roster entry must survive JSON and predict identically.
+    let data = dataset();
+    for kind in ["rf", "xgb", "tree", "ada", "svm", "mlp", "knn"] {
+        let mut model = trajlib::ml::ErasedModel::from_cli_name(kind, 5).expect("known kind");
+        model.fit(&data);
+        assert_identical_predictions(&model, &data);
+    }
+}
+
+#[test]
+fn erased_model_json_matches_inner_model_wire_format() {
+    // ErasedModel is externally tagged with the same variant names the CLI
+    // used before it existed, so artifacts are readable either way: the
+    // tagged payload equals the plain model's own serialisation.
+    let data = dataset();
+    let mut forest = RandomForest::new(ForestConfig {
+        n_estimators: 8,
+        ..ForestConfig::default()
+    });
+    Classifier::fit(&mut forest, &data);
+    let mut erased = trajlib::ml::ErasedModel::from_cli_name("rf", 5).unwrap();
+    Classifier::fit(&mut erased, &data);
+
+    let erased_json = serde_json::to_string(&erased).unwrap();
+    assert!(erased_json.starts_with("{\"RandomForest\":"));
+    let inner = erased_json
+        .strip_prefix("{\"RandomForest\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("externally tagged");
+    let restored: RandomForest = serde_json::from_str(inner).expect("payload is a plain forest");
+    assert_eq!(erased.predict(&data), restored.predict(&data));
+}
+
+#[test]
+fn model_artifact_round_trips_through_registry() {
+    // The full serving artifact — scaler, selected feature names and the
+    // fitted model — survives save/load and predicts identically on raw
+    // GPS points.
+    use traj_serve::artifact::{ModelArtifact, TrainSpec};
+    use traj_serve::registry::ModelRegistry;
+
+    let synth = SynthDataset::generate(&SynthConfig {
+        n_users: 5,
+        segments_per_user: (6, 9),
+        seed: 31,
+        ..SynthConfig::default()
+    });
+    let mut spec = TrainSpec::paper_default("rf");
+    spec.top_k = Some(20);
+    spec.seed = 5;
+    let artifact = ModelArtifact::train(&spec, &synth.segments).expect("train");
+    assert_eq!(artifact.feature_names.len(), 20);
+
+    let dir = std::env::temp_dir().join("trajlib_model_persistence_registry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rf.json");
+    artifact.save(&path).expect("save");
+
+    let mut registry = ModelRegistry::new();
+    registry.load_dir(&dir).expect("load_dir");
+    let model = registry.get(None).expect("default model");
+    let restored = registry.get(Some("rf@v1")).expect("pinned version");
+
+    let probe = synth
+        .segments
+        .iter()
+        .find(|s| s.len() >= traj_serve::artifact::MIN_SEGMENT_POINTS)
+        .expect("a long-enough segment");
+    let a = model.predict_points(&probe.points).expect("predict");
+    let b = restored.predict_points(&probe.points).expect("predict");
+    assert_eq!(a.class, b.class);
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(a.label, b.label);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pipeline_config_round_trips() {
     let config = PipelineConfig::paper(LabelScheme::Endo)
         .with_selected_features(vec!["speed_p90".into()])

@@ -127,7 +127,10 @@ fn finding_4_random_cv_is_optimistic() {
     // The tree ensembles individually show the optimism on accuracy and
     // F-score.
     for row in &result.rows {
-        if matches!(row.kind, ClassifierKind::RandomForest | ClassifierKind::XgBoost) {
+        if matches!(
+            row.kind,
+            ClassifierKind::RandomForest | ClassifierKind::XgBoost
+        ) {
             assert!(row.accuracy_gap() > 0.0, "{}: {row:?}", row.kind);
             assert!(row.random_f1 > row.user_f1, "{}: {row:?}", row.kind);
         }

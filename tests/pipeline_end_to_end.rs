@@ -75,7 +75,10 @@ fn every_paper_classifier_clears_chance_end_to_end() {
         let factory = move |seed: u64| kind.build(seed);
         let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
         let acc = trajlib::ml::cv::mean_accuracy(&scores);
-        assert!(acc > chance + 0.1, "{kind}: accuracy {acc} vs chance {chance}");
+        assert!(
+            acc > chance + 0.1,
+            "{kind}: accuracy {acc} vs chance {chance}"
+        );
     }
 }
 
@@ -105,8 +108,7 @@ fn top20_subset_keeps_most_of_the_accuracy() {
 fn noise_step_is_optional_and_both_paths_work() {
     let synth = cohort(6);
     for noise in [NoiseConfig::disabled(), NoiseConfig::enabled()] {
-        let pipeline =
-            Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_noise(noise));
+        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_noise(noise));
         let dataset = pipeline.dataset_from_segments(&synth.segments);
         assert!(!dataset.is_empty());
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
@@ -124,6 +126,8 @@ fn group_cv_never_leaks_users_end_to_end() {
     for (train, test) in folds {
         let train_users: std::collections::HashSet<u32> =
             train.iter().map(|&i| dataset.groups[i]).collect();
-        assert!(test.iter().all(|&i| !train_users.contains(&dataset.groups[i])));
+        assert!(test
+            .iter()
+            .all(|&i| !train_users.contains(&dataset.groups[i])));
     }
 }
