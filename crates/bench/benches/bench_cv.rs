@@ -12,20 +12,22 @@ fn bench_cv(c: &mut Criterion) {
     let dataset = bench_dataset(8, 17);
 
     let mut group = c.benchmark_group("cv");
+    // `split` is lazy now (it returns a `Folds` iterator); drain it so
+    // the benchmark still measures fold materialisation.
     group.bench_function("split/kfold", |b| {
         let s = KFold::new(5, 1);
-        b.iter(|| s.split(black_box(&dataset)))
+        b.iter(|| s.split(black_box(&dataset)).unwrap().collect::<Vec<_>>())
     });
     group.bench_function("split/stratified", |b| {
         let s = StratifiedKFold {
             n_splits: 5,
             seed: 1,
         };
-        b.iter(|| s.split(black_box(&dataset)))
+        b.iter(|| s.split(black_box(&dataset)).unwrap().collect::<Vec<_>>())
     });
     group.bench_function("split/group_kfold", |b| {
         let s = GroupKFold { n_splits: 5 };
-        b.iter(|| s.split(black_box(&dataset)))
+        b.iter(|| s.split(black_box(&dataset)).unwrap().collect::<Vec<_>>())
     });
     group.bench_function("split/group_shuffle", |b| {
         let s = GroupShuffleSplit {
@@ -33,14 +35,21 @@ fn bench_cv(c: &mut Criterion) {
             test_fraction: 0.2,
             seed: 1,
         };
-        b.iter(|| s.split(black_box(&dataset)))
+        b.iter(|| s.split(black_box(&dataset)).unwrap().collect::<Vec<_>>())
     });
 
     group.sample_size(10);
     group.bench_function("cross_validate/decision_tree_5fold", |b| {
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
         let splitter = KFold::new(5, 1);
-        b.iter(|| cross_validate(&factory, black_box(&dataset), &splitter, 0))
+        b.iter(|| cross_validate(&factory, black_box(&dataset), &splitter, 0).unwrap())
+    });
+    // The headline parallel path: folds and trees both fan out onto the
+    // shared traj-runtime pool (see bench_runtime for the speedup probe).
+    group.bench_function("cross_validate/random_forest_5fold", |b| {
+        let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+        let splitter = KFold::new(5, 1);
+        b.iter(|| cross_validate(&factory, black_box(&dataset), &splitter, 0).unwrap())
     });
     group.finish();
 }

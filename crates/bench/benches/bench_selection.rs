@@ -27,7 +27,7 @@ fn bench_selection(c: &mut Criterion) {
     group.bench_function("incremental_curve/5features", |b| {
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
         let splitter = KFold::new(3, 1);
-        b.iter(|| incremental_curve(black_box(&dataset), &order, &factory, &splitter, 0))
+        b.iter(|| incremental_curve(black_box(&dataset), &order, &factory, &splitter, 0).unwrap())
     });
 
     group.bench_function("wrapper/1step_70candidates", |b| {
@@ -38,7 +38,7 @@ fn bench_selection(c: &mut Criterion) {
             seed: 0,
             patience: None,
         };
-        b.iter(|| forward_select(black_box(&dataset), &factory, &splitter, &config))
+        b.iter(|| forward_select(black_box(&dataset), &factory, &splitter, &config).unwrap())
     });
     group.finish();
 }

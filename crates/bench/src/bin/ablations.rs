@@ -88,8 +88,10 @@ fn heterogeneity_sweep(small: bool) -> String {
         let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo))
             .dataset_from_segments(&synth.segments);
         let factory = rf_factory(if small { 15 } else { 50 });
-        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
-        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        let random =
+            cross_validate(&factory, &ds, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0)
+            .expect("cohort has enough users");
         let (ra, ua) = (
             traj_ml::cv::mean_accuracy(&random),
             traj_ml::cv::mean_accuracy(&user),
@@ -115,7 +117,8 @@ fn estimator_sweep(small: bool) -> String {
     let mut table = MarkdownTable::new(vec!["trees", "random-CV acc"]);
     for n in [5, 10, 25, 50, 100] {
         let factory = rf_factory(n);
-        let scores = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        let scores =
+            cross_validate(&factory, &ds, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
         table.push_row(vec![
             n.to_string(),
             pct(traj_ml::cv::mean_accuracy(&scores)),
@@ -135,11 +138,14 @@ fn normalization_sweep(small: bool) -> String {
         ("z-score", Normalization::ZScore),
         ("none", Normalization::None),
     ] {
-        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(norm))
-            .dataset_from_segments(&synth.segments);
+        let config = PipelineConfig::builder(LabelScheme::Dabiri)
+            .normalization(norm)
+            .build();
+        let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
         let acc_of = |kind: ClassifierKind| {
             let factory = move |seed: u64| kind.build(seed);
-            let scores = cross_validate(&factory, &ds, &KFold::new(3, 1), 0);
+            let scores =
+                cross_validate(&factory, &ds, &KFold::new(3, 1), 0).expect("cohort fits 3 folds");
             traj_ml::cv::mean_accuracy(&scores)
         };
         table.push_row(vec![
@@ -162,11 +168,15 @@ fn noise_ablation(small: bool) -> String {
         ("off (paper §4.3)", NoiseConfig::disabled()),
         ("on (speed threshold + Hampel)", NoiseConfig::enabled()),
     ] {
-        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_noise(noise))
-            .dataset_from_segments(&synth.segments);
+        let config = PipelineConfig::builder(LabelScheme::Dabiri)
+            .noise(noise)
+            .build();
+        let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
         let factory = rf_factory(if small { 15 } else { 50 });
-        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
-        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        let random =
+            cross_validate(&factory, &ds, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0)
+            .expect("cohort has enough users");
         table.push_row(vec![
             label.to_owned(),
             pct(traj_ml::cv::mean_accuracy(&random)),
@@ -188,11 +198,15 @@ fn feature_set_ablation(small: bool) -> String {
         ("paper 70", FeatureSet::Paper70),
         ("extended 80 (§5 future work)", FeatureSet::Extended80),
     ] {
-        let ds = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo).with_feature_set(set))
-            .dataset_from_segments(&synth.segments);
+        let config = PipelineConfig::builder(LabelScheme::Endo)
+            .feature_set(set)
+            .build();
+        let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
         let factory = rf_factory(if small { 15 } else { 50 });
-        let random = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
-        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0);
+        let random =
+            cross_validate(&factory, &ds, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
+        let user = cross_validate(&factory, &ds, &GroupKFold { n_splits: 5 }, 0)
+            .expect("cohort has enough users");
         table.push_row(vec![
             label.to_owned(),
             pct(traj_ml::cv::mean_accuracy(&random)),
@@ -257,7 +271,8 @@ fn tuning_grid(small: bool) -> String {
         &[Some(5), Some(10), None],
         &KFold::new(3, 1),
         0,
-    );
+    )
+    .expect("cohort fits 3 folds");
     let mut table = MarkdownTable::new(vec!["trees", "max depth", "random-CV acc"]);
     for c in &cells {
         table.push_row(vec![
@@ -280,10 +295,9 @@ fn min_points_sweep(small: bool) -> String {
     let synth = cohort(1.0, small);
     let mut table = MarkdownTable::new(vec!["min points", "segments kept", "random-CV acc"]);
     for min_points in [10usize, 30, 60, 100] {
-        let config = PipelineConfig {
-            segmentation: SegmentationConfig::paper().with_min_points(min_points),
-            ..PipelineConfig::paper(LabelScheme::Dabiri)
-        };
+        let config = PipelineConfig::builder(LabelScheme::Dabiri)
+            .segmentation(SegmentationConfig::paper().with_min_points(min_points))
+            .build();
         let ds = Pipeline::new(config).dataset_from_segments(&synth.segments);
         if ds.len() < 25 {
             table.push_row(vec![
@@ -294,7 +308,8 @@ fn min_points_sweep(small: bool) -> String {
             continue;
         }
         let factory = rf_factory(if small { 15 } else { 50 });
-        let scores = cross_validate(&factory, &ds, &KFold::new(5, 1), 0);
+        let scores =
+            cross_validate(&factory, &ds, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
         table.push_row(vec![
             min_points.to_string(),
             ds.len().to_string(),

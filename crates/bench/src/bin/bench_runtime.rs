@@ -1,0 +1,101 @@
+//! Speedup probe of the shared `traj-runtime` pool on the workspace's
+//! headline workload: a 5-fold random-forest cross-validation (folds and
+//! trees both fan out onto the pool).
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin bench_runtime -- [--small]
+//! ```
+//!
+//! Runs the identical workload on a one-worker pool and on a pool sized
+//! to the machine (`TRAJ_NUM_THREADS` respected), checks the scores are
+//! bit-identical (the determinism contract), and writes
+//! `results/BENCH_runtime.json`. The ≥2× speedup acceptance bar applies
+//! on machines with at least 4 cores; the JSON records the core count so
+//! single-core CI readings are interpretable.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_bench::{results_dir, Cli};
+use traj_runtime::Runtime;
+use trajlib::prelude::*;
+use trajlib::report::save_json;
+
+#[derive(Debug, Serialize)]
+struct RuntimeBench {
+    /// Cores the machine reports.
+    cores: usize,
+    /// Workers in the parallel pool (`TRAJ_NUM_THREADS` or one per core).
+    threads: usize,
+    /// Best-of-N wall time on a one-worker pool.
+    serial_ms: f64,
+    /// Best-of-N wall time on the `threads`-worker pool.
+    parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    speedup: f64,
+    /// Whether both pools produced bit-identical fold scores.
+    parity: bool,
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let (n_users, n_estimators) = if cli.small { (6, 15) } else { (12, 50) };
+    let dataset = traj_bench::bench_dataset(n_users, 17);
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = traj_runtime::default_threads();
+
+    let workload = |rt: &Runtime| {
+        rt.install(|| {
+            let estimators = n_estimators;
+            let factory = move |seed: u64| -> Box<dyn Classifier> {
+                Box::new(RandomForest::with_estimators(estimators, seed))
+            };
+            cross_validate(&factory, &dataset, &KFold::new(5, 1), 0)
+                .expect("bench cohort fits 5 folds")
+        })
+    };
+
+    let serial_rt = Runtime::new(1);
+    let parallel_rt = Runtime::new(threads);
+
+    // Warm-up + parity check: scheduling must not change the numbers.
+    let serial_scores = workload(&serial_rt);
+    let parallel_scores = workload(&parallel_rt);
+    let parity = serial_scores == parallel_scores;
+
+    let reps = if cli.small { 2 } else { 3 };
+    let best_ms = |rt: &Runtime| {
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                let scores = workload(rt);
+                assert_eq!(scores, serial_scores, "run-to-run drift");
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let serial_ms = best_ms(&serial_rt);
+    let parallel_ms = best_ms(&parallel_rt);
+
+    let result = RuntimeBench {
+        cores,
+        threads,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        parity,
+    };
+    println!(
+        "cores={} threads={} serial={:.1}ms parallel={:.1}ms speedup={:.2}x parity={}",
+        result.cores,
+        result.threads,
+        result.serial_ms,
+        result.parallel_ms,
+        result.speedup,
+        result.parity
+    );
+    assert!(result.parity, "parallel scores diverged from serial scores");
+
+    save_json(&results_dir().join("BENCH_runtime.json"), &result).expect("write results");
+}

@@ -146,10 +146,11 @@ fn cmd_extract(opts: &Options) -> Result<(), String> {
     let scheme = scheme_of(opts)?;
     let trajectories = trajlib::geolife::load_geolife_directory(&dir, &LoaderOptions::default())
         .map_err(|e| format!("loading {}: {e}", dir.display()))?;
-    let mut config = PipelineConfig::paper(scheme);
+    let mut builder = PipelineConfig::builder(scheme);
     if opts.contains_key("extended") {
-        config = config.with_feature_set(FeatureSet::Extended80);
+        builder = builder.feature_set(FeatureSet::Extended80);
     }
+    let config = builder.build();
     let dataset = Pipeline::new(config).dataset_from_raw(&trajectories);
     std::fs::write(&out, dataset.to_csv())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
@@ -220,7 +221,8 @@ fn cmd_cv(opts: &Options) -> Result<(), String> {
         cross_validate(&factory, &dataset, &GroupKFold { n_splits: folds }, seed)
     } else {
         cross_validate(&factory, &dataset, &KFold::new(folds, seed), seed)
-    };
+    }
+    .map_err(|e| format!("cross-validation: {e}"))?;
     for (i, s) in scores.iter().enumerate() {
         println!(
             "fold {i}: accuracy {:.4}  weighted-F1 {:.4}",

@@ -96,7 +96,8 @@ pub fn run_classifier_selection(config: &ClassifierSelectionConfig) -> Classifie
         .iter()
         .map(|&kind| {
             let factory = move |seed: u64| kind.build(seed);
-            let scores = cross_validate(&factory, &dataset, &splitter, config.seed);
+            let scores = cross_validate(&factory, &dataset, &splitter, config.seed)
+                .expect("experiment fold counts fit the generated cohort");
             let accs: Vec<f64> = scores.iter().map(|s| s.accuracy).collect();
             let f1 = traj_ml::cv::mean_f1_weighted(&scores);
             (kind, accs, f1)

@@ -138,7 +138,8 @@ fn run_comparison(
             ..ForestConfig::default()
         }))
     };
-    let scores = cross_validate(&factory, &dataset, splitter, config.seed);
+    let scores = cross_validate(&factory, &dataset, splitter, config.seed)
+        .expect("experiment fold counts fit the generated cohort");
     let split_accuracies: Vec<f64> = scores.iter().map(|s| s.accuracy).collect();
     let mean_accuracy = traj_ml::cv::mean_accuracy(&scores);
     let mean_f1_weighted = traj_ml::cv::mean_f1_weighted(&scores);

@@ -90,9 +90,13 @@ pub fn run_confusion_analysis(config: &ConfusionConfig) -> ConfusionResult {
         test_fraction: 0.2,
         seed: config.seed,
     };
-    let (train_idx, test_idx) = splitter.split(&dataset).remove(0);
-    let train = dataset.subset(&train_idx);
-    let test = dataset.subset(&test_idx);
+    let fold = splitter
+        .split(&dataset)
+        .expect("generated cohort has enough users for a group split")
+        .next()
+        .expect("one split requested");
+    let train = dataset.subset(&fold.train);
+    let test = dataset.subset(&fold.test);
 
     let mut forest = RandomForest::new(ForestConfig {
         n_estimators: config.n_estimators,

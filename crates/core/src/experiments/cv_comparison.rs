@@ -106,8 +106,10 @@ pub fn run_cv_comparison(config: &CvComparisonConfig) -> CvComparisonResult {
         .iter()
         .map(|&kind| {
             let factory = move |seed: u64| kind.build(seed);
-            let r = cross_validate(&factory, &dataset, &random, config.seed);
-            let g = cross_validate(&factory, &dataset, &grouped, config.seed);
+            let r = cross_validate(&factory, &dataset, &random, config.seed)
+                .expect("experiment fold counts fit the generated cohort");
+            let g = cross_validate(&factory, &dataset, &grouped, config.seed)
+                .expect("experiment fold counts fit the generated cohort");
             CvComparisonRow {
                 kind,
                 random_accuracy: traj_ml::cv::mean_accuracy(&r),

@@ -121,7 +121,8 @@ pub fn run_evaluation_bias(config: &EvaluationBiasConfig) -> EvaluationBiasResul
         &dev,
         &KFold::new(config.folds, config.seed),
         config.seed,
-    );
+    )
+    .expect("experiment fold counts fit the generated cohort");
     push("random k-fold CV", mean_accuracy(&scores));
 
     // Strategy 2: user-oriented (group) K-fold CV.
@@ -132,7 +133,8 @@ pub fn run_evaluation_bias(config: &EvaluationBiasConfig) -> EvaluationBiasResul
             n_splits: config.folds,
         },
         config.seed,
-    );
+    )
+    .expect("experiment fold counts fit the generated cohort");
     push("user-oriented k-fold CV", mean_accuracy(&scores));
 
     // Strategy 3: one random 80/20 holdout.
@@ -143,16 +145,18 @@ pub fn run_evaluation_bias(config: &EvaluationBiasConfig) -> EvaluationBiasResul
     );
 
     // Strategy 4: one user-disjoint 80/20 holdout.
-    let split = GroupShuffleSplit {
+    let fold = GroupShuffleSplit {
         n_splits: 1,
         test_fraction: 0.2,
         seed: config.seed,
     }
     .split(&dev)
-    .remove(0);
+    .expect("generated cohort has enough users for a group split")
+    .next()
+    .expect("one split requested");
     push(
         "user-disjoint 80/20 holdout",
-        holdout_accuracy(&factory, &dev, &split.0, &split.1, config.seed),
+        holdout_accuracy(&factory, &dev, &fold.train, &fold.test, config.seed),
     );
 
     EvaluationBiasResult {

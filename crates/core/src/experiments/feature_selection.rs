@@ -89,10 +89,12 @@ pub struct FeatureSelectionResult {
 /// Runs the experiment.
 pub fn run_feature_selection(config: &FeatureSelectionConfig) -> FeatureSelectionResult {
     let synth = config.data.generate();
-    let mut pipe_config = PipelineConfig::paper(LabelScheme::Endo);
-    if let Some(names) = &config.candidate_features {
-        pipe_config = pipe_config.with_selected_features(names.clone());
-    }
+    let pipe_config = match &config.candidate_features {
+        Some(names) => PipelineConfig::builder(LabelScheme::Endo)
+            .select_features(names.iter().cloned())
+            .build(),
+        None => PipelineConfig::paper(LabelScheme::Endo),
+    };
     let dataset = Pipeline::new(pipe_config).dataset_from_segments(&synth.segments);
 
     let splitter = GroupKFold {
@@ -117,7 +119,8 @@ pub fn run_feature_selection(config: &FeatureSelectionConfig) -> FeatureSelectio
                 seed: config.seed,
                 patience: None,
             },
-        ),
+        )
+        .expect("experiment fold counts fit the generated cohort"),
         SelectionMethod::Importance => {
             let ranked = traj_select::rf_importance_ranking(
                 &dataset,
@@ -130,6 +133,7 @@ pub fn run_feature_selection(config: &FeatureSelectionConfig) -> FeatureSelectio
                 .map(|r| r.0)
                 .collect();
             traj_select::incremental_curve(&dataset, &order, &factory, &splitter, config.seed)
+                .expect("experiment fold counts fit the generated cohort")
         }
         SelectionMethod::MutualInfo => {
             let ranked = traj_select::mi_ranking(&dataset, 10);
@@ -139,6 +143,7 @@ pub fn run_feature_selection(config: &FeatureSelectionConfig) -> FeatureSelectio
                 .map(|r| r.0)
                 .collect();
             traj_select::incremental_curve(&dataset, &order, &factory, &splitter, config.seed)
+                .expect("experiment fold counts fit the generated cohort")
         }
     };
 

@@ -38,9 +38,11 @@
 //! let dataset = pipeline.dataset_from_segments(&synth.segments);
 //! assert_eq!(dataset.n_features(), 70);
 //!
-//! // Step 8: random forest under random 3-fold cross-validation.
+//! // Step 8: random forest under random 3-fold cross-validation. Folds
+//! // (and the forest's trees) train in parallel on the shared
+//! // `traj-runtime` pool; results are identical for any thread count.
 //! let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-//! let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
+//! let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0).unwrap();
 //! assert!(traj_ml::cv::mean_accuracy(&scores) > 0.5);
 //! ```
 
@@ -52,19 +54,22 @@ pub mod experiments;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{FeatureSet, Normalization, Pipeline, PipelineConfig};
+pub use pipeline::{FeatureSet, Normalization, Pipeline, PipelineConfig, PipelineConfigBuilder};
 
 // Re-export the component crates under their role names.
 pub use traj_features as features;
 pub use traj_geo as geo;
 pub use traj_geolife as geolife;
 pub use traj_ml as ml;
+pub use traj_runtime as runtime;
 pub use traj_select as select;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::experiments;
-    pub use crate::pipeline::{FeatureSet, Normalization, Pipeline, PipelineConfig};
+    pub use crate::pipeline::{
+        FeatureSet, Normalization, Pipeline, PipelineConfig, PipelineConfigBuilder,
+    };
     pub use traj_features::{extract_features, FeatureTable, MinMaxScaler, NoiseConfig};
     pub use traj_geo::segmentation::{segment_by_user_day_mode, SegmentationConfig};
     pub use traj_geo::{
@@ -72,7 +77,10 @@ pub mod prelude {
         TransportMode,
     };
     pub use traj_geolife::{DatasetStats, SynthConfig, SynthDataset};
-    pub use traj_ml::cv::{cross_validate, GroupKFold, GroupShuffleSplit, KFold, StratifiedKFold};
+    pub use traj_ml::cv::{
+        cross_validate, Fold, Folds, GroupKFold, GroupShuffleSplit, KFold, SplitError, Splitter,
+        StratifiedKFold,
+    };
     pub use traj_ml::{
         accuracy, f1_weighted, Alternative, Classifier, ClassifierKind, Dataset, RandomForest,
     };

@@ -38,7 +38,13 @@ pub enum Normalization {
 }
 
 /// Configuration of a [`Pipeline`].
+///
+/// Construct via [`PipelineConfig::paper`] (the paper's defaults) or the
+/// fluent [`PipelineConfig::builder`]; the struct is `#[non_exhaustive]`
+/// so new pipeline steps can be added without breaking downstream
+/// construction sites.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Step 1: segmentation parameters.
     pub segmentation: SegmentationConfig,
@@ -71,28 +77,108 @@ impl PipelineConfig {
         }
     }
 
+    /// Starts a fluent [`PipelineConfigBuilder`] from the paper's
+    /// defaults for `scheme`.
+    ///
+    /// ```
+    /// use trajlib::pipeline::{FeatureSet, Normalization, PipelineConfig};
+    /// use traj_geo::LabelScheme;
+    ///
+    /// let config = PipelineConfig::builder(LabelScheme::Dabiri)
+    ///     .feature_set(FeatureSet::Extended80)
+    ///     .normalization(Normalization::ZScore)
+    ///     .select_features(["speed_p90", "straightness"])
+    ///     .build();
+    /// assert_eq!(config.feature_set, FeatureSet::Extended80);
+    /// ```
+    pub fn builder(scheme: LabelScheme) -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::paper(scheme),
+        }
+    }
+
     /// Switches step 3 to the extended 80-feature set.
+    #[deprecated(note = "use PipelineConfig::builder(scheme).feature_set(...)")]
     pub fn with_feature_set(mut self, feature_set: FeatureSet) -> Self {
         self.feature_set = feature_set;
         self
     }
 
     /// Restricts the pipeline to the named features (step 5).
+    #[deprecated(note = "use PipelineConfig::builder(scheme).select_features(...)")]
     pub fn with_selected_features(mut self, names: Vec<String>) -> Self {
         self.selected_features = Some(names);
         self
     }
 
     /// Enables the optional noise handling (step 6).
+    #[deprecated(note = "use PipelineConfig::builder(scheme).noise(...)")]
     pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
         self.noise = noise;
         self
     }
 
     /// Sets the normalisation (step 7).
+    #[deprecated(note = "use PipelineConfig::builder(scheme).normalization(...)")]
     pub fn with_normalization(mut self, normalization: Normalization) -> Self {
         self.normalization = normalization;
         self
+    }
+}
+
+/// Fluent builder for [`PipelineConfig`], started by
+/// [`PipelineConfig::builder`]. Every setter overrides one field of the
+/// paper's defaults; [`PipelineConfigBuilder::build`] finishes.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Step 1: segmentation parameters.
+    pub fn segmentation(mut self, segmentation: SegmentationConfig) -> Self {
+        self.config.segmentation = segmentation;
+        self
+    }
+
+    /// Step 3: which trajectory-feature set to emit.
+    pub fn feature_set(mut self, feature_set: FeatureSet) -> Self {
+        self.config.feature_set = feature_set;
+        self
+    }
+
+    /// Step 6: noise handling.
+    pub fn noise(mut self, noise: NoiseConfig) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Step 7: normalisation.
+    pub fn normalization(mut self, normalization: Normalization) -> Self {
+        self.config.normalization = normalization;
+        self
+    }
+
+    /// Step 5: keep only these features, by name.
+    pub fn select_features<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.config.selected_features = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Clears a previous [`select_features`](Self::select_features),
+    /// keeping the full feature set.
+    pub fn all_features(mut self) -> Self {
+        self.config.selected_features = None;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> PipelineConfig {
+        self.config
     }
 }
 
@@ -137,41 +223,46 @@ impl Pipeline {
         if self.config.feature_set == FeatureSet::Extended80 {
             all_names.extend(traj_features::extended::extended_feature_names());
         }
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut labels = Vec::new();
-        let mut groups = Vec::new();
-
-        for seg in segments {
-            if seg.len() < self.config.segmentation.min_points {
-                continue;
-            }
-            let Some(class) = self.config.scheme.class_of(seg.mode) else {
-                continue;
-            };
-            // Step 6 (optional): clean positions, then series.
-            let cleaned;
-            let seg_ref = if self.config.noise.is_active() {
-                cleaned = self.config.noise.clean_segment(seg);
-                if cleaned.len() < self.config.segmentation.min_points {
-                    continue;
+        // Steps 2–3 + 6 are independent per segment: one pool task each,
+        // results kept in input order (dropped segments yield `None`), so
+        // the dataset is identical to the old sequential loop.
+        let extracted: Vec<Option<(Vec<f64>, usize, u32)>> =
+            traj_runtime::parallel_map(segments, |_, seg| {
+                if seg.len() < self.config.segmentation.min_points {
+                    return None;
                 }
-                &cleaned
-            } else {
-                seg
-            };
-            // Steps 2–3.
-            let mut pf = PointFeatures::compute(seg_ref);
-            self.config.noise.clean_point_features(&mut pf);
-            let mut row = match self.config.feature_set {
-                FeatureSet::Zheng11 => traj_features::zheng::zheng_features(seg_ref, &pf),
-                _ => features_from_point_features(&pf),
-            };
-            if self.config.feature_set == FeatureSet::Extended80 {
-                row.extend(traj_features::extended::extended_features(seg_ref, &pf));
-            }
+                let class = self.config.scheme.class_of(seg.mode)?;
+                // Step 6 (optional): clean positions, then series.
+                let cleaned;
+                let seg_ref = if self.config.noise.is_active() {
+                    cleaned = self.config.noise.clean_segment(seg);
+                    if cleaned.len() < self.config.segmentation.min_points {
+                        return None;
+                    }
+                    &cleaned
+                } else {
+                    seg
+                };
+                // Steps 2–3.
+                let mut pf = PointFeatures::compute(seg_ref);
+                self.config.noise.clean_point_features(&mut pf);
+                let mut row = match self.config.feature_set {
+                    FeatureSet::Zheng11 => traj_features::zheng::zheng_features(seg_ref, &pf),
+                    _ => features_from_point_features(&pf),
+                };
+                if self.config.feature_set == FeatureSet::Extended80 {
+                    row.extend(traj_features::extended::extended_features(seg_ref, &pf));
+                }
+                Some((row, class, seg.user))
+            });
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(extracted.len());
+        let mut labels = Vec::with_capacity(extracted.len());
+        let mut groups = Vec::with_capacity(extracted.len());
+        for (row, class, user) in extracted.into_iter().flatten() {
             rows.push(row);
             labels.push(class);
-            groups.push(seg.user);
+            groups.push(user);
         }
 
         // Step 5 (optional): project onto the selected features.
@@ -251,8 +342,9 @@ mod tests {
     #[test]
     fn feature_selection_projects_named_columns() {
         let segments = small_segments();
-        let config = PipelineConfig::paper(LabelScheme::Raw)
-            .with_selected_features(vec!["speed_p90".into(), "speed_mean".into()]);
+        let config = PipelineConfig::builder(LabelScheme::Raw)
+            .select_features(["speed_p90", "speed_mean"])
+            .build();
         let ds = Pipeline::new(config).dataset_from_segments(&segments);
         assert_eq!(ds.n_features(), 2);
         assert_eq!(ds.feature_names, vec!["speed_p90", "speed_mean"]);
@@ -262,8 +354,9 @@ mod tests {
     #[should_panic(expected = "unknown feature name")]
     fn unknown_feature_name_panics() {
         let segments = small_segments();
-        let config =
-            PipelineConfig::paper(LabelScheme::Raw).with_selected_features(vec!["bogus".into()]);
+        let config = PipelineConfig::builder(LabelScheme::Raw)
+            .select_features(["bogus"])
+            .build();
         let _ = Pipeline::new(config).dataset_from_segments(&segments);
     }
 
@@ -271,7 +364,9 @@ mod tests {
     fn normalization_variants() {
         let segments = small_segments();
         let raw = Pipeline::new(
-            PipelineConfig::paper(LabelScheme::Raw).with_normalization(Normalization::None),
+            PipelineConfig::builder(LabelScheme::Raw)
+                .normalization(Normalization::None)
+                .build(),
         )
         .dataset_from_segments(&segments);
         // Unnormalised speeds exceed 1 m/s somewhere.
@@ -279,7 +374,9 @@ mod tests {
         assert!(any_large);
 
         let z = Pipeline::new(
-            PipelineConfig::paper(LabelScheme::Raw).with_normalization(Normalization::ZScore),
+            PipelineConfig::builder(LabelScheme::Raw)
+                .normalization(Normalization::ZScore)
+                .build(),
         )
         .dataset_from_segments(&segments);
         // z-scored columns have mean ≈ 0.
@@ -293,7 +390,9 @@ mod tests {
         let clean =
             Pipeline::new(PipelineConfig::paper(LabelScheme::Raw)).dataset_from_segments(&segments);
         let filtered = Pipeline::new(
-            PipelineConfig::paper(LabelScheme::Raw).with_noise(NoiseConfig::enabled()),
+            PipelineConfig::builder(LabelScheme::Raw)
+                .noise(NoiseConfig::enabled())
+                .build(),
         )
         .dataset_from_segments(&segments);
         assert_eq!(clean.len(), filtered.len());
@@ -315,8 +414,9 @@ mod tests {
     #[test]
     fn extended_feature_set_appends_ten_columns() {
         let segments = small_segments();
-        let config =
-            PipelineConfig::paper(LabelScheme::Raw).with_feature_set(FeatureSet::Extended80);
+        let config = PipelineConfig::builder(LabelScheme::Raw)
+            .feature_set(FeatureSet::Extended80)
+            .build();
         let ds = Pipeline::new(config).dataset_from_segments(&segments);
         assert_eq!(ds.n_features(), 80);
         assert!(ds.feature_index("straightness").is_some());
@@ -331,8 +431,9 @@ mod tests {
     #[test]
     fn zheng_feature_set_produces_eleven_columns() {
         let segments = small_segments();
-        let config =
-            PipelineConfig::paper(LabelScheme::Dabiri).with_feature_set(FeatureSet::Zheng11);
+        let config = PipelineConfig::builder(LabelScheme::Dabiri)
+            .feature_set(FeatureSet::Zheng11)
+            .build();
         let ds = Pipeline::new(config).dataset_from_segments(&segments);
         assert_eq!(ds.n_features(), 11);
         assert!(ds.feature_index("zheng_heading_change_rate").is_some());
@@ -347,9 +448,10 @@ mod tests {
     #[test]
     fn extended_selection_by_name_works() {
         let segments = small_segments();
-        let config = PipelineConfig::paper(LabelScheme::Raw)
-            .with_feature_set(FeatureSet::Extended80)
-            .with_selected_features(vec!["straightness".into(), "speed_p90".into()]);
+        let config = PipelineConfig::builder(LabelScheme::Raw)
+            .feature_set(FeatureSet::Extended80)
+            .select_features(["straightness", "speed_p90"])
+            .build();
         let ds = Pipeline::new(config).dataset_from_segments(&segments);
         assert_eq!(ds.n_features(), 2);
     }

@@ -14,6 +14,20 @@
 //! scheme leaks user identity across the split and reports optimistic
 //! scores — the paper's Figure 4 finding, which [`cross_validate`] lets
 //! you reproduce with any classifier.
+//!
+//! ## API shape
+//!
+//! [`Splitter::split`] returns `Result<Folds, SplitError>`: a lazy
+//! iterator of owned [`Fold`] structs instead of an eager
+//! `Vec<(Vec<usize>, Vec<usize>)>`, and degenerate configurations (fewer
+//! samples than folds, fewer groups than folds…) surface as a
+//! [`SplitError`] value rather than aborting the process.
+//!
+//! [`cross_validate`] fits and scores the folds **in parallel** on the
+//! shared [`traj_runtime`] pool, one task per fold. Per-fold classifier
+//! seeds derive from the fold *index*, so the scores are bit-identical
+//! for any thread count (`TRAJ_NUM_THREADS=1` included) — pinned by the
+//! `parallel_parity` integration tests.
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
@@ -23,13 +37,198 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-/// A cross-validation splitter: yields `(train_indices, test_indices)`
-/// pairs over a dataset.
-pub trait Splitter {
-    /// The folds of `data`. Implementations must return disjoint
-    /// train/test pairs whose test sides cover every usable sample once.
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)>;
+/// One cross-validation fold: owned row indices of each side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training-side row indices.
+    pub train: Vec<usize>,
+    /// Test-side row indices.
+    pub test: Vec<usize>,
 }
+
+/// Why a splitter could not produce folds for a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitError {
+    /// The requested fold count is below the scheme's minimum.
+    TooFewFolds {
+        /// Requested fold count.
+        n_splits: usize,
+        /// The scheme's minimum.
+        minimum: usize,
+    },
+    /// More folds than samples.
+    TooFewSamples {
+        /// Samples in the dataset.
+        samples: usize,
+        /// Requested fold count.
+        folds: usize,
+    },
+    /// More folds than distinct groups (users).
+    TooFewGroups {
+        /// Distinct groups in the dataset.
+        groups: usize,
+        /// Groups the configuration needs.
+        required: usize,
+    },
+    /// A repeated scheme with zero repetitions.
+    TooFewRepeats {
+        /// Requested repetition count.
+        n_repeats: usize,
+    },
+    /// The held-out fraction is outside `(0, 1)`.
+    BadTestFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::TooFewFolds { n_splits, minimum } => {
+                write!(f, "need at least {minimum} folds (got {n_splits})")
+            }
+            SplitError::TooFewSamples { samples, folds } => {
+                write!(f, "fewer samples than folds ({samples} < {folds})")
+            }
+            SplitError::TooFewGroups { groups, required } => {
+                write!(f, "fewer groups than folds ({groups} < {required})")
+            }
+            SplitError::TooFewRepeats { n_repeats } => {
+                write!(f, "need at least one repeat (got {n_repeats})")
+            }
+            SplitError::BadTestFraction { fraction } => {
+                write!(f, "test fraction must be in (0, 1), got {fraction}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// A cross-validation splitter: yields the [`Fold`]s of a dataset.
+pub trait Splitter {
+    /// The folds of `data`, as a lazy iterator of owned [`Fold`]s.
+    /// Implementations must return disjoint train/test pairs whose test
+    /// sides cover every usable sample once, and must report degenerate
+    /// configurations as a [`SplitError`] instead of panicking.
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError>;
+}
+
+/// Lazy iterator of owned [`Fold`]s returned by [`Splitter::split`].
+///
+/// Each `next()` materialises one fold, so K-fold over n samples holds
+/// `O(n)` state rather than the `O(n·k)` of the former eager
+/// `Vec<(train, test)>` shape.
+#[derive(Debug)]
+pub struct Folds {
+    inner: FoldsInner,
+}
+
+#[derive(Debug)]
+enum FoldsInner {
+    /// Test folds are contiguous runs of `indices` (K-fold shape).
+    Contiguous {
+        indices: Vec<usize>,
+        k: usize,
+        next: usize,
+    },
+    /// Sample `i` belongs to test fold `fold_of[i]` (stratified/group
+    /// shape).
+    Assigned {
+        fold_of: Vec<usize>,
+        k: usize,
+        next: usize,
+    },
+    /// Pre-materialised folds (shuffle-split and repeated schemes).
+    Explicit(std::vec::IntoIter<Fold>),
+}
+
+impl Folds {
+    fn contiguous(indices: Vec<usize>, k: usize) -> Folds {
+        Folds {
+            inner: FoldsInner::Contiguous {
+                indices,
+                k,
+                next: 0,
+            },
+        }
+    }
+
+    fn from_assignment(fold_of: Vec<usize>, k: usize) -> Folds {
+        Folds {
+            inner: FoldsInner::Assigned {
+                fold_of,
+                k,
+                next: 0,
+            },
+        }
+    }
+
+    fn explicit(folds: Vec<Fold>) -> Folds {
+        Folds {
+            inner: FoldsInner::Explicit(folds.into_iter()),
+        }
+    }
+}
+
+impl Iterator for Folds {
+    type Item = Fold;
+
+    fn next(&mut self) -> Option<Fold> {
+        match &mut self.inner {
+            FoldsInner::Contiguous { indices, k, next } => {
+                if *next >= *k {
+                    return None;
+                }
+                let f = *next;
+                *next += 1;
+                let n = indices.len();
+                let base = n / *k;
+                let extra = n % *k;
+                let start = f * base + f.min(extra);
+                let size = base + usize::from(f < extra);
+                let test = indices[start..start + size].to_vec();
+                let train = indices[..start]
+                    .iter()
+                    .chain(&indices[start + size..])
+                    .copied()
+                    .collect();
+                Some(Fold { train, test })
+            }
+            FoldsInner::Assigned { fold_of, k, next } => {
+                if *next >= *k {
+                    return None;
+                }
+                let f = *next;
+                *next += 1;
+                let mut train = Vec::new();
+                let mut test = Vec::new();
+                for (i, &fi) in fold_of.iter().enumerate() {
+                    if fi == f {
+                        test.push(i);
+                    } else {
+                        train.push(i);
+                    }
+                }
+                Some(Fold { train, test })
+            }
+            FoldsInner::Explicit(iter) => iter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.inner {
+            FoldsInner::Contiguous { k, next, .. } | FoldsInner::Assigned { k, next, .. } => {
+                k - next
+            }
+            FoldsInner::Explicit(iter) => iter.len(),
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Folds {}
 
 /// Random K-fold: shuffle sample indices, cut into `k` contiguous folds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,20 +253,25 @@ impl KFold {
 }
 
 impl Splitter for KFold {
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(self.n_splits >= 2, "need at least two folds");
-        assert!(
-            data.len() >= self.n_splits,
-            "fewer samples than folds ({} < {})",
-            data.len(),
-            self.n_splits
-        );
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError> {
+        if self.n_splits < 2 {
+            return Err(SplitError::TooFewFolds {
+                n_splits: self.n_splits,
+                minimum: 2,
+            });
+        }
+        if data.len() < self.n_splits {
+            return Err(SplitError::TooFewSamples {
+                samples: data.len(),
+                folds: self.n_splits,
+            });
+        }
         let mut indices: Vec<usize> = (0..data.len()).collect();
         if self.shuffle {
             let mut rng = StdRng::seed_from_u64(self.seed);
             indices.shuffle(&mut rng);
         }
-        contiguous_folds(&indices, self.n_splits)
+        Ok(Folds::contiguous(indices, self.n_splits))
     }
 }
 
@@ -81,8 +285,13 @@ pub struct StratifiedKFold {
 }
 
 impl Splitter for StratifiedKFold {
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(self.n_splits >= 2, "need at least two folds");
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError> {
+        if self.n_splits < 2 {
+            return Err(SplitError::TooFewFolds {
+                n_splits: self.n_splits,
+                minimum: 2,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut fold_of = vec![0usize; data.len()];
         for class in 0..data.n_classes {
@@ -92,7 +301,7 @@ impl Splitter for StratifiedKFold {
                 fold_of[i] = pos % self.n_splits;
             }
         }
-        folds_from_assignment(&fold_of, self.n_splits)
+        Ok(Folds::from_assignment(fold_of, self.n_splits))
     }
 }
 
@@ -107,15 +316,20 @@ pub struct GroupKFold {
 }
 
 impl Splitter for GroupKFold {
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(self.n_splits >= 2, "need at least two folds");
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError> {
+        if self.n_splits < 2 {
+            return Err(SplitError::TooFewFolds {
+                n_splits: self.n_splits,
+                minimum: 2,
+            });
+        }
         let groups = data.distinct_groups();
-        assert!(
-            groups.len() >= self.n_splits,
-            "fewer groups than folds ({} < {})",
-            groups.len(),
-            self.n_splits
-        );
+        if groups.len() < self.n_splits {
+            return Err(SplitError::TooFewGroups {
+                groups: groups.len(),
+                required: self.n_splits,
+            });
+        }
         // Count samples per group.
         let mut sizes: Vec<(u32, usize)> = groups
             .iter()
@@ -134,7 +348,7 @@ impl Splitter for GroupKFold {
             fold_of_group.insert(g, lightest);
         }
         let fold_of: Vec<usize> = data.groups.iter().map(|g| fold_of_group[g]).collect();
-        folds_from_assignment(&fold_of, self.n_splits)
+        Ok(Folds::from_assignment(fold_of, self.n_splits))
     }
 }
 
@@ -153,18 +367,29 @@ pub struct GroupShuffleSplit {
 }
 
 impl Splitter for GroupShuffleSplit {
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(self.n_splits >= 1, "need at least one split");
-        assert!(
-            (0.0..1.0).contains(&self.test_fraction) && self.test_fraction > 0.0,
-            "test fraction must be in (0, 1)"
-        );
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError> {
+        if self.n_splits < 1 {
+            return Err(SplitError::TooFewFolds {
+                n_splits: self.n_splits,
+                minimum: 1,
+            });
+        }
+        if !(self.test_fraction > 0.0 && self.test_fraction < 1.0) {
+            return Err(SplitError::BadTestFraction {
+                fraction: self.test_fraction,
+            });
+        }
         let groups = data.distinct_groups();
-        assert!(groups.len() >= 2, "need at least two groups");
+        if groups.len() < 2 {
+            return Err(SplitError::TooFewGroups {
+                groups: groups.len(),
+                required: 2,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let target = (data.len() as f64 * self.test_fraction).round() as usize;
 
-        (0..self.n_splits)
+        let folds = (0..self.n_splits)
             .map(|_| {
                 let mut order = groups.clone();
                 order.shuffle(&mut rng);
@@ -192,9 +417,10 @@ impl Splitter for GroupShuffleSplit {
                         train.push(i);
                     }
                 }
-                (train, test)
+                Fold { train, test }
             })
-            .collect()
+            .collect();
+        Ok(Folds::explicit(folds))
     }
 }
 
@@ -213,11 +439,18 @@ pub struct RepeatedKFold {
 }
 
 impl Splitter for RepeatedKFold {
-    fn split(&self, data: &Dataset) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(self.n_repeats >= 1, "need at least one repeat");
-        (0..self.n_repeats)
-            .flat_map(|r| KFold::new(self.n_splits, self.seed.wrapping_add(r as u64)).split(data))
-            .collect()
+    fn split(&self, data: &Dataset) -> Result<Folds, SplitError> {
+        if self.n_repeats < 1 {
+            return Err(SplitError::TooFewRepeats {
+                n_repeats: self.n_repeats,
+            });
+        }
+        let mut folds = Vec::with_capacity(self.n_repeats * self.n_splits);
+        for r in 0..self.n_repeats {
+            let repeat = KFold::new(self.n_splits, self.seed.wrapping_add(r as u64)).split(data)?;
+            folds.extend(repeat);
+        }
+        Ok(Folds::explicit(folds))
     }
 }
 
@@ -239,43 +472,6 @@ pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Vec<u
     (indices, test)
 }
 
-fn contiguous_folds(indices: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
-    let n = indices.len();
-    let mut out = Vec::with_capacity(k);
-    let base = n / k;
-    let extra = n % k;
-    let mut start = 0usize;
-    for f in 0..k {
-        let size = base + usize::from(f < extra);
-        let test: Vec<usize> = indices[start..start + size].to_vec();
-        let train: Vec<usize> = indices[..start]
-            .iter()
-            .chain(&indices[start + size..])
-            .copied()
-            .collect();
-        out.push((train, test));
-        start += size;
-    }
-    out
-}
-
-fn folds_from_assignment(fold_of: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
-    (0..k)
-        .map(|f| {
-            let mut train = Vec::new();
-            let mut test = Vec::new();
-            for (i, &fi) in fold_of.iter().enumerate() {
-                if fi == f {
-                    test.push(i);
-                } else {
-                    train.push(i);
-                }
-            }
-            (train, test)
-        })
-        .collect()
-}
-
 /// Scores of one cross-validation fold.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FoldScore {
@@ -294,7 +490,11 @@ pub struct FoldScore {
 /// Runs cross-validation: for each fold a fresh classifier is built by
 /// `factory` (receiving a per-fold seed derived from `base_seed`), fitted
 /// on the training side, and scored on the test side. Folds whose test
-/// side is empty are skipped.
+/// (or train) side is empty are skipped.
+///
+/// Folds run **in parallel**, one [`traj_runtime`] task each. Per-fold
+/// seeds derive from the fold index, so the returned scores are
+/// bit-identical for any thread count.
 ///
 /// ```
 /// use traj_ml::{cross_validate, ClassifierKind, Dataset, KFold};
@@ -303,37 +503,40 @@ pub struct FoldScore {
 /// let data = Dataset::from_rows(&rows, y, 2, vec![0; 30], vec![]);
 ///
 /// let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
-/// let scores = cross_validate(&factory, &data, &KFold::new(3, 1), 0);
+/// let scores = cross_validate(&factory, &data, &KFold::new(3, 1), 0).unwrap();
 /// assert_eq!(scores.len(), 3);
 /// assert!(traj_ml::cv::mean_accuracy(&scores) > 0.8);
 /// ```
-pub fn cross_validate(
-    factory: &dyn Fn(u64) -> Box<dyn Classifier>,
+pub fn cross_validate<F, S>(
+    factory: &F,
     data: &Dataset,
-    splitter: &dyn Splitter,
+    splitter: &S,
     base_seed: u64,
-) -> Vec<FoldScore> {
-    let folds = splitter.split(data);
-    let mut scores = Vec::with_capacity(folds.len());
-    for (fold_idx, (train_idx, test_idx)) in folds.into_iter().enumerate() {
-        if test_idx.is_empty() || train_idx.is_empty() {
-            continue;
+) -> Result<Vec<FoldScore>, SplitError>
+where
+    F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
+    S: Splitter + ?Sized,
+{
+    let folds: Vec<Fold> = splitter.split(data)?.collect();
+    let scores = traj_runtime::parallel_map(&folds, |fold_idx, fold| {
+        if fold.test.is_empty() || fold.train.is_empty() {
+            return None;
         }
-        let train = data.subset(&train_idx);
-        let test = data.subset(&test_idx);
+        let train = data.subset(&fold.train);
+        let test = data.subset(&fold.test);
         let mut model = factory(base_seed.wrapping_add(fold_idx as u64));
         model.fit(&train);
         let pred = model.predict(&test);
         let report = ClassificationReport::compute(&test.y, &pred, data.n_classes);
-        scores.push(FoldScore {
+        Some(FoldScore {
             accuracy: report.accuracy,
             f1_macro: report.f1_macro(),
             f1_weighted: report.f1_weighted(),
-            train_size: train_idx.len(),
-            test_size: test_idx.len(),
-        });
-    }
-    scores
+            train_size: fold.train.len(),
+            test_size: fold.test.len(),
+        })
+    });
+    Ok(scores.into_iter().flatten().collect())
 }
 
 /// Mean accuracy over folds.
@@ -358,6 +561,10 @@ mod tests {
     use crate::classifier::ClassifierKind;
     use rand::Rng;
 
+    fn folds_of<S: Splitter>(splitter: &S, data: &Dataset) -> Vec<Fold> {
+        splitter.split(data).expect("valid split").collect()
+    }
+
     /// Dataset with group structure: each of `n_groups` users has
     /// `per_group` samples, labels alternate by class.
     fn grouped_data(n_groups: u32, per_group: usize, seed: u64) -> Dataset {
@@ -379,16 +586,20 @@ mod tests {
         Dataset::from_rows(&rows, y, 2, groups, vec![])
     }
 
-    fn assert_is_partition(folds: &[(Vec<usize>, Vec<usize>)], n: usize) {
+    fn assert_is_partition(folds: &[Fold], n: usize) {
         let mut covered = vec![false; n];
-        for (train, test) in folds {
-            for &i in test {
+        for fold in folds {
+            for &i in &fold.test {
                 assert!(!covered[i], "sample {i} in two test folds");
                 covered[i] = true;
             }
-            let train_set: std::collections::HashSet<_> = train.iter().collect();
-            assert!(test.iter().all(|i| !train_set.contains(i)), "overlap");
-            assert_eq!(train.len() + test.len(), n, "fold covers all samples");
+            let train_set: std::collections::HashSet<_> = fold.train.iter().collect();
+            assert!(fold.test.iter().all(|i| !train_set.contains(i)), "overlap");
+            assert_eq!(
+                fold.train.len() + fold.test.len(),
+                n,
+                "fold covers all samples"
+            );
         }
         assert!(covered.iter().all(|&b| b), "every sample tested once");
     }
@@ -396,53 +607,90 @@ mod tests {
     #[test]
     fn kfold_partitions_cleanly() {
         let data = grouped_data(5, 7, 1);
-        let folds = KFold::new(5, 3).split(&data);
+        let folds = folds_of(&KFold::new(5, 3), &data);
         assert_eq!(folds.len(), 5);
         assert_is_partition(&folds, data.len());
     }
 
     #[test]
+    fn folds_iterator_is_lazy_and_exact_size() {
+        let data = grouped_data(4, 6, 1);
+        let mut folds = KFold::new(4, 3).split(&data).unwrap();
+        assert_eq!(folds.len(), 4);
+        let first = folds.next().expect("first fold");
+        assert_eq!(first.train.len() + first.test.len(), data.len());
+        assert_eq!(folds.len(), 3, "ExactSizeIterator tracks consumption");
+        assert_eq!(folds.count(), 3);
+    }
+
+    #[test]
     fn kfold_is_deterministic_per_seed() {
         let data = grouped_data(4, 5, 2);
-        assert_eq!(KFold::new(4, 9).split(&data), KFold::new(4, 9).split(&data));
+        assert_eq!(
+            folds_of(&KFold::new(4, 9), &data),
+            folds_of(&KFold::new(4, 9), &data)
+        );
         assert_ne!(
-            KFold::new(4, 9).split(&data),
-            KFold::new(4, 10).split(&data)
+            folds_of(&KFold::new(4, 9), &data),
+            folds_of(&KFold::new(4, 10), &data)
         );
     }
 
     #[test]
     fn unshuffled_kfold_is_contiguous() {
         let data = grouped_data(2, 6, 3);
-        let folds = KFold {
-            n_splits: 3,
-            shuffle: false,
-            seed: 0,
-        }
-        .split(&data);
-        assert_eq!(folds[0].1, vec![0, 1, 2, 3]);
-        assert_eq!(folds[2].1, vec![8, 9, 10, 11]);
+        let folds = folds_of(
+            &KFold {
+                n_splits: 3,
+                shuffle: false,
+                seed: 0,
+            },
+            &data,
+        );
+        assert_eq!(folds[0].test, vec![0, 1, 2, 3]);
+        assert_eq!(folds[2].test, vec![8, 9, 10, 11]);
     }
 
     #[test]
-    #[should_panic(expected = "fewer samples than folds")]
     fn kfold_rejects_more_folds_than_samples() {
         let data = grouped_data(1, 3, 4);
-        let _ = KFold::new(5, 0).split(&data);
+        let err = KFold::new(5, 0).split(&data).expect_err("must reject");
+        assert_eq!(
+            err,
+            SplitError::TooFewSamples {
+                samples: 3,
+                folds: 5
+            }
+        );
+        assert!(err.to_string().contains("fewer samples than folds"));
+    }
+
+    #[test]
+    fn kfold_rejects_single_fold() {
+        let data = grouped_data(2, 5, 4);
+        assert_eq!(
+            KFold::new(1, 0).split(&data).expect_err("must reject"),
+            SplitError::TooFewFolds {
+                n_splits: 1,
+                minimum: 2
+            }
+        );
     }
 
     #[test]
     fn stratified_kfold_preserves_class_balance() {
         let data = grouped_data(10, 10, 5); // 50/50 classes
-        let folds = StratifiedKFold {
-            n_splits: 5,
-            seed: 1,
-        }
-        .split(&data);
+        let folds = folds_of(
+            &StratifiedKFold {
+                n_splits: 5,
+                seed: 1,
+            },
+            &data,
+        );
         assert_is_partition(&folds, data.len());
-        for (_, test) in &folds {
-            let ones = test.iter().filter(|&&i| data.y[i] == 1).count();
-            let ratio = ones as f64 / test.len() as f64;
+        for fold in &folds {
+            let ones = fold.test.iter().filter(|&&i| data.y[i] == 1).count();
+            let ratio = ones as f64 / fold.test.len() as f64;
             assert!((ratio - 0.5).abs() < 0.11, "fold class ratio {ratio}");
         }
     }
@@ -450,13 +698,13 @@ mod tests {
     #[test]
     fn group_kfold_keeps_users_whole() {
         let data = grouped_data(9, 6, 6);
-        let folds = GroupKFold { n_splits: 3 }.split(&data);
+        let folds = folds_of(&GroupKFold { n_splits: 3 }, &data);
         assert_is_partition(&folds, data.len());
-        for (train, test) in &folds {
+        for fold in &folds {
             let test_groups: std::collections::HashSet<u32> =
-                test.iter().map(|&i| data.groups[i]).collect();
+                fold.test.iter().map(|&i| data.groups[i]).collect();
             let train_groups: std::collections::HashSet<u32> =
-                train.iter().map(|&i| data.groups[i]).collect();
+                fold.train.iter().map(|&i| data.groups[i]).collect();
             assert!(
                 test_groups.is_disjoint(&train_groups),
                 "user leaked across a fold"
@@ -478,46 +726,71 @@ mod tests {
             }
         }
         let data = Dataset::from_rows(&rows, y, 1, groups, vec![]);
-        let folds = GroupKFold { n_splits: 2 }.split(&data);
-        for (_, test) in &folds {
-            assert_eq!(test.len(), 12, "greedy balancing equalises folds");
+        let folds = folds_of(&GroupKFold { n_splits: 2 }, &data);
+        for fold in &folds {
+            assert_eq!(fold.test.len(), 12, "greedy balancing equalises folds");
         }
     }
 
     #[test]
-    #[should_panic(expected = "fewer groups than folds")]
     fn group_kfold_rejects_too_few_groups() {
         let data = grouped_data(2, 4, 7);
-        let _ = GroupKFold { n_splits: 3 }.split(&data);
+        let err = GroupKFold { n_splits: 3 }
+            .split(&data)
+            .expect_err("must reject");
+        assert_eq!(
+            err,
+            SplitError::TooFewGroups {
+                groups: 2,
+                required: 3
+            }
+        );
+        assert!(err.to_string().contains("fewer groups than folds"));
     }
 
     #[test]
     fn group_shuffle_split_respects_fraction_and_purity() {
         let data = grouped_data(20, 5, 8);
-        let splits = GroupShuffleSplit {
-            n_splits: 10,
-            test_fraction: 0.2,
-            seed: 4,
-        }
-        .split(&data);
+        let splits = folds_of(
+            &GroupShuffleSplit {
+                n_splits: 10,
+                test_fraction: 0.2,
+                seed: 4,
+            },
+            &data,
+        );
         assert_eq!(splits.len(), 10);
-        for (train, test) in &splits {
-            assert_eq!(train.len() + test.len(), data.len());
-            let frac = test.len() as f64 / data.len() as f64;
+        for fold in &splits {
+            assert_eq!(fold.train.len() + fold.test.len(), data.len());
+            let frac = fold.test.len() as f64 / data.len() as f64;
             assert!((0.1..0.4).contains(&frac), "test fraction {frac}");
             let test_groups: std::collections::HashSet<u32> =
-                test.iter().map(|&i| data.groups[i]).collect();
-            assert!(train
+                fold.test.iter().map(|&i| data.groups[i]).collect();
+            assert!(fold
+                .train
                 .iter()
                 .all(|&i| !test_groups.contains(&data.groups[i])));
         }
     }
 
     #[test]
+    fn group_shuffle_split_rejects_bad_fraction() {
+        let data = grouped_data(4, 5, 8);
+        let err = GroupShuffleSplit {
+            n_splits: 1,
+            test_fraction: 1.5,
+            seed: 0,
+        }
+        .split(&data)
+        .expect_err("must reject");
+        assert_eq!(err, SplitError::BadTestFraction { fraction: 1.5 });
+    }
+
+    #[test]
     fn cross_validate_scores_are_sane() {
         let data = grouped_data(8, 12, 9);
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
-        let scores = cross_validate(&factory, &data, &KFold::new(4, 1), 0);
+        let scores = cross_validate(&factory, &data, &KFold::new(4, 1), 0).unwrap();
         assert_eq!(scores.len(), 4);
         for s in &scores {
             assert!((0.0..=1.0).contains(&s.accuracy));
@@ -534,9 +807,32 @@ mod tests {
     fn cross_validate_is_reproducible() {
         let data = grouped_data(6, 10, 10);
         let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-        let a = cross_validate(&factory, &data, &KFold::new(3, 2), 5);
-        let b = cross_validate(&factory, &data, &KFold::new(3, 2), 5);
+        let a = cross_validate(&factory, &data, &KFold::new(3, 2), 5).unwrap();
+        let b = cross_validate(&factory, &data, &KFold::new(3, 2), 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_validate_surfaces_split_errors() {
+        let data = grouped_data(1, 3, 10);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let err = cross_validate(&factory, &data, &KFold::new(5, 2), 5).expect_err("bad split");
+        assert_eq!(
+            err,
+            SplitError::TooFewSamples {
+                samples: 3,
+                folds: 5
+            }
+        );
+    }
+
+    #[test]
+    fn cross_validate_accepts_dyn_splitters() {
+        let data = grouped_data(6, 8, 11);
+        let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
+        let splitter: &dyn Splitter = &KFold::new(3, 1);
+        let scores = cross_validate(&factory, &data, splitter, 0).unwrap();
+        assert_eq!(scores.len(), 3);
     }
 
     #[test]
@@ -548,19 +844,36 @@ mod tests {
     #[test]
     fn repeated_kfold_yields_n_repeats_partitions() {
         let data = grouped_data(4, 6, 11);
-        let folds = RepeatedKFold {
-            n_splits: 3,
-            n_repeats: 4,
-            seed: 2,
-        }
-        .split(&data);
+        let folds = folds_of(
+            &RepeatedKFold {
+                n_splits: 3,
+                n_repeats: 4,
+                seed: 2,
+            },
+            &data,
+        );
         assert_eq!(folds.len(), 12);
         // Each repetition is itself a partition.
         for rep in folds.chunks(3) {
             assert_is_partition(rep, data.len());
         }
         // Repetitions differ (different shuffles).
-        assert_ne!(folds[0].1, folds[3].1);
+        assert_ne!(folds[0].test, folds[3].test);
+    }
+
+    #[test]
+    fn repeated_kfold_rejects_zero_repeats() {
+        let data = grouped_data(4, 6, 11);
+        assert_eq!(
+            RepeatedKFold {
+                n_splits: 3,
+                n_repeats: 0,
+                seed: 2,
+            }
+            .split(&data)
+            .expect_err("must reject"),
+            SplitError::TooFewRepeats { n_repeats: 0 }
+        );
     }
 
     #[test]

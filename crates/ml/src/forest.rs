@@ -2,7 +2,8 @@
 //! source of its "information theoretical" feature importances (§4.2).
 //!
 //! Bagged CART trees with per-node feature subsampling (`⌈√d⌉` by
-//! default), trained in parallel with scoped threads. Besides prediction
+//! default), trained in parallel — one [`traj_runtime`] task per tree, so
+//! work stealing evens out trees of unequal depth. Besides prediction
 //! the forest exposes:
 //!
 //! * impurity-decrease **feature importances**, averaged over trees — the
@@ -14,7 +15,6 @@ use crate::tree::{Criterion, DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 
 /// Hyper-parameters of a [`RandomForest`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,7 +84,10 @@ impl RandomForest {
         })
     }
 
-    /// Fits the forest, training trees in parallel across available cores.
+    /// Fits the forest, training one [`traj_runtime`] task per tree on
+    /// the shared pool. Per-tree seeds derive from the master seed before
+    /// any task runs, so the fitted forest is bit-identical for any
+    /// thread count.
     ///
     /// # Panics
     /// Panics on an empty dataset.
@@ -108,62 +111,33 @@ impl RandomForest {
             .collect();
 
         let weights = vec![1.0; n];
-        let results: Mutex<Vec<(usize, DecisionTree, Vec<usize>)>> =
-            Mutex::new(Vec::with_capacity(self.config.n_estimators));
-
-        let n_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(self.config.n_estimators.max(1));
-        let chunk = self.config.n_estimators.div_ceil(n_threads);
-
-        std::thread::scope(|scope| {
-            for worker in 0..n_threads {
-                let lo = worker * chunk;
-                let hi = ((worker + 1) * chunk).min(self.config.n_estimators);
-                if lo >= hi {
-                    continue;
-                }
-                let seeds = &tree_seeds[lo..hi];
-                let results = &results;
-                let weights = &weights;
-                let config = self.config;
-                scope.spawn(move || {
-                    for (offset, &seed) in seeds.iter().enumerate() {
-                        let t = lo + offset;
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let indices: Vec<usize> = if config.bootstrap {
-                            (0..n).map(|_| rng.gen_range(0..n)).collect()
-                        } else {
-                            (0..n).collect()
-                        };
-                        let mut tree = DecisionTree::new(TreeConfig {
-                            criterion: config.criterion,
-                            max_depth: config.max_depth,
-                            min_samples_split: config.min_samples_split,
-                            min_samples_leaf: config.min_samples_leaf,
-                            max_features: Some(max_features),
-                            seed: seed ^ 0x9e37_79b9_7f4a_7c15,
-                        });
-                        tree.fit_weighted_on(data, &indices, weights);
-                        results
-                            .lock()
-                            .expect("forest results lock")
-                            .push((t, tree, indices));
-                    }
+        let config = self.config;
+        let results: Vec<(DecisionTree, Vec<usize>)> =
+            traj_runtime::parallel_map(&tree_seeds, |_, &seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                let mut tree = DecisionTree::new(TreeConfig {
+                    criterion: config.criterion,
+                    max_depth: config.max_depth,
+                    min_samples_split: config.min_samples_split,
+                    min_samples_leaf: config.min_samples_leaf,
+                    max_features: Some(max_features),
+                    seed: seed ^ 0x9e37_79b9_7f4a_7c15,
                 });
-            }
-        });
-
-        let mut results = results.into_inner().expect("forest worker panicked");
-        results.sort_by_key(|(t, _, _)| *t);
+                tree.fit_weighted_on(data, &indices, &weights);
+                (tree, indices)
+            });
 
         // Out-of-bag score: majority vote among trees whose bootstrap
         // missed the sample.
         if self.config.bootstrap {
             let mut votes = vec![vec![0usize; self.n_classes]; n];
             let mut in_bag = vec![false; n];
-            for (_, tree, indices) in &results {
+            for (tree, indices) in &results {
                 in_bag.iter_mut().for_each(|b| *b = false);
                 for &i in indices {
                     in_bag[i] = true;
@@ -197,7 +171,7 @@ impl RandomForest {
             self.oob_score = None;
         }
 
-        self.trees = results.into_iter().map(|(_, tree, _)| tree).collect();
+        self.trees = results.into_iter().map(|(tree, _)| tree).collect();
     }
 
     /// Soft-vote class probabilities of one row (mean of member-tree leaf

@@ -25,7 +25,12 @@
 //! * [`cv`] — random K-fold, stratified K-fold, user-oriented group
 //!   K-fold and group shuffle splits; the paper's §4.4 contrast between
 //!   *random* and *user-oriented* cross-validation maps to
-//!   [`cv::KFold`] vs [`cv::GroupKFold`].
+//!   [`cv::KFold`] vs [`cv::GroupKFold`]. Splitters yield lazy
+//!   [`cv::Folds`] iterators of owned [`cv::Fold`]s, degenerate
+//!   configurations surface as [`cv::SplitError`], and
+//!   [`cv::cross_validate`] scores folds in parallel on the shared
+//!   `traj-runtime` pool with bit-identical results for any thread
+//!   count.
 //! * [`stats_tests`] — Wilcoxon signed-rank tests (paired and one-sample,
 //!   exact for small samples, normal approximation otherwise), plus the
 //!   Friedman omnibus and Nemenyi post-hoc tests for multi-classifier
@@ -51,7 +56,10 @@ pub mod tree;
 pub mod tuning;
 
 pub use classifier::{Classifier, ClassifierKind};
-pub use cv::{cross_validate, FoldScore, GroupKFold, GroupShuffleSplit, KFold, Splitter};
+pub use cv::{
+    cross_validate, Fold, FoldScore, Folds, GroupKFold, GroupShuffleSplit, KFold, SplitError,
+    Splitter,
+};
 pub use dataset::Dataset;
 pub use erased::ErasedModel;
 pub use forest::RandomForest;

@@ -6,9 +6,14 @@
 //! classifier family under any cross-validation scheme, scored by mean
 //! accuracy. The forest-specific [`forest_grid`] covers the two axes
 //! that matter for the paper's model (tree count, depth).
+//!
+//! Grid cells are evaluated **in parallel** on the shared
+//! [`traj_runtime`] pool, one task per grid point; each cell's
+//! cross-validation then fans out one task per fold, and stealing keeps
+//! every core busy across both levels.
 
 use crate::classifier::Classifier;
-use crate::cv::{cross_validate, mean_accuracy, mean_f1_weighted, Splitter};
+use crate::cv::{cross_validate, mean_accuracy, mean_f1_weighted, SplitError, Splitter};
 use crate::dataset::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
 use serde::{Deserialize, Serialize};
@@ -27,41 +32,47 @@ pub struct GridPoint<P> {
 /// Exhaustive grid search: evaluates `build(params)` for every entry of
 /// `grid` under `splitter`, returning all cells sorted by descending
 /// accuracy (ties keep grid order, so earlier = simpler wins on ties
-/// when the grid is ordered simple → complex).
+/// when the grid is ordered simple → complex). Cells are scored in
+/// parallel; the returned ordering depends only on the scores, never on
+/// scheduling.
 ///
 /// # Panics
 /// Panics on an empty grid.
-pub fn grid_search<P: Clone>(
+pub fn grid_search<P, B, S>(
     data: &Dataset,
     grid: &[P],
-    build: &dyn Fn(&P, u64) -> Box<dyn Classifier>,
-    splitter: &dyn Splitter,
+    build: &B,
+    splitter: &S,
     seed: u64,
-) -> Vec<GridPoint<P>> {
+) -> Result<Vec<GridPoint<P>>, SplitError>
+where
+    P: Clone + Send + Sync,
+    B: Fn(&P, u64) -> Box<dyn Classifier> + Sync + ?Sized,
+    S: Splitter + Sync + ?Sized,
+{
     assert!(!grid.is_empty(), "grid search over an empty grid");
-    let mut cells: Vec<(usize, GridPoint<P>)> = grid
-        .iter()
-        .enumerate()
-        .map(|(i, params)| {
+    let scored: Vec<Result<GridPoint<P>, SplitError>> =
+        traj_runtime::parallel_map(grid, |_, params| {
             let factory = |s: u64| build(params, s);
-            let scores = cross_validate(&factory, data, splitter, seed);
-            (
-                i,
-                GridPoint {
-                    params: params.clone(),
-                    accuracy: mean_accuracy(&scores),
-                    f1_weighted: mean_f1_weighted(&scores),
-                },
-            )
-        })
-        .collect();
+            let scores = cross_validate(&factory, data, splitter, seed)?;
+            Ok(GridPoint {
+                params: params.clone(),
+                accuracy: mean_accuracy(&scores),
+                f1_weighted: mean_f1_weighted(&scores),
+            })
+        });
+    let mut cells: Vec<(usize, GridPoint<P>)> = scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| cell.map(|c| (i, c)))
+        .collect::<Result<_, _>>()?;
     cells.sort_by(|a, b| {
         b.1.accuracy
             .partial_cmp(&a.1.accuracy)
             .expect("finite accuracies")
             .then(a.0.cmp(&b.0))
     });
-    cells.into_iter().map(|(_, c)| c).collect()
+    Ok(cells.into_iter().map(|(_, c)| c).collect())
 }
 
 /// Random-forest parameter combination for [`forest_grid`].
@@ -74,13 +85,16 @@ pub struct ForestParams {
 }
 
 /// Grid search over a random forest's tree count × depth.
-pub fn forest_grid(
+pub fn forest_grid<S>(
     data: &Dataset,
     n_estimators: &[usize],
     max_depths: &[Option<usize>],
-    splitter: &dyn Splitter,
+    splitter: &S,
     seed: u64,
-) -> Vec<GridPoint<ForestParams>> {
+) -> Result<Vec<GridPoint<ForestParams>>, SplitError>
+where
+    S: Splitter + Sync + ?Sized,
+{
     let grid: Vec<ForestParams> = n_estimators
         .iter()
         .flat_map(|&n| {
@@ -129,7 +143,7 @@ mod tests {
     #[test]
     fn forest_grid_covers_the_product_and_sorts() {
         let data = blob_data(1);
-        let cells = forest_grid(&data, &[2, 8], &[Some(2), None], &KFold::new(3, 1), 0);
+        let cells = forest_grid(&data, &[2, 8], &[Some(2), None], &KFold::new(3, 1), 0).unwrap();
         assert_eq!(cells.len(), 4);
         assert!(cells.windows(2).all(|w| w[0].accuracy >= w[1].accuracy));
         for c in &cells {
@@ -148,7 +162,7 @@ mod tests {
         let build = |&k: &usize, _s: u64| -> Box<dyn Classifier> {
             Box::new(crate::knn::Knn::new(crate::knn::KnnConfig { k }))
         };
-        let cells = grid_search(&data, &grid, &build, &KFold::new(3, 2), 0);
+        let cells = grid_search(&data, &grid, &build, &KFold::new(3, 2), 0).unwrap();
         assert_eq!(cells.len(), 3);
         assert!(cells[0].accuracy >= cells[2].accuracy);
     }
@@ -168,9 +182,25 @@ mod tests {
                 ..ForestConfig::default()
             }))
         };
-        let a = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5);
-        let b = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5);
+        let a = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5).unwrap();
+        let b = grid_search(&data, &grid, &build, &KFold::new(3, 1), 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_search_surfaces_split_errors() {
+        let data = blob_data(4);
+        let grid = vec![1usize];
+        let build = |_: &usize, s: u64| ClassifierKind::DecisionTree.build(s);
+        let err = grid_search(&data, &grid, &build, &KFold::new(1, 0), 0)
+            .expect_err("single fold must be rejected");
+        assert_eq!(
+            err,
+            crate::cv::SplitError::TooFewFolds {
+                n_splits: 1,
+                minimum: 2
+            }
+        );
     }
 
     #[test]

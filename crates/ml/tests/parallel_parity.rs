@@ -1,0 +1,85 @@
+//! Determinism contract of the parallel paths: every result must be
+//! bit-identical whether the shared pool runs one worker or many.
+//!
+//! These tests pin the contract in-process with [`traj_runtime::Runtime::install`]
+//! (a thread-local pool override), which is exactly what the
+//! `TRAJ_NUM_THREADS=1` CI leg checks at the process level.
+
+use traj_ml::cv::{cross_validate, KFold};
+use traj_ml::dataset::Dataset;
+use traj_ml::forest::RandomForest;
+use traj_ml::tuning::forest_grid;
+use traj_ml::ClassifierKind;
+use traj_runtime::Runtime;
+
+fn blob_data(n_per_class: usize, seed: u64) -> Dataset {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut groups = Vec::new();
+    for class in 0..3usize {
+        for s in 0..n_per_class {
+            rows.push(vec![
+                class as f64 * 2.5 + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                (s % 5) as f64,
+            ]);
+            y.push(class);
+            groups.push((s % 4) as u32);
+        }
+    }
+    Dataset::from_rows(&rows, y, 3, groups, vec![])
+}
+
+/// Runs `f` on a single-worker pool and on a four-worker pool and
+/// asserts the two results are equal.
+fn assert_parity<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let serial = Runtime::new(1).install(&f);
+    let parallel = Runtime::new(4).install(&f);
+    assert_eq!(serial, parallel, "parallel result differs from serial");
+}
+
+#[test]
+fn forest_fit_is_thread_count_invariant() {
+    let data = blob_data(40, 1);
+    assert_parity(|| {
+        let mut forest = RandomForest::with_estimators(20, 9);
+        forest.fit(&data);
+        (
+            forest.predict(&data),
+            forest.feature_importances(),
+            forest.oob_score(),
+        )
+    });
+}
+
+#[test]
+fn cross_validate_is_thread_count_invariant() {
+    let data = blob_data(30, 2);
+    assert_parity(|| {
+        let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+        cross_validate(&factory, &data, &KFold::new(5, 3), 11).unwrap()
+    });
+}
+
+#[test]
+fn grid_search_is_thread_count_invariant() {
+    let data = blob_data(25, 3);
+    assert_parity(|| forest_grid(&data, &[3, 6], &[Some(3), None], &KFold::new(3, 1), 7).unwrap());
+}
+
+#[test]
+fn nested_fit_inside_cv_is_thread_count_invariant() {
+    // cross_validate fans out per fold; each fold's forest fans out per
+    // tree on the same pool — the nesting the cooperative wait exists for.
+    let data = blob_data(30, 4);
+    assert_parity(|| {
+        let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
+        let a = cross_validate(&factory, &data, &KFold::new(4, 2), 0).unwrap();
+        let mut forest = RandomForest::with_estimators(10, 5);
+        forest.fit(&data);
+        (a, forest.predict(&data))
+    });
+}

@@ -108,11 +108,11 @@ proptest! {
     #[test]
     fn kfold_and_split_partition(data in arbitrary_dataset(), folds in 2usize..5) {
         prop_assume!(data.len() >= folds);
-        let splits = KFold::new(folds, 7).split(&data);
+        let splits: Vec<_> = KFold::new(folds, 7).split(&data).unwrap().collect();
         let mut seen = vec![false; data.len()];
-        for (train, test) in &splits {
-            prop_assert_eq!(train.len() + test.len(), data.len());
-            for &i in test {
+        for fold in &splits {
+            prop_assert_eq!(fold.train.len() + fold.test.len(), data.len());
+            for &i in &fold.test {
                 prop_assert!(!seen[i]);
                 seen[i] = true;
             }

@@ -1,0 +1,406 @@
+//! # traj-runtime
+//!
+//! A from-scratch, dependency-free work-stealing thread pool shared by
+//! every parallel path in the workspace: random-forest training,
+//! cross-validation folds, wrapper feature selection, grid search,
+//! per-segment feature extraction, and the `traj-serve` connection pool.
+//!
+//! ## Scheduler
+//!
+//! Each [`Runtime`] owns N workers. Every worker has its own deque; the
+//! owner pushes and pops at the back (LIFO), idle workers steal from the
+//! front of sibling deques (FIFO), and tasks spawned from outside the
+//! pool enter through a global FIFO injector. Threads that *wait* on a
+//! [`scope`] or [`parallel_map`] do not sleep — they execute queued tasks
+//! until their own work is done, so nested parallelism (a selection
+//! candidate cross-validating, each fold fitting a forest) cannot
+//! deadlock and keeps every core busy under skewed task sizes.
+//!
+//! ## Determinism contract
+//!
+//! Scheduling decides only *where and when* work runs, never *what it
+//! computes*: [`parallel_map`] returns results in input order, and every
+//! caller in the workspace derives per-task RNG streams from the task
+//! *index* (not from the worker). Results are therefore bit-identical for
+//! any thread count, `TRAJ_NUM_THREADS=1` included — pinned by the
+//! `parallel_parity` test suites in `traj-ml` and `traj-select`.
+//!
+//! ## Sizing
+//!
+//! The process-wide pool ([`global`]) has `TRAJ_NUM_THREADS` workers when
+//! that variable is set to a positive integer, else one per available
+//! core. Explicit pools ([`Runtime::new`], [`Runtime::install`]) override
+//! the global one on the installing thread — that is how parity tests and
+//! `traj-serve` (which must not let blocking connection I/O starve
+//! compute) get their own schedulers.
+
+#![warn(missing_docs)]
+// `scope.rs` contains the workspace's single `unsafe` block (a lifetime
+// transmute in the crossbeam/rayon scoped-task pattern); everything else
+// must stay safe.
+#![deny(unsafe_code)]
+
+mod pool;
+#[allow(unsafe_code)]
+mod scope;
+
+pub use pool::{global, Runtime};
+pub use scope::Scope;
+
+use pool::Shared;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Thread-local binding to a pool: set permanently on worker threads, and
+/// temporarily by [`Runtime::install`] on foreign threads.
+struct CurrentPool {
+    shared: Arc<Shared>,
+    /// `Some(index)` on a worker thread of that pool.
+    worker: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<CurrentPool>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Marks the calling thread as worker `index` of `shared` (workers only).
+pub(crate) fn set_current_worker(shared: &Arc<Shared>, index: usize) {
+    CURRENT.with(|c| {
+        c.borrow_mut().push(CurrentPool {
+            shared: Arc::clone(shared),
+            worker: Some(index),
+        });
+    });
+}
+
+/// The calling thread's worker index *within `shared`*, if any.
+pub(crate) fn current_worker_on(shared: &Arc<Shared>) -> Option<usize> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .last()
+            .filter(|p| Arc::ptr_eq(&p.shared, shared))
+            .and_then(|p| p.worker)
+    })
+}
+
+/// RAII guard of [`Runtime::install`]: restores the previous binding on
+/// drop (panic-safe).
+pub(crate) struct InstallGuard;
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+pub(crate) fn install_current(shared: &Arc<Shared>) -> InstallGuard {
+    CURRENT.with(|c| {
+        c.borrow_mut().push(CurrentPool {
+            shared: Arc::clone(shared),
+            worker: None,
+        });
+    });
+    InstallGuard
+}
+
+/// The pool the calling thread is bound to: the innermost installed (or
+/// owning) pool, else the global one.
+fn current_shared() -> Arc<Shared> {
+    CURRENT
+        .with(|c| c.borrow().last().map(|p| Arc::clone(&p.shared)))
+        .unwrap_or_else(|| Arc::clone(&global().shared))
+}
+
+/// Parses a `TRAJ_NUM_THREADS`-style value: positive integers override,
+/// anything else falls back to the machine's available parallelism.
+pub fn threads_from(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
+}
+
+/// Worker count of the global pool: the `TRAJ_NUM_THREADS` environment
+/// variable when set to a positive integer, else one per available core.
+pub fn default_threads() -> usize {
+    threads_from(std::env::var("TRAJ_NUM_THREADS").ok().as_deref())
+}
+
+/// Structured fan-out on the current pool: `f` receives a [`Scope`] whose
+/// [`Scope::spawn`] tasks may borrow from the enclosing frame. Returns
+/// after every spawned task finished; re-raises the first panic.
+///
+/// ```
+/// let mut left = 0u64;
+/// let mut right = 0u64;
+/// traj_runtime::scope(|s| {
+///     s.spawn(|| left = (0..1000).sum());
+///     s.spawn(|| right = (1000..2000).sum());
+/// });
+/// assert_eq!(left + right, (0..2000).sum());
+/// ```
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    scope_on(&current_shared(), f)
+}
+
+pub(crate) use scope::{parallel_map_on, scope_on};
+
+/// Indexed parallel map on the current pool: one stealable task per item,
+/// results in input order regardless of scheduling.
+///
+/// ```
+/// let squares = traj_runtime::parallel_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_on(&current_shared(), items, f)
+}
+
+/// Runs `a` on the calling thread while `b` runs as a stealable pool
+/// task; returns both results. Panics from either side propagate.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let right: std::sync::Mutex<Option<RB>> = std::sync::Mutex::new(None);
+    let left = scope(|s| {
+        s.spawn(|| {
+            let value = b();
+            *right.lock().expect("join slot poisoned") = Some(value);
+        });
+        a()
+    });
+    let right = right
+        .into_inner()
+        .expect("join slot poisoned")
+        .expect("scope waited for b");
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let rt = Runtime::new(4);
+        let items: Vec<usize> = (0..257).collect();
+        let out = rt.parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_tasks_are_stolen_across_threads() {
+        let rt = Runtime::new(4);
+        let threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        // Item 0 hogs its worker; the rest must be picked up elsewhere.
+        let items: Vec<usize> = (0..64).collect();
+        let out = rt.parallel_map(&items, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            threads.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert_eq!(out, items);
+        assert!(
+            threads.lock().unwrap().len() > 1,
+            "all 64 tasks ran on one thread despite 4 workers + a helper"
+        );
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let rt = Runtime::new(2);
+        let total = AtomicUsize::new(0);
+        rt.scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                outer.spawn(move || {
+                    // A fresh scope from inside a pool task.
+                    crate::scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn nested_parallel_map_is_deterministic() {
+        let rt = Runtime::new(3);
+        let items: Vec<u64> = (0..10).collect();
+        let run = || {
+            rt.parallel_map(&items, |_, &x| {
+                let inner: Vec<u64> = rt.parallel_map(&[1u64, 2, 3], |_, &y| x * y);
+                inner.iter().sum::<u64>()
+            })
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run()[2], 2 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_to_caller() {
+        let rt = Runtime::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.scope(|s| {
+                s.spawn(|| panic!("boom from a task"));
+                s.spawn(|| { /* healthy sibling */ });
+            });
+        }));
+        let payload = caught.expect_err("scope must re-raise the task panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(message.contains("boom"), "{message}");
+        // The pool survives the panic.
+        let out = rt.parallel_map(&[1, 2, 3], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_panic_propagates() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.parallel_map(&[0usize, 1, 2], |_, &x| {
+                assert!(x != 1, "poisoned item");
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn detached_spawn_panic_does_not_kill_workers() {
+        let rt = Runtime::new(1);
+        rt.spawn(|| panic!("detached boom"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.panicked_tasks() == 0 {
+            assert!(std::time::Instant::now() < deadline, "panic never recorded");
+            std::thread::yield_now();
+        }
+        // The lone worker must still execute new work.
+        let out = rt.parallel_map(&[5, 6], |_, &x| x * 10);
+        assert_eq!(out, vec![50, 60]);
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        let rt = Runtime::new(2);
+        let (a, b) = rt.install(|| join(|| 1 + 1, || "right"));
+        assert_eq!(a, 2);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn install_binds_the_calling_thread_to_the_pool() {
+        let rt = Runtime::named(2, "install-test");
+        let names: Vec<Option<String>> = rt.install(|| {
+            parallel_map(&[(); 16], |_, _| {
+                std::thread::sleep(Duration::from_millis(1));
+                std::thread::current().name().map(str::to_owned)
+            })
+        });
+        // Tasks run on this pool's workers or on the installing thread
+        // (which participates) — never on the global pool's workers.
+        assert!(names
+            .iter()
+            .flatten()
+            .all(|n| !n.starts_with("traj-runtime")));
+        assert!(
+            names
+                .iter()
+                .flatten()
+                .any(|n| n.starts_with("install-test")),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_matches_multi_thread_pool() {
+        let serial = Runtime::new(1);
+        let parallel = Runtime::new(8);
+        let items: Vec<u64> = (0..100).collect();
+        let f = |i: usize, x: &u64| (i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(*x);
+        assert_eq!(
+            serial.parallel_map(&items, f),
+            parallel.parallel_map(&items, f)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let rt = Runtime::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert!(rt.parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(rt.parallel_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn threads_from_parses_overrides() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        let fallback = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(threads_from(Some("0")), fallback);
+        assert_eq!(threads_from(Some("not-a-number")), fallback);
+        assert_eq!(threads_from(None), fallback);
+    }
+
+    #[test]
+    fn drop_drains_queued_detached_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let rt = Runtime::new(2);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                rt.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop joins the workers after the queues drain.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    /// Stress: 10k tiny tasks through a small pool. Run with
+    /// `cargo test -p traj-runtime -- --ignored`.
+    #[test]
+    #[ignore = "stress test; run explicitly (CI runs it in the matrix leg)"]
+    fn stress_ten_thousand_tiny_tasks() {
+        let rt = Runtime::new(4);
+        let items: Vec<u64> = (0..10_000).collect();
+        for round in 0..10u64 {
+            let out = rt.parallel_map(&items, |i, &x| x.wrapping_mul(round) ^ i as u64);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(out[17], 17u64.wrapping_mul(round) ^ 17);
+        }
+    }
+
+    use std::sync::Arc;
+}

@@ -1,0 +1,249 @@
+//! The thread pool: per-worker deques, a global injector, and worker
+//! threads that steal from each other when their own deque runs dry.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of queued work. Scoped tasks are lifetime-erased before they
+/// become a `Task` (see `scope.rs`); detached tasks are `'static` by
+/// construction.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared by every worker, the injector, and all handles.
+pub(crate) struct Shared {
+    /// Global FIFO injector: external spawns and overflow land here.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker. The owner pushes/pops at the back (LIFO,
+    /// cache-friendly for nested fan-out); thieves steal from the front
+    /// (FIFO, oldest-first — the classic work-stealing discipline).
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep/wake coordination for idle workers.
+    sleep: Mutex<()>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Detached tasks that panicked (scoped tasks propagate instead).
+    panicked_tasks: AtomicUsize,
+}
+
+impl Shared {
+    fn new(workers: usize) -> Shared {
+        Shared {
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            panicked_tasks: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn n_workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Queues a task: onto the current worker's own deque when called
+    /// from inside this pool, otherwise onto the global injector.
+    pub(crate) fn push_task(self: &Arc<Self>, task: Task) {
+        let own = crate::current_worker_on(self);
+        match own {
+            Some(index) => self.queues[index]
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task),
+            None => self
+                .injector
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task),
+        }
+        // Notify under the sleep lock so a worker between its "no work"
+        // check and its wait cannot miss the wakeup.
+        let _guard = self.sleep.lock().expect("sleep lock poisoned");
+        self.work_cv.notify_one();
+    }
+
+    /// Pops the next task: own deque (back), then injector (front), then
+    /// steals from sibling deques (front), round-robin from `worker`.
+    pub(crate) fn find_task(&self, worker: Option<usize>) -> Option<Task> {
+        if let Some(index) = worker {
+            if let Some(task) = self.queues[index]
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_back()
+            {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        let start = worker.map_or(0, |w| w + 1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(task) = self.queues[victim]
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.queues
+            .iter()
+            .any(|q| !q.lock().expect("worker deque poisoned").is_empty())
+    }
+
+    pub(crate) fn notify_all(&self) {
+        let _guard = self.sleep.lock().expect("sleep lock poisoned");
+        self.work_cv.notify_all();
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize) {
+    crate::set_current_worker(&shared, index);
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            run_detached(task, &shared);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Queues were empty after the shutdown flag: nothing left.
+            return;
+        }
+        let guard = shared.sleep.lock().expect("sleep lock poisoned");
+        if shared.has_work() || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        // The timeout is a backstop only; pushes notify under `sleep`.
+        let _ = shared
+            .work_cv
+            .wait_timeout(guard, Duration::from_millis(20));
+    }
+}
+
+/// Runs one task, containing panics so the worker survives. Scoped tasks
+/// catch their own panics and propagate them to the scope owner; this
+/// outer catch only ever fires for detached [`Runtime::spawn`] tasks.
+pub(crate) fn run_detached(task: Task, shared: &Shared) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+        shared.panicked_tasks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A work-stealing thread pool.
+///
+/// Every pool owns `threads` worker threads, each with its own deque, plus
+/// a global injector for tasks spawned from outside the pool. Blocking
+/// waits ([`Runtime::scope`], [`Runtime::parallel_map`]) *participate*:
+/// the waiting thread executes queued tasks instead of sleeping, so
+/// nested parallelism cannot deadlock the pool.
+///
+/// Dropping the pool shuts it down gracefully: already-queued tasks run
+/// to completion, then the workers exit and are joined.
+pub struct Runtime {
+    pub(crate) shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Runtime {
+        Runtime::named(threads, "traj-runtime")
+    }
+
+    /// A pool whose worker threads are named `{prefix}-{index}`.
+    pub fn named(threads: usize, prefix: &str) -> Runtime {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::new(threads));
+        let handles = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{prefix}-{index}"))
+                    .spawn(move || worker_main(shared, index))
+                    .expect("spawning runtime worker")
+            })
+            .collect();
+        Runtime { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.n_workers()
+    }
+
+    /// Queues a detached fire-and-forget task. Panics inside the task are
+    /// contained (the worker survives) and counted in
+    /// [`Runtime::panicked_tasks`].
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.push_task(Box::new(f));
+    }
+
+    /// How many detached tasks have panicked since the pool started.
+    pub fn panicked_tasks(&self) -> usize {
+        self.shared.panicked_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with this pool installed as the current runtime on the
+    /// calling thread: every [`crate::scope`], [`crate::parallel_map`] and
+    /// [`crate::join`] reached from `f` (including transitively, on this
+    /// thread) schedules onto this pool instead of the global one.
+    ///
+    /// This is how the parity tests force a single-threaded run without
+    /// touching the `TRAJ_NUM_THREADS` environment of the whole process.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = crate::install_current(&self.shared);
+        f()
+    }
+
+    /// Scoped fan-out on this pool; see [`crate::scope`].
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&crate::Scope<'env>) -> R,
+    {
+        crate::scope_on(&self.shared, f)
+    }
+
+    /// Indexed parallel map on this pool; see [`crate::parallel_map`].
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        crate::parallel_map_on(&self.shared, items, f)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+
+/// The process-wide pool, created on first use with
+/// [`crate::default_threads`] workers (the `TRAJ_NUM_THREADS` override,
+/// else the machine's available parallelism). Never shut down.
+pub fn global() -> &'static Runtime {
+    GLOBAL.get_or_init(|| Runtime::new(crate::default_threads()))
+}

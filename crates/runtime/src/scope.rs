@@ -1,0 +1,168 @@
+//! Structured (scoped) parallelism on the shared pool: spawn tasks that
+//! borrow from the enclosing stack frame, wait for all of them, and
+//! propagate the first panic to the caller.
+//!
+//! This is the only module in the workspace that uses `unsafe`: one
+//! lifetime transmute, fenced by the structural guarantee that
+//! [`scope_on`] never returns (or unwinds) before every spawned task has
+//! finished. The pattern — and the soundness argument — follows
+//! `crossbeam::scope` / `rayon::scope`.
+
+use crate::pool::{Shared, Task};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct ScopeState {
+    /// Spawned-but-unfinished task count.
+    pending: AtomicUsize,
+    /// First panic payload out of any task in this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// A spawn handle passed to the closure of [`crate::scope`]. Tasks
+/// spawned through it may borrow anything that outlives `'env`.
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    shared: Arc<Shared>,
+    /// Invariant over `'env`, like `crossbeam::Scope`: prevents the
+    /// compiler from shrinking the borrow of spawned captures.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns `f` onto the pool. The call returns immediately; the
+    /// enclosing [`crate::scope`] waits for completion. A panic inside
+    /// `f` is re-raised from the enclosing `scope` call after every other
+    /// task has finished.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = state.done.lock().expect("scope done lock poisoned");
+                state.done_cv.notify_all();
+            }
+        });
+        // SAFETY: the pool only sees `'static` tasks, but `wrapper` may
+        // borrow data of lifetime `'env`. Erasing the lifetime is sound
+        // because `scope_on` blocks — on the path that created this scope
+        // — until `pending` reaches zero, i.e. until this wrapper has run
+        // (or been dropped) in full, before control can return to the
+        // frame that owns the borrowed data. The transmute only changes
+        // the lifetime parameter; the vtable and layout are identical.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                wrapper,
+            )
+        };
+        self.shared.push_task(task);
+    }
+
+    /// Waits for `pending == 0`, executing queued pool tasks while
+    /// waiting (cooperative wait: a worker blocked here keeps the pool
+    /// making progress, which is what makes nested scopes deadlock-free).
+    fn wait_all(&self) {
+        let worker = crate::current_worker_on(&self.shared);
+        while self.state.pending.load(Ordering::SeqCst) > 0 {
+            if let Some(task) = self.shared.find_task(worker) {
+                crate::pool::run_detached(task, &self.shared);
+                continue;
+            }
+            let guard = self.state.done.lock().expect("scope done lock poisoned");
+            if self.state.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Short timeout: another thread may have queued new work for
+            // us to help with, which does not signal `done_cv`.
+            let _ = self
+                .state
+                .done_cv
+                .wait_timeout(guard, Duration::from_micros(500));
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`] bound to `shared`, waits for every task the
+/// closure spawned (even when `f` itself panics), then re-raises the
+/// first panic — from the body or from any task.
+pub(crate) fn scope_on<'env, F, R>(shared: &Arc<Shared>, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }),
+        shared: Arc::clone(shared),
+        _marker: PhantomData,
+    };
+    let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.wait_all();
+    let task_panic = scope
+        .state
+        .panic
+        .lock()
+        .expect("scope panic slot poisoned")
+        .take();
+    match (body, task_panic) {
+        (Ok(value), None) => value,
+        (Ok(_), Some(payload)) | (Err(payload), _) => resume_unwind(payload),
+    }
+}
+
+/// Indexed parallel map over a slice: `f(i, &items[i])` for every item,
+/// one pool task per item, results returned **in input order**.
+///
+/// Per-item tasks (rather than pre-chunked ranges) are what lets work
+/// stealing even out skewed task sizes; output order — and therefore
+/// every downstream reduction — is fixed by index, never by scheduling,
+/// which is the determinism contract the parity tests pin down.
+pub(crate) fn parallel_map_on<T, R, F>(shared: &Arc<Shared>, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match items {
+        [] => return Vec::new(),
+        [only] => return vec![f(0, only)],
+        _ => {}
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    scope_on(shared, |s| {
+        for (i, item) in items.iter().enumerate() {
+            let slot = &slots[i];
+            let f = &f;
+            s.spawn(move || {
+                let value = f(i, item);
+                *slot.lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope waited for every task")
+        })
+        .collect()
+}

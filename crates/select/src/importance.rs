@@ -10,7 +10,7 @@
 
 use crate::{SelectionCurve, SelectionStep};
 use traj_ml::classifier::Classifier;
-use traj_ml::cv::{cross_validate, Splitter};
+use traj_ml::cv::{cross_validate, SplitError, Splitter};
 use traj_ml::dataset::Dataset;
 use traj_ml::forest::{ForestConfig, RandomForest};
 
@@ -38,20 +38,26 @@ pub fn rf_importance_ranking(data: &Dataset, n_estimators: usize, seed: u64) -> 
 }
 
 /// Appends features in `ranking` order, cross-validating the growing set
-/// after each append (the Fig. 3a curve).
-pub fn incremental_curve(
+/// after each append (the Fig. 3a curve). Each prefix is scored by a
+/// parallel [`cross_validate`]; the prefixes themselves stay sequential
+/// because prefix *k* is a strict superset of prefix *k−1*.
+pub fn incremental_curve<F, S>(
     data: &Dataset,
     ranking: &[usize],
-    factory: &(dyn Fn(u64) -> Box<dyn Classifier> + Sync),
-    splitter: &dyn Splitter,
+    factory: &F,
+    splitter: &S,
     base_seed: u64,
-) -> SelectionCurve {
+) -> Result<SelectionCurve, SplitError>
+where
+    F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
+    S: Splitter + Sync + ?Sized,
+{
     let mut selected: Vec<usize> = Vec::with_capacity(ranking.len());
     let mut steps = Vec::with_capacity(ranking.len());
     for &feature in ranking {
         selected.push(feature);
         let subset = data.select_features(&selected);
-        let scores = cross_validate(&factory, &subset, splitter, base_seed);
+        let scores = cross_validate(factory, &subset, splitter, base_seed)?;
         let accuracy = traj_ml::cv::mean_accuracy(&scores);
         let f1_weighted = traj_ml::cv::mean_f1_weighted(&scores);
         steps.push(SelectionStep {
@@ -61,7 +67,7 @@ pub fn incremental_curve(
             f1_weighted,
         });
     }
-    SelectionCurve { steps }
+    Ok(SelectionCurve { steps })
 }
 
 pub(crate) fn feature_name(data: &Dataset, feature: usize) -> String {
@@ -117,7 +123,7 @@ mod tests {
         let ranked = rf_importance_ranking(&data, 20, 1);
         let order: Vec<usize> = ranked.iter().map(|r| r.0).collect();
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
-        let curve = incremental_curve(&data, &order, &factory, &KFold::new(3, 1), 0);
+        let curve = incremental_curve(&data, &order, &factory, &KFold::new(3, 1), 0).unwrap();
         assert_eq!(curve.steps.len(), 3);
         assert_eq!(curve.steps[0].feature_name, "strong");
         // One strong feature is almost enough; adding noise cannot help

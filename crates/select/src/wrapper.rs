@@ -9,13 +9,14 @@
 //! next candidate feature."
 //!
 //! Candidate evaluation is embarrassingly parallel; each step fans the
-//! remaining candidates out over scoped worker threads.
+//! remaining candidates out as one [`traj_runtime`] task per candidate,
+//! and each candidate's cross-validation fans out one task per fold on
+//! the same pool.
 
 use crate::importance::feature_name;
 use crate::{SelectionCurve, SelectionStep};
-use std::sync::Mutex;
 use traj_ml::classifier::Classifier;
-use traj_ml::cv::{cross_validate, mean_accuracy, mean_f1_weighted, Splitter};
+use traj_ml::cv::{cross_validate, mean_accuracy, mean_f1_weighted, SplitError, Splitter};
 use traj_ml::dataset::Dataset;
 
 /// Configuration of [`forward_select`].
@@ -43,13 +44,22 @@ impl Default for ForwardSelectionConfig {
 
 /// Greedy forward selection maximising cross-validated accuracy of the
 /// classifier built by `factory`. Returns the selection curve (one step
-/// per added feature).
-pub fn forward_select(
+/// per added feature), or the [`SplitError`] of the first candidate
+/// evaluation whose split failed.
+///
+/// Every round evaluates all remaining candidates in parallel (one pool
+/// task each); the winner is chosen by score and index, never by task
+/// completion order, so the curve is bit-identical for any thread count.
+pub fn forward_select<F, S>(
     data: &Dataset,
-    factory: &(dyn Fn(u64) -> Box<dyn Classifier> + Sync),
-    splitter: &(dyn Splitter + Sync),
+    factory: &F,
+    splitter: &S,
     config: &ForwardSelectionConfig,
-) -> SelectionCurve {
+) -> Result<SelectionCurve, SplitError>
+where
+    F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
+    S: Splitter + Sync + ?Sized,
+{
     let d = data.n_features();
     let budget = config.max_features.min(d);
     let mut selected: Vec<usize> = Vec::with_capacity(budget);
@@ -59,43 +69,17 @@ pub fn forward_select(
     let mut stale_steps = 0usize;
 
     while selected.len() < budget && !remaining.is_empty() {
-        // Evaluate every candidate in parallel.
-        let results: Mutex<Vec<(usize, f64, f64)>> =
-            Mutex::new(Vec::with_capacity(remaining.len()));
-        let n_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(remaining.len());
-        let chunk = remaining.len().div_ceil(n_threads);
-        std::thread::scope(|scope| {
-            for worker in 0..n_threads {
-                let lo = worker * chunk;
-                let hi = ((worker + 1) * chunk).min(remaining.len());
-                if lo >= hi {
-                    continue;
-                }
-                let candidates = &remaining[lo..hi];
-                let selected = &selected;
-                let results = &results;
-                scope.spawn(move || {
-                    let mut trial: Vec<usize> = Vec::with_capacity(selected.len() + 1);
-                    for &candidate in candidates {
-                        trial.clear();
-                        trial.extend_from_slice(selected);
-                        trial.push(candidate);
-                        let subset = data.select_features(&trial);
-                        let scores = cross_validate(&factory, &subset, splitter, config.seed);
-                        results.lock().expect("selection results lock").push((
-                            candidate,
-                            mean_accuracy(&scores),
-                            mean_f1_weighted(&scores),
-                        ));
-                    }
-                });
-            }
-        });
-
-        let mut results = results.into_inner().expect("selection worker panicked");
+        // Evaluate every candidate in parallel, one task each.
+        let scored: Vec<Result<(usize, f64, f64), SplitError>> =
+            traj_runtime::parallel_map(&remaining, |_, &candidate| {
+                let mut trial: Vec<usize> = Vec::with_capacity(selected.len() + 1);
+                trial.extend_from_slice(&selected);
+                trial.push(candidate);
+                let subset = data.select_features(&trial);
+                let scores = cross_validate(factory, &subset, splitter, config.seed)?;
+                Ok((candidate, mean_accuracy(&scores), mean_f1_weighted(&scores)))
+            });
+        let mut results: Vec<(usize, f64, f64)> = scored.into_iter().collect::<Result<_, _>>()?;
         // Deterministic winner: highest accuracy, lowest index on ties.
         results.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -123,7 +107,7 @@ pub fn forward_select(
             }
         }
     }
-    SelectionCurve { steps }
+    Ok(SelectionCurve { steps })
 }
 
 #[cfg(test)]
@@ -180,7 +164,8 @@ mod tests {
                 seed: 0,
                 patience: None,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(curve.steps.len(), 3);
         let top2: Vec<usize> = curve.prefix(2);
         // Wrapper search must discover that xor_a + xor_b together beat
@@ -213,7 +198,8 @@ mod tests {
                 seed: 0,
                 patience: None,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(curve.steps.len(), 2);
     }
 
@@ -231,7 +217,8 @@ mod tests {
                 seed: 0,
                 patience: Some(1),
             },
-        );
+        )
+        .unwrap();
         assert!(curve.steps.len() <= 4);
     }
 
@@ -245,8 +232,8 @@ mod tests {
             seed: 2,
             patience: None,
         };
-        let a = forward_select(&data, &factory, &splitter, &config);
-        let b = forward_select(&data, &factory, &splitter, &config);
+        let a = forward_select(&data, &factory, &splitter, &config).unwrap();
+        let b = forward_select(&data, &factory, &splitter, &config).unwrap();
         assert_eq!(a, b);
     }
 
@@ -264,7 +251,8 @@ mod tests {
                 seed: 0,
                 patience: None,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(curve.steps.len(), 4);
         let mut features = curve.prefix(4);
         features.sort_unstable();

@@ -1,5 +1,12 @@
-//! The inference server: a `TcpListener` accept loop feeding a fixed
-//! worker pool, JSON routing, and graceful shutdown.
+//! The inference server: a `TcpListener` accept loop feeding a
+//! dedicated [`traj_runtime`] pool (one task per connection), JSON
+//! routing, and graceful shutdown.
+//!
+//! The pool is *dedicated* — `Runtime::named(workers, "traj-serve")` —
+//! rather than the shared [`traj_runtime::global`] compute pool:
+//! connection tasks block on socket reads (up to the keep-alive read
+//! timeout), and parking compute workers behind slow clients would
+//! starve any training or cross-validation running in the same process.
 //!
 //! ```text
 //! POST /predict        one segment  → label + per-class scores
@@ -17,7 +24,7 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -275,7 +282,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    worker_threads: Vec<JoinHandle<()>>,
+    runtime: Option<Arc<traj_runtime::Runtime>>,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -290,7 +297,8 @@ impl ServerHandle {
         Arc::clone(&self.metrics)
     }
 
-    /// Stops accepting, drains the workers and joins every thread.
+    /// Stops accepting, drains in-flight connections and joins every
+    /// thread.
     pub fn stop(&mut self) {
         if !self.running.swap(false, Ordering::SeqCst) {
             return;
@@ -300,9 +308,10 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for t in self.worker_threads.drain(..) {
-            let _ = t.join();
-        }
+        // The acceptor has exited, so ours is the last reference:
+        // dropping it shuts the pool down gracefully — already-queued
+        // connections are served to completion, then workers are joined.
+        self.runtime.take();
     }
 }
 
@@ -336,35 +345,25 @@ pub fn serve(
     });
     let running = Arc::new(AtomicBool::new(true));
 
-    // Fan connections out to the workers over one shared queue.
-    let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-
+    // Connections run as detached tasks on a dedicated work-stealing
+    // pool (never the shared compute pool: connection tasks block on
+    // socket I/O). Queueing and shutdown draining come with the pool.
     let workers = config.workers.max(1);
-    let mut worker_threads = Vec::with_capacity(workers);
-    for i in 0..workers {
-        let rx = Arc::clone(&conn_rx);
-        let state = Arc::clone(&state);
-        let config = config.clone();
-        let thread = std::thread::Builder::new()
-            .name(format!("traj-serve-worker-{i}"))
-            .spawn(move || worker_loop(&rx, &state, &config))
-            .map_err(|e| format!("spawning worker: {e}"))?;
-        worker_threads.push(thread);
-    }
+    let runtime = Arc::new(traj_runtime::Runtime::named(workers, "traj-serve"));
 
     let accept_running = Arc::clone(&running);
+    let accept_runtime = Arc::clone(&runtime);
     let accept_thread = std::thread::Builder::new()
         .name("traj-serve-accept".to_owned())
         .spawn(move || {
             for stream in listener.incoming() {
                 if !accept_running.load(Ordering::SeqCst) {
-                    break; // conn_tx drops here; workers drain and exit.
+                    break;
                 }
                 if let Ok(stream) = stream {
-                    if conn_tx.send(stream).is_err() {
-                        break;
-                    }
+                    let state = Arc::clone(&state);
+                    let config = config.clone();
+                    accept_runtime.spawn(move || handle_connection(stream, &state, &config));
                 }
             }
         })
@@ -374,26 +373,9 @@ pub fn serve(
         addr: local_addr,
         running,
         accept_thread: Some(accept_thread),
-        worker_threads,
+        runtime: Some(runtime),
         metrics,
     })
-}
-
-fn worker_loop(
-    rx: &Arc<Mutex<std::sync::mpsc::Receiver<TcpStream>>>,
-    state: &Arc<AppState>,
-    config: &ServerConfig,
-) {
-    loop {
-        let stream = {
-            let guard = rx.lock().expect("connection queue lock");
-            guard.recv()
-        };
-        match stream {
-            Ok(stream) => handle_connection(stream, state, config),
-            Err(_) => return, // Acceptor gone: shutdown.
-        }
-    }
 }
 
 /// Serves one (possibly keep-alive) connection to completion.

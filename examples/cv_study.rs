@@ -29,8 +29,10 @@ fn main() {
         let dataset = pipeline.dataset_from_segments(&synth.segments);
 
         let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-        let random = cross_validate(&factory, &dataset, &KFold::new(5, 1), 0);
-        let user = cross_validate(&factory, &dataset, &GroupKFold { n_splits: 5 }, 0);
+        let random =
+            cross_validate(&factory, &dataset, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
+        let user = cross_validate(&factory, &dataset, &GroupKFold { n_splits: 5 }, 0)
+            .expect("cohort has enough users");
         let (ra, ua) = (
             trajlib::ml::cv::mean_accuracy(&random),
             trajlib::ml::cv::mean_accuracy(&user),

@@ -58,7 +58,8 @@ fn main() {
             seed: 0,
             patience: None,
         },
-    );
+    )
+    .expect("cohort has enough users for 3 group folds");
     println!("wrapper search, first 5 features:");
     for (k, step) in curve.steps.iter().enumerate() {
         println!(

@@ -49,7 +49,8 @@ fn main() {
 
     if dataset.distinct_groups().len() >= 3 && dataset.len() >= 30 {
         let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
+        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0)
+            .expect("dataset checked large enough above");
         println!(
             "3-fold random-CV accuracy: {:.3}",
             trajlib::ml::cv::mean_accuracy(&scores)

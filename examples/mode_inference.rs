@@ -20,7 +20,9 @@ fn main() {
     // NOTE: for honest held-out evaluation the scaler must be fit on the
     // training cohort; extract unnormalised features and scale manually.
     let unnormalised = Pipeline::new(
-        PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(Normalization::None),
+        PipelineConfig::builder(LabelScheme::Dabiri)
+            .normalization(Normalization::None)
+            .build(),
     );
     let train_raw = unnormalised.dataset_from_segments(&train_cohort.segments);
     let mut train_rows: Vec<Vec<f64>> = (0..train_raw.len())

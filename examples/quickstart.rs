@@ -41,7 +41,8 @@ fn main() {
 
     // 8. Classify and evaluate: random forest, 5-fold random CV.
     let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-    let scores = cross_validate(&factory, &dataset, &KFold::new(5, 1), 0);
+    let scores =
+        cross_validate(&factory, &dataset, &KFold::new(5, 1), 0).expect("cohort fits 5 folds");
     for (fold, s) in scores.iter().enumerate() {
         println!(
             "fold {fold}: accuracy {:.3}, weighted F1 {:.3} ({} train / {} test)",

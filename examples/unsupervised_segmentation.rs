@@ -101,7 +101,9 @@ fn main() {
     //    them, train on the scaled table, then push every new piece
     //    through the same scaler.
     let raw_pipeline = Pipeline::new(
-        PipelineConfig::paper(LabelScheme::Dabiri).with_normalization(Normalization::None),
+        PipelineConfig::builder(LabelScheme::Dabiri)
+            .normalization(Normalization::None)
+            .build(),
     );
     let raw_train = raw_pipeline.dataset_from_segments(&train_cohort.segments);
     let mut rows: Vec<Vec<f64>> = (0..raw_train.len())

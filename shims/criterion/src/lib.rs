@@ -24,7 +24,6 @@ pub struct Criterion {
     _private: (),
 }
 
-
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {

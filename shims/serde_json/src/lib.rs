@@ -412,10 +412,7 @@ mod tests {
         ] {
             let json = to_string(&x).unwrap();
             let back: f64 = from_str(&json).unwrap();
-            assert!(
-                back.to_bits() == x.to_bits() || back == x,
-                "{x} vs {back}"
-            );
+            assert!(back.to_bits() == x.to_bits() || back == x, "{x} vs {back}");
         }
         // Typical values round-trip to identical bits.
         for &x in &[0.1, std::f64::consts::PI, 1e300] {

@@ -193,9 +193,10 @@ fn model_artifact_round_trips_through_registry() {
 
 #[test]
 fn pipeline_config_round_trips() {
-    let config = PipelineConfig::paper(LabelScheme::Endo)
-        .with_selected_features(vec!["speed_p90".into()])
-        .with_noise(NoiseConfig::enabled());
+    let config = PipelineConfig::builder(LabelScheme::Endo)
+        .select_features(["speed_p90"])
+        .noise(NoiseConfig::enabled())
+        .build();
     let json = serde_json::to_string(&config).unwrap();
     let restored: PipelineConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(config, restored);

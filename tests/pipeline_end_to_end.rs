@@ -23,7 +23,7 @@ fn full_pipeline_beats_majority_class_baseline() {
     let majority = *counts.iter().max().unwrap() as f64 / dataset.len() as f64;
 
     let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-    let scores = cross_validate(&factory, &dataset, &KFold::new(5, 1), 0);
+    let scores = cross_validate(&factory, &dataset, &KFold::new(5, 1), 0).unwrap();
     let acc = trajlib::ml::cv::mean_accuracy(&scores);
     assert!(
         acc > majority + 0.1,
@@ -60,8 +60,8 @@ fn pipeline_is_deterministic() {
     assert_eq!(a, b);
 
     let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-    let s1 = cross_validate(&factory, &a, &KFold::new(3, 9), 4);
-    let s2 = cross_validate(&factory, &b, &KFold::new(3, 9), 4);
+    let s1 = cross_validate(&factory, &a, &KFold::new(3, 9), 4).unwrap();
+    let s2 = cross_validate(&factory, &b, &KFold::new(3, 9), 4).unwrap();
     assert_eq!(s1, s2, "same seed ⇒ same cross-validation scores");
 }
 
@@ -73,7 +73,7 @@ fn every_paper_classifier_clears_chance_end_to_end() {
     let chance = 1.0 / dataset.n_classes as f64;
     for kind in ClassifierKind::PAPER_SIX {
         let factory = move |seed: u64| kind.build(seed);
-        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
+        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0).unwrap();
         let acc = trajlib::ml::cv::mean_accuracy(&scores);
         assert!(
             acc > chance + 0.1,
@@ -94,10 +94,12 @@ fn top20_subset_keeps_most_of_the_accuracy() {
     let reduced = full.select_features(&top20);
 
     let factory = |seed: u64| ClassifierKind::RandomForest.build(seed);
-    let acc_full =
-        trajlib::ml::cv::mean_accuracy(&cross_validate(&factory, &full, &KFold::new(3, 1), 0));
-    let acc_top20 =
-        trajlib::ml::cv::mean_accuracy(&cross_validate(&factory, &reduced, &KFold::new(3, 1), 0));
+    let acc_full = trajlib::ml::cv::mean_accuracy(
+        &cross_validate(&factory, &full, &KFold::new(3, 1), 0).unwrap(),
+    );
+    let acc_top20 = trajlib::ml::cv::mean_accuracy(
+        &cross_validate(&factory, &reduced, &KFold::new(3, 1), 0).unwrap(),
+    );
     assert!(
         acc_top20 > acc_full - 0.05,
         "top-20 accuracy {acc_top20} vs full {acc_full}"
@@ -108,11 +110,14 @@ fn top20_subset_keeps_most_of_the_accuracy() {
 fn noise_step_is_optional_and_both_paths_work() {
     let synth = cohort(6);
     for noise in [NoiseConfig::disabled(), NoiseConfig::enabled()] {
-        let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Dabiri).with_noise(noise));
+        let config = PipelineConfig::builder(LabelScheme::Dabiri)
+            .noise(noise)
+            .build();
+        let pipeline = Pipeline::new(config);
         let dataset = pipeline.dataset_from_segments(&synth.segments);
         assert!(!dataset.is_empty());
         let factory = |seed: u64| ClassifierKind::DecisionTree.build(seed);
-        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0);
+        let scores = cross_validate(&factory, &dataset, &KFold::new(3, 1), 0).unwrap();
         assert!(trajlib::ml::cv::mean_accuracy(&scores) > 0.4);
     }
 }
@@ -122,11 +127,12 @@ fn group_cv_never_leaks_users_end_to_end() {
     let synth = cohort(7);
     let pipeline = Pipeline::new(PipelineConfig::paper(LabelScheme::Endo));
     let dataset = pipeline.dataset_from_segments(&synth.segments);
-    let folds = trajlib::ml::cv::Splitter::split(&GroupKFold { n_splits: 4 }, &dataset);
-    for (train, test) in folds {
+    let folds = trajlib::ml::cv::Splitter::split(&GroupKFold { n_splits: 4 }, &dataset).unwrap();
+    for fold in folds {
         let train_users: std::collections::HashSet<u32> =
-            train.iter().map(|&i| dataset.groups[i]).collect();
-        assert!(test
+            fold.train.iter().map(|&i| dataset.groups[i]).collect();
+        assert!(fold
+            .test
             .iter()
             .all(|&i| !train_users.contains(&dataset.groups[i])));
     }

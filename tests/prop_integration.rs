@@ -61,11 +61,11 @@ proptest! {
         let dataset = pipeline.dataset_from_segments(&synth.segments);
         prop_assume!(dataset.len() >= folds);
 
-        let splits = trajlib::ml::cv::Splitter::split(&KFold::new(folds, 3), &dataset);
+        let splits = trajlib::ml::cv::Splitter::split(&KFold::new(folds, 3), &dataset).unwrap();
         let mut seen = vec![false; dataset.len()];
-        for (train, test) in &splits {
-            prop_assert_eq!(train.len() + test.len(), dataset.len());
-            for &i in test {
+        for fold in splits {
+            prop_assert_eq!(fold.train.len() + fold.test.len(), dataset.len());
+            for &i in &fold.test {
                 prop_assert!(!seen[i], "sample {} tested twice", i);
                 seen[i] = true;
             }
@@ -82,11 +82,11 @@ proptest! {
         prop_assume!(n_groups >= 2);
 
         let splits =
-            trajlib::ml::cv::Splitter::split(&GroupKFold { n_splits: 2 }, &dataset);
-        for (train, test) in &splits {
+            trajlib::ml::cv::Splitter::split(&GroupKFold { n_splits: 2 }, &dataset).unwrap();
+        for fold in splits {
             let train_users: std::collections::HashSet<u32> =
-                train.iter().map(|&i| dataset.groups[i]).collect();
-            for &i in test {
+                fold.train.iter().map(|&i| dataset.groups[i]).collect();
+            for &i in &fold.test {
                 prop_assert!(!train_users.contains(&dataset.groups[i]));
             }
         }
