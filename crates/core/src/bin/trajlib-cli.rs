@@ -65,7 +65,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20         [--name NAME] [--version V] [--model KIND] [--scheme raw|dabiri|endo]\n\
                  \x20         [--top-k K] [--extended] [--seed S]\n\
                  \x20 serve   (--artifacts DIR | --artifact FILE.json) [--addr HOST:PORT]\n\
-                 \x20         [--workers N] [--batch-max N] [--batch-delay-ms MS]"
+                 \x20         [--workers N] [--batch-max N] [--batch-delay-ms MS]\n\
+                 \x20         [--ingest-gap-s SECS] [--ingest-min-points N] [--ingest-exact-cap N]\n\
+                 \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]"
             );
             Ok(())
         }
@@ -324,6 +326,11 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         "batch-delay-ms",
         config.batch.max_delay.as_millis() as u64,
     )?);
+    config.stream.max_gap_s = parsed(opts, "ingest-gap-s", config.stream.max_gap_s)?;
+    config.stream.min_points = parsed(opts, "ingest-min-points", config.stream.min_points)?;
+    config.stream.exact_cap = parsed(opts, "ingest-exact-cap", config.stream.exact_cap)?;
+    config.stream.max_sessions = parsed(opts, "ingest-max-sessions", config.stream.max_sessions)?;
+    config.stream.idle_timeout_s = parsed(opts, "ingest-idle-s", config.stream.idle_timeout_s)?;
 
     let addr = opts
         .get("addr")
@@ -337,7 +344,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         names.join(", "),
         handle.addr()
     );
-    println!("endpoints: POST /predict  POST /predict_batch  GET /healthz  GET /metrics");
+    println!(
+        "endpoints: POST /predict  POST /predict_batch  POST /ingest  GET /healthz  GET /metrics"
+    );
     // Block forever; Ctrl-C tears the process down.
     loop {
         std::thread::park();

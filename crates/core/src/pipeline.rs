@@ -228,10 +228,22 @@ impl Pipeline {
         // the dataset is identical to the old sequential loop.
         let extracted: Vec<Option<(Vec<f64>, usize, u32)>> =
             traj_runtime::parallel_map(segments, |_, seg| {
-                if seg.len() < self.config.segmentation.min_points {
+                // Admission counts only points that survive the shared
+                // timestamp policy, so batch and streaming agree on which
+                // segments exist at all.
+                let kept = traj_geo::monotonic_len(&seg.points);
+                if kept < self.config.segmentation.min_points {
                     return None;
                 }
                 let class = self.config.scheme.class_of(seg.mode)?;
+                let sanitized;
+                let seg = if kept < seg.len() {
+                    let (points, _) = traj_geo::sanitize_monotonic(&seg.points);
+                    sanitized = Segment::new(seg.user, seg.mode, seg.day, points.into_owned());
+                    &sanitized
+                } else {
+                    seg
+                };
                 // Step 6 (optional): clean positions, then series.
                 let cleaned;
                 let seg_ref = if self.config.noise.is_active() {

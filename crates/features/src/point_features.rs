@@ -16,15 +16,24 @@
 //! Following §3.1 ("we assume the speed of the first trajectory point is
 //! equal to the speed of the second trajectory point"), every series is
 //! back-filled at its head so each has exactly one value per fix.
-//! Zero-duration steps (duplicate timestamps survive some parsers) produce
-//! a `0` rate rather than an infinity, keeping every feature finite.
+//!
+//! **Timestamp policy.** Points whose timestamp does not strictly advance
+//! past the previously kept fix (duplicate or backwards timestamps survive
+//! some parsers) are dropped via [`traj_geo::sanitize_monotonic`] before
+//! any series is computed — a zero `Δt` would otherwise poison speed,
+//! acceleration, jerk and the bearing rates. The streaming sessionizer of
+//! `traj-stream` applies the same policy, so batch and online features
+//! agree point for point. [`safe_rate`] additionally maps a non-positive
+//! `Δt` to a `0` rate as a belt-and-braces guard for callers that build
+//! series by hand.
 
 use serde::{Deserialize, Serialize};
 use traj_geo::geodesy;
-use traj_geo::Segment;
+use traj_geo::{sanitize_monotonic, Segment, TrajectoryPoint};
 
 /// The per-point feature series of one segment. All vectors share the
-/// segment's length.
+/// *kept* point count — the segment length minus any points dropped by
+/// the timestamp policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PointFeatures {
     /// Seconds since the previous fix (head back-filled).
@@ -46,9 +55,19 @@ pub struct PointFeatures {
 }
 
 impl PointFeatures {
-    /// Computes all eight series for a segment.
+    /// Computes all eight series for a segment (applying the timestamp
+    /// policy first; see the module docs).
     pub fn compute(segment: &Segment) -> Self {
-        let n = segment.points.len();
+        Self::compute_points(&segment.points)
+    }
+
+    /// Computes all eight series from a raw point slice. Points rejected
+    /// by the timestamp policy are dropped first, so the series length is
+    /// [`traj_geo::monotonic_len`] of the input.
+    pub fn compute_points(points: &[TrajectoryPoint]) -> Self {
+        let (points, _) = sanitize_monotonic(points);
+        let points: &[TrajectoryPoint] = &points;
+        let n = points.len();
         if n == 0 {
             return PointFeatures::empty();
         }
@@ -67,7 +86,7 @@ impl PointFeatures {
         speed.push(0.0);
         bearing.push(0.0);
 
-        for w in segment.points.windows(2) {
+        for w in points.windows(2) {
             let dt = w[1].t.seconds_since(w[0].t);
             let d = geodesy::point_distance_m(&w[0], &w[1]);
             duration.push(dt);
@@ -179,8 +198,7 @@ fn angular_derivative(bearing: &[f64], dt: &[f64]) -> Vec<f64> {
     }
     out.push(0.0);
     for i in 1..n {
-        let step = (bearing[i] - bearing[i - 1] + 540.0).rem_euclid(360.0) - 180.0;
-        out.push(safe_rate(step, dt[i]));
+        out.push(safe_rate(angular_step(bearing[i - 1], bearing[i]), dt[i]));
     }
     if n > 1 {
         out[0] = out[1];
@@ -188,9 +206,18 @@ fn angular_derivative(bearing: &[f64], dt: &[f64]) -> Vec<f64> {
     out
 }
 
-/// `num / dt`, defined as `0` when `dt ≤ 0` so duplicate timestamps never
-/// produce infinities.
-fn safe_rate(num: f64, dt: f64) -> f64 {
+/// Signed smallest angular difference `to - from` mapped into
+/// `[-180, 180)` degrees — the step the bearing-rate derivative uses.
+/// Public so the streaming incremental chain applies the *same
+/// expression* and stays bit-identical with the batch series.
+pub fn angular_step(from: f64, to: f64) -> f64 {
+    (to - from + 540.0).rem_euclid(360.0) - 180.0
+}
+
+/// `num / dt`, defined as `0` when `dt ≤ 0` so hand-built series with
+/// duplicate timestamps never produce infinities. Public for the same
+/// bit-parity reason as [`angular_step`].
+pub fn safe_rate(num: f64, dt: f64) -> f64 {
     if dt > 0.0 {
         num / dt
     } else {
@@ -290,17 +317,40 @@ mod tests {
     }
 
     #[test]
-    fn zero_duration_steps_produce_finite_rates() {
-        // Duplicate timestamps with distinct positions.
+    fn duplicate_timestamps_are_dropped_by_policy() {
+        // Regression test for the shared dt = 0 policy: the middle point
+        // repeats the first timestamp, so it must be dropped — not folded
+        // into the series as a zero-speed step.
         let points = vec![
             TrajectoryPoint::new(39.9, 116.3, Timestamp::from_millis(0)),
             TrajectoryPoint::new(39.901, 116.3, Timestamp::from_millis(0)),
             TrajectoryPoint::new(39.902, 116.3, Timestamp::from_millis(1000)),
         ];
-        let seg = Segment::new(1, TransportMode::Walk, 0, points);
+        let seg = Segment::new(1, TransportMode::Walk, 0, points.clone());
         let f = PointFeatures::compute(&seg);
         assert!(f.all_finite());
-        assert_eq!(f.speed[1], 0.0, "zero-duration step contributes zero speed");
+        assert_eq!(f.len(), 2, "duplicate-timestamp point is dropped");
+        // The surviving step is first → third point over 1 s.
+        let expected = traj_geo::geodesy::point_distance_m(&points[0], &points[2]);
+        assert!((f.speed[1] - expected).abs() < 1e-9);
+        assert!(f.speed[1] > 0.0);
+        // Identical to computing over the pre-sanitized slice.
+        let clean = PointFeatures::compute_points(&[points[0], points[2]]);
+        assert_eq!(f, clean);
+    }
+
+    #[test]
+    fn backwards_timestamps_are_dropped_by_policy() {
+        let points = vec![
+            TrajectoryPoint::new(39.9, 116.3, Timestamp::from_seconds(0)),
+            TrajectoryPoint::new(39.901, 116.3, Timestamp::from_seconds(10)),
+            TrajectoryPoint::new(39.902, 116.3, Timestamp::from_seconds(5)), // clock went back
+            TrajectoryPoint::new(39.903, 116.3, Timestamp::from_seconds(20)),
+        ];
+        let f = PointFeatures::compute_points(&points);
+        assert_eq!(f.len(), 3);
+        assert!(f.all_finite());
+        assert!(f.duration.iter().skip(1).all(|&dt| dt > 0.0));
     }
 
     #[test]

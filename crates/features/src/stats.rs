@@ -104,6 +104,91 @@ pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Number of statistics in a [`summary10`] row (and in the paper's
+/// per-feature summary): min, max, mean, median, std, p10, p25, p50,
+/// p75, p90 — in that order.
+pub const SUMMARY_WIDTH: usize = 10;
+
+/// The canonical ten-statistic summary of one series, in the order the
+/// paper's feature vector uses (see [`SUMMARY_WIDTH`]). This is the single
+/// implementation both the batch path
+/// (`trajectory_features::summarize_series`) and the streaming exact
+/// fallback (`traj-stream`) call, so their outputs are bit-identical by
+/// construction.
+pub fn summary10(xs: &[f64]) -> [f64; SUMMARY_WIDTH] {
+    if xs.is_empty() {
+        return [0.0; SUMMARY_WIDTH];
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    [
+        sorted[0],
+        sorted[sorted.len() - 1],
+        mean(xs),
+        percentile_of_sorted(&sorted, 50.0),
+        std_dev(xs),
+        percentile_of_sorted(&sorted, 10.0),
+        percentile_of_sorted(&sorted, 25.0),
+        percentile_of_sorted(&sorted, 50.0),
+        percentile_of_sorted(&sorted, 75.0),
+        percentile_of_sorted(&sorted, 90.0),
+    ]
+}
+
+/// An incremental view of one value series that can produce the paper's
+/// ten-statistic summary.
+///
+/// Two families implement it: [`ExactSummary`] (buffers every value,
+/// statistics identical to the batch pipeline) and the sketch-backed
+/// summaries of `traj-stream` (bounded memory, documented error on the
+/// percentile statistics). Having one trait keeps the batch statistics
+/// and the streaming sketches interchangeable in feature-building code.
+pub trait SeriesSummary {
+    /// Observes one value. Non-finite values are the caller's bug; exact
+    /// implementations will panic when sorting, sketches may misbehave.
+    fn push(&mut self, x: f64);
+
+    /// Number of values observed so far.
+    fn count(&self) -> usize;
+
+    /// The ten statistics in [`summary10`] order for the values observed
+    /// so far. All-zero before the first push.
+    fn stats10(&self) -> [f64; SUMMARY_WIDTH];
+}
+
+/// The trivial [`SeriesSummary`]: buffers all values and defers to
+/// [`summary10`], so its output is bit-identical to the batch pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSummary {
+    values: Vec<f64>,
+}
+
+impl ExactSummary {
+    /// An empty summary.
+    pub fn new() -> ExactSummary {
+        ExactSummary::default()
+    }
+
+    /// The buffered values, in push order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl SeriesSummary for ExactSummary {
+    fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    fn stats10(&self) -> [f64; SUMMARY_WIDTH] {
+        summary10(&self.values)
+    }
+}
+
 trait FiniteOrZero {
     fn min_finite_or_zero(self) -> f64;
 }
@@ -212,5 +297,25 @@ mod tests {
         let sorted = [1.0, 1.0, 3.0, 4.0, 5.0];
         assert_eq!(percentile_of_sorted(&sorted, 50.0), 3.0);
         assert_eq!(percentile_of_sorted(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn exact_summary_matches_summary10() {
+        let mut s = ExactSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.stats10(), [0.0; SUMMARY_WIDTH]);
+        for &x in &XS {
+            s.push(x);
+        }
+        assert_eq!(s.count(), XS.len());
+        assert_eq!(s.stats10(), summary10(&XS));
+        // Spot-check the order contract.
+        let stats = s.stats10();
+        assert_eq!(stats[0], min(&XS));
+        assert_eq!(stats[1], max(&XS));
+        assert_eq!(stats[2], mean(&XS));
+        assert_eq!(stats[3], median(&XS));
+        assert_eq!(stats[4], std_dev(&XS));
+        assert_eq!(stats[7], percentile(&XS, 50.0));
     }
 }

@@ -61,24 +61,10 @@ pub fn feature_names() -> Vec<String> {
 }
 
 /// Computes the ten statistics of one series, in [`STAT_NAMES`] order.
+/// Delegates to [`stats::summary10`], the single implementation shared
+/// with the streaming exact path.
 pub fn summarize_series(xs: &[f64]) -> [f64; STATS_PER_FEATURE] {
-    if xs.is_empty() {
-        return [0.0; STATS_PER_FEATURE];
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
-    [
-        sorted[0],
-        sorted[sorted.len() - 1],
-        stats::mean(xs),
-        stats::percentile_of_sorted(&sorted, 50.0),
-        stats::std_dev(xs),
-        stats::percentile_of_sorted(&sorted, 10.0),
-        stats::percentile_of_sorted(&sorted, 25.0),
-        stats::percentile_of_sorted(&sorted, 50.0),
-        stats::percentile_of_sorted(&sorted, 75.0),
-        stats::percentile_of_sorted(&sorted, 90.0),
-    ]
+    stats::summary10(xs)
 }
 
 /// Computes a segment's 70-dimensional feature vector.

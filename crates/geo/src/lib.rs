@@ -48,7 +48,9 @@ pub mod walk_segmentation;
 pub use error::GeoError;
 pub use mode::{LabelScheme, TransportMode};
 pub use point::{LabeledPoint, TrajectoryPoint};
-pub use segmentation::{segment_by_user_day_mode, SegmentationConfig};
+pub use segmentation::{
+    monotonic_len, sanitize_monotonic, segment_by_user_day_mode, SegmentationConfig,
+};
 pub use simplify::douglas_peucker;
 pub use time::Timestamp;
 pub use trajectory::{RawTrajectory, Segment, UserId};

@@ -168,6 +168,54 @@ pub fn split_on_gaps(segment: &Segment, max_gap_s: f64, min_points: usize) -> Ve
     out
 }
 
+/// The workspace-wide timestamp policy: a point whose timestamp does not
+/// *strictly* advance past the previously kept point is dropped.
+///
+/// GeoLife-style logs occasionally contain duplicate or backwards
+/// timestamps (device clock adjustments, parser artefacts). A zero or
+/// negative `Δt` makes every rate feature (speed, acceleration, jerk,
+/// bearing rates) degenerate, so both the batch pipeline
+/// (`traj_features::point_features`) and the streaming sessionizer
+/// (`traj-stream`) apply this same function before computing features and
+/// before counting points against admission thresholds.
+///
+/// Returns the kept points (borrowed when nothing was dropped) and the
+/// number of dropped points.
+pub fn sanitize_monotonic(
+    points: &[TrajectoryPoint],
+) -> (std::borrow::Cow<'_, [TrajectoryPoint]>, usize) {
+    let clean_until = points
+        .windows(2)
+        .position(|w| w[1].t.0 <= w[0].t.0)
+        .map(|i| i + 1);
+    let Some(first_bad) = clean_until else {
+        return (std::borrow::Cow::Borrowed(points), 0);
+    };
+    let mut kept: Vec<TrajectoryPoint> = points[..first_bad].to_vec();
+    for &p in &points[first_bad..] {
+        // `kept` is non-empty: first_bad ≥ 1.
+        if p.t.0 > kept.last().expect("non-empty prefix").t.0 {
+            kept.push(p);
+        }
+    }
+    let dropped = points.len() - kept.len();
+    (std::borrow::Cow::Owned(kept), dropped)
+}
+
+/// Number of points of a slice that survive [`sanitize_monotonic`] —
+/// the count admission thresholds must use, without allocating.
+pub fn monotonic_len(points: &[TrajectoryPoint]) -> usize {
+    let mut kept = 0usize;
+    let mut last: Option<i64> = None;
+    for p in points {
+        if last.is_none_or(|t| p.t.0 > t) {
+            kept += 1;
+            last = Some(p.t.0);
+        }
+    }
+    kept
+}
+
 /// Convenience: segments every trajectory of a collection and concatenates
 /// the results.
 pub fn segment_all(trajectories: &[RawTrajectory], config: &SegmentationConfig) -> Vec<Segment> {
@@ -342,5 +390,42 @@ mod tests {
     fn empty_trajectory_produces_no_segments() {
         let traj = RawTrajectory::new(1, vec![]);
         assert!(segment_by_user_day_mode(&traj, &SegmentationConfig::paper()).is_empty());
+    }
+
+    #[test]
+    fn sanitize_monotonic_borrows_clean_input() {
+        let pts: Vec<TrajectoryPoint> = (0..5).map(|i| fix(i * 5)).collect();
+        let (kept, dropped) = sanitize_monotonic(&pts);
+        assert_eq!(dropped, 0);
+        assert!(matches!(kept, std::borrow::Cow::Borrowed(_)));
+        assert_eq!(kept.len(), 5);
+        assert_eq!(monotonic_len(&pts), 5);
+    }
+
+    #[test]
+    fn sanitize_monotonic_drops_duplicates_and_regressions() {
+        // t = 0, 5, 5 (dup), 3 (backwards), 10, 10 (dup), 20
+        let ts = [0, 5, 5, 3, 10, 10, 20];
+        let pts: Vec<TrajectoryPoint> = ts.iter().map(|&s| fix(s)).collect();
+        let (kept, dropped) = sanitize_monotonic(&pts);
+        assert_eq!(dropped, 3);
+        let kept_ts: Vec<i64> = kept.iter().map(|p| p.t.0 / 1000).collect();
+        assert_eq!(kept_ts, vec![0, 5, 10, 20]);
+        assert_eq!(monotonic_len(&pts), kept.len());
+        // Kept points keep their original coordinates.
+        assert_eq!(kept[1].lon, pts[1].lon);
+    }
+
+    #[test]
+    fn sanitize_monotonic_degenerate_inputs() {
+        assert_eq!(sanitize_monotonic(&[]).0.len(), 0);
+        assert_eq!(monotonic_len(&[]), 0);
+        let one = [fix(7)];
+        let (kept, dropped) = sanitize_monotonic(&one);
+        assert_eq!((kept.len(), dropped), (1, 0));
+        // All-duplicate input keeps only the first point.
+        let dups: Vec<TrajectoryPoint> = (0..4).map(|_| fix(9)).collect();
+        let (kept, dropped) = sanitize_monotonic(&dups);
+        assert_eq!((kept.len(), dropped), (1, 3));
     }
 }

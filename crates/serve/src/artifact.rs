@@ -93,7 +93,9 @@ impl ModelArtifact {
         let mut labels = Vec::new();
         let mut groups = Vec::new();
         for seg in segments {
-            if seg.len() < MIN_SEGMENT_POINTS {
+            // Count admission against the shared timestamp policy
+            // (featurization drops non-monotonic points internally).
+            if traj_geo::monotonic_len(&seg.points) < MIN_SEGMENT_POINTS {
                 continue;
             }
             let Some(class) = spec.scheme.class_of(seg.mode) else {
@@ -173,7 +175,7 @@ impl ModelArtifact {
         let mut correct = 0usize;
         let mut total = 0usize;
         for seg in segments {
-            if seg.len() < MIN_SEGMENT_POINTS {
+            if traj_geo::monotonic_len(&seg.points) < MIN_SEGMENT_POINTS {
                 continue;
             }
             let Some(class) = self.scheme.class_of(seg.mode) else {

@@ -17,6 +17,13 @@ const LATENCY_BOUNDS_US: [u64; 14] = [
 /// Upper bounds (inclusive) of the batch-size buckets.
 const BATCH_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Upper bounds (inclusive) of the sketch-drift buckets, in parts per
+/// million of the series value range (the documented contract caps
+/// realized drift at 250 000 ppm = 0.25 × range).
+const DRIFT_BOUNDS_PPM: [u64; 10] = [
+    1, 10, 100, 1_000, 5_000, 10_000, 50_000, 100_000, 150_000, 250_000,
+];
+
 /// A fixed-bucket histogram with atomic counters.
 #[derive(Debug)]
 pub struct Histogram {
@@ -29,7 +36,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &'static [u64]) -> Histogram {
+    pub(crate) fn new(bounds: &'static [u64]) -> Histogram {
         Histogram {
             bounds,
             counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
@@ -96,6 +103,134 @@ impl Histogram {
     }
 }
 
+/// Streaming-ingestion metrics (`POST /ingest` and the idle sweeper).
+///
+/// The monotonic counters mirror the engine's own counters —
+/// [`IngestMetrics::sync_engine`] stores the authoritative engine
+/// snapshot rather than double-counting — while the histograms are
+/// recorded at the serving layer, where close-to-prediction latency and
+/// per-close sketch drift are observable.
+#[derive(Debug)]
+pub struct IngestMetrics {
+    /// Points accepted into sessions (engine snapshot).
+    pub points_total: AtomicU64,
+    /// Points dropped by the timestamp policy (engine snapshot).
+    pub points_dropped: AtomicU64,
+    /// Admitted segment closes (engine snapshot).
+    pub segments_closed: AtomicU64,
+    /// Discarded short closes (engine snapshot).
+    pub segments_discarded: AtomicU64,
+    /// Sessions evicted by the session cap (engine snapshot).
+    pub evictions: AtomicU64,
+    /// Gauge: currently open sessions.
+    pub open_sessions: AtomicU64,
+    /// Gauge: bytes of per-user session state.
+    pub state_bytes: AtomicU64,
+    /// Closes whose features were bit-identical to the batch pipeline.
+    pub exact_closes: AtomicU64,
+    /// Closes answered from degraded (sketch-phase) summaries.
+    pub sketch_closes: AtomicU64,
+    /// Segment-close-to-prediction latency, microseconds (request-path
+    /// closes only; idle/eviction closes have no requester to answer).
+    pub close_latency_us: Histogram,
+    /// Realized sketch-vs-exact drift per close, ppm of the value range.
+    pub sketch_drift_ppm: Histogram,
+    /// Process start, for the derived points/sec rate.
+    started: std::time::Instant,
+}
+
+impl IngestMetrics {
+    fn new() -> IngestMetrics {
+        IngestMetrics {
+            points_total: AtomicU64::new(0),
+            points_dropped: AtomicU64::new(0),
+            segments_closed: AtomicU64::new(0),
+            segments_discarded: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            open_sessions: AtomicU64::new(0),
+            state_bytes: AtomicU64::new(0),
+            exact_closes: AtomicU64::new(0),
+            sketch_closes: AtomicU64::new(0),
+            close_latency_us: Histogram::new(&LATENCY_BOUNDS_US),
+            sketch_drift_ppm: Histogram::new(&DRIFT_BOUNDS_PPM),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Stores an authoritative engine snapshot into the mirrored
+    /// counters and gauges.
+    pub fn sync_engine(
+        &self,
+        stats: &traj_stream::EngineStats,
+        open_sessions: u64,
+        state_bytes: u64,
+    ) {
+        self.points_total
+            .store(stats.points_accepted, Ordering::Relaxed);
+        self.points_dropped
+            .store(stats.points_dropped, Ordering::Relaxed);
+        self.segments_closed
+            .store(stats.segments_closed, Ordering::Relaxed);
+        self.segments_discarded
+            .store(stats.segments_discarded, Ordering::Relaxed);
+        self.evictions.store(stats.evictions, Ordering::Relaxed);
+        self.open_sessions.store(open_sessions, Ordering::Relaxed);
+        self.state_bytes.store(state_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one closed segment: `latency_us` when a request was
+    /// waiting on the prediction, `drift` when the close was still exact.
+    pub fn record_close(&self, latency_us: Option<u64>, exact: bool, drift: Option<f64>) {
+        if exact {
+            self.exact_closes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sketch_closes.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(us) = latency_us {
+            self.close_latency_us.record(us);
+        }
+        if let Some(d) = drift {
+            self.sketch_drift_ppm.record((d * 1e6).round() as u64);
+        }
+    }
+
+    fn render_json(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let points = self.points_total.load(Ordering::Relaxed);
+        let lat = &self.close_latency_us;
+        let drift = &self.sketch_drift_ppm;
+        format!(
+            "{{\"points_total\": {}, \"points_dropped\": {}, \"points_per_sec\": {:.1}, \
+             \"open_sessions\": {}, \"state_bytes\": {}, \"segments_closed\": {}, \
+             \"segments_discarded\": {}, \"evictions\": {}, \"exact_closes\": {}, \
+             \"sketch_closes\": {}, \
+             \"close_latency_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {}}}, \
+             \"sketch_drift_ppm\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"buckets\": {}}}}}",
+            points,
+            self.points_dropped.load(Ordering::Relaxed),
+            points as f64 / elapsed,
+            self.open_sessions.load(Ordering::Relaxed),
+            self.state_bytes.load(Ordering::Relaxed),
+            self.segments_closed.load(Ordering::Relaxed),
+            self.segments_discarded.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.exact_closes.load(Ordering::Relaxed),
+            self.sketch_closes.load(Ordering::Relaxed),
+            lat.count(),
+            lat.mean(),
+            lat.quantile(0.50),
+            lat.quantile(0.95),
+            lat.quantile(0.99),
+            render_buckets(&lat.snapshot()),
+            drift.count(),
+            drift.mean(),
+            drift.quantile(0.50),
+            drift.quantile(0.99),
+            render_buckets(&drift.snapshot()),
+        )
+    }
+}
+
 /// All serving metrics; shared across workers behind an `Arc`.
 #[derive(Debug)]
 pub struct ServeMetrics {
@@ -111,6 +246,8 @@ pub struct ServeMetrics {
     pub latency_us: Histogram,
     /// Sizes of flushed prediction micro-batches.
     pub batch_size: Histogram,
+    /// Streaming-ingestion gauges and histograms.
+    pub ingest: IngestMetrics,
     /// Predictions served per registry model name.
     per_model: BTreeMap<String, AtomicU64>,
 }
@@ -125,6 +262,7 @@ impl ServeMetrics {
             responses_5xx: AtomicU64::new(0),
             latency_us: Histogram::new(&LATENCY_BOUNDS_US),
             batch_size: Histogram::new(&BATCH_BOUNDS),
+            ingest: IngestMetrics::new(),
             per_model: model_names
                 .iter()
                 .map(|n| (n.clone(), AtomicU64::new(0)))
@@ -182,6 +320,7 @@ impl ServeMetrics {
             batch.quantile(0.99),
             render_buckets(&batch.snapshot()),
         ));
+        out.push_str(&format!("  \"ingest\": {},\n", self.ingest.render_json()));
         out.push_str("  \"predictions_per_model\": {");
         let mut first = true;
         for (name, counter) in &self.per_model {

@@ -31,6 +31,8 @@ pub struct LoadedModel {
     pub artifact: ModelArtifact,
     /// Indices of the selected features in the full feature row.
     feature_indices: Vec<usize>,
+    /// Width of the full (pre-selection) feature row.
+    full_width: usize,
 }
 
 impl LoadedModel {
@@ -59,6 +61,7 @@ impl LoadedModel {
         Ok(LoadedModel {
             artifact,
             feature_indices,
+            full_width: full_names.len(),
         })
     }
 
@@ -72,17 +75,39 @@ impl LoadedModel {
     /// Errors when the segment is shorter than the training segmentation
     /// floor — the model never saw such inputs.
     pub fn features_of_points(&self, points: &[TrajectoryPoint]) -> Result<Vec<f64>, String> {
-        if points.len() < MIN_SEGMENT_POINTS {
+        let kept = traj_geo::monotonic_len(points);
+        if kept < MIN_SEGMENT_POINTS {
             return Err(format!(
-                "segment has {} points; at least {MIN_SEGMENT_POINTS} required",
-                points.len()
+                "segment has {kept} policy-surviving points; at least {MIN_SEGMENT_POINTS} required",
             ));
         }
         let segment = segment_of_points(points.to_vec());
         let full = self.artifact.feature_set.featurize(&segment);
-        let mut row: Vec<f64> = self.feature_indices.iter().map(|&i| full[i]).collect();
+        self.project_scale(&full)
+    }
+
+    /// Projects a *full* canonical feature row (in
+    /// `feature_set.full_feature_names()` order) onto the model's selected
+    /// features and applies the training-time Min–Max scaling. The entry
+    /// point of the streaming path, whose engine emits full rows.
+    pub fn project_scale(&self, full_row: &[f64]) -> Result<Vec<f64>, String> {
+        let expected = self.full_width;
+        if full_row.len() != expected {
+            return Err(format!(
+                "full feature row has {} values; feature set {:?} produces {expected}",
+                full_row.len(),
+                self.artifact.feature_set
+            ));
+        }
+        let mut row: Vec<f64> = self.feature_indices.iter().map(|&i| full_row[i]).collect();
         self.artifact.scaler.transform_row(&mut row);
         Ok(row)
+    }
+
+    /// [`LoadedModel::project_scale`] followed by prediction — full row in,
+    /// prediction out.
+    pub fn predict_full_row(&self, full_row: &[f64]) -> Result<Prediction, String> {
+        Ok(self.predict_scaled_row(&self.project_scale(full_row)?))
     }
 
     /// Predicts from an already scaled model-input row.

@@ -11,9 +11,16 @@
 //! ```text
 //! POST /predict        one segment  → label + per-class scores
 //! POST /predict_batch  N segments   → N results, micro-batched
+//! POST /ingest         streaming points → predictions per closed segment
 //! GET  /healthz        liveness + loaded models
-//! GET  /metrics        counters, latency percentiles, batch sizes
+//! GET  /metrics        counters, latency percentiles, batch + ingest stats
 //! ```
+//!
+//! `/ingest` routes points into the per-user [`traj_stream::StreamEngine`]
+//! shared by all workers; whenever a segment closes (gap, explicit
+//! `flush`, idle sweep, or eviction) the paper's 70 features are already
+//! materialised and a prediction is emitted without re-featurising. A
+//! background sweeper closes idle sessions on the configured interval.
 
 use crate::batch::{BatchConfig, MicroBatcher};
 use crate::http::{read_request, write_response, HttpError, Request};
@@ -40,6 +47,10 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Micro-batching policy for `/predict_batch`.
     pub batch: BatchConfig,
+    /// Streaming-ingestion engine tunables (`POST /ingest`).
+    pub stream: traj_stream::StreamConfig,
+    /// How often the background sweeper scans for idle sessions.
+    pub idle_sweep_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +60,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             batch: BatchConfig::default(),
+            stream: traj_stream::StreamConfig::default(),
+            idle_sweep_interval: Duration::from_secs(30),
         }
     }
 }
@@ -60,7 +73,7 @@ impl Default for ServerConfig {
 struct PointDto {
     lat: f64,
     lon: f64,
-    /// Unix seconds.
+    /// Milliseconds since the Unix epoch (`Timestamp.0`'s own unit).
     t: i64,
 }
 
@@ -103,6 +116,43 @@ struct PredictBatchResponse {
     results: Vec<BatchItemResponse>,
 }
 
+#[derive(Debug, Deserialize)]
+struct IngestRequest {
+    /// Stream owner; shards the server-side session state.
+    user: u32,
+    /// Registry name (`None` → default model).
+    model: Option<String>,
+    points: Vec<PointDto>,
+    /// Close the user's open segment after this batch.
+    flush: Option<bool>,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestPrediction {
+    user: u32,
+    start_t: i64,
+    end_t: i64,
+    n_points: usize,
+    /// Why the segment closed: `gap`, `flush`, `idle` or `eviction`.
+    reason: String,
+    /// Whether the features were bit-identical to the batch pipeline.
+    exact: bool,
+    class: usize,
+    label: String,
+    scores: Vec<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestResponse {
+    model: String,
+    version: u32,
+    accepted: usize,
+    dropped: usize,
+    open_points: usize,
+    class_names: Vec<String>,
+    predictions: Vec<IngestPrediction>,
+}
+
 #[derive(Debug, Serialize)]
 struct ErrorResponse {
     error: String,
@@ -128,6 +178,19 @@ struct AppState {
     registry: ModelRegistry,
     metrics: Arc<ServeMetrics>,
     batcher: MicroBatcher,
+    engine: traj_stream::StreamEngine,
+}
+
+impl AppState {
+    /// Mirrors the engine's authoritative counters and gauges into the
+    /// `/metrics` snapshot.
+    fn sync_ingest_metrics(&self) {
+        self.metrics.ingest.sync_engine(
+            &self.engine.stats(),
+            self.engine.open_sessions() as u64,
+            self.engine.state_bytes() as u64,
+        );
+    }
 }
 
 /// Routes one request to `(status, JSON body)`. Never panics on client
@@ -138,7 +201,8 @@ fn route(state: &AppState, request: &Request) -> (u16, String) {
         ("GET", "/metrics") => (200, state.metrics.render_json()),
         ("POST", "/predict") => handle_predict(state, &request.body),
         ("POST", "/predict_batch") => handle_predict_batch(state, &request.body),
-        ("GET", "/predict" | "/predict_batch") | ("POST", "/healthz" | "/metrics") => {
+        ("POST", "/ingest") => handle_ingest(state, &request.body),
+        ("GET", "/predict" | "/predict_batch" | "/ingest") | ("POST", "/healthz" | "/metrics") => {
             (405, error_body("method not allowed"))
         }
         _ => (404, error_body("no such endpoint")),
@@ -261,6 +325,72 @@ fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
     }
 }
 
+fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
+    let started = Instant::now();
+    let parsed: IngestRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+        return (404, error_body("unknown model"));
+    };
+    // The engine emits the canonical 70-feature row; models trained on
+    // other feature tables cannot consume it.
+    if model.artifact.feature_set != crate::featurize::ServeFeatureSet::Paper70 {
+        return (
+            409,
+            error_body(&format!(
+                "/ingest requires a Paper70 model; {:?} was trained on {:?}",
+                model.artifact.name, model.artifact.feature_set
+            )),
+        );
+    }
+
+    let points = points_of(&parsed.points);
+    let flush = parsed.flush.unwrap_or(false);
+    let report = state.engine.ingest(parsed.user, &points, flush);
+
+    let mut predictions = Vec::with_capacity(report.closed.len());
+    for closed in &report.closed {
+        let prediction = match model.predict_full_row(&closed.features) {
+            Ok(p) => p,
+            Err(msg) => return (500, error_body(&msg)),
+        };
+        state.metrics.record_predictions(&model.artifact.name, 1);
+        state.metrics.ingest.record_close(
+            Some(started.elapsed().as_micros() as u64),
+            closed.exact,
+            closed.sketch_drift,
+        );
+        predictions.push(IngestPrediction {
+            user: closed.user,
+            start_t: closed.start.0,
+            end_t: closed.end.0,
+            n_points: closed.n_points,
+            reason: closed.reason.as_str().to_owned(),
+            exact: closed.exact,
+            class: prediction.class,
+            label: prediction.label,
+            scores: prediction.scores,
+        });
+    }
+    state.sync_ingest_metrics();
+
+    let response = IngestResponse {
+        model: model.artifact.name.clone(),
+        version: model.artifact.version,
+        accepted: report.accepted,
+        dropped: report.dropped,
+        open_points: report.open_points,
+        class_names: class_names_of(&model.artifact.scheme),
+        predictions,
+    };
+    match serde_json::to_string(&response) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
 fn parse_json_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, (u16, String)> {
     let text =
         std::str::from_utf8(body).map_err(|_| (400, error_body("request body is not UTF-8")))?;
@@ -282,6 +412,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    sweep_thread: Option<JoinHandle<()>>,
     runtime: Option<Arc<traj_runtime::Runtime>>,
     metrics: Arc<ServeMetrics>,
 }
@@ -306,6 +437,9 @@ impl ServerHandle {
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweep_thread.take() {
             let _ = t.join();
         }
         // The acceptor has exited, so ours is the last reference:
@@ -342,8 +476,37 @@ pub fn serve(
         registry,
         metrics: Arc::clone(&metrics),
         batcher,
+        engine: traj_stream::StreamEngine::new(config.stream),
     });
     let running = Arc::new(AtomicBool::new(true));
+
+    // Idle-session sweeper: closes sessions with no recent points so
+    // abandoned streams release their state. The resulting segments have
+    // no waiting requester; they only feed the metrics.
+    let sweep_state = Arc::clone(&state);
+    let sweep_running = Arc::clone(&running);
+    let sweep_interval = config.idle_sweep_interval;
+    let sweep_thread = std::thread::Builder::new()
+        .name("traj-serve-sweep".to_owned())
+        .spawn(move || {
+            let mut last_sweep = Instant::now();
+            while sweep_running.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
+                if last_sweep.elapsed() < sweep_interval {
+                    continue;
+                }
+                last_sweep = Instant::now();
+                for closed in sweep_state.engine.sweep_idle() {
+                    sweep_state.metrics.ingest.record_close(
+                        None,
+                        closed.exact,
+                        closed.sketch_drift,
+                    );
+                }
+                sweep_state.sync_ingest_metrics();
+            }
+        })
+        .map_err(|e| format!("spawning sweeper: {e}"))?;
 
     // Connections run as detached tasks on a dedicated work-stealing
     // pool (never the shared compute pool: connection tasks block on
@@ -373,6 +536,7 @@ pub fn serve(
         addr: local_addr,
         running,
         accept_thread: Some(accept_thread),
+        sweep_thread: Some(sweep_thread),
         runtime: Some(runtime),
         metrics,
     })

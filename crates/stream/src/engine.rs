@@ -1,0 +1,459 @@
+//! The ingestion engine: per-user sessions sharded across mutexes, safe
+//! to call concurrently from every server worker of the `traj-runtime`
+//! pool.
+//!
+//! Each user maps to one shard (`user % n_shards`); a request locks only
+//! its shard, so unrelated users ingest in parallel. Whole-engine
+//! operations (flush, idle sweep, accounting) fan the shards out over
+//! [`traj_runtime::parallel_map`].
+//!
+//! Memory is bounded twice over: per session by the summaries'
+//! `exact_cap` (see [`crate::sessionizer`]) and globally by
+//! `max_sessions` — inserting a user past the cap evicts the
+//! least-recently-active session of the target shard, closing (and, when
+//! admitted, emitting) its open segment.
+
+use crate::sessionizer::{CloseReason, ClosedSegment, Session, SessionConfig, SessionPush};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use traj_geo::{TrajectoryPoint, UserId};
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Close the open segment on inter-fix gaps above this (seconds).
+    pub max_gap_s: f64,
+    /// Admission threshold of closed segments (paper: 10).
+    pub min_points: usize,
+    /// Per-series exact-phase cap before summaries degrade to sketches.
+    pub exact_cap: usize,
+    /// Shards the session map is split into.
+    pub n_shards: usize,
+    /// Global cap on concurrently open sessions; beyond it the engine
+    /// evicts least-recently-active sessions.
+    pub max_sessions: usize,
+    /// Sessions idle longer than this many seconds are closed by
+    /// [`StreamEngine::sweep_idle`].
+    pub idle_timeout_s: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        let session = SessionConfig::default();
+        StreamConfig {
+            max_gap_s: session.max_gap_s,
+            min_points: session.min_points,
+            exact_cap: session.exact_cap,
+            n_shards: 16,
+            max_sessions: 65_536,
+            idle_timeout_s: 300,
+        }
+    }
+}
+
+impl StreamConfig {
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            max_gap_s: self.max_gap_s,
+            min_points: self.min_points,
+            exact_cap: self.exact_cap,
+        }
+    }
+}
+
+/// Result of one [`StreamEngine::ingest`] call.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Points accepted into the user's session.
+    pub accepted: usize,
+    /// Points dropped by the timestamp policy.
+    pub dropped: usize,
+    /// Points left in the user's open segment after the call.
+    pub open_points: usize,
+    /// Segments closed (and admitted) during the call.
+    pub closed: Vec<ClosedSegment>,
+    /// Segments closed but discarded as shorter than `min_points`.
+    pub discarded: usize,
+}
+
+/// Monotonic engine counters, exported through `/metrics`.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    points_accepted: AtomicU64,
+    points_dropped: AtomicU64,
+    segments_closed: AtomicU64,
+    segments_discarded: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A plain snapshot of [`EngineCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Points accepted into sessions.
+    pub points_accepted: u64,
+    /// Points dropped by the timestamp policy.
+    pub points_dropped: u64,
+    /// Admitted segment closes.
+    pub segments_closed: u64,
+    /// Discarded (short) segment closes.
+    pub segments_discarded: u64,
+    /// Sessions evicted by the session cap.
+    pub evictions: u64,
+}
+
+struct SessionEntry {
+    session: Session,
+    last_seen: Instant,
+}
+
+type Shard = HashMap<UserId, SessionEntry>;
+
+/// The sharded ingestion engine. All methods take `&self`.
+pub struct StreamEngine {
+    config: StreamConfig,
+    shards: Vec<Mutex<Shard>>,
+    counters: EngineCounters,
+}
+
+impl StreamEngine {
+    /// Builds an engine with `config` (shard count clamped to ≥ 1).
+    pub fn new(config: StreamConfig) -> StreamEngine {
+        let n_shards = config.n_shards.max(1);
+        StreamEngine {
+            config: StreamConfig { n_shards, ..config },
+            shards: (0..n_shards).map(|_| Mutex::new(Shard::new())).collect(),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Ingests a batch of points for one user, in order. `flush` closes
+    /// the user's open segment after the batch.
+    pub fn ingest(&self, user: UserId, points: &[TrajectoryPoint], flush: bool) -> IngestReport {
+        let mut report = IngestReport::default();
+        let shard_index = self.shard_of(user);
+        let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+
+        if !shard.contains_key(&user) {
+            self.evict_if_full(&mut shard, &mut report);
+            shard.insert(
+                user,
+                SessionEntry {
+                    session: Session::new(self.config.session_config()),
+                    last_seen: Instant::now(),
+                },
+            );
+        }
+        let entry = shard.get_mut(&user).expect("inserted above");
+        entry.last_seen = Instant::now();
+
+        for &p in points {
+            match entry.session.push(user, p) {
+                SessionPush::Accepted => report.accepted += 1,
+                SessionPush::Dropped => report.dropped += 1,
+                SessionPush::Closed(closed) => {
+                    report.accepted += 1; // the gap point re-opened
+                    match closed {
+                        Some(c) => report.closed.push(c),
+                        None => report.discarded += 1,
+                    }
+                }
+            }
+        }
+        if flush {
+            match entry.session.close(user, CloseReason::Flush) {
+                Some(c) => report.closed.push(c),
+                None if entry.session.open_points() == 0 => {}
+                None => report.discarded += 1,
+            }
+            shard.remove(&user);
+        } else {
+            report.open_points = entry.session.open_points();
+        }
+        drop(shard);
+
+        self.counters
+            .points_accepted
+            .fetch_add(report.accepted as u64, Ordering::Relaxed);
+        self.counters
+            .points_dropped
+            .fetch_add(report.dropped as u64, Ordering::Relaxed);
+        self.counters
+            .segments_closed
+            .fetch_add(report.closed.len() as u64, Ordering::Relaxed);
+        self.counters
+            .segments_discarded
+            .fetch_add(report.discarded as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Closes every open session (e.g. at replay end or shutdown),
+    /// fanning shards out over the runtime pool. Returns admitted
+    /// segments; discards are counted in [`StreamEngine::stats`].
+    pub fn flush_all(&self) -> Vec<ClosedSegment> {
+        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard: Vec<(Vec<ClosedSegment>, u64)> =
+            traj_runtime::parallel_map(&indices, |_, &i| {
+                let mut shard = self.shards[i].lock().expect("shard poisoned");
+                let mut closed = Vec::new();
+                let mut discarded = 0u64;
+                for (user, mut entry) in shard.drain() {
+                    match entry.session.close(user, CloseReason::Flush) {
+                        Some(c) => closed.push(c),
+                        None => discarded += 1,
+                    }
+                }
+                (closed, discarded)
+            });
+        let mut all = Vec::new();
+        for (closed, discarded) in per_shard {
+            self.counters
+                .segments_closed
+                .fetch_add(closed.len() as u64, Ordering::Relaxed);
+            self.counters
+                .segments_discarded
+                .fetch_add(discarded, Ordering::Relaxed);
+            all.extend(closed);
+        }
+        all
+    }
+
+    /// Closes sessions with no points for longer than the configured
+    /// idle timeout. Returns admitted segments.
+    pub fn sweep_idle(&self) -> Vec<ClosedSegment> {
+        let now = Instant::now();
+        let timeout = Duration::from_secs(self.config.idle_timeout_s);
+        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard: Vec<(Vec<ClosedSegment>, u64)> =
+            traj_runtime::parallel_map(&indices, |_, &i| {
+                let mut shard = self.shards[i].lock().expect("shard poisoned");
+                let idle: Vec<UserId> = shard
+                    .iter()
+                    .filter(|(_, e)| now.duration_since(e.last_seen) > timeout)
+                    .map(|(&u, _)| u)
+                    .collect();
+                let mut closed = Vec::new();
+                let mut discarded = 0u64;
+                for user in idle {
+                    let mut entry = shard.remove(&user).expect("listed above");
+                    match entry.session.close(user, CloseReason::Idle) {
+                        Some(c) => closed.push(c),
+                        None => discarded += 1,
+                    }
+                }
+                (closed, discarded)
+            });
+        let mut all = Vec::new();
+        for (closed, discarded) in per_shard {
+            self.counters
+                .segments_closed
+                .fetch_add(closed.len() as u64, Ordering::Relaxed);
+            self.counters
+                .segments_discarded
+                .fetch_add(discarded, Ordering::Relaxed);
+            all.extend(closed);
+        }
+        all
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Total bytes of per-session state currently held.
+    pub fn state_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .values()
+                    .map(|e| e.session.state_bytes())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            points_accepted: self.counters.points_accepted.load(Ordering::Relaxed),
+            points_dropped: self.counters.points_dropped.load(Ordering::Relaxed),
+            segments_closed: self.counters.segments_closed.load(Ordering::Relaxed),
+            segments_discarded: self.counters.segments_discarded.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, user: UserId) -> usize {
+        user as usize % self.shards.len()
+    }
+
+    /// Evicts the least-recently-active session of `shard` when the
+    /// global cap (apportioned per shard) is reached.
+    fn evict_if_full(&self, shard: &mut Shard, report: &mut IngestReport) {
+        let per_shard_cap = self.config.max_sessions.div_ceil(self.shards.len()).max(1);
+        if shard.len() < per_shard_cap {
+            return;
+        }
+        let Some(&victim) = shard
+            .iter()
+            .min_by_key(|(_, e)| e.last_seen)
+            .map(|(u, _)| u)
+        else {
+            return;
+        };
+        let mut entry = shard.remove(&victim).expect("selected above");
+        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        match entry.session.close(victim, CloseReason::Eviction) {
+            Some(c) => {
+                self.counters
+                    .segments_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                report.closed.push(c);
+            }
+            None => {
+                self.counters
+                    .segments_discarded
+                    .fetch_add(1, Ordering::Relaxed);
+                report.discarded += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEngine")
+            .field("config", &self.config)
+            .field("open_sessions", &self.open_sessions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::geodesy::destination;
+    use traj_geo::Timestamp;
+
+    fn track(n: usize, start_s: i64, step_s: i64) -> Vec<TrajectoryPoint> {
+        let (mut lat, mut lon) = (39.9, 116.3);
+        (0..n)
+            .map(|i| {
+                let p = TrajectoryPoint::new(
+                    lat,
+                    lon,
+                    Timestamp::from_seconds(start_s + i as i64 * step_s),
+                );
+                let (nlat, nlon) = destination(lat, lon, (i as f64 * 31.0) % 360.0, 3.0);
+                lat = nlat;
+                lon = nlon;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_routes_gaps_flushes_and_counters() {
+        let engine = StreamEngine::new(StreamConfig::default());
+        let mut points = track(15, 0, 5);
+        points.extend(track(15, 2000, 5));
+        let report = engine.ingest(42, &points, false);
+        assert_eq!(report.accepted, 30);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.closed.len(), 1, "gap close");
+        assert_eq!(report.open_points, 15);
+        assert_eq!(engine.open_sessions(), 1);
+        assert!(engine.state_bytes() > 0);
+
+        let report = engine.ingest(42, &[], true);
+        assert_eq!(report.closed.len(), 1, "flush close");
+        assert_eq!(engine.open_sessions(), 0);
+
+        let stats = engine.stats();
+        assert_eq!(stats.points_accepted, 30);
+        assert_eq!(stats.segments_closed, 2);
+        assert_eq!(stats.segments_discarded, 0);
+    }
+
+    #[test]
+    fn flush_all_closes_every_user() {
+        let engine = StreamEngine::new(StreamConfig::default());
+        for user in 0u32..8 {
+            engine.ingest(user, &track(12, 0, 5), false);
+        }
+        // A ninth user with a too-short segment: discarded on flush.
+        engine.ingest(99, &track(4, 0, 5), false);
+        assert_eq!(engine.open_sessions(), 9);
+        let closed = engine.flush_all();
+        assert_eq!(closed.len(), 8);
+        assert_eq!(engine.open_sessions(), 0);
+        assert_eq!(engine.stats().segments_discarded, 1);
+    }
+
+    #[test]
+    fn session_cap_evicts_least_recent() {
+        let config = StreamConfig {
+            n_shards: 1,
+            max_sessions: 2,
+            ..StreamConfig::default()
+        };
+        let engine = StreamEngine::new(config);
+        engine.ingest(1, &track(12, 0, 5), false);
+        engine.ingest(2, &track(12, 0, 5), false);
+        // User 3 exceeds the cap: user 1 (least recent) is evicted and its
+        // admitted segment surfaces in the report.
+        let report = engine.ingest(3, &track(3, 0, 5), false);
+        assert_eq!(engine.open_sessions(), 2);
+        assert_eq!(engine.stats().evictions, 1);
+        assert_eq!(report.closed.len(), 1);
+        assert_eq!(report.closed[0].user, 1);
+        assert_eq!(report.closed[0].reason, CloseReason::Eviction);
+    }
+
+    #[test]
+    fn sweep_idle_with_zero_timeout_closes_all() {
+        let config = StreamConfig {
+            idle_timeout_s: 0,
+            ..StreamConfig::default()
+        };
+        let engine = StreamEngine::new(config);
+        engine.ingest(5, &track(12, 0, 5), false);
+        std::thread::sleep(Duration::from_millis(5));
+        let closed = engine.sweep_idle();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Idle);
+        assert_eq!(engine.open_sessions(), 0);
+    }
+
+    #[test]
+    fn concurrent_ingest_from_many_threads() {
+        let engine = std::sync::Arc::new(StreamEngine::new(StreamConfig::default()));
+        std::thread::scope(|scope| {
+            for user in 0u32..16 {
+                let engine = std::sync::Arc::clone(&engine);
+                scope.spawn(move || {
+                    for chunk in track(24, 0, 5).chunks(6) {
+                        engine.ingest(user, chunk, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.open_sessions(), 16);
+        let closed = engine.flush_all();
+        assert_eq!(closed.len(), 16);
+        assert_eq!(engine.stats().points_accepted, 16 * 24);
+    }
+}

@@ -1,0 +1,214 @@
+//! The incremental point-feature chain: the eight per-point series of
+//! `traj_features::point_features` computed online from O(1) state.
+//!
+//! The batch pipeline computes each series over the whole segment and
+//! back-fills the head per the paper's §3.1 ("the speed of the first
+//! trajectory point is equal to the speed of the second"). Unrolling that
+//! construction gives an exact recurrence over `(previous point, previous
+//! speed, previous acceleration, previous bearing, previous bearing
+//! rate)`:
+//!
+//! * the **first** point emits nothing (its values are only known once
+//!   the second point arrives);
+//! * the **second** point emits *two* rows — the back-filled head and
+//!   itself. Distance, speed and bearing back-fill to the second point's
+//!   values; acceleration, jerk, bearing rate and its rate are exactly
+//!   `0.0` at both indices (the batch derivative of a back-filled head is
+//!   `safe_rate(v₁ − v₁, Δt) = 0`, which is then itself back-filled);
+//! * every **later** point emits one row from the recurrences, using the
+//!   same [`traj_features::point_features::safe_rate`] and
+//!   [`traj_features::point_features::angular_step`] expressions as the
+//!   batch code — so the emitted values are bit-identical to the batch
+//!   series, row for row.
+//!
+//! The chain assumes strictly increasing timestamps; the sessionizer
+//! enforces the workspace timestamp policy before points reach it.
+
+use traj_features::point_features::{angular_step, safe_rate};
+use traj_geo::geodesy;
+use traj_geo::TrajectoryPoint;
+
+/// Number of summarised series (the paper's seven point features, in
+/// `traj_features::trajectory_features::POINT_FEATURE_NAMES` order:
+/// distance, speed, acceleration, jerk, bearing, bearing rate, rate of
+/// the bearing rate).
+pub const SERIES_COUNT: usize = 7;
+
+/// Rows emitted by one [`ChainState::push`]: zero (first point), two
+/// (second point: back-filled head + the point itself) or one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainEmit {
+    rows: [[f64; SERIES_COUNT]; 2],
+    len: usize,
+}
+
+impl ChainEmit {
+    /// The emitted rows, oldest first.
+    pub fn rows(&self) -> &[[f64; SERIES_COUNT]] {
+        &self.rows[..self.len]
+    }
+
+    fn none() -> ChainEmit {
+        ChainEmit {
+            rows: [[0.0; SERIES_COUNT]; 2],
+            len: 0,
+        }
+    }
+}
+
+/// O(1) state of the incremental chain over one open segment.
+#[derive(Debug, Clone, Default)]
+pub struct ChainState {
+    n: usize,
+    prev: Option<TrajectoryPoint>,
+    prev_speed: f64,
+    prev_acc: f64,
+    prev_bearing: f64,
+    prev_brate: f64,
+}
+
+impl ChainState {
+    /// An empty chain.
+    pub fn new() -> ChainState {
+        ChainState::default()
+    }
+
+    /// Points consumed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` before the first point.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Consumes the next point (timestamp strictly after the previous
+    /// one) and returns the series rows it completes.
+    pub fn push(&mut self, p: TrajectoryPoint) -> ChainEmit {
+        self.n += 1;
+        let Some(prev) = self.prev.replace(p) else {
+            return ChainEmit::none(); // first point: nothing known yet
+        };
+
+        let dt = p.t.seconds_since(prev.t);
+        let d = geodesy::point_distance_m(&prev, &p);
+        let s = safe_rate(d, dt);
+        let b = geodesy::point_bearing_deg(&prev, &p);
+
+        if self.n == 2 {
+            // Back-filled head + second point. The four derivative series
+            // are exactly 0.0 at both indices (see module docs).
+            self.prev_speed = s;
+            self.prev_acc = 0.0;
+            self.prev_bearing = b;
+            self.prev_brate = 0.0;
+            let row = [d, s, 0.0, 0.0, b, 0.0, 0.0];
+            return ChainEmit {
+                rows: [row, row],
+                len: 2,
+            };
+        }
+
+        let a = safe_rate(s - self.prev_speed, dt);
+        let j = safe_rate(a - self.prev_acc, dt);
+        let br = safe_rate(angular_step(self.prev_bearing, b), dt);
+        let brr = safe_rate(br - self.prev_brate, dt);
+        self.prev_speed = s;
+        self.prev_acc = a;
+        self.prev_bearing = b;
+        self.prev_brate = br;
+        ChainEmit {
+            rows: [[d, s, a, j, b, br, brr], [0.0; SERIES_COUNT]],
+            len: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_features::point_features::PointFeatures;
+    use traj_geo::geodesy::destination;
+    use traj_geo::Timestamp;
+
+    /// A wiggly trajectory exercising speed-ups and turns.
+    fn wiggly_points(n: usize) -> Vec<TrajectoryPoint> {
+        let (mut lat, mut lon) = (39.9, 116.3);
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0i64;
+        for i in 0..n {
+            out.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+            let bearing = (i as f64 * 37.0) % 360.0;
+            let step = 2.0 + (i % 7) as f64 * 3.0;
+            let (nlat, nlon) = destination(lat, lon, bearing, step);
+            lat = nlat;
+            lon = nlon;
+            t += 1 + (i % 3) as i64;
+        }
+        out
+    }
+
+    /// Collects the chain's emitted rows into seven series.
+    fn chain_series(points: &[TrajectoryPoint]) -> [Vec<f64>; SERIES_COUNT] {
+        let mut chain = ChainState::new();
+        let mut series: [Vec<f64>; SERIES_COUNT] = Default::default();
+        for &p in points {
+            for row in chain.push(p).rows() {
+                for (out, &v) in series.iter_mut().zip(row.iter()) {
+                    out.push(v);
+                }
+            }
+        }
+        series
+    }
+
+    #[test]
+    fn chain_matches_batch_bit_for_bit() {
+        let points = wiggly_points(60);
+        let batch = PointFeatures::compute_points(&points);
+        let stream = chain_series(&points);
+        let batch_series: [&[f64]; SERIES_COUNT] = [
+            &batch.distance,
+            &batch.speed,
+            &batch.acceleration,
+            &batch.jerk,
+            &batch.bearing,
+            &batch.bearing_rate,
+            &batch.bearing_rate_rate,
+        ];
+        for (i, (got, want)) in stream.iter().zip(batch_series).enumerate() {
+            assert_eq!(got.len(), want.len(), "series {i} length");
+            for (j, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "series {i} index {j}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn emission_counts_follow_the_backfill_rule() {
+        let points = wiggly_points(5);
+        let mut chain = ChainState::new();
+        assert!(chain.is_empty());
+        assert_eq!(chain.push(points[0]).rows().len(), 0);
+        assert_eq!(chain.push(points[1]).rows().len(), 2);
+        assert_eq!(chain.push(points[2]).rows().len(), 1);
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn second_point_zeroes_the_derivative_series() {
+        let points = wiggly_points(2);
+        let mut chain = ChainState::new();
+        chain.push(points[0]);
+        let emit = chain.push(points[1]);
+        for row in emit.rows() {
+            assert_eq!(row[2], 0.0, "acceleration");
+            assert_eq!(row[3], 0.0, "jerk");
+            assert_eq!(row[5], 0.0, "bearing rate");
+            assert_eq!(row[6], 0.0, "rate of bearing rate");
+            assert!(row[0] > 0.0, "distance");
+            assert!(row[1] > 0.0, "speed");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # traj-stream — online trajectory ingestion
+//!
+//! Streaming counterpart of the batch pipeline: points arrive one (or a
+//! few) at a time per user, and the crate maintains exactly the state
+//! needed to emit the paper's 70 trajectory features the moment a
+//! segment closes — without ever buffering an unbounded trajectory.
+//!
+//! The crate is layered bottom-up:
+//!
+//! * [`p2`] — the P² single-quantile sketch (Jain & Chlamtac 1985);
+//! * [`summary`] — [`AdaptiveSummary`], a per-series summary that is
+//!   bit-identical to `traj_features::stats::summary10` up to
+//!   `exact_cap` values and degrades to bounded sketch state past it;
+//! * [`incremental`] — [`ChainState`], the O(1) recurrence computing the
+//!   eight point-feature series bit-for-bit against
+//!   `traj_features::point_features`;
+//! * [`sessionizer`] — [`Session`], the per-user state machine applying
+//!   the paper's segmentation rules (gap split, ≥ 10 point admission,
+//!   non-advancing-timestamp drops) incrementally;
+//! * [`engine`] — [`StreamEngine`], sessions sharded across mutexes with
+//!   idle sweeping and LRU eviction, safe to share across server
+//!   workers.
+//!
+//! `traj-serve` mounts the engine behind `POST /ingest` and emits a
+//! prediction per closed segment; see `DESIGN.md` §9 for the state
+//! machine, memory bounds, and the sketch error contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod incremental;
+pub mod p2;
+pub mod sessionizer;
+pub mod summary;
+
+pub use engine::{EngineStats, IngestReport, StreamConfig, StreamEngine};
+pub use incremental::{ChainEmit, ChainState, SERIES_COUNT};
+pub use p2::P2Quantile;
+pub use sessionizer::{CloseReason, ClosedSegment, Session, SessionConfig, SessionPush};
+pub use summary::{AdaptiveSummary, DEFAULT_EXACT_CAP, SKETCH_QUANTILES};

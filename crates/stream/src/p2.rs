@@ -1,0 +1,229 @@
+//! The P² quantile estimator of Jain & Chlamtac (CACM 1985): a running
+//! estimate of one quantile from five markers, O(1) memory and O(1) per
+//! observation.
+//!
+//! The five markers track the sample minimum, the quantile and maximum
+//! plus two intermediate points; each observation shifts marker positions
+//! and, when a marker drifts a full rank away from its desired position,
+//! adjusts its height by a piecewise-parabolic (fallback: linear)
+//! interpolation. With fewer than five observations the estimator keeps
+//! the raw values and answers with the exact NumPy-convention percentile,
+//! so tiny series are never approximated.
+
+use traj_features::stats::percentile_of_sorted;
+
+/// Running estimate of one quantile `p ∈ [0, 1]`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// The tracked quantile, as a fraction.
+    p: f64,
+    /// Observations seen so far.
+    n: usize,
+    /// First five observations (exact phase); sorted into `q` at n = 5.
+    initial: Vec<f64>,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions, 1-based ranks stored as f64 (always integers).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    incr: [f64; 5],
+}
+
+impl P2Quantile {
+    /// A new estimator for quantile `p` (clamped into `[0, 1]`).
+    pub fn new(p: f64) -> P2Quantile {
+        let p = p.clamp(0.0, 1.0);
+        P2Quantile {
+            p,
+            n: 0,
+            initial: Vec::with_capacity(5),
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            incr: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// The tracked quantile as a fraction.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Feeds one observation. Values must be finite.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        if self.n <= 5 {
+            self.initial.push(x);
+            if self.n == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                for (qi, &v) in self.q.iter_mut().zip(self.initial.iter()) {
+                    *qi = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the marker cell containing x, extending the extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = self.q[4].max(x);
+            3
+        } else {
+            let mut cell = 0usize;
+            for i in 1..4 {
+                if x >= self.q[i] {
+                    cell = i;
+                }
+            }
+            cell
+        };
+
+        for pos in self.pos[k + 1..].iter_mut() {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.incr) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            let room_up = self.pos[i + 1] - self.pos[i] > 1.0;
+            let room_down = self.pos[i - 1] - self.pos[i] < -1.0;
+            if (d >= 1.0 && room_up) || (d <= -1.0 && room_down) {
+                let s = if d >= 1.0 { 1.0 } else { -1.0 };
+                let candidate = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.pos[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic height prediction for marker `i` moved by `s`.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.q;
+        let np = &self.pos;
+        q[i] + s / (np[i + 1] - np[i - 1])
+            * ((np[i] - np[i - 1] + s) * (q[i + 1] - q[i]) / (np[i + 1] - np[i])
+                + (np[i + 1] - np[i] - s) * (q[i] - q[i - 1]) / (np[i] - np[i - 1]))
+    }
+
+    /// Linear fallback when the parabola leaves the neighbour interval.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate: exact below five observations, the middle marker
+    /// height after. `0.0` with no data (matching the batch statistics'
+    /// empty-series convention).
+    pub fn estimate(&self) -> f64 {
+        match self.n {
+            0 => 0.0,
+            1..=4 => {
+                let mut sorted = self.initial.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                percentile_of_sorted(&sorted, self.p * 100.0)
+            }
+            _ => self.q[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_features::stats::percentile;
+
+    fn lcg_values(seed: u64, n: usize) -> Vec<f64> {
+        // Deterministic pseudo-random uniforms in [0, 1).
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), 0.0);
+        for (i, &x) in [5.0, 1.0, 3.0, 2.0].iter().enumerate() {
+            p2.observe(x);
+            assert_eq!(p2.count(), i + 1);
+        }
+        assert_eq!(p2.estimate(), percentile(&[5.0, 1.0, 3.0, 2.0], 50.0));
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        for (seed, p) in [(1u64, 0.5), (2, 0.1), (3, 0.9), (4, 0.25), (5, 0.75)] {
+            let xs = lcg_values(seed, 5000);
+            let mut p2 = P2Quantile::new(p);
+            for &x in &xs {
+                p2.observe(x);
+            }
+            let exact = percentile(&xs, p * 100.0);
+            let err = (p2.estimate() - exact).abs();
+            assert!(
+                err < 0.05,
+                "p={p} err={err} (est {}, exact {exact})",
+                p2.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_series_is_exact() {
+        let mut p2 = P2Quantile::new(0.9);
+        for _ in 0..100 {
+            p2.observe(7.5);
+        }
+        assert_eq!(p2.estimate(), 7.5);
+    }
+
+    #[test]
+    fn sorted_and_reversed_inputs_stay_in_range() {
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let ascending: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+            let mut up = P2Quantile::new(p);
+            for &x in &ascending {
+                up.observe(x);
+            }
+            let exact = percentile(&ascending, p * 100.0);
+            assert!(
+                (up.estimate() - exact).abs() <= 0.12 * 999.0,
+                "ascending p={p}"
+            );
+
+            let mut down = P2Quantile::new(p);
+            for &x in ascending.iter().rev() {
+                down.observe(x);
+            }
+            assert!(
+                (down.estimate() - exact).abs() <= 0.12 * 999.0,
+                "descending p={p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The per-user sessionizer: the paper's segmentation rules (step 1)
+//! applied incrementally to an unbounded point stream.
+//!
+//! State machine per user:
+//!
+//! ```text
+//!            point, t ≤ last_t                 point, gap ≤ max_gap_s
+//!           ┌────────────────┐                ┌──────────────────────┐
+//!           │    (dropped)   ▼                ▼                      │
+//!  ───────► EMPTY ────────► OPEN ─────────────┴──────────────────────┘
+//!             ▲   first pt    │ point, gap > max_gap_s
+//!             │               │   → close (emit if ≥ min_points,
+//!             │               │      else discard), re-open with point
+//!             │               │ flush / idle sweep / eviction
+//!             └───────────────┘   → close, back to EMPTY
+//! ```
+//!
+//! Closing applies the paper's admission rule: segments with fewer than
+//! `min_points` policy-surviving points are discarded, exactly like
+//! [`traj_geo::segmentation::split_on_gaps`] discards short pieces. The
+//! timestamp policy (drop points that do not strictly advance time)
+//! matches [`traj_geo::sanitize_monotonic`], so a closed streaming
+//! segment contains precisely the points the batch pipeline would keep.
+//!
+//! Memory per open session is bounded: the chain is O(1) and each of the
+//! seven [`AdaptiveSummary`]s holds at most `exact_cap` buffered values
+//! before degrading to fixed-size sketches — worst case roughly
+//! `7 × exact_cap × 8` bytes ≈ 28 KiB at the default cap of 512.
+
+use crate::incremental::{ChainState, SERIES_COUNT};
+use crate::summary::{AdaptiveSummary, DEFAULT_EXACT_CAP};
+use serde::{Deserialize, Serialize};
+use traj_features::stats::SeriesSummary;
+use traj_features::trajectory_features::FEATURES_PER_SEGMENT;
+use traj_geo::segmentation::MIN_SEGMENT_POINTS;
+use traj_geo::{Timestamp, TrajectoryPoint, UserId};
+
+/// Sessionizer tunables (a subset of the engine's `StreamConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Close the open segment when the inter-fix gap exceeds this many
+    /// seconds (same semantics as batch `split_on_gaps`).
+    pub max_gap_s: f64,
+    /// Minimum points for a closed segment to be emitted rather than
+    /// discarded (paper: 10).
+    pub min_points: usize,
+    /// Per-series buffered-value cap before summaries degrade to
+    /// sketches.
+    pub exact_cap: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_gap_s: 120.0,
+            min_points: MIN_SEGMENT_POINTS,
+            exact_cap: DEFAULT_EXACT_CAP,
+        }
+    }
+}
+
+/// Why a segment closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloseReason {
+    /// The inter-fix gap exceeded `max_gap_s`.
+    Gap,
+    /// An explicit flush (request-level `flush: true` or shutdown).
+    Flush,
+    /// The idle sweeper closed a session with no recent points.
+    Idle,
+    /// The engine evicted the session to respect its session cap.
+    Eviction,
+}
+
+impl CloseReason {
+    /// Lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::Gap => "gap",
+            CloseReason::Flush => "flush",
+            CloseReason::Idle => "idle",
+            CloseReason::Eviction => "eviction",
+        }
+    }
+}
+
+/// A closed, admitted segment with its canonical 70-feature row.
+#[derive(Debug, Clone)]
+pub struct ClosedSegment {
+    /// Owner of the segment.
+    pub user: UserId,
+    /// Timestamp of the first kept point.
+    pub start: Timestamp,
+    /// Timestamp of the last kept point.
+    pub end: Timestamp,
+    /// Policy-surviving points in the segment.
+    pub n_points: usize,
+    /// Why the segment closed.
+    pub reason: CloseReason,
+    /// The paper's 70 features in canonical
+    /// `trajectory_features::feature_names()` order.
+    pub features: Vec<f64>,
+    /// `true` when every summary was still in its exact phase (features
+    /// bit-identical to the batch pipeline).
+    pub exact: bool,
+    /// Worst normalised percentile-sketch drift across the seven series,
+    /// measurable only for exact closes.
+    pub sketch_drift: Option<f64>,
+}
+
+/// Outcome of pushing one point into a session.
+#[derive(Debug)]
+pub enum SessionPush {
+    /// The point joined the open segment (or opened one).
+    Accepted,
+    /// The point violated the timestamp policy and was dropped.
+    Dropped,
+    /// The point's gap closed the previous segment (`None` when that
+    /// segment was discarded as too short) and opened a new one with
+    /// this point.
+    Closed(Option<ClosedSegment>),
+}
+
+/// One user's open-segment state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: SessionConfig,
+    chain: ChainState,
+    summaries: [AdaptiveSummary; SERIES_COUNT],
+    start: Option<Timestamp>,
+    last_t: Option<Timestamp>,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new(config: SessionConfig) -> Session {
+        Session {
+            config,
+            chain: ChainState::new(),
+            summaries: new_summaries(config.exact_cap),
+            start: None,
+            last_t: None,
+        }
+    }
+
+    /// Policy-surviving points in the open segment.
+    pub fn open_points(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Timestamp of the last accepted point.
+    pub fn last_t(&self) -> Option<Timestamp> {
+        self.last_t
+    }
+
+    /// Feeds one point; see [`SessionPush`].
+    pub fn push(&mut self, user: UserId, p: TrajectoryPoint) -> SessionPush {
+        if let Some(last) = self.last_t {
+            if p.t.0 <= last.0 {
+                return SessionPush::Dropped;
+            }
+            if p.t.seconds_since(last) > self.config.max_gap_s {
+                let closed = self.close(user, CloseReason::Gap);
+                self.accept(p);
+                return SessionPush::Closed(closed);
+            }
+        }
+        self.accept(p);
+        SessionPush::Accepted
+    }
+
+    /// Closes the open segment (if any): emits it when it meets the
+    /// admission threshold, discards it otherwise, and resets the session
+    /// to EMPTY either way.
+    pub fn close(&mut self, user: UserId, reason: CloseReason) -> Option<ClosedSegment> {
+        let n_points = self.chain.len();
+        let start = self.start.take();
+        let end = self.last_t.take();
+        self.chain = Default::default();
+        let summaries =
+            std::mem::replace(&mut self.summaries, new_summaries(self.config.exact_cap));
+        if n_points < self.config.min_points {
+            return None;
+        }
+        let mut features = Vec::with_capacity(FEATURES_PER_SEGMENT);
+        let mut exact = true;
+        let mut drift: Option<f64> = None;
+        for summary in &summaries {
+            features.extend_from_slice(&summary.stats10());
+            exact &= summary.is_exact();
+            if let Some(d) = summary.sketch_drift() {
+                drift = Some(drift.map_or(d, |w: f64| w.max(d)));
+            }
+        }
+        Some(ClosedSegment {
+            user,
+            start: start.expect("non-empty segment has a start"),
+            end: end.expect("non-empty segment has an end"),
+            n_points,
+            reason,
+            features,
+            exact,
+            sketch_drift: if exact { drift } else { None },
+        })
+    }
+
+    /// Bytes of state currently held by this session.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Session>()
+            + self
+                .summaries
+                .iter()
+                .map(AdaptiveSummary::state_bytes)
+                .sum::<usize>()
+    }
+
+    fn accept(&mut self, p: TrajectoryPoint) {
+        if self.start.is_none() {
+            self.start = Some(p.t);
+        }
+        self.last_t = Some(p.t);
+        for row in self.chain.push(p).rows() {
+            for (summary, &v) in self.summaries.iter_mut().zip(row.iter()) {
+                summary.push(v);
+            }
+        }
+    }
+}
+
+fn new_summaries(exact_cap: usize) -> [AdaptiveSummary; SERIES_COUNT] {
+    [(); SERIES_COUNT].map(|_| AdaptiveSummary::new(exact_cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_features::point_features::PointFeatures;
+    use traj_features::trajectory_features::features_from_point_features;
+    use traj_geo::geodesy::destination;
+    use traj_geo::segmentation::split_on_gaps;
+    use traj_geo::{Segment, TransportMode};
+
+    fn track(n: usize, start_s: i64, step_s: i64) -> Vec<TrajectoryPoint> {
+        let (mut lat, mut lon) = (39.9, 116.3);
+        (0..n)
+            .map(|i| {
+                let p = TrajectoryPoint::new(
+                    lat,
+                    lon,
+                    Timestamp::from_seconds(start_s + i as i64 * step_s),
+                );
+                let (nlat, nlon) = destination(lat, lon, (i as f64 * 23.0) % 360.0, 4.0);
+                lat = nlat;
+                lon = nlon;
+                p
+            })
+            .collect()
+    }
+
+    fn drive(session: &mut Session, points: &[TrajectoryPoint]) -> Vec<ClosedSegment> {
+        let mut closed = Vec::new();
+        for &p in points {
+            if let SessionPush::Closed(Some(c)) = session.push(7, p) {
+                closed.push(c);
+            }
+        }
+        closed
+    }
+
+    #[test]
+    fn gap_close_matches_split_on_gaps_and_batch_features() {
+        // Two 15-point runs separated by a 10-minute gap.
+        let mut points = track(15, 0, 5);
+        points.extend(track(15, 1000, 5));
+        let mut session = Session::new(SessionConfig::default());
+        let mut closed = drive(&mut session, &points);
+        closed.extend(session.close(7, CloseReason::Flush));
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().all(|c| c.exact));
+        assert_eq!(closed[0].reason, CloseReason::Gap);
+        assert_eq!(closed[1].reason, CloseReason::Flush);
+
+        let batch_segment = Segment::new(7, TransportMode::Walk, 0, points);
+        let pieces = split_on_gaps(&batch_segment, 120.0, MIN_SEGMENT_POINTS);
+        assert_eq!(pieces.len(), closed.len());
+        for (piece, c) in pieces.iter().zip(&closed) {
+            assert_eq!(c.n_points, piece.len());
+            assert_eq!(c.start, piece.points[0].t);
+            assert_eq!(c.end, piece.points.last().unwrap().t);
+            let batch = features_from_point_features(&PointFeatures::compute(piece));
+            assert_eq!(c.features.len(), batch.len());
+            for (i, (got, want)) in c.features.iter().zip(&batch).enumerate() {
+                assert_eq!(got.to_bits(), want.to_bits(), "feature {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_segments_are_discarded_on_close() {
+        let points = track(5, 0, 5);
+        let mut session = Session::new(SessionConfig::default());
+        drive(&mut session, &points);
+        assert_eq!(session.open_points(), 5);
+        assert!(session.close(7, CloseReason::Flush).is_none());
+        assert_eq!(
+            session.open_points(),
+            0,
+            "close resets even when discarding"
+        );
+    }
+
+    #[test]
+    fn timestamp_policy_drops_non_advancing_points() {
+        let mut points = track(12, 0, 5);
+        let dup = TrajectoryPoint::new(40.0, 116.0, points[3].t); // duplicate t
+        points.insert(4, dup);
+        let backwards = TrajectoryPoint::new(40.0, 116.0, Timestamp::from_seconds(1));
+        points.insert(8, backwards);
+
+        let mut session = Session::new(SessionConfig::default());
+        let mut dropped = 0usize;
+        for &p in &points {
+            if matches!(session.push(7, p), SessionPush::Dropped) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 2);
+        let closed = session.close(7, CloseReason::Flush).expect("admitted");
+        assert_eq!(closed.n_points, 12);
+
+        // Batch agreement: same features as the sanitized point list.
+        let (clean, n_dropped) = traj_geo::sanitize_monotonic(&points);
+        assert_eq!(n_dropped, 2);
+        let batch = features_from_point_features(&PointFeatures::compute_points(&clean));
+        assert_eq!(closed.features, batch);
+    }
+
+    #[test]
+    fn gap_point_reopens_a_fresh_segment() {
+        let mut points = track(12, 0, 5);
+        points.extend(track(3, 5000, 5));
+        let mut session = Session::new(SessionConfig::default());
+        let closed = drive(&mut session, &points);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(session.open_points(), 3, "gap point opened the new segment");
+        assert!(session.state_bytes() > 0);
+    }
+}

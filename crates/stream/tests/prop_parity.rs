@@ -1,0 +1,170 @@
+//! Property-based streaming-vs-batch parity.
+//!
+//! Random synthetic per-user point streams — variable speeds, headings,
+//! sampling intervals, duplicate timestamps, and segment-closing gaps —
+//! are fed through the streaming engine and through the batch path
+//! (`split_on_gaps` + `Pipeline::dataset_from_segments`). Closed segments
+//! must agree exactly: same segment boundaries, and bit-identical
+//! 70-feature rows under the default `exact_cap`. A second property
+//! shrinks `exact_cap` so every close degrades to sketch mode, and checks
+//! the documented error contract instead: global statistics bit-identical
+//! (min/max/mean) or ~1e-9 (std), percentiles within `0.25 × range` and
+//! clamped into `[min, max]`.
+
+use proptest::prelude::*;
+use traj_geo::geodesy::destination;
+use traj_geo::segmentation::{split_on_gaps, MIN_SEGMENT_POINTS};
+use traj_geo::LabelScheme;
+use traj_geo::{Segment, Timestamp, TrajectoryPoint, TransportMode};
+use traj_stream::{Session, SessionConfig, SessionPush, StreamConfig, StreamEngine};
+use trajlib::pipeline::{Normalization, Pipeline, PipelineConfig};
+
+const MAX_GAP_S: f64 = 120.0;
+
+/// One generated stream step: movement plus a time delta that may be a
+/// duplicate timestamp (`0`), a normal interval, or a gap.
+fn steps() -> impl Strategy<Value = Vec<(f64, f64, i64)>> {
+    proptest::collection::vec((0.0..45.0f64, 0.0..360.0f64, 0u8..24), 8..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(speed, heading, dt_class)| {
+                let dt = match dt_class {
+                    0 => 0,                          // duplicate timestamp
+                    1..=20 => dt_class as i64,       // normal sampling
+                    _ => 150 + dt_class as i64 * 17, // gap > MAX_GAP_S
+                };
+                (speed, heading, dt)
+            })
+            .collect()
+    })
+}
+
+/// Gap-free steps long enough that a small `exact_cap` forces every
+/// close into sketch mode with a statistically meaningful sample — the
+/// regime the documented P² error contract describes.
+fn long_steps() -> impl Strategy<Value = Vec<(f64, f64, i64)>> {
+    proptest::collection::vec((0.0..45.0f64, 0.0..360.0f64, 0u8..21), 100..260).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(speed, heading, dt_class)| (speed, heading, dt_class as i64))
+            .collect()
+    })
+}
+
+/// Materialises a step list into a point stream (timestamps never go
+/// backwards; duplicates carry fresh coordinates so dropping them is
+/// observable in the features).
+fn points_of(steps: &[(f64, f64, i64)]) -> Vec<TrajectoryPoint> {
+    let (mut lat, mut lon) = (39.9, 116.3);
+    let mut t = 0i64;
+    let mut out = Vec::with_capacity(steps.len() + 1);
+    out.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+    for &(speed, heading, dt) in steps {
+        let (nlat, nlon) = destination(lat, lon, heading, speed * dt.max(1) as f64);
+        lat = nlat;
+        lon = nlon;
+        t += dt;
+        out.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+    }
+    out
+}
+
+/// Batch reference: gap-split the whole stream, then run the pipeline
+/// (raw labels, no normalisation) over the pieces.
+fn batch_rows(points: &[TrajectoryPoint]) -> Vec<Vec<f64>> {
+    let segment = Segment::new(7, TransportMode::Bus, 0, points.to_vec());
+    let pieces = split_on_gaps(&segment, MAX_GAP_S, MIN_SEGMENT_POINTS);
+    let pipeline = Pipeline::new(
+        PipelineConfig::builder(LabelScheme::Raw)
+            .normalization(Normalization::None)
+            .build(),
+    );
+    let dataset = pipeline.dataset_from_segments(&pieces);
+    (0..dataset.len())
+        .map(|i| dataset.row(i).to_vec())
+        .collect()
+}
+
+/// Streams the points through one session and returns the admitted
+/// closed-segment feature rows plus their exactness flags.
+fn stream_rows(points: &[TrajectoryPoint], exact_cap: usize) -> Vec<(Vec<f64>, bool)> {
+    let mut session = Session::new(SessionConfig {
+        exact_cap,
+        ..SessionConfig::default()
+    });
+    let mut out = Vec::new();
+    for &p in points {
+        if let SessionPush::Closed(Some(c)) = session.push(7, p) {
+            out.push((c.features, c.exact));
+        }
+    }
+    if let Some(c) = session.close(7, traj_stream::CloseReason::Flush) {
+        out.push((c.features, c.exact));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Default cap: every closed segment is exact and bit-identical to
+    /// the batch pipeline, segment for segment.
+    #[test]
+    fn streaming_matches_batch_bit_for_bit(steps in steps()) {
+        let points = points_of(&steps);
+        let batch = batch_rows(&points);
+        let stream = stream_rows(&points, 512);
+        prop_assert_eq!(stream.len(), batch.len(), "segment count");
+        for (i, ((got, exact), want)) in stream.iter().zip(&batch).enumerate() {
+            prop_assert!(*exact, "segment {i} should close exact");
+            prop_assert_eq!(got.len(), want.len());
+            for (j, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                prop_assert_eq!(g.to_bits(), w.to_bits(),
+                    "segment {} feature {}: {} vs {}", i, j, g, w);
+            }
+        }
+    }
+
+    /// Tiny cap: closes degrade to sketches, and the documented error
+    /// contract holds against the batch reference.
+    #[test]
+    fn sketch_mode_respects_the_error_contract(steps in long_steps()) {
+        let points = points_of(&steps);
+        let batch = batch_rows(&points);
+        let stream = stream_rows(&points, 32);
+        prop_assert_eq!(stream.len(), batch.len(), "segment count");
+        for ((got, exact), want) in stream.iter().zip(&batch) {
+            prop_assert!(!exact, "cap 32 must degrade a 100+-point segment");
+            // Each series contributes 10 consecutive stats:
+            // [min, max, mean, median, std, p10, p25, p50, p75, p90].
+            for (g10, w10) in got.chunks(10).zip(want.chunks(10)) {
+                prop_assert_eq!(g10[0].to_bits(), w10[0].to_bits(), "min");
+                prop_assert_eq!(g10[1].to_bits(), w10[1].to_bits(), "max");
+                prop_assert_eq!(g10[2].to_bits(), w10[2].to_bits(), "mean");
+                prop_assert!((g10[4] - w10[4]).abs() <= 1e-9 * w10[4].abs().max(1.0),
+                    "std {} vs {}", g10[4], w10[4]);
+                let bound = 0.25 * (w10[1] - w10[0]);
+                for k in [3usize, 5, 6, 7, 8, 9] {
+                    prop_assert!((g10[k] - w10[k]).abs() <= bound + 1e-12,
+                        "stat {}: {} vs {} (bound {})", k, g10[k], w10[k], bound);
+                    prop_assert!(g10[k] >= w10[0] - 1e-12 && g10[k] <= w10[1] + 1e-12,
+                        "stat {} out of range", k);
+                }
+            }
+        }
+    }
+
+    /// The engine agrees with the raw session for a single user fed in
+    /// arbitrary chunk sizes.
+    #[test]
+    fn engine_chunking_is_transparent(steps in steps(), chunk in 1usize..16) {
+        let points = points_of(&steps);
+        let engine = StreamEngine::new(StreamConfig::default());
+        let mut engine_rows: Vec<Vec<f64>> = Vec::new();
+        for batch in points.chunks(chunk) {
+            engine_rows.extend(engine.ingest(7, batch, false).closed.into_iter().map(|c| c.features));
+        }
+        engine_rows.extend(engine.flush_all().into_iter().map(|c| c.features));
+        let session_rows: Vec<Vec<f64>> =
+            stream_rows(&points, 512).into_iter().map(|(f, _)| f).collect();
+        prop_assert_eq!(engine_rows, session_rows);
+    }
+}
