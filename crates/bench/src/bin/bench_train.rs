@@ -1,0 +1,270 @@
+//! Training-throughput probe of the histogram-binned split search:
+//! quantize once, train everywhere.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin bench_train -- [--smoke]
+//! ```
+//!
+//! Times the exact sort-based split search against the histogram path
+//! (`SplitAlgo::Hist`) on a synthetic feature-space cohort shaped like
+//! the paper's (70 features, 5 modes), across the four retraining
+//! layers: a single deep tree, a random forest (one and N workers), the
+//! gradient booster, and a forward-selection wrapper search. Writes
+//! `results/BENCH_train.json`.
+//!
+//! Acceptance bars (full scale, single worker): forest fit ≥ 3× and
+//! forward-selection wall time ≥ 2×. `--smoke` runs a tiny cohort to
+//! exercise every code path in CI without asserting speedups — tiny
+//! inputs time mostly fixed overheads.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use traj_bench::{results_dir, Cli};
+use traj_ml::boosting::{GbdtConfig, GradientBoosting};
+use traj_ml::cv::KFold;
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::tree::{DecisionTree, TreeConfig};
+use traj_ml::{Classifier, Dataset, SplitAlgo};
+use traj_runtime::Runtime;
+use traj_select::{forward_select, ForwardSelectionConfig};
+use trajlib::report::save_json;
+
+/// One exact-vs-hist comparison.
+#[derive(Debug, Serialize)]
+struct Timing {
+    exact_ms: f64,
+    hist_ms: f64,
+    /// `exact_ms / hist_ms`.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TrainBench {
+    cores: usize,
+    threads: usize,
+    smoke: bool,
+    n_rows: usize,
+    n_features: usize,
+    n_classes: usize,
+    /// Single deep tree, all 70 features per node, one worker.
+    tree_1t: Timing,
+    /// Random forest (bootstrap + √d feature sampling), one worker.
+    forest_1t: Timing,
+    /// Same forest on the machine-sized pool.
+    forest_nt: Timing,
+    /// Gradient booster (one regression tree per class per round).
+    gbdt_1t: Timing,
+    /// Forward-selection wrapper search (bins built once, candidates
+    /// re-slice them).
+    forward_select_1t: Timing,
+    /// Headline numbers the acceptance bars read.
+    forest_speedup_hist_vs_exact_1t: f64,
+    forward_select_speedup: f64,
+}
+
+/// Synthetic feature-space cohort shaped like the paper's: `n` segments,
+/// 70 features of which the first 10 carry a graded class signal, 5
+/// transportation modes, ~100 users.
+fn feature_space_data(n: usize, seed: u64) -> Dataset {
+    const N_FEATURES: usize = 70;
+    const N_CLASSES: usize = 5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % N_CLASSES;
+        let row: Vec<f64> = (0..N_FEATURES)
+            .map(|f| {
+                let signal = if f < 10 {
+                    class as f64 * (1.5 - 0.1 * f as f64)
+                } else {
+                    0.0
+                };
+                signal + rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        rows.push(row);
+        y.push(class);
+        groups.push((i % 100) as u32);
+    }
+    Dataset::from_rows(&rows, y, N_CLASSES, groups, vec![])
+}
+
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn timing(reps: usize, mut exact: impl FnMut(), mut hist: impl FnMut()) -> Timing {
+    let exact_ms = best_ms(reps, &mut exact);
+    let hist_ms = best_ms(reps, &mut hist);
+    Timing {
+        exact_ms,
+        hist_ms,
+        speedup: exact_ms / hist_ms,
+    }
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let smoke = cli.small || cli.args.iter().any(|a| a == "--smoke");
+    let seed = cli.seed.unwrap_or(17);
+
+    let (n_forest, n_gbdt, n_select, reps) = if smoke {
+        (3_000, 1_500, 1_200, 1)
+    } else {
+        (50_000, 20_000, 20_000, 2)
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = traj_runtime::default_threads();
+    let serial = Runtime::new(1);
+    let pool = Runtime::new(threads);
+
+    let data = feature_space_data(n_forest, seed);
+    let gbdt_data = feature_space_data(n_gbdt, seed.wrapping_add(1));
+    let select_data = feature_space_data(n_select, seed.wrapping_add(2));
+
+    // -- Single deep tree, full feature scan per node ---------------------
+    let fit_tree = |algo: SplitAlgo| {
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: Some(14),
+            seed: 1,
+            split_algo: algo,
+            ..TreeConfig::default()
+        });
+        tree.fit(&data);
+    };
+    let tree_1t = timing(
+        reps,
+        || serial.install(|| fit_tree(SplitAlgo::Exact)),
+        || serial.install(|| fit_tree(SplitAlgo::Hist)),
+    );
+    println!(
+        "tree      1t: exact {:.0}ms hist {:.0}ms ({:.2}x)",
+        tree_1t.exact_ms, tree_1t.hist_ms, tree_1t.speedup
+    );
+
+    // -- Random forest: quantize once, 8 trees share the bins -------------
+    let fit_forest = |algo: SplitAlgo| {
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 8,
+            max_depth: Some(14),
+            seed: 2,
+            split_algo: algo,
+            ..ForestConfig::default()
+        });
+        forest.fit(&data);
+    };
+    let forest_1t = timing(
+        reps,
+        || serial.install(|| fit_forest(SplitAlgo::Exact)),
+        || serial.install(|| fit_forest(SplitAlgo::Hist)),
+    );
+    println!(
+        "forest    1t: exact {:.0}ms hist {:.0}ms ({:.2}x)",
+        forest_1t.exact_ms, forest_1t.hist_ms, forest_1t.speedup
+    );
+    let forest_nt = timing(
+        reps,
+        || pool.install(|| fit_forest(SplitAlgo::Exact)),
+        || pool.install(|| fit_forest(SplitAlgo::Hist)),
+    );
+    println!(
+        "forest {threads:>2}t: exact {:.0}ms hist {:.0}ms ({:.2}x)",
+        forest_nt.exact_ms, forest_nt.hist_ms, forest_nt.speedup
+    );
+
+    // -- Gradient booster: one binned matrix feeds every round ------------
+    let fit_gbdt = |algo: SplitAlgo| {
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 2,
+            seed: 3,
+            split_algo: algo,
+            ..GbdtConfig::default()
+        });
+        gbdt.fit(&gbdt_data);
+    };
+    let gbdt_1t = timing(
+        reps,
+        || serial.install(|| fit_gbdt(SplitAlgo::Exact)),
+        || serial.install(|| fit_gbdt(SplitAlgo::Hist)),
+    );
+    println!(
+        "gbdt      1t: exact {:.0}ms hist {:.0}ms ({:.2}x)",
+        gbdt_1t.exact_ms, gbdt_1t.hist_ms, gbdt_1t.speedup
+    );
+
+    // -- Forward selection: candidates re-slice the shared bins -----------
+    let run_select = |algo: SplitAlgo| {
+        let factory = move |seed: u64| -> Box<dyn Classifier> {
+            Box::new(DecisionTree::new(TreeConfig {
+                max_depth: Some(10),
+                seed,
+                split_algo: algo,
+                ..TreeConfig::default()
+            }))
+        };
+        let curve = forward_select(
+            &select_data,
+            &factory,
+            &KFold::new(2, 1),
+            &ForwardSelectionConfig {
+                max_features: 2,
+                seed: 0,
+                patience: None,
+            },
+        )
+        .expect("selection splits");
+        assert_eq!(curve.steps.len(), 2);
+    };
+    let forward_select_1t = timing(
+        reps,
+        || serial.install(|| run_select(SplitAlgo::Exact)),
+        || serial.install(|| run_select(SplitAlgo::Hist)),
+    );
+    println!(
+        "fwd-sel   1t: exact {:.0}ms hist {:.0}ms ({:.2}x)",
+        forward_select_1t.exact_ms, forward_select_1t.hist_ms, forward_select_1t.speedup
+    );
+
+    let result = TrainBench {
+        cores,
+        threads,
+        smoke,
+        n_rows: n_forest,
+        n_features: data.n_features(),
+        n_classes: 5,
+        forest_speedup_hist_vs_exact_1t: forest_1t.speedup,
+        forward_select_speedup: forward_select_1t.speedup,
+        tree_1t,
+        forest_1t,
+        forest_nt,
+        gbdt_1t,
+        forward_select_1t,
+    };
+
+    if !smoke {
+        assert!(
+            result.forest_speedup_hist_vs_exact_1t >= 3.0,
+            "forest hist speedup below the 3x bar: {:.2}x",
+            result.forest_speedup_hist_vs_exact_1t
+        );
+        assert!(
+            result.forward_select_speedup >= 2.0,
+            "forward-selection hist speedup below the 2x bar: {:.2}x",
+            result.forward_select_speedup
+        );
+    }
+
+    save_json(&results_dir().join("BENCH_train.json"), &result).expect("write results");
+}

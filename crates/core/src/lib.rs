@@ -78,11 +78,12 @@ pub mod prelude {
     };
     pub use traj_geolife::{DatasetStats, SynthConfig, SynthDataset};
     pub use traj_ml::cv::{
-        cross_validate, Fold, Folds, GroupKFold, GroupShuffleSplit, KFold, SplitError, Splitter,
-        StratifiedKFold,
+        cross_validate, cross_validate_prebinned, Fold, Folds, GroupKFold, GroupShuffleSplit,
+        KFold, SplitError, Splitter, StratifiedKFold,
     };
     pub use traj_ml::{
-        accuracy, f1_weighted, Alternative, Classifier, ClassifierKind, Dataset, RandomForest,
+        accuracy, f1_weighted, Alternative, BinnedDataset, Classifier, ClassifierKind, Dataset,
+        RandomForest, SplitAlgo,
     };
     pub use traj_select::{forward_select, incremental_curve, rf_importance_ranking};
 }

@@ -67,7 +67,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_of_sorted(&sorted, p)
 }
 
@@ -98,7 +98,7 @@ pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
         return vec![0.0; ps.len()];
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     ps.iter()
         .map(|&p| percentile_of_sorted(&sorted, p))
         .collect()
@@ -120,7 +120,7 @@ pub fn summary10(xs: &[f64]) -> [f64; SUMMARY_WIDTH] {
         return [0.0; SUMMARY_WIDTH];
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     [
         sorted[0],
         sorted[sorted.len() - 1],

@@ -1,0 +1,390 @@
+//! Quantile-binned feature matrices for histogram split finding.
+//!
+//! [`BinnedDataset`] quantizes every feature column of a [`Dataset`] into
+//! at most [`MAX_BINS`] = 256 bins once, up front; tree training then
+//! replaces the per-node *sort* of raw feature values with a per-node
+//! *histogram* over bin codes and an `O(n_bins)` sweep — the LightGBM /
+//! XGBoost-hist strategy. Codes are stored column-major (`u8` per cell),
+//! so the per-feature accumulation passes of the split search are
+//! sequential scans.
+//!
+//! Bin boundaries are chosen on the *distinct* values of each column:
+//!
+//! * ≤ 256 distinct values → one bin per distinct value. The candidate
+//!   thresholds (midpoints between adjacent distinct values, with the
+//!   same rounding guard) are then *identical* to the exact sort-based
+//!   search, making the histogram path lossless — the parity tests pin
+//!   this.
+//! * more → boundaries at the quantile ranks `b·n/256`, snapped outward
+//!   so equal values never straddle a bin boundary.
+//!
+//! The threshold stored for each boundary lives in raw feature space, so
+//! fitted trees predict on raw rows and serialized models are oblivious
+//! to how they were trained.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Maximum bins per feature; bin codes fit a `u8`.
+pub const MAX_BINS: usize = 256;
+
+/// Dataset-size cutoff of [`SplitAlgo::Auto`]: nodes/datasets with fewer
+/// rows use the exact sort-based search (histogram setup costs more than
+/// it saves there), larger ones use the histogram search.
+pub const HIST_AUTO_CUTOFF_ROWS: usize = 2048;
+
+/// Split-search algorithm of the tree learners.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitAlgo {
+    /// Exact sort-based sweep over raw feature values.
+    Exact,
+    /// Histogram sweep over quantile-binned values (≤ 256 bins).
+    Hist,
+    /// `Hist` at or above [`HIST_AUTO_CUTOFF_ROWS`] training rows,
+    /// `Exact` below — the default everywhere.
+    #[default]
+    Auto,
+}
+
+impl SplitAlgo {
+    /// Whether training `n_rows` samples should use the histogram path.
+    pub fn use_hist(self, n_rows: usize) -> bool {
+        match self {
+            SplitAlgo::Exact => false,
+            SplitAlgo::Hist => true,
+            SplitAlgo::Auto => n_rows >= HIST_AUTO_CUTOFF_ROWS,
+        }
+    }
+}
+
+/// A quantile-binned view of a dataset's feature matrix: one `u8` bin
+/// code per cell (column-major) plus the raw-space threshold table that
+/// maps a bin boundary back to a `value <= threshold` split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedDataset {
+    n_rows: usize,
+    /// Bin code of sample `i`, feature `f`, at `codes[f * n_rows + i]`.
+    codes: Vec<u8>,
+    /// Raw-space threshold after bin `b` of feature `f` at
+    /// `thresholds[f][b]`; length `n_bins(f) − 1`.
+    thresholds: Vec<Vec<f64>>,
+    /// Prefix sums of `n_bins(f)`: the flat histogram offset of feature
+    /// `f` is `offsets[f]`, and `offsets[n_features]` is the total.
+    offsets: Vec<usize>,
+}
+
+impl BinnedDataset {
+    /// Bins every feature column of `data`. Columns are binned in
+    /// parallel on the shared `traj-runtime` pool; the result is
+    /// identical for any thread count.
+    pub fn from_dataset(data: &Dataset) -> Self {
+        let n_features = data.n_features();
+        let features: Vec<usize> = (0..n_features).collect();
+        let columns = traj_runtime::parallel_map(&features, |_, &f| bin_column(data, f));
+
+        let n_rows = data.len();
+        let mut codes = Vec::with_capacity(n_rows * n_features);
+        let mut thresholds = Vec::with_capacity(n_features);
+        for (col_codes, col_thresholds) in columns {
+            codes.extend_from_slice(&col_codes);
+            thresholds.push(col_thresholds);
+        }
+        BinnedDataset::assemble(n_rows, codes, thresholds)
+    }
+
+    fn assemble(n_rows: usize, codes: Vec<u8>, thresholds: Vec<Vec<f64>>) -> Self {
+        let mut offsets = Vec::with_capacity(thresholds.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for t in &thresholds {
+            total += t.len() + 1;
+            offsets.push(total);
+        }
+        BinnedDataset {
+            n_rows,
+            codes,
+            thresholds,
+            offsets,
+        }
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Number of bins of feature `f` (≥ 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.thresholds[f].len() + 1
+    }
+
+    /// Total bins over all features — the flat histogram length.
+    pub fn total_bins(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Flat histogram offset of feature `f`'s first bin.
+    pub fn bin_offset(&self, f: usize) -> usize {
+        self.offsets[f]
+    }
+
+    /// The bin-code column of feature `f`, one code per sample.
+    pub fn column(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Bin code of sample `i`, feature `f`.
+    pub fn code(&self, i: usize, f: usize) -> u8 {
+        self.codes[f * self.n_rows + i]
+    }
+
+    /// Raw-space threshold separating bin `b` from bin `b + 1` of
+    /// feature `f`: samples with `code <= b` satisfy
+    /// `value <= split_value(f, b)` and vice versa.
+    pub fn split_value(&self, f: usize, b: usize) -> f64 {
+        self.thresholds[f][b]
+    }
+
+    /// A binned view restricted to the feature columns `columns` (in
+    /// that order) — a candidate set of the feature-selection searches is
+    /// just a column mask, so this is a cheap `u8` copy instead of a
+    /// re-bin.
+    pub fn select_features(&self, columns: &[usize]) -> BinnedDataset {
+        let mut codes = Vec::with_capacity(self.n_rows * columns.len());
+        let mut thresholds = Vec::with_capacity(columns.len());
+        for &c in columns {
+            codes.extend_from_slice(self.column(c));
+            thresholds.push(self.thresholds[c].clone());
+        }
+        BinnedDataset::assemble(self.n_rows, codes, thresholds)
+    }
+
+    /// A binned view holding the samples at `indices` (repetition
+    /// allowed). Bin edges are inherited from the parent, so thresholds
+    /// remain valid raw-space splits.
+    pub fn subset(&self, indices: &[usize]) -> BinnedDataset {
+        let mut codes = Vec::with_capacity(indices.len() * self.n_features());
+        for f in 0..self.n_features() {
+            let col = self.column(f);
+            codes.extend(indices.iter().map(|&i| col[i]));
+        }
+        BinnedDataset::assemble(indices.len(), codes, self.thresholds.clone())
+    }
+}
+
+/// Bins one feature column: returns `(codes, thresholds)`.
+fn bin_column(data: &Dataset, f: usize) -> (Vec<u8>, Vec<f64>) {
+    let n = data.len();
+    let mut vals: Vec<(f64, u32)> = Vec::with_capacity(n);
+    let mut nan_rows: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let v = data.value(i, f);
+        if v.is_nan() {
+            nan_rows.push(i as u32);
+        } else {
+            vals.push((v, i as u32));
+        }
+    }
+    let mut codes = vec![0u8; n];
+    if vals.is_empty() {
+        return (codes, Vec::new());
+    }
+    vals.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Runs of equal values: (value, count). Equal values must share a
+    // bin, exactly like the exact search only splits between distinct
+    // values.
+    let mut distinct: Vec<(f64, usize)> = Vec::new();
+    for &(v, _) in &vals {
+        match distinct.last_mut() {
+            Some(last) if last.0 == v => last.1 += 1,
+            _ => distinct.push((v, 1)),
+        }
+    }
+
+    // Bin boundaries as indices into `distinct` (cut *after* that run).
+    let mut boundaries: Vec<usize> = Vec::new();
+    if distinct.len() <= MAX_BINS {
+        boundaries.extend(0..distinct.len() - 1);
+    } else {
+        let nn = vals.len();
+        let mut next_target = 1usize;
+        let mut cum = 0usize;
+        for (di, &(_, count)) in distinct.iter().enumerate().take(distinct.len() - 1) {
+            cum += count;
+            if next_target < MAX_BINS && cum * MAX_BINS >= next_target * nn {
+                boundaries.push(di);
+                while next_target < MAX_BINS && cum * MAX_BINS >= next_target * nn {
+                    next_target += 1;
+                }
+            }
+        }
+    }
+
+    let mut thresholds = Vec::with_capacity(boundaries.len());
+    for &di in &boundaries {
+        let (lo, hi) = (distinct[di].0, distinct[di + 1].0);
+        // Midpoint threshold with the same guard as the exact search:
+        // the midpoint of adjacent floats can round down to `lo`.
+        let mut t = 0.5 * (lo + hi);
+        if t <= lo {
+            t = lo;
+        }
+        thresholds.push(t);
+    }
+
+    // Code per distinct run, then scatter back to sample order.
+    let mut code_of_run = vec![0u8; distinct.len()];
+    let mut code = 0u8;
+    let mut next_boundary = 0usize;
+    for (di, slot) in code_of_run.iter_mut().enumerate() {
+        *slot = code;
+        if next_boundary < boundaries.len() && boundaries[next_boundary] == di {
+            code = code.checked_add(1).expect("at most 256 bins");
+            next_boundary += 1;
+        }
+    }
+    let mut run = 0usize;
+    let mut consumed = 0usize;
+    for &(_, i) in &vals {
+        if consumed == distinct[run].1 {
+            run += 1;
+            consumed = 0;
+        }
+        codes[i as usize] = code_of_run[run];
+        consumed += 1;
+    }
+    // NaN sorts above every threshold at predict time (`NaN <= t` is
+    // false, so it goes right); give it the top bin for consistency.
+    let last_code = code_of_run[distinct.len() - 1];
+    for &i in &nan_rows {
+        codes[i as usize] = last_code;
+    }
+    (codes, thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_of_columns(columns: &[Vec<f64>]) -> Dataset {
+        let n = columns[0].len();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| columns.iter().map(|c| c[i]).collect())
+            .collect();
+        Dataset::from_rows(&rows, vec![0; n], 1, vec![0; n], vec![])
+    }
+
+    #[test]
+    fn few_distinct_values_get_one_bin_each() {
+        let data = dataset_of_columns(&[vec![3.0, 1.0, 2.0, 1.0, 3.0]]);
+        let b = BinnedDataset::from_dataset(&data);
+        assert_eq!(b.n_bins(0), 3);
+        assert_eq!(b.column(0), &[2, 0, 1, 0, 2]);
+        // Thresholds are the exact-search midpoints.
+        assert_eq!(b.split_value(0, 0), 1.5);
+        assert_eq!(b.split_value(0, 1), 2.5);
+    }
+
+    #[test]
+    fn constant_column_is_a_single_bin() {
+        let data = dataset_of_columns(&[vec![7.0; 4]]);
+        let b = BinnedDataset::from_dataset(&data);
+        assert_eq!(b.n_bins(0), 1);
+        assert_eq!(b.column(0), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn many_distinct_values_cap_at_max_bins() {
+        let col: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let data = dataset_of_columns(&[col]);
+        let b = BinnedDataset::from_dataset(&data);
+        assert!(b.n_bins(0) <= MAX_BINS);
+        assert!(b.n_bins(0) >= MAX_BINS / 2, "{} bins", b.n_bins(0));
+        // Codes are monotone in the raw values.
+        let codes = b.column(0);
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+        // Thresholds bracket the codes they separate.
+        for i in 0..999 {
+            if codes[i] < codes[i + 1] {
+                let t = b.split_value(0, codes[i] as usize);
+                assert!(i as f64 <= t && t < (i + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_duplicates_do_not_overflow_bins() {
+        // One value holds 90% of the mass; the rest are unique.
+        let mut col = vec![5.0; 9000];
+        col.extend((0..1000).map(|i| 10.0 + i as f64));
+        let data = dataset_of_columns(&[col]);
+        let b = BinnedDataset::from_dataset(&data);
+        assert!(b.n_bins(0) <= MAX_BINS);
+        assert!(b.n_bins(0) > 1);
+        // All duplicates share one bin.
+        let codes = b.column(0);
+        assert!(codes[..9000].iter().all(|&c| c == codes[0]));
+    }
+
+    #[test]
+    fn offsets_and_totals_are_consistent() {
+        let data = dataset_of_columns(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![5.0; 4],
+        ]);
+        let b = BinnedDataset::from_dataset(&data);
+        assert_eq!(b.n_features(), 3);
+        assert_eq!(b.bin_offset(0), 0);
+        assert_eq!(b.bin_offset(1), 4);
+        assert_eq!(b.total_bins(), 4 + 2 + 1);
+    }
+
+    #[test]
+    fn select_features_projects_columns_and_edges() {
+        let data = dataset_of_columns(&[vec![1.0, 2.0, 3.0], vec![9.0, 8.0, 7.0]]);
+        let b = BinnedDataset::from_dataset(&data);
+        let p = b.select_features(&[1]);
+        assert_eq!(p.n_features(), 1);
+        assert_eq!(p.column(0), b.column(1));
+        assert_eq!(p.split_value(0, 0), b.split_value(1, 0));
+        // Reordering works too.
+        let swapped = b.select_features(&[1, 0]);
+        assert_eq!(swapped.column(1), b.column(0));
+    }
+
+    #[test]
+    fn subset_gathers_rows_and_keeps_edges() {
+        let data = dataset_of_columns(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let b = BinnedDataset::from_dataset(&data);
+        let s = b.subset(&[3, 0, 3]);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.column(0), &[3, 0, 3]);
+        assert_eq!(s.n_bins(0), b.n_bins(0));
+        assert_eq!(s.split_value(0, 1), b.split_value(0, 1));
+    }
+
+    #[test]
+    fn auto_cutoff_selects_by_size() {
+        assert!(!SplitAlgo::Auto.use_hist(HIST_AUTO_CUTOFF_ROWS - 1));
+        assert!(SplitAlgo::Auto.use_hist(HIST_AUTO_CUTOFF_ROWS));
+        assert!(!SplitAlgo::Exact.use_hist(1_000_000));
+        assert!(SplitAlgo::Hist.use_hist(2));
+    }
+
+    #[test]
+    fn binning_is_deterministic() {
+        let col: Vec<f64> = (0..5000).map(|i| ((i * 37) % 613) as f64 * 0.1).collect();
+        let data = dataset_of_columns(&[col]);
+        assert_eq!(
+            BinnedDataset::from_dataset(&data),
+            BinnedDataset::from_dataset(&data)
+        );
+    }
+}

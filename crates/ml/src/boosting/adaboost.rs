@@ -7,6 +7,7 @@
 //! `α = ln((1−ε)/ε) + ln(K−1)` and re-weights samples multiplicatively by
 //! `exp(α·1[mistake])`.
 
+use crate::binned::{BinnedDataset, SplitAlgo};
 use crate::dataset::Dataset;
 use crate::tree::{Criterion, DecisionTree, TreeConfig};
 use serde::{Deserialize, Serialize};
@@ -21,6 +22,10 @@ pub struct AdaBoostConfig {
     pub max_depth: usize,
     /// Shrinkage on the stage weights α.
     pub learning_rate: f64,
+    /// Split-search algorithm of the weak trees. The dataset is quantized
+    /// once before the boosting loop; every round reuses the bins.
+    #[serde(default)]
+    pub split_algo: SplitAlgo,
 }
 
 impl Default for AdaBoostConfig {
@@ -29,6 +34,7 @@ impl Default for AdaBoostConfig {
             n_estimators: 50,
             max_depth: 1,
             learning_rate: 1.0,
+            split_algo: SplitAlgo::Auto,
         }
     }
 }
@@ -51,12 +57,32 @@ impl AdaBoost {
         }
     }
 
+    /// The booster's configuration.
+    pub fn config(&self) -> &AdaBoostConfig {
+        &self.config
+    }
+
     /// Fits the ensemble. Boosting stops early when a weak learner is
     /// perfect (its vote dominates) or no better than chance.
     ///
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(&mut self, data: &Dataset) {
+        let binned = self
+            .config
+            .split_algo
+            .use_hist(data.len())
+            .then(|| BinnedDataset::from_dataset(data));
+        self.fit_prebinned(data, binned.as_ref());
+    }
+
+    /// Fits against an optional pre-built binned matrix covering `data` —
+    /// the quantize-once path shared with cross-validation. `None` trains
+    /// with the exact sort-based split search.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit_prebinned(&mut self, data: &Dataset, binned: Option<&BinnedDataset>) {
         assert!(!data.is_empty(), "cannot fit a booster on zero samples");
         let n = data.len();
         let k = data.n_classes as f64;
@@ -72,8 +98,13 @@ impl AdaBoost {
                 min_samples_leaf: 1,
                 max_features: None,
                 seed: round as u64,
+                // The booster owns quantization; weak trees never re-bin.
+                split_algo: SplitAlgo::Exact,
             });
-            tree.fit_weighted(data, &weights);
+            match binned {
+                Some(b) => tree.fit_binned_weighted(data, b, &weights),
+                None => tree.fit_weighted(data, &weights),
+            }
 
             let pred: Vec<usize> = (0..n).map(|i| tree.predict_row(data.row(i))).collect();
             let err: f64 = weights

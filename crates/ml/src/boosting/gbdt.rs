@@ -6,6 +6,7 @@
 //! `h_ic = p_ic (1 − p_ic)`, exactly XGBoost's `multi:softprob` objective
 //! with the exact greedy split finder.
 
+use crate::binned::{BinnedDataset, SplitAlgo};
 use crate::boosting::regression_tree::{RegressionTree, RegressionTreeConfig};
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
@@ -31,6 +32,10 @@ pub struct GbdtConfig {
     pub subsample: f64,
     /// Seed of the row subsampler.
     pub seed: u64,
+    /// Split-search algorithm. The dataset is quantized once before the
+    /// boosting loop and reused by every round's `K` trees.
+    #[serde(default)]
+    pub split_algo: SplitAlgo,
 }
 
 impl Default for GbdtConfig {
@@ -44,6 +49,7 @@ impl Default for GbdtConfig {
             min_child_weight: 1.0,
             subsample: 1.0,
             seed: 0,
+            split_algo: SplitAlgo::Auto,
         }
     }
 }
@@ -70,11 +76,31 @@ impl GradientBoosting {
         }
     }
 
+    /// The booster's configuration.
+    pub fn config(&self) -> &GbdtConfig {
+        &self.config
+    }
+
     /// Fits the booster.
     ///
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(&mut self, data: &Dataset) {
+        let binned = self
+            .config
+            .split_algo
+            .use_hist(data.len())
+            .then(|| BinnedDataset::from_dataset(data));
+        self.fit_prebinned(data, binned.as_ref());
+    }
+
+    /// Fits against an optional pre-built binned matrix covering `data` —
+    /// the quantize-once path shared with cross-validation. `None` trains
+    /// with the exact sort-based split search.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit_prebinned(&mut self, data: &Dataset, binned: Option<&BinnedDataset>) {
         assert!(!data.is_empty(), "cannot fit a booster on zero samples");
         let n = data.len();
         let k = data.n_classes;
@@ -121,15 +147,22 @@ impl GradientBoosting {
                 }
             }
 
-            // Row subsampling mask shared by the round's K trees.
-            let subsampled: Option<Vec<usize>> = if self.config.subsample < 1.0 {
-                let keep: Vec<usize> = (0..n)
-                    .filter(|_| rng.gen::<f64>() < self.config.subsample)
-                    .collect();
-                (!keep.is_empty()).then_some(keep)
-            } else {
-                None
-            };
+            // Row subsampling mask shared by the round's K trees. The
+            // subset (and its binned view) is materialised once per round,
+            // not once per class tree.
+            let subsampled: Option<(Vec<usize>, Dataset, Option<BinnedDataset>)> =
+                if self.config.subsample < 1.0 {
+                    let keep: Vec<usize> = (0..n)
+                        .filter(|_| rng.gen::<f64>() < self.config.subsample)
+                        .collect();
+                    (!keep.is_empty()).then(|| {
+                        let sub = data.subset(&keep);
+                        let sub_binned = binned.map(|b| b.subset(&keep));
+                        (keep, sub, sub_binned)
+                    })
+                } else {
+                    None
+                };
 
             let mut round_trees = Vec::with_capacity(k);
             for c in 0..k {
@@ -140,12 +173,17 @@ impl GradientBoosting {
                     h[i] = (p * (1.0 - p)).max(1e-16);
                 }
                 let tree = match &subsampled {
-                    None => RegressionTree::fit(data, &g, &h, tree_config),
-                    Some(keep) => {
-                        let sub = data.subset(keep);
+                    None => match binned {
+                        Some(b) => RegressionTree::fit_binned(data, b, &g, &h, tree_config),
+                        None => RegressionTree::fit(data, &g, &h, tree_config),
+                    },
+                    Some((keep, sub, sub_binned)) => {
                         let gs: Vec<f64> = keep.iter().map(|&i| g[i]).collect();
                         let hs: Vec<f64> = keep.iter().map(|&i| h[i]).collect();
-                        RegressionTree::fit(&sub, &gs, &hs, tree_config)
+                        match sub_binned {
+                            Some(b) => RegressionTree::fit_binned(sub, b, &gs, &hs, tree_config),
+                            None => RegressionTree::fit(sub, &gs, &hs, tree_config),
+                        }
                     }
                 };
                 for i in 0..n {

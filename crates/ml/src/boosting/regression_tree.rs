@@ -5,7 +5,9 @@
 //! scored with the XGBoost gain
 //! `½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`.
 
+use crate::binned::BinnedDataset;
 use crate::dataset::Dataset;
+use crate::tree::{HIST_NODE_EXACT_CUTOFF, MAX_SUB_DEPTH};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of a [`RegressionTree`].
@@ -71,6 +73,242 @@ impl RegressionTree {
         tree
     }
 
+    /// Fits with the histogram split search against a pre-built binned
+    /// matrix covering `data` — the quantize-once path of gradient
+    /// boosting, where every round retrains over the same feature matrix.
+    ///
+    /// Same panics as [`RegressionTree::fit`], plus a binned/raw shape
+    /// mismatch.
+    pub fn fit_binned(
+        data: &Dataset,
+        binned: &BinnedDataset,
+        g: &[f64],
+        h: &[f64],
+        config: RegressionTreeConfig,
+    ) -> Self {
+        assert_eq!(g.len(), data.len(), "one gradient per sample");
+        assert_eq!(h.len(), data.len(), "one hessian per sample");
+        assert!(!data.is_empty(), "cannot fit a tree on zero samples");
+        assert_eq!(
+            binned.n_rows(),
+            data.len(),
+            "binned matrix must cover the dataset"
+        );
+        assert_eq!(
+            binned.n_features(),
+            data.n_features(),
+            "binned matrix must cover every feature"
+        );
+        let mut tree = RegressionTree {
+            config,
+            nodes: Vec::new(),
+            importances: vec![0.0; data.n_features()],
+        };
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let mut pool: Vec<GradHist> = Vec::new();
+        tree.build_binned(data, binned, &mut indices, g, h, 0, &mut pool, None);
+        tree
+    }
+
+    /// The histogram-mode twin of [`RegressionTree::build`]: same stop
+    /// conditions and recursion order, split search over per-bin
+    /// gradient/hessian sums, histogram subtraction for the larger child,
+    /// and the sort-based fallback below [`HIST_NODE_EXACT_CUTOFF`]
+    /// samples.
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        indices: &mut [usize],
+        g: &[f64],
+        h: &[f64],
+        depth: usize,
+        pool: &mut Vec<GradHist>,
+        inherited: Option<GradHist>,
+    ) -> usize {
+        let mut inherited = inherited;
+        let (gsum, hsum) = sums(indices, g, h);
+
+        if depth < self.config.max_depth && indices.len() >= 2 {
+            if indices.len() < HIST_NODE_EXACT_CUTOFF {
+                if let Some(hist) = inherited.take() {
+                    pool.push(hist);
+                }
+                if let Some((feature, threshold, n_left, gain)) =
+                    self.best_split(data, indices, g, h, gsum, hsum)
+                {
+                    self.importances[feature] += gain;
+                    let mut lt = 0usize;
+                    for i in 0..indices.len() {
+                        if data.value(indices[i], feature) <= threshold {
+                            indices.swap(lt, i);
+                            lt += 1;
+                        }
+                    }
+                    debug_assert_eq!(lt, n_left);
+                    return self.finish_split_binned(
+                        data, binned, indices, lt, feature, threshold, g, h, depth, pool, None,
+                        None,
+                    );
+                }
+            } else {
+                let mut hist = match inherited.take() {
+                    Some(hist) => hist,
+                    None => {
+                        let mut hist = GradHist::take_zeroed(pool, binned.total_bins());
+                        hist.accumulate(binned, indices, g, h);
+                        hist
+                    }
+                };
+                if let Some((feature, threshold, n_left, gain, bin)) =
+                    self.best_split_binned(&hist, binned, gsum, hsum, indices.len())
+                {
+                    self.importances[feature] += gain;
+                    let col = binned.column(feature);
+                    let mut lt = 0usize;
+                    for i in 0..indices.len() {
+                        if (col[indices[i]] as usize) <= bin {
+                            indices.swap(lt, i);
+                            lt += 1;
+                        }
+                    }
+                    debug_assert_eq!(lt, n_left);
+                    let n_right = indices.len() - lt;
+                    let worth_it =
+                        depth < MAX_SUB_DEPTH && lt.max(n_right) >= HIST_NODE_EXACT_CUTOFF;
+                    let (left_hist, right_hist) = if worth_it {
+                        let mut small = GradHist::take_zeroed(pool, binned.total_bins());
+                        let small_ix = if lt <= n_right {
+                            &indices[..lt]
+                        } else {
+                            &indices[lt..]
+                        };
+                        small.accumulate(binned, small_ix, g, h);
+                        hist.subtract(&small);
+                        if lt <= n_right {
+                            (Some(small), Some(hist))
+                        } else {
+                            (Some(hist), Some(small))
+                        }
+                    } else {
+                        pool.push(hist);
+                        (None, None)
+                    };
+                    return self.finish_split_binned(
+                        data, binned, indices, lt, feature, threshold, g, h, depth, pool,
+                        left_hist, right_hist,
+                    );
+                }
+                pool.push(hist);
+            }
+        }
+        if let Some(hist) = inherited.take() {
+            pool.push(hist);
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(RNode::Leaf {
+            weight: -gsum / (hsum + self.config.lambda),
+        });
+        node_id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_split_binned(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        indices: &mut [usize],
+        lt: usize,
+        feature: usize,
+        threshold: f64,
+        g: &[f64],
+        h: &[f64],
+        depth: usize,
+        pool: &mut Vec<GradHist>,
+        left_hist: Option<GradHist>,
+        right_hist: Option<GradHist>,
+    ) -> usize {
+        let node_id = self.nodes.len();
+        self.nodes.push(RNode::Internal {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
+        let (left_ix, right_ix) = indices.split_at_mut(lt);
+        let left = self.build_binned(data, binned, left_ix, g, h, depth + 1, pool, left_hist);
+        let right = self.build_binned(data, binned, right_ix, g, h, depth + 1, pool, right_hist);
+        if let RNode::Internal {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Sweeps per-bin gradient/hessian sums for the best boundary; returns
+    /// `(feature, threshold, n_left, gain, bin)`. Candidate boundaries sit
+    /// after non-empty bins only, exactly like the empty-bin rule of the
+    /// classification sweep.
+    fn best_split_binned(
+        &self,
+        hist: &GradHist,
+        binned: &BinnedDataset,
+        gsum: f64,
+        hsum: f64,
+        n_node: usize,
+    ) -> Option<(usize, f64, usize, f64, usize)> {
+        let lambda = self.config.lambda;
+        let parent_score = gsum * gsum / (hsum + lambda);
+        let floor = self.config.gamma.max(1e-12);
+        let mut best: Option<(usize, f64, usize, f64, usize)> = None;
+
+        for feature in 0..binned.n_features() {
+            let nb = binned.n_bins(feature);
+            if nb < 2 {
+                continue;
+            }
+            let off = binned.bin_offset(feature);
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            let mut cl = 0usize;
+            for b in 0..nb - 1 {
+                let c = hist.cnt[off + b] as usize;
+                if c == 0 {
+                    continue;
+                }
+                gl += hist.g[off + b];
+                hl += hist.h[off + b];
+                cl += c;
+                if cl == n_node {
+                    break;
+                }
+                let (gr, hr) = (gsum - gl, hsum - hl);
+                if hl < self.config.min_child_weight || hr < self.config.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+                if gain <= floor {
+                    continue;
+                }
+                let threshold = binned.split_value(feature, b);
+                let accept = match best {
+                    None => true,
+                    Some((bf, bt, _, bg, _)) => {
+                        gain > bg || (gain == bg && (feature, threshold) < (bf, bt))
+                    }
+                };
+                if accept {
+                    best = Some((feature, threshold, cl, gain, b));
+                }
+            }
+        }
+        best
+    }
+
     fn build(
         &mut self,
         data: &Dataset,
@@ -132,18 +370,20 @@ impl RegressionTree {
     ) -> Option<(usize, f64, usize, f64)> {
         let lambda = self.config.lambda;
         let parent_score = gsum * gsum / (hsum + lambda);
-        let mut best_gain = self.config.gamma.max(1e-12);
+        let floor = self.config.gamma.max(1e-12);
         let mut best: Option<(usize, f64, usize, f64)> = None;
 
         let mut triples: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..data.n_features() {
+            // NaN values are skipped (they land on the right at predict
+            // time, since `NaN <= t` is false); `Dataset::from_rows`
+            // debug-asserts they never occur.
             triples.clear();
-            triples.extend(
-                indices
-                    .iter()
-                    .map(|&i| (data.value(i, feature), g[i], h[i])),
-            );
-            triples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
+            triples.extend(indices.iter().filter_map(|&i| {
+                let v = data.value(i, feature);
+                (!v.is_nan()).then_some((v, g[i], h[i]))
+            }));
+            triples.sort_by(|a, b| a.0.total_cmp(&b.0));
 
             let mut gl = 0.0;
             let mut hl = 0.0;
@@ -159,12 +399,22 @@ impl RegressionTree {
                     continue;
                 }
                 let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
-                if gain > best_gain {
-                    best_gain = gain;
-                    let mut threshold = 0.5 * (v_prev + v_here);
-                    if threshold <= v_prev {
-                        threshold = v_prev;
+                if gain <= floor {
+                    continue;
+                }
+                let mut threshold = 0.5 * (v_prev + v_here);
+                if threshold <= v_prev {
+                    threshold = v_prev;
+                }
+                // Ties on gain break to the lower feature index, then the
+                // lower threshold — same rule as the classification paths.
+                let accept = match best {
+                    None => true,
+                    Some((bf, bt, _, bg)) => {
+                        gain > bg || (gain == bg && (feature, threshold) < (bf, bt))
                     }
+                };
+                if accept {
                     best = Some((feature, threshold, pos, gain));
                 }
             }
@@ -202,6 +452,58 @@ impl RegressionTree {
     /// Unnormalised per-feature split-gain totals of this tree.
     pub fn raw_importances(&self) -> &[f64] {
         &self.importances
+    }
+}
+
+/// Per-bin gradient/hessian sums over every (feature, bin) of a binned
+/// matrix, flattened by [`BinnedDataset::bin_offset`]; the regression
+/// analogue of the classification class-weight histogram.
+struct GradHist {
+    g: Vec<f64>,
+    h: Vec<f64>,
+    cnt: Vec<u32>,
+}
+
+impl GradHist {
+    fn take_zeroed(pool: &mut Vec<GradHist>, total_bins: usize) -> GradHist {
+        match pool.pop() {
+            Some(mut hist) => {
+                hist.g.iter_mut().for_each(|v| *v = 0.0);
+                hist.h.iter_mut().for_each(|v| *v = 0.0);
+                hist.cnt.iter_mut().for_each(|v| *v = 0);
+                hist
+            }
+            None => GradHist {
+                g: vec![0.0; total_bins],
+                h: vec![0.0; total_bins],
+                cnt: vec![0; total_bins],
+            },
+        }
+    }
+
+    fn accumulate(&mut self, binned: &BinnedDataset, indices: &[usize], g: &[f64], h: &[f64]) {
+        for f in 0..binned.n_features() {
+            let off = binned.bin_offset(f);
+            let col = binned.column(f);
+            for &i in indices {
+                let slot = off + col[i] as usize;
+                self.g[slot] += g[i];
+                self.h[slot] += h[i];
+                self.cnt[slot] += 1;
+            }
+        }
+    }
+
+    fn subtract(&mut self, child: &GradHist) {
+        for (p, c) in self.g.iter_mut().zip(&child.g) {
+            *p -= c;
+        }
+        for (p, c) in self.h.iter_mut().zip(&child.h) {
+            *p -= c;
+        }
+        for (p, c) in self.cnt.iter_mut().zip(&child.cnt) {
+            *p -= c;
+        }
     }
 }
 
@@ -347,6 +649,37 @@ mod tests {
             assert!((tree.predict_row(&[0.0]) - 0.0).abs() < 1e-9);
             assert!((tree.predict_row(&[3.0]) - 5.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn binned_fit_matches_exact_on_lossless_bins() {
+        // 300 samples over 30 distinct values per feature → every bin is
+        // one distinct value, and unit hessians make all sums
+        // integer-valued, so the two paths agree bit-for-bit on training
+        // predictions and split gains.
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 30) as f64, ((i * 7) % 30) as f64])
+            .collect();
+        let data = Dataset::from_rows(&rows, vec![0; 300], 1, vec![0; 300], vec![]);
+        let g: Vec<f64> = (0..300)
+            .map(|i| if (i % 30) < 15 { -1.0 } else { 1.0 })
+            .collect();
+        let h = vec![1.0; 300];
+        let config = RegressionTreeConfig {
+            max_depth: 4,
+            ..RegressionTreeConfig::default()
+        };
+        let exact = RegressionTree::fit(&data, &g, &h, config);
+        let binned = BinnedDataset::from_dataset(&data);
+        let hist = RegressionTree::fit_binned(&data, &binned, &g, &h, config);
+        for i in 0..data.len() {
+            assert_eq!(
+                exact.predict_row(data.row(i)),
+                hist.predict_row(data.row(i)),
+                "row {i}"
+            );
+        }
+        assert_eq!(exact.raw_importances(), hist.raw_importances());
     }
 
     #[test]

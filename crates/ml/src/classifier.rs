@@ -5,6 +5,7 @@
 //! AdaBoost) plus the extra kNN baseline; [`ClassifierKind::build`] is the
 //! factory the cross-validation and feature-selection machinery uses.
 
+use crate::binned::BinnedDataset;
 use crate::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
 use crate::dataset::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
@@ -21,6 +22,24 @@ pub trait Classifier: Send {
     /// Fits the model.
     fn fit(&mut self, data: &Dataset);
 
+    /// Fits on the row subset `indices` of `data`. When `binned` is given
+    /// it quantizes the **full** dataset; histogram-capable models index
+    /// into it instead of re-quantizing per retrain (the quantize-once
+    /// contract of CV and forward selection). The default materialises the
+    /// subset and calls [`Classifier::fit`], ignoring `binned`.
+    fn fit_subset(&mut self, data: &Dataset, indices: &[usize], binned: Option<&BinnedDataset>) {
+        let _ = binned;
+        self.fit(&data.subset(indices));
+    }
+
+    /// Whether fitting this model on `n_rows` training rows would use a
+    /// binned matrix passed to [`Classifier::fit_subset`]. Retraining
+    /// layers probe this to decide whether quantizing once up front pays.
+    fn benefits_from_binning(&self, n_rows: usize) -> bool {
+        let _ = n_rows;
+        false
+    }
+
     /// Predicted class of one feature row.
     fn predict_row(&self, row: &[f64]) -> usize;
 
@@ -36,6 +55,14 @@ impl Classifier for RandomForest {
     fn fit(&mut self, data: &Dataset) {
         RandomForest::fit(self, data);
     }
+    fn fit_subset(&mut self, data: &Dataset, indices: &[usize], binned: Option<&BinnedDataset>) {
+        // No materialisation at all: trees bootstrap positions of
+        // `indices` and (optionally) sweep histograms of the shared bins.
+        self.fit_on(data, indices, binned);
+    }
+    fn benefits_from_binning(&self, n_rows: usize) -> bool {
+        self.config().split_algo.use_hist(n_rows)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         RandomForest::predict_row(self, row)
     }
@@ -44,6 +71,18 @@ impl Classifier for RandomForest {
 impl Classifier for GradientBoosting {
     fn fit(&mut self, data: &Dataset) {
         GradientBoosting::fit(self, data);
+    }
+    fn fit_subset(&mut self, data: &Dataset, indices: &[usize], binned: Option<&BinnedDataset>) {
+        let sub = data.subset(indices);
+        match binned {
+            // Gather the pre-computed bin codes instead of re-running the
+            // per-feature quantile search on every retrain.
+            Some(b) => self.fit_prebinned(&sub, Some(&b.subset(indices))),
+            None => GradientBoosting::fit(self, &sub),
+        }
+    }
+    fn benefits_from_binning(&self, n_rows: usize) -> bool {
+        self.config().split_algo.use_hist(n_rows)
     }
     fn predict_row(&self, row: &[f64]) -> usize {
         GradientBoosting::predict_row(self, row)
@@ -54,6 +93,18 @@ impl Classifier for DecisionTree {
     fn fit(&mut self, data: &Dataset) {
         DecisionTree::fit(self, data);
     }
+    fn fit_subset(&mut self, data: &Dataset, indices: &[usize], binned: Option<&BinnedDataset>) {
+        match binned {
+            Some(b) => {
+                let weights = vec![1.0; data.len()];
+                self.fit_binned_on(data, b, indices, &weights);
+            }
+            None => DecisionTree::fit(self, &data.subset(indices)),
+        }
+    }
+    fn benefits_from_binning(&self, n_rows: usize) -> bool {
+        self.config().split_algo.use_hist(n_rows)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         DecisionTree::predict_row(self, row)
     }
@@ -62,6 +113,16 @@ impl Classifier for DecisionTree {
 impl Classifier for AdaBoost {
     fn fit(&mut self, data: &Dataset) {
         AdaBoost::fit(self, data);
+    }
+    fn fit_subset(&mut self, data: &Dataset, indices: &[usize], binned: Option<&BinnedDataset>) {
+        let sub = data.subset(indices);
+        match binned {
+            Some(b) => self.fit_prebinned(&sub, Some(&b.subset(indices))),
+            None => AdaBoost::fit(self, &sub),
+        }
+    }
+    fn benefits_from_binning(&self, n_rows: usize) -> bool {
+        self.config().split_algo.use_hist(n_rows)
     }
     fn predict_row(&self, row: &[f64]) -> usize {
         AdaBoost::predict_row(self, row)

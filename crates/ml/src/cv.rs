@@ -29,6 +29,7 @@
 //! for any thread count (`TRAJ_NUM_THREADS=1` included) — pinned by the
 //! `parallel_parity` integration tests.
 
+use crate::binned::BinnedDataset;
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
 use crate::metrics::ClassificationReport;
@@ -496,6 +497,11 @@ pub struct FoldScore {
 /// seeds derive from the fold index, so the returned scores are
 /// bit-identical for any thread count.
 ///
+/// When the factory's classifier reports
+/// [`Classifier::benefits_from_binning`], the dataset is quantized **once**
+/// here and every fold's training run indexes into the shared
+/// [`BinnedDataset`] instead of re-binning.
+///
 /// ```
 /// use traj_ml::{cross_validate, ClassifierKind, Dataset, KFold};
 /// let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
@@ -517,17 +523,41 @@ where
     F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
     S: Splitter + ?Sized,
 {
+    let binned = factory(base_seed)
+        .benefits_from_binning(data.len())
+        .then(|| BinnedDataset::from_dataset(data));
+    cross_validate_prebinned(factory, data, binned.as_ref(), splitter, base_seed)
+}
+
+/// [`cross_validate`] against a caller-supplied binned matrix covering
+/// `data` (or `None` to skip histogram training). Feature-selection layers
+/// use this to quantize the full feature space once and re-slice it per
+/// candidate subset instead of re-binning on every CV run.
+pub fn cross_validate_prebinned<F, S>(
+    factory: &F,
+    data: &Dataset,
+    binned: Option<&BinnedDataset>,
+    splitter: &S,
+    base_seed: u64,
+) -> Result<Vec<FoldScore>, SplitError>
+where
+    F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
+    S: Splitter + ?Sized,
+{
     let folds: Vec<Fold> = splitter.split(data)?.collect();
     let scores = traj_runtime::parallel_map(&folds, |fold_idx, fold| {
         if fold.test.is_empty() || fold.train.is_empty() {
             return None;
         }
-        let train = data.subset(&fold.train);
-        let test = data.subset(&fold.test);
         let mut model = factory(base_seed.wrapping_add(fold_idx as u64));
-        model.fit(&train);
-        let pred = model.predict(&test);
-        let report = ClassificationReport::compute(&test.y, &pred, data.n_classes);
+        model.fit_subset(data, &fold.train, binned);
+        let pred: Vec<usize> = fold
+            .test
+            .iter()
+            .map(|&i| model.predict_row(data.row(i)))
+            .collect();
+        let test_y: Vec<usize> = fold.test.iter().map(|&i| data.y[i]).collect();
+        let report = ClassificationReport::compute(&test_y, &pred, data.n_classes);
         Some(FoldScore {
             accuracy: report.accuracy,
             f1_macro: report.f1_macro(),

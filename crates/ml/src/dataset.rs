@@ -65,6 +65,11 @@ impl Dataset {
             y.iter().all(|&c| c < n_classes),
             "labels must be below n_classes"
         );
+        debug_assert!(
+            !x.iter().any(|v| v.is_nan()),
+            "NaN feature values: the feature pipeline must impute or drop \
+             them before training (split search skips NaN, but silently)"
+        );
         Dataset {
             x,
             n_rows: rows.len(),
@@ -73,6 +78,27 @@ impl Dataset {
             n_classes,
             groups,
             feature_names,
+        }
+    }
+
+    /// Builds a dataset without the NaN debug assertion — for tests that
+    /// exercise the split search's NaN-skipping behaviour.
+    #[cfg(test)]
+    pub(crate) fn from_rows_unchecked(
+        rows: &[Vec<f64>],
+        y: Vec<usize>,
+        n_classes: usize,
+        groups: Vec<u32>,
+    ) -> Self {
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        Dataset {
+            x: rows.iter().flatten().copied().collect(),
+            n_rows: rows.len(),
+            n_cols,
+            y,
+            n_classes,
+            groups,
+            feature_names: vec![],
         }
     }
 

@@ -10,6 +10,7 @@
 //!   ranking the paper feeds to its incremental selection (Fig. 3a);
 //! * the **out-of-bag score**, an internal generalisation estimate.
 
+use crate::binned::{BinnedDataset, SplitAlgo};
 use crate::dataset::Dataset;
 use crate::tree::{Criterion, DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
@@ -35,6 +36,12 @@ pub struct ForestConfig {
     pub bootstrap: bool,
     /// Master seed; per-tree seeds derive deterministically from it.
     pub seed: u64,
+    /// Split-search algorithm. The dataset is quantized **once** here and
+    /// shared by every member tree; [`SplitAlgo::Auto`] picks the
+    /// histogram path above [`crate::binned::HIST_AUTO_CUTOFF_ROWS`]
+    /// rows.
+    #[serde(default)]
+    pub split_algo: SplitAlgo,
 }
 
 impl Default for ForestConfig {
@@ -48,6 +55,7 @@ impl Default for ForestConfig {
             max_features: None,
             bootstrap: true,
             seed: 0,
+            split_algo: SplitAlgo::Auto,
         }
     }
 }
@@ -84,6 +92,11 @@ impl RandomForest {
         })
     }
 
+    /// The forest's configuration.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
     /// Fits the forest, training one [`traj_runtime`] task per tree on
     /// the shared pool. Per-tree seeds derive from the master seed before
     /// any task runs, so the fitted forest is bit-identical for any
@@ -93,10 +106,39 @@ impl RandomForest {
     /// Panics on an empty dataset.
     pub fn fit(&mut self, data: &Dataset) {
         assert!(!data.is_empty(), "cannot fit a forest on zero samples");
+        // Quantize once; every member tree trains against the same binned
+        // matrix.
+        let binned = self
+            .config
+            .split_algo
+            .use_hist(data.len())
+            .then(|| BinnedDataset::from_dataset(data));
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.fit_on(data, &rows, binned.as_ref());
+    }
+
+    /// Fits the forest on the samples at `rows`, optionally against a
+    /// binned matrix built once from the full dataset — the shared
+    /// quantize-once entry point of cross-validation and feature
+    /// selection. Bit-identical to `fit(&data.subset(rows))` when `rows`
+    /// holds distinct indices and `binned` matches `split_algo`'s
+    /// resolution for `rows.len()` samples.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or `binned` does not cover `data`.
+    pub fn fit_on(&mut self, data: &Dataset, rows: &[usize], binned: Option<&BinnedDataset>) {
+        assert!(!rows.is_empty(), "cannot fit a forest on zero samples");
+        if let Some(b) = binned {
+            assert_eq!(
+                b.n_rows(),
+                data.len(),
+                "binned matrix must cover the dataset"
+            );
+        }
         self.n_classes = data.n_classes;
         self.n_features = data.n_features();
 
-        let n = data.len();
+        let m = rows.len();
         let max_features = self
             .config
             .max_features
@@ -110,47 +152,57 @@ impl RandomForest {
             .map(|_| master.gen())
             .collect();
 
-        let weights = vec![1.0; n];
+        let weights = vec![1.0; data.len()];
         let config = self.config;
+        // Member trees never re-bin: this layer owns quantization.
+        let tree_config = |seed: u64| TreeConfig {
+            criterion: config.criterion,
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            min_samples_leaf: config.min_samples_leaf,
+            max_features: Some(max_features),
+            seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+            split_algo: SplitAlgo::Exact,
+        };
         let results: Vec<(DecisionTree, Vec<usize>)> =
             traj_runtime::parallel_map(&tree_seeds, |_, &seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let indices: Vec<usize> = if config.bootstrap {
-                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                // Bootstrap positions into `rows` (not raw dataset ids),
+                // so subset fits consume the RNG exactly like
+                // `fit(&data.subset(rows))` would.
+                let pos: Vec<usize> = if config.bootstrap {
+                    (0..m).map(|_| rng.gen_range(0..m)).collect()
                 } else {
-                    (0..n).collect()
+                    (0..m).collect()
                 };
-                let mut tree = DecisionTree::new(TreeConfig {
-                    criterion: config.criterion,
-                    max_depth: config.max_depth,
-                    min_samples_split: config.min_samples_split,
-                    min_samples_leaf: config.min_samples_leaf,
-                    max_features: Some(max_features),
-                    seed: seed ^ 0x9e37_79b9_7f4a_7c15,
-                });
-                tree.fit_weighted_on(data, &indices, &weights);
-                (tree, indices)
+                let indices: Vec<usize> = pos.iter().map(|&j| rows[j]).collect();
+                let mut tree = DecisionTree::new(tree_config(seed));
+                match binned {
+                    Some(b) => tree.fit_binned_on(data, b, &indices, &weights),
+                    None => tree.fit_weighted_on(data, &indices, &weights),
+                }
+                (tree, pos)
             });
 
         // Out-of-bag score: majority vote among trees whose bootstrap
         // missed the sample.
         if self.config.bootstrap {
-            let mut votes = vec![vec![0usize; self.n_classes]; n];
-            let mut in_bag = vec![false; n];
-            for (tree, indices) in &results {
+            let mut votes = vec![vec![0usize; self.n_classes]; m];
+            let mut in_bag = vec![false; m];
+            for (tree, pos) in &results {
                 in_bag.iter_mut().for_each(|b| *b = false);
-                for &i in indices {
-                    in_bag[i] = true;
+                for &j in pos {
+                    in_bag[j] = true;
                 }
-                for i in 0..n {
-                    if !in_bag[i] {
-                        votes[i][tree.predict_row(data.row(i))] += 1;
+                for (j, bagged) in in_bag.iter().enumerate() {
+                    if !bagged {
+                        votes[j][tree.predict_row(data.row(rows[j]))] += 1;
                     }
                 }
             }
             let mut correct = 0usize;
             let mut counted = 0usize;
-            for (i, sample_votes) in votes.iter().enumerate() {
+            for (j, sample_votes) in votes.iter().enumerate() {
                 let total: usize = sample_votes.iter().sum();
                 if total == 0 {
                     continue;
@@ -162,7 +214,7 @@ impl RandomForest {
                     .max_by_key(|(_, &v)| v)
                     .map(|(c, _)| c)
                     .unwrap_or(0);
-                if pred == data.y[i] {
+                if pred == data.y[rows[j]] {
                     correct += 1;
                 }
             }

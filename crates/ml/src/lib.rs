@@ -8,7 +8,10 @@
 //!
 //! * [`dataset`] — dense row-major feature matrices with labels and group
 //!   (user) ids.
-//! * [`tree`] — CART decision trees (gini/entropy).
+//! * [`binned`] — per-feature quantile binning (≤ 256 `u8` bins) feeding
+//!   the histogram split search; quantize once, train everywhere.
+//! * [`tree`] — CART decision trees (gini/entropy), with exact sort-based
+//!   and histogram split search behind [`binned::SplitAlgo`].
 //! * [`forest`] — random forests with bootstrap sampling, feature
 //!   subsampling, parallel training and impurity-based feature importances
 //!   (the paper's "information theoretical" ranking source).
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binned;
 pub mod boosting;
 pub mod classifier;
 pub mod cv;
@@ -55,10 +59,11 @@ pub mod stats_tests;
 pub mod tree;
 pub mod tuning;
 
+pub use binned::{BinnedDataset, SplitAlgo};
 pub use classifier::{Classifier, ClassifierKind};
 pub use cv::{
-    cross_validate, Fold, FoldScore, Folds, GroupKFold, GroupShuffleSplit, KFold, SplitError,
-    Splitter,
+    cross_validate, cross_validate_prebinned, Fold, FoldScore, Folds, GroupKFold,
+    GroupShuffleSplit, KFold, SplitError, Splitter,
 };
 pub use dataset::Dataset;
 pub use erased::ErasedModel;

@@ -1,6 +1,10 @@
 //! The CART classification tree.
 
+use crate::binned::{BinnedDataset, SplitAlgo};
 use crate::dataset::Dataset;
+use crate::tree::hist::{
+    best_split_hist, ClassHist, HistScratch, HIST_NODE_EXACT_CUTOFF, MAX_SUB_DEPTH,
+};
 use crate::tree::split::{best_split, Criterion, SplitScratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -24,6 +28,10 @@ pub struct TreeConfig {
     pub max_features: Option<usize>,
     /// Seed of the per-node feature subsampling.
     pub seed: u64,
+    /// Split-search algorithm; [`SplitAlgo::Auto`] picks the histogram
+    /// path above [`crate::binned::HIST_AUTO_CUTOFF_ROWS`] training rows.
+    #[serde(default)]
+    pub split_algo: SplitAlgo,
 }
 
 impl Default for TreeConfig {
@@ -35,6 +43,7 @@ impl Default for TreeConfig {
             min_samples_leaf: 1,
             max_features: None,
             seed: 0,
+            split_algo: SplitAlgo::Auto,
         }
     }
 }
@@ -79,6 +88,11 @@ impl DecisionTree {
         }
     }
 
+    /// The tree's configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
     /// Fits the tree on every sample with unit weights.
     pub fn fit(&mut self, data: &Dataset) {
         let weights = vec![1.0; data.len()];
@@ -100,8 +114,17 @@ impl DecisionTree {
     /// Fits the tree on the subset `indices` (with repetition allowed —
     /// the forest's bootstrap path) using per-sample `weights` indexed by
     /// the *original* dataset positions.
+    ///
+    /// When `split_algo` resolves to the histogram path for this size,
+    /// the dataset is quantized here; callers that retrain repeatedly
+    /// should bin once and use [`DecisionTree::fit_binned_on`] instead.
     pub fn fit_weighted_on(&mut self, data: &Dataset, indices: &[usize], weights: &[f64]) {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        if self.config.split_algo.use_hist(indices.len()) {
+            let binned = BinnedDataset::from_dataset(data);
+            self.fit_binned_on(data, &binned, indices, weights);
+            return;
+        }
         self.n_classes = data.n_classes;
         self.n_features = data.n_features();
         self.nodes.clear();
@@ -121,6 +144,63 @@ impl DecisionTree {
             &mut rng,
             &mut scratch,
             &mut all_features,
+        );
+    }
+
+    /// Fits with the histogram split search on every sample, against a
+    /// pre-built binned matrix (AdaBoost's per-round path).
+    pub fn fit_binned_weighted(&mut self, data: &Dataset, binned: &BinnedDataset, weights: &[f64]) {
+        assert_eq!(weights.len(), data.len(), "one weight per sample");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_binned_on(data, binned, &indices, weights);
+    }
+
+    /// Fits with the histogram split search on the subset `indices`,
+    /// against a binned matrix built once from the *full* dataset — the
+    /// quantize-once entry point the forest, CV and feature-selection
+    /// layers share. `weights` are indexed by original dataset positions.
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty or `binned` does not cover `data`.
+    pub fn fit_binned_on(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        indices: &[usize],
+        weights: &[f64],
+    ) {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert_eq!(
+            binned.n_rows(),
+            data.len(),
+            "binned matrix must cover the dataset"
+        );
+        assert_eq!(
+            binned.n_features(),
+            data.n_features(),
+            "binned matrix must cover every feature"
+        );
+        self.n_classes = data.n_classes;
+        self.n_features = data.n_features();
+        self.nodes.clear();
+        self.importances = vec![0.0; self.n_features];
+
+        let total_weight: f64 = indices.iter().map(|&i| weights[i]).sum();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut scratch = HistScratch::new(self.n_classes, binned);
+        let mut owned = indices.to_vec();
+        let mut all_features: Vec<usize> = (0..self.n_features).collect();
+        self.build_hist(
+            data,
+            binned,
+            &mut owned,
+            weights,
+            0,
+            total_weight,
+            &mut rng,
+            &mut scratch,
+            &mut all_features,
+            None,
         );
     }
 
@@ -216,9 +296,298 @@ impl DecisionTree {
             }
         }
 
-        // Leaf: majority class by weight.
+        self.push_leaf(&class_weights, node_weight)
+    }
+
+    /// The histogram-mode twin of [`DecisionTree::build`]: identical stop
+    /// conditions, RNG consumption, importance accumulation and recursion
+    /// order, with the split search swapped for the binned sweep.
+    /// `inherited` is this node's pre-accumulated histogram when the
+    /// parent derived it via the subtraction trick.
+    #[allow(clippy::too_many_arguments)]
+    fn build_hist(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        indices: &mut [usize],
+        weights: &[f64],
+        depth: usize,
+        root_weight: f64,
+        rng: &mut StdRng,
+        scratch: &mut HistScratch,
+        feature_pool: &mut Vec<usize>,
+        inherited: Option<ClassHist>,
+    ) -> usize {
+        let mut inherited = inherited;
+        let (class_weights, node_weight) = self.class_weights(data, indices, weights);
+        let node_impurity = self.config.criterion.impurity(&class_weights, node_weight);
+
+        let depth_ok = self.config.max_depth.is_none_or(|d| depth < d);
+        let size_ok = indices.len() >= self.config.min_samples_split;
+        let impure = node_impurity > 1e-12;
+
+        if depth_ok && size_ok && impure {
+            let sampling = matches!(self.config.max_features, Some(k) if k < feature_pool.len());
+            let features: Vec<usize> = if sampling {
+                let k = self.config.max_features.expect("sampling implies Some");
+                feature_pool.shuffle(rng);
+                feature_pool[..k].to_vec()
+            } else {
+                feature_pool.clone()
+            };
+
+            if indices.len() < HIST_NODE_EXACT_CUTOFF {
+                // Small-node exact fallback: sorting a few hundred values
+                // beats zeroing and sweeping 256-bin histograms.
+                if let Some(h) = inherited.take() {
+                    scratch.put(h);
+                }
+                if let Some(split) = best_split(
+                    data,
+                    indices,
+                    weights,
+                    &features,
+                    self.config.criterion,
+                    self.config.min_samples_leaf,
+                    node_impurity,
+                    &mut scratch.exact,
+                ) {
+                    self.importances[split.feature] +=
+                        (node_weight / root_weight) * split.impurity_decrease;
+                    let mut lt = 0usize;
+                    for i in 0..indices.len() {
+                        if data.value(indices[i], split.feature) <= split.threshold {
+                            indices.swap(lt, i);
+                            lt += 1;
+                        }
+                    }
+                    debug_assert_eq!(lt, split.n_left);
+                    return self.finish_split_hist(
+                        data,
+                        binned,
+                        indices,
+                        lt,
+                        split.feature,
+                        split.threshold,
+                        weights,
+                        depth,
+                        root_weight,
+                        rng,
+                        scratch,
+                        feature_pool,
+                        None,
+                        None,
+                    );
+                }
+            } else if sampling {
+                // Per-node feature sampling (the forest's trees): only the
+                // sampled columns are histogrammed, into a reusable work
+                // buffer; no subtraction — the parent's histogram covers
+                // different columns than the children will sample.
+                if let Some(h) = inherited.take() {
+                    scratch.put(h);
+                }
+                let found = {
+                    let HistScratch {
+                        work, left, right, ..
+                    } = &mut *scratch;
+                    work.zero_features(binned, &features, self.n_classes);
+                    work.accumulate(binned, &features, indices, &data.y, weights, self.n_classes);
+                    best_split_hist(
+                        work,
+                        binned,
+                        &features,
+                        self.config.criterion,
+                        self.config.min_samples_leaf,
+                        node_impurity,
+                        &class_weights,
+                        node_weight,
+                        indices.len(),
+                        left,
+                        right,
+                    )
+                };
+                if let Some(hs) = found {
+                    self.importances[hs.split.feature] +=
+                        (node_weight / root_weight) * hs.split.impurity_decrease;
+                    let lt = partition_by_code(binned, indices, hs.split.feature, hs.bin);
+                    debug_assert_eq!(lt, hs.split.n_left);
+                    return self.finish_split_hist(
+                        data,
+                        binned,
+                        indices,
+                        lt,
+                        hs.split.feature,
+                        hs.split.threshold,
+                        weights,
+                        depth,
+                        root_weight,
+                        rng,
+                        scratch,
+                        feature_pool,
+                        None,
+                        None,
+                    );
+                }
+            } else {
+                // Full-feature histogram with the subtraction trick.
+                let hist = match inherited.take() {
+                    Some(h) => h,
+                    None => {
+                        let mut h = scratch.take_zeroed();
+                        h.accumulate(binned, &features, indices, &data.y, weights, self.n_classes);
+                        h
+                    }
+                };
+                let found = {
+                    let HistScratch { left, right, .. } = &mut *scratch;
+                    best_split_hist(
+                        &hist,
+                        binned,
+                        &features,
+                        self.config.criterion,
+                        self.config.min_samples_leaf,
+                        node_impurity,
+                        &class_weights,
+                        node_weight,
+                        indices.len(),
+                        left,
+                        right,
+                    )
+                };
+                match found {
+                    None => scratch.put(hist),
+                    Some(hs) => {
+                        let mut hist = hist;
+                        self.importances[hs.split.feature] +=
+                            (node_weight / root_weight) * hs.split.impurity_decrease;
+                        let lt = partition_by_code(binned, indices, hs.split.feature, hs.bin);
+                        debug_assert_eq!(lt, hs.split.n_left);
+                        let n_right = indices.len() - lt;
+                        // Subtraction: accumulate only the smaller child,
+                        // derive the larger from the parent. Skipped when
+                        // both children will take the exact fallback or
+                        // the depth cap (which bounds the buffer pool)
+                        // is hit.
+                        let worth_it =
+                            depth < MAX_SUB_DEPTH && lt.max(n_right) >= HIST_NODE_EXACT_CUTOFF;
+                        let (left_hist, right_hist) = if worth_it {
+                            let mut small = scratch.take_zeroed();
+                            let small_ix = if lt <= n_right {
+                                &indices[..lt]
+                            } else {
+                                &indices[lt..]
+                            };
+                            small.accumulate(
+                                binned,
+                                &features,
+                                small_ix,
+                                &data.y,
+                                weights,
+                                self.n_classes,
+                            );
+                            hist.subtract(&small);
+                            if lt <= n_right {
+                                (Some(small), Some(hist))
+                            } else {
+                                (Some(hist), Some(small))
+                            }
+                        } else {
+                            scratch.put(hist);
+                            (None, None)
+                        };
+                        return self.finish_split_hist(
+                            data,
+                            binned,
+                            indices,
+                            lt,
+                            hs.split.feature,
+                            hs.split.threshold,
+                            weights,
+                            depth,
+                            root_weight,
+                            rng,
+                            scratch,
+                            feature_pool,
+                            left_hist,
+                            right_hist,
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(h) = inherited.take() {
+            scratch.put(h);
+        }
+        self.push_leaf(&class_weights, node_weight)
+    }
+
+    /// Pushes the internal node, recurses into both children of the
+    /// histogram builder, and backpatches the child links.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_split_hist(
+        &mut self,
+        data: &Dataset,
+        binned: &BinnedDataset,
+        indices: &mut [usize],
+        lt: usize,
+        feature: usize,
+        threshold: f64,
+        weights: &[f64],
+        depth: usize,
+        root_weight: f64,
+        rng: &mut StdRng,
+        scratch: &mut HistScratch,
+        feature_pool: &mut Vec<usize>,
+        left_hist: Option<ClassHist>,
+        right_hist: Option<ClassHist>,
+    ) -> usize {
         let node_id = self.nodes.len();
-        let class = argmax(&class_weights);
+        self.nodes.push(Node::Internal {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
+        let (left_ix, right_ix) = indices.split_at_mut(lt);
+        let left = self.build_hist(
+            data,
+            binned,
+            left_ix,
+            weights,
+            depth + 1,
+            root_weight,
+            rng,
+            scratch,
+            feature_pool,
+            left_hist,
+        );
+        let right = self.build_hist(
+            data,
+            binned,
+            right_ix,
+            weights,
+            depth + 1,
+            root_weight,
+            rng,
+            scratch,
+            feature_pool,
+            right_hist,
+        );
+        if let Node::Internal {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Leaf: majority class by weight.
+    fn push_leaf(&mut self, class_weights: &[f64], node_weight: f64) -> usize {
+        let node_id = self.nodes.len();
+        let class = argmax(class_weights);
         let probs = if node_weight > 0.0 {
             class_weights.iter().map(|&w| w / node_weight).collect()
         } else {
@@ -324,6 +693,27 @@ impl DecisionTree {
             depth_of(&self.nodes, 0)
         }
     }
+}
+
+/// Partitions `indices` in place so samples whose bin code on `feature`
+/// is `<= bin` come first; returns their count. The code comparison is
+/// equivalent to the raw-space `value <= threshold` by construction of
+/// the bin boundaries.
+fn partition_by_code(
+    binned: &BinnedDataset,
+    indices: &mut [usize],
+    feature: usize,
+    bin: usize,
+) -> usize {
+    let col = binned.column(feature);
+    let mut lt = 0usize;
+    for i in 0..indices.len() {
+        if (col[indices[i]] as usize) <= bin {
+            indices.swap(lt, i);
+            lt += 1;
+        }
+    }
+    lt
 }
 
 fn argmax(xs: &[f64]) -> usize {

@@ -1,0 +1,391 @@
+//! Histogram split search for classification trees.
+//!
+//! Works on a [`BinnedDataset`]: per node, one pass over the node's
+//! samples accumulates a class-weight histogram per (feature, bin), then
+//! an `O(n_bins)` sweep finds the best boundary — no per-node sorting.
+//! Two structural tricks keep it fast:
+//!
+//! * **histogram subtraction** — after a split, only the smaller child's
+//!   histogram is accumulated; the sibling's is the parent's minus the
+//!   child's (exact for integer-valued weights, which covers the unit
+//!   weights of plain/forest training).
+//! * **small-node exact fallback** — below
+//!   [`HIST_NODE_EXACT_CUTOFF`] samples the sort-based search is cheaper
+//!   than zeroing and sweeping 256-bin histograms, so tiny nodes drop to
+//!   `best_split`. The fallback is part of the Hist algorithm's
+//!   definition, not an approximation: it searches the same candidate
+//!   partitions or better.
+
+use crate::binned::BinnedDataset;
+use crate::tree::split::{Criterion, Split, SplitScratch};
+
+/// Nodes smaller than this use the exact sort-based split search even on
+/// the Hist path — histogram zero/sweep overhead dominates tiny nodes.
+pub(crate) const HIST_NODE_EXACT_CUTOFF: usize = 256;
+
+/// Maximum node depth at which the subtraction trick still keeps parent
+/// histograms alive; deeper nodes rebuild from scratch. Bounds the pool
+/// to one buffer per level of one root-to-leaf path.
+pub(crate) const MAX_SUB_DEPTH: usize = 24;
+
+/// A class-weight histogram over every (feature, bin) of a
+/// [`BinnedDataset`], flattened: the slot of feature `f`, bin `b`, class
+/// `c` is `w[(binned.bin_offset(f) + b) * n_classes + c]`, with the
+/// matching unweighted sample count in `cnt`.
+pub(crate) struct ClassHist {
+    w: Vec<f64>,
+    cnt: Vec<u32>,
+}
+
+impl ClassHist {
+    fn new(total_bins: usize, n_classes: usize) -> Self {
+        ClassHist {
+            w: vec![0.0; total_bins * n_classes],
+            cnt: vec![0; total_bins],
+        }
+    }
+
+    fn zero(&mut self) {
+        self.w.iter_mut().for_each(|v| *v = 0.0);
+        self.cnt.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Zeroes only the bin ranges of `features` — the per-node feature
+    /// sampling path touches a handful of columns, so zeroing the whole
+    /// buffer would dwarf the accumulation itself.
+    pub(crate) fn zero_features(
+        &mut self,
+        binned: &BinnedDataset,
+        features: &[usize],
+        n_classes: usize,
+    ) {
+        for &f in features {
+            let lo = binned.bin_offset(f);
+            let hi = lo + binned.n_bins(f);
+            self.w[lo * n_classes..hi * n_classes]
+                .iter_mut()
+                .for_each(|v| *v = 0.0);
+            self.cnt[lo..hi].iter_mut().for_each(|v| *v = 0);
+        }
+    }
+
+    /// Accumulates the node's samples into the ranges of `features`.
+    pub(crate) fn accumulate(
+        &mut self,
+        binned: &BinnedDataset,
+        features: &[usize],
+        indices: &[usize],
+        y: &[usize],
+        weights: &[f64],
+        n_classes: usize,
+    ) {
+        for &f in features {
+            let off = binned.bin_offset(f);
+            let col = binned.column(f);
+            for &i in indices {
+                let slot = off + col[i] as usize;
+                self.w[slot * n_classes + y[i]] += weights[i];
+                self.cnt[slot] += 1;
+            }
+        }
+    }
+
+    /// `self -= child`, turning a parent histogram into the sibling's.
+    pub(crate) fn subtract(&mut self, child: &ClassHist) {
+        for (p, c) in self.w.iter_mut().zip(&child.w) {
+            *p -= c;
+        }
+        for (p, c) in self.cnt.iter_mut().zip(&child.cnt) {
+            *p -= c;
+        }
+    }
+}
+
+/// Reusable buffers of one histogram-mode tree fit. Fields are borrowed
+/// disjointly by the tree builder, hence the crate visibility.
+pub(crate) struct HistScratch {
+    n_classes: usize,
+    total_bins: usize,
+    /// Work buffer of the feature-sampling path (zeroed per node, sampled
+    /// ranges only; never enters the pool).
+    pub(crate) work: ClassHist,
+    /// Pool of full histograms for the subtraction trick.
+    pool: Vec<ClassHist>,
+    /// Scratch of the small-node exact fallback.
+    pub(crate) exact: SplitScratch,
+    /// Left/right class-weight buffers of the sweep.
+    pub(crate) left: Vec<f64>,
+    pub(crate) right: Vec<f64>,
+}
+
+impl HistScratch {
+    pub(crate) fn new(n_classes: usize, binned: &BinnedDataset) -> Self {
+        let total_bins = binned.total_bins();
+        HistScratch {
+            n_classes,
+            total_bins,
+            work: ClassHist::new(total_bins, n_classes),
+            pool: Vec::new(),
+            exact: SplitScratch::new(n_classes),
+            left: vec![0.0; n_classes],
+            right: vec![0.0; n_classes],
+        }
+    }
+
+    /// A zeroed full histogram, reusing a pooled buffer when available.
+    pub(crate) fn take_zeroed(&mut self) -> ClassHist {
+        match self.pool.pop() {
+            Some(mut h) => {
+                h.zero();
+                h
+            }
+            None => ClassHist::new(self.total_bins, self.n_classes),
+        }
+    }
+
+    /// Returns a histogram buffer to the pool.
+    pub(crate) fn put(&mut self, h: ClassHist) {
+        self.pool.push(h);
+    }
+}
+
+/// A split found by the histogram sweep: the raw-space [`Split`] plus the
+/// bin boundary it corresponds to (samples with `code <= bin` go left).
+pub(crate) struct HistSplit {
+    pub(crate) split: Split,
+    pub(crate) bin: usize,
+}
+
+/// Sweeps a node histogram for the best boundary over `features`.
+///
+/// Candidate boundaries sit after each non-empty bin (a boundary after an
+/// empty bin yields the same partition as the previous one, only with a
+/// larger threshold — the sweep keeps the smallest, mirroring how the
+/// exact search only splits between values present in the node).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn best_split_hist(
+    hist: &ClassHist,
+    binned: &BinnedDataset,
+    features: &[usize],
+    criterion: Criterion,
+    min_samples_leaf: usize,
+    node_impurity: f64,
+    class_weights: &[f64],
+    node_weight: f64,
+    n_node: usize,
+    left: &mut [f64],
+    right: &mut [f64],
+) -> Option<HistSplit> {
+    let k = class_weights.len();
+    if k < 2 || node_weight <= 0.0 {
+        return None;
+    }
+    let mut best: Option<HistSplit> = None;
+
+    for &feature in features {
+        let nb = binned.n_bins(feature);
+        if nb < 2 {
+            continue;
+        }
+        let off = binned.bin_offset(feature);
+        left.iter_mut().for_each(|v| *v = 0.0);
+        let mut left_weight = 0.0;
+        let mut left_cnt = 0usize;
+
+        for b in 0..nb - 1 {
+            let c = hist.cnt[off + b] as usize;
+            if c > 0 {
+                let slot = (off + b) * k;
+                for (cl, &w) in left.iter_mut().zip(&hist.w[slot..slot + k]) {
+                    *cl += w;
+                    left_weight += w;
+                }
+                left_cnt += c;
+            } else {
+                continue; // boundary duplicates the previous partition
+            }
+            if left_cnt == n_node {
+                break; // nothing left on the right at any later boundary
+            }
+            if left_cnt < min_samples_leaf || n_node - left_cnt < min_samples_leaf {
+                continue;
+            }
+            let right_weight = node_weight - left_weight;
+            if left_weight <= 0.0 || right_weight <= 0.0 {
+                continue;
+            }
+            for ((r, &total), &l) in right.iter_mut().zip(class_weights).zip(left.iter()) {
+                *r = (total - l).max(0.0);
+            }
+            let imp_l = criterion.impurity(left, left_weight);
+            let imp_r = criterion.impurity(right, right_weight);
+            let weighted_child = (left_weight * imp_l + right_weight * imp_r) / node_weight;
+            let decrease = node_impurity - weighted_child;
+            if decrease <= 1e-12 {
+                continue;
+            }
+            let threshold = binned.split_value(feature, b);
+            // Same tie-break as the exact search: lower feature index,
+            // then lower threshold.
+            let is_better = match &best {
+                None => true,
+                Some(bst) => {
+                    decrease > bst.split.impurity_decrease
+                        || (decrease == bst.split.impurity_decrease
+                            && (feature, threshold) < (bst.split.feature, bst.split.threshold))
+                }
+            };
+            if is_better {
+                best = Some(HistSplit {
+                    split: Split {
+                        feature,
+                        threshold,
+                        impurity_decrease: decrease,
+                        n_left: left_cnt,
+                    },
+                    bin: b,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn dataset_and_bins(rows: &[Vec<f64>], y: Vec<usize>, k: usize) -> (Dataset, BinnedDataset) {
+        let n = rows.len();
+        let data = Dataset::from_rows(rows, y, k, vec![0; n], vec![]);
+        let binned = BinnedDataset::from_dataset(&data);
+        (data, binned)
+    }
+
+    #[test]
+    fn hist_sweep_matches_exact_on_lossless_bins() {
+        // Same dataset as split.rs's `finds_perfect_split`.
+        let (data, binned) = dataset_and_bins(
+            &[
+                vec![1.0, 5.0],
+                vec![2.0, 1.0],
+                vec![3.0, 5.0],
+                vec![4.0, 1.0],
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let indices = [0usize, 1, 2, 3];
+        let weights = [1.0; 4];
+        let mut scratch = HistScratch::new(2, &binned);
+        let mut hist = scratch.take_zeroed();
+        hist.accumulate(&binned, &[0, 1], &indices, &data.y, &weights, 2);
+        let imp = Criterion::Gini.impurity(&[2.0, 2.0], 4.0);
+        let (mut left, mut right) = (vec![0.0; 2], vec![0.0; 2]);
+        let hs = best_split_hist(
+            &hist,
+            &binned,
+            &[0, 1],
+            Criterion::Gini,
+            1,
+            imp,
+            &[2.0, 2.0],
+            4.0,
+            4,
+            &mut left,
+            &mut right,
+        )
+        .expect("split exists");
+        assert_eq!(hs.split.feature, 0);
+        assert_eq!(hs.split.threshold, 2.5);
+        assert_eq!(hs.split.impurity_decrease, 0.5);
+        assert_eq!(hs.split.n_left, 2);
+        assert_eq!(hs.bin, 1);
+    }
+
+    #[test]
+    fn subtraction_recovers_the_sibling() {
+        let (data, binned) = dataset_and_bins(
+            &[vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]],
+            vec![0, 0, 1, 1, 0],
+            2,
+        );
+        let weights = [1.0; 5];
+        let mut scratch = HistScratch::new(2, &binned);
+        let mut parent = scratch.take_zeroed();
+        parent.accumulate(&binned, &[0], &[0, 1, 2, 3, 4], &data.y, &weights, 2);
+        let mut small = scratch.take_zeroed();
+        small.accumulate(&binned, &[0], &[0, 1], &data.y, &weights, 2);
+        parent.subtract(&small);
+        let mut sibling = scratch.take_zeroed();
+        sibling.accumulate(&binned, &[0], &[2, 3, 4], &data.y, &weights, 2);
+        assert_eq!(parent.w, sibling.w);
+        assert_eq!(parent.cnt, sibling.cnt);
+    }
+
+    #[test]
+    fn empty_bins_are_not_candidate_boundaries() {
+        // The node only holds values {1, 4} of a column binned over
+        // {1,2,3,4}; the only candidate partition is between them, taken
+        // at the lowest representing boundary.
+        let (data, binned) = dataset_and_bins(
+            &[vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let node = [0usize, 3];
+        let weights = [1.0; 4];
+        let mut scratch = HistScratch::new(2, &binned);
+        let mut hist = scratch.take_zeroed();
+        hist.accumulate(&binned, &[0], &node, &data.y, &weights, 2);
+        let imp = Criterion::Gini.impurity(&[1.0, 1.0], 2.0);
+        let (mut left, mut right) = (vec![0.0; 2], vec![0.0; 2]);
+        let hs = best_split_hist(
+            &hist,
+            &binned,
+            &[0],
+            Criterion::Gini,
+            1,
+            imp,
+            &[1.0, 1.0],
+            2.0,
+            2,
+            &mut left,
+            &mut right,
+        )
+        .expect("split exists");
+        assert_eq!(hs.bin, 0, "boundary right after the bin of 1.0");
+        assert_eq!(hs.split.threshold, 1.5);
+        assert_eq!(hs.split.n_left, 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_enforced_on_counts() {
+        let (data, binned) = dataset_and_bins(
+            &[vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let weights = [1.0; 4];
+        let mut scratch = HistScratch::new(2, &binned);
+        let mut hist = scratch.take_zeroed();
+        hist.accumulate(&binned, &[0], &[0, 1, 2, 3], &data.y, &weights, 2);
+        let imp = Criterion::Gini.impurity(&[2.0, 2.0], 4.0);
+        let (mut left, mut right) = (vec![0.0; 2], vec![0.0; 2]);
+        let none = best_split_hist(
+            &hist,
+            &binned,
+            &[0],
+            Criterion::Gini,
+            3,
+            imp,
+            &[2.0, 2.0],
+            4.0,
+            4,
+            &mut left,
+            &mut right,
+        );
+        assert!(none.is_none());
+    }
+}

@@ -7,7 +7,10 @@
 //! gradient/hessian targets live in [`crate::boosting::regression_tree`].
 
 mod decision_tree;
+mod hist;
 mod split;
 
 pub use decision_tree::{DecisionTree, TreeConfig};
 pub use split::Criterion;
+
+pub(crate) use hist::{HIST_NODE_EXACT_CUTOFF, MAX_SUB_DEPTH};

@@ -84,26 +84,26 @@ pub(crate) fn best_split(
     node_impurity: f64,
     scratch: &mut SplitScratch,
 ) -> Option<Split> {
-    let n = indices.len();
     let n_classes = data.n_classes;
-    let total_weight: f64 = indices.iter().map(|&i| weights[i]).sum();
-    if total_weight <= 0.0 {
-        return None;
-    }
 
     let mut best: Option<Split> = None;
 
     for &feature in features {
+        // NaN feature values are skipped: they can't be ordered against a
+        // threshold, and `NaN <= t` is false at predict time anyway.
+        // `Dataset::from_rows` debug-asserts they never occur upstream.
         scratch.triples.clear();
-        scratch.triples.extend(
-            indices
-                .iter()
-                .map(|&i| (data.value(i, feature), data.y[i], weights[i])),
-        );
-        scratch
-            .triples
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
+        scratch.triples.extend(indices.iter().filter_map(|&i| {
+            let v = data.value(i, feature);
+            (!v.is_nan()).then_some((v, data.y[i], weights[i]))
+        }));
+        let n = scratch.triples.len();
+        scratch.triples.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+        let total_weight: f64 = scratch.triples.iter().map(|&(_, _, w)| w).sum();
+        if total_weight <= 0.0 {
+            continue;
+        }
         scratch.left_weights.iter_mut().for_each(|w| *w = 0.0);
         scratch.right_weights.iter_mut().for_each(|w| *w = 0.0);
         for &(_, c, w) in scratch.triples.iter() {
@@ -135,17 +135,24 @@ pub(crate) fn best_split(
             if decrease <= 1e-12 {
                 continue;
             }
+            // Midpoint threshold; guard against midpoint rounding to
+            // the left value for adjacent floats.
+            let mut threshold = 0.5 * (v_prev + v_here);
+            if threshold <= v_prev {
+                threshold = v_prev;
+            }
+            // Ties on impurity decrease break to the lower feature index,
+            // then the lower threshold, so the winner is independent of
+            // feature iteration order (and of thread count upstream).
             let is_better = match &best {
                 None => true,
-                Some(b) => decrease > b.impurity_decrease,
+                Some(b) => {
+                    decrease > b.impurity_decrease
+                        || (decrease == b.impurity_decrease
+                            && (feature, threshold) < (b.feature, b.threshold))
+                }
             };
             if is_better {
-                // Midpoint threshold; guard against midpoint rounding to
-                // the left value for adjacent floats.
-                let mut threshold = 0.5 * (v_prev + v_here);
-                if threshold <= v_prev {
-                    threshold = v_prev;
-                }
                 best = Some(Split {
                     feature,
                     threshold,
@@ -284,6 +291,90 @@ mod tests {
             &mut scratch,
         );
         assert!(split.is_none());
+    }
+
+    #[test]
+    fn nan_feature_values_are_skipped_not_fatal() {
+        // Feature 0 has a NaN on a class-1 row; the remaining values still
+        // separate the classes at 2.5. NaN must neither panic the sort nor
+        // participate in a candidate threshold.
+        let data = Dataset::from_rows_unchecked(
+            &[vec![1.0], vec![2.0], vec![3.0], vec![f64::NAN]],
+            vec![0, 0, 1, 1],
+            2,
+            vec![0; 4],
+        );
+        let mut scratch = SplitScratch::new(2);
+        let imp = Criterion::Gini.impurity(&[2.0, 2.0], 4.0);
+        let split = best_split(
+            &data,
+            &[0, 1, 2, 3],
+            &[1.0; 4],
+            &[0],
+            Criterion::Gini,
+            1,
+            imp,
+            &mut scratch,
+        )
+        .expect("split exists on the non-NaN values");
+        assert_eq!(split.feature, 0);
+        assert!((split.threshold - 2.5).abs() < 1e-12);
+        assert_eq!(split.n_left, 2, "NaN is not counted on the left");
+
+        // An all-NaN feature is simply unusable, like a constant one.
+        let all_nan = Dataset::from_rows_unchecked(
+            &[vec![f64::NAN], vec![f64::NAN]],
+            vec![0, 1],
+            2,
+            vec![0; 2],
+        );
+        let none = best_split(
+            &all_nan,
+            &[0, 1],
+            &[1.0; 2],
+            &[0],
+            Criterion::Gini,
+            1,
+            0.5,
+            &mut scratch,
+        );
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn equal_decrease_ties_break_to_lower_feature_then_threshold() {
+        // Both features separate the classes perfectly, with different
+        // thresholds; the tie must go to feature 0 regardless of the
+        // order features are offered in.
+        let data = Dataset::from_rows(
+            &[
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ],
+            vec![0, 0, 1, 1],
+            2,
+            vec![0; 4],
+            vec![],
+        );
+        let imp = Criterion::Gini.impurity(&[2.0, 2.0], 4.0);
+        for order in [[0usize, 1], [1, 0]] {
+            let mut scratch = SplitScratch::new(2);
+            let split = best_split(
+                &data,
+                &[0, 1, 2, 3],
+                &[1.0; 4],
+                &order,
+                Criterion::Gini,
+                1,
+                imp,
+                &mut scratch,
+            )
+            .expect("split exists");
+            assert_eq!(split.feature, 0, "offered as {order:?}");
+            assert!((split.threshold - 2.5).abs() < 1e-12);
+        }
     }
 
     #[test]

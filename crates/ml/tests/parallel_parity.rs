@@ -5,11 +5,12 @@
 //! (a thread-local pool override), which is exactly what the
 //! `TRAJ_NUM_THREADS=1` CI leg checks at the process level.
 
+use traj_ml::boosting::{GbdtConfig, GradientBoosting};
 use traj_ml::cv::{cross_validate, KFold};
 use traj_ml::dataset::Dataset;
-use traj_ml::forest::RandomForest;
+use traj_ml::forest::{ForestConfig, RandomForest};
 use traj_ml::tuning::forest_grid;
-use traj_ml::ClassifierKind;
+use traj_ml::{Classifier, ClassifierKind, SplitAlgo};
 use traj_runtime::Runtime;
 
 fn blob_data(n_per_class: usize, seed: u64) -> Dataset {
@@ -68,6 +69,60 @@ fn cross_validate_is_thread_count_invariant() {
 fn grid_search_is_thread_count_invariant() {
     let data = blob_data(25, 3);
     assert_parity(|| forest_grid(&data, &[3, 6], &[Some(3), None], &KFold::new(3, 1), 7).unwrap());
+}
+
+#[test]
+fn hist_forest_fit_is_thread_count_invariant() {
+    // Forcing SplitAlgo::Hist exercises parallel column binning plus the
+    // per-tree histogram fits on the shared pool.
+    let data = blob_data(40, 5);
+    assert_parity(|| {
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 12,
+            seed: 3,
+            split_algo: SplitAlgo::Hist,
+            ..ForestConfig::default()
+        });
+        forest.fit(&data);
+        (
+            forest.predict(&data),
+            forest.feature_importances(),
+            forest.oob_score(),
+        )
+    });
+}
+
+#[test]
+fn hist_cross_validate_is_thread_count_invariant() {
+    // The quantize-once CV path: bins are built in parallel once, folds
+    // fan out and index into them.
+    let data = blob_data(30, 6);
+    assert_parity(|| {
+        let factory = |seed: u64| -> Box<dyn Classifier> {
+            Box::new(RandomForest::new(ForestConfig {
+                n_estimators: 8,
+                seed,
+                split_algo: SplitAlgo::Hist,
+                ..ForestConfig::default()
+            }))
+        };
+        cross_validate(&factory, &data, &KFold::new(4, 1), 2).unwrap()
+    });
+}
+
+#[test]
+fn hist_gbdt_fit_is_thread_count_invariant() {
+    let data = blob_data(30, 7);
+    assert_parity(|| {
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 4,
+            max_depth: 3,
+            split_algo: SplitAlgo::Hist,
+            ..GbdtConfig::default()
+        });
+        gbdt.fit(&data);
+        (gbdt.predict(&data), gbdt.feature_importances())
+    });
 }
 
 #[test]

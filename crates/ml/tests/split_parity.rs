@@ -1,0 +1,284 @@
+//! Exact-vs-histogram split-search parity suite.
+//!
+//! The contract pinned here:
+//!
+//! * **Lossless quantization** — when every feature has ≤ 256 distinct
+//!   values, each distinct value gets its own bin, so with unit sample
+//!   weights the histogram path considers exactly the candidate set of
+//!   the exact sort-based search and class-weight sums are integer-valued
+//!   `f64`s. Training-set predictions and impurity-decrease importances
+//!   are then **bit-identical** between `SplitAlgo::Exact` and
+//!   `SplitAlgo::Hist`.
+//! * **Lossy quantization** — on continuous features (> 256 distinct
+//!   values) the two paths may choose slightly different splits, but
+//!   model quality must agree to well under one accuracy point.
+//! * Importances are normalised identically in both paths, so the
+//!   *ranking* they induce is stable across algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traj_ml::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
+use traj_ml::cv::{cross_validate, mean_accuracy, KFold};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::metrics::accuracy;
+use traj_ml::tree::{Criterion, DecisionTree, TreeConfig};
+use traj_ml::{Classifier, Dataset, SplitAlgo};
+
+/// A dataset whose feature values all lie on a grid of `n_distinct`
+/// integers, so quantile binning is lossless. The first half of the
+/// features are informative (non-overlapping value ranges per class);
+/// the rest are uniform noise.
+fn gridded_data(
+    n: usize,
+    n_features: usize,
+    n_distinct: usize,
+    n_classes: usize,
+    seed: u64,
+) -> Dataset {
+    assert!(n_distinct <= 256, "grid must stay losslessly binnable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spread = n_distinct / n_classes;
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % n_classes;
+        let row: Vec<f64> = (0..n_features)
+            .map(|f| {
+                if f < n_features / 2 {
+                    (class * spread + rng.gen_range(0..spread)) as f64
+                } else {
+                    rng.gen_range(0..n_distinct) as f64
+                }
+            })
+            .collect();
+        rows.push(row);
+        y.push(class);
+    }
+    Dataset::from_rows(&rows, y, n_classes, vec![0; n], vec![])
+}
+
+/// Continuous (lossy-binned) dataset with graded feature strengths:
+/// feature `j` carries the class signal scaled by `strengths[j]` plus
+/// unit noise, so the importance ranking is unambiguous.
+fn graded_data(n: usize, strengths: &[f64], n_classes: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % n_classes;
+        let row: Vec<f64> = strengths
+            .iter()
+            .map(|&s| class as f64 * s + rng.gen_range(-1.0..1.0))
+            .collect();
+        rows.push(row);
+        y.push(class);
+    }
+    Dataset::from_rows(&rows, y, n_classes, vec![0; n], vec![])
+}
+
+fn tree_config(algo: SplitAlgo) -> TreeConfig {
+    TreeConfig {
+        criterion: Criterion::Gini,
+        max_depth: Some(8),
+        min_samples_split: 2,
+        min_samples_leaf: 1,
+        max_features: None,
+        seed: 3,
+        split_algo: algo,
+    }
+}
+
+#[test]
+fn tree_hist_is_bit_identical_to_exact_on_lossless_bins() {
+    // 1500 rows: the root and upper nodes exceed the small-node exact
+    // fallback cutoff, so the histogram sweep genuinely runs.
+    let data = gridded_data(1500, 6, 50, 3, 41);
+    let mut exact = DecisionTree::new(tree_config(SplitAlgo::Exact));
+    let mut hist = DecisionTree::new(tree_config(SplitAlgo::Hist));
+    exact.fit(&data);
+    hist.fit(&data);
+
+    let pe: Vec<usize> = (0..data.len())
+        .map(|i| exact.predict_row(data.row(i)))
+        .collect();
+    let ph: Vec<usize> = (0..data.len())
+        .map(|i| hist.predict_row(data.row(i)))
+        .collect();
+    assert_eq!(pe, ph, "training-set predictions must match bit-for-bit");
+    assert_eq!(
+        exact.raw_importances(),
+        hist.raw_importances(),
+        "impurity decreases are integer-weighted sums, exact in f64"
+    );
+}
+
+#[test]
+fn forest_hist_is_bit_identical_to_exact_on_lossless_bins() {
+    let data = gridded_data(1500, 6, 40, 3, 42);
+    let config = |algo| ForestConfig {
+        n_estimators: 8,
+        max_depth: Some(10),
+        seed: 7,
+        split_algo: algo,
+        ..ForestConfig::default()
+    };
+    let mut exact = RandomForest::new(config(SplitAlgo::Exact));
+    let mut hist = RandomForest::new(config(SplitAlgo::Hist));
+    exact.fit(&data);
+    hist.fit(&data);
+
+    assert_eq!(exact.predict(&data), hist.predict(&data));
+    assert_eq!(
+        exact.oob_score(),
+        hist.oob_score(),
+        "OOB votes are cast on training rows, so they must agree exactly"
+    );
+    assert_eq!(
+        exact.feature_importances(),
+        hist.feature_importances(),
+        "importances are normalised identically in both paths"
+    );
+}
+
+#[test]
+fn forest_importance_top5_ranking_matches_exact_on_continuous_data() {
+    // Lossy bins (continuous values): split thresholds may differ, but
+    // the induced importance ranking of the clearly-graded top features
+    // must be stable across algorithms.
+    let strengths = [5.0, 4.0, 3.0, 2.0, 1.2, 0.4, 0.2, 0.1, 0.0, 0.0];
+    let data = graded_data(2000, &strengths, 2, 43);
+    let config = |algo| ForestConfig {
+        n_estimators: 10,
+        max_depth: Some(8),
+        seed: 5,
+        split_algo: algo,
+        ..ForestConfig::default()
+    };
+    let mut exact = RandomForest::new(config(SplitAlgo::Exact));
+    let mut hist = RandomForest::new(config(SplitAlgo::Hist));
+    exact.fit(&data);
+    hist.fit(&data);
+
+    let top5 = |imp: &[f64]| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..imp.len()).collect();
+        order.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]).then(a.cmp(&b)));
+        order.truncate(5);
+        order
+    };
+    let ie = exact.feature_importances();
+    let ih = hist.feature_importances();
+    assert!((ie.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!((ih.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert_eq!(
+        top5(&ie),
+        top5(&ih),
+        "top-5 importance ranking drifted: exact {ie:?} vs hist {ih:?}"
+    );
+}
+
+#[test]
+fn gbdt_hist_tracks_exact_within_one_accuracy_point() {
+    // Gradients/hessians are continuous, so per-side sums differ in the
+    // last ulp between accumulation orders; near-tied splits may flip.
+    let data = gridded_data(1200, 6, 60, 3, 44);
+    let config = |algo| GbdtConfig {
+        n_rounds: 5,
+        max_depth: 4,
+        seed: 2,
+        split_algo: algo,
+        ..GbdtConfig::default()
+    };
+    let mut exact = GradientBoosting::new(config(SplitAlgo::Exact));
+    let mut hist = GradientBoosting::new(config(SplitAlgo::Hist));
+    exact.fit(&data);
+    hist.fit(&data);
+    let ae = accuracy(&data.y, &exact.predict(&data));
+    let ah = accuracy(&data.y, &hist.predict(&data));
+    assert!((ae - ah).abs() < 0.01, "exact {ae} vs hist {ah}");
+}
+
+#[test]
+fn adaboost_hist_tracks_exact_within_one_accuracy_point() {
+    // Boosting weights are non-integer, so bit-parity is not guaranteed;
+    // quality must still agree.
+    let data = gridded_data(1000, 4, 30, 2, 45);
+    let config = |algo| AdaBoostConfig {
+        n_estimators: 10,
+        max_depth: 2,
+        split_algo: algo,
+        ..AdaBoostConfig::default()
+    };
+    let mut exact = AdaBoost::new(config(SplitAlgo::Exact));
+    let mut hist = AdaBoost::new(config(SplitAlgo::Hist));
+    exact.fit(&data);
+    hist.fit(&data);
+    let ae = accuracy(&data.y, &exact.predict(&data));
+    let ah = accuracy(&data.y, &hist.predict(&data));
+    assert!((ae - ah).abs() < 0.01, "exact {ae} vs hist {ah}");
+}
+
+#[test]
+fn cross_validate_hist_tracks_exact_within_one_accuracy_point() {
+    // End-to-end through the quantize-once CV path (bins built once,
+    // folds index into them via `fit_subset`).
+    let data = graded_data(900, &[4.0, 2.0, 0.5, 0.0], 3, 46);
+    let cv_with = |algo| {
+        let factory = move |seed: u64| -> Box<dyn Classifier> {
+            Box::new(RandomForest::new(ForestConfig {
+                n_estimators: 5,
+                max_depth: Some(8),
+                seed,
+                split_algo: algo,
+                ..ForestConfig::default()
+            }))
+        };
+        let scores = cross_validate(&factory, &data, &KFold::new(3, 1), 0).unwrap();
+        mean_accuracy(&scores)
+    };
+    let ae = cv_with(SplitAlgo::Exact);
+    let ah = cv_with(SplitAlgo::Hist);
+    assert!((ae - ah).abs() < 0.01, "exact {ae} vs hist {ah}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On arbitrary blob-shaped data — below 256 rows bins are lossless,
+    /// above they are lossy — the forest trained with histograms stays
+    /// within one accuracy point of the exact-trained forest.
+    #[test]
+    fn forest_hist_accuracy_delta_below_one_percent(
+        n in 180usize..420,
+        n_classes in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % n_classes;
+            rows.push(vec![
+                class as f64 * 3.0 + rng.gen_range(-1.0..1.0),
+                class as f64 * 1.5 + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(class);
+        }
+        let data = Dataset::from_rows(&rows, y, n_classes, vec![0; n], vec![]);
+        let config = |algo| ForestConfig {
+            n_estimators: 5,
+            max_depth: Some(8),
+            seed: 11,
+            split_algo: algo,
+            ..ForestConfig::default()
+        };
+        let mut exact = RandomForest::new(config(SplitAlgo::Exact));
+        let mut hist = RandomForest::new(config(SplitAlgo::Hist));
+        exact.fit(&data);
+        hist.fit(&data);
+        let ae = accuracy(&data.y, &exact.predict(&data));
+        let ah = accuracy(&data.y, &hist.predict(&data));
+        prop_assert!((ae - ah).abs() < 0.01, "exact {} vs hist {}", ae, ah);
+    }
+}

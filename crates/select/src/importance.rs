@@ -10,9 +10,10 @@
 
 use crate::{SelectionCurve, SelectionStep};
 use traj_ml::classifier::Classifier;
-use traj_ml::cv::{cross_validate, SplitError, Splitter};
+use traj_ml::cv::{cross_validate_prebinned, SplitError, Splitter};
 use traj_ml::dataset::Dataset;
 use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::BinnedDataset;
 
 /// Ranks every feature by random-forest impurity importance, descending.
 /// Returns `(feature_index, importance)` pairs.
@@ -39,8 +40,10 @@ pub fn rf_importance_ranking(data: &Dataset, n_estimators: usize, seed: u64) -> 
 
 /// Appends features in `ranking` order, cross-validating the growing set
 /// after each append (the Fig. 3a curve). Each prefix is scored by a
-/// parallel [`cross_validate`]; the prefixes themselves stay sequential
-/// because prefix *k* is a strict superset of prefix *k−1*.
+/// parallel [`traj_ml::cross_validate`]; the prefixes themselves stay
+/// sequential because prefix *k* is a strict superset of prefix *k−1*.
+/// The full feature space is quantized at most once up front; every
+/// prefix re-slices the shared bin codes.
 pub fn incremental_curve<F, S>(
     data: &Dataset,
     ranking: &[usize],
@@ -52,12 +55,22 @@ where
     F: Fn(u64) -> Box<dyn Classifier> + Sync + ?Sized,
     S: Splitter + Sync + ?Sized,
 {
+    let full_binned = factory(base_seed)
+        .benefits_from_binning(data.len())
+        .then(|| BinnedDataset::from_dataset(data));
     let mut selected: Vec<usize> = Vec::with_capacity(ranking.len());
     let mut steps = Vec::with_capacity(ranking.len());
     for &feature in ranking {
         selected.push(feature);
         let subset = data.select_features(&selected);
-        let scores = cross_validate(factory, &subset, splitter, base_seed)?;
+        let prefix_binned = full_binned.as_ref().map(|b| b.select_features(&selected));
+        let scores = cross_validate_prebinned(
+            factory,
+            &subset,
+            prefix_binned.as_ref(),
+            splitter,
+            base_seed,
+        )?;
         let accuracy = traj_ml::cv::mean_accuracy(&scores);
         let f1_weighted = traj_ml::cv::mean_f1_weighted(&scores);
         steps.push(SelectionStep {

@@ -66,11 +66,7 @@ pub fn mi_ranking(data: &Dataset, n_bins: usize) -> Vec<(usize, f64)> {
 fn quantile_bins(data: &Dataset, feature: usize, n_bins: usize) -> Vec<usize> {
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        data.value(a, feature)
-            .partial_cmp(&data.value(b, feature))
-            .expect("finite feature values")
-    });
+    order.sort_by(|&a, &b| data.value(a, feature).total_cmp(&data.value(b, feature)));
     let mut bins = vec![0usize; n];
     for (rank, &i) in order.iter().enumerate() {
         bins[i] = (rank * n_bins / n).min(n_bins - 1);

@@ -16,8 +16,11 @@
 use crate::importance::feature_name;
 use crate::{SelectionCurve, SelectionStep};
 use traj_ml::classifier::Classifier;
-use traj_ml::cv::{cross_validate, mean_accuracy, mean_f1_weighted, SplitError, Splitter};
+use traj_ml::cv::{
+    cross_validate_prebinned, mean_accuracy, mean_f1_weighted, SplitError, Splitter,
+};
 use traj_ml::dataset::Dataset;
+use traj_ml::BinnedDataset;
 
 /// Configuration of [`forward_select`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +71,13 @@ where
     let mut best_so_far = f64::NEG_INFINITY;
     let mut stale_steps = 0usize;
 
+    // Quantize the full feature space once; every candidate evaluation
+    // (a column mask) re-slices the shared bin codes instead of
+    // re-binning — the dominant cost of the O(d²) wrapper search.
+    let full_binned = factory(config.seed)
+        .benefits_from_binning(data.len())
+        .then(|| BinnedDataset::from_dataset(data));
+
     while selected.len() < budget && !remaining.is_empty() {
         // Evaluate every candidate in parallel, one task each.
         let scored: Vec<Result<(usize, f64, f64), SplitError>> =
@@ -76,7 +86,14 @@ where
                 trial.extend_from_slice(&selected);
                 trial.push(candidate);
                 let subset = data.select_features(&trial);
-                let scores = cross_validate(factory, &subset, splitter, config.seed)?;
+                let trial_binned = full_binned.as_ref().map(|b| b.select_features(&trial));
+                let scores = cross_validate_prebinned(
+                    factory,
+                    &subset,
+                    trial_binned.as_ref(),
+                    splitter,
+                    config.seed,
+                )?;
                 Ok((candidate, mean_accuracy(&scores), mean_f1_weighted(&scores)))
             });
         let mut results: Vec<(usize, f64, f64)> = scored.into_iter().collect::<Result<_, _>>()?;
