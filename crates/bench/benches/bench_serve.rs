@@ -103,7 +103,7 @@ fn bench_serve(c: &mut Criterion) {
     });
     group.finish();
     drop(client);
-    handle.stop();
+    handle.stop().expect("stop");
 }
 
 criterion_group!(benches, bench_serve);

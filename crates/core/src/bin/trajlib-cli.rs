@@ -21,7 +21,7 @@ use std::time::Duration;
 use traj_serve::artifact::{ModelArtifact, TrainSpec};
 use traj_serve::featurize::ServeFeatureSet;
 use traj_serve::registry::ModelRegistry;
-use traj_serve::server::{serve, ServerConfig};
+use traj_serve::server::{serve, DurabilityConfig, ServerConfig};
 use trajlib::geolife::loader::LoaderOptions;
 use trajlib::ml::metrics::ClassificationReport;
 use trajlib::ml::ErasedModel;
@@ -67,7 +67,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 serve   (--artifacts DIR | --artifact FILE.json) [--addr HOST:PORT]\n\
                  \x20         [--workers N] [--batch-max N] [--batch-delay-ms MS]\n\
                  \x20         [--ingest-gap-s SECS] [--ingest-min-points N] [--ingest-exact-cap N]\n\
-                 \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]"
+                 \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]\n\
+                 \x20         [--wal-dir DIR] [--wal-fsync always|interval|onclose]\n\
+                 \x20         [--wal-fsync-ms MS] [--wal-segment-bytes N] [--snapshot-interval-s SECS]"
             );
             Ok(())
         }
@@ -332,11 +334,51 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     config.stream.max_sessions = parsed(opts, "ingest-max-sessions", config.stream.max_sessions)?;
     config.stream.idle_timeout_s = parsed(opts, "ingest-idle-s", config.stream.idle_timeout_s)?;
 
+    if let Some(dir) = opts.get("wal-dir") {
+        let mut durability = DurabilityConfig::new(dir);
+        let fsync_ms: u64 = parsed(opts, "wal-fsync-ms", 50)?;
+        if let Some(name) = opts.get("wal-fsync") {
+            durability.fsync =
+                traj_serve::server::FsyncPolicy::parse(name, Duration::from_millis(fsync_ms))
+                    .ok_or_else(|| {
+                        format!("unknown --wal-fsync {name:?}; use always|interval|onclose")
+                    })?;
+        } else if opts.contains_key("wal-fsync-ms") {
+            durability.fsync =
+                traj_serve::server::FsyncPolicy::Interval(Duration::from_millis(fsync_ms));
+        }
+        durability.segment_bytes = parsed(opts, "wal-segment-bytes", durability.segment_bytes)?;
+        durability.snapshot_interval = Duration::from_secs(parsed(
+            opts,
+            "snapshot-interval-s",
+            durability.snapshot_interval.as_secs(),
+        )?);
+        config.durability = Some(durability);
+    } else if opts
+        .keys()
+        .any(|k| k.starts_with("wal-") || k == "snapshot-interval-s")
+    {
+        return Err(
+            "--wal-fsync/--wal-fsync-ms/--wal-segment-bytes/--snapshot-interval-s \
+                    require --wal-dir"
+                .to_owned(),
+        );
+    }
+
     let addr = opts
         .get("addr")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:8080");
     let names = registry.names();
+    let durability_line = config.durability.as_ref().map(|d| {
+        format!(
+            "durable ingest: {} (fsync {}, {} MiB segments, snapshot every {}s)",
+            d.dir.display(),
+            d.fsync.as_str(),
+            d.segment_bytes / (1024 * 1024),
+            d.snapshot_interval.as_secs()
+        )
+    });
     let handle = serve(addr, registry, config)?;
     println!(
         "serving {} model(s) [{}] on http://{}",
@@ -344,6 +386,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         names.join(", "),
         handle.addr()
     );
+    if let Some(line) = durability_line {
+        println!("{line}");
+    }
     println!(
         "endpoints: POST /predict  POST /predict_batch  POST /ingest  GET /healthz  GET /metrics"
     );

@@ -70,8 +70,11 @@ fn parse_args() -> Result<Args, String> {
 
 /// A request body destined for one connection, in send order.
 struct Plan {
-    /// `bodies[c]` is connection `c`'s ordered request sequence.
-    bodies: Vec<Vec<String>>,
+    /// `bodies[c]` is connection `c`'s ordered request sequence; the
+    /// flag marks final per-user `flush` requests, whose failure means
+    /// a segment close (and, on a durable server, its durability) was
+    /// never acknowledged.
+    bodies: Vec<Vec<(String, bool)>>,
     total_points: usize,
 }
 
@@ -96,7 +99,7 @@ fn build_plan(args: &Args) -> Plan {
         Some(m) => format!("\"model\":\"{m}\","),
         None => String::new(),
     };
-    let mut bodies: Vec<Vec<String>> = vec![Vec::new(); args.connections];
+    let mut bodies: Vec<Vec<(String, bool)>> = vec![Vec::new(); args.connections];
     let mut buffers: HashMap<u32, Vec<String>> = HashMap::new();
     let mut total_points = 0usize;
     let flush_body = |user: u32, points: &mut Vec<String>, flush: bool| -> String {
@@ -114,7 +117,7 @@ fn build_plan(args: &Args) -> Plan {
         total_points += 1;
         if buffer.len() >= args.chunk {
             let body = flush_body(user, buffer, false);
-            bodies[user as usize % args.connections].push(body);
+            bodies[user as usize % args.connections].push((body, false));
         }
     }
     // Tail chunks, then one flush per user to close open segments.
@@ -123,7 +126,7 @@ fn build_plan(args: &Args) -> Plan {
     for user in users {
         let buffer = buffers.get_mut(&user).expect("listed");
         let body = flush_body(user, buffer, true);
-        bodies[user as usize % args.connections].push(body);
+        bodies[user as usize % args.connections].push((body, true));
     }
     Plan {
         bodies,
@@ -136,14 +139,18 @@ struct WorkerStats {
     requests: u64,
     non_2xx: u64,
     transport_errors: u64,
+    /// Final per-user `flush` requests that did not get a 2xx — the
+    /// server never acknowledged closing (and durably recording) the
+    /// stream's last segment.
+    flush_failures: u64,
     predictions: u64,
     latencies_us: Vec<u64>,
 }
 
-fn worker(addr: &str, bodies: &[String]) -> WorkerStats {
+fn worker(addr: &str, bodies: &[(String, bool)]) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut client = None;
-    for body in bodies {
+    for (body, is_flush) in bodies {
         if client.is_none() {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -153,6 +160,9 @@ fn worker(addr: &str, bodies: &[String]) -> WorkerStats {
                 }
                 Err(_) => {
                     stats.transport_errors += 1;
+                    if *is_flush {
+                        stats.flush_failures += 1;
+                    }
                     continue; // Skips the body: counted as transport error.
                 }
             }
@@ -173,10 +183,16 @@ fn worker(addr: &str, bodies: &[String]) -> WorkerStats {
                     stats.predictions += response.matches("\"reason\":").count() as u64;
                 } else {
                     stats.non_2xx += 1;
+                    if *is_flush {
+                        stats.flush_failures += 1;
+                    }
                 }
             }
             Err(_) => {
                 stats.transport_errors += 1;
+                if *is_flush {
+                    stats.flush_failures += 1;
+                }
                 client = None;
             }
         }
@@ -230,6 +246,7 @@ fn main() -> ExitCode {
         all.requests += stats.requests;
         all.non_2xx += stats.non_2xx;
         all.transport_errors += stats.transport_errors;
+        all.flush_failures += stats.flush_failures;
         all.predictions += stats.predictions;
         all.latencies_us.extend(stats.latencies_us);
     }
@@ -249,7 +266,16 @@ fn main() -> ExitCode {
     );
     println!("non-2xx:           {:>10}", all.non_2xx);
     println!("transport errors:  {:>10}", all.transport_errors);
+    println!("flush failures:    {:>10}", all.flush_failures);
 
+    if all.flush_failures > 0 {
+        eprintln!(
+            "error: {} final flush request(s) were not acknowledged — open segments \
+             may be lost or not durable",
+            all.flush_failures
+        );
+        return ExitCode::FAILURE;
+    }
     if all.requests == 0 || all.non_2xx > 0 || all.transport_errors > 0 || all.predictions == 0 {
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,102 @@
+//! `wal_crash_child` — the ingesting half of the crash-consistency
+//! test (`tests/wal_crash.rs`).
+//!
+//! Ingests a deterministic point stream into a WAL-backed
+//! [`traj_stream::StreamEngine`] and prints `round N` after every
+//! interleaved batch round. The parent test SIGKILLs this process
+//! mid-ingest, recovers a fresh engine from the WAL directory, and
+//! bit-compares the recovered state against an uninterrupted reference
+//! fed the same prefix. The stream shape (users, points per user,
+//! batch size, the point generator) is part of the test contract and
+//! must stay in lockstep with `tests/wal_crash.rs`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use traj_geo::{Timestamp, TrajectoryPoint};
+use traj_stream::{recover, StreamConfig, StreamEngine};
+use traj_wal::{FsyncPolicy, SnapshotStore, Wal, WalConfig};
+
+/// Stream shape shared with `tests/wal_crash.rs`.
+const USERS: u32 = 64;
+const POINTS_PER_USER: u32 = 400;
+const BATCH: u32 = 7;
+
+/// Deterministic per-(user, index) point; duplicated verbatim in
+/// `tests/wal_crash.rs` so the parent can regenerate any prefix.
+fn crash_point(user: u32, i: u32) -> TrajectoryPoint {
+    let h = (user as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let jitter = |shift: u32| ((h >> shift) & 0xFFFF) as f64 / 65_536.0;
+    TrajectoryPoint::new(
+        39.0 + user as f64 * 0.01 + i as f64 * 1e-4 + jitter(16) * 1e-3,
+        116.0 + i as f64 * 1e-4 + jitter(32) * 1e-3,
+        Timestamp(i as i64 + 1),
+    )
+}
+
+/// Small `exact_cap` so summaries leave the exact phase early and the
+/// crash lands squarely on live P² estimator state.
+fn crash_config() -> StreamConfig {
+    StreamConfig {
+        exact_cap: 16,
+        n_shards: 4,
+        ..StreamConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            eprintln!("usage: wal_crash_child WAL_ROOT_DIR");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Arc::new(StreamEngine::new(crash_config()));
+    let store = match SnapshotStore::open(dir.join("snap")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: snapshot dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wal = match Wal::open(WalConfig {
+        fsync: FsyncPolicy::Always,
+        ..WalConfig::new(dir.join("wal"))
+    }) {
+        Ok((wal, _report)) => Arc::new(wal),
+        Err(e) => {
+            eprintln!("error: wal open: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = recover(&engine, &store, &wal) {
+        eprintln!("error: recover: {e}");
+        return ExitCode::FAILURE;
+    }
+    engine.attach_wal(Arc::clone(&wal));
+
+    let rounds = POINTS_PER_USER.div_ceil(BATCH);
+    let mut stdout = std::io::stdout();
+    for round in 0..rounds {
+        let start = round * BATCH;
+        let end = (start + BATCH).min(POINTS_PER_USER);
+        for user in 0..USERS {
+            let batch: Vec<TrajectoryPoint> = (start..end).map(|i| crash_point(user, i)).collect();
+            let report = engine.ingest(user, &batch, false);
+            if let Some(msg) = report.wal_error {
+                eprintln!("error: wal append: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+        // The parent waits for these lines to know how far ingestion
+        // got before it pulls the plug.
+        println!("round {round}");
+        let _ = stdout.flush();
+    }
+    println!("done");
+    ExitCode::SUCCESS
+}

@@ -50,4 +50,4 @@ pub mod server;
 
 pub use artifact::{ModelArtifact, TrainSpec};
 pub use registry::{LoadedModel, ModelRegistry, Prediction};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, DurabilityConfig, ServerConfig, ServerHandle};

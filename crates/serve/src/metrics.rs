@@ -6,7 +6,7 @@
 //! estimated from the histogram buckets (upper-bound interpolation).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Upper bounds (inclusive) of the latency buckets, in microseconds.
 const LATENCY_BOUNDS_US: [u64; 14] = [
@@ -231,6 +231,188 @@ impl IngestMetrics {
     }
 }
 
+/// Durability metrics: WAL volume, fsync latency, snapshot cadence and
+/// the last recovery's outcome. Dormant (`"enabled": false`) unless the
+/// server runs with a WAL attached.
+///
+/// The WAL counters mirror [`traj_wal::WalStats`] — synced from the
+/// authoritative log on `/metrics` renders and maintenance ticks — while
+/// the fsync histogram is fed push-style through the log's sync
+/// observer, reusing the same lock-free [`Histogram`] as the latency
+/// metrics.
+#[derive(Debug)]
+pub struct DurabilityMetrics {
+    enabled: AtomicBool,
+    /// Highest assigned LSN (WAL snapshot).
+    pub wal_last_lsn: AtomicU64,
+    /// Live segment files (WAL snapshot).
+    pub wal_segments: AtomicU64,
+    /// Bytes across live segments (WAL snapshot).
+    pub wal_live_bytes: AtomicU64,
+    /// Records appended since open (WAL snapshot).
+    pub wal_appended_records: AtomicU64,
+    /// Frame bytes appended since open (WAL snapshot).
+    pub wal_appended_bytes: AtomicU64,
+    /// Fsyncs performed since open (WAL snapshot).
+    pub wal_syncs: AtomicU64,
+    /// Failed append batches (engine snapshot): accepted state that is
+    /// not durable.
+    pub wal_append_errors: AtomicU64,
+    /// Fsync duration, microseconds (fed by the WAL's sync observer).
+    pub fsync_us: Histogram,
+    /// Snapshots written since start.
+    pub snapshots_written: AtomicU64,
+    /// Snapshot writes that failed (the WAL keeps growing meanwhile).
+    pub snapshot_errors: AtomicU64,
+    /// LSN of the newest snapshot.
+    pub snapshot_lsn: AtomicU64,
+    /// Sessions captured in the newest snapshot.
+    pub snapshot_sessions: AtomicU64,
+    /// Snapshot encode+write+truncate duration, microseconds.
+    pub snapshot_write_us: Histogram,
+    /// Seconds since start at the last snapshot write (0 = never).
+    last_snapshot_s: AtomicU64,
+    /// Sessions restored by the boot-time recovery.
+    pub recovered_sessions: AtomicU64,
+    /// WAL records applied by the boot-time recovery.
+    pub recovered_records: AtomicU64,
+    /// Boot-time recovery duration, milliseconds.
+    pub recovery_ms: AtomicU64,
+    /// Repair/skip diagnostics the recovery logged.
+    pub recovery_diagnostics: AtomicU64,
+    started: std::time::Instant,
+}
+
+impl DurabilityMetrics {
+    fn new() -> DurabilityMetrics {
+        DurabilityMetrics {
+            enabled: AtomicBool::new(false),
+            wal_last_lsn: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
+            wal_live_bytes: AtomicU64::new(0),
+            wal_appended_records: AtomicU64::new(0),
+            wal_appended_bytes: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
+            wal_append_errors: AtomicU64::new(0),
+            fsync_us: Histogram::new(&LATENCY_BOUNDS_US),
+            snapshots_written: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+            snapshot_lsn: AtomicU64::new(0),
+            snapshot_sessions: AtomicU64::new(0),
+            snapshot_write_us: Histogram::new(&LATENCY_BOUNDS_US),
+            last_snapshot_s: AtomicU64::new(0),
+            recovered_sessions: AtomicU64::new(0),
+            recovered_records: AtomicU64::new(0),
+            recovery_ms: AtomicU64::new(0),
+            recovery_diagnostics: AtomicU64::new(0),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Marks durability active (renders the full section).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a WAL is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Stores an authoritative WAL snapshot into the mirrored counters.
+    pub fn sync_wal(&self, stats: &traj_wal::WalStats, append_errors: u64) {
+        self.wal_last_lsn.store(stats.last_lsn, Ordering::Relaxed);
+        self.wal_segments
+            .store(stats.segments as u64, Ordering::Relaxed);
+        self.wal_live_bytes
+            .store(stats.live_bytes, Ordering::Relaxed);
+        self.wal_appended_records
+            .store(stats.appended_records, Ordering::Relaxed);
+        self.wal_appended_bytes
+            .store(stats.appended_bytes, Ordering::Relaxed);
+        self.wal_syncs.store(stats.syncs, Ordering::Relaxed);
+        self.wal_append_errors
+            .store(append_errors, Ordering::Relaxed);
+    }
+
+    /// Records one snapshot write (covering `lsn`, holding `sessions`).
+    pub fn record_snapshot(&self, lsn: u64, sessions: u64, write_us: u64) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_lsn.store(lsn, Ordering::Relaxed);
+        self.snapshot_sessions.store(sessions, Ordering::Relaxed);
+        self.snapshot_write_us.record(write_us);
+        self.last_snapshot_s
+            .store(self.started.elapsed().as_secs().max(1), Ordering::Relaxed);
+    }
+
+    /// Stores the boot-time recovery outcome.
+    pub fn record_recovery(&self, report: &traj_stream::RecoveryReport) {
+        self.recovered_sessions
+            .store(report.snapshot_sessions as u64, Ordering::Relaxed);
+        self.recovered_records
+            .store(report.applied_records, Ordering::Relaxed);
+        self.recovery_ms.store(report.elapsed_ms, Ordering::Relaxed);
+        self.recovery_diagnostics
+            .store(report.diagnostics.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Seconds since the last snapshot write, or `None` before the first.
+    pub fn snapshot_age_s(&self) -> Option<u64> {
+        let at = self.last_snapshot_s.load(Ordering::Relaxed);
+        if at == 0 {
+            return None;
+        }
+        Some(self.started.elapsed().as_secs().saturating_sub(at))
+    }
+
+    fn render_json(&self) -> String {
+        if !self.is_enabled() {
+            return "{\"enabled\": false}".to_owned();
+        }
+        let fsync = &self.fsync_us;
+        let snap = &self.snapshot_write_us;
+        let age = self
+            .snapshot_age_s()
+            .map_or("null".to_owned(), |s| s.to_string());
+        format!(
+            "{{\"enabled\": true, \"wal_last_lsn\": {}, \"wal_segments\": {}, \
+             \"wal_live_bytes\": {}, \"wal_appended_records\": {}, \"wal_appended_bytes\": {}, \
+             \"wal_syncs\": {}, \"wal_append_errors\": {}, \
+             \"fsync_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {}}}, \
+             \"snapshots_written\": {}, \"snapshot_errors\": {}, \"snapshot_lsn\": {}, \
+             \"snapshot_sessions\": {}, \"snapshot_age_s\": {}, \
+             \"snapshot_write_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}}}, \
+             \"recovery\": {{\"sessions\": {}, \"wal_records_applied\": {}, \"elapsed_ms\": {}, \"diagnostics\": {}}}}}",
+            self.wal_last_lsn.load(Ordering::Relaxed),
+            self.wal_segments.load(Ordering::Relaxed),
+            self.wal_live_bytes.load(Ordering::Relaxed),
+            self.wal_appended_records.load(Ordering::Relaxed),
+            self.wal_appended_bytes.load(Ordering::Relaxed),
+            self.wal_syncs.load(Ordering::Relaxed),
+            self.wal_append_errors.load(Ordering::Relaxed),
+            fsync.count(),
+            fsync.mean(),
+            fsync.quantile(0.50),
+            fsync.quantile(0.95),
+            fsync.quantile(0.99),
+            render_buckets(&fsync.snapshot()),
+            self.snapshots_written.load(Ordering::Relaxed),
+            self.snapshot_errors.load(Ordering::Relaxed),
+            self.snapshot_lsn.load(Ordering::Relaxed),
+            self.snapshot_sessions.load(Ordering::Relaxed),
+            age,
+            snap.count(),
+            snap.mean(),
+            snap.quantile(0.50),
+            snap.quantile(0.99),
+            self.recovered_sessions.load(Ordering::Relaxed),
+            self.recovered_records.load(Ordering::Relaxed),
+            self.recovery_ms.load(Ordering::Relaxed),
+            self.recovery_diagnostics.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// All serving metrics; shared across workers behind an `Arc`.
 #[derive(Debug)]
 pub struct ServeMetrics {
@@ -248,6 +430,8 @@ pub struct ServeMetrics {
     pub batch_size: Histogram,
     /// Streaming-ingestion gauges and histograms.
     pub ingest: IngestMetrics,
+    /// WAL / snapshot / recovery metrics (dormant without a WAL).
+    pub durability: DurabilityMetrics,
     /// Predictions served per registry model name.
     per_model: BTreeMap<String, AtomicU64>,
 }
@@ -263,6 +447,7 @@ impl ServeMetrics {
             latency_us: Histogram::new(&LATENCY_BOUNDS_US),
             batch_size: Histogram::new(&BATCH_BOUNDS),
             ingest: IngestMetrics::new(),
+            durability: DurabilityMetrics::new(),
             per_model: model_names
                 .iter()
                 .map(|n| (n.clone(), AtomicU64::new(0)))
@@ -321,6 +506,10 @@ impl ServeMetrics {
             render_buckets(&batch.snapshot()),
         ));
         out.push_str(&format!("  \"ingest\": {},\n", self.ingest.render_json()));
+        out.push_str(&format!(
+            "  \"durability\": {},\n",
+            self.durability.render_json()
+        ));
         out.push_str("  \"predictions_per_model\": {");
         let mut first = true;
         for (name, counter) in &self.per_model {

@@ -29,11 +29,42 @@ use crate::registry::{ModelRegistry, Prediction};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+pub use traj_wal::FsyncPolicy;
+use traj_wal::{SnapshotStore, Wal, WalConfig};
+
+/// Durable-ingest tunables; see `DESIGN.md` §11.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory for durable state (`wal/` segments and
+    /// `snapshots/` are created beneath it).
+    pub dir: PathBuf,
+    /// When WAL appends are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// WAL segment roll size.
+    pub segment_bytes: u64,
+    /// How often open-session state is snapshotted (and the WAL
+    /// truncated past the covered LSN).
+    pub snapshot_interval: Duration,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default 50 ms fsync interval,
+    /// 64 MiB segments and 30 s snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+            segment_bytes: 64 * 1024 * 1024,
+            snapshot_interval: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -51,6 +82,9 @@ pub struct ServerConfig {
     pub stream: traj_stream::StreamConfig,
     /// How often the background sweeper scans for idle sessions.
     pub idle_sweep_interval: Duration,
+    /// Durable ingestion (WAL + snapshots); `None` keeps stream state
+    /// memory-only.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +96,7 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             stream: traj_stream::StreamConfig::default(),
             idle_sweep_interval: Duration::from_secs(30),
+            durability: None,
         }
     }
 }
@@ -182,14 +217,20 @@ struct AppState {
 }
 
 impl AppState {
-    /// Mirrors the engine's authoritative counters and gauges into the
-    /// `/metrics` snapshot.
+    /// Mirrors the engine's (and, when attached, the WAL's)
+    /// authoritative counters and gauges into the `/metrics` snapshot.
     fn sync_ingest_metrics(&self) {
+        let stats = self.engine.stats();
         self.metrics.ingest.sync_engine(
-            &self.engine.stats(),
+            &stats,
             self.engine.open_sessions() as u64,
             self.engine.state_bytes() as u64,
         );
+        if let Some(wal) = self.engine.wal() {
+            self.metrics
+                .durability
+                .sync_wal(&wal.stats(), stats.wal_append_errors);
+        }
     }
 }
 
@@ -198,7 +239,10 @@ impl AppState {
 fn route(state: &AppState, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(state),
-        ("GET", "/metrics") => (200, state.metrics.render_json()),
+        ("GET", "/metrics") => {
+            state.sync_ingest_metrics();
+            (200, state.metrics.render_json())
+        }
         ("POST", "/predict") => handle_predict(state, &request.body),
         ("POST", "/predict_batch") => handle_predict_batch(state, &request.body),
         ("POST", "/ingest") => handle_ingest(state, &request.body),
@@ -349,6 +393,16 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
     let points = points_of(&parsed.points);
     let flush = parsed.flush.unwrap_or(false);
     let report = state.engine.ingest(parsed.user, &points, flush);
+    if let Some(msg) = &report.wal_error {
+        // The in-memory state advanced but the WAL rejected the records:
+        // the accepted points are NOT durable. Fail the request so the
+        // client knows this batch may not survive a restart.
+        state.sync_ingest_metrics();
+        return (
+            500,
+            error_body(&format!("wal append failed; batch not durable: {msg}")),
+        );
+    }
 
     let mut predictions = Vec::with_capacity(report.closed.len());
     for closed in &report.closed {
@@ -407,13 +461,48 @@ fn class_names_of(scheme: &traj_geo::LabelScheme) -> Vec<String> {
 
 // ----------------------------------------------------------------- server
 
+/// The WAL + snapshot store of a durably-configured server.
+struct DurabilityResources {
+    wal: Arc<Wal>,
+    store: Arc<SnapshotStore>,
+    /// LSN of the snapshot recovery loaded (seeds the skip-if-unchanged
+    /// check of the snapshot thread).
+    recovered_lsn: u64,
+}
+
+/// Encodes the open sessions, writes the snapshot atomically and
+/// truncates the WAL past the covered LSN. Returns the snapshot's LSN.
+fn write_snapshot(
+    engine: &traj_stream::StreamEngine,
+    store: &SnapshotStore,
+    wal: &Wal,
+    metrics: &ServeMetrics,
+) -> Result<u64, String> {
+    let started = Instant::now();
+    let snap = engine.export_snapshot();
+    store
+        .write(snap.lsn, &snap.payload)
+        .map_err(|e| format!("writing snapshot at lsn {}: {e}", snap.lsn))?;
+    wal.truncate_until(snap.lsn)
+        .map_err(|e| format!("truncating wal to lsn {}: {e}", snap.lsn))?;
+    metrics.durability.record_snapshot(
+        snap.lsn,
+        snap.sessions as u64,
+        started.elapsed().as_micros() as u64,
+    );
+    Ok(snap.lsn)
+}
+
 /// A running server; dropping or [`ServerHandle::stop`] shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     sweep_thread: Option<JoinHandle<()>>,
+    wal_thread: Option<JoinHandle<()>>,
     runtime: Option<Arc<traj_runtime::Runtime>>,
+    state: Arc<AppState>,
+    durability: Option<DurabilityResources>,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -428,11 +517,18 @@ impl ServerHandle {
         Arc::clone(&self.metrics)
     }
 
-    /// Stops accepting, drains in-flight connections and joins every
-    /// thread.
-    pub fn stop(&mut self) {
+    /// Stops accepting, drains in-flight connections, joins every thread
+    /// and — when durability is configured — performs the final flush:
+    /// one WAL sync plus one snapshot of the surviving sessions, so a
+    /// restart recovers without replaying the tail.
+    ///
+    /// `Err` means the server stopped but the final flush failed — the
+    /// last accepted batches may not be durable. Callers that promised
+    /// durability to their clients must surface this (the CLI and
+    /// `stream_replay` exit non-zero).
+    pub fn stop(&mut self) -> Result<(), String> {
         if !self.running.swap(false, Ordering::SeqCst) {
-            return;
+            return Ok(());
         }
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -442,16 +538,45 @@ impl ServerHandle {
         if let Some(t) = self.sweep_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.wal_thread.take() {
+            let _ = t.join();
+        }
         // The acceptor has exited, so ours is the last reference:
         // dropping it shuts the pool down gracefully — already-queued
         // connections are served to completion, then workers are joined.
+        // Only after that drain is the engine quiescent enough for the
+        // final flush below to cover every accepted point.
         self.runtime.take();
+
+        let mut errors = Vec::new();
+        if let Some(res) = self.durability.take() {
+            if let Err(e) = res.wal.sync() {
+                errors.push(format!("final wal sync: {e}"));
+            }
+            match write_snapshot(
+                &self.state.engine,
+                &res.store,
+                &res.wal,
+                &self.state.metrics,
+            ) {
+                Ok(_) => {}
+                Err(e) => errors.push(format!("final snapshot: {e}")),
+            }
+            self.state.sync_ingest_metrics();
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("; "))
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop();
+        // Drop still drains and flushes; failures have nowhere to go
+        // from a destructor, so callers that care call stop() directly.
+        let _ = self.stop();
     }
 }
 
@@ -471,14 +596,100 @@ pub fn serve(
     let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
 
     let metrics = Arc::new(ServeMetrics::new(&registry.names()));
+
+    // Durable ingest: recover stream state from snapshot + WAL replay
+    // BEFORE the listener starts accepting, so the first request already
+    // sees the pre-restart sessions.
+    let engine = traj_stream::StreamEngine::new(config.stream);
+    let mut durability: Option<DurabilityResources> = None;
+    if let Some(d) = &config.durability {
+        let store = SnapshotStore::open(d.dir.join("snapshots"))
+            .map_err(|e| format!("opening snapshot dir under {}: {e}", d.dir.display()))?;
+        let (wal, open_report) = Wal::open(WalConfig {
+            dir: d.dir.join("wal"),
+            segment_bytes: d.segment_bytes,
+            fsync: d.fsync,
+        })
+        .map_err(|e| format!("opening wal under {}: {e}", d.dir.display()))?;
+        let wal = Arc::new(wal);
+        let report = traj_stream::recover(&engine, &store, &wal)
+            .map_err(|e| format!("recovering stream state: {e}"))?;
+        for diag in open_report.diagnostics.iter().chain(&report.diagnostics) {
+            eprintln!("traj-serve durability: {diag}");
+        }
+        engine.attach_wal(Arc::clone(&wal));
+        metrics.durability.enable();
+        metrics.durability.record_recovery(&report);
+        let fsync_metrics = Arc::clone(&metrics);
+        wal.set_sync_observer(Box::new(move |us| {
+            fsync_metrics.durability.fsync_us.record(us);
+        }));
+        durability = Some(DurabilityResources {
+            wal,
+            store: Arc::new(store),
+            recovered_lsn: report.snapshot_lsn,
+        });
+    }
+
     let batcher = MicroBatcher::new(config.batch, Arc::clone(&metrics));
     let state = Arc::new(AppState {
         registry,
         metrics: Arc::clone(&metrics),
         batcher,
-        engine: traj_stream::StreamEngine::new(config.stream),
+        engine,
     });
     let running = Arc::new(AtomicBool::new(true));
+
+    // WAL maintenance: drives the interval fsync policy and writes a
+    // snapshot (then truncates the WAL) whenever the log advanced since
+    // the last one.
+    let mut wal_thread = None;
+    if let (Some(res), Some(d)) = (&durability, &config.durability) {
+        let wal = Arc::clone(&res.wal);
+        let store = Arc::clone(&res.store);
+        let thread_state = Arc::clone(&state);
+        let thread_running = Arc::clone(&running);
+        let interval = d.snapshot_interval;
+        let mut last_written = res.recovered_lsn;
+        wal_thread = Some(
+            std::thread::Builder::new()
+                .name("traj-serve-wal".to_owned())
+                .spawn(move || {
+                    let mut last_snapshot = Instant::now();
+                    while thread_running.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        // A failed tick poisons the WAL; the next append
+                        // surfaces it as a 500, so nothing to do here.
+                        let _ = wal.tick();
+                        if last_snapshot.elapsed() < interval {
+                            continue;
+                        }
+                        last_snapshot = Instant::now();
+                        thread_state.sync_ingest_metrics();
+                        if wal.last_lsn() == last_written {
+                            continue; // nothing new to cover
+                        }
+                        match write_snapshot(
+                            &thread_state.engine,
+                            &store,
+                            &wal,
+                            &thread_state.metrics,
+                        ) {
+                            Ok(lsn) => last_written = lsn,
+                            Err(e) => {
+                                thread_state
+                                    .metrics
+                                    .durability
+                                    .snapshot_errors
+                                    .fetch_add(1, Ordering::Relaxed);
+                                eprintln!("traj-serve durability: {e}");
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawning wal maintenance: {e}"))?,
+        );
+    }
 
     // Idle-session sweeper: closes sessions with no recent points so
     // abandoned streams release their state. The resulting segments have
@@ -516,6 +727,7 @@ pub fn serve(
 
     let accept_running = Arc::clone(&running);
     let accept_runtime = Arc::clone(&runtime);
+    let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("traj-serve-accept".to_owned())
         .spawn(move || {
@@ -524,7 +736,7 @@ pub fn serve(
                     break;
                 }
                 if let Ok(stream) = stream {
-                    let state = Arc::clone(&state);
+                    let state = Arc::clone(&accept_state);
                     let config = config.clone();
                     accept_runtime.spawn(move || handle_connection(stream, &state, &config));
                 }
@@ -537,7 +749,10 @@ pub fn serve(
         running,
         accept_thread: Some(accept_thread),
         sweep_thread: Some(sweep_thread),
+        wal_thread,
         runtime: Some(runtime),
+        state,
+        durability,
         metrics,
     })
 }
@@ -655,8 +870,9 @@ mod tests {
         let (status, body) = client_request(&mut client, "GET", "/metrics", None).expect("metrics");
         assert_eq!(status, 200);
         assert!(body.contains("\"requests_total\""));
+        assert!(body.contains("\"durability\""));
 
-        handle.stop();
+        handle.stop().expect("stop");
     }
 
     #[test]

@@ -133,7 +133,7 @@ fn ingest_closes_segments_and_matches_predict() {
     assert!(!body.contains("\"points_total\": 0,"), "{body}");
     assert!(body.contains("\"exact_closes\": 2"), "{body}");
 
-    handle.stop();
+    handle.stop().expect("stop");
 }
 
 #[test]
@@ -173,7 +173,7 @@ fn ingest_rejects_non_paper70_models_and_bad_input() {
     let (status, _) = client_request(&mut client, "GET", "/ingest", None).unwrap();
     assert_eq!(status, 405);
 
-    handle.stop();
+    handle.stop().expect("stop");
 }
 
 #[test]
@@ -213,7 +213,7 @@ fn idle_sweeper_closes_abandoned_sessions() {
         );
     }
 
-    handle.stop();
+    handle.stop().expect("stop");
 }
 
 /// Bounded soak: a synth slice streamed through `/ingest` chunk by
@@ -268,5 +268,5 @@ fn ingest_soak_bounded_state_zero_errors() {
         "session state unbounded: {max_state_bytes} bytes"
     );
 
-    handle.stop();
+    handle.stop().expect("stop");
 }

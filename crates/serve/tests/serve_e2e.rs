@@ -157,7 +157,7 @@ fn full_surface_end_to_end() {
     assert!(counter(&metrics, &["batch_size", "count"]) >= 1);
     assert!(counter(&metrics, &["predictions_per_model", "rf"]) >= 4);
 
-    handle.stop();
+    handle.stop().expect("stop");
 }
 
 #[test]
@@ -194,5 +194,5 @@ fn concurrent_clients_are_all_served() {
     let metrics: serde::Value = serde_json::from_str(&body).unwrap();
     assert!(counter(&metrics, &["responses_2xx"]) >= 100);
 
-    handle.stop();
+    handle.stop().expect("stop");
 }

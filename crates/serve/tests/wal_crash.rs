@@ -1,0 +1,167 @@
+//! Crash-consistency test: SIGKILL a WAL-backed ingester mid-stream,
+//! recover from its WAL directory, and demand bit-identical state.
+//!
+//! The child process (`src/bin/wal_crash_child.rs`) ingests a
+//! deterministic interleaved stream with per-record fsync and prints
+//! `round N` after each batch round. This parent kills it once enough
+//! rounds are in, recovers a fresh engine from the surviving WAL, and
+//! compares — session state bytes and closed-segment features,
+//! including live P² estimator internals — against an uninterrupted
+//! reference engine fed exactly the recovered prefix.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use traj_geo::{Timestamp, TrajectoryPoint, UserId};
+use traj_stream::{recover, snapshot_sessions, StreamConfig, StreamEngine};
+use traj_wal::{FsyncPolicy, SnapshotStore, Wal, WalConfig};
+
+/// Stream shape — must match `src/bin/wal_crash_child.rs`.
+const USERS: u32 = 64;
+const POINTS_PER_USER: u32 = 400;
+const BATCH: u32 = 7;
+
+/// Kill once this many rounds are confirmed ingested (and durable:
+/// the child fsyncs every record).
+const KILL_AFTER_ROUNDS: u32 = 20;
+
+/// Duplicated verbatim from `src/bin/wal_crash_child.rs`.
+fn crash_point(user: u32, i: u32) -> TrajectoryPoint {
+    let h = (user as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let jitter = |shift: u32| ((h >> shift) & 0xFFFF) as f64 / 65_536.0;
+    TrajectoryPoint::new(
+        39.0 + user as f64 * 0.01 + i as f64 * 1e-4 + jitter(16) * 1e-3,
+        116.0 + i as f64 * 1e-4 + jitter(32) * 1e-3,
+        Timestamp(i as i64 + 1),
+    )
+}
+
+fn crash_config() -> StreamConfig {
+    StreamConfig {
+        exact_cap: 16,
+        n_shards: 4,
+        ..StreamConfig::default()
+    }
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("traj-wal-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Full engine state as sorted per-session bytes, WAL cuts stripped.
+fn state_of(engine: &StreamEngine) -> Vec<(UserId, Vec<u8>)> {
+    snapshot_sessions(&engine.export_snapshot().payload)
+        .expect("decode snapshot payload")
+        .into_iter()
+        .map(|(user, _, bytes)| (user, bytes))
+        .collect()
+}
+
+#[test]
+fn sigkill_mid_ingest_recovers_bit_identical_state() {
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).expect("create test dir");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wal_crash_child"))
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn wal_crash_child");
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let mut rounds_seen = 0u32;
+    let mut finished = false;
+    for line in &mut lines {
+        let line = line.expect("child stdout");
+        if line.starts_with("round ") {
+            rounds_seen += 1;
+        }
+        if line == "done" {
+            finished = true;
+        }
+        if rounds_seen >= KILL_AFTER_ROUNDS || finished {
+            break;
+        }
+    }
+    assert!(
+        rounds_seen >= KILL_AFTER_ROUNDS || finished,
+        "child exited early after {rounds_seen} rounds"
+    );
+    // SIGKILL: no drop handlers, no final sync — only what the WAL
+    // already persisted survives.
+    child.kill().expect("kill child");
+    child.wait().expect("wait child");
+
+    let engine = Arc::new(StreamEngine::new(crash_config()));
+    let store = SnapshotStore::open(dir.join("snap")).expect("snapshot dir");
+    let (wal, open_report) = Wal::open(WalConfig {
+        fsync: FsyncPolicy::OnClose,
+        ..WalConfig::new(dir.join("wal"))
+    })
+    .expect("wal opens after SIGKILL");
+    for diag in &open_report.diagnostics {
+        eprintln!("wal open: {diag}");
+    }
+    let wal = Arc::new(wal);
+    let report = recover(&engine, &store, &wal).expect("recovery succeeds");
+
+    // Every confirmed round was fsynced per record before `round N`
+    // was printed, so at least that many points must have survived.
+    let confirmed = u64::from(rounds_seen) * u64::from(USERS) * u64::from(BATCH);
+    assert!(
+        report.last_lsn >= confirmed,
+        "recovered {} records, expected at least {confirmed}",
+        report.last_lsn
+    );
+    assert_eq!(report.applied_records, report.wal_records);
+
+    // Reference: an uninterrupted engine fed exactly the recovered
+    // prefix, regenerated in the child's global ingest order.
+    let reference = StreamEngine::new(crash_config());
+    let mut remaining = report.last_lsn;
+    let rounds = POINTS_PER_USER.div_ceil(BATCH);
+    'feed: for round in 0..rounds {
+        let start = round * BATCH;
+        let end = (start + BATCH).min(POINTS_PER_USER);
+        for user in 0..USERS {
+            if remaining == 0 {
+                break 'feed;
+            }
+            let take = u64::from(end - start).min(remaining) as u32;
+            let batch: Vec<TrajectoryPoint> = (start..start + take)
+                .map(|i| crash_point(user, i))
+                .collect();
+            reference.ingest(user, &batch, false);
+            remaining -= u64::from(take);
+        }
+    }
+    assert_eq!(
+        remaining, 0,
+        "WAL claims more records than the child generates"
+    );
+
+    assert_eq!(
+        state_of(&engine),
+        state_of(&reference),
+        "recovered session state differs from the uninterrupted reference"
+    );
+
+    // The recovered engine keeps producing identical features.
+    let mut a = engine.flush_all();
+    let mut b = reference.flush_all();
+    a.sort_by_key(|c| c.user);
+    b.sort_by_key(|c| c.user);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.user, y.user);
+        assert_eq!(x.n_points, y.n_points);
+        assert_eq!(x.features, y.features, "user {} features diverge", x.user);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

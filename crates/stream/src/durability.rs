@@ -1,0 +1,495 @@
+//! Durable stream state: WAL record payloads, the snapshot payload
+//! layout, and replay-on-boot recovery.
+//!
+//! ## What gets logged
+//!
+//! Two record kinds cover every state mutation of the engine:
+//!
+//! * [`WalRecord::Point`] — a point *accepted* by a session (points the
+//!   timestamp policy drops are never logged: replaying them would drop
+//!   them again, so logging them only burns bytes);
+//! * [`WalRecord::Close`] — an explicit close (request flush, idle
+//!   sweep, or cap eviction) that removed the session from the engine.
+//!
+//! Gap closes are deliberately *not* logged: a gap close is a pure
+//! function of the point stream (the gap point both closes the old
+//! segment and opens the new one), so replaying the points reproduces
+//! it. Explicit closes are not derivable from the points — they depend
+//! on wall-clock idleness and cap pressure at run time — which is
+//! exactly why they need records.
+//!
+//! ## Snapshot cuts and convergence
+//!
+//! A snapshot stores, per session, the WAL LSN observed (under that
+//! session's shard lock) when the session was encoded — its **cut**.
+//! Recovery restores the snapshot sessions, then replays the WAL tail,
+//! applying a record to a user only when the record's LSN exceeds that
+//! user's cut (users absent from the snapshot replay unconditionally).
+//! The cut is exact for captured sessions because appends and state
+//! mutations happen under the same shard lock; for absent users, any
+//! replayed prefix of their history either ends in a logged `Close`
+//! (leaving them absent again) or seamlessly continues into live state.
+//! The snapshot's own LSN — the minimum cut across shards — bounds WAL
+//! truncation: segments entirely at or below it can be deleted.
+//!
+//! Replay bypasses logging (nothing is re-appended), eviction (the
+//! pre-crash evictions are in the log as `Close` records) and segment
+//! emission (closed segments were already served before the crash).
+
+use crate::engine::StreamEngine;
+use crate::sessionizer::Session;
+use std::collections::HashMap;
+use std::io;
+use std::time::Instant;
+use traj_geo::{Timestamp, TrajectoryPoint, UserId};
+use traj_wal::codec::{self, CodecError, Reader};
+use traj_wal::{SnapshotStore, Wal};
+
+/// Snapshot payload layout version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+const TAG_POINT: u8 = 1;
+const TAG_CLOSE: u8 = 2;
+
+/// One durability record, as appended to the WAL by the engine's
+/// mutation paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalRecord {
+    /// A point accepted into `user`'s session.
+    Point {
+        /// Owner of the session.
+        user: UserId,
+        /// The accepted point.
+        point: TrajectoryPoint,
+    },
+    /// An explicit close (flush / idle / eviction) that removed `user`'s
+    /// session.
+    Close {
+        /// Owner of the removed session.
+        user: UserId,
+    },
+}
+
+impl WalRecord {
+    /// The user the record belongs to.
+    pub fn user(&self) -> UserId {
+        match *self {
+            WalRecord::Point { user, .. } | WalRecord::Close { user } => user,
+        }
+    }
+
+    /// Appends the record's payload encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            WalRecord::Point { user, point } => {
+                codec::put_u8(out, TAG_POINT);
+                codec::put_u32(out, user);
+                codec::put_i64(out, point.t.0);
+                codec::put_f64(out, point.lat);
+                codec::put_f64(out, point.lon);
+            }
+            WalRecord::Close { user } => {
+                codec::put_u8(out, TAG_CLOSE);
+                codec::put_u32(out, user);
+            }
+        }
+    }
+
+    /// The record's payload encoding as a fresh buffer.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a payload written by [`WalRecord::encode_into`].
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
+        let mut r = Reader::new(payload);
+        let record = match r.u8()? {
+            TAG_POINT => {
+                let user = r.u32()?;
+                let t = r.i64()?;
+                let lat = r.f64()?;
+                let lon = r.f64()?;
+                WalRecord::Point {
+                    user,
+                    point: TrajectoryPoint::new(lat, lon, Timestamp(t)),
+                }
+            }
+            TAG_CLOSE => WalRecord::Close { user: r.u32()? },
+            tag => return Err(CodecError::msg(format!("unknown record tag {tag}"))),
+        };
+        if !r.is_empty() {
+            return Err(CodecError::msg(format!(
+                "{} trailing bytes after record",
+                r.remaining()
+            )));
+        }
+        Ok(record)
+    }
+}
+
+/// An encoded engine snapshot, ready for
+/// [`traj_wal::SnapshotStore::write`].
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    /// The snapshot payload (pass to `SnapshotStore::write`).
+    pub payload: Vec<u8>,
+    /// The LSN the snapshot covers (minimum cut across shards; name the
+    /// snapshot with it and truncate the WAL up to it).
+    pub lsn: u64,
+    /// Sessions captured.
+    pub sessions: usize,
+}
+
+impl EngineSnapshot {
+    /// Assembles the payload from per-session encodings sorted by user.
+    pub(crate) fn assemble(
+        config: &crate::engine::StreamConfig,
+        entries: Vec<(UserId, u64, Vec<u8>)>,
+        min_cut: u64,
+    ) -> EngineSnapshot {
+        let sessions = entries.len();
+        let mut payload =
+            Vec::with_capacity(32 + entries.iter().map(|(_, _, b)| b.len() + 20).sum::<usize>());
+        codec::put_u32(&mut payload, SNAPSHOT_VERSION);
+        codec::put_f64(&mut payload, config.max_gap_s);
+        codec::put_len(&mut payload, config.min_points);
+        codec::put_len(&mut payload, config.exact_cap);
+        codec::put_len(&mut payload, sessions);
+        for (user, cut, bytes) in &entries {
+            codec::put_u32(&mut payload, *user);
+            codec::put_u64(&mut payload, *cut);
+            codec::put_len(&mut payload, bytes.len());
+            payload.extend_from_slice(bytes);
+        }
+        EngineSnapshot {
+            payload,
+            lsn: if min_cut == u64::MAX { 0 } else { min_cut },
+            sessions,
+        }
+    }
+}
+
+/// The per-session raw entries of a snapshot payload: `(user, cut LSN,
+/// encoded session bytes)`, sorted by user. The crash-consistency tests
+/// compare these byte-for-byte between a recovered and an uninterrupted
+/// engine.
+pub fn snapshot_sessions(payload: &[u8]) -> Result<Vec<(UserId, u64, Vec<u8>)>, CodecError> {
+    let mut r = Reader::new(payload);
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(CodecError::msg(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let _max_gap_s = r.f64()?;
+    let _min_points = r.len(0)?;
+    let _exact_cap = r.len(0)?;
+    let n = r.len(20)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = r.u32()?;
+        let cut = r.u64()?;
+        let len = r.len(1)?;
+        out.push((user, cut, r.bytes(len)?.to_vec()));
+    }
+    if !r.is_empty() {
+        return Err(CodecError::msg("trailing bytes after snapshot sessions"));
+    }
+    Ok(out)
+}
+
+/// What [`recover`] loaded and replayed.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot used (0 when none was found).
+    pub snapshot_lsn: u64,
+    /// Sessions restored from the snapshot.
+    pub snapshot_sessions: usize,
+    /// Records the WAL held (across all segments).
+    pub wal_records: u64,
+    /// Records actually applied after per-session cut gating.
+    pub applied_records: u64,
+    /// Highest LSN in the log after recovery.
+    pub last_lsn: u64,
+    /// Repair/skip notes from the snapshot store and record decoding.
+    pub diagnostics: Vec<String>,
+    /// Wall-clock recovery time in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Restores `engine` from the latest valid snapshot plus the WAL tail.
+///
+/// Call on an empty engine, before [`StreamEngine::attach_wal`] and
+/// before accepting traffic. Corrupt snapshots fall back to the previous
+/// generation (diagnostics note each skip); undecodable snapshot
+/// *payloads* are a hard error, because silently starting empty when the
+/// WAL has been truncated past the snapshot would lose sessions.
+pub fn recover(
+    engine: &StreamEngine,
+    store: &SnapshotStore,
+    wal: &Wal,
+) -> io::Result<RecoveryReport> {
+    let start = Instant::now();
+    let mut report = RecoveryReport::default();
+
+    let (snapshot, mut diagnostics) = store.load_latest()?;
+    report.diagnostics.append(&mut diagnostics);
+
+    let mut cuts: HashMap<UserId, u64> = HashMap::new();
+    if let Some(snapshot) = snapshot {
+        let entries = snapshot_sessions(&snapshot.payload)
+            .map_err(|e| io::Error::other(format!("undecodable snapshot payload: {e}")))?;
+        report.snapshot_lsn = snapshot.lsn;
+        report.snapshot_sessions = entries.len();
+        for (user, cut, bytes) in entries {
+            let session = Session::decode_from(&mut Reader::new(&bytes)).map_err(|e| {
+                io::Error::other(format!("undecodable session {user} in snapshot: {e}"))
+            })?;
+            cuts.insert(user, cut);
+            engine.restore_session(user, session);
+        }
+    }
+
+    let mut applied = 0u64;
+    let mut bad_records = 0u64;
+    let wal_records = wal.replay(|lsn, payload| match WalRecord::decode(payload) {
+        Ok(record) => {
+            let cut = cuts.get(&record.user()).copied().unwrap_or(0);
+            if lsn > cut {
+                engine.apply_replay(&record);
+                applied += 1;
+            }
+        }
+        Err(_) => bad_records += 1,
+    })?;
+    if bad_records > 0 {
+        report.diagnostics.push(format!(
+            "skipped {bad_records} undecodable WAL record payloads"
+        ));
+    }
+    report.wal_records = wal_records;
+    report.applied_records = applied;
+    report.last_lsn = wal.last_lsn();
+    report.elapsed_ms = start.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{StreamConfig, StreamEngine};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use traj_geo::geodesy::destination;
+    use traj_wal::{FsyncPolicy, WalConfig};
+
+    fn track(n: usize, start_s: i64, step_s: i64) -> Vec<TrajectoryPoint> {
+        let (mut lat, mut lon) = (39.9, 116.3);
+        (0..n)
+            .map(|i| {
+                let p = TrajectoryPoint::new(
+                    lat,
+                    lon,
+                    Timestamp::from_seconds(start_s + i as i64 * step_s),
+                );
+                let (nlat, nlon) = destination(lat, lon, (i as f64 * 31.0) % 360.0, 3.0);
+                lat = nlat;
+                lon = nlon;
+                p
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("traj-durability-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wal_in(dir: &std::path::Path) -> Arc<Wal> {
+        let config = WalConfig {
+            fsync: FsyncPolicy::OnClose,
+            ..WalConfig::new(dir.join("wal"))
+        };
+        Arc::new(Wal::open(config).expect("open wal").0)
+    }
+
+    fn engine_with_wal(dir: &std::path::Path) -> (Arc<StreamEngine>, Arc<Wal>) {
+        let engine = Arc::new(StreamEngine::new(StreamConfig::default()));
+        let store = SnapshotStore::open(dir.join("snap")).expect("snap dir");
+        let wal = wal_in(dir);
+        recover(&engine, &store, &wal).expect("recover");
+        engine.attach_wal(Arc::clone(&wal));
+        (engine, wal)
+    }
+
+    /// Compares full engine state via sorted per-session bytes (cuts
+    /// stripped, so engines with different WAL histories compare equal
+    /// when their sessions are identical).
+    fn state_of(engine: &StreamEngine) -> Vec<(UserId, Vec<u8>)> {
+        snapshot_sessions(&engine.export_snapshot().payload)
+            .expect("decode")
+            .into_iter()
+            .map(|(user, _, bytes)| (user, bytes))
+            .collect()
+    }
+
+    #[test]
+    fn record_payloads_round_trip() {
+        let records = [
+            WalRecord::Point {
+                user: 42,
+                point: TrajectoryPoint::new(39.9, 116.3, Timestamp(1234567)),
+            },
+            WalRecord::Close { user: 7 },
+        ];
+        for record in records {
+            let decoded = WalRecord::decode(&record.encoded()).expect("decode");
+            assert_eq!(decoded, record);
+        }
+        assert!(WalRecord::decode(&[9, 0, 0]).is_err(), "unknown tag");
+        assert!(
+            WalRecord::decode(&WalRecord::Close { user: 7 }.encoded()[..3]).is_err(),
+            "truncated"
+        );
+    }
+
+    #[test]
+    fn wal_only_recovery_restores_open_sessions() {
+        let dir = temp_dir("wal-only");
+        let points = track(40, 0, 5);
+        {
+            let (engine, wal) = engine_with_wal(&dir);
+            for chunk in points.chunks(7) {
+                engine.ingest(1, chunk, false);
+                engine.ingest(2, chunk, false);
+            }
+            wal.sync().unwrap();
+        }
+
+        // "Crash": nothing flushed, no snapshot. Recover a new engine.
+        let engine = Arc::new(StreamEngine::new(StreamConfig::default()));
+        let store = SnapshotStore::open(dir.join("snap")).unwrap();
+        let wal = wal_in(&dir);
+        let report = recover(&engine, &store, &wal).expect("recover");
+        assert_eq!(report.snapshot_sessions, 0);
+        assert_eq!(report.wal_records, 80);
+        assert_eq!(report.applied_records, 80);
+        assert_eq!(engine.open_sessions(), 2);
+
+        // Reference: uninterrupted ingest of the same stream.
+        let reference = StreamEngine::new(StreamConfig::default());
+        for chunk in points.chunks(7) {
+            reference.ingest(1, chunk, false);
+            reference.ingest(2, chunk, false);
+        }
+        assert_eq!(state_of(&engine), state_of(&reference));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_recovery_is_exact() {
+        let dir = temp_dir("snap-tail");
+        let head = track(30, 0, 5);
+        let tail = track(25, 30 * 5 + 20, 5);
+        {
+            let (engine, wal) = engine_with_wal(&dir);
+            let store = SnapshotStore::open(dir.join("snap")).unwrap();
+            for chunk in head.chunks(6) {
+                for user in 0u32..5 {
+                    engine.ingest(user, chunk, false);
+                }
+            }
+            // Checkpoint mid-stream, then keep ingesting (the tail stays
+            // only in the WAL) and explicitly flush one user.
+            let snap = engine.export_snapshot();
+            store.write(snap.lsn, &snap.payload).unwrap();
+            wal.truncate_until(snap.lsn).unwrap();
+            for chunk in tail.chunks(6) {
+                for user in 0u32..5 {
+                    engine.ingest(user, chunk, false);
+                }
+            }
+            engine.ingest(3, &[], true); // flush close → Close record
+            wal.sync().unwrap();
+        }
+
+        let engine = Arc::new(StreamEngine::new(StreamConfig::default()));
+        let store = SnapshotStore::open(dir.join("snap")).unwrap();
+        let wal = wal_in(&dir);
+        let report = recover(&engine, &store, &wal).expect("recover");
+        assert_eq!(report.snapshot_sessions, 5);
+        assert!(report.snapshot_lsn > 0);
+        assert!(report.applied_records < report.wal_records + 1);
+        assert_eq!(engine.open_sessions(), 4, "user 3 was flushed");
+
+        let reference = StreamEngine::new(StreamConfig::default());
+        for chunk in head.chunks(6) {
+            for user in 0u32..5 {
+                reference.ingest(user, chunk, false);
+            }
+        }
+        for chunk in tail.chunks(6) {
+            for user in 0u32..5 {
+                reference.ingest(user, chunk, false);
+            }
+        }
+        reference.ingest(3, &[], true);
+        assert_eq!(state_of(&engine), state_of(&reference));
+
+        // Both engines keep closing identically after recovery.
+        let mut a = engine.flush_all();
+        let mut b = reference.flush_all();
+        a.sort_by_key(|c| c.user);
+        b.sort_by_key(|c| c.user);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.features, y.features);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn close_records_replay_evictions_and_flushes() {
+        let dir = temp_dir("closes");
+        let config = StreamConfig {
+            n_shards: 1,
+            max_sessions: 2,
+            ..StreamConfig::default()
+        };
+        {
+            let engine = StreamEngine::new(config);
+            let store = SnapshotStore::open(dir.join("snap")).unwrap();
+            let wal = wal_in(&dir);
+            recover(&engine, &store, &wal).unwrap();
+            engine.attach_wal(Arc::clone(&wal));
+            engine.ingest(1, &track(12, 0, 5), false);
+            engine.ingest(2, &track(12, 0, 5), false);
+            engine.ingest(3, &track(12, 0, 5), false); // evicts user 1
+            wal.sync().unwrap();
+        }
+        let engine = Arc::new(StreamEngine::new(config));
+        let store = SnapshotStore::open(dir.join("snap")).unwrap();
+        let wal = wal_in(&dir);
+        recover(&engine, &store, &wal).expect("recover");
+        assert_eq!(engine.open_sessions(), 2);
+        let users: Vec<UserId> = state_of(&engine).into_iter().map(|(u, _)| u).collect();
+        assert_eq!(
+            users,
+            vec![2, 3],
+            "the eviction replayed from its Close record"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_payload_rejects_unknown_versions() {
+        let mut payload = Vec::new();
+        codec::put_u32(&mut payload, 99);
+        assert!(snapshot_sessions(&payload).is_err());
+    }
+}

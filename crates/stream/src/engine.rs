@@ -13,13 +13,15 @@
 //! least-recently-active session of the target shard, closing (and, when
 //! admitted, emitting) its open segment.
 
+use crate::durability::WalRecord;
 use crate::sessionizer::{CloseReason, ClosedSegment, Session, SessionConfig, SessionPush};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use traj_geo::{TrajectoryPoint, UserId};
+use traj_wal::Wal;
 
 /// Engine tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +79,10 @@ pub struct IngestReport {
     pub closed: Vec<ClosedSegment>,
     /// Segments closed but discarded as shorter than `min_points`.
     pub discarded: usize,
+    /// Set when the attached WAL rejected the call's durability records:
+    /// the in-memory state advanced but is *not* durable. The server
+    /// surfaces this as a 500.
+    pub wal_error: Option<String>,
 }
 
 /// Monotonic engine counters, exported through `/metrics`.
@@ -87,6 +93,7 @@ struct EngineCounters {
     segments_closed: AtomicU64,
     segments_discarded: AtomicU64,
     evictions: AtomicU64,
+    wal_append_errors: AtomicU64,
 }
 
 /// A plain snapshot of [`EngineCounters`].
@@ -102,6 +109,8 @@ pub struct EngineStats {
     pub segments_discarded: u64,
     /// Sessions evicted by the session cap.
     pub evictions: u64,
+    /// Failed WAL append batches (ingested state that is not durable).
+    pub wal_append_errors: u64,
 }
 
 struct SessionEntry {
@@ -116,6 +125,8 @@ pub struct StreamEngine {
     config: StreamConfig,
     shards: Vec<Mutex<Shard>>,
     counters: EngineCounters,
+    /// Durability log, attached once (after recovery, before traffic).
+    wal: OnceLock<Arc<Wal>>,
 }
 
 impl StreamEngine {
@@ -126,6 +137,7 @@ impl StreamEngine {
             config: StreamConfig { n_shards, ..config },
             shards: (0..n_shards).map(|_| Mutex::new(Shard::new())).collect(),
             counters: EngineCounters::default(),
+            wal: OnceLock::new(),
         }
     }
 
@@ -134,15 +146,37 @@ impl StreamEngine {
         &self.config
     }
 
+    /// Attaches the write-ahead log. From here on every accepted point
+    /// and every explicit session close (flush, idle, eviction) is
+    /// logged before the shard lock is released. Call *after*
+    /// [`crate::durability::recover`] — replay must not re-log — and
+    /// before traffic. The first call wins; later calls are ignored.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.get()
+    }
+
     /// Ingests a batch of points for one user, in order. `flush` closes
     /// the user's open segment after the batch.
+    ///
+    /// With a WAL attached, every accepted point (and the flush close,
+    /// and any eviction the insert triggered) is appended as one record
+    /// batch before the shard lock is released — so the log's per-user
+    /// record order always matches the order state mutations happened
+    /// in, which is what makes replay exact.
     pub fn ingest(&self, user: UserId, points: &[TrajectoryPoint], flush: bool) -> IngestReport {
         let mut report = IngestReport::default();
+        let logging = self.wal.get().is_some();
+        let mut wal_batch: Vec<Vec<u8>> = Vec::new();
         let shard_index = self.shard_of(user);
         let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
 
         if !shard.contains_key(&user) {
-            self.evict_if_full(&mut shard, &mut report);
+            self.evict_if_full(&mut shard, &mut report, logging, &mut wal_batch);
             shard.insert(
                 user,
                 SessionEntry {
@@ -157,7 +191,10 @@ impl StreamEngine {
         for &p in points {
             match entry.session.push(user, p) {
                 SessionPush::Accepted => report.accepted += 1,
-                SessionPush::Dropped => report.dropped += 1,
+                SessionPush::Dropped => {
+                    report.dropped += 1;
+                    continue;
+                }
                 SessionPush::Closed(closed) => {
                     report.accepted += 1; // the gap point re-opened
                     match closed {
@@ -165,6 +202,11 @@ impl StreamEngine {
                         None => report.discarded += 1,
                     }
                 }
+            }
+            if logging {
+                // Gap closes need no record: replaying the points
+                // reproduces them. Only accepted points are logged.
+                wal_batch.push(WalRecord::Point { user, point: p }.encoded());
             }
         }
         if flush {
@@ -174,9 +216,13 @@ impl StreamEngine {
                 None => report.discarded += 1,
             }
             shard.remove(&user);
+            if logging {
+                wal_batch.push(WalRecord::Close { user }.encoded());
+            }
         } else {
             report.open_points = entry.session.open_points();
         }
+        self.append_wal_batch(&wal_batch, &mut report.wal_error);
         drop(shard);
 
         self.counters
@@ -199,9 +245,11 @@ impl StreamEngine {
     /// segments; discards are counted in [`StreamEngine::stats`].
     pub fn flush_all(&self) -> Vec<ClosedSegment> {
         let indices: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard: Vec<(Vec<ClosedSegment>, u64)> =
+        let per_shard: Vec<(Vec<ClosedSegment>, u64, Option<String>)> =
             traj_runtime::parallel_map(&indices, |_, &i| {
                 let mut shard = self.shards[i].lock().expect("shard poisoned");
+                let logging = self.wal.get().is_some();
+                let mut wal_batch: Vec<Vec<u8>> = Vec::new();
                 let mut closed = Vec::new();
                 let mut discarded = 0u64;
                 for (user, mut entry) in shard.drain() {
@@ -209,11 +257,16 @@ impl StreamEngine {
                         Some(c) => closed.push(c),
                         None => discarded += 1,
                     }
+                    if logging {
+                        wal_batch.push(WalRecord::Close { user }.encoded());
+                    }
                 }
-                (closed, discarded)
+                let mut wal_error = None;
+                self.append_wal_batch(&wal_batch, &mut wal_error);
+                (closed, discarded, wal_error)
             });
         let mut all = Vec::new();
-        for (closed, discarded) in per_shard {
+        for (closed, discarded, _) in per_shard {
             self.counters
                 .segments_closed
                 .fetch_add(closed.len() as u64, Ordering::Relaxed);
@@ -231,9 +284,11 @@ impl StreamEngine {
         let now = Instant::now();
         let timeout = Duration::from_secs(self.config.idle_timeout_s);
         let indices: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard: Vec<(Vec<ClosedSegment>, u64)> =
+        let per_shard: Vec<(Vec<ClosedSegment>, u64, Option<String>)> =
             traj_runtime::parallel_map(&indices, |_, &i| {
                 let mut shard = self.shards[i].lock().expect("shard poisoned");
+                let logging = self.wal.get().is_some();
+                let mut wal_batch: Vec<Vec<u8>> = Vec::new();
                 let idle: Vec<UserId> = shard
                     .iter()
                     .filter(|(_, e)| now.duration_since(e.last_seen) > timeout)
@@ -247,11 +302,16 @@ impl StreamEngine {
                         Some(c) => closed.push(c),
                         None => discarded += 1,
                     }
+                    if logging {
+                        wal_batch.push(WalRecord::Close { user }.encoded());
+                    }
                 }
-                (closed, discarded)
+                let mut wal_error = None;
+                self.append_wal_batch(&wal_batch, &mut wal_error);
+                (closed, discarded, wal_error)
             });
         let mut all = Vec::new();
-        for (closed, discarded) in per_shard {
+        for (closed, discarded, _) in per_shard {
             self.counters
                 .segments_closed
                 .fetch_add(closed.len() as u64, Ordering::Relaxed);
@@ -293,6 +353,7 @@ impl StreamEngine {
             segments_closed: self.counters.segments_closed.load(Ordering::Relaxed),
             segments_discarded: self.counters.segments_discarded.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            wal_append_errors: self.counters.wal_append_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -302,7 +363,13 @@ impl StreamEngine {
 
     /// Evicts the least-recently-active session of `shard` when the
     /// global cap (apportioned per shard) is reached.
-    fn evict_if_full(&self, shard: &mut Shard, report: &mut IngestReport) {
+    fn evict_if_full(
+        &self,
+        shard: &mut Shard,
+        report: &mut IngestReport,
+        logging: bool,
+        wal_batch: &mut Vec<Vec<u8>>,
+    ) {
         let per_shard_cap = self.config.max_sessions.div_ceil(self.shards.len()).max(1);
         if shard.len() < per_shard_cap {
             return;
@@ -315,6 +382,9 @@ impl StreamEngine {
             return;
         };
         let mut entry = shard.remove(&victim).expect("selected above");
+        if logging {
+            wal_batch.push(WalRecord::Close { user: victim }.encoded());
+        }
         self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         match entry.session.close(victim, CloseReason::Eviction) {
             Some(c) => {
@@ -330,6 +400,98 @@ impl StreamEngine {
                 report.discarded += 1;
             }
         }
+    }
+
+    /// Appends `batch` to the attached WAL (no-op when empty or no WAL).
+    /// Must be called while the shard lock the records belong to is
+    /// still held. A failed append is counted and surfaced via `error`;
+    /// the in-memory mutation stands.
+    fn append_wal_batch(&self, batch: &[Vec<u8>], error: &mut Option<String>) {
+        if batch.is_empty() {
+            return;
+        }
+        let Some(wal) = self.wal.get() else {
+            return;
+        };
+        let payloads: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+        if let Err(e) = wal.append_batch(&payloads) {
+            self.counters
+                .wal_append_errors
+                .fetch_add(1, Ordering::Relaxed);
+            *error = Some(e.to_string());
+        }
+    }
+
+    /// Restores one session (snapshot recovery). Bypasses eviction and
+    /// WAL logging; intended for [`crate::durability::recover`], before
+    /// traffic starts.
+    pub(crate) fn restore_session(&self, user: UserId, session: Session) {
+        let shard_index = self.shard_of(user);
+        let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+        shard.insert(
+            user,
+            SessionEntry {
+                session,
+                last_seen: Instant::now(),
+            },
+        );
+    }
+
+    /// Applies one replayed WAL record. Emitted segments are discarded —
+    /// they were already served before the crash — and nothing is
+    /// re-logged or evicted: the log's own `Close` records reproduce
+    /// every pre-crash eviction and idle close.
+    pub(crate) fn apply_replay(&self, record: &WalRecord) {
+        match *record {
+            WalRecord::Point { user, point } => {
+                let shard_index = self.shard_of(user);
+                let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+                let entry = shard.entry(user).or_insert_with(|| SessionEntry {
+                    session: Session::new(self.config.session_config()),
+                    last_seen: Instant::now(),
+                });
+                entry.last_seen = Instant::now();
+                let _ = entry.session.push(user, point);
+            }
+            WalRecord::Close { user } => {
+                let shard_index = self.shard_of(user);
+                let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+                if let Some(mut entry) = shard.remove(&user) {
+                    let _ = entry.session.close(user, CloseReason::Flush);
+                }
+            }
+        }
+    }
+
+    /// Encodes every open session into a snapshot payload.
+    ///
+    /// Shards are captured one at a time: holding a shard's lock, the
+    /// WAL's current last LSN is read *first* and recorded as every
+    /// captured session's **cut** — appends for this shard's users
+    /// happen under the same lock, so a session's state reflects exactly
+    /// the records at or below its cut. On recovery, replay applies a
+    /// record to a restored session only when the record's LSN exceeds
+    /// the session's cut; sessions absent from the snapshot replay from
+    /// whatever the log still holds (their records always end in a
+    /// logged `Close` or continue past every cut, so this converges).
+    /// Sessions are encoded sorted by user id, making the payload bytes
+    /// deterministic for a given state — the crash tests compare them
+    /// directly.
+    pub fn export_snapshot(&self) -> crate::durability::EngineSnapshot {
+        let mut entries: Vec<(UserId, u64, Vec<u8>)> = Vec::new();
+        let mut min_cut = u64::MAX;
+        for shard_mutex in &self.shards {
+            let shard = shard_mutex.lock().expect("shard poisoned");
+            let cut = self.wal.get().map(|w| w.last_lsn()).unwrap_or(0);
+            min_cut = min_cut.min(cut);
+            for (&user, entry) in shard.iter() {
+                let mut bytes = Vec::new();
+                entry.session.encode_into(&mut bytes);
+                entries.push((user, cut, bytes));
+            }
+        }
+        entries.sort_by_key(|&(user, _, _)| user);
+        crate::durability::EngineSnapshot::assemble(&self.config, entries, min_cut)
     }
 }
 

@@ -24,9 +24,11 @@
 //! The chain assumes strictly increasing timestamps; the sessionizer
 //! enforces the workspace timestamp policy before points reach it.
 
+use serde::{Deserialize, Serialize};
 use traj_features::point_features::{angular_step, safe_rate};
 use traj_geo::geodesy;
 use traj_geo::TrajectoryPoint;
+use traj_wal::codec::{self, CodecError, Reader};
 
 /// Number of summarised series (the paper's seven point features, in
 /// `traj_features::trajectory_features::POINT_FEATURE_NAMES` order:
@@ -57,7 +59,7 @@ impl ChainEmit {
 }
 
 /// O(1) state of the incremental chain over one open segment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ChainState {
     n: usize,
     prev: Option<TrajectoryPoint>,
@@ -81,6 +83,52 @@ impl ChainState {
     /// `true` before the first point.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Appends the chain's full state to `out` (bit-exact round trip;
+    /// see [`crate::durability`]).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.n);
+        match &self.prev {
+            Some(p) => {
+                codec::put_u8(out, 1);
+                codec::put_f64(out, p.lat);
+                codec::put_f64(out, p.lon);
+                codec::put_i64(out, p.t.0);
+            }
+            None => codec::put_u8(out, 0),
+        }
+        for v in [
+            self.prev_speed,
+            self.prev_acc,
+            self.prev_bearing,
+            self.prev_brate,
+        ] {
+            codec::put_f64(out, v);
+        }
+    }
+
+    /// Reads state written by [`ChainState::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<ChainState, CodecError> {
+        let n = r.len(0)?;
+        let prev = match r.u8()? {
+            0 => None,
+            1 => {
+                let lat = r.f64()?;
+                let lon = r.f64()?;
+                let t = r.i64()?;
+                Some(TrajectoryPoint::new(lat, lon, traj_geo::Timestamp(t)))
+            }
+            tag => return Err(CodecError::msg(format!("invalid point tag {tag}"))),
+        };
+        Ok(ChainState {
+            n,
+            prev,
+            prev_speed: r.f64()?,
+            prev_acc: r.f64()?,
+            prev_bearing: r.f64()?,
+            prev_brate: r.f64()?,
+        })
     }
 
     /// Consumes the next point (timestamp strictly after the previous
@@ -181,6 +229,25 @@ mod tests {
             assert_eq!(got.len(), want.len(), "series {i} length");
             for (j, (g, w)) in got.iter().zip(want.iter()).enumerate() {
                 assert_eq!(g.to_bits(), w.to_bits(), "series {i} index {j}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_codec_round_trips_and_continues_identically() {
+        let points = wiggly_points(40);
+        for warmup in [0usize, 1, 2, 20] {
+            let mut original = ChainState::new();
+            for &p in &points[..warmup] {
+                original.push(p);
+            }
+            let mut bytes = Vec::new();
+            original.encode_into(&mut bytes);
+            let mut restored = ChainState::decode_from(&mut Reader::new(&bytes)).expect("decode");
+            for &p in &points[warmup..] {
+                let a = original.push(p);
+                let b = restored.push(p);
+                assert_eq!(a, b, "warmup {warmup}");
             }
         }
     }

@@ -19,7 +19,10 @@
 //!   non-advancing-timestamp drops) incrementally;
 //! * [`engine`] — [`StreamEngine`], sessions sharded across mutexes with
 //!   idle sweeping and LRU eviction, safe to share across server
-//!   workers.
+//!   workers;
+//! * [`durability`] — WAL record payloads, snapshot assembly and
+//!   replay-on-boot [`recover`], making engine state survive restarts
+//!   (the log itself lives in `traj-wal`).
 //!
 //! `traj-serve` mounts the engine behind `POST /ingest` and emits a
 //! prediction per closed segment; see `DESIGN.md` §9 for the state
@@ -28,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod engine;
 pub mod incremental;
 pub mod p2;
 pub mod sessionizer;
 pub mod summary;
 
+pub use durability::{recover, snapshot_sessions, EngineSnapshot, RecoveryReport, WalRecord};
 pub use engine::{EngineStats, IngestReport, StreamConfig, StreamEngine};
 pub use incremental::{ChainEmit, ChainState, SERIES_COUNT};
 pub use p2::P2Quantile;

@@ -10,10 +10,12 @@
 //! the raw values and answers with the exact NumPy-convention percentile,
 //! so tiny series are never approximated.
 
+use serde::{Deserialize, Serialize};
 use traj_features::stats::percentile_of_sorted;
+use traj_wal::codec::{self, CodecError, Reader};
 
 /// Running estimate of one quantile `p ∈ [0, 1]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct P2Quantile {
     /// The tracked quantile, as a fraction.
     p: f64,
@@ -122,6 +124,54 @@ impl P2Quantile {
                 + (np[i + 1] - np[i] - s) * (q[i] - q[i - 1]) / (np[i] - np[i - 1]))
     }
 
+    /// Appends the estimator's full state to `out` (raw-bits floats, so
+    /// the round trip is bit-exact; see [`crate::durability`]).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_f64(out, self.p);
+        codec::put_len(out, self.n);
+        codec::put_len(out, self.initial.len());
+        for &v in &self.initial {
+            codec::put_f64(out, v);
+        }
+        for arr in [&self.q, &self.pos, &self.desired, &self.incr] {
+            for &v in arr.iter() {
+                codec::put_f64(out, v);
+            }
+        }
+    }
+
+    /// Reads state written by [`P2Quantile::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<P2Quantile, CodecError> {
+        let p = r.f64()?;
+        let n = r.len(0)?;
+        let n_initial = r.len(8)?;
+        if n_initial > 5 {
+            return Err(CodecError::msg(format!(
+                "P² initial buffer holds {n_initial} values (max 5)"
+            )));
+        }
+        let mut initial = Vec::with_capacity(5);
+        for _ in 0..n_initial {
+            initial.push(r.f64()?);
+        }
+        let mut arrays = [[0.0f64; 5]; 4];
+        for arr in arrays.iter_mut() {
+            for v in arr.iter_mut() {
+                *v = r.f64()?;
+            }
+        }
+        let [q, pos, desired, incr] = arrays;
+        Ok(P2Quantile {
+            p,
+            n,
+            initial,
+            q,
+            pos,
+            desired,
+            incr,
+        })
+    }
+
     /// Linear fallback when the parabola leaves the neighbour interval.
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = if s > 0.0 { i + 1 } else { i - 1 };
@@ -190,6 +240,33 @@ mod tests {
                 "p={p} err={err} (est {}, exact {exact})",
                 p2.estimate()
             );
+        }
+    }
+
+    #[test]
+    fn binary_codec_round_trips_and_continues_identically() {
+        for warmup in [0usize, 3, 5, 200] {
+            let xs = lcg_values(42, warmup + 500);
+            let mut original = P2Quantile::new(0.75);
+            for &x in &xs[..warmup] {
+                original.observe(x);
+            }
+            let mut bytes = Vec::new();
+            original.encode_into(&mut bytes);
+            let mut restored = P2Quantile::decode_from(&mut Reader::new(&bytes)).expect("decode");
+            for &x in &xs[warmup..] {
+                original.observe(x);
+                restored.observe(x);
+            }
+            assert_eq!(
+                original.estimate().to_bits(),
+                restored.estimate().to_bits(),
+                "warmup {warmup}"
+            );
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            original.encode_into(&mut a);
+            restored.encode_into(&mut b);
+            assert_eq!(a, b, "full state equal after warmup {warmup}");
         }
     }
 

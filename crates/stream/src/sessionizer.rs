@@ -29,11 +29,12 @@
 
 use crate::incremental::{ChainState, SERIES_COUNT};
 use crate::summary::{AdaptiveSummary, DEFAULT_EXACT_CAP};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use traj_features::stats::SeriesSummary;
 use traj_features::trajectory_features::FEATURES_PER_SEGMENT;
 use traj_geo::segmentation::MIN_SEGMENT_POINTS;
 use traj_geo::{Timestamp, TrajectoryPoint, UserId};
+use traj_wal::codec::{self, CodecError, Reader};
 
 /// Sessionizer tunables (a subset of the engine's `StreamConfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -204,6 +205,62 @@ impl Session {
         })
     }
 
+    /// Appends the session's full state — config, chain, summaries,
+    /// segment bounds — to `out`. The encoding is deterministic and
+    /// bit-exact, so two sessions that saw the same points produce the
+    /// same bytes (the crash-consistency tests rely on this).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_f64(out, self.config.max_gap_s);
+        codec::put_len(out, self.config.min_points);
+        codec::put_len(out, self.config.exact_cap);
+        for ts in [self.start, self.last_t] {
+            match ts {
+                Some(t) => {
+                    codec::put_u8(out, 1);
+                    codec::put_i64(out, t.0);
+                }
+                None => codec::put_u8(out, 0),
+            }
+        }
+        self.chain.encode_into(out);
+        for summary in &self.summaries {
+            summary.encode_into(out);
+        }
+    }
+
+    /// Reads state written by [`Session::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Session, CodecError> {
+        let config = SessionConfig {
+            max_gap_s: r.f64()?,
+            min_points: r.len(0)?,
+            exact_cap: r.len(0)?,
+        };
+        let mut bounds = [None, None];
+        for slot in bounds.iter_mut() {
+            *slot = match r.u8()? {
+                0 => None,
+                1 => Some(Timestamp(r.i64()?)),
+                tag => return Err(CodecError::msg(format!("invalid timestamp tag {tag}"))),
+            };
+        }
+        let [start, last_t] = bounds;
+        let chain = ChainState::decode_from(r)?;
+        let mut summaries = Vec::with_capacity(SERIES_COUNT);
+        for _ in 0..SERIES_COUNT {
+            summaries.push(AdaptiveSummary::decode_from(r)?);
+        }
+        let summaries: [AdaptiveSummary; SERIES_COUNT] = summaries
+            .try_into()
+            .map_err(|_| CodecError::msg("summary array"))?;
+        Ok(Session {
+            config,
+            chain,
+            summaries,
+            start,
+            last_t,
+        })
+    }
+
     /// Bytes of state currently held by this session.
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Session>()
@@ -224,6 +281,47 @@ impl Session {
                 summary.push(v);
             }
         }
+    }
+}
+
+// `[AdaptiveSummary; 7]` is not `Copy`, so the serde impls are written
+// out instead of derived; the representation matches what the derive
+// would produce (an object in field-declaration order).
+impl Serialize for Session {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("chain".to_string(), self.chain.to_value()),
+            (
+                "summaries".to_string(),
+                Value::Seq(self.summaries.iter().map(Serialize::to_value).collect()),
+            ),
+            ("start".to_string(), self.start.to_value()),
+            ("last_t".to_string(), self.last_t.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Session {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let Value::Map(m) = v else {
+            return Err(serde::Error::msg("expected an object"));
+        };
+        let field = |name: &str| {
+            serde::map_get(m, name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
+        };
+        let summaries: Vec<AdaptiveSummary> = Vec::from_value(field("summaries")?)?;
+        let summaries: [AdaptiveSummary; SERIES_COUNT] = summaries
+            .try_into()
+            .map_err(|_| serde::Error::msg("expected exactly 7 summaries"))?;
+        Ok(Session {
+            config: SessionConfig::from_value(field("config")?)?,
+            chain: ChainState::from_value(field("chain")?)?,
+            summaries,
+            start: Option::from_value(field("start")?)?,
+            last_t: Option::from_value(field("last_t")?)?,
+        })
     }
 }
 
@@ -333,6 +431,41 @@ mod tests {
         assert_eq!(n_dropped, 2);
         let batch = features_from_point_features(&PointFeatures::compute_points(&clean));
         assert_eq!(closed.features, batch);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_and_closes_identically() {
+        let points = track(30, 0, 5);
+        for warmup in [0usize, 1, 12, 30] {
+            let mut original = Session::new(SessionConfig::default());
+            for &p in &points[..warmup] {
+                original.push(7, p);
+            }
+            let mut bytes = Vec::new();
+            original.encode_into(&mut bytes);
+            let mut restored = Session::decode_from(&mut Reader::new(&bytes)).expect("decode");
+            let tail = track(20, 30 * 5 + 10, 5);
+            for &p in &points[warmup..] {
+                original.push(7, p);
+                restored.push(7, p);
+            }
+            for &p in &tail {
+                original.push(7, p);
+                restored.push(7, p);
+            }
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            original.encode_into(&mut a);
+            restored.encode_into(&mut b);
+            assert_eq!(a, b, "state bytes equal after warmup {warmup}");
+            let (ca, cb) = (
+                original.close(7, CloseReason::Flush),
+                restored.close(7, CloseReason::Flush),
+            );
+            let (ca, cb) = (ca.expect("admitted"), cb.expect("admitted"));
+            assert_eq!(ca.features, cb.features, "warmup {warmup}");
+            assert_eq!(ca.start, cb.start);
+            assert_eq!(ca.end, cb.end);
+        }
     }
 
     #[test]

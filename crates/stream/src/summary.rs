@@ -32,7 +32,9 @@
 //! exports as a histogram.
 
 use crate::p2::P2Quantile;
+use serde::{Deserialize, Serialize, Value};
 use traj_features::stats::{summary10, SeriesSummary, SUMMARY_WIDTH};
+use traj_wal::codec::{self, CodecError, Reader};
 
 /// The percentile fractions tracked by sketches, in the order they appear
 /// among the ten statistics (p10, p25, p50, p75, p90).
@@ -103,6 +105,85 @@ impl AdaptiveSummary {
         Some(if range > 0.0 { worst / range } else { 0.0 })
     }
 
+    /// Appends the summary's full state to `out`. Floats travel as raw
+    /// bits, so the `±inf` min/max sentinels of an empty summary survive
+    /// and the round trip is bit-exact.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.exact_cap);
+        match &self.buffer {
+            Some(buffer) => {
+                // Exact phase: count, extrema, the Welford moments and
+                // all five P² sketches are a deterministic replay of
+                // the buffered values, so only those are stored —
+                // decode rebuilds the rest bit-identically. This keeps
+                // snapshot payloads proportional to observed points,
+                // not to the ~7 KiB of sketch state per session.
+                codec::put_u8(out, 1);
+                codec::put_len(out, buffer.len());
+                for &v in buffer {
+                    codec::put_f64(out, v);
+                }
+            }
+            None => {
+                codec::put_u8(out, 0);
+                codec::put_len(out, self.count);
+                for v in [self.min, self.max, self.sum, self.w_mean, self.w_m2] {
+                    codec::put_f64(out, v);
+                }
+                for sketch in &self.sketches {
+                    sketch.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Reads state written by [`AdaptiveSummary::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<AdaptiveSummary, CodecError> {
+        let exact_cap = r.len(0)?;
+        match r.u8()? {
+            1 => {
+                let n = r.len(8)?;
+                let mut summary = AdaptiveSummary::new(exact_cap);
+                for _ in 0..n {
+                    summary.push(r.f64()?);
+                }
+                if summary.buffer.is_none() {
+                    return Err(CodecError::msg(format!(
+                        "exact-phase buffer of {n} values overflows cap {exact_cap}"
+                    )));
+                }
+                Ok(summary)
+            }
+            0 => {
+                let count = r.len(0)?;
+                let min = r.f64()?;
+                let max = r.f64()?;
+                let sum = r.f64()?;
+                let w_mean = r.f64()?;
+                let w_m2 = r.f64()?;
+                let mut sketches = Vec::with_capacity(5);
+                for _ in 0..5 {
+                    sketches.push(P2Quantile::decode_from(r)?);
+                }
+                let sketches: [P2Quantile; 5] = sketches
+                    .try_into()
+                    .map_err(|_| CodecError::msg("sketch array"))?;
+                Ok(AdaptiveSummary {
+                    exact_cap,
+                    buffer: None,
+                    count,
+                    min,
+                    max,
+                    sum,
+                    w_mean,
+                    w_m2,
+                    sketches,
+                })
+            }
+            tag => Err(CodecError::msg(format!("invalid summary buffer tag {tag}"))),
+        }
+    }
+
     /// Bytes of heap + inline state held by this summary.
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<AdaptiveSummary>()
@@ -116,6 +197,86 @@ impl AdaptiveSummary {
 impl Default for AdaptiveSummary {
     fn default() -> Self {
         AdaptiveSummary::new(DEFAULT_EXACT_CAP)
+    }
+}
+
+/// Serialises an `f64` that may be non-finite: JSON has no `±inf`/`NaN`
+/// tokens (the `serde_json` shim would collapse them to `null`), so
+/// those travel as the strings `"inf"`, `"-inf"`, `"NaN"`. An empty
+/// summary's min/max sentinels are exactly this case.
+pub(crate) fn float_to_value(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Float(v)
+    } else if v == f64::INFINITY {
+        Value::Str("inf".to_string())
+    } else if v == f64::NEG_INFINITY {
+        Value::Str("-inf".to_string())
+    } else {
+        Value::Str("NaN".to_string())
+    }
+}
+
+/// Inverse of [`float_to_value`].
+pub(crate) fn float_from_value(v: &Value) -> Result<f64, serde::Error> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            other => Err(serde::Error::msg(format!("unknown float token `{other}`"))),
+        },
+        other => f64::from_value(other),
+    }
+}
+
+// `[P2Quantile; 5]` is not `Copy`, and min/max can hold non-finite
+// sentinels, so the serde impls are written out instead of derived. The
+// representation matches what the derive would produce for the same
+// fields (an object in declaration order), with the float escape hatch
+// for min/max.
+impl Serialize for AdaptiveSummary {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("exact_cap".to_string(), self.exact_cap.to_value()),
+            ("buffer".to_string(), self.buffer.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("min".to_string(), float_to_value(self.min)),
+            ("max".to_string(), float_to_value(self.max)),
+            ("sum".to_string(), self.sum.to_value()),
+            ("w_mean".to_string(), self.w_mean.to_value()),
+            ("w_m2".to_string(), self.w_m2.to_value()),
+            (
+                "sketches".to_string(),
+                Value::Seq(self.sketches.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for AdaptiveSummary {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let Value::Map(m) = v else {
+            return Err(serde::Error::msg("expected an object"));
+        };
+        let field = |name: &str| {
+            serde::map_get(m, name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
+        };
+        let sketches: Vec<P2Quantile> = Vec::from_value(field("sketches")?)?;
+        let sketches: [P2Quantile; 5] = sketches
+            .try_into()
+            .map_err(|_| serde::Error::msg("expected exactly 5 sketches"))?;
+        Ok(AdaptiveSummary {
+            exact_cap: usize::from_value(field("exact_cap")?)?,
+            buffer: Option::from_value(field("buffer")?)?,
+            count: usize::from_value(field("count")?)?,
+            min: float_from_value(field("min")?)?,
+            max: float_from_value(field("max")?)?,
+            sum: f64::from_value(field("sum")?)?,
+            w_mean: f64::from_value(field("w_mean")?)?,
+            w_m2: f64::from_value(field("w_m2")?)?,
+            sketches,
+        })
     }
 }
 
@@ -249,6 +410,46 @@ mod tests {
         }
         // median column still equals the p50 column.
         assert_eq!(got[3], got[7]);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_exactly() {
+        // Empty (±inf sentinels), exact-phase, and sketch-phase summaries.
+        for (cap, warmup) in [(512, 0), (512, 100), (16, 400)] {
+            let xs = lcg_values(12, warmup + 300);
+            let mut original = AdaptiveSummary::new(cap);
+            for &x in &xs[..warmup] {
+                original.push(x);
+            }
+            let mut bytes = Vec::new();
+            original.encode_into(&mut bytes);
+            let mut restored =
+                AdaptiveSummary::decode_from(&mut Reader::new(&bytes)).expect("decode");
+            for &x in &xs[warmup..] {
+                original.push(x);
+                restored.push(x);
+            }
+            let (got, want) = (restored.stats10(), original.stats10());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "cap {cap} warmup {warmup}");
+            }
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            original.encode_into(&mut a);
+            restored.encode_into(&mut b);
+            assert_eq!(a, b, "state bytes equal: cap {cap} warmup {warmup}");
+        }
+    }
+
+    #[test]
+    fn serde_handles_the_non_finite_sentinels() {
+        let empty = AdaptiveSummary::new(64);
+        let json = serde_json::to_string(&empty).expect("serialize");
+        let back: AdaptiveSummary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.count(), 0);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        empty.encode_into(&mut a);
+        back.encode_into(&mut b);
+        assert_eq!(a, b, "±inf min/max survive the JSON round trip");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property-based serde round-trip regression tests for the streaming
+//! state types (`P2Quantile`, `AdaptiveSummary`, `Session`).
+//!
+//! A state object serialised mid-stream, deserialised, and then fed the
+//! rest of the stream must behave **bit-identically** to the original
+//! that never left memory — same emitted values, same closed-segment
+//! features, same internal state bytes (via the binary durability
+//! codec, which round-trips every field exactly). This is the contract
+//! snapshot recovery rests on: serialisation must be lossless even for
+//! the awkward cases — ±inf min/max sentinels of empty summaries,
+//! subnormal-ish derivative values, sketch marker positions mid-drift.
+//!
+//! JSON is the adversarial channel here (text round-trips are where
+//! float fidelity goes to die); the binary codec gets the same
+//! treatment in the unit tests next to each type.
+
+use proptest::prelude::*;
+use traj_features::stats::SeriesSummary;
+use traj_geo::geodesy::destination;
+use traj_geo::{Timestamp, TrajectoryPoint};
+use traj_stream::{AdaptiveSummary, CloseReason, P2Quantile, Session, SessionConfig, SessionPush};
+
+/// Movement steps: (speed m/s, heading deg, dt class). Class 0 is a
+/// duplicate timestamp (dropped by policy), 21+ is a segment gap.
+fn steps() -> impl Strategy<Value = Vec<(f64, f64, i64)>> {
+    proptest::collection::vec((0.0..45.0f64, 0.0..360.0f64, 0u8..24), 12..100).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(speed, heading, dt_class)| {
+                let dt = match dt_class {
+                    0 => 0,
+                    1..=20 => dt_class as i64,
+                    _ => 150 + dt_class as i64 * 17,
+                };
+                (speed, heading, dt)
+            })
+            .collect()
+    })
+}
+
+fn points_of(steps: &[(f64, f64, i64)]) -> Vec<TrajectoryPoint> {
+    let (mut lat, mut lon) = (39.9, 116.3);
+    let mut t = 0i64;
+    let mut out = Vec::with_capacity(steps.len() + 1);
+    out.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+    for &(speed, heading, dt) in steps {
+        let (nlat, nlon) = destination(lat, lon, heading, speed * dt.max(1) as f64);
+        lat = nlat;
+        lon = nlon;
+        t += dt;
+        out.push(TrajectoryPoint::new(lat, lon, Timestamp::from_seconds(t)));
+    }
+    out
+}
+
+/// Drains `points` through `session`, collecting everything observable:
+/// closed-segment feature rows and the final flushed row.
+fn drive(session: &mut Session, points: &[TrajectoryPoint]) -> Vec<Vec<f64>> {
+    let mut rows = Vec::new();
+    for &p in points {
+        if let SessionPush::Closed(Some(c)) = session.push(7, p) {
+            rows.push(c.features);
+        }
+    }
+    if let Some(c) = session.close(7, CloseReason::Flush) {
+        rows.push(c.features);
+    }
+    rows
+}
+
+fn bits_eq(a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "row count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(x.len(), y.len());
+        for (j, (g, w)) in x.iter().zip(y.iter()).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "row {} feature {}: {} vs {}",
+                i,
+                j,
+                g,
+                w
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// P² sketch: JSON round trip at an arbitrary warm-up point, then
+    /// both copies observe the same tail — estimates stay bit-equal.
+    #[test]
+    fn p2_roundtrip_continues_identically(
+        values in proptest::collection::vec(-1e4..1e4f64, 0..200),
+        split in 0usize..200,
+        q in 1usize..10,
+    ) {
+        let mut original = P2Quantile::new(q as f64 / 10.0);
+        let split = split.min(values.len());
+        for &v in &values[..split] {
+            original.observe(v);
+        }
+        let json = serde_json::to_string(&original).expect("serialize");
+        let mut restored: P2Quantile = serde_json::from_str(&json).expect("deserialize");
+        for &v in &values[split..] {
+            original.observe(v);
+            restored.observe(v);
+            prop_assert_eq!(original.count(), restored.count());
+            prop_assert_eq!(
+                original.estimate().to_bits(),
+                restored.estimate().to_bits()
+            );
+        }
+    }
+
+    /// AdaptiveSummary: round trip in the exact phase, at the sketch
+    /// hand-off, and deep into sketch mode — the continued summaries
+    /// stay bit-identical in state, not just in output.
+    #[test]
+    fn summary_roundtrip_continues_identically(
+        values in proptest::collection::vec(-1e4..1e4f64, 1..300),
+        split in 0usize..300,
+        cap_class in 0usize..3,
+    ) {
+        let cap = [16usize, 64, 512][cap_class];
+        let mut original = AdaptiveSummary::new(cap);
+        let split = split.min(values.len());
+        for &v in &values[..split] {
+            original.push(v);
+        }
+        let json = serde_json::to_string(&original).expect("serialize");
+        let mut restored: AdaptiveSummary = serde_json::from_str(&json).expect("deserialize");
+        for &v in &values[split..] {
+            original.push(v);
+            restored.push(v);
+        }
+        // State equality, not just output equality: re-serialising both
+        // continued copies must yield the same JSON.
+        prop_assert_eq!(
+            serde_json::to_string(&original).expect("serialize"),
+            serde_json::to_string(&restored).expect("serialize")
+        );
+        let (a, b) = (original.stats10(), restored.stats10());
+        prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+    }
+
+    /// Whole session: serialise mid-stream (possibly mid-segment, right
+    /// after a gap, or before any point), continue both copies through
+    /// the same tail — every later close emits bit-identical features.
+    #[test]
+    fn session_roundtrip_continues_identically(steps in steps(), frac in 0.0..1.0f64) {
+        let points = points_of(&steps);
+        let split = ((points.len() as f64) * frac) as usize;
+
+        let mut original = Session::new(SessionConfig {
+            exact_cap: 64, // small enough that long tails exercise sketch state
+            ..SessionConfig::default()
+        });
+        for &p in &points[..split] {
+            let _ = original.push(7, p);
+        }
+
+        let json = serde_json::to_string(&original).expect("serialize");
+        let mut restored: Session = serde_json::from_str(&json).expect("deserialize");
+
+        let a = drive(&mut original, &points[split..]);
+        let b = drive(&mut restored, &points[split..]);
+        bits_eq(&a, &b)?;
+    }
+}

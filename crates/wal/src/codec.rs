@@ -1,0 +1,184 @@
+//! Little-endian binary encoding helpers shared by WAL record payloads
+//! and snapshot state.
+//!
+//! Floats travel as their raw IEEE-754 bits, so every value — including
+//! the `±inf` sentinels an empty summary holds — round-trips bit-exactly.
+//! The [`Reader`] is bounds-checked: running off the end of a buffer is a
+//! recoverable [`CodecError`], never a panic, because decode paths face
+//! bytes that survived a crash.
+
+/// Decoding failure: truncated input or a structurally invalid value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    /// Creates an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> CodecError {
+        CodecError(msg.into())
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64`, little-endian.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw bits, little-endian.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a `usize` as a `u64`.
+pub fn put_len(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Bounds-checked cursor over an encoded buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::msg(format!(
+                "unexpected end of input: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Consumes a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Consumes an `f64` stored as raw bits.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Consumes a length written by [`put_len`], rejecting values that
+    /// could not possibly fit in the remaining input when each element
+    /// occupies at least `min_elem_bytes` (a defence against corrupt
+    /// lengths triggering huge allocations).
+    pub fn len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| CodecError::msg("length overflows usize"))?;
+        if min_elem_bytes > 0 && n.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(CodecError::msg(format!(
+                "implausible length {n}: {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, std::f64::consts::PI);
+        put_f64(&mut buf, f64::INFINITY);
+        put_f64(&mut buf, f64::NEG_INFINITY);
+        put_len(&mut buf, 3);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), std::f64::consts::PI.to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.len(0).unwrap(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 5);
+        let mut r = Reader::new(&buf[..4]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        let mut buf = Vec::new();
+        put_len(&mut buf, usize::MAX / 2);
+        let mut r = Reader::new(&buf);
+        assert!(r.len(8).is_err());
+    }
+}

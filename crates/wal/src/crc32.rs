@@ -1,0 +1,100 @@
+//! IEEE CRC-32 (the polynomial used by zlib, PNG and Ethernet),
+//! table-driven, computed incrementally.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            let index = (self.state ^ u32::from(byte)) & 0xFF;
+            self.state = (self.state >> 8) ^ TABLE[index as usize];
+        }
+    }
+
+    /// The final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_the_standard() {
+        // The universal CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(7) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = crc32(b"abcdef");
+        let mut corrupted = *b"abcdef";
+        corrupted[3] ^= 0x01;
+        assert_ne!(crc32(&corrupted), base);
+    }
+}

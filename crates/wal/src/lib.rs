@@ -1,0 +1,40 @@
+//! # traj-wal — durable stream state
+//!
+//! Dependency-free durability primitives for the online ingestion path:
+//! a process restart must not silently drop in-flight sessions, so the
+//! stream engine logs every admitted point (and every explicit session
+//! close) to an append-only write-ahead log and periodically checkpoints
+//! its in-memory state into compact snapshots. Recovery loads the latest
+//! snapshot and replays the WAL tail, reproducing the pre-crash state
+//! bit-for-bit.
+//!
+//! The crate is deliberately small and layered bottom-up:
+//!
+//! * [`crc32`] — the IEEE CRC-32 checksum used by every on-disk frame;
+//! * [`codec`] — little-endian byte encoding helpers and a bounds-checked
+//!   [`codec::Reader`];
+//! * [`record`] — the length-prefixed, checksummed record frame
+//!   (`[len][crc][lsn][payload]`);
+//! * [`log`] — [`Wal`], the segmented append-only log with torn-tail
+//!   truncation on open, per-record / interval / on-close fsync policies,
+//!   and segment truncation past a snapshot LSN;
+//! * [`snapshot`] — [`SnapshotStore`], atomic rename-into-place snapshot
+//!   files with checksum validation and fallback to older snapshots.
+//!
+//! The crate knows nothing about trajectories: payloads are opaque byte
+//! strings. `traj-stream` defines the record payloads and the snapshot
+//! layout; `traj-serve` wires recovery, periodic snapshots and metrics.
+//! See `DESIGN.md` §11 for the durability protocol and its invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc32;
+pub mod log;
+pub mod record;
+pub mod snapshot;
+
+pub use codec::{CodecError, Reader};
+pub use log::{FsyncPolicy, Wal, WalConfig, WalOpenReport, WalStats};
+pub use snapshot::{Snapshot, SnapshotStore};

@@ -1,0 +1,732 @@
+//! The segmented append-only log.
+//!
+//! A [`Wal`] owns a directory of segment files named
+//! `wal-{first_lsn:020}.seg`. Records carry consecutive log sequence
+//! numbers starting at 1; a segment's name is the LSN of its first
+//! record, so the files sort chronologically by name and a segment can be
+//! deleted the moment a snapshot covers every LSN it holds.
+//!
+//! **Open** scans every segment in order and repairs what a crash left
+//! behind: a torn tail (the file ends mid-frame) or a corrupt frame
+//! (checksum mismatch, absurd length, LSN discontinuity) truncates the
+//! file back to its last valid record, and any later segments — which
+//! would leave a hole in the LSN sequence — are dropped. Zero-length
+//! segments (a crash between segment creation and the first append) are
+//! removed. Every repair is reported as a diagnostic string, never a
+//! panic: recovering to the last durable record is the expected path
+//! after a kill, not an exceptional one.
+//!
+//! **Appends** batch any number of payloads into one `write_all`. The
+//! fsync policy decides when the OS buffers are forced to disk:
+//! [`FsyncPolicy::Always`] after every batch (every acknowledged point
+//! survives power loss), [`FsyncPolicy::Interval`] at most every `d` via
+//! [`Wal::tick`] (bounded loss window, near-native throughput),
+//! [`FsyncPolicy::OnClose`] only on rolls and shutdown (process kills —
+//! which do not lose OS page-cache writes — still lose nothing; power
+//! loss can). Sealing a segment always syncs it first.
+
+use crate::record::{decode_record, encode_record, Frame};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every append batch.
+    Always,
+    /// Fsync when [`Wal::tick`] observes this much time since the last
+    /// sync (and on segment rolls and close).
+    Interval(Duration),
+    /// Fsync only on segment rolls and close.
+    OnClose,
+}
+
+impl FsyncPolicy {
+    /// Parses a policy name (`always` / `interval` / `onclose`),
+    /// using `interval` as the period for the interval policy.
+    pub fn parse(name: &str, interval: Duration) -> Option<FsyncPolicy> {
+        match name {
+            "always" => Some(FsyncPolicy::Always),
+            "interval" => Some(FsyncPolicy::Interval(interval)),
+            "onclose" | "on-close" => Some(FsyncPolicy::OnClose),
+            _ => None,
+        }
+    }
+
+    /// The policy's flag name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Interval(_) => "interval",
+            FsyncPolicy::OnClose => "onclose",
+        }
+    }
+}
+
+/// Log tunables.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// When appends are forced to stable storage.
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A configuration with the default 64 MiB segments and a 50 ms
+    /// fsync interval.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 64 * 1024 * 1024,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// What [`Wal::open`] found and repaired.
+#[derive(Debug, Default)]
+pub struct WalOpenReport {
+    /// Highest LSN recovered (0 when the log is empty).
+    pub last_lsn: u64,
+    /// Segment files kept (including the one reopened for appends).
+    pub segments: usize,
+    /// Bytes discarded while repairing torn tails, corrupt frames and
+    /// dropped segments.
+    pub truncated_bytes: u64,
+    /// Human-readable repair log; empty after a clean shutdown.
+    pub diagnostics: Vec<String>,
+}
+
+/// Point-in-time log statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Highest assigned LSN (0 when empty).
+    pub last_lsn: u64,
+    /// Live segment files, including the append target.
+    pub segments: usize,
+    /// Bytes across all live segments.
+    pub live_bytes: u64,
+    /// Records appended since open.
+    pub appended_records: u64,
+    /// Frame bytes appended since open.
+    pub appended_bytes: u64,
+    /// Fsyncs performed since open.
+    pub syncs: u64,
+    /// Duration of the most recent fsync, in microseconds.
+    pub last_sync_micros: u64,
+}
+
+/// A sealed (no longer appended-to) segment.
+struct Sealed {
+    first_lsn: u64,
+    path: PathBuf,
+    bytes: u64,
+}
+
+struct Inner {
+    sealed: Vec<Sealed>,
+    current: File,
+    current_path: PathBuf,
+    current_first_lsn: u64,
+    current_bytes: u64,
+    next_lsn: u64,
+    dirty: bool,
+    last_sync: Instant,
+    encode_buf: Vec<u8>,
+    appended_records: u64,
+    appended_bytes: u64,
+    syncs: u64,
+    last_sync_micros: u64,
+    /// Set after an append/sync I/O error; the log refuses further
+    /// appends rather than risk interleaving garbage.
+    failed: Option<String>,
+}
+
+/// The write-ahead log. All methods take `&self`; appends from
+/// concurrent shards serialise on an internal mutex.
+pub struct Wal {
+    config: WalConfig,
+    inner: Mutex<Inner>,
+    /// Observes every fsync's duration in microseconds (installed once by
+    /// the server to feed its latency histogram).
+    sync_observer: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
+}
+
+fn segment_name(first_lsn: u64) -> String {
+    format!("wal-{first_lsn:020}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Fsyncs `dir` so renames/creates/deletes inside it are durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl Wal {
+    /// Opens (creating the directory if needed) and repairs the log;
+    /// returns the log positioned for appends plus the repair report.
+    pub fn open(config: WalConfig) -> io::Result<(Wal, WalOpenReport)> {
+        fs::create_dir_all(&config.dir)?;
+        let mut report = WalOpenReport::default();
+
+        let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(&config.dir)?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let lsn = parse_segment_name(entry.file_name().to_str()?)?;
+                Some((lsn, entry.path()))
+            })
+            .collect();
+        segments.sort_by_key(|(lsn, _)| *lsn);
+
+        let mut kept: Vec<Sealed> = Vec::new();
+        let mut next_lsn: u64 = 1;
+        let mut drop_rest = false;
+        for (name_lsn, path) in segments {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            if drop_rest {
+                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                report.truncated_bytes += bytes;
+                report
+                    .diagnostics
+                    .push(format!("dropped segment {name} past an earlier repair"));
+                fs::remove_file(&path)?;
+                continue;
+            }
+            let data = fs::read(&path)?;
+            if data.is_empty() {
+                report
+                    .diagnostics
+                    .push(format!("removed zero-length segment {name}"));
+                fs::remove_file(&path)?;
+                continue;
+            }
+            let mut offset = 0usize;
+            let mut expected = name_lsn;
+            loop {
+                match decode_record(&data[offset..]) {
+                    Frame::Record { lsn, frame_len, .. } => {
+                        if lsn != expected {
+                            report.diagnostics.push(format!(
+                                "{name}: LSN discontinuity at byte {offset} \
+                                 (found {lsn}, expected {expected}); truncated"
+                            ));
+                            drop_rest = true;
+                            break;
+                        }
+                        expected += 1;
+                        offset += frame_len;
+                    }
+                    Frame::Incomplete => {
+                        if offset < data.len() {
+                            report.diagnostics.push(format!(
+                                "{name}: torn tail at byte {offset} \
+                                 ({} bytes discarded)",
+                                data.len() - offset
+                            ));
+                            drop_rest = true;
+                        }
+                        break;
+                    }
+                    Frame::Corrupt(msg) => {
+                        report.diagnostics.push(format!(
+                            "{name}: corrupt frame at byte {offset} ({msg}); \
+                             truncated to last valid record"
+                        ));
+                        drop_rest = true;
+                        break;
+                    }
+                }
+            }
+            if offset == 0 {
+                // Nothing valid in this file at all.
+                report.truncated_bytes += data.len() as u64;
+                fs::remove_file(&path)?;
+                continue;
+            }
+            if offset < data.len() {
+                report.truncated_bytes += (data.len() - offset) as u64;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(offset as u64)?;
+                f.sync_all()?;
+            }
+            next_lsn = expected;
+            kept.push(Sealed {
+                first_lsn: name_lsn,
+                path,
+                bytes: offset as u64,
+            });
+        }
+
+        // Reopen the newest surviving segment for appends, or start a
+        // fresh one.
+        let (current_path, current_first_lsn, current_bytes) = match kept.pop() {
+            Some(seg) => (seg.path, seg.first_lsn, seg.bytes),
+            None => {
+                let path = config.dir.join(segment_name(next_lsn));
+                drop(File::create(&path)?);
+                sync_dir(&config.dir)?;
+                (path, next_lsn, 0)
+            }
+        };
+        let current = OpenOptions::new().append(true).open(&current_path)?;
+
+        report.last_lsn = next_lsn - 1;
+        report.segments = kept.len() + 1;
+        let wal = Wal {
+            config,
+            inner: Mutex::new(Inner {
+                sealed: kept,
+                current,
+                current_path,
+                current_first_lsn,
+                current_bytes,
+                next_lsn,
+                dirty: false,
+                last_sync: Instant::now(),
+                encode_buf: Vec::new(),
+                appended_records: 0,
+                appended_bytes: 0,
+                syncs: 0,
+                last_sync_micros: 0,
+                failed: None,
+            }),
+            sync_observer: OnceLock::new(),
+        };
+        Ok((wal, report))
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Installs the fsync-latency observer (first call wins). The
+    /// observer receives each fsync's duration in microseconds.
+    pub fn set_sync_observer(&self, observer: Box<dyn Fn(u64) + Send + Sync>) {
+        let _ = self.sync_observer.set(observer);
+    }
+
+    /// Appends `payloads` as consecutive records in one write, returning
+    /// the LSN of the last record (or the current last LSN for an empty
+    /// batch).
+    pub fn append_batch(&self, payloads: &[&[u8]]) -> io::Result<u64> {
+        let mut inner = self.inner.lock().expect("wal poisoned");
+        if let Some(msg) = &inner.failed {
+            return Err(io::Error::other(format!("wal previously failed: {msg}")));
+        }
+        if payloads.is_empty() {
+            return Ok(inner.next_lsn - 1);
+        }
+        let mut buf = std::mem::take(&mut inner.encode_buf);
+        buf.clear();
+        for payload in payloads {
+            encode_record(inner.next_lsn, payload, &mut buf);
+            inner.next_lsn += 1;
+        }
+        let write = inner.current.write_all(&buf);
+        if let Err(e) = write {
+            inner.failed = Some(e.to_string());
+            return Err(e);
+        }
+        inner.current_bytes += buf.len() as u64;
+        inner.appended_records += payloads.len() as u64;
+        inner.appended_bytes += buf.len() as u64;
+        inner.dirty = true;
+        let last = inner.next_lsn - 1;
+        buf.clear();
+        inner.encode_buf = buf;
+        if matches!(self.config.fsync, FsyncPolicy::Always) {
+            self.sync_inner(&mut inner)?;
+        }
+        if inner.current_bytes >= self.config.segment_bytes {
+            self.roll(&mut inner)?;
+        }
+        Ok(last)
+    }
+
+    /// Forces buffered appends to stable storage.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal poisoned");
+        self.sync_inner(&mut inner)
+    }
+
+    /// Drives the [`FsyncPolicy::Interval`] policy: syncs when the
+    /// configured interval has elapsed since the last sync. No-op under
+    /// the other policies. Call this from a periodic maintenance thread.
+    pub fn tick(&self) -> io::Result<()> {
+        let FsyncPolicy::Interval(period) = self.config.fsync else {
+            return Ok(());
+        };
+        let mut inner = self.inner.lock().expect("wal poisoned");
+        if inner.dirty && inner.last_sync.elapsed() >= period {
+            self.sync_inner(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Highest assigned LSN (0 when the log is empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.inner.lock().expect("wal poisoned").next_lsn - 1
+    }
+
+    /// Deletes sealed segments whose every record has LSN ≤ `lsn`
+    /// (because a snapshot now covers them). Returns the bytes freed.
+    pub fn truncate_until(&self, lsn: u64) -> io::Result<u64> {
+        let mut inner = self.inner.lock().expect("wal poisoned");
+        let mut freed = 0u64;
+        while !inner.sealed.is_empty() {
+            let next_first = inner
+                .sealed
+                .get(1)
+                .map(|s| s.first_lsn)
+                .unwrap_or(inner.current_first_lsn);
+            // The head segment's records all precede `next_first`.
+            if next_first > lsn + 1 {
+                break;
+            }
+            let seg = inner.sealed.remove(0);
+            fs::remove_file(&seg.path)?;
+            freed += seg.bytes;
+        }
+        if freed > 0 {
+            sync_dir(&self.config.dir)?;
+        }
+        Ok(freed)
+    }
+
+    /// Streams every record to `f` in LSN order. Intended for recovery,
+    /// before concurrent appends begin; the log is locked for the
+    /// duration. Returns the number of records visited.
+    pub fn replay<F: FnMut(u64, &[u8])>(&self, mut f: F) -> io::Result<u64> {
+        let inner = self.inner.lock().expect("wal poisoned");
+        let mut paths: Vec<&Path> = inner.sealed.iter().map(|s| s.path.as_path()).collect();
+        paths.push(inner.current_path.as_path());
+        let mut count = 0u64;
+        for path in paths {
+            let data = fs::read(path)?;
+            let mut offset = 0usize;
+            while let Frame::Record {
+                lsn,
+                payload,
+                frame_len,
+            } = decode_record(&data[offset..])
+            {
+                f(lsn, payload);
+                count += 1;
+                offset += frame_len;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> WalStats {
+        let inner = self.inner.lock().expect("wal poisoned");
+        WalStats {
+            last_lsn: inner.next_lsn - 1,
+            segments: inner.sealed.len() + 1,
+            live_bytes: inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.current_bytes,
+            appended_records: inner.appended_records,
+            appended_bytes: inner.appended_bytes,
+            syncs: inner.syncs,
+            last_sync_micros: inner.last_sync_micros,
+        }
+    }
+
+    fn sync_inner(&self, inner: &mut Inner) -> io::Result<()> {
+        if !inner.dirty {
+            return Ok(());
+        }
+        let start = Instant::now();
+        if let Err(e) = inner.current.sync_data() {
+            inner.failed = Some(e.to_string());
+            return Err(e);
+        }
+        let micros = start.elapsed().as_micros() as u64;
+        inner.dirty = false;
+        inner.last_sync = Instant::now();
+        inner.syncs += 1;
+        inner.last_sync_micros = micros;
+        if let Some(observer) = self.sync_observer.get() {
+            observer(micros);
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment (always fsynced first — sealed segments
+    /// are durable by construction) and starts a fresh one.
+    fn roll(&self, inner: &mut Inner) -> io::Result<()> {
+        inner.current.sync_data()?;
+        inner.dirty = false;
+        inner.last_sync = Instant::now();
+        let path = self.config.dir.join(segment_name(inner.next_lsn));
+        let file = File::create(&path)?;
+        sync_dir(&self.config.dir)?;
+        let old_path = std::mem::replace(&mut inner.current_path, path);
+        let old_bytes = std::mem::replace(&mut inner.current_bytes, 0);
+        let old_first = std::mem::replace(&mut inner.current_first_lsn, inner.next_lsn);
+        inner.current = file;
+        inner.sealed.push(Sealed {
+            first_lsn: old_first,
+            path: old_path,
+            bytes: old_bytes,
+        });
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort final sync so a clean drop loses nothing even under
+    /// [`FsyncPolicy::OnClose`].
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let _ = self.sync_inner(&mut inner);
+        }
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.config.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("traj-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_config(dir: &Path) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes: 256,
+            fsync: FsyncPolicy::OnClose,
+        }
+    }
+
+    fn collect(wal: &Wal) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        wal.replay(|lsn, payload| out.push((lsn, payload.to_vec())))
+            .expect("replay");
+        out
+    }
+
+    #[test]
+    fn append_reopen_and_replay() {
+        let dir = temp_dir("reopen");
+        {
+            let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("open");
+            assert_eq!(report.last_lsn, 0);
+            assert!(report.diagnostics.is_empty());
+            assert_eq!(wal.append_batch(&[b"one", b"two"]).unwrap(), 2);
+            assert_eq!(wal.append_batch(&[b"three"]).unwrap(), 3);
+            wal.sync().unwrap();
+        }
+        let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        assert_eq!(report.last_lsn, 3);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(
+            collect(&wal),
+            vec![
+                (1, b"one".to_vec()),
+                (2, b"two".to_vec()),
+                (3, b"three".to_vec())
+            ]
+        );
+        assert_eq!(wal.append_batch(&[b"four"]).unwrap(), 4, "LSNs continue");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_roll_and_truncate() {
+        let dir = temp_dir("roll");
+        let (wal, _) = Wal::open(tiny_config(&dir)).expect("open");
+        let payload = [7u8; 64];
+        for _ in 0..12 {
+            wal.append_batch(&[&payload]).unwrap();
+        }
+        let stats = wal.stats();
+        assert!(stats.segments > 1, "expected rolls, got {stats:?}");
+        assert_eq!(stats.last_lsn, 12);
+        assert_eq!(collect(&wal).len(), 12);
+
+        // A snapshot at LSN 9 releases every sealed segment it covers.
+        let freed = wal.truncate_until(9).unwrap();
+        assert!(freed > 0);
+        let replayed = collect(&wal);
+        assert_eq!(replayed.last().unwrap().0, 12, "tail survives");
+        assert!(
+            replayed.first().unwrap().0 <= 10,
+            "records past the snapshot survive"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let dir = temp_dir("torn");
+        {
+            let (wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
+            wal.append_batch(&[b"alpha", b"beta"]).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: half a frame of garbage.
+        let seg = dir.join(segment_name(1));
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x21, 0x00, 0x00, 0x00, 0xAA, 0xBB]).unwrap();
+        drop(f);
+
+        let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        assert_eq!(report.last_lsn, 2);
+        assert_eq!(report.truncated_bytes, 6);
+        assert!(
+            report.diagnostics.iter().any(|d| d.contains("torn tail")),
+            "{:?}",
+            report.diagnostics
+        );
+        assert_eq!(collect(&wal).len(), 2);
+        assert_eq!(wal.append_batch(&[b"gamma"]).unwrap(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_truncates_with_a_diagnostic() {
+        let dir = temp_dir("flip");
+        {
+            let (wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
+            wal.append_batch(&[b"aaaa", b"bbbb", b"cccc"]).unwrap();
+            wal.sync().unwrap();
+        }
+        let seg = dir.join(segment_name(1));
+        let mut data = fs::read(&seg).unwrap();
+        let second_frame = 8 + 8 + 4; // first frame: header + lsn + "aaaa"
+        data[second_frame + 10] ^= 0x80; // flip a bit inside record 2
+        fs::write(&seg, &data).unwrap();
+
+        let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        assert_eq!(report.last_lsn, 1, "recovers to the last valid record");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("corrupt frame")),
+            "{:?}",
+            report.diagnostics
+        );
+        assert_eq!(collect(&wal), vec![(1, b"aaaa".to_vec())]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_length_segment_is_removed_with_a_diagnostic() {
+        let dir = temp_dir("zero");
+        {
+            let (wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
+            wal.append_batch(&[b"solo"]).unwrap();
+            wal.sync().unwrap();
+        }
+        // A crash between segment creation and first append leaves an
+        // empty file.
+        File::create(dir.join(segment_name(2))).unwrap();
+
+        let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        assert_eq!(report.last_lsn, 1);
+        assert!(
+            report.diagnostics.iter().any(|d| d.contains("zero-length")),
+            "{:?}",
+            report.diagnostics
+        );
+        assert_eq!(collect(&wal).len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_in_a_middle_segment_drops_later_segments() {
+        let dir = temp_dir("middle");
+        {
+            let (wal, _) = Wal::open(tiny_config(&dir)).expect("open");
+            let payload = [1u8; 64];
+            for _ in 0..12 {
+                wal.append_batch(&[&payload]).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.stats().segments >= 3);
+        }
+        // Corrupt the first record of the first segment entirely.
+        let seg = dir.join(segment_name(1));
+        let mut data = fs::read(&seg).unwrap();
+        data[20] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+
+        let (wal, report) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        assert_eq!(
+            report.last_lsn, 0,
+            "a hole in the LSN sequence drops the rest"
+        );
+        assert!(report.diagnostics.len() >= 2, "{:?}", report.diagnostics);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(collect(&wal).len(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interval_policy_syncs_on_tick() {
+        let dir = temp_dir("tick");
+        let config = WalConfig {
+            fsync: FsyncPolicy::Interval(Duration::from_millis(1)),
+            ..WalConfig::new(&dir)
+        };
+        let (wal, _) = Wal::open(config).expect("open");
+        let observed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = std::sync::Arc::clone(&observed);
+        wal.set_sync_observer(Box::new(move |_| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+        wal.append_batch(&[b"x"]).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        wal.tick().unwrap();
+        assert_eq!(wal.stats().syncs, 1);
+        assert_eq!(observed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        wal.tick().unwrap();
+        assert_eq!(wal.stats().syncs, 1, "clean log does not re-sync");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn always_policy_syncs_every_batch() {
+        let dir = temp_dir("always");
+        let config = WalConfig {
+            fsync: FsyncPolicy::Always,
+            ..WalConfig::new(&dir)
+        };
+        let (wal, _) = Wal::open(config).expect("open");
+        wal.append_batch(&[b"a"]).unwrap();
+        wal.append_batch(&[b"b", b"c"]).unwrap();
+        assert_eq!(wal.stats().syncs, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

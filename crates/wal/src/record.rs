@@ -1,0 +1,169 @@
+//! The on-disk WAL record frame.
+//!
+//! ```text
+//! ┌───────────┬───────────┬───────────┬─────────────────┐
+//! │ len  u32  │ crc  u32  │ lsn  u64  │ payload         │
+//! │ LE        │ LE        │ LE        │ len − 8 bytes   │
+//! └───────────┴───────────┴───────────┴─────────────────┘
+//! ```
+//!
+//! `len` counts the LSN plus the payload (everything the CRC covers), so
+//! a frame occupies `8 + len` bytes on disk. The CRC is the IEEE CRC-32
+//! of the LSN bytes followed by the payload; a flipped bit anywhere past
+//! the length prefix fails validation. Decoding distinguishes an
+//! [`Frame::Incomplete`] tail (a crash mid-write — truncate and carry on)
+//! from a [`Frame::Corrupt`] body (bit rot or a torn write that still
+//! left enough bytes — truncate at the last valid record and log it).
+
+use crate::crc32::Crc32;
+
+/// Fixed bytes before the payload: length, checksum, LSN.
+pub const RECORD_HEADER_BYTES: usize = 16;
+
+/// Upper bound on `len`; anything larger is treated as corruption (a
+/// garbage length prefix would otherwise read gigabytes).
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Outcome of decoding one frame from the head of a buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A valid record: its LSN, payload, and total frame size in bytes.
+    Record {
+        /// Log sequence number of the record.
+        lsn: u64,
+        /// The opaque payload.
+        payload: &'a [u8],
+        /// Bytes the whole frame occupies on disk.
+        frame_len: usize,
+    },
+    /// The buffer ends before the frame does (torn tail).
+    Incomplete,
+    /// The frame is structurally invalid or fails its checksum.
+    Corrupt(String),
+}
+
+/// Appends the frame for (`lsn`, `payload`) to `out`.
+pub fn encode_record(lsn: u64, payload: &[u8], out: &mut Vec<u8>) {
+    let len = 8 + payload.len();
+    debug_assert!(len <= MAX_RECORD_BYTES as usize, "oversized WAL record");
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&lsn.to_le_bytes());
+    crc.update(payload);
+    out.extend_from_slice(&crc.finalize().to_le_bytes());
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decodes the frame at the head of `buf`.
+pub fn decode_record(buf: &[u8]) -> Frame<'_> {
+    if buf.len() < 8 {
+        return Frame::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len < 8 {
+        return Frame::Corrupt(format!("record length {len} below minimum"));
+    }
+    if len > MAX_RECORD_BYTES {
+        return Frame::Corrupt(format!("record length {len} exceeds the frame bound"));
+    }
+    let stored_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let frame_len = 8 + len as usize;
+    if buf.len() < frame_len {
+        return Frame::Incomplete;
+    }
+    let body = &buf[8..frame_len];
+    let mut crc = Crc32::new();
+    crc.update(body);
+    if crc.finalize() != stored_crc {
+        return Frame::Corrupt("checksum mismatch".to_string());
+    }
+    let lsn = u64::from_le_bytes([
+        body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+    ]);
+    Frame::Record {
+        lsn,
+        payload: &body[8..],
+        frame_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        encode_record(42, b"hello", &mut buf);
+        match decode_record(&buf) {
+            Frame::Record {
+                lsn,
+                payload,
+                frame_len,
+            } => {
+                assert_eq!(lsn, 42);
+                assert_eq!(payload, b"hello");
+                assert_eq!(frame_len, buf.len());
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_records_decode_in_sequence() {
+        let mut buf = Vec::new();
+        encode_record(1, b"a", &mut buf);
+        encode_record(2, b"bb", &mut buf);
+        let Frame::Record { frame_len, .. } = decode_record(&buf) else {
+            panic!("first record");
+        };
+        match decode_record(&buf[frame_len..]) {
+            Frame::Record { lsn, payload, .. } => {
+                assert_eq!(lsn, 2);
+                assert_eq!(payload, b"bb");
+            }
+            other => panic!("expected the second record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_corrupt() {
+        let mut buf = Vec::new();
+        encode_record(7, b"payload", &mut buf);
+        for i in 4..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(decode_record(&bad), Frame::Corrupt(_)),
+                "byte {i} flip undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_incomplete() {
+        let mut buf = Vec::new();
+        encode_record(7, b"payload", &mut buf);
+        for cut in [3, 8, buf.len() - 1] {
+            assert_eq!(decode_record(&buf[..cut]), Frame::Incomplete, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_incomplete() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0xFF]; // len = u32::MAX
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(decode_record(&buf), Frame::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        encode_record(1, b"", &mut buf);
+        match decode_record(&buf) {
+            Frame::Record { payload, .. } => assert!(payload.is_empty()),
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Atomic snapshot storage.
+//!
+//! A snapshot is one opaque payload (the engine's encoded state) tagged
+//! with the LSN it covers: after loading it, only WAL records past that
+//! LSN need replaying. Files are named `snap-{lsn:020}.snap` and written
+//! crash-safely: the bytes go to a temporary file which is fsynced,
+//! renamed into place, and the directory fsynced — a reader can never
+//! observe a half-written snapshot under its final name. Each file
+//! carries a magic, a version, and a CRC-32 over the LSN and payload;
+//! [`SnapshotStore::load_latest`] validates and falls back to the
+//! previous snapshot (with a diagnostic) if the newest is damaged, which
+//! is why [`SnapshotStore::write`] keeps one older generation around.
+
+use crate::crc32::Crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"TSNP";
+const VERSION: u32 = 1;
+/// Magic + version + lsn + payload length + crc.
+const HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4;
+
+/// Snapshot generations kept on disk (the newest plus fallbacks).
+const KEEP_GENERATIONS: usize = 2;
+
+/// A validated snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every WAL record with LSN ≤ this is reflected in the payload.
+    pub lsn: u64,
+    /// The opaque engine state.
+    pub payload: Vec<u8>,
+}
+
+/// A directory of snapshot files.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snapshot_name(lsn: u64) -> String {
+    format!("snap-{lsn:020}.snap")
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a snapshot covering `lsn` atomically and prunes old
+    /// generations. Returns the final path.
+    pub fn write(&self, lsn: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        let final_path = self.dir.join(snapshot_name(lsn));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(lsn)));
+
+        let mut crc = Crc32::new();
+        crc.update(&lsn.to_le_bytes());
+        crc.update(payload);
+
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&lsn.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc.finalize().to_le_bytes());
+
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            f.write_all(&header)?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// Loads the newest valid snapshot, skipping damaged ones with a
+    /// diagnostic per skip. `Ok((None, _))` means no usable snapshot.
+    pub fn load_latest(&self) -> io::Result<(Option<Snapshot>, Vec<String>)> {
+        let mut diagnostics = Vec::new();
+        let mut candidates = self.list()?;
+        candidates.reverse(); // newest first
+        for (lsn, path) in candidates {
+            match Self::read_validated(lsn, &path) {
+                Ok(snapshot) => return Ok((Some(snapshot), diagnostics)),
+                Err(msg) => diagnostics.push(format!(
+                    "skipped snapshot {}: {msg}",
+                    path.file_name().unwrap_or_default().to_string_lossy()
+                )),
+            }
+        }
+        Ok((None, diagnostics))
+    }
+
+    /// Snapshot LSNs currently on disk, ascending.
+    pub fn lsns(&self) -> io::Result<Vec<u64>> {
+        Ok(self.list()?.into_iter().map(|(lsn, _)| lsn).collect())
+    }
+
+    fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out: Vec<(u64, PathBuf)> = fs::read_dir(&self.dir)?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let lsn = parse_snapshot_name(entry.file_name().to_str()?)?;
+                Some((lsn, entry.path()))
+            })
+            .collect();
+        out.sort_by_key(|(lsn, _)| *lsn);
+        Ok(out)
+    }
+
+    fn read_validated(expected_lsn: u64, path: &Path) -> Result<Snapshot, String> {
+        let data = fs::read(path).map_err(|e| e.to_string())?;
+        if data.len() < HEADER_BYTES {
+            return Err(format!("file too short ({} bytes)", data.len()));
+        }
+        if data[..4] != MAGIC {
+            return Err("bad magic".to_string());
+        }
+        let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let lsn = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+        if lsn != expected_lsn {
+            return Err(format!("LSN {lsn} does not match the file name"));
+        }
+        let len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(data[24..28].try_into().expect("4 bytes"));
+        if data.len() != HEADER_BYTES + len {
+            return Err(format!(
+                "payload length mismatch (header says {len}, file holds {})",
+                data.len() - HEADER_BYTES
+            ));
+        }
+        let payload = &data[HEADER_BYTES..];
+        let mut crc = Crc32::new();
+        crc.update(&lsn.to_le_bytes());
+        crc.update(payload);
+        if crc.finalize() != stored_crc {
+            return Err("checksum mismatch".to_string());
+        }
+        Ok(Snapshot {
+            lsn,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let list = self.list()?;
+        if list.len() <= KEEP_GENERATIONS {
+            return Ok(());
+        }
+        for (_, path) in &list[..list.len() - KEEP_GENERATIONS] {
+            fs::remove_file(path)?;
+        }
+        sync_dir(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("traj-snap-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = temp_dir("rt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let (none, diags) = store.load_latest().unwrap();
+        assert!(none.is_none() && diags.is_empty());
+
+        store.write(17, b"state-bytes").unwrap();
+        let (snap, diags) = store.load_latest().unwrap();
+        assert!(diags.is_empty());
+        let snap = snap.expect("snapshot");
+        assert_eq!(snap.lsn, 17);
+        assert_eq!(snap.payload, b"state-bytes");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newest_wins_and_old_generations_are_pruned() {
+        let dir = temp_dir("prune");
+        let store = SnapshotStore::open(&dir).unwrap();
+        for lsn in [10, 20, 30, 40] {
+            store.write(lsn, format!("at-{lsn}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.lsns().unwrap(), vec![30, 40], "keeps two generations");
+        let (snap, _) = store.load_latest().unwrap();
+        assert_eq!(snap.unwrap().lsn, 40);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_with_a_diagnostic() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(5, b"good-old").unwrap();
+        let newest = store.write(9, b"good-new").unwrap();
+        let mut data = fs::read(&newest).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        fs::write(&newest, &data).unwrap();
+
+        let (snap, diags) = store.load_latest().unwrap();
+        let snap = snap.expect("fallback snapshot");
+        assert_eq!(snap.lsn, 5);
+        assert_eq!(snap.payload, b"good-old");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].contains("checksum mismatch"), "{diags:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_skipped() {
+        let dir = temp_dir("short");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(3, b"ok").unwrap();
+        let newest = store.write(8, b"will-be-cut").unwrap();
+        let data = fs::read(&newest).unwrap();
+        fs::write(&newest, &data[..data.len() - 4]).unwrap();
+
+        let (snap, diags) = store.load_latest().unwrap();
+        assert_eq!(snap.expect("fallback").lsn, 3);
+        assert!(!diags.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payload_snapshot_is_valid() {
+        let dir = temp_dir("empty");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(1, b"").unwrap();
+        let (snap, _) = store.load_latest().unwrap();
+        assert_eq!(snap.expect("snapshot").payload.len(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

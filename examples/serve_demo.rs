@@ -81,6 +81,6 @@ fn main() {
     }
     println!("  …");
 
-    handle.stop();
+    handle.stop().expect("stop");
     println!("server stopped cleanly");
 }
