@@ -1,0 +1,245 @@
+//! Inference-throughput probe of the compiled batch path: flat SoA
+//! ensembles traversed level-by-level versus the interpreted per-row
+//! pointer-chasing walkers.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin bench_predict -- [--smoke]
+//! ```
+//!
+//! Fits a forest, a single deep tree and a gradient booster on a
+//! synthetic feature-space cohort shaped like the paper's (70 features,
+//! 5 modes), then times predicting a held-out batch both ways on one
+//! worker. The interpreted baseline is exactly what the serve path ran
+//! before compilation: `predict_row` + `predict_scores_row` per row.
+//! Writes `results/BENCH_predict.json`.
+//!
+//! Acceptance bar (full scale, single worker): forest batch prediction
+//! ≥ 5× the interpreted walk. `--smoke` runs a tiny cohort to exercise
+//! every code path in CI without asserting speedups. Both paths are
+//! checked for bit-identical classes and scores before timing.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use traj_bench::{results_dir, Cli};
+use traj_ml::boosting::{GbdtConfig, GradientBoosting};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::tree::{DecisionTree, TreeConfig};
+use traj_ml::{BatchPredictor, CompiledModel, Dataset, Predictions, RowMatrix};
+use traj_runtime::Runtime;
+use trajlib::report::save_json;
+
+/// One interpreted-vs-compiled comparison.
+#[derive(Debug, Serialize)]
+struct Timing {
+    interpreted_ms: f64,
+    compiled_ms: f64,
+    /// `interpreted_ms / compiled_ms`.
+    speedup: f64,
+    /// Rows predicted per second through the compiled path.
+    compiled_rows_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PredictBench {
+    cores: usize,
+    smoke: bool,
+    n_train: usize,
+    n_predict: usize,
+    n_features: usize,
+    n_classes: usize,
+    /// Random forest (50 trees, the paper-default ensemble).
+    forest_1t: Timing,
+    /// Single deep tree.
+    tree_1t: Timing,
+    /// Gradient booster (20 rounds × 5 classes, depth 4).
+    gbdt_1t: Timing,
+    /// Headline number the acceptance bar reads.
+    forest_speedup_compiled_vs_interpreted_1t: f64,
+}
+
+/// Synthetic feature-space cohort shaped like the paper's: `n` segments,
+/// 70 features of which the first 10 carry a graded class signal, 5
+/// transportation modes.
+fn feature_space_data(n: usize, seed: u64) -> Dataset {
+    const N_FEATURES: usize = 70;
+    const N_CLASSES: usize = 5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % N_CLASSES;
+        let row: Vec<f64> = (0..N_FEATURES)
+            .map(|f| {
+                let signal = if f < 10 {
+                    class as f64 * (1.5 - 0.1 * f as f64)
+                } else {
+                    0.0
+                };
+                signal + rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        rows.push(row);
+        y.push(class);
+    }
+    Dataset::from_rows(&rows, y, N_CLASSES, vec![0; n], vec![])
+}
+
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Pins bit-parity, then times the interpreted per-row walk (classes +
+/// scores, the old serve hot path) against one compiled batch call.
+fn bench_model(
+    label: &str,
+    reps: usize,
+    batch: &RowMatrix,
+    serial: &Runtime,
+    predict_row: impl Fn(&[f64]) -> usize + Sync,
+    scores_row: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    compiled: &CompiledModel,
+) -> Timing {
+    let mut out = Predictions::new();
+    compiled.predict_into(batch, &mut out).expect("fitted");
+    for i in 0..batch.n_rows() {
+        assert_eq!(out.class(i), predict_row(batch.row(i)), "{label} parity");
+        let reference = scores_row(batch.row(i));
+        let scores = out.scores(i).expect("scores");
+        assert_eq!(scores.len(), reference.len(), "{label} parity");
+        for (a, b) in scores.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label} score parity");
+        }
+    }
+
+    let interpreted_ms = best_ms(reps, || {
+        serial.install(|| {
+            let mut checksum = 0usize;
+            for i in 0..batch.n_rows() {
+                checksum += predict_row(batch.row(i));
+                checksum += scores_row(batch.row(i)).len();
+            }
+            assert!(checksum > 0);
+        });
+    });
+    let compiled_ms = best_ms(reps, || {
+        serial.install(|| {
+            let mut out = Predictions::new();
+            compiled.predict_into(batch, &mut out).expect("fitted");
+            assert_eq!(out.len(), batch.n_rows());
+        });
+    });
+    let timing = Timing {
+        interpreted_ms,
+        compiled_ms,
+        speedup: interpreted_ms / compiled_ms,
+        compiled_rows_per_s: batch.n_rows() as f64 / (compiled_ms / 1e3),
+    };
+    println!(
+        "{label:<9} 1t: interpreted {:.1}ms compiled {:.2}ms ({:.2}x, {:.0} rows/s)",
+        timing.interpreted_ms, timing.compiled_ms, timing.speedup, timing.compiled_rows_per_s
+    );
+    timing
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let smoke = cli.small || cli.args.iter().any(|a| a == "--smoke");
+    let seed = cli.seed.unwrap_or(29);
+
+    let (n_train, n_predict, reps) = if smoke {
+        (2_000, 2_000, 1)
+    } else {
+        (20_000, 50_000, 3)
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let serial = Runtime::new(1);
+
+    let train = feature_space_data(n_train, seed);
+    let held_out = feature_space_data(n_predict, seed.wrapping_add(1));
+    let batch = RowMatrix::from_dataset(&held_out);
+
+    let mut forest = RandomForest::new(ForestConfig {
+        n_estimators: 50,
+        seed: 2,
+        ..ForestConfig::default()
+    });
+    serial.install(|| forest.fit(&train));
+    let forest_compiled = CompiledModel::from_forest(&forest, None).expect("fitted");
+    let forest_1t = bench_model(
+        "forest",
+        reps,
+        &batch,
+        &serial,
+        |row| forest.predict_row(row),
+        |row| forest.predict_proba_row(row),
+        &forest_compiled,
+    );
+
+    let mut tree = DecisionTree::new(TreeConfig {
+        max_depth: Some(14),
+        seed: 3,
+        ..TreeConfig::default()
+    });
+    serial.install(|| tree.fit(&train));
+    let tree_compiled = CompiledModel::from_tree(&tree, None).expect("fitted");
+    let tree_1t = bench_model(
+        "tree",
+        reps,
+        &batch,
+        &serial,
+        |row| tree.predict_row(row),
+        |row| tree.predict_proba_row(row),
+        &tree_compiled,
+    );
+
+    let mut gbdt = GradientBoosting::new(GbdtConfig {
+        n_rounds: 20,
+        max_depth: 4,
+        seed: 4,
+        ..GbdtConfig::default()
+    });
+    serial.install(|| gbdt.fit(&train));
+    let gbdt_compiled = CompiledModel::from_gbdt(&gbdt, None).expect("fitted");
+    let gbdt_1t = bench_model(
+        "gbdt",
+        reps,
+        &batch,
+        &serial,
+        |row| gbdt.predict_row(row),
+        |row| gbdt.predict_proba_row(row),
+        &gbdt_compiled,
+    );
+
+    let result = PredictBench {
+        cores,
+        smoke,
+        n_train,
+        n_predict,
+        n_features: train.n_features(),
+        n_classes: 5,
+        forest_speedup_compiled_vs_interpreted_1t: forest_1t.speedup,
+        forest_1t,
+        tree_1t,
+        gbdt_1t,
+    };
+
+    if !smoke {
+        assert!(
+            result.forest_speedup_compiled_vs_interpreted_1t >= 5.0,
+            "forest compiled speedup below the 5x bar: {:.2}x",
+            result.forest_speedup_compiled_vs_interpreted_1t
+        );
+    }
+
+    save_json(&results_dir().join("BENCH_predict.json"), &result).expect("write results");
+}

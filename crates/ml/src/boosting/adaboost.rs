@@ -161,16 +161,20 @@ impl AdaBoost {
             .unwrap_or(0)
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the shared
+    /// batch API ([`crate::compiled::BatchPredictor`]).
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 
     /// Number of fitted stages.
     pub fn n_stages(&self) -> usize {
         self.stages.len()
+    }
+
+    /// `true` once the ensemble has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.stages.is_empty()
     }
 }
 

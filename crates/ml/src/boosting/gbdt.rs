@@ -227,16 +227,38 @@ impl GradientBoosting {
             .unwrap_or(0)
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the compiled
+    /// batch path ([`crate::compiled::BatchPredictor`]). Prefer it (or
+    /// `predict_into` with a reused buffer) over per-row
+    /// [`GradientBoosting::predict_row`] loops in hot paths.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 
     /// Number of completed boosting rounds.
     pub fn n_rounds_fitted(&self) -> usize {
         self.trees.len()
+    }
+
+    /// `true` once the booster has been fitted (zero-round fits count:
+    /// they predict from the class priors).
+    pub fn is_fitted(&self) -> bool {
+        self.n_classes > 0
+    }
+
+    /// `trees[round][class]` — the compiled lowering's view.
+    pub(crate) fn rounds_raw(&self) -> &[Vec<RegressionTree>] {
+        &self.trees
+    }
+
+    /// Log-prior base scores per class.
+    pub(crate) fn base_scores_raw(&self) -> &[f64] {
+        &self.base_scores
+    }
+
+    /// Number of classes seen at fit time.
+    pub(crate) fn n_classes_raw(&self) -> usize {
+        self.n_classes
     }
 
     /// Gain-based feature importances (total split gain per feature over

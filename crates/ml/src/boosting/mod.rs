@@ -8,3 +8,5 @@ pub mod regression_tree;
 pub use adaboost::{AdaBoost, AdaBoostConfig};
 pub use gbdt::{GbdtConfig, GradientBoosting};
 pub use regression_tree::RegressionTree;
+
+pub(crate) use regression_tree::RNode as RegressionNode;

@@ -34,17 +34,20 @@ impl Default for RegressionTreeConfig {
     }
 }
 
+/// One arena node of a regression tree. Exposed crate-wide so
+/// [`crate::compiled`] can lower fitted trees into flat SoA arrays.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum RNode {
+pub(crate) enum RNode {
+    /// A split: `row[feature] <= threshold` routes left.
     Internal {
         feature: usize,
         threshold: f64,
+        /// Children always follow their parent in the arena.
         left: usize,
         right: usize,
     },
-    Leaf {
-        weight: f64,
-    },
+    /// A terminal node emitting a Newton leaf weight.
+    Leaf { weight: f64 },
 }
 
 /// A depth-limited regression tree producing Newton leaf weights.
@@ -434,7 +437,9 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold {
+                    // Shared with the compiled traversal so both paths
+                    // agree bit-for-bit, including on NaN (routes right).
+                    node = if crate::compiled::goes_left(row[*feature], *threshold) {
                         *left
                     } else {
                         *right
@@ -442,6 +447,11 @@ impl RegressionTree {
                 }
             }
         }
+    }
+
+    /// The node arena — the compiled lowering's view.
+    pub(crate) fn nodes_raw(&self) -> &[RNode] {
+        &self.nodes
     }
 
     /// Number of nodes.

@@ -7,6 +7,9 @@
 
 use crate::binned::BinnedDataset;
 use crate::boosting::{AdaBoost, AdaBoostConfig, GbdtConfig, GradientBoosting};
+use crate::compiled::{
+    per_row_classes, BatchPredictor, CompiledModel, PredictError, Predictions, RowMatrix,
+};
 use crate::dataset::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
 use crate::knn::{Knn, KnnConfig};
@@ -18,7 +21,16 @@ use std::fmt;
 
 /// Object-safe classifier interface: fit on a dataset, predict dense class
 /// indices.
-pub trait Classifier: Send {
+///
+/// Prediction is batch-first: every classifier is a
+/// [`BatchPredictor`], and [`Classifier::predict`] is a thin wrapper
+/// over it, so all seven models share one entry point. Tree ensembles
+/// run the compiled flat-array traversal of [`crate::compiled`]; the
+/// rest fall back to their per-row kernels behind the same interface.
+/// Per-row [`Classifier::predict_row`] remains for single-row callers
+/// but is deprecated in hot loops — it re-walks boxed node structs and
+/// allocates per call.
+pub trait Classifier: Send + BatchPredictor {
     /// Fits the model.
     fn fit(&mut self, data: &Dataset);
 
@@ -40,14 +52,52 @@ pub trait Classifier: Send {
         false
     }
 
+    /// `true` once the model has been fitted. Unfitted models report
+    /// [`PredictError::NotFitted`] from the batch API instead of
+    /// panicking.
+    fn is_fitted(&self) -> bool;
+
     /// Predicted class of one feature row.
     fn predict_row(&self, row: &[f64]) -> usize;
 
-    /// Predicted classes of a dataset.
+    /// Batch-predicts the dataset rows `rows` into `out`, reusing a
+    /// binned view of `data` when the model can compare `u8` bin codes
+    /// instead of `f64` values — the CV/selection inner-loop entry
+    /// point. `binned` must be built from `data` (the quantize-once
+    /// contract). The default gathers the rows and ignores `binned`;
+    /// tree models override it with the compiled mixed bin/raw
+    /// traversal.
+    fn predict_rows_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        rows: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        let _ = binned;
+        self.predict_into(&RowMatrix::gather(data, rows), out)
+    }
+
+    /// Predicted classes of a dataset — a thin wrapper over
+    /// [`BatchPredictor::predict_into`].
+    ///
+    /// # Panics
+    /// Panics when the model is unfitted (use
+    /// [`BatchPredictor::try_predict`] for the typed-error path).
     fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        let mut out = Predictions::default();
+        match self.predict_into(&RowMatrix::from_dataset(data), &mut out) {
+            Ok(()) => out.into_classes(),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl BatchPredictor for RandomForest {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        CompiledModel::from_forest(self, None)
+            .ok_or(PredictError::NotFitted)?
+            .predict_into(rows, out)
     }
 }
 
@@ -63,8 +113,30 @@ impl Classifier for RandomForest {
     fn benefits_from_binning(&self, n_rows: usize) -> bool {
         self.config().split_algo.use_hist(n_rows)
     }
+    fn is_fitted(&self) -> bool {
+        RandomForest::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         RandomForest::predict_row(self, row)
+    }
+    fn predict_rows_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        rows: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        CompiledModel::from_forest(self, binned)
+            .ok_or(PredictError::NotFitted)?
+            .predict_dataset_into(data, binned, rows, out)
+    }
+}
+
+impl BatchPredictor for GradientBoosting {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        CompiledModel::from_gbdt(self, None)
+            .ok_or(PredictError::NotFitted)?
+            .predict_into(rows, out)
     }
 }
 
@@ -84,8 +156,30 @@ impl Classifier for GradientBoosting {
     fn benefits_from_binning(&self, n_rows: usize) -> bool {
         self.config().split_algo.use_hist(n_rows)
     }
+    fn is_fitted(&self) -> bool {
+        GradientBoosting::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         GradientBoosting::predict_row(self, row)
+    }
+    fn predict_rows_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        rows: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        CompiledModel::from_gbdt(self, binned)
+            .ok_or(PredictError::NotFitted)?
+            .predict_dataset_into(data, binned, rows, out)
+    }
+}
+
+impl BatchPredictor for DecisionTree {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        CompiledModel::from_tree(self, None)
+            .ok_or(PredictError::NotFitted)?
+            .predict_into(rows, out)
     }
 }
 
@@ -105,8 +199,30 @@ impl Classifier for DecisionTree {
     fn benefits_from_binning(&self, n_rows: usize) -> bool {
         self.config().split_algo.use_hist(n_rows)
     }
+    fn is_fitted(&self) -> bool {
+        DecisionTree::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         DecisionTree::predict_row(self, row)
+    }
+    fn predict_rows_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        rows: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        CompiledModel::from_tree(self, binned)
+            .ok_or(PredictError::NotFitted)?
+            .predict_dataset_into(data, binned, rows, out)
+    }
+}
+
+impl BatchPredictor for AdaBoost {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        per_row_classes(AdaBoost::is_fitted(self), rows, out, |row| {
+            AdaBoost::predict_row(self, row)
+        })
     }
 }
 
@@ -124,8 +240,19 @@ impl Classifier for AdaBoost {
     fn benefits_from_binning(&self, n_rows: usize) -> bool {
         self.config().split_algo.use_hist(n_rows)
     }
+    fn is_fitted(&self) -> bool {
+        AdaBoost::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         AdaBoost::predict_row(self, row)
+    }
+}
+
+impl BatchPredictor for LinearSvm {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        per_row_classes(LinearSvm::is_fitted(self), rows, out, |row| {
+            LinearSvm::predict_row(self, row)
+        })
     }
 }
 
@@ -133,8 +260,19 @@ impl Classifier for LinearSvm {
     fn fit(&mut self, data: &Dataset) {
         LinearSvm::fit(self, data);
     }
+    fn is_fitted(&self) -> bool {
+        LinearSvm::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         LinearSvm::predict_row(self, row)
+    }
+}
+
+impl BatchPredictor for Mlp {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        per_row_classes(Mlp::is_fitted(self), rows, out, |row| {
+            Mlp::predict_row(self, row)
+        })
     }
 }
 
@@ -142,14 +280,28 @@ impl Classifier for Mlp {
     fn fit(&mut self, data: &Dataset) {
         Mlp::fit(self, data);
     }
+    fn is_fitted(&self) -> bool {
+        Mlp::is_fitted(self)
+    }
     fn predict_row(&self, row: &[f64]) -> usize {
         Mlp::predict_row(self, row)
+    }
+}
+
+impl BatchPredictor for Knn {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        per_row_classes(Knn::is_fitted(self), rows, out, |row| {
+            Knn::predict_row(self, row)
+        })
     }
 }
 
 impl Classifier for Knn {
     fn fit(&mut self, data: &Dataset) {
         Knn::fit(self, data);
+    }
+    fn is_fitted(&self) -> bool {
+        Knn::is_fitted(self)
     }
     fn predict_row(&self, row: &[f64]) -> usize {
         Knn::predict_row(self, row)

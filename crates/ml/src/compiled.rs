@@ -1,0 +1,994 @@
+//! Compiled batch inference: flat SoA tree ensembles behind the
+//! batch-first prediction API.
+//!
+//! Fitted tree models ([`crate::tree::DecisionTree`],
+//! [`crate::forest::RandomForest`], [`crate::boosting::GradientBoosting`])
+//! are *lowered* into a [`CompiledModel`]: one flat node arena of packed
+//! 32-byte records (so a node visit costs one cache line) with the cold
+//! leaf payloads — class distributions, Newton weights — split out into
+//! structure-of-arrays side tables, shared by every tree of the
+//! ensemble. Leaves
+//! self-loop (`left == right == self`, threshold `+∞`), so traversal is an
+//! unconditional level-synchronous iteration — a block of rows advances
+//! through each depth together with no per-node branching on node kind,
+//! no pointer chasing through enum variants, and no per-row allocation.
+//!
+//! When a [`BinnedDataset`] is available at compile time, each internal
+//! node whose threshold is exactly a bin boundary stores that bin, and
+//! traversal over binned rows compares `u8` codes instead of `f64`
+//! values. Nodes produced by the histogram trainer's small-node exact
+//! fallback carry midpoint thresholds that are not bin boundaries; those
+//! keep the `f64` comparison (sentinel [`NO_BIN`]), so a single tree can
+//! mix both forms.
+//!
+//! The front door is [`BatchPredictor`]: `predict_into(&rows, &mut out)`
+//! with a `Result`-returning [`BatchPredictor::try_predict`] convenience,
+//! replacing the panic-on-unfitted contract at the serving boundary with
+//! a typed [`PredictError`]. Every classifier in the workspace implements
+//! it; tree ensembles run compiled, the rest fall back to their per-row
+//! kernels behind the same interface.
+//!
+//! Determinism: traversal uses the same [`goes_left`]
+//! (`f64::total_cmp`-consistent) comparison as the interpreted walkers,
+//! and accumulates ensemble scores in the identical order, so compiled
+//! and interpreted predictions are bit-identical (pinned by
+//! `tests/compiled_parity.rs`).
+
+use crate::binned::BinnedDataset;
+use crate::boosting::{GradientBoosting, RegressionTree};
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use crate::tree::DecisionTree;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sentinel in the per-node `bin` table: the node's threshold is not a
+/// bin boundary, traverse it with the raw `f64` comparison. Real bin
+/// indices fit below it (a feature has at most 256 bins, so at most 255
+/// interior boundaries, indices `0..=254`).
+pub(crate) const NO_BIN: u8 = u8::MAX;
+
+/// Rows per traversal block: small enough that a block's node cursors
+/// and touched feature values stay in L1 across levels.
+const BLOCK: usize = 32;
+
+/// Rows per ensemble tile: every tree of the ensemble traverses one
+/// tile before the next tile is touched, so the tile's feature rows are
+/// read from memory once per *ensemble*, not once per tree (a 70-column
+/// `f64` tile is ~280 KiB — L2-resident while the tree nodes stream).
+const TILE: usize = 512;
+
+/// Levels advanced between early-exit scans. Leaves self-loop, so extra
+/// iterations are harmless; scanning every level would cost more than it
+/// saves on balanced trees.
+const LEVEL_BURST: usize = 4;
+
+/// Typed prediction failure — the batch API's replacement for the
+/// panic-on-unfitted contract of the per-row walkers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// The model has not been fitted.
+    NotFitted,
+    /// The input rows are narrower than the feature space the model was
+    /// trained on.
+    WrongWidth {
+        /// Width the model was trained on.
+        expected: usize,
+        /// Width of the rows supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::NotFitted => f.write_str("predict on an unfitted model"),
+            PredictError::WrongWidth { expected, got } => {
+                write!(
+                    f,
+                    "feature rows have {got} values; model expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// `value` goes to the left child of a node with threshold `threshold`.
+///
+/// `f64::total_cmp`-consistent twin of `value <= threshold`, shared by
+/// the compiled traversal *and* the interpreted per-row walkers so the
+/// two paths agree bit-for-bit on every input, including NaN (which
+/// always routes right, matching `NaN <= t == false`). This is the same
+/// total-order tie rule the split search adopted in the determinism
+/// pass.
+#[inline]
+pub fn goes_left(value: f64, threshold: f64) -> bool {
+    value.total_cmp(&threshold) != Ordering::Greater
+}
+
+/// Index of the maximum score, resolving ties to the **last** maximum —
+/// exactly the tie rule of `Iterator::max_by` that the interpreted
+/// `predict_row` paths use.
+#[inline]
+fn argmax_last(xs: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if xs[best].partial_cmp(&v).expect("finite scores") != Ordering::Greater {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Softmax in place, replicating the interpreted
+/// `GradientBoosting::predict_proba_row` operation order bit-for-bit.
+fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f64 = row.iter().sum();
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// A dense row-major matrix of feature rows — the batch API's input.
+///
+/// Owns its storage so callers can build it once (or reuse it via
+/// [`RowMatrix::clear`] + [`RowMatrix::push_row`]) and predict many
+/// times without per-row allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowMatrix {
+    values: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl RowMatrix {
+    /// An empty matrix accepting rows of width `n_cols`.
+    pub fn with_width(n_cols: usize) -> RowMatrix {
+        RowMatrix {
+            values: Vec::new(),
+            n_rows: 0,
+            n_cols,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the matrix width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_cols, "row width mismatch");
+        self.values.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Builds from a slice of equal-width rows.
+    ///
+    /// # Panics
+    /// Panics when rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> RowMatrix {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut m = RowMatrix::with_width(n_cols);
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// A single-row matrix (the per-request serving path).
+    pub fn from_row(row: &[f64]) -> RowMatrix {
+        RowMatrix {
+            values: row.to_vec(),
+            n_rows: 1,
+            n_cols: row.len(),
+        }
+    }
+
+    /// Copies every row of a dataset.
+    pub fn from_dataset(data: &Dataset) -> RowMatrix {
+        let ids: Vec<usize> = (0..data.len()).collect();
+        RowMatrix::gather(data, &ids)
+    }
+
+    /// Copies the dataset rows at `ids`, in order.
+    pub fn gather(data: &Dataset, ids: &[usize]) -> RowMatrix {
+        let n_cols = data.n_features();
+        let mut values = Vec::with_capacity(ids.len() * n_cols);
+        for &i in ids {
+            values.extend_from_slice(data.row(i));
+        }
+        RowMatrix {
+            values,
+            n_rows: ids.len(),
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Width of each row.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `true` when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Value at row `i`, column `j`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n_cols + j]
+    }
+
+    /// Drops every row, keeping the width and the allocation.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.n_rows = 0;
+    }
+}
+
+/// Reusable prediction output buffer: one class per row and, when the
+/// predictor produces them, a dense `n_rows × n_classes` score matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Predictions {
+    classes: Vec<usize>,
+    scores: Vec<f64>,
+    n_classes: usize,
+}
+
+impl Predictions {
+    /// An empty buffer (filled by [`BatchPredictor::predict_into`]).
+    pub fn new() -> Predictions {
+        Predictions::default()
+    }
+
+    /// Re-shapes for `n_rows` rows of `n_classes` scores (0 = classes
+    /// only), zero-filling both tables while keeping allocations.
+    pub(crate) fn reset(&mut self, n_rows: usize, n_classes: usize) {
+        self.classes.clear();
+        self.classes.resize(n_rows, 0);
+        self.scores.clear();
+        self.scores.resize(n_rows * n_classes, 0.0);
+        self.n_classes = n_classes;
+    }
+
+    /// Number of predicted rows.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when no rows have been predicted.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Predicted class indices, one per row.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Predicted class of row `i`.
+    pub fn class(&self, i: usize) -> usize {
+        self.classes[i]
+    }
+
+    /// Number of score columns (0 when the predictor emits classes only).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-class scores of row `i`; `None` when the predictor emits
+    /// classes only.
+    pub fn scores(&self, i: usize) -> Option<&[f64]> {
+        (self.n_classes > 0).then(|| &self.scores[i * self.n_classes..(i + 1) * self.n_classes])
+    }
+
+    /// Consumes the buffer into its class vector.
+    pub fn into_classes(self) -> Vec<usize> {
+        self.classes
+    }
+
+    pub(crate) fn classes_mut(&mut self) -> &mut [usize] {
+        &mut self.classes
+    }
+
+    pub(crate) fn scores_row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.scores[i * self.n_classes..(i + 1) * self.n_classes]
+    }
+}
+
+/// The batch-first prediction interface every classifier implements.
+///
+/// This is the hot-path entry point: callers build a [`RowMatrix`] once
+/// and reuse a [`Predictions`] buffer across calls. Unfitted models
+/// report [`PredictError::NotFitted`] instead of panicking; rows
+/// narrower than the training feature space report
+/// [`PredictError::WrongWidth`] (wider rows are allowed, matching the
+/// per-row walkers, which only index the trained features).
+pub trait BatchPredictor {
+    /// Predicts every row of `rows` into `out` (classes always; scores
+    /// when the model produces them).
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError>;
+
+    /// Allocating convenience over [`BatchPredictor::predict_into`].
+    fn try_predict(&self, rows: &RowMatrix) -> Result<Predictions, PredictError> {
+        let mut out = Predictions::default();
+        self.predict_into(rows, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Shared per-row fallback for models without a compiled form: classes
+/// only, via the model's per-row kernel.
+pub(crate) fn per_row_classes(
+    fitted: bool,
+    rows: &RowMatrix,
+    out: &mut Predictions,
+    mut class_of: impl FnMut(&[f64]) -> usize,
+) -> Result<(), PredictError> {
+    if !fitted {
+        return Err(PredictError::NotFitted);
+    }
+    out.reset(rows.n_rows(), 0);
+    for (i, slot) in out.classes.iter_mut().enumerate() {
+        *slot = class_of(rows.row(i));
+    }
+    Ok(())
+}
+
+/// The input of a compiled traversal: either a dense row matrix, or
+/// indices into a dataset with an optional binned view for `u8`-code
+/// comparisons.
+enum Rows<'a> {
+    Matrix(&'a RowMatrix),
+    Indexed {
+        data: &'a Dataset,
+        binned: Option<&'a BinnedDataset>,
+        ids: &'a [usize],
+    },
+}
+
+impl Rows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Matrix(m) => m.n_rows(),
+            Rows::Indexed { ids, .. } => ids.len(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            Rows::Matrix(m) => m.n_cols(),
+            Rows::Indexed { data, .. } => data.n_features(),
+        }
+    }
+}
+
+/// One flat node, packed to 32 bytes so a visit costs one cache line
+/// (the interpreted enum nodes are 40+ bytes across a pointer chase;
+/// splitting the fields into parallel arrays would cost four lines per
+/// visit — the hot record is deliberately AoS, the cold leaf payload
+/// tables stay SoA on the owning ensemble).
+#[derive(Debug, Clone, Copy)]
+struct FlatNode {
+    threshold: f64,
+    feature: u32,
+    left: u32,
+    right: u32,
+    /// Leaf table index for leaves; 0 for internal nodes.
+    payload: u32,
+    /// Bin index `b` such that `value <= threshold ⇔ code <= b` for rows
+    /// of the compile-time binned matrix; [`NO_BIN`] when the threshold
+    /// is not a bin boundary (or no binned matrix was supplied).
+    bin: u8,
+}
+
+impl FlatNode {
+    /// Leaves self-loop: `left == right == self`.
+    #[inline]
+    fn is_leaf(&self, id: u32) -> bool {
+        self.left == id
+    }
+}
+
+/// Flat node arena for a whole ensemble. Node ids are global across
+/// trees; `roots[t]`/`depths[t]` locate and bound tree `t`. Leaves
+/// self-loop (`left == right == self`) with threshold `+∞` so the
+/// level-synchronous loop needs no node-kind branch.
+#[derive(Debug, Clone, Default)]
+struct FlatTrees {
+    nodes: Vec<FlatNode>,
+    roots: Vec<u32>,
+    depths: Vec<u32>,
+}
+
+impl FlatTrees {
+    fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs rows `[row0, row0 + cur.len())` through tree `t`, leaving
+    /// each row's leaf id in `cur`. `left_of(row, node)` decides the
+    /// branch. Rows advance in blocks of [`BLOCK`] level-by-level — the
+    /// block's ~32 independent root-to-leaf chains overlap their cache
+    /// misses — with a periodic all-leaves early exit every
+    /// [`LEVEL_BURST`] levels.
+    fn descend(
+        &self,
+        tree: usize,
+        row0: usize,
+        cur: &mut [u32],
+        mut left_of: impl FnMut(usize, &FlatNode) -> bool,
+    ) {
+        let root = self.roots[tree];
+        let depth = self.depths[tree] as usize;
+        cur.fill(root);
+        if depth == 0 {
+            return;
+        }
+        let nodes = self.nodes.as_slice();
+        let n_rows = cur.len();
+        let mut start = 0usize;
+        while start < n_rows {
+            let end = (start + BLOCK).min(n_rows);
+            let chunk = &mut cur[start..end];
+            let mut level = 0usize;
+            while level < depth {
+                let burst = LEVEL_BURST.min(depth - level);
+                for _ in 0..burst {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let node = &nodes[*slot as usize];
+                        *slot = if left_of(row0 + start + j, node) {
+                            node.left
+                        } else {
+                            node.right
+                        };
+                    }
+                }
+                level += burst;
+                if chunk.iter().all(|&n| nodes[n as usize].is_leaf(n)) {
+                    break;
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// [`FlatTrees::descend`] with the branch rule chosen per input form:
+    /// raw `f64` compares for matrices, mixed `u8`-code / `f64` compares
+    /// for binned datasets.
+    fn descend_rows(&self, tree: usize, rows: &Rows<'_>, row0: usize, cur: &mut [u32]) {
+        match *rows {
+            Rows::Matrix(m) => self.descend(tree, row0, cur, |i, node| {
+                goes_left(m.value(i, node.feature as usize), node.threshold)
+            }),
+            Rows::Indexed {
+                data,
+                binned: Some(b),
+                ids,
+            } => self.descend(tree, row0, cur, |i, node| {
+                if node.bin != NO_BIN {
+                    b.code(ids[i], node.feature as usize) <= node.bin
+                } else {
+                    goes_left(data.value(ids[i], node.feature as usize), node.threshold)
+                }
+            }),
+            Rows::Indexed {
+                data,
+                binned: None,
+                ids,
+            } => self.descend(tree, row0, cur, |i, node| {
+                goes_left(data.value(ids[i], node.feature as usize), node.threshold)
+            }),
+        }
+    }
+
+    /// Depth of the tree whose nodes occupy `[base, base + len)`.
+    /// Children are always pushed after their parent, so one reverse
+    /// sweep suffices.
+    fn depth_of_range(&self, base: usize, len: usize) -> u32 {
+        let mut depth = vec![0u32; len];
+        for j in (0..len).rev() {
+            let n = base + j;
+            if self.nodes[n].is_leaf(n as u32) {
+                continue;
+            }
+            let l = self.nodes[n].left as usize - base;
+            let r = self.nodes[n].right as usize - base;
+            debug_assert!(l > j && r > j, "children follow their parent");
+            depth[j] = 1 + depth[l].max(depth[r]);
+        }
+        depth.first().copied().unwrap_or(0)
+    }
+}
+
+/// The bin index `b` with `split_value(feature, b)` bit-equal to
+/// `threshold`, when one exists. Only such thresholds satisfy
+/// `value <= threshold ⇔ code <= b` for rows of `binned`.
+fn bin_of(binned: Option<&BinnedDataset>, feature: usize, threshold: f64) -> u8 {
+    let Some(b) = binned else { return NO_BIN };
+    if feature >= b.n_features() {
+        return NO_BIN;
+    }
+    let boundaries = b.n_bins(feature).saturating_sub(1).min(NO_BIN as usize);
+    for bin in 0..boundaries {
+        if b.split_value(feature, bin).to_bits() == threshold.to_bits() {
+            return bin as u8;
+        }
+    }
+    NO_BIN
+}
+
+/// A classification-tree ensemble (single tree or forest) in compiled
+/// form: shared flat nodes plus a leaf table of classes and class
+/// distributions.
+#[derive(Debug, Clone)]
+struct ClassEnsemble {
+    flat: FlatTrees,
+    n_classes: usize,
+    n_features: usize,
+    leaf_class: Vec<u32>,
+    /// Dense `n_leaves × n_classes` leaf distributions.
+    leaf_probs: Vec<f64>,
+    /// Average leaf distributions and arg-max (forest soft voting);
+    /// `false` reads the single tree's leaf directly.
+    average: bool,
+}
+
+impl ClassEnsemble {
+    fn lower_tree(&mut self, tree: &DecisionTree, binned: Option<&BinnedDataset>) {
+        use crate::tree::TreeNode;
+        let nodes = tree.nodes_raw();
+        let base = self.flat.n_nodes();
+        self.flat.roots.push(base as u32);
+        for (j, node) in nodes.iter().enumerate() {
+            match node {
+                TreeNode::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => self.flat.nodes.push(FlatNode {
+                    threshold: *threshold,
+                    feature: *feature as u32,
+                    left: (base + *left) as u32,
+                    right: (base + *right) as u32,
+                    payload: 0,
+                    bin: bin_of(binned, *feature, *threshold),
+                }),
+                TreeNode::Leaf { class, probs } => {
+                    let id = (base + j) as u32;
+                    self.flat.nodes.push(FlatNode {
+                        threshold: f64::INFINITY,
+                        feature: 0,
+                        left: id,
+                        right: id,
+                        payload: self.leaf_class.len() as u32,
+                        bin: NO_BIN,
+                    });
+                    self.leaf_class.push(*class as u32);
+                    debug_assert_eq!(probs.len(), self.n_classes);
+                    self.leaf_probs.extend_from_slice(probs);
+                }
+            }
+        }
+        let depth = self.flat.depth_of_range(base, nodes.len());
+        self.flat.depths.push(depth);
+    }
+
+    fn predict(&self, rows: &Rows<'_>, out: &mut Predictions) {
+        let n = rows.len();
+        let k = self.n_classes;
+        out.reset(n, k);
+        let mut cur = vec![0u32; n.min(TILE)];
+        if self.average {
+            // Soft voting, accumulated tree-by-tree per row in the exact
+            // order of the interpreted `predict_proba_row`. Tiling rows
+            // outermost means a tile's feature rows are fetched once and
+            // stay cache-resident while every tree traverses them.
+            let inv = 1.0 / self.flat.n_trees() as f64;
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + TILE).min(n);
+                let chunk = &mut cur[..end - start];
+                for t in 0..self.flat.n_trees() {
+                    self.flat.descend_rows(t, rows, start, chunk);
+                    for (j, &leaf) in chunk.iter().enumerate() {
+                        let p = self.flat.nodes[leaf as usize].payload as usize;
+                        let probs = &self.leaf_probs[p * k..(p + 1) * k];
+                        let acc = out.scores_row_mut(start + j);
+                        for (acc, &v) in acc.iter_mut().zip(probs) {
+                            *acc += v;
+                        }
+                    }
+                }
+                for v in &mut out.scores[start * k..end * k] {
+                    *v *= inv;
+                }
+                for i in start..end {
+                    out.classes[i] = argmax_last(&out.scores[i * k..(i + 1) * k]);
+                }
+                start = end;
+            }
+        } else {
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + TILE).min(n);
+                let chunk = &mut cur[..end - start];
+                self.flat.descend_rows(0, rows, start, chunk);
+                for (j, &leaf) in chunk.iter().enumerate() {
+                    let p = self.flat.nodes[leaf as usize].payload as usize;
+                    out.classes[start + j] = self.leaf_class[p] as usize;
+                    out.scores_row_mut(start + j)
+                        .copy_from_slice(&self.leaf_probs[p * k..(p + 1) * k]);
+                }
+                start = end;
+            }
+        }
+    }
+}
+
+/// A compiled gradient-boosted ensemble: flat regression trees ordered
+/// round-major then class, Newton leaf weights in a side table.
+#[derive(Debug, Clone)]
+struct GbdtEnsemble {
+    flat: FlatTrees,
+    n_classes: usize,
+    n_features: usize,
+    base_scores: Vec<f64>,
+    learning_rate: f64,
+    leaf_weight: Vec<f64>,
+}
+
+impl GbdtEnsemble {
+    fn lower_tree(&mut self, tree: &RegressionTree, binned: Option<&BinnedDataset>) {
+        use crate::boosting::RegressionNode;
+        let nodes = tree.nodes_raw();
+        let base = self.flat.n_nodes();
+        self.flat.roots.push(base as u32);
+        for (j, node) in nodes.iter().enumerate() {
+            match node {
+                RegressionNode::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => self.flat.nodes.push(FlatNode {
+                    threshold: *threshold,
+                    feature: *feature as u32,
+                    left: (base + *left) as u32,
+                    right: (base + *right) as u32,
+                    payload: 0,
+                    bin: bin_of(binned, *feature, *threshold),
+                }),
+                RegressionNode::Leaf { weight } => {
+                    let id = (base + j) as u32;
+                    self.flat.nodes.push(FlatNode {
+                        threshold: f64::INFINITY,
+                        feature: 0,
+                        left: id,
+                        right: id,
+                        payload: self.leaf_weight.len() as u32,
+                        bin: NO_BIN,
+                    });
+                    self.leaf_weight.push(*weight);
+                }
+            }
+        }
+        let depth = self.flat.depth_of_range(base, nodes.len());
+        self.flat.depths.push(depth);
+    }
+
+    fn predict(&self, rows: &Rows<'_>, out: &mut Predictions) {
+        let n = rows.len();
+        let k = self.n_classes;
+        out.reset(n, k);
+        for i in 0..n {
+            out.scores_row_mut(i).copy_from_slice(&self.base_scores);
+        }
+        let mut cur = vec![0u32; n.min(TILE)];
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + TILE).min(n);
+            let chunk = &mut cur[..end - start];
+            // Trees are stored round-major then class — the interpreted
+            // `decision_row` accumulation order, so margins match
+            // bit-exactly. Row tiles are outermost so a tile's features
+            // stay cache-resident across all rounds.
+            for t in 0..self.flat.n_trees() {
+                self.flat.descend_rows(t, rows, start, chunk);
+                let c = t % k;
+                for (j, &leaf) in chunk.iter().enumerate() {
+                    let w = self.leaf_weight[self.flat.nodes[leaf as usize].payload as usize];
+                    out.scores[(start + j) * k + c] += self.learning_rate * w;
+                }
+            }
+            // Arg-max over margins (the interpreted tie rule), then
+            // softmax the stored scores in the interpreted operation
+            // order.
+            for i in start..end {
+                let row = out.scores_row_mut(i);
+                let class = argmax_last(row);
+                softmax_in_place(row);
+                out.classes[i] = class;
+            }
+            start = end;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Class(ClassEnsemble),
+    Gbdt(GbdtEnsemble),
+}
+
+/// A fitted tree model lowered to flat SoA node arrays for batch
+/// traversal. Build one with [`CompiledModel::from_tree`],
+/// [`CompiledModel::from_forest`], [`CompiledModel::from_gbdt`] or
+/// [`crate::ErasedModel::compile`]; predictions are bit-identical to the
+/// interpreted per-row walkers.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    repr: Repr,
+}
+
+impl CompiledModel {
+    /// Lowers a fitted decision tree; `None` when unfitted. `binned`
+    /// (when given) lets nodes whose thresholds are bin boundaries
+    /// traverse `u8` codes via
+    /// [`CompiledModel::predict_dataset_into`].
+    pub fn from_tree(tree: &DecisionTree, binned: Option<&BinnedDataset>) -> Option<CompiledModel> {
+        if tree.nodes_raw().is_empty() {
+            return None;
+        }
+        let mut e = ClassEnsemble {
+            flat: FlatTrees::default(),
+            n_classes: tree.n_classes_raw(),
+            n_features: tree.n_features_raw(),
+            leaf_class: Vec::new(),
+            leaf_probs: Vec::new(),
+            average: false,
+        };
+        e.lower_tree(tree, binned);
+        Some(CompiledModel {
+            repr: Repr::Class(e),
+        })
+    }
+
+    /// Lowers a fitted random forest; `None` when unfitted.
+    pub fn from_forest(
+        forest: &RandomForest,
+        binned: Option<&BinnedDataset>,
+    ) -> Option<CompiledModel> {
+        let trees = forest.trees_raw();
+        if trees.is_empty() {
+            return None;
+        }
+        let mut e = ClassEnsemble {
+            flat: FlatTrees::default(),
+            n_classes: forest.n_classes_raw(),
+            n_features: forest.n_features_raw(),
+            leaf_class: Vec::new(),
+            leaf_probs: Vec::new(),
+            average: true,
+        };
+        for tree in trees {
+            e.lower_tree(tree, binned);
+        }
+        Some(CompiledModel {
+            repr: Repr::Class(e),
+        })
+    }
+
+    /// Lowers a fitted gradient-boosted ensemble; `None` when unfitted.
+    pub fn from_gbdt(
+        gbdt: &GradientBoosting,
+        binned: Option<&BinnedDataset>,
+    ) -> Option<CompiledModel> {
+        if gbdt.n_classes_raw() == 0 {
+            return None;
+        }
+        let n_features = gbdt
+            .rounds_raw()
+            .iter()
+            .flatten()
+            .map(|t| t.raw_importances().len())
+            .next()
+            .unwrap_or(0);
+        let mut e = GbdtEnsemble {
+            flat: FlatTrees::default(),
+            n_classes: gbdt.n_classes_raw(),
+            n_features,
+            base_scores: gbdt.base_scores_raw().to_vec(),
+            learning_rate: gbdt.config().learning_rate,
+            leaf_weight: Vec::new(),
+        };
+        for round in gbdt.rounds_raw() {
+            for tree in round {
+                e.lower_tree(tree, binned);
+            }
+        }
+        Some(CompiledModel {
+            repr: Repr::Gbdt(e),
+        })
+    }
+
+    /// Width of the feature space the model was trained on.
+    pub fn n_features(&self) -> usize {
+        match &self.repr {
+            Repr::Class(e) => e.n_features,
+            Repr::Gbdt(e) => e.n_features,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        match &self.repr {
+            Repr::Class(e) => e.n_classes,
+            Repr::Gbdt(e) => e.n_classes,
+        }
+    }
+
+    /// Total trees across the ensemble.
+    pub fn n_trees(&self) -> usize {
+        match &self.repr {
+            Repr::Class(e) => e.flat.n_trees(),
+            Repr::Gbdt(e) => e.flat.n_trees(),
+        }
+    }
+
+    /// Total flat nodes across the ensemble.
+    pub fn n_nodes(&self) -> usize {
+        match &self.repr {
+            Repr::Class(e) => e.flat.n_nodes(),
+            Repr::Gbdt(e) => e.flat.n_nodes(),
+        }
+    }
+
+    fn check_width(&self, got: usize) -> Result<(), PredictError> {
+        let expected = self.n_features();
+        if got < expected {
+            return Err(PredictError::WrongWidth { expected, got });
+        }
+        Ok(())
+    }
+
+    fn predict_rows(&self, rows: &Rows<'_>, out: &mut Predictions) -> Result<(), PredictError> {
+        self.check_width(rows.width())?;
+        match &self.repr {
+            Repr::Class(e) => e.predict(rows, out),
+            Repr::Gbdt(e) => e.predict(rows, out),
+        }
+        Ok(())
+    }
+
+    /// Batch-predicts dataset rows `ids`, comparing `u8` bin codes on
+    /// every node whose threshold is a boundary of `binned`.
+    ///
+    /// `binned` must be built from (or share the edges of) `data` —
+    /// the quantize-once contract of cross-validation and selection —
+    /// and should match the binned matrix given at compile time.
+    pub fn predict_dataset_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        ids: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        if let Some(b) = binned {
+            debug_assert_eq!(b.n_rows(), data.len(), "binned matrix must cover the data");
+        }
+        self.predict_rows(&Rows::Indexed { data, binned, ids }, out)
+    }
+}
+
+impl BatchPredictor for CompiledModel {
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        self.predict_rows(&Rows::Matrix(rows), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goes_left_matches_le_and_routes_nan_right() {
+        for (v, t) in [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0), (-1.5, -1.5)] {
+            assert_eq!(goes_left(v, t), v <= t, "{v} vs {t}");
+        }
+        assert!(!goes_left(f64::NAN, 1e300));
+        assert!(goes_left(f64::NEG_INFINITY, -1e300));
+        assert!(goes_left(1.0, f64::INFINITY));
+        assert!(!goes_left(f64::NAN, f64::INFINITY));
+    }
+
+    #[test]
+    fn argmax_last_resolves_ties_like_max_by() {
+        for scores in [
+            vec![0.2, 0.5, 0.3],
+            vec![0.5, 0.5],
+            vec![0.1, 0.4, 0.4, 0.1],
+            vec![1.0],
+        ] {
+            let expect = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(c, _)| c)
+                .unwrap();
+            assert_eq!(argmax_last(&scores), expect, "{scores:?}");
+        }
+    }
+
+    #[test]
+    fn row_matrix_builds_and_indexes() {
+        let mut m = RowMatrix::with_width(2);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.value(0, 1), 2.0);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.n_cols(), 2);
+
+        let m2 = RowMatrix::from_rows(&[vec![5.0], vec![6.0]]);
+        assert_eq!((m2.n_rows(), m2.n_cols()), (2, 1));
+        let m3 = RowMatrix::from_row(&[7.0, 8.0, 9.0]);
+        assert_eq!((m3.n_rows(), m3.n_cols()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut m = RowMatrix::with_width(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn predictions_reset_reuses_buffers() {
+        let mut p = Predictions::new();
+        p.reset(3, 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.scores(0), Some(&[0.0, 0.0][..]));
+        p.scores_row_mut(2).copy_from_slice(&[0.25, 0.75]);
+        p.classes_mut()[2] = 1;
+        assert_eq!(p.class(2), 1);
+        assert_eq!(p.scores(2), Some(&[0.25, 0.75][..]));
+        p.reset(1, 0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.n_classes(), 0);
+        assert_eq!(p.scores(0), None);
+    }
+
+    #[test]
+    fn predict_error_displays() {
+        assert!(PredictError::NotFitted.to_string().contains("unfitted"));
+        let e = PredictError::WrongWidth {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+}

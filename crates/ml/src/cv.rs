@@ -551,13 +551,15 @@ where
         }
         let mut model = factory(base_seed.wrapping_add(fold_idx as u64));
         model.fit_subset(data, &fold.train, binned);
-        let pred: Vec<usize> = fold
-            .test
-            .iter()
-            .map(|&i| model.predict_row(data.row(i)))
-            .collect();
+        // Batch scoring through the compiled path: tree ensembles are
+        // lowered once per fold and traverse all test rows level by level
+        // (reusing `binned` codes where the thresholds are bin edges).
+        let mut out = crate::compiled::Predictions::default();
+        model
+            .predict_rows_into(data, binned, &fold.test, &mut out)
+            .expect("model was fitted above");
         let test_y: Vec<usize> = fold.test.iter().map(|&i| data.y[i]).collect();
-        let report = ClassificationReport::compute(&test_y, &pred, data.n_classes);
+        let report = ClassificationReport::compute(&test_y, out.classes(), data.n_classes);
         Some(FoldScore {
             accuracy: report.accuracy,
             f1_macro: report.f1_macro(),

@@ -8,8 +8,10 @@
 //! this type; callers that want dynamic dispatch use its [`Classifier`]
 //! impl.
 
+use crate::binned::BinnedDataset;
 use crate::boosting::{AdaBoost, GradientBoosting};
 use crate::classifier::{Classifier, ClassifierKind};
+use crate::compiled::{BatchPredictor, CompiledModel, PredictError, Predictions, RowMatrix};
 use crate::dataset::Dataset;
 use crate::forest::RandomForest;
 use crate::knn::Knn;
@@ -117,6 +119,38 @@ impl ErasedModel {
         }
     }
 
+    /// `true` once the model has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        match self {
+            ErasedModel::RandomForest(m) => m.is_fitted(),
+            ErasedModel::XgBoost(m) => m.is_fitted(),
+            ErasedModel::DecisionTree(m) => m.is_fitted(),
+            ErasedModel::AdaBoost(m) => m.is_fitted(),
+            ErasedModel::Svm(m) => m.is_fitted(),
+            ErasedModel::Mlp(m) => m.is_fitted(),
+            ErasedModel::Knn(m) => m.is_fitted(),
+        }
+    }
+
+    /// Lowers a fitted tree ensemble into its compiled flat-array form
+    /// ([`crate::compiled::CompiledModel`]); `None` for non-tree kinds or
+    /// unfitted models. Serving caches this once per loaded artifact.
+    pub fn compile(&self) -> Option<CompiledModel> {
+        self.compile_prebinned(None)
+    }
+
+    /// [`ErasedModel::compile`] with a binned matrix, letting nodes whose
+    /// thresholds are bin boundaries traverse `u8` codes through
+    /// [`CompiledModel::predict_dataset_into`].
+    pub fn compile_prebinned(&self, binned: Option<&BinnedDataset>) -> Option<CompiledModel> {
+        match self {
+            ErasedModel::RandomForest(m) => CompiledModel::from_forest(m, binned),
+            ErasedModel::XgBoost(m) => CompiledModel::from_gbdt(m, binned),
+            ErasedModel::DecisionTree(m) => CompiledModel::from_tree(m, binned),
+            _ => None,
+        }
+    }
+
     /// Per-class scores of one row, normalised to sum to 1.
     ///
     /// Probabilistic models return their probabilities; margin models
@@ -162,16 +196,51 @@ impl Classifier for ErasedModel {
         }
     }
 
-    fn predict(&self, data: &Dataset) -> Vec<usize> {
-        match self {
-            ErasedModel::RandomForest(m) => Classifier::predict(m, data),
-            ErasedModel::XgBoost(m) => Classifier::predict(m, data),
-            ErasedModel::DecisionTree(m) => Classifier::predict(m, data),
-            ErasedModel::AdaBoost(m) => Classifier::predict(m, data),
-            ErasedModel::Svm(m) => Classifier::predict(m, data),
-            ErasedModel::Mlp(m) => Classifier::predict(m, data),
-            ErasedModel::Knn(m) => Classifier::predict(m, data),
+    fn is_fitted(&self) -> bool {
+        ErasedModel::is_fitted(self)
+    }
+
+    fn predict_rows_into(
+        &self,
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        rows: &[usize],
+        out: &mut Predictions,
+    ) -> Result<(), PredictError> {
+        match self.compile_prebinned(binned) {
+            Some(compiled) => compiled.predict_dataset_into(data, binned, rows, out),
+            None => self.predict_into(&RowMatrix::gather(data, rows), out),
         }
+    }
+}
+
+impl BatchPredictor for ErasedModel {
+    /// Tree kinds run compiled; the rest fall back to the per-row
+    /// kernels, filling both classes and per-class scores (so the
+    /// serving path gets scores from every kind through one call).
+    fn predict_into(&self, rows: &RowMatrix, out: &mut Predictions) -> Result<(), PredictError> {
+        if let Some(compiled) = self.compile() {
+            return compiled.predict_into(rows, out);
+        }
+        if !self.is_fitted() {
+            return Err(PredictError::NotFitted);
+        }
+        let n = rows.n_rows();
+        if n == 0 {
+            out.reset(0, 0);
+            return Ok(());
+        }
+        let first = self.predict_scores_row(rows.row(0));
+        out.reset(n, first.len());
+        out.scores_row_mut(0).copy_from_slice(&first);
+        out.classes_mut()[0] = Classifier::predict_row(self, rows.row(0));
+        for i in 1..n {
+            let row = rows.row(i);
+            out.classes_mut()[i] = Classifier::predict_row(self, row);
+            let scores = self.predict_scores_row(row);
+            out.scores_row_mut(i).copy_from_slice(&scores);
+        }
+        Ok(())
     }
 }
 

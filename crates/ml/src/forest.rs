@@ -252,11 +252,12 @@ impl RandomForest {
             .unwrap_or(0)
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the compiled
+    /// batch path ([`crate::compiled::BatchPredictor`]). Prefer it (or
+    /// `predict_into` with a reused buffer) over per-row
+    /// [`RandomForest::predict_row`] loops in hot paths.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 
     /// Mean impurity-decrease feature importances over trees, normalised
@@ -285,6 +286,26 @@ impl RandomForest {
     /// Number of fitted trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// `true` once the forest has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// The fitted member trees — the compiled lowering's view.
+    pub(crate) fn trees_raw(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of classes seen at fit time.
+    pub(crate) fn n_classes_raw(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Width of the feature space seen at fit time.
+    pub(crate) fn n_features_raw(&self) -> usize {
+        self.n_features
     }
 }
 

@@ -44,6 +44,11 @@ impl Knn {
         self.train = Some(data.clone());
     }
 
+    /// `true` once a training set has been memorised.
+    pub fn is_fitted(&self) -> bool {
+        self.train.is_some()
+    }
+
     /// Predicted class of one row: majority vote of the `k` nearest
     /// training samples, ties broken toward the nearer neighbour's class.
     pub fn predict_row(&self, row: &[f64]) -> usize {
@@ -94,11 +99,10 @@ impl Knn {
         votes
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the shared
+    /// batch API ([`crate::compiled::BatchPredictor`]).
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 }
 

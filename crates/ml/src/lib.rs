@@ -47,6 +47,7 @@
 pub mod binned;
 pub mod boosting;
 pub mod classifier;
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod erased;
@@ -61,6 +62,7 @@ pub mod tuning;
 
 pub use binned::{BinnedDataset, SplitAlgo};
 pub use classifier::{Classifier, ClassifierKind};
+pub use compiled::{BatchPredictor, CompiledModel, PredictError, Predictions, RowMatrix};
 pub use cv::{
     cross_validate, cross_validate_prebinned, Fold, FoldScore, Folds, GroupKFold,
     GroupShuffleSplit, KFold, SplitError, Splitter,

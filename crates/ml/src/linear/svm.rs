@@ -106,6 +106,11 @@ impl LinearSvm {
         }
     }
 
+    /// `true` once the machines have been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
     /// One-vs-rest decision values of one row.
     pub fn decision_row(&self, row: &[f64]) -> Vec<f64> {
         assert!(!self.weights.is_empty(), "predict on an unfitted SVM");
@@ -127,9 +132,7 @@ impl LinearSvm {
 
     /// Predicted classes of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 }
 

@@ -236,6 +236,11 @@ impl Mlp {
         }
     }
 
+    /// `true` once the network has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.layers.is_empty()
+    }
+
     /// Softmax probabilities of one row.
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
         assert!(!self.layers.is_empty(), "predict on an unfitted MLP");
@@ -253,11 +258,10 @@ impl Mlp {
             .unwrap_or(0)
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the shared
+    /// batch API ([`crate::compiled::BatchPredictor`]).
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 }
 

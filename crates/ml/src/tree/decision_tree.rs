@@ -48,16 +48,20 @@ impl Default for TreeConfig {
     }
 }
 
+/// One arena node of a classification tree. Exposed crate-wide so
+/// [`crate::compiled`] can lower fitted trees into flat SoA arrays.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
+    /// A split: `row[feature] <= threshold` routes left.
     Internal {
         feature: usize,
         threshold: f64,
-        /// Index of the left child in the node arena; the right child is
-        /// stored at `left + right_offset`.
+        /// Index of the left child in the node arena; children always
+        /// follow their parent.
         left: usize,
         right: usize,
     },
+    /// A terminal node.
     Leaf {
         class: usize,
         /// Training class distribution at the leaf (weighted, normalised).
@@ -638,7 +642,9 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold {
+                    // Shared with the compiled traversal so both paths
+                    // agree bit-for-bit, including on NaN (routes right).
+                    node = if crate::compiled::goes_left(row[*feature], *threshold) {
                         *left
                     } else {
                         *right
@@ -648,11 +654,12 @@ impl DecisionTree {
         }
     }
 
-    /// Predicted classes of a dataset.
+    /// Predicted classes of a dataset — a thin wrapper over the compiled
+    /// batch path ([`crate::compiled::BatchPredictor`]). Prefer it (or
+    /// `predict_into` with a reused buffer) over per-row
+    /// [`DecisionTree::predict_row`] loops in hot paths.
     pub fn predict(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.len())
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        crate::classifier::Classifier::predict(self, data)
     }
 
     /// Per-feature impurity-decrease importances, normalised to sum to 1
@@ -675,6 +682,27 @@ impl DecisionTree {
     /// Number of nodes in the fitted tree.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// `true` once the tree has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    /// The node arena (empty when unfitted) — the compiled lowering's
+    /// view.
+    pub(crate) fn nodes_raw(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of classes seen at fit time.
+    pub(crate) fn n_classes_raw(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Width of the feature space seen at fit time.
+    pub(crate) fn n_features_raw(&self) -> usize {
+        self.n_features
     }
 
     /// Depth of the fitted tree (a single leaf has depth 0).

@@ -13,4 +13,5 @@ mod split;
 pub use decision_tree::{DecisionTree, TreeConfig};
 pub use split::Criterion;
 
+pub(crate) use decision_tree::Node as TreeNode;
 pub(crate) use hist::{HIST_NODE_EXACT_CUTOFF, MAX_SUB_DEPTH};

@@ -1,0 +1,346 @@
+//! Bit-parity contract of the compiled batch path: lowering a fitted
+//! ensemble to flat SoA arrays and traversing it level-by-level must
+//! reproduce the interpreted per-row walkers *exactly* — same classes,
+//! same scores to the last bit — for every model kind, split algorithm
+//! and input, including NaN and out-of-bin-range rows the training data
+//! never contained.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traj_ml::boosting::{GbdtConfig, GradientBoosting};
+use traj_ml::forest::{ForestConfig, RandomForest};
+use traj_ml::tree::{DecisionTree, TreeConfig};
+use traj_ml::{
+    BatchPredictor, BinnedDataset, Classifier, ClassifierKind, CompiledModel, Dataset, ErasedModel,
+    PredictError, Predictions, RowMatrix, SplitAlgo,
+};
+
+/// Overlapping blobs: big enough that a forced-`Hist` fit mixes
+/// histogram nodes with the exact-fallback nodes (< 256 rows) whose
+/// midpoint thresholds are not bin boundaries.
+fn blob_data(n_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for class in 0..4usize {
+        let center = class as f64 * 1.5;
+        for s in 0..n_per_class {
+            rows.push(vec![
+                center + rng.gen_range(-1.2..1.2),
+                -center + rng.gen_range(-1.2..1.2),
+                (s % 7) as f64 + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(class);
+        }
+    }
+    let n = rows.len();
+    Dataset::from_rows(&rows, y, 4, vec![0; n], vec![])
+}
+
+fn assert_bit_equal_scores(compiled: &[f64], interpreted: &[f64], what: &str) {
+    assert_eq!(compiled.len(), interpreted.len(), "{what}: score width");
+    for (i, (c, r)) in compiled.iter().zip(interpreted).enumerate() {
+        assert_eq!(
+            c.to_bits(),
+            r.to_bits(),
+            "{what}: score {i} differs ({c} vs {r})"
+        );
+    }
+}
+
+/// Compiled predictions of `model` on `rows`, classes + per-row scores.
+fn compiled_predict(model: &CompiledModel, rows: &RowMatrix) -> Predictions {
+    let mut out = Predictions::new();
+    model.predict_into(rows, &mut out).expect("fitted model");
+    out
+}
+
+#[test]
+fn forest_compiled_matches_interpreted_bit_for_bit() {
+    for algo in [SplitAlgo::Exact, SplitAlgo::Hist] {
+        let data = blob_data(160, 11);
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 15,
+            seed: 3,
+            split_algo: algo,
+            ..ForestConfig::default()
+        });
+        forest.fit(&data);
+
+        let compiled = CompiledModel::from_forest(&forest, None).expect("fitted");
+        let rows = RowMatrix::from_dataset(&data);
+        let out = compiled_predict(&compiled, &rows);
+        for i in 0..data.len() {
+            assert_eq!(out.class(i), forest.predict_row(data.row(i)), "{algo:?}");
+            assert_bit_equal_scores(
+                out.scores(i).expect("forest scores"),
+                &forest.predict_proba_row(data.row(i)),
+                &format!("forest {algo:?} row {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_compiled_matches_interpreted_bit_for_bit() {
+    for algo in [SplitAlgo::Exact, SplitAlgo::Hist] {
+        let data = blob_data(160, 12);
+        let mut tree = DecisionTree::new(TreeConfig {
+            split_algo: algo,
+            ..TreeConfig::default()
+        });
+        tree.fit(&data);
+
+        let compiled = CompiledModel::from_tree(&tree, None).expect("fitted");
+        let out = compiled_predict(&compiled, &RowMatrix::from_dataset(&data));
+        for i in 0..data.len() {
+            assert_eq!(out.class(i), tree.predict_row(data.row(i)), "{algo:?}");
+            assert_bit_equal_scores(
+                out.scores(i).expect("leaf distribution"),
+                &tree.predict_proba_row(data.row(i)),
+                &format!("tree {algo:?} row {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn gbdt_compiled_matches_interpreted_bit_for_bit() {
+    for algo in [SplitAlgo::Exact, SplitAlgo::Hist] {
+        let data = blob_data(160, 13);
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 8,
+            max_depth: 4,
+            split_algo: algo,
+            ..GbdtConfig::default()
+        });
+        gbdt.fit(&data);
+
+        let compiled = CompiledModel::from_gbdt(&gbdt, None).expect("fitted");
+        let out = compiled_predict(&compiled, &RowMatrix::from_dataset(&data));
+        for i in 0..data.len() {
+            assert_eq!(out.class(i), gbdt.predict_row(data.row(i)), "{algo:?}");
+            assert_bit_equal_scores(
+                out.scores(i).expect("softmax scores"),
+                &gbdt.predict_proba_row(data.row(i)),
+                &format!("gbdt {algo:?} row {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn binned_traversal_matches_raw_traversal() {
+    // The quantize-once path: predict through u8 bin codes where the
+    // thresholds are bin edges, raw f64 everywhere else. Must agree with
+    // both the raw compiled path and the interpreted walkers.
+    let data = blob_data(160, 14);
+    let binned = BinnedDataset::from_dataset(&data);
+    let ids: Vec<usize> = (0..data.len()).collect();
+
+    for kind in [
+        ClassifierKind::RandomForest,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::XgBoost,
+    ] {
+        let mut model = kind.build(4);
+        model.fit_subset(&data, &ids, Some(&binned));
+
+        let mut with_bins = Predictions::new();
+        model
+            .predict_rows_into(&data, Some(&binned), &ids, &mut with_bins)
+            .expect("fitted");
+        let mut without = Predictions::new();
+        model
+            .predict_rows_into(&data, None, &ids, &mut without)
+            .expect("fitted");
+
+        assert_eq!(with_bins.classes(), without.classes(), "{kind}");
+        for i in 0..ids.len() {
+            assert_eq!(with_bins.class(i), model.predict_row(data.row(i)), "{kind}");
+            if let (Some(a), Some(b)) = (with_bins.scores(i), without.scores(i)) {
+                assert_bit_equal_scores(a, b, &format!("{kind} row {i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn erased_models_agree_with_per_row_walkers() {
+    let data = blob_data(60, 15);
+    let rows = RowMatrix::from_dataset(&data);
+    let kinds = [
+        ClassifierKind::XgBoost,
+        ClassifierKind::Svm,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::NeuralNetwork,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Knn,
+    ];
+    for kind in kinds {
+        let mut model = ErasedModel::new(kind, 9);
+        Classifier::fit(&mut model, &data);
+        let out = model.try_predict(&rows).expect("fitted");
+        assert_eq!(out.len(), data.len());
+        for i in 0..data.len() {
+            assert_eq!(
+                out.class(i),
+                Classifier::predict_row(&model, data.row(i)),
+                "{kind}"
+            );
+            assert_bit_equal_scores(
+                out.scores(i).expect("scores for every kind"),
+                &model.predict_scores_row(data.row(i)),
+                &format!("{kind} row {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn unfitted_models_return_not_fitted_instead_of_panicking() {
+    let rows = RowMatrix::from_row(&[0.0, 0.0, 0.0, 0.0]);
+    let kinds = [
+        ClassifierKind::XgBoost,
+        ClassifierKind::Svm,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::NeuralNetwork,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Knn,
+    ];
+    for kind in kinds {
+        let model = ErasedModel::new(kind, 0);
+        let mut out = Predictions::new();
+        assert_eq!(
+            model.predict_into(&rows, &mut out),
+            Err(PredictError::NotFitted),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn narrow_rows_return_wrong_width() {
+    let data = blob_data(30, 16);
+    let mut forest = RandomForest::with_estimators(3, 0);
+    forest.fit(&data);
+    let compiled = CompiledModel::from_forest(&forest, None).expect("fitted");
+    let mut out = Predictions::new();
+    assert_eq!(
+        compiled.predict_into(&RowMatrix::from_row(&[1.0, 2.0]), &mut out),
+        Err(PredictError::WrongWidth {
+            expected: 4,
+            got: 2
+        })
+    );
+    // Wider rows are accepted, matching the per-row walkers (which only
+    // index the features the trees reference).
+    assert!(compiled
+        .predict_into(&RowMatrix::from_row(&[0.0; 10]), &mut out)
+        .is_ok());
+}
+
+#[test]
+fn single_leaf_tree_predicts_everything_including_nan() {
+    // A pure training set fits to one leaf; the compiled form is a
+    // single self-looping node that must answer any row, NaN included.
+    let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+    let data = Dataset::from_rows(&rows, vec![2, 2, 2], 3, vec![0; 3], vec![]);
+    let mut tree = DecisionTree::new(TreeConfig::default());
+    tree.fit(&data);
+
+    let compiled = CompiledModel::from_tree(&tree, None).expect("fitted");
+    assert_eq!(compiled.n_nodes(), 1);
+    let mut batch = RowMatrix::with_width(2);
+    batch.push_row(&[f64::NAN, f64::NAN]);
+    batch.push_row(&[f64::INFINITY, f64::NEG_INFINITY]);
+    batch.push_row(&[0.0, 0.0]);
+    let out = compiled_predict(&compiled, &batch);
+    assert_eq!(out.classes(), &[2, 2, 2]);
+}
+
+#[test]
+fn max_depth_trees_traverse_to_the_bottom() {
+    // An alternating one-feature staircase forces splits all the way
+    // down; the level-synchronous traversal must walk every level.
+    let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+    let y: Vec<usize> = (0..64).map(|i| i % 2).collect();
+    let data = Dataset::from_rows(&rows, y, 2, vec![0; 64], vec![]);
+    let mut tree = DecisionTree::new(TreeConfig {
+        max_depth: None,
+        ..TreeConfig::default()
+    });
+    tree.fit(&data);
+
+    let compiled = CompiledModel::from_tree(&tree, None).expect("fitted");
+    let out = compiled_predict(&compiled, &RowMatrix::from_dataset(&data));
+    for i in 0..data.len() {
+        assert_eq!(out.class(i), tree.predict_row(data.row(i)), "row {i}");
+        assert_eq!(out.class(i), i % 2, "memorised the staircase");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rows with arbitrary values — NaN, infinities, magnitudes far
+    /// outside every bin range — route identically through the compiled
+    /// and interpreted walkers for all three tree-model kinds.
+    #[test]
+    fn hostile_rows_agree_with_interpreted(
+        base in proptest::collection::vec(
+            proptest::collection::vec(-1e6..1e6f64, 4),
+            12,
+        ),
+        special_cells in proptest::collection::vec(0..48usize, 6),
+        seed in 0u64..100,
+    ) {
+        const SPECIALS: [f64; 3] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let mut rows = base;
+        for (k, &cell) in special_cells.iter().enumerate() {
+            rows[cell / 4][cell % 4] = SPECIALS[k % SPECIALS.len()];
+        }
+        let data = blob_data(40, seed);
+        let batch = RowMatrix::from_rows(&rows);
+
+        let mut forest = RandomForest::with_estimators(5, seed);
+        forest.fit(&data);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&data);
+        let mut gbdt = GradientBoosting::new(GbdtConfig {
+            n_rounds: 3,
+            max_depth: 3,
+            seed,
+            ..GbdtConfig::default()
+        });
+        gbdt.fit(&data);
+
+        let cf = CompiledModel::from_forest(&forest, None).expect("fitted");
+        let ct = CompiledModel::from_tree(&tree, None).expect("fitted");
+        let cg = CompiledModel::from_gbdt(&gbdt, None).expect("fitted");
+        let (of, ot, og) = (
+            compiled_predict(&cf, &batch),
+            compiled_predict(&ct, &batch),
+            compiled_predict(&cg, &batch),
+        );
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(of.class(i), forest.predict_row(row));
+            prop_assert_eq!(ot.class(i), tree.predict_row(row));
+            prop_assert_eq!(og.class(i), gbdt.predict_row(row));
+            assert_bit_equal_scores(
+                of.scores(i).expect("forest"),
+                &forest.predict_proba_row(row),
+                "proptest forest",
+            );
+            assert_bit_equal_scores(
+                og.scores(i).expect("gbdt"),
+                &gbdt.predict_proba_row(row),
+                "proptest gbdt",
+            );
+        }
+    }
+}

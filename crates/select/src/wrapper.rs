@@ -53,6 +53,12 @@ impl Default for ForwardSelectionConfig {
 /// Every round evaluates all remaining candidates in parallel (one pool
 /// task each); the winner is chosen by score and index, never by task
 /// completion order, so the curve is bit-identical for any thread count.
+///
+/// Candidate scoring inherits the compiled batch-inference path: each
+/// fold's model is lowered to flat SoA arrays once and scores its test
+/// rows level by level (`traj_ml::compiled`, via
+/// [`cross_validate_prebinned`]'s `predict_rows_into`), reusing the
+/// quantize-once bin codes for thresholds that are bin edges.
 pub fn forward_select<F, S>(
     data: &Dataset,
     factory: &F,

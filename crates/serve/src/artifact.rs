@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use traj_features::normalize::MinMaxScaler;
 use traj_geo::{LabelScheme, Segment};
-use traj_ml::{Classifier, ClassifierKind, Dataset, ErasedModel};
+use traj_ml::{
+    BatchPredictor, Classifier, ClassifierKind, Dataset, ErasedModel, Predictions, RowMatrix,
+};
 
 /// Minimum points per servable segment, mirroring the paper's
 /// segmentation floor (segments below it were never seen in training).
@@ -172,8 +174,8 @@ impl ModelArtifact {
             .iter()
             .map(|n| full_names.iter().position(|f| f == n).expect("known name"))
             .collect();
-        let mut correct = 0usize;
-        let mut total = 0usize;
+        let mut rows = RowMatrix::with_width(indices.len());
+        let mut truth = Vec::new();
         for seg in segments {
             if traj_geo::monotonic_len(&seg.points) < MIN_SEGMENT_POINTS {
                 continue;
@@ -184,16 +186,23 @@ impl ModelArtifact {
             let full = self.feature_set.featurize(seg);
             let mut row: Vec<f64> = indices.iter().map(|&i| full[i]).collect();
             self.scaler.transform_row(&mut row);
-            total += 1;
-            if self.model.predict_row(&row) == class {
-                correct += 1;
-            }
+            rows.push_row(&row);
+            truth.push(class);
         }
-        if total == 0 {
-            0.0
-        } else {
-            correct as f64 / total as f64
+        if truth.is_empty() {
+            return 0.0;
         }
+        let mut out = Predictions::new();
+        self.model
+            .predict_into(&rows, &mut out)
+            .expect("artifact model is fitted by construction");
+        let correct = out
+            .classes()
+            .iter()
+            .zip(&truth)
+            .filter(|(p, t)| p == t)
+            .count();
+        correct as f64 / truth.len() as f64
     }
 
     /// Serialises to pretty JSON.

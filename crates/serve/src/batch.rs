@@ -4,8 +4,10 @@
 //!
 //! Feature extraction stays on the request workers (it is per-segment and
 //! embarrassingly parallel); only the scaled model-input rows flow through
-//! the batcher, so a flush is a tight prediction loop over one or more
-//! models. Each job carries a reply channel; callers block on it.
+//! the batcher. A flush groups the queued jobs by model and pushes each
+//! group through [`LoadedModel::predict_scaled_batch`] — one compiled
+//! level-synchronous traversal per model instead of a per-row walk. Each
+//! job carries a reply channel; callers block on it.
 
 use crate::metrics::ServeMetrics;
 use crate::registry::{LoadedModel, Prediction};
@@ -13,6 +15,7 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSend
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use traj_ml::{PredictError, RowMatrix};
 
 /// Flush policy of the [`MicroBatcher`].
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +39,7 @@ impl Default for BatchConfig {
 struct Job {
     model: Arc<LoadedModel>,
     row: Vec<f64>,
-    reply: SyncSender<Prediction>,
+    reply: SyncSender<Result<Prediction, PredictError>>,
 }
 
 /// Handle to the batching thread. Dropping it stops the thread.
@@ -62,7 +65,11 @@ impl MicroBatcher {
 
     /// Enqueues one scaled row for `model`; the prediction arrives on the
     /// returned channel after the batch it joins is flushed.
-    pub fn submit(&self, model: Arc<LoadedModel>, row: Vec<f64>) -> Receiver<Prediction> {
+    pub fn submit(
+        &self,
+        model: Arc<LoadedModel>,
+        row: Vec<f64>,
+    ) -> Receiver<Result<Prediction, PredictError>> {
         let (reply, result) = sync_channel(1);
         // A disconnected queue surfaces as a dropped reply sender, which
         // the caller observes as RecvError.
@@ -103,10 +110,55 @@ fn batch_loop(rx: &Receiver<Job>, max_batch: usize, max_delay: Duration, metrics
         }
 
         metrics.batch_size.record(batch.len() as u64);
-        for job in batch {
-            let prediction = job.model.predict_scaled_row(&job.row);
-            metrics.record_predictions(&job.model.artifact.name, 1);
-            let _ = job.reply.send(prediction);
+        flush(batch, metrics);
+    }
+}
+
+/// Answers every job of one flush: jobs are grouped by model (a batch
+/// usually holds one, `Arc::ptr_eq` keeps grouping O(groups·jobs)), each
+/// group runs as one call to [`LoadedModel::predict_scaled_batch`], and
+/// per-group errors fan back out to every affected reply channel.
+fn flush(batch: Vec<Job>, metrics: &ServeMetrics) {
+    let mut groups: Vec<(Arc<LoadedModel>, Vec<usize>)> = Vec::new();
+    for (i, job) in batch.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|(model, _)| Arc::ptr_eq(model, &job.model))
+        {
+            Some((_, ixs)) => ixs.push(i),
+            None => groups.push((Arc::clone(&job.model), vec![i])),
+        }
+    }
+
+    for (model, ixs) in &groups {
+        let width = model.input_width();
+        let (ixs, bad): (Vec<usize>, Vec<usize>) =
+            ixs.iter().partition(|&&i| batch[i].row.len() == width);
+        for i in bad {
+            let _ = batch[i].reply.send(Err(PredictError::WrongWidth {
+                expected: width,
+                got: batch[i].row.len(),
+            }));
+        }
+        if ixs.is_empty() {
+            continue;
+        }
+        let mut rows = RowMatrix::with_width(width);
+        for &i in &ixs {
+            rows.push_row(&batch[i].row);
+        }
+        match model.predict_scaled_batch(&rows) {
+            Ok(predictions) => {
+                metrics.record_predictions(&model.artifact.name, ixs.len() as u64);
+                for (&i, prediction) in ixs.iter().zip(predictions) {
+                    let _ = batch[i].reply.send(Ok(prediction));
+                }
+            }
+            Err(e) => {
+                for &i in &ixs {
+                    let _ = batch[i].reply.send(Err(e));
+                }
+            }
         }
     }
 }
@@ -153,12 +205,28 @@ mod tests {
             .map(|i| batcher.submit(Arc::clone(&model), vec![i as f64 * 0.05; n_features]))
             .collect();
         for rx in receivers {
-            let pred = rx.recv().expect("prediction");
+            let pred = rx.recv().expect("reply").expect("fitted model");
             assert!(pred.class < model.artifact.scheme.n_classes());
         }
         assert!(metrics.batch_size.count() > 0);
         drop(batcher);
         // All 10 predictions were counted.
         assert!(metrics.render_json().contains("\"batcher-test\": 10"));
+    }
+
+    #[test]
+    fn wrong_width_rows_error_instead_of_killing_the_batcher() {
+        let model = loaded_model();
+        let metrics = Arc::new(ServeMetrics::new(&["batcher-test".to_owned()]));
+        let batcher = MicroBatcher::new(BatchConfig::default(), Arc::clone(&metrics));
+
+        let bad = batcher.submit(Arc::clone(&model), vec![0.0; 3]);
+        let err = bad.recv().expect("reply").expect_err("width mismatch");
+        assert!(matches!(err, PredictError::WrongWidth { .. }), "{err:?}");
+
+        // The batcher thread survived: a well-formed row still answers.
+        let n_features = model.artifact.feature_names.len();
+        let good = batcher.submit(Arc::clone(&model), vec![0.1; n_features]);
+        assert!(good.recv().expect("reply").is_ok());
     }
 }

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 use traj_geo::TrajectoryPoint;
-use traj_ml::Classifier;
+use traj_ml::{BatchPredictor, CompiledModel, PredictError, Predictions, RowMatrix};
 
 /// One model prediction: the dense class index, its mode name, and the
 /// per-class scores in class-index order.
@@ -33,6 +33,10 @@ pub struct LoadedModel {
     feature_indices: Vec<usize>,
     /// Width of the full (pre-selection) feature row.
     full_width: usize,
+    /// Flat SoA lowering of the artifact's model, built once at load time.
+    /// `None` for model kinds without a compiled form (kNN, SVM, MLP,
+    /// AdaBoost), which fall back to the per-row walkers.
+    compiled: Option<CompiledModel>,
 }
 
 impl LoadedModel {
@@ -58,11 +62,23 @@ impl LoadedModel {
                 feature_indices.len()
             ));
         }
+        let compiled = artifact.model.compile();
         Ok(LoadedModel {
             artifact,
             feature_indices,
             full_width: full_names.len(),
+            compiled,
         })
+    }
+
+    /// `true` when the underlying model has been fitted and can predict.
+    pub fn is_ready(&self) -> bool {
+        self.artifact.model.is_fitted()
+    }
+
+    /// Width of the scaled model-input row (selected features).
+    pub fn input_width(&self) -> usize {
+        self.feature_indices.len()
     }
 
     /// Registry key of this exact version (`name@v3`).
@@ -107,25 +123,47 @@ impl LoadedModel {
     /// [`LoadedModel::project_scale`] followed by prediction — full row in,
     /// prediction out.
     pub fn predict_full_row(&self, full_row: &[f64]) -> Result<Prediction, String> {
-        Ok(self.predict_scaled_row(&self.project_scale(full_row)?))
+        self.try_predict_scaled_row(&self.project_scale(full_row)?)
+            .map_err(|e| e.to_string())
     }
 
-    /// Predicts from an already scaled model-input row.
-    pub fn predict_scaled_row(&self, row: &[f64]) -> Prediction {
-        let class = self.artifact.model.predict_row(row);
-        let scores = self.artifact.model.predict_scores_row(row);
-        let names = self.artifact.scheme.class_names();
-        let label = names.get(class).copied().unwrap_or("?").to_owned();
-        Prediction {
-            class,
-            label,
-            scores,
+    /// Predicts from one already scaled model-input row. A one-row batch
+    /// through [`LoadedModel::predict_scaled_batch`]: the compiled ensemble
+    /// when the model kind has one, else the per-row walkers.
+    pub fn try_predict_scaled_row(&self, row: &[f64]) -> Result<Prediction, PredictError> {
+        let mut batch = self.predict_scaled_batch(&RowMatrix::from_row(row))?;
+        Ok(batch.pop().expect("one row in, one prediction out"))
+    }
+
+    /// Predicts a batch of already scaled model-input rows at once —
+    /// the serve-side entry point of the compiled batch path.
+    ///
+    /// Errors with [`PredictError::NotFitted`] on an unfitted model
+    /// (mapped to HTTP 409 at the boundary) and
+    /// [`PredictError::WrongWidth`] on rows narrower than the model.
+    pub fn predict_scaled_batch(&self, rows: &RowMatrix) -> Result<Vec<Prediction>, PredictError> {
+        let mut out = Predictions::new();
+        match &self.compiled {
+            Some(compiled) => compiled.predict_into(rows, &mut out)?,
+            None => self.artifact.model.predict_into(rows, &mut out)?,
         }
+        let names = self.artifact.scheme.class_names();
+        Ok((0..out.len())
+            .map(|i| {
+                let class = out.class(i);
+                Prediction {
+                    class,
+                    label: names.get(class).copied().unwrap_or("?").to_owned(),
+                    scores: out.scores(i).map(<[f64]>::to_vec).unwrap_or_default(),
+                }
+            })
+            .collect())
     }
 
     /// Full hot path: raw points → prediction.
     pub fn predict_points(&self, points: &[TrajectoryPoint]) -> Result<Prediction, String> {
-        Ok(self.predict_scaled_row(&self.features_of_points(points)?))
+        self.try_predict_scaled_row(&self.features_of_points(points)?)
+            .map_err(|e| e.to_string())
     }
 }
 

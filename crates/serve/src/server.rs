@@ -35,6 +35,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use traj_ml::PredictError;
 pub use traj_wal::FsyncPolicy;
 use traj_wal::{SnapshotStore, Wal, WalConfig};
 
@@ -200,6 +201,16 @@ fn error_body(message: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
 }
 
+/// HTTP status of a typed prediction failure: an unfitted model is a
+/// conflict with the server's state (409, retryable after retraining),
+/// anything else is an internal inconsistency (500).
+fn predict_error_status(e: PredictError) -> u16 {
+    match e {
+        PredictError::NotFitted => 409,
+        PredictError::WrongWidth { .. } => 500,
+    }
+}
+
 fn points_of(dtos: &[PointDto]) -> Vec<traj_geo::TrajectoryPoint> {
     dtos.iter()
         .map(|p| traj_geo::TrajectoryPoint::new(p.lat, p.lon, traj_geo::Timestamp(p.t)))
@@ -284,7 +295,10 @@ fn handle_predict(state: &AppState, body: &[u8]) -> (u16, String) {
         Ok(row) => row,
         Err(msg) => return (422, error_body(&msg)),
     };
-    let prediction = model.predict_scaled_row(&row);
+    let prediction = match model.try_predict_scaled_row(&row) {
+        Ok(p) => p,
+        Err(e) => return (predict_error_status(e), error_body(&e.to_string())),
+    };
     state.metrics.record_predictions(&model.artifact.name, 1);
     let response = PredictResponse {
         model: model.artifact.name.clone(),
@@ -311,12 +325,16 @@ fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
     if parsed.segments.is_empty() {
         return (422, error_body("empty segments array"));
     }
+    if !model.is_ready() {
+        return (409, error_body(&PredictError::NotFitted.to_string()));
+    }
 
     // Featurise inline (per-segment, worker-parallel across requests),
     // then push the rows through the shared micro-batcher so concurrent
-    // requests coalesce into larger prediction batches.
+    // requests coalesce into larger prediction batches (grouped by model
+    // and predicted with one compiled traversal per flush).
     enum Pending {
-        Waiting(Receiver<Prediction>),
+        Waiting(Receiver<Result<Prediction, PredictError>>),
         Failed(String),
     }
     let pending: Vec<Pending> = parsed
@@ -341,11 +359,17 @@ fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
                 error: Some(msg),
             },
             Pending::Waiting(rx) => match rx.recv() {
-                Ok(pred) => BatchItemResponse {
+                Ok(Ok(pred)) => BatchItemResponse {
                     class: Some(pred.class),
                     label: Some(pred.label),
                     scores: Some(pred.scores),
                     error: None,
+                },
+                Ok(Err(e)) => BatchItemResponse {
+                    class: None,
+                    label: None,
+                    scores: None,
+                    error: Some(e.to_string()),
                 },
                 Err(_) => BatchItemResponse {
                     class: None,
@@ -406,9 +430,13 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
 
     let mut predictions = Vec::with_capacity(report.closed.len());
     for closed in &report.closed {
-        let prediction = match model.predict_full_row(&closed.features) {
-            Ok(p) => p,
+        let scaled = match model.project_scale(&closed.features) {
+            Ok(row) => row,
             Err(msg) => return (500, error_body(&msg)),
+        };
+        let prediction = match model.try_predict_scaled_row(&scaled) {
+            Ok(p) => p,
+            Err(e) => return (predict_error_status(e), error_body(&e.to_string())),
         };
         state.metrics.record_predictions(&model.artifact.name, 1);
         state.metrics.ingest.record_close(
@@ -878,5 +906,49 @@ mod tests {
     #[test]
     fn refuses_empty_registry() {
         assert!(serve("127.0.0.1:0", ModelRegistry::new(), ServerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unfitted_model_maps_to_conflict() {
+        let (_, segs) = test_registry();
+        // An artifact whose model never saw fit(): the typed NotFitted
+        // error must surface as 409, not a worker panic or a 500.
+        let spec = TrainSpec {
+            kind: traj_ml::ClassifierKind::DecisionTree,
+            ..TrainSpec::paper_default("hollow")
+        };
+        let mut artifact = ModelArtifact::train(&spec, &segs).unwrap();
+        artifact.model = traj_ml::ErasedModel::new(spec.kind, 0);
+        let mut registry = ModelRegistry::new();
+        registry.insert(artifact).unwrap();
+
+        let mut handle = serve(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut client = ClientBufReader::new(stream);
+
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+        let (status, body) =
+            client_request(&mut client, "POST", "/predict", Some(&body_of(seg))).expect("predict");
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("unfitted"), "{body}");
+
+        let points_json = body_of(seg); // {"points":[...]}
+        let batch = format!(
+            "{{\"segments\":[{}]}}",
+            &points_json[10..points_json.len() - 1]
+        );
+        let (status, body) = client_request(&mut client, "POST", "/predict_batch", Some(&batch))
+            .expect("predict_batch");
+        assert_eq!(status, 409, "{body}");
+
+        handle.stop().expect("stop");
     }
 }
