@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 use traj_serve::artifact::{ModelArtifact, TrainSpec};
+use traj_serve::batch::SchedulerPolicy;
 use traj_serve::featurize::ServeFeatureSet;
 use traj_serve::registry::ModelRegistry;
 use traj_serve::server::{serve, DurabilityConfig, ServerConfig};
@@ -65,7 +66,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20         [--name NAME] [--version V] [--model KIND] [--scheme raw|dabiri|endo]\n\
                  \x20         [--top-k K] [--extended] [--seed S]\n\
                  \x20 serve   (--artifacts DIR | --artifact FILE.json) [--addr HOST:PORT]\n\
-                 \x20         [--workers N] [--batch-max N] [--batch-delay-ms MS]\n\
+                 \x20         [--workers N] [--scheduler adaptive|fixed] [--slo-ms MS]\n\
+                 \x20         [--queue-cap N] [--batch-max N] [--batch-delay-ms MS]\n\
                  \x20         [--ingest-gap-s SECS] [--ingest-min-points N] [--ingest-exact-cap N]\n\
                  \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]\n\
                  \x20         [--wal-dir DIR] [--wal-fsync always|interval|onclose]\n\
@@ -322,12 +324,36 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
 
     let mut config = ServerConfig::default();
     config.workers = parsed(opts, "workers", config.workers)?;
-    config.batch.max_batch = parsed(opts, "batch-max", config.batch.max_batch)?;
-    config.batch.max_delay = Duration::from_millis(parsed(
-        opts,
-        "batch-delay-ms",
-        config.batch.max_delay.as_millis() as u64,
-    )?);
+    // Scheduler: adaptive (deadline-aware, the default) or the fixed
+    // size-or-delay baseline. Passing --batch-delay-ms implies fixed,
+    // since only the fixed policy has a delay knob.
+    let max_batch = parsed(opts, "batch-max", config.batch.policy.max_batch())?;
+    let has_delay = opts.contains_key("batch-delay-ms");
+    let fixed = match opts.get("scheduler").map(String::as_str) {
+        Some("fixed") => true,
+        Some("adaptive") if has_delay => {
+            return Err("--batch-delay-ms only applies to --scheduler fixed".to_owned())
+        }
+        Some("adaptive") => false,
+        None => has_delay,
+        Some(other) => return Err(format!("unknown --scheduler {other:?}; use fixed|adaptive")),
+    };
+    config.batch.policy = if fixed {
+        SchedulerPolicy::Fixed {
+            max_batch,
+            max_delay: Duration::from_millis(parsed(opts, "batch-delay-ms", 2)?),
+        }
+    } else {
+        SchedulerPolicy::Adaptive { max_batch }
+    };
+    config.batch.slo =
+        Duration::from_millis(parsed(opts, "slo-ms", config.batch.slo.as_millis() as u64)?);
+    config.batch.queue_cap = parsed(opts, "queue-cap", config.batch.queue_cap)?;
+    let (scheduler_name, slo_ms, queue_cap) = (
+        config.batch.policy.as_str(),
+        config.batch.slo.as_millis(),
+        config.batch.queue_cap,
+    );
     config.stream.max_gap_s = parsed(opts, "ingest-gap-s", config.stream.max_gap_s)?;
     config.stream.min_points = parsed(opts, "ingest-min-points", config.stream.min_points)?;
     config.stream.exact_cap = parsed(opts, "ingest-exact-cap", config.stream.exact_cap)?;
@@ -381,10 +407,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     });
     let handle = serve(addr, registry, config)?;
     println!(
-        "serving {} model(s) [{}] on http://{}",
+        "serving {} model(s) [{}] on http://{} ({} scheduler, slo {}ms, queue cap {})",
         names.len(),
         names.join(", "),
-        handle.addr()
+        handle.addr(),
+        scheduler_name,
+        slo_ms,
+        queue_cap,
     );
     if let Some(line) = durability_line {
         println!("{line}");

@@ -77,6 +77,10 @@ pub enum PredictError {
         /// Width of the rows supplied.
         got: usize,
     },
+    /// The prediction queue is shutting down and will not answer this
+    /// job. Surfaced by the serving micro-batcher so in-flight requests
+    /// get a typed retryable error instead of a dropped channel.
+    ShuttingDown,
 }
 
 impl fmt::Display for PredictError {
@@ -89,6 +93,7 @@ impl fmt::Display for PredictError {
                     "feature rows have {got} values; model expects {expected}"
                 )
             }
+            PredictError::ShuttingDown => f.write_str("prediction queue is shutting down"),
         }
     }
 }
@@ -239,6 +244,15 @@ impl RowMatrix {
     pub fn clear(&mut self) {
         self.values.clear();
         self.n_rows = 0;
+    }
+
+    /// Drops every row and re-arms the matrix for rows of width
+    /// `n_cols`, keeping the allocation — the scratch-reuse entry point
+    /// for callers that batch for models of varying widths.
+    pub fn reset(&mut self, n_cols: usize) {
+        self.values.clear();
+        self.n_rows = 0;
+        self.n_cols = n_cols;
     }
 }
 

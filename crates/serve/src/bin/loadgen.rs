@@ -9,8 +9,10 @@
 //! Each connection is a keep-alive HTTP/1.1 client cycling through
 //! request bodies pre-built from synthetic segments (`--batch N` switches
 //! to `/predict_batch` with N segments per request). The summary reports
-//! requests/s, segment predictions/s, client-side latency percentiles and
-//! the non-2xx count — the acceptance gate for the serving stack.
+//! requests/s, segment predictions/s, client-side latency percentiles,
+//! the shed (429) count and the non-2xx count — the acceptance gate for
+//! the serving stack. Admission-control sheds fail the run unless
+//! `--allow-shed` is passed (overload experiments expect them).
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -29,6 +31,7 @@ struct Args {
     model: Option<String>,
     batch: usize,
     seed: u64,
+    allow_shed: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +42,11 @@ fn parse_args() -> Result<Args, String> {
         let key = arg
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+        // Boolean flags take no value.
+        if key == "allow-shed" {
+            map.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -60,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         model: map.get("model").cloned(),
         batch: parsed("batch", 0)? as usize,
         seed: parsed("seed", 42)?,
+        allow_shed: map.contains_key("allow-shed"),
     })
 }
 
@@ -99,8 +108,11 @@ fn build_bodies(args: &Args) -> Vec<String> {
 #[derive(Default)]
 struct WorkerStats {
     requests: u64,
+    shed: u64,
     non_2xx: u64,
     transport_errors: u64,
+    /// Client-side latency of successful (2xx) requests only — sheds are
+    /// rejected in microseconds and would drag the percentiles down.
     latencies_us: Vec<u64>,
 }
 
@@ -140,10 +152,13 @@ fn worker(
         ) {
             Ok((status, _)) => {
                 stats.requests += 1;
-                stats
-                    .latencies_us
-                    .push(started.elapsed().as_micros() as u64);
-                if !(200..300).contains(&status) {
+                if (200..300).contains(&status) {
+                    stats
+                        .latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                } else if status == 429 {
+                    stats.shed += 1;
+                } else {
                     stats.non_2xx += 1;
                 }
             }
@@ -171,7 +186,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
-                 [--model NAME] [--batch N] [--seed S]"
+                 [--model NAME] [--batch N] [--seed S] [--allow-shed]"
             );
             return ExitCode::FAILURE;
         }
@@ -215,6 +230,7 @@ fn main() -> ExitCode {
     for handle in handles {
         let stats = handle.join().expect("worker panicked");
         all.requests += stats.requests;
+        all.shed += stats.shed;
         all.non_2xx += stats.non_2xx;
         all.transport_errors += stats.transport_errors;
         all.latencies_us.extend(stats.latencies_us);
@@ -223,22 +239,25 @@ fn main() -> ExitCode {
     all.latencies_us.sort_unstable();
 
     let rps = all.requests as f64 / elapsed;
+    let goodput = all.latencies_us.len() as f64 / elapsed;
     println!("requests:          {:>10}", all.requests);
     println!("throughput:        {rps:>10.1} req/s");
+    println!("goodput (2xx):     {goodput:>10.1} req/s");
     println!(
         "predictions:       {:>10.1} segments/s",
-        rps * segments_per_request as f64
+        goodput * segments_per_request as f64
     );
     println!(
-        "latency:           p50 {} µs   p95 {} µs   p99 {} µs",
+        "latency (2xx):     p50 {} µs   p95 {} µs   p99 {} µs",
         percentile(&all.latencies_us, 0.50),
         percentile(&all.latencies_us, 0.95),
         percentile(&all.latencies_us, 0.99)
     );
-    println!("non-2xx:           {:>10}", all.non_2xx);
+    println!("shed (429):        {:>10}", all.shed);
+    println!("non-2xx (other):   {:>10}", all.non_2xx);
     println!("transport errors:  {:>10}", all.transport_errors);
 
-    if all.requests == 0 || all.non_2xx > 0 {
+    if all.requests == 0 || all.non_2xx > 0 || (all.shed > 0 && !args.allow_shed) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

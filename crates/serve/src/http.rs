@@ -165,8 +165,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -180,14 +182,35 @@ pub fn write_response<S: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with_retry(stream, status, body, keep_alive, None)
+}
+
+/// Writes one JSON response, optionally carrying a `Retry-After` header
+/// (whole seconds, rounded up; overload 429s use it to tell clients how
+/// long the queue is expected to take to drain).
+pub fn write_response_with_retry<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<std::time::Duration>,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = match retry_after {
+        Some(d) => format!(
+            "Retry-After: {}\r\n",
+            d.as_secs_f64().ceil().max(1.0) as u64
+        ),
+        None => String::new(),
+    };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n{}",
         status,
         reason_phrase(status),
         body.len(),
         connection,
+        retry,
         body
     )?;
     stream.flush()
@@ -287,6 +310,27 @@ mod tests {
     fn clean_eof_is_none() {
         let req = read_request(&mut Cursor::new(&b""[..]), 1024).expect("ok");
         assert!(req.is_none());
+    }
+
+    #[test]
+    fn retry_after_header_renders_in_whole_seconds() {
+        let mut wire = Vec::new();
+        write_response_with_retry(
+            &mut wire,
+            429,
+            "{\"error\":\"shed\"}",
+            true,
+            Some(std::time::Duration::from_millis(120)),
+        )
+        .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        // Sub-second estimates round up: clients must not retry instantly.
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"shed\"}"));
     }
 
     #[test]

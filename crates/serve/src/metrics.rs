@@ -413,6 +413,75 @@ impl DurabilityMetrics {
     }
 }
 
+/// Scheduler metrics: batch-queue wait, deadline misses against the
+/// configured SLO, and admission-control sheds per priority class.
+#[derive(Debug)]
+pub struct SchedulerMetrics {
+    /// Time jobs spent in the batch queue before being flushed, µs.
+    pub queue_wait_us: Histogram,
+    /// Jobs whose flush completed after their SLO deadline.
+    pub deadline_misses: AtomicU64,
+    /// Interactive (`/predict`) submissions rejected with 429.
+    pub shed_interactive: AtomicU64,
+    /// Close-time submissions rejected (always 0 by policy; kept so a
+    /// policy regression is visible).
+    pub shed_close: AtomicU64,
+    /// Bulk (`/predict_batch`) submissions rejected with 429.
+    pub shed_bulk: AtomicU64,
+    /// Submissions answered with `ShuttingDown` during shutdown.
+    pub shutdown_rejects: AtomicU64,
+}
+
+impl SchedulerMetrics {
+    fn new() -> SchedulerMetrics {
+        SchedulerMetrics {
+            queue_wait_us: Histogram::new(&LATENCY_BOUNDS_US),
+            deadline_misses: AtomicU64::new(0),
+            shed_interactive: AtomicU64::new(0),
+            shed_close: AtomicU64::new(0),
+            shed_bulk: AtomicU64::new(0),
+            shutdown_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one admission rejection for `priority`.
+    pub fn record_shed(&self, priority: crate::batch::Priority) {
+        match priority {
+            crate::batch::Priority::Interactive => &self.shed_interactive,
+            crate::batch::Priority::Close => &self.shed_close,
+            crate::batch::Priority::Bulk => &self.shed_bulk,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sheds across classes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_interactive.load(Ordering::Relaxed)
+            + self.shed_close.load(Ordering::Relaxed)
+            + self.shed_bulk.load(Ordering::Relaxed)
+    }
+
+    fn render_json(&self) -> String {
+        let wait = &self.queue_wait_us;
+        format!(
+            "{{\"queue_wait_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {}}}, \
+             \"deadline_misses\": {}, \"shed_interactive\": {}, \"shed_close\": {}, \
+             \"shed_bulk\": {}, \"shutdown_rejects\": {}}}",
+            wait.count(),
+            wait.mean(),
+            wait.quantile(0.50),
+            wait.quantile(0.95),
+            wait.quantile(0.99),
+            render_buckets(&wait.snapshot()),
+            self.deadline_misses.load(Ordering::Relaxed),
+            self.shed_interactive.load(Ordering::Relaxed),
+            self.shed_close.load(Ordering::Relaxed),
+            self.shed_bulk.load(Ordering::Relaxed),
+            self.shutdown_rejects.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// All serving metrics; shared across workers behind an `Arc`.
 #[derive(Debug)]
 pub struct ServeMetrics {
@@ -428,6 +497,8 @@ pub struct ServeMetrics {
     pub latency_us: Histogram,
     /// Sizes of flushed prediction micro-batches.
     pub batch_size: Histogram,
+    /// Batch-queue scheduling metrics (wait, deadline misses, sheds).
+    pub scheduler: SchedulerMetrics,
     /// Streaming-ingestion gauges and histograms.
     pub ingest: IngestMetrics,
     /// WAL / snapshot / recovery metrics (dormant without a WAL).
@@ -446,6 +517,7 @@ impl ServeMetrics {
             responses_5xx: AtomicU64::new(0),
             latency_us: Histogram::new(&LATENCY_BOUNDS_US),
             batch_size: Histogram::new(&BATCH_BOUNDS),
+            scheduler: SchedulerMetrics::new(),
             ingest: IngestMetrics::new(),
             durability: DurabilityMetrics::new(),
             per_model: model_names
@@ -504,6 +576,10 @@ impl ServeMetrics {
             batch.quantile(0.95),
             batch.quantile(0.99),
             render_buckets(&batch.snapshot()),
+        ));
+        out.push_str(&format!(
+            "  \"scheduler\": {},\n",
+            self.scheduler.render_json()
         ));
         out.push_str(&format!("  \"ingest\": {},\n", self.ingest.render_json()));
         out.push_str(&format!(

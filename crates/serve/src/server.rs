@@ -22,8 +22,8 @@
 //! materialised and a prediction is emitted without re-featurising. A
 //! background sweeper closes idle sessions on the configured interval.
 
-use crate::batch::{BatchConfig, MicroBatcher};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::batch::{BatchConfig, MicroBatcher, Priority};
+use crate::http::{read_request, write_response_with_retry, HttpError, Request};
 use crate::metrics::ServeMetrics;
 use crate::registry::{ModelRegistry, Prediction};
 use serde::{Deserialize, Serialize};
@@ -77,7 +77,9 @@ pub struct ServerConfig {
     /// Socket read timeout (bounds how long a worker waits on an idle
     /// keep-alive connection).
     pub read_timeout: Duration,
-    /// Micro-batching policy for `/predict_batch`.
+    /// Batching policy, SLO deadline and admission cap shared by
+    /// `/predict` (interactive), `/predict_batch` (bulk) and `/ingest`
+    /// close-time predictions (close, never shed).
     pub batch: BatchConfig,
     /// Streaming-ingestion engine tunables (`POST /ingest`).
     pub stream: traj_stream::StreamConfig,
@@ -202,12 +204,14 @@ fn error_body(message: &str) -> String {
 }
 
 /// HTTP status of a typed prediction failure: an unfitted model is a
-/// conflict with the server's state (409, retryable after retraining),
-/// anything else is an internal inconsistency (500).
+/// conflict with the server's state (409, retryable after retraining), a
+/// shutting-down queue is a retryable unavailability (503), anything
+/// else is an internal inconsistency (500).
 fn predict_error_status(e: PredictError) -> u16 {
     match e {
         PredictError::NotFitted => 409,
         PredictError::WrongWidth { .. } => 500,
+        PredictError::ShuttingDown => 503,
     }
 }
 
@@ -245,22 +249,49 @@ impl AppState {
     }
 }
 
-/// Routes one request to `(status, JSON body)`. Never panics on client
-/// input; internal failures map to 500.
-fn route(state: &AppState, request: &Request) -> (u16, String) {
+/// A routed response: status, JSON body and — on admission-control
+/// 429s — the queue-drain estimate carried as `Retry-After`.
+struct Response {
+    status: u16,
+    body: String,
+    retry_after: Option<Duration>,
+}
+
+impl From<(u16, String)> for Response {
+    fn from((status, body): (u16, String)) -> Response {
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Routes one request. Never panics on client input; internal failures
+/// map to 500.
+fn route(state: &AppState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/healthz") => handle_healthz(state).into(),
         ("GET", "/metrics") => {
             state.sync_ingest_metrics();
-            (200, state.metrics.render_json())
+            (200, state.metrics.render_json()).into()
         }
         ("POST", "/predict") => handle_predict(state, &request.body),
         ("POST", "/predict_batch") => handle_predict_batch(state, &request.body),
-        ("POST", "/ingest") => handle_ingest(state, &request.body),
+        ("POST", "/ingest") => handle_ingest(state, &request.body).into(),
         ("GET", "/predict" | "/predict_batch" | "/ingest") | ("POST", "/healthz" | "/metrics") => {
-            (405, error_body("method not allowed"))
+            (405, error_body("method not allowed")).into()
         }
-        _ => (404, error_body("no such endpoint")),
+        _ => (404, error_body("no such endpoint")).into(),
+    }
+}
+
+/// The 429 an admission shed maps to.
+fn shed_response(retry_after: Duration) -> Response {
+    Response {
+        status: 429,
+        body: error_body("prediction queue is full; retry later"),
+        retry_after: Some(retry_after),
     }
 }
 
@@ -282,24 +313,34 @@ fn handle_healthz(state: &AppState) -> (u16, String) {
     }
 }
 
-fn handle_predict(state: &AppState, body: &[u8]) -> (u16, String) {
+fn handle_predict(state: &AppState, body: &[u8]) -> Response {
     let parsed: PredictRequest = match parse_json_body(body) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return resp.into(),
     };
     let Some(model) = state.registry.get(parsed.model.as_deref()) else {
-        return (404, error_body("unknown model"));
+        return (404, error_body("unknown model")).into();
     };
     let points = points_of(&parsed.points);
     let row = match model.features_of_points(&points) {
         Ok(row) => row,
-        Err(msg) => return (422, error_body(&msg)),
+        Err(msg) => return (422, error_body(&msg)).into(),
     };
-    let prediction = match model.try_predict_scaled_row(&row) {
-        Ok(p) => p,
-        Err(e) => return (predict_error_status(e), error_body(&e.to_string())),
+    // Interactive class: full admission cap, flushed first. The batcher
+    // coalesces concurrent /predict rows into one compiled traversal and
+    // records the per-model prediction count at flush time.
+    let rx = match state
+        .batcher
+        .submit(Arc::clone(&model), row, Priority::Interactive)
+    {
+        Ok(rx) => rx,
+        Err(shed) => return shed_response(shed.retry_after),
     };
-    state.metrics.record_predictions(&model.artifact.name, 1);
+    let prediction = match rx.recv() {
+        Ok(Ok(p)) => p,
+        Ok(Err(e)) => return (predict_error_status(e), error_body(&e.to_string())).into(),
+        Err(_) => return (503, error_body("prediction queue unavailable")).into(),
+    };
     let response = PredictResponse {
         model: model.artifact.name.clone(),
         version: model.artifact.version,
@@ -309,45 +350,53 @@ fn handle_predict(state: &AppState, body: &[u8]) -> (u16, String) {
         class_names: class_names_of(&model.artifact.scheme),
     };
     match serde_json::to_string(&response) {
-        Ok(body) => (200, body),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(body) => (200, body).into(),
+        Err(e) => (500, error_body(&e.to_string())).into(),
     }
 }
 
-fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
+fn handle_predict_batch(state: &AppState, body: &[u8]) -> Response {
     let parsed: PredictBatchRequest = match parse_json_body(body) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return resp.into(),
     };
     let Some(model) = state.registry.get(parsed.model.as_deref()) else {
-        return (404, error_body("unknown model"));
+        return (404, error_body("unknown model")).into();
     };
     if parsed.segments.is_empty() {
-        return (422, error_body("empty segments array"));
+        return (422, error_body("empty segments array")).into();
     }
     if !model.is_ready() {
-        return (409, error_body(&PredictError::NotFitted.to_string()));
+        return (409, error_body(&PredictError::NotFitted.to_string())).into();
     }
 
     // Featurise inline (per-segment, worker-parallel across requests),
     // then push the rows through the shared micro-batcher so concurrent
     // requests coalesce into larger prediction batches (grouped by model
-    // and predicted with one compiled traversal per flush).
+    // and predicted with one compiled traversal per flush). Bulk class:
+    // admission rejects the whole request at half the queue cap, keeping
+    // headroom for interactive traffic (already-submitted rows are still
+    // predicted; their replies go nowhere).
     enum Pending {
         Waiting(Receiver<Result<Prediction, PredictError>>),
         Failed(String),
     }
-    let pending: Vec<Pending> = parsed
-        .segments
-        .iter()
-        .map(|dtos| {
-            let points = points_of(dtos);
-            match model.features_of_points(&points) {
-                Ok(row) => Pending::Waiting(state.batcher.submit(Arc::clone(&model), row)),
-                Err(msg) => Pending::Failed(msg),
+    let mut pending = Vec::with_capacity(parsed.segments.len());
+    for dtos in &parsed.segments {
+        let points = points_of(dtos);
+        match model.features_of_points(&points) {
+            Ok(row) => {
+                match state
+                    .batcher
+                    .submit(Arc::clone(&model), row, Priority::Bulk)
+                {
+                    Ok(rx) => pending.push(Pending::Waiting(rx)),
+                    Err(shed) => return shed_response(shed.retry_after),
+                }
             }
-        })
-        .collect();
+            Err(msg) => pending.push(Pending::Failed(msg)),
+        }
+    }
 
     let results: Vec<BatchItemResponse> = pending
         .into_iter()
@@ -388,8 +437,8 @@ fn handle_predict_batch(state: &AppState, body: &[u8]) -> (u16, String) {
         results,
     };
     match serde_json::to_string(&response) {
-        Ok(body) => (200, body),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(body) => (200, body).into(),
+        Err(e) => (500, error_body(&e.to_string())).into(),
     }
 }
 
@@ -428,17 +477,33 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
         );
     }
 
-    let mut predictions = Vec::with_capacity(report.closed.len());
+    // Close class: routed through the shared batcher (coalescing with
+    // concurrent traffic) but never shed — the engine already consumed
+    // these segments, so dropping the prediction would lose paid-for
+    // work. Submit every close first so one flush can cover them all.
+    let mut waiting = Vec::with_capacity(report.closed.len());
     for closed in &report.closed {
         let scaled = match model.project_scale(&closed.features) {
             Ok(row) => row,
             Err(msg) => return (500, error_body(&msg)),
         };
-        let prediction = match model.try_predict_scaled_row(&scaled) {
-            Ok(p) => p,
-            Err(e) => return (predict_error_status(e), error_body(&e.to_string())),
+        match state
+            .batcher
+            .submit(Arc::clone(&model), scaled, Priority::Close)
+        {
+            Ok(rx) => waiting.push(rx),
+            // Unreachable by policy (close is never shed); fail loudly
+            // rather than silently dropping a close if that changes.
+            Err(_) => return (503, error_body("prediction queue rejected a close")),
+        }
+    }
+    let mut predictions = Vec::with_capacity(report.closed.len());
+    for (closed, rx) in report.closed.iter().zip(waiting) {
+        let prediction = match rx.recv() {
+            Ok(Ok(p)) => p,
+            Ok(Err(e)) => return (predict_error_status(e), error_body(&e.to_string())),
+            Err(_) => return (503, error_body("prediction queue unavailable")),
         };
-        state.metrics.record_predictions(&model.artifact.name, 1);
         state.metrics.ingest.record_close(
             Some(started.elapsed().as_micros() as u64),
             closed.exact,
@@ -800,11 +865,19 @@ fn handle_connection(stream: TcpStream, state: &Arc<AppState>, config: &ServerCo
         match read_request(&mut reader, config.max_body_bytes) {
             Ok(None) => return, // Clean close between requests.
             Ok(Some(request)) => {
-                let (status, body) = route(state, &request);
+                let response = route(state, &request);
                 state
                     .metrics
-                    .record_response(status, started.elapsed().as_micros() as u64);
-                if write_response(&mut writer, status, &body, request.keep_alive).is_err() {
+                    .record_response(response.status, started.elapsed().as_micros() as u64);
+                if write_response_with_retry(
+                    &mut writer,
+                    response.status,
+                    &response.body,
+                    request.keep_alive,
+                    response.retry_after,
+                )
+                .is_err()
+                {
                     return;
                 }
                 if !request.keep_alive {
@@ -818,7 +891,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<AppState>, config: &ServerCo
                     state
                         .metrics
                         .record_response(status, started.elapsed().as_micros() as u64);
-                    let _ = write_response(&mut writer, status, &error_body(&message), false);
+                    let _ = write_response_with_retry(
+                        &mut writer,
+                        status,
+                        &error_body(&message),
+                        false,
+                        None,
+                    );
                 } else if !matches!(error, HttpError::Io(_)) {
                     state
                         .metrics

@@ -1,0 +1,210 @@
+//! Arrival processes: how simulated requests enter the system.
+//!
+//! Open-loop processes (Poisson, MMPP bursts, diurnal ramp) offer load
+//! regardless of how the server keeps up — the regime where overload
+//! control matters. The closed-loop process models `loadgen`: a fixed
+//! set of clients that each wait for their response (plus an optional
+//! think time) before issuing the next request, which is what the
+//! sim-vs-real agreement check replays.
+
+use crate::rng::SimRng;
+
+/// Nanoseconds per second — the simulator's clock unit.
+pub const NS_PER_S: u64 = 1_000_000_000;
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless open-loop arrivals at `rate` requests/second.
+    Poisson {
+        /// Offered load, requests per second.
+        rate: f64,
+    },
+    /// Markov-modulated Poisson: alternates between a `base` and a
+    /// `burst` rate with exponentially distributed dwell times — the
+    /// classic bursty-traffic model.
+    Mmpp {
+        /// Rate while in the base state, requests per second.
+        base_rate: f64,
+        /// Rate while in the burst state, requests per second.
+        burst_rate: f64,
+        /// Mean dwell time in the base state, seconds.
+        mean_base_s: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+    },
+    /// Sinusoidal rate ramp between `low_rate` and `high_rate` over
+    /// `period_s` — a compressed diurnal cycle.
+    Diurnal {
+        /// Trough rate, requests per second.
+        low_rate: f64,
+        /// Peak rate, requests per second.
+        high_rate: f64,
+        /// Full cycle length, seconds.
+        period_s: f64,
+    },
+    /// Closed loop: `clients` concurrent requesters, each issuing its
+    /// next request `think_us` after receiving the previous response.
+    /// Mirrors `loadgen --connections N`.
+    ClosedLoop {
+        /// Concurrent requesters.
+        clients: usize,
+        /// Pause between response and next request, microseconds.
+        think_us: u64,
+    },
+}
+
+/// Stateful sampler of an open-loop [`ArrivalProcess`].
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SimRng,
+    /// MMPP only: `true` while in the burst state.
+    in_burst: bool,
+    /// MMPP only: absolute time of the next state switch, ns.
+    next_switch_ns: u64,
+}
+
+impl ArrivalGen {
+    /// A sampler drawing from its own seeded stream.
+    pub fn new(process: ArrivalProcess, seed: u64) -> ArrivalGen {
+        let mut rng = SimRng::new(seed);
+        let (in_burst, next_switch_ns) = match process {
+            ArrivalProcess::Mmpp { mean_base_s, .. } => (
+                false,
+                (rng.next_exp(1.0 / mean_base_s) * NS_PER_S as f64) as u64,
+            ),
+            _ => (false, u64::MAX),
+        };
+        ArrivalGen {
+            process,
+            rng,
+            in_burst,
+            next_switch_ns,
+        }
+    }
+
+    /// Absolute time (ns) of the next arrival after `now_ns`, or `None`
+    /// for closed-loop processes (the engine drives those off responses).
+    pub fn next_arrival_ns(&mut self, now_ns: u64) -> Option<u64> {
+        match self.process {
+            ArrivalProcess::ClosedLoop { .. } => None,
+            ArrivalProcess::Poisson { rate } => {
+                Some(now_ns + (self.rng.next_exp(rate) * NS_PER_S as f64) as u64)
+            }
+            ArrivalProcess::Mmpp {
+                base_rate,
+                burst_rate,
+                mean_base_s,
+                mean_burst_s,
+            } => {
+                // Walk state switches until a draw lands inside the
+                // current dwell interval.
+                let mut t = now_ns;
+                loop {
+                    let rate = if self.in_burst { burst_rate } else { base_rate };
+                    let gap = (self.rng.next_exp(rate) * NS_PER_S as f64) as u64;
+                    if t + gap <= self.next_switch_ns {
+                        return Some(t + gap);
+                    }
+                    t = self.next_switch_ns;
+                    self.in_burst = !self.in_burst;
+                    let mean_s = if self.in_burst {
+                        mean_burst_s
+                    } else {
+                        mean_base_s
+                    };
+                    self.next_switch_ns =
+                        t + (self.rng.next_exp(1.0 / mean_s) * NS_PER_S as f64) as u64;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                low_rate,
+                high_rate,
+                period_s,
+            } => {
+                // Thinning against the peak rate: accept a candidate
+                // arrival with probability rate(t)/high_rate.
+                let mut t = now_ns;
+                loop {
+                    t += (self.rng.next_exp(high_rate) * NS_PER_S as f64) as u64;
+                    let phase = (t as f64 / NS_PER_S as f64) / period_s;
+                    let rate = low_rate
+                        + (high_rate - low_rate)
+                            * 0.5
+                            * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                    if self.rng.next_f64() * high_rate <= rate {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate(process: ArrivalProcess, horizon_s: f64) -> f64 {
+        let mut gen = ArrivalGen::new(process, 11);
+        let horizon = (horizon_s * NS_PER_S as f64) as u64;
+        let mut t = 0u64;
+        let mut n = 0u64;
+        while let Some(next) = gen.next_arrival_ns(t) {
+            if next > horizon {
+                break;
+            }
+            t = next;
+            n += 1;
+        }
+        n as f64 / horizon_s
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let rate = mean_rate(ArrivalProcess::Poisson { rate: 2_000.0 }, 20.0);
+        assert!((rate - 2_000.0).abs() < 100.0, "measured {rate}");
+    }
+
+    #[test]
+    fn mmpp_rate_lies_between_states() {
+        let rate = mean_rate(
+            ArrivalProcess::Mmpp {
+                base_rate: 500.0,
+                burst_rate: 5_000.0,
+                mean_base_s: 0.5,
+                mean_burst_s: 0.5,
+            },
+            40.0,
+        );
+        // Equal dwell times → long-run mean near the midpoint.
+        assert!((1_000.0..4_500.0).contains(&rate), "measured {rate}");
+    }
+
+    #[test]
+    fn diurnal_rate_averages_the_ramp() {
+        let rate = mean_rate(
+            ArrivalProcess::Diurnal {
+                low_rate: 100.0,
+                high_rate: 1_900.0,
+                period_s: 5.0,
+            },
+            20.0,
+        );
+        // Sinusoid midpoint = (low + high) / 2 over whole periods.
+        assert!((rate - 1_000.0).abs() < 120.0, "measured {rate}");
+    }
+
+    #[test]
+    fn closed_loop_yields_no_open_arrivals() {
+        let mut gen = ArrivalGen::new(
+            ArrivalProcess::ClosedLoop {
+                clients: 4,
+                think_us: 0,
+            },
+            3,
+        );
+        assert_eq!(gen.next_arrival_ns(0), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! Simulation outcomes: per-class latency/queue-wait percentiles,
+//! throughput and goodput, shed and deadline-miss counts, plus an
+//! optional chrome-trace dump (load `chrome://tracing` or Perfetto and
+//! drop the JSON in to see every request as a horizontal bar).
+//!
+//! Everything here is dependency-free: the JSON emitters build strings
+//! by hand, matching the repo's no-external-crates rule.
+
+use crate::scheduler::Class;
+
+/// Raw per-class accumulators filled by the engine.
+#[derive(Debug, Default, Clone)]
+pub struct ClassStats {
+    /// Requests that entered the system.
+    pub offered: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Completed requests that finished after their deadline.
+    pub deadline_misses: u64,
+    /// End-to-end latency of each completed request, µs.
+    pub latencies_us: Vec<u64>,
+    /// Batch-queue wait of each completed request, µs.
+    pub queue_wait_us: Vec<u64>,
+    /// Flush count (kept on the overall/interactive row only).
+    pub flushes: u64,
+    /// Total rows across all flushes (overall row only).
+    pub batched_rows: u64,
+}
+
+/// One completed span for the chrome-trace dump.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// `"request"` or `"shed"`.
+    pub name: &'static str,
+    /// Priority class of the request.
+    pub class: Class,
+    /// Span start (request arrival), µs since sim start.
+    pub start_us: u64,
+    /// Span duration, µs (≥ 1 so trace viewers render it).
+    pub dur_us: u64,
+}
+
+/// Digested statistics for one class (or the overall union).
+#[derive(Debug, Clone, Default)]
+pub struct ClassReport {
+    /// Class name, or `"overall"`.
+    pub name: &'static str,
+    /// Requests that entered the system.
+    pub offered: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Completed requests that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Median end-to-end latency, µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Median batch-queue wait, µs.
+    pub queue_wait_p50_us: u64,
+    /// 99th-percentile batch-queue wait, µs.
+    pub queue_wait_p99_us: u64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Requests completed *within their deadline* per second.
+    pub goodput_rps: f64,
+}
+
+/// The full simulation result.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scheduler under test (`"fixed"` / `"adaptive"`).
+    pub scheduler: &'static str,
+    /// The configured SLO, µs.
+    pub slo_us: u64,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Union of all classes.
+    pub overall: ClassReport,
+    /// Per-class digests, indexed by [`Class`] discriminant.
+    pub classes: [ClassReport; 3],
+    /// Number of executor flushes.
+    pub flushes: u64,
+    /// Mean rows per flush.
+    pub mean_batch: f64,
+    /// Chrome-trace spans (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// `p`-th percentile (0–100) of `values`, which are sorted in place.
+/// Returns 0 for an empty slice.
+pub fn percentile_us(values: &mut [u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    // Nearest-rank, matching loadgen's client-side percentile rule.
+    let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+fn digest(name: &'static str, stats: &mut ClassStats, duration_s: f64) -> ClassReport {
+    let within = stats.completed - stats.deadline_misses;
+    ClassReport {
+        name,
+        offered: stats.offered,
+        completed: stats.completed,
+        shed: stats.shed,
+        deadline_misses: stats.deadline_misses,
+        p50_us: percentile_us(&mut stats.latencies_us, 50.0),
+        p95_us: percentile_us(&mut stats.latencies_us, 95.0),
+        p99_us: percentile_us(&mut stats.latencies_us, 99.0),
+        queue_wait_p50_us: percentile_us(&mut stats.queue_wait_us, 50.0),
+        queue_wait_p99_us: percentile_us(&mut stats.queue_wait_us, 99.0),
+        throughput_rps: stats.completed as f64 / duration_s.max(1e-9),
+        goodput_rps: within as f64 / duration_s.max(1e-9),
+    }
+}
+
+impl SimReport {
+    /// Digests the engine's raw accumulators into a report.
+    pub fn build(
+        scheduler: &'static str,
+        slo_us: u64,
+        duration_s: f64,
+        stats: [ClassStats; 3],
+        trace: Vec<TraceEvent>,
+    ) -> SimReport {
+        let flushes = stats[0].flushes;
+        let batched_rows = stats[0].batched_rows;
+        let mut overall = ClassStats::default();
+        for s in &stats {
+            overall.offered += s.offered;
+            overall.completed += s.completed;
+            overall.shed += s.shed;
+            overall.deadline_misses += s.deadline_misses;
+            overall.latencies_us.extend_from_slice(&s.latencies_us);
+            overall.queue_wait_us.extend_from_slice(&s.queue_wait_us);
+        }
+        let mut stats = stats;
+        let classes = [
+            digest("interactive", &mut stats[0], duration_s),
+            digest("close", &mut stats[1], duration_s),
+            digest("bulk", &mut stats[2], duration_s),
+        ];
+        SimReport {
+            scheduler,
+            slo_us,
+            duration_s,
+            overall: digest("overall", &mut overall, duration_s),
+            classes,
+            flushes,
+            mean_batch: batched_rows as f64 / flushes.max(1) as f64,
+            trace,
+        }
+    }
+
+    /// The report as a JSON object string (hand-built; no serde).
+    pub fn to_json(&self) -> String {
+        fn class_json(c: &ClassReport) -> String {
+            format!(
+                concat!(
+                    "{{\"offered\": {}, \"completed\": {}, \"shed\": {}, ",
+                    "\"deadline_misses\": {}, \"p50_us\": {}, \"p95_us\": {}, ",
+                    "\"p99_us\": {}, \"queue_wait_p50_us\": {}, ",
+                    "\"queue_wait_p99_us\": {}, \"throughput_rps\": {:.1}, ",
+                    "\"goodput_rps\": {:.1}}}"
+                ),
+                c.offered,
+                c.completed,
+                c.shed,
+                c.deadline_misses,
+                c.p50_us,
+                c.p95_us,
+                c.p99_us,
+                c.queue_wait_p50_us,
+                c.queue_wait_p99_us,
+                c.throughput_rps,
+                c.goodput_rps,
+            )
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scheduler\": \"{}\",\n", self.scheduler));
+        out.push_str(&format!("  \"slo_us\": {},\n", self.slo_us));
+        out.push_str(&format!("  \"duration_s\": {:.3},\n", self.duration_s));
+        out.push_str(&format!("  \"flushes\": {},\n", self.flushes));
+        out.push_str(&format!("  \"mean_batch\": {:.2},\n", self.mean_batch));
+        out.push_str(&format!("  \"overall\": {},\n", class_json(&self.overall)));
+        out.push_str("  \"classes\": {\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            let comma = if i + 1 < self.classes.len() { "," } else { "" };
+            out.push_str(&format!("    \"{}\": {}{}\n", c.name, class_json(c), comma));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// The collected spans in chrome-trace ("traceEvents") format.
+    pub fn trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        for (i, ev) in self.trace.iter().enumerate() {
+            let comma = if i + 1 < self.trace.len() { "," } else { "" };
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", ",
+                    "\"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}{}\n"
+                ),
+                ev.name,
+                ev.class.as_str(),
+                ev.start_us,
+                ev.dur_us,
+                ev.class as usize + 1,
+                comma
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile_us(&mut [], 99.0), 0);
+        assert_eq!(percentile_us(&mut [7], 50.0), 7);
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&mut v, 50.0), 50);
+        assert_eq!(percentile_us(&mut v, 99.0), 99);
+        assert_eq!(percentile_us(&mut v, 100.0), 100);
+    }
+
+    #[test]
+    fn build_merges_classes_into_overall() {
+        let a = ClassStats {
+            offered: 10,
+            completed: 9,
+            shed: 1,
+            latencies_us: vec![100; 9],
+            queue_wait_us: vec![10; 9],
+            flushes: 3,
+            batched_rows: 9,
+            ..ClassStats::default()
+        };
+        let b = ClassStats {
+            offered: 5,
+            completed: 5,
+            deadline_misses: 2,
+            latencies_us: vec![900; 5],
+            queue_wait_us: vec![90; 5],
+            ..ClassStats::default()
+        };
+        let report = SimReport::build(
+            "adaptive",
+            10_000,
+            2.0,
+            [a, ClassStats::default(), b],
+            Vec::new(),
+        );
+        assert_eq!(report.overall.offered, 15);
+        assert_eq!(report.overall.completed, 14);
+        assert_eq!(report.overall.shed, 1);
+        assert_eq!(report.overall.deadline_misses, 2);
+        assert_eq!(report.overall.p50_us, 100);
+        assert_eq!(report.overall.p99_us, 900);
+        assert!((report.overall.throughput_rps - 7.0).abs() < 1e-9);
+        assert!((report.overall.goodput_rps - 6.0).abs() < 1e-9);
+        assert!((report.mean_batch - 3.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"scheduler\": \"adaptive\""));
+        assert!(json.contains("\"bulk\""));
+    }
+
+    #[test]
+    fn trace_json_is_chrome_shaped() {
+        let report = SimReport::build(
+            "fixed",
+            10_000,
+            1.0,
+            [
+                ClassStats::default(),
+                ClassStats::default(),
+                ClassStats::default(),
+            ],
+            vec![TraceEvent {
+                name: "request",
+                class: Class::Interactive,
+                start_us: 5,
+                dur_us: 120,
+            }],
+        );
+        let json = report.trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 5"));
+    }
+}

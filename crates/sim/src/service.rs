@@ -1,0 +1,113 @@
+//! The service-time model: what one flush of `b` rows costs.
+//!
+//! `traj-serve`'s flush cost is affine in the batch size to a very good
+//! approximation — one fixed per-flush overhead (grouping, scratch
+//! setup, reply fan-out) plus a per-row traversal cost — because the
+//! compiled ensembles of `BENCH_predict.json` traverse level-
+//! synchronously with near-constant per-row work. The model is therefore
+//! `s(b) = alpha + beta·b`, fitted from measured `(batch, duration)`
+//! pairs, or derived from a `rows_per_s` throughput figure.
+
+/// Affine batch service-time model, nanosecond coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Fixed cost per flush, ns.
+    pub alpha_ns: f64,
+    /// Marginal cost per batched row, ns.
+    pub beta_ns: f64,
+    /// Per-request preprocessing cost outside the batcher (HTTP framing,
+    /// JSON parse, featurization, reply serialization), ns.
+    pub pre_ns: f64,
+}
+
+impl ServiceModel {
+    /// Service time of one flush of `batch` rows, ns.
+    pub fn flush_ns(&self, batch: usize) -> u64 {
+        (self.alpha_ns + self.beta_ns * batch as f64).max(0.0) as u64
+    }
+
+    /// Least-squares fit of `(batch_size, duration_ns)` observations.
+    /// Degenerate inputs (fewer than two distinct sizes) fall back to a
+    /// pure per-row model.
+    pub fn fit(samples: &[(usize, f64)], pre_ns: f64) -> ServiceModel {
+        let n = samples.len() as f64;
+        let distinct = {
+            let mut sizes: Vec<usize> = samples.iter().map(|&(b, _)| b).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            sizes.len()
+        };
+        if distinct < 2 {
+            let mean_rate = samples
+                .iter()
+                .map(|&(b, d)| d / b.max(1) as f64)
+                .sum::<f64>()
+                / n.max(1.0);
+            return ServiceModel {
+                alpha_ns: 0.0,
+                beta_ns: if mean_rate.is_finite() {
+                    mean_rate
+                } else {
+                    0.0
+                },
+                pre_ns,
+            };
+        }
+        let sx: f64 = samples.iter().map(|&(b, _)| b as f64).sum();
+        let sy: f64 = samples.iter().map(|&(_, d)| d).sum();
+        let sxx: f64 = samples.iter().map(|&(b, _)| (b as f64) * (b as f64)).sum();
+        let sxy: f64 = samples.iter().map(|&(b, d)| b as f64 * d).sum();
+        let denom = n * sxx - sx * sx;
+        let beta = (n * sxy - sx * sy) / denom;
+        let alpha = (sy - beta * sx) / n;
+        ServiceModel {
+            // A negative intercept (noise at tiny batches) clamps to 0.
+            alpha_ns: alpha.max(0.0),
+            beta_ns: beta.max(0.0),
+            pre_ns,
+        }
+    }
+
+    /// Model derived from a steady-state row throughput (e.g. the
+    /// `compiled_rows_per_s` figures of `results/BENCH_predict.json`),
+    /// with an assumed fixed per-flush overhead.
+    pub fn from_rows_per_s(rows_per_s: f64, alpha_us: f64, pre_us: f64) -> ServiceModel {
+        ServiceModel {
+            alpha_ns: alpha_us * 1_000.0,
+            beta_ns: 1e9 / rows_per_s,
+            pre_ns: pre_us * 1_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_affine_coefficients() {
+        let samples: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&b| (b, 20_000.0 + 2_500.0 * b as f64))
+            .collect();
+        let m = ServiceModel::fit(&samples, 0.0);
+        assert!((m.alpha_ns - 20_000.0).abs() < 1.0, "{m:?}");
+        assert!((m.beta_ns - 2_500.0).abs() < 1.0, "{m:?}");
+        assert_eq!(m.flush_ns(8), 40_000);
+    }
+
+    #[test]
+    fn single_size_falls_back_to_per_row() {
+        let m = ServiceModel::fit(&[(32, 64_000.0)], 0.0);
+        assert_eq!(m.alpha_ns, 0.0);
+        assert!((m.beta_ns - 2_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rows_per_s_inverts_to_beta() {
+        let m = ServiceModel::from_rows_per_s(400_000.0, 15.0, 50.0);
+        assert!((m.beta_ns - 2_500.0).abs() < 1.0);
+        assert_eq!(m.flush_ns(0), 15_000);
+        assert_eq!(m.pre_ns, 50_000.0);
+    }
+}
