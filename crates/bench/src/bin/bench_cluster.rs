@@ -1,0 +1,343 @@
+//! Cluster benchmark: stream replay through the shard router, single
+//! node versus a 4-shard in-process cluster, with a rolling model
+//! upgrade (stage → canary → promote) landing mid-replay on the
+//! 4-shard run, and a 3→4 reshard timed mid-stream.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin bench_cluster -- [--smoke]
+//!     [--users N] [--threads N]
+//! ```
+//!
+//! Writes `results/BENCH_cluster.json`. Acceptance bars (on machines
+//! with ≥ 4 cores — the JSON records the core count and whether the
+//! bars apply): the 4-shard cluster sustains ≥ 3× the single-node
+//! replay throughput, with zero dropped sessions and zero non-2xx
+//! while the upgrade rolls through; the reshard moves only the ring
+//! delta and drops nothing.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use traj_bench::{results_dir, Cli};
+use traj_cluster::{ClusterConfig, ClusterRouter, LocalBackend};
+use traj_geolife::{SynthConfig, SynthDataset};
+use traj_serve::artifact::{ModelArtifact, TrainSpec, MIN_SEGMENT_POINTS};
+use traj_serve::registry::ModelRegistry;
+use traj_serve::server::{serve, ServerConfig, ServerHandle};
+use trajlib::report::save_json;
+
+/// One replayed stream workload through a router.
+#[derive(Debug, Serialize)]
+struct ReplayRun {
+    shards: usize,
+    driver_threads: usize,
+    users: usize,
+    requests: u64,
+    non_2xx: u64,
+    /// Flush closes observed — one per user means no session dropped.
+    closes: u64,
+    sessions_dropped: u64,
+    duration_s: f64,
+    throughput_rps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReshardResult {
+    from_shards: usize,
+    to_shards: usize,
+    open_sessions: usize,
+    sessions_moved: usize,
+    reshard_ms: f64,
+    sessions_dropped: u64,
+    non_2xx: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Bars {
+    /// Whether the ≥3× throughput bar applies on this machine.
+    bar_applies: bool,
+    speedup_4x_over_1: f64,
+    speedup_pass: bool,
+    zero_dropped_sessions: bool,
+    zero_non_2xx: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Results {
+    smoke: bool,
+    cores: usize,
+    single_node: ReplayRun,
+    four_shard_with_rolling_upgrade: ReplayRun,
+    /// Canary evidence from the mid-replay rollout (router view).
+    rollout_status: String,
+    reshard_3_to_4: ReshardResult,
+    bars: Bars,
+}
+
+fn train(version: u32, seed: u64, segments: &[traj_geo::Segment]) -> ModelArtifact {
+    let spec = TrainSpec {
+        kind: traj_ml::ClassifierKind::DecisionTree,
+        version,
+        seed,
+        ..TrainSpec::paper_default("tree")
+    };
+    ModelArtifact::train(&spec, segments).expect("train artifact")
+}
+
+fn start_shard(id: u32, artifact: &ModelArtifact) -> Arc<ServerHandle> {
+    let mut registry = ModelRegistry::new();
+    registry.insert(artifact.clone()).expect("insert artifact");
+    let config = ServerConfig {
+        workers: 1,
+        shard_id: Some(id),
+        ..ServerConfig::default()
+    };
+    Arc::new(serve("127.0.0.1:0", registry, config).expect("bind shard"))
+}
+
+fn cluster(ids: &[u32], artifact: &ModelArtifact) -> (ClusterRouter, Vec<Arc<ServerHandle>>) {
+    let router = ClusterRouter::new(ClusterConfig {
+        mirror_every: 4,
+        ..ClusterConfig::default()
+    });
+    let mut handles = Vec::new();
+    for &id in ids {
+        let shard = start_shard(id, artifact);
+        router
+            .add_shard(id, Box::new(LocalBackend::new(Arc::clone(&shard))))
+            .expect("add shard");
+        handles.push(shard);
+    }
+    (router, handles)
+}
+
+/// Per-user ingest chunks (last one flushes), shared by every run.
+fn chunk_bodies(points: &[traj_geo::TrajectoryPoint], user: u32, chunks: usize) -> Vec<String> {
+    let step = points.len().div_ceil(chunks);
+    points
+        .chunks(step)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let dtos: Vec<String> = chunk
+                .iter()
+                .map(|p| format!("{{\"lat\":{},\"lon\":{},\"t\":{}}}", p.lat, p.lon, p.t.0))
+                .collect();
+            let flush = if (i + 1) * step >= points.len() {
+                ",\"flush\":true"
+            } else {
+                ""
+            };
+            format!("{{\"user\":{user},\"points\":[{}]{flush}}}", dtos.join(","))
+        })
+        .collect()
+}
+
+/// Replays every user's chunk sequence through the router, users
+/// partitioned across driver threads. Returns (requests, non_2xx,
+/// flush closes, elapsed seconds).
+fn replay(router: &ClusterRouter, bodies: &[Vec<String>], threads: usize) -> (u64, u64, u64, f64) {
+    let requests = AtomicU64::new(0);
+    let non_2xx = AtomicU64::new(0);
+    let closes = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for part in 0..threads {
+            let requests = &requests;
+            let non_2xx = &non_2xx;
+            let closes = &closes;
+            scope.spawn(move || {
+                for user_bodies in bodies.iter().skip(part).step_by(threads) {
+                    for body in user_bodies {
+                        let (status, response) = router.handle("POST", "/ingest", body.as_bytes());
+                        requests.fetch_add(1, Ordering::Relaxed);
+                        if !(200..300).contains(&status) {
+                            non_2xx.fetch_add(1, Ordering::Relaxed);
+                        }
+                        closes.fetch_add(
+                            response.matches("\"reason\":\"flush\"").count() as u64,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            });
+        }
+    });
+    (
+        requests.into_inner(),
+        non_2xx.into_inner(),
+        closes.into_inner(),
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+fn run_of(shards: usize, threads: usize, stats: (u64, u64, u64, f64), users: usize) -> ReplayRun {
+    let (requests, non_2xx, closes, duration_s) = stats;
+    ReplayRun {
+        shards,
+        driver_threads: threads,
+        users,
+        requests,
+        non_2xx,
+        closes,
+        sessions_dropped: (users as u64).saturating_sub(closes),
+        duration_s,
+        throughput_rps: requests as f64 / duration_s.max(1e-9),
+    }
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let smoke = cli.small || cli.args.iter().any(|a| a == "--smoke");
+    let arg_after = |flag: &str| -> Option<usize> {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let users = arg_after("--users").unwrap_or(if smoke { 12 } else { 64 });
+    let threads = arg_after("--threads").unwrap_or_else(|| cores.clamp(1, 8));
+    let chunks = if smoke { 3 } else { 6 };
+
+    eprintln!(
+        "bench_cluster: {users} users × {chunks} chunks, {threads} driver threads, {cores} cores"
+    );
+
+    // Fixtures: one long synthetic segment replayed per user, two model
+    // versions for the rolling upgrade.
+    let segments = SynthDataset::generate(&SynthConfig {
+        n_users: 4,
+        segments_per_user: (4, 6),
+        seed: 733,
+        ..SynthConfig::default()
+    })
+    .segments;
+    let v1 = train(1, 3, &segments);
+    let v2 = train(2, 4, &segments);
+    let points = segments
+        .iter()
+        .find(|s| s.len() >= 2 * MIN_SEGMENT_POINTS)
+        .map(|s| s.points.clone())
+        .expect("long segment");
+    let bodies: Vec<Vec<String>> = (0..users as u32)
+        .map(|u| chunk_bodies(&points, u, chunks))
+        .collect();
+
+    // Leg 1: single node behind the router.
+    let (router1, _shards1) = cluster(&[0], &v1);
+    let single = run_of(1, threads, replay(&router1, &bodies, threads), users);
+    eprintln!(
+        "single node: {:.0} req/s, {} non-2xx, {} dropped",
+        single.throughput_rps, single.non_2xx, single.sessions_dropped
+    );
+
+    // Leg 2: 4 shards, with a rolling upgrade landing mid-replay.
+    let (router4, shards4) = cluster(&[0, 1, 2, 3], &v1);
+    let upgrade_router = router4.clone();
+    let v2_json = v2.to_json().expect("serialize artifact");
+    let stats4 = std::thread::scope(|scope| {
+        let rollout = scope.spawn(move || {
+            // Let the replay open its sessions, then roll v2 through.
+            std::thread::sleep(std::time::Duration::from_millis(if smoke {
+                30
+            } else {
+                150
+            }));
+            let (status, body) =
+                upgrade_router.handle("POST", "/admin/rollout/stage", v2_json.as_bytes());
+            assert_eq!(status, 200, "stage failed mid-replay: {body}");
+            std::thread::sleep(std::time::Duration::from_millis(if smoke {
+                20
+            } else {
+                100
+            }));
+            let (status, body) = upgrade_router.handle("POST", "/admin/rollout/promote", b"");
+            assert_eq!(status, 200, "promote failed mid-replay: {body}");
+        });
+        let stats = replay(&router4, &bodies, threads);
+        rollout.join().expect("rollout thread");
+        stats
+    });
+    let four = run_of(4, threads, stats4, users);
+    let (_, rollout_status) = router4.handle("GET", "/admin/rollout/status", b"");
+    for shard in &shards4 {
+        let (_, metrics) = shard.dispatch("GET", "/metrics", b"");
+        assert!(
+            metrics.contains("\"tree\": 2"),
+            "shard missed the rolling upgrade: {metrics}"
+        );
+    }
+    eprintln!(
+        "4 shards:    {:.0} req/s, {} non-2xx, {} dropped (upgrade rolled mid-replay)",
+        four.throughput_rps, four.non_2xx, four.sessions_dropped
+    );
+
+    // Leg 3: reshard 3→4 with open sessions mid-stream.
+    let (router3, _shards3) = cluster(&[0, 1, 2], &v1);
+    for user_bodies in &bodies {
+        let (status, _) = router3.handle("POST", "/ingest", user_bodies[0].as_bytes());
+        assert_eq!(status, 200);
+    }
+    let joining = start_shard(3, &v1);
+    let reshard_started = Instant::now();
+    let moved = router3
+        .add_shard(3, Box::new(LocalBackend::new(joining)))
+        .expect("reshard 3->4");
+    let reshard_ms = reshard_started.elapsed().as_secs_f64() * 1e3;
+    let mut tail_non_2xx = 0u64;
+    let mut tail_closes = 0u64;
+    for user_bodies in &bodies {
+        for body in &user_bodies[1..] {
+            let (status, response) = router3.handle("POST", "/ingest", body.as_bytes());
+            if !(200..300).contains(&status) {
+                tail_non_2xx += 1;
+            }
+            tail_closes += response.matches("\"reason\":\"flush\"").count() as u64;
+        }
+    }
+    let reshard = ReshardResult {
+        from_shards: 3,
+        to_shards: 4,
+        open_sessions: users,
+        sessions_moved: moved,
+        reshard_ms,
+        sessions_dropped: (users as u64).saturating_sub(tail_closes),
+        non_2xx: tail_non_2xx,
+    };
+    eprintln!(
+        "reshard 3→4: moved {moved}/{users} sessions in {reshard_ms:.1} ms, {} dropped",
+        reshard.sessions_dropped
+    );
+
+    let speedup = four.throughput_rps / single.throughput_rps.max(1e-9);
+    let bar_applies = cores >= 4;
+    let bars = Bars {
+        bar_applies,
+        speedup_4x_over_1: speedup,
+        speedup_pass: !bar_applies || speedup >= 3.0,
+        zero_dropped_sessions: four.sessions_dropped == 0 && reshard.sessions_dropped == 0,
+        zero_non_2xx: four.non_2xx == 0 && reshard.non_2xx == 0,
+    };
+    let pass = bars.speedup_pass && bars.zero_dropped_sessions && bars.zero_non_2xx;
+    let results = Results {
+        smoke,
+        cores,
+        single_node: single,
+        four_shard_with_rolling_upgrade: four,
+        rollout_status,
+        reshard_3_to_4: reshard,
+        bars,
+    };
+    save_json(&results_dir().join("BENCH_cluster.json"), &results).expect("write results");
+    eprintln!(
+        "speedup {speedup:.2}× (bar {}) -> results/BENCH_cluster.json",
+        if bar_applies {
+            "applies"
+        } else {
+            "recorded only: < 4 cores"
+        }
+    );
+    assert!(pass, "cluster acceptance bars failed: {results:?}");
+}

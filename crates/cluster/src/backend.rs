@@ -1,0 +1,116 @@
+//! How the router talks to a shard: in-process dispatch or HTTP.
+//!
+//! The router is written against [`ShardBackend`] only, so the same
+//! routing, rollout and handoff logic fronts in-process multi-instance
+//! deployments (tests, benchmarks, single-box fan-out) and real
+//! `traj-serve` processes over the existing std-net HTTP layer.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use traj_serve::http::client_request;
+use traj_serve::ServerHandle;
+
+/// One request to one shard. Implementations return `Err` only for
+/// transport failures — an HTTP error status is a successful `Ok`
+/// response the router inspects.
+pub trait ShardBackend: Send + Sync {
+    /// Performs `method path` with a JSON `body`; returns
+    /// `(status, body)`.
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String>;
+
+    /// Where the shard listens, when it has an address (diagnostics).
+    fn addr(&self) -> Option<SocketAddr> {
+        None
+    }
+}
+
+/// In-process backend: calls straight into a [`ServerHandle`]'s routing
+/// table, no sockets. Shares the handle by `Arc`, so the owning test or
+/// binary keeps control of the server's lifetime.
+pub struct LocalBackend {
+    handle: Arc<ServerHandle>,
+}
+
+impl LocalBackend {
+    /// A backend over a running in-process server.
+    pub fn new(handle: Arc<ServerHandle>) -> LocalBackend {
+        LocalBackend { handle }
+    }
+}
+
+impl ShardBackend for LocalBackend {
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
+        Ok(self.handle.dispatch(method, path, body))
+    }
+
+    fn addr(&self) -> Option<SocketAddr> {
+        Some(self.handle.addr())
+    }
+}
+
+/// HTTP backend over the workspace's std-net layer: one pooled
+/// keep-alive connection per shard, re-established on failure.
+pub struct HttpBackend {
+    addr: SocketAddr,
+    read_timeout: Duration,
+    /// The pooled connection; `None` until first use or after a failure.
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl HttpBackend {
+    /// A backend for the shard listening on `addr`.
+    pub fn new(addr: SocketAddr, read_timeout: Duration) -> HttpBackend {
+        HttpBackend {
+            addr,
+            read_timeout,
+            conn: Mutex::new(None),
+        }
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, String> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.read_timeout)
+            .map_err(|e| format!("connecting {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let _ = stream.set_nodelay(true);
+        Ok(BufReader::new(stream))
+    }
+}
+
+impl ShardBackend for HttpBackend {
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
+        let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 body".to_owned())?;
+        let payload = if text.is_empty() { None } else { Some(text) };
+        let mut guard = self.conn.lock().expect("backend poisoned");
+        // A pooled connection may have been closed by the server's idle
+        // timeout; retry exactly once on a fresh connection. A failure
+        // on the fresh connection is the shard's problem, reported up
+        // for the router's bounded-backoff retry policy.
+        let reused = guard.is_some();
+        if guard.is_none() {
+            *guard = Some(self.connect()?);
+        }
+        match client_request(guard.as_mut().expect("just set"), method, path, payload) {
+            Ok(response) => Ok(response),
+            Err(first) => {
+                *guard = None;
+                if !reused {
+                    return Err(format!("{} {path} on {}: {first}", method, self.addr));
+                }
+                *guard = Some(self.connect()?);
+                match client_request(guard.as_mut().expect("just set"), method, path, payload) {
+                    Ok(response) => Ok(response),
+                    Err(e) => {
+                        *guard = None;
+                        Err(format!("{} {path} on {}: {e}", method, self.addr))
+                    }
+                }
+            }
+        }
+    }
+
+    fn addr(&self) -> Option<SocketAddr> {
+        Some(self.addr)
+    }
+}

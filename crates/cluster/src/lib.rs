@@ -1,0 +1,18 @@
+//! traj-cluster: sharded serving over `traj-serve` instances.
+//!
+//! One router fronts N shards: user ids consistent-hash onto the shards
+//! (`ring`), requests are forwarded over in-process or HTTP backends
+//! (`backend`), model artifacts roll out cluster-wide through a canary
+//! state machine (`rollout`), and resharding moves live sessions
+//! between shards bit-identically through the WAL session codec
+//! (`router`). See DESIGN.md §15 for the protocol walkthrough.
+
+pub mod backend;
+pub mod ring;
+pub mod rollout;
+pub mod router;
+
+pub use backend::{HttpBackend, LocalBackend, ShardBackend};
+pub use ring::HashRing;
+pub use rollout::{CanaryStats, RolloutState};
+pub use router::{ClusterConfig, ClusterRouter, HealthCheckerHandle, RouterHttpHandle};

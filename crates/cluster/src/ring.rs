@@ -1,0 +1,156 @@
+//! The consistent-hash ring: user id → shard id, stable under reshard.
+//!
+//! Each shard owns `vnodes` points on a `u64` ring (virtual nodes
+//! smooth the per-shard load to within a few percent of even); a user
+//! hashes to one point and is owned by the first shard point at or
+//! after it, wrapping at the top. Adding or removing one shard moves
+//! only the keys that land in the arcs the shard's own points cover —
+//! ~1/N of the keyspace — which is what makes session handoff on
+//! reshard proportional to the cluster change, not the session count.
+//!
+//! Hashing is splitmix64, dependency-free and deterministic across
+//! processes and platforms, so every router instance computes the same
+//! assignment.
+
+/// The finalizer of splitmix64: a bijective avalanche mix on `u64`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Ring position of one user id.
+fn user_point(user: u32) -> u64 {
+    splitmix64(u64::from(user) ^ (0x75a9_5a5a_u64 << 32))
+}
+
+/// Ring position of one shard replica.
+fn shard_point(shard: u32, replica: u32) -> u64 {
+    splitmix64((u64::from(shard) << 32) | u64::from(replica))
+}
+
+/// A consistent-hash ring with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, u32)>,
+    /// Member shard ids, sorted.
+    shards: Vec<u32>,
+    /// Virtual nodes per shard.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over `shards` with `vnodes` points each (256 is a good
+    /// default: 4-shard imbalance stays well inside ±20%).
+    pub fn new(shards: &[u32], vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut ids: Vec<u32> = shards.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for &shard in &ids {
+            for replica in 0..vnodes as u32 {
+                points.push((shard_point(shard, replica), shard));
+            }
+        }
+        // Point collisions across shards are theoretically possible;
+        // break them by shard id so the assignment stays deterministic
+        // regardless of insertion order.
+        points.sort_unstable();
+        HashRing {
+            points,
+            shards: ids,
+            vnodes,
+        }
+    }
+
+    /// The owning shard of `user`, or `None` on an empty ring.
+    pub fn shard_of(&self, user: u32) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let target = user_point(user);
+        let index = match self.points.binary_search(&(target, 0)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        // Wrap past the last point back to the first.
+        let (_, shard) = self.points[index % self.points.len()];
+        Some(shard)
+    }
+
+    /// Member shard ids, sorted.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The ring with `shard` added (no-op when already a member).
+    pub fn with_shard(&self, shard: u32) -> HashRing {
+        let mut ids = self.shards.clone();
+        ids.push(shard);
+        HashRing::new(&ids, self.vnodes)
+    }
+
+    /// The ring with `shard` removed (no-op when not a member).
+    pub fn without_shard(&self, shard: u32) -> HashRing {
+        let ids: Vec<u32> = self
+            .shards
+            .iter()
+            .copied()
+            .filter(|&s| s != shard)
+            .collect();
+        HashRing::new(&ids, self.vnodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_order_independent() {
+        let a = HashRing::new(&[0, 1, 2, 3], 64);
+        let b = HashRing::new(&[3, 1, 0, 2, 1], 64);
+        for user in 0..10_000u32 {
+            assert_eq!(a.shard_of(user), b.shard_of(user));
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        assert_eq!(HashRing::new(&[], 64).shard_of(7), None);
+    }
+
+    #[test]
+    fn removing_a_shard_reassigns_only_its_keys() {
+        let full = HashRing::new(&[0, 1, 2, 3], 256);
+        let less = full.without_shard(2);
+        for user in 0..20_000u32 {
+            let before = full.shard_of(user).unwrap();
+            let after = less.shard_of(user).unwrap();
+            if before != 2 {
+                // Keys not owned by the removed shard must not move.
+                assert_eq!(before, after, "user {user} moved {before}->{after}");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Versioned model rollout: the canary state machine the router drives.
+//!
+//! ```text
+//!            stage (push to all shards)
+//!   Idle ───────────────────────────────▶ Canary{name, vN}
+//!     ▲                                      │
+//!     │  promote (all shards flip default)   │ mirror 1-in-k /predict
+//!     ├──────────────────────────────────────┤ to the pinned vN key,
+//!     │  rollback (all shards drop the pin)  │ compare class + latency
+//!     └──────────────────────────────────────┘
+//! ```
+//!
+//! While in `Canary`, the staged version serves *only* mirrored traffic
+//! (requests pinned to `name@vN`); default traffic stays on the active
+//! version until an explicit promote, and a rollback leaves the active
+//! version untouched by construction. The orchestration across shards —
+//! staging everywhere, compensating on partial failure — lives in the
+//! router; this module owns the state and the evidence (agreement and
+//! latency counters a promotion decision reads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Mirror-traffic evidence collected during a canary.
+#[derive(Debug, Default)]
+pub struct CanaryStats {
+    /// Requests mirrored to the canary version.
+    pub mirrored: AtomicU64,
+    /// Mirrors whose predicted class matched the active version.
+    pub agreements: AtomicU64,
+    /// Mirrors whose predicted class differed.
+    pub disagreements: AtomicU64,
+    /// Mirrors that failed (transport or non-2xx on the canary).
+    pub errors: AtomicU64,
+    /// Summed active-version latency over mirrored pairs, µs.
+    pub active_latency_us: AtomicU64,
+    /// Summed canary-version latency over mirrored pairs, µs.
+    pub canary_latency_us: AtomicU64,
+}
+
+impl CanaryStats {
+    fn reset(&self) {
+        self.mirrored.store(0, Ordering::Relaxed);
+        self.agreements.store(0, Ordering::Relaxed);
+        self.disagreements.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.active_latency_us.store(0, Ordering::Relaxed);
+        self.canary_latency_us.store(0, Ordering::Relaxed);
+    }
+
+    /// Records one mirrored pair.
+    pub fn record(&self, agree: bool, active_us: u64, canary_us: u64) {
+        self.mirrored.fetch_add(1, Ordering::Relaxed);
+        if agree {
+            &self.agreements
+        } else {
+            &self.disagreements
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.active_latency_us
+            .fetch_add(active_us, Ordering::Relaxed);
+        self.canary_latency_us
+            .fetch_add(canary_us, Ordering::Relaxed);
+    }
+
+    /// Records one failed mirror.
+    pub fn record_error(&self) {
+        self.mirrored.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The rollout state: at most one canary at a time, plus its evidence.
+#[derive(Debug, Default)]
+pub struct RolloutState {
+    /// `(name, version)` of the staged canary; `None` when idle.
+    canary: RwLock<Option<(String, u32)>>,
+    /// Evidence for the current (or last finished) canary.
+    pub stats: CanaryStats,
+    /// Round-robin position of the 1-in-k mirror slice.
+    mirror_counter: AtomicU64,
+}
+
+impl RolloutState {
+    /// An idle rollout.
+    pub fn new() -> RolloutState {
+        RolloutState::default()
+    }
+
+    /// The staged canary, when one is active.
+    pub fn canary(&self) -> Option<(String, u32)> {
+        self.canary.read().expect("rollout poisoned").clone()
+    }
+
+    /// Enters `Canary{name, version}`. Errors when a canary is already
+    /// staged — finish it (promote or rollback) first.
+    pub fn begin(&self, name: &str, version: u32) -> Result<(), String> {
+        let mut canary = self.canary.write().expect("rollout poisoned");
+        if let Some((n, v)) = canary.as_ref() {
+            return Err(format!("a canary is already staged ({n}@v{v})"));
+        }
+        *canary = Some((name.to_owned(), version));
+        self.stats.reset();
+        self.mirror_counter.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Leaves `Canary`, returning what was staged.
+    pub fn end(&self) -> Option<(String, u32)> {
+        self.canary.write().expect("rollout poisoned").take()
+    }
+
+    /// Whether this request falls in the mirror slice: every
+    /// `every`-th request while a canary is staged. Returns the pinned
+    /// `name@vN` key to mirror against.
+    pub fn should_mirror(&self, every: u64) -> Option<String> {
+        let (name, version) = self.canary()?;
+        let n = self.mirror_counter.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(every.max(1))
+            .then(|| format!("{name}@v{version}"))
+    }
+
+    /// The rollout section of the router's `/metrics`.
+    pub fn render_json(&self) -> String {
+        let canary = match self.canary() {
+            Some((name, version)) => format!("\"{name}@v{version}\""),
+            None => "null".to_owned(),
+        };
+        let s = &self.stats;
+        format!(
+            "{{\"canary\": {canary}, \"mirrored\": {}, \"agreements\": {}, \
+             \"disagreements\": {}, \"mirror_errors\": {}, \
+             \"active_latency_us\": {}, \"canary_latency_us\": {}}}",
+            s.mirrored.load(Ordering::Relaxed),
+            s.agreements.load(Ordering::Relaxed),
+            s.disagreements.load(Ordering::Relaxed),
+            s.errors.load(Ordering::Relaxed),
+            s.active_latency_us.load(Ordering::Relaxed),
+            s.canary_latency_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_canary_with_mirror_slice() {
+        let rollout = RolloutState::new();
+        assert!(rollout.should_mirror(1).is_none());
+
+        rollout.begin("rf", 2).unwrap();
+        assert!(rollout.begin("rf", 3).is_err());
+        assert_eq!(rollout.canary(), Some(("rf".to_owned(), 2)));
+
+        // 1-in-4 slice: exactly every fourth call mirrors.
+        let hits: Vec<bool> = (0..8).map(|_| rollout.should_mirror(4).is_some()).collect();
+        assert_eq!(hits, [true, false, false, false, true, false, false, false]);
+        assert_eq!(rollout.should_mirror(4).unwrap(), "rf@v2");
+
+        rollout.stats.record(true, 100, 120);
+        rollout.stats.record(false, 100, 90);
+        rollout.stats.record_error();
+        let json = rollout.render_json();
+        assert!(json.contains("\"canary\": \"rf@v2\""), "{json}");
+        assert!(json.contains("\"disagreements\": 1"), "{json}");
+        assert!(json.contains("\"mirror_errors\": 1"), "{json}");
+
+        assert_eq!(rollout.end(), Some(("rf".to_owned(), 2)));
+        assert!(rollout.should_mirror(1).is_none());
+        assert!(rollout.end().is_none());
+    }
+}

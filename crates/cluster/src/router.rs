@@ -1,0 +1,869 @@
+//! The shard router: one front door over N `traj-serve` shards.
+//!
+//! Stateless endpoints (`/predict`, `/predict_batch`) round-robin over
+//! healthy shards and fail over on errors; `/ingest` is stateful and
+//! always forwards to the consistent-hash owner of the request's user
+//! id (bounded retries with exponential backoff ride out a shard's
+//! not-ready window instead of switching shards — session state cannot
+//! fail over). `/metrics` and `/healthz` fan in across the cluster,
+//! preserving each shard's own labels.
+//!
+//! The routing table (ring + shard map) sits behind an `RwLock`:
+//! requests hold the read lock across their forward, and a reshard
+//! holds the write lock across the whole handoff — so no request can
+//! slip into a shard whose sessions are mid-move, which is what makes
+//! the handoff lossless without any shard-side coordination.
+
+use crate::backend::ShardBackend;
+use crate::ring::HashRing;
+use crate::rollout::RolloutState;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use traj_serve::http::{read_request, write_response_with_retry, HttpError};
+
+/// Router tunables.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Additional forward attempts after the first failure.
+    pub retries: usize,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Mirror every k-th `/predict` to a staged canary (1-in-k slice).
+    pub mirror_every: u64,
+    /// Cadence of the background `/readyz` health checks.
+    pub health_interval: Duration,
+    /// Largest accepted request body on the router's own HTTP server.
+    pub max_body_bytes: usize,
+    /// Socket read timeout of the router's own HTTP server.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            vnodes: 256,
+            retries: 3,
+            backoff: Duration::from_millis(25),
+            mirror_every: 4,
+            health_interval: Duration::from_millis(500),
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&Value::Map(vec![(
+        "error".to_owned(),
+        Value::Str(message.to_owned()),
+    )]))
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+}
+
+/// One member shard: identity, transport, and the health flag the
+/// background checker maintains.
+struct Shard {
+    id: u32,
+    backend: Box<dyn ShardBackend>,
+    /// Cleared when `/readyz` fails; unhealthy shards are skipped for
+    /// stateless traffic. Starts healthy so clusters without a health
+    /// checker still route.
+    healthy: AtomicBool,
+}
+
+/// The routing table: swapped atomically under the write lock on
+/// reshard.
+struct Table {
+    ring: HashRing,
+    shards: BTreeMap<u32, Arc<Shard>>,
+}
+
+/// Router-level counters (shard-level metrics live on the shards and
+/// are fanned in verbatim).
+#[derive(Debug, Default)]
+struct RouterMetrics {
+    requests_total: AtomicU64,
+    forwarded_predict: AtomicU64,
+    forwarded_batch: AtomicU64,
+    forwarded_ingest: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    unavailable_503: AtomicU64,
+    reshards: AtomicU64,
+    handoff_sessions_moved: AtomicU64,
+}
+
+struct RouterState {
+    config: ClusterConfig,
+    table: RwLock<Table>,
+    rollout: RolloutState,
+    metrics: RouterMetrics,
+    /// Round-robin cursor of the stateless endpoints.
+    cursor: AtomicU64,
+}
+
+/// The cluster router. Cheap to clone (shared state behind an `Arc`);
+/// every clone fronts the same cluster.
+#[derive(Clone)]
+pub struct ClusterRouter {
+    state: Arc<RouterState>,
+}
+
+// --------------------------------------------------------- JSON helpers
+
+fn parse_map(text: &str) -> Option<Vec<(String, Value)>> {
+    match serde_json::parse_value(text) {
+        Ok(Value::Map(entries)) => Some(entries),
+        _ => None,
+    }
+}
+
+fn value_u32(value: &Value) -> Option<u32> {
+    match value {
+        Value::Int(i) => u32::try_from(*i).ok(),
+        Value::UInt(u) => u32::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+/// The `"class"` of a `/predict` response body, for canary agreement.
+fn class_of(response: &str) -> Option<u32> {
+    let entries = parse_map(response)?;
+    value_u32(serde::map_get(&entries, "class")?)
+}
+
+impl ClusterRouter {
+    /// An empty router; add shards before serving traffic.
+    pub fn new(config: ClusterConfig) -> ClusterRouter {
+        let ring = HashRing::new(&[], config.vnodes);
+        ClusterRouter {
+            state: Arc::new(RouterState {
+                config,
+                table: RwLock::new(Table {
+                    ring,
+                    shards: BTreeMap::new(),
+                }),
+                rollout: RolloutState::new(),
+                metrics: RouterMetrics::default(),
+                cursor: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Member shard ids, sorted.
+    pub fn shard_ids(&self) -> Vec<u32> {
+        let table = self.state.table.read().expect("table poisoned");
+        table.shards.keys().copied().collect()
+    }
+
+    /// The hash-ring owner of `user`, for tests and planners.
+    pub fn owner_of(&self, user: u32) -> Option<u32> {
+        let table = self.state.table.read().expect("table poisoned");
+        table.ring.shard_of(user)
+    }
+
+    // ----------------------------------------------------------- reshard
+
+    /// Adds a shard, moving the sessions the new ring assigns to it off
+    /// their current owners (export → import via the shards' handoff
+    /// admin surface). Holds the routing write lock for the whole move,
+    /// so no in-flight stream observes the half-resharded cluster.
+    /// Returns the number of sessions moved.
+    pub fn add_shard(&self, id: u32, backend: Box<dyn ShardBackend>) -> Result<usize, String> {
+        let mut table = self.state.table.write().expect("table poisoned");
+        if table.shards.contains_key(&id) {
+            return Err(format!("shard {id} already exists"));
+        }
+        let shard = Arc::new(Shard {
+            id,
+            backend,
+            healthy: AtomicBool::new(true),
+        });
+        let next_ring = table.ring.with_shard(id);
+        let mut moved = 0usize;
+        for old in table.shards.values() {
+            let users = sessions_of(old)?;
+            let moving: Vec<u32> = users
+                .into_iter()
+                .filter(|&u| next_ring.shard_of(u) == Some(id))
+                .collect();
+            moved += transfer(old, &shard, &moving)?;
+        }
+        table.ring = next_ring;
+        table.shards.insert(id, shard);
+        self.state.metrics.reshards.fetch_add(1, Ordering::Relaxed);
+        self.state
+            .metrics
+            .handoff_sessions_moved
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        Ok(moved)
+    }
+
+    /// Removes a shard, rehoming every session it owns onto the
+    /// surviving ring (grouped per new owner). Same write-lock contract
+    /// as [`ClusterRouter::add_shard`]. Returns the sessions moved.
+    pub fn remove_shard(&self, id: u32) -> Result<usize, String> {
+        let mut table = self.state.table.write().expect("table poisoned");
+        let Some(leaving) = table.shards.get(&id).cloned() else {
+            return Err(format!("no shard {id}"));
+        };
+        let next_ring = table.ring.without_shard(id);
+        if next_ring.is_empty() && !sessions_of(&leaving)?.is_empty() {
+            return Err(format!(
+                "shard {id} is the last member and still holds sessions"
+            ));
+        }
+        let users = sessions_of(&leaving)?;
+        let mut by_owner: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for user in users {
+            let owner = next_ring
+                .shard_of(user)
+                .expect("non-empty ring owns every key");
+            by_owner.entry(owner).or_default().push(user);
+        }
+        let mut moved = 0usize;
+        for (owner, users) in &by_owner {
+            let target = table.shards.get(owner).expect("owner in table");
+            moved += transfer(&leaving, target, users)?;
+        }
+        table.ring = next_ring;
+        table.shards.remove(&id);
+        self.state.metrics.reshards.fetch_add(1, Ordering::Relaxed);
+        self.state
+            .metrics
+            .handoff_sessions_moved
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        Ok(moved)
+    }
+
+    // ----------------------------------------------------------- rollout
+
+    /// Stages an artifact (full `ModelArtifact` JSON) on every shard —
+    /// pinned `name@vN` key only, default traffic untouched — and
+    /// enters the canary phase. On any shard failing to stage, the
+    /// already-staged shards are rolled back and the error returned.
+    pub fn stage_artifact(&self, artifact_json: &[u8]) -> Result<String, String> {
+        let text = std::str::from_utf8(artifact_json).map_err(|_| "non-UTF-8 artifact")?;
+        let entries = parse_map(text).ok_or("artifact is not a JSON object")?;
+        let name = match serde::map_get(&entries, "name") {
+            Some(Value::Str(n)) => n.clone(),
+            _ => return Err("artifact has no string \"name\"".to_owned()),
+        };
+        let version = serde::map_get(&entries, "version")
+            .and_then(value_u32)
+            .ok_or("artifact has no numeric \"version\"")?;
+        self.state.rollout.begin(&name, version)?;
+
+        let shards = self.shards_snapshot();
+        if shards.is_empty() {
+            self.state.rollout.end();
+            return Err("no shards to stage on".to_owned());
+        }
+        let mut staged: Vec<Arc<Shard>> = Vec::new();
+        for shard in &shards {
+            match shard
+                .backend
+                .request("POST", "/admin/artifact/stage", artifact_json)
+            {
+                Ok((200, _)) => staged.push(Arc::clone(shard)),
+                Ok((status, body)) => {
+                    self.unstage(&staged, &name, version);
+                    self.state.rollout.end();
+                    return Err(format!("shard {}: stage -> {status} {body}", shard.id));
+                }
+                Err(e) => {
+                    self.unstage(&staged, &name, version);
+                    self.state.rollout.end();
+                    return Err(format!("shard {}: {e}", shard.id));
+                }
+            }
+        }
+        Ok(format!("{name}@v{version}"))
+    }
+
+    /// Promotes the staged canary on every shard, atomically per shard.
+    /// On a partial failure the shards already flipped are re-promoted
+    /// to their previous version (compensation), and the canary stays
+    /// staged so the operator can retry or roll back.
+    pub fn promote(&self) -> Result<String, String> {
+        let (name, version) = self
+            .state
+            .rollout
+            .canary()
+            .ok_or("no canary staged; stage an artifact first")?;
+        let body = format!("{{\"name\":\"{name}\",\"version\":{version}}}");
+        let shards = self.shards_snapshot();
+        // (shard, previous active version) for compensation.
+        let mut flipped: Vec<(Arc<Shard>, Option<u32>)> = Vec::new();
+        for shard in &shards {
+            match shard
+                .backend
+                .request("POST", "/admin/artifact/promote", body.as_bytes())
+            {
+                Ok((200, response)) => {
+                    let previous = parse_map(&response)
+                        .and_then(|m| serde::map_get(&m, "previous").and_then(value_u32));
+                    flipped.push((Arc::clone(shard), previous));
+                }
+                Ok((status, response)) => {
+                    self.compensate_promote(&flipped, &name);
+                    return Err(format!(
+                        "shard {}: promote -> {status} {response}",
+                        shard.id
+                    ));
+                }
+                Err(e) => {
+                    self.compensate_promote(&flipped, &name);
+                    return Err(format!("shard {}: {e}", shard.id));
+                }
+            }
+        }
+        self.state.rollout.end();
+        Ok(format!("{name}@v{version}"))
+    }
+
+    /// Rolls the staged canary back: drops the pinned version from
+    /// every shard and leaves the active versions untouched.
+    pub fn rollback(&self) -> Result<String, String> {
+        let (name, version) = self.state.rollout.end().ok_or("no canary staged")?;
+        let shards = self.shards_snapshot();
+        self.unstage(&shards, &name, version);
+        Ok(format!("{name}@v{version}"))
+    }
+
+    fn unstage(&self, shards: &[Arc<Shard>], name: &str, version: u32) {
+        let body = format!("{{\"name\":\"{name}\",\"version\":{version}}}");
+        for shard in shards {
+            let _ = shard
+                .backend
+                .request("POST", "/admin/artifact/rollback", body.as_bytes());
+        }
+    }
+
+    fn compensate_promote(&self, flipped: &[(Arc<Shard>, Option<u32>)], name: &str) {
+        for (shard, previous) in flipped {
+            let Some(previous) = previous else { continue };
+            let body = format!("{{\"name\":\"{name}\",\"version\":{previous}}}");
+            let _ = shard
+                .backend
+                .request("POST", "/admin/artifact/promote", body.as_bytes());
+        }
+    }
+
+    // ----------------------------------------------------------- routing
+
+    /// Routes one request through the cluster. The entry point of both
+    /// the in-process callers and the router's own HTTP server.
+    pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        self.state
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        match (method, path) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/readyz") => self.readyz(),
+            ("GET", "/metrics") => self.metrics_fanin(),
+            ("POST", "/predict") => self.forward_stateless(path, body, true),
+            ("POST", "/predict_batch") => self.forward_stateless(path, body, false),
+            ("POST", "/ingest") => self.forward_ingest(body),
+            ("POST", "/admin/rollout/stage") => match self.stage_artifact(body) {
+                Ok(key) => (200, format!("{{\"staged\": \"{key}\"}}")),
+                Err(e) => (409, error_body(&e)),
+            },
+            ("POST", "/admin/rollout/promote") => match self.promote() {
+                Ok(key) => (200, format!("{{\"promoted\": \"{key}\"}}")),
+                Err(e) => (409, error_body(&e)),
+            },
+            ("POST", "/admin/rollout/rollback") => match self.rollback() {
+                Ok(key) => (200, format!("{{\"rolled_back\": \"{key}\"}}")),
+                Err(e) => (409, error_body(&e)),
+            },
+            ("GET", "/admin/rollout/status") => (200, self.state.rollout.render_json()),
+            _ => (404, error_body("no such cluster endpoint")),
+        }
+    }
+
+    /// Healthy shards in id order, for the stateless round-robin.
+    fn shards_snapshot(&self) -> Vec<Arc<Shard>> {
+        let table = self.state.table.read().expect("table poisoned");
+        table.shards.values().cloned().collect()
+    }
+
+    /// `/predict` and `/predict_batch`: any healthy shard will do.
+    /// Round-robin with failover — transport errors and 5xx rotate to
+    /// the next healthy shard, with exponential backoff between
+    /// attempts.
+    fn forward_stateless(&self, path: &str, body: &[u8], mirror: bool) -> (u16, String) {
+        let counter = if path == "/predict" {
+            &self.state.metrics.forwarded_predict
+        } else {
+            &self.state.metrics.forwarded_batch
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let start = self.state.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut last = (503, error_body("no healthy shard"));
+        for attempt in 0..=self.state.config.retries {
+            if attempt > 0 {
+                self.state.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.state.config.backoff * (1 << (attempt - 1)));
+            }
+            // The read guard is held across the forward so a reshard
+            // cannot swap the table under an in-flight request.
+            let table = self.state.table.read().expect("table poisoned");
+            let healthy: Vec<Arc<Shard>> = table
+                .shards
+                .values()
+                .filter(|s| s.healthy.load(Ordering::Relaxed))
+                .cloned()
+                .collect();
+            if healthy.is_empty() {
+                self.state
+                    .metrics
+                    .unavailable_503
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let shard = &healthy[(start + attempt) % healthy.len()];
+            let begun = Instant::now();
+            match shard.backend.request("POST", path, body) {
+                Ok((status, response)) if status < 500 => {
+                    if mirror && status == 200 {
+                        self.maybe_mirror(shard, body, &response, begun.elapsed());
+                    }
+                    return (status, response);
+                }
+                Ok((status, response)) => last = (status, response),
+                Err(e) => {
+                    shard.healthy.store(false, Ordering::Relaxed);
+                    self.state.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    last = (502, error_body(&e));
+                }
+            }
+        }
+        last
+    }
+
+    /// `/ingest`: stateful — always the ring owner of the body's user
+    /// id. Retries stay on the owner (its session state cannot fail
+    /// over) and ride out not-ready windows with backoff.
+    fn forward_ingest(&self, body: &[u8]) -> (u16, String) {
+        self.state
+            .metrics
+            .forwarded_ingest
+            .fetch_add(1, Ordering::Relaxed);
+        let user = std::str::from_utf8(body)
+            .ok()
+            .and_then(parse_map)
+            .and_then(|m| serde::map_get(&m, "user").and_then(value_u32));
+        let Some(user) = user else {
+            return (400, error_body("ingest body has no numeric \"user\""));
+        };
+        let mut last = (503, error_body("no shards"));
+        for attempt in 0..=self.state.config.retries {
+            if attempt > 0 {
+                self.state.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.state.config.backoff * (1 << (attempt - 1)));
+            }
+            let table = self.state.table.read().expect("table poisoned");
+            let Some(owner) = table.ring.shard_of(user) else {
+                self.state
+                    .metrics
+                    .unavailable_503
+                    .fetch_add(1, Ordering::Relaxed);
+                return (503, error_body("no shards"));
+            };
+            let shard = Arc::clone(table.shards.get(&owner).expect("ring member in table"));
+            match shard.backend.request("POST", "/ingest", body) {
+                // 503 = owner still starting or draining: retry below.
+                Ok((503, response)) => last = (503, response),
+                Ok((status, response)) => return (status, response),
+                Err(e) => last = (502, error_body(&e)),
+            }
+        }
+        last
+    }
+
+    /// Canary mirroring: re-sends the 1-in-k `/predict` slice with the
+    /// model pinned to the staged version on the same shard, comparing
+    /// predicted class and latency. Synchronous (the mirrored request
+    /// pays the extra call) and skipped for requests that pinned their
+    /// own model.
+    fn maybe_mirror(&self, shard: &Arc<Shard>, body: &[u8], active: &str, active_t: Duration) {
+        let Some(pinned) = self
+            .state
+            .rollout
+            .should_mirror(self.state.config.mirror_every)
+        else {
+            return;
+        };
+        let Some(mut entries) = std::str::from_utf8(body).ok().and_then(parse_map) else {
+            return;
+        };
+        if serde::map_get(&entries, "model").is_some() {
+            return;
+        }
+        entries.push(("model".to_owned(), Value::Str(pinned)));
+        let Ok(mirrored) = serde_json::to_string(&Value::Map(entries)) else {
+            return;
+        };
+        let begun = Instant::now();
+        match shard
+            .backend
+            .request("POST", "/predict", mirrored.as_bytes())
+        {
+            Ok((200, response)) => {
+                let agree = match (class_of(active), class_of(&response)) {
+                    (Some(a), Some(c)) => a == c,
+                    _ => false,
+                };
+                self.state.rollout.stats.record(
+                    agree,
+                    active_t.as_micros() as u64,
+                    begun.elapsed().as_micros() as u64,
+                );
+            }
+            _ => self.state.rollout.stats.record_error(),
+        }
+    }
+
+    // ------------------------------------------------------------ fan-in
+
+    /// Cluster liveness: always 200, with per-shard liveness/readiness
+    /// detail fanned in from each shard's `/healthz`.
+    fn healthz(&self) -> (u16, String) {
+        let shards = self.shards_snapshot();
+        let mut parts = Vec::with_capacity(shards.len());
+        let mut ready = 0usize;
+        for shard in &shards {
+            match shard.backend.request("GET", "/healthz", b"") {
+                Ok((200, body)) => {
+                    let is_ready = parse_map(&body)
+                        .and_then(|m| match serde::map_get(&m, "ready") {
+                            Some(Value::Bool(b)) => Some(*b),
+                            _ => None,
+                        })
+                        .unwrap_or(false);
+                    ready += usize::from(is_ready);
+                    parts.push(format!(
+                        "{{\"id\": {}, \"live\": true, \"ready\": {is_ready}}}",
+                        shard.id
+                    ));
+                }
+                _ => parts.push(format!(
+                    "{{\"id\": {}, \"live\": false, \"ready\": false}}",
+                    shard.id
+                )),
+            }
+        }
+        (
+            200,
+            format!(
+                "{{\"status\": \"ok\", \"shards\": {}, \"ready_shards\": {ready}, \"detail\": [{}]}}",
+                shards.len(),
+                parts.join(", ")
+            ),
+        )
+    }
+
+    /// Cluster readiness: 200 while at least one shard passes its
+    /// health checks.
+    fn readyz(&self) -> (u16, String) {
+        let healthy = self
+            .shards_snapshot()
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .count();
+        if healthy > 0 {
+            (
+                200,
+                format!("{{\"ready\": true, \"healthy_shards\": {healthy}}}"),
+            )
+        } else {
+            (503, "{\"ready\": false, \"healthy_shards\": 0}".to_owned())
+        }
+    }
+
+    /// Aggregated `/metrics`: router counters plus every shard's own
+    /// `/metrics` document embedded verbatim — the per-shard `"shard"`
+    /// labels (id + artifact versions) survive aggregation untouched.
+    fn metrics_fanin(&self) -> (u16, String) {
+        let m = &self.state.metrics;
+        let router = format!(
+            "{{\"requests_total\": {}, \"forwarded_predict\": {}, \"forwarded_predict_batch\": {}, \
+             \"forwarded_ingest\": {}, \"retries\": {}, \"failovers\": {}, \"unavailable_503\": {}, \
+             \"reshards\": {}, \"handoff_sessions_moved\": {}, \"rollout\": {}}}",
+            m.requests_total.load(Ordering::Relaxed),
+            m.forwarded_predict.load(Ordering::Relaxed),
+            m.forwarded_batch.load(Ordering::Relaxed),
+            m.forwarded_ingest.load(Ordering::Relaxed),
+            m.retries.load(Ordering::Relaxed),
+            m.failovers.load(Ordering::Relaxed),
+            m.unavailable_503.load(Ordering::Relaxed),
+            m.reshards.load(Ordering::Relaxed),
+            m.handoff_sessions_moved.load(Ordering::Relaxed),
+            self.state.rollout.render_json(),
+        );
+        let mut shard_docs = Vec::new();
+        for shard in self.shards_snapshot() {
+            match shard.backend.request("GET", "/metrics", b"") {
+                Ok((200, body)) => shard_docs.push(body),
+                Ok((status, _)) => shard_docs.push(format!(
+                    "{{\"shard\": {{\"id\": {}}}, \"error\": \"status {status}\"}}",
+                    shard.id
+                )),
+                Err(e) => shard_docs.push(format!(
+                    "{{\"shard\": {{\"id\": {}}}, \"error\": {}}}",
+                    shard.id,
+                    serde_json::to_string(&Value::Str(e)).unwrap_or_else(|_| "\"?\"".to_owned())
+                )),
+            }
+        }
+        (
+            200,
+            format!(
+                "{{\n  \"router\": {router},\n  \"shards\": [{}]\n}}",
+                shard_docs.join(", ")
+            ),
+        )
+    }
+
+    // ------------------------------------------------ background threads
+
+    /// Starts the background health checker: polls every shard's
+    /// `/readyz` on the configured cadence and maintains the healthy
+    /// flags the stateless router consults. Returns a handle whose drop
+    /// stops the thread.
+    pub fn start_health_checks(&self) -> HealthCheckerHandle {
+        let running = Arc::new(AtomicBool::new(true));
+        let state = Arc::clone(&self.state);
+        let thread_running = Arc::clone(&running);
+        let thread = std::thread::Builder::new()
+            .name("traj-cluster-health".to_owned())
+            .spawn(move || {
+                while thread_running.load(Ordering::SeqCst) {
+                    let shards: Vec<Arc<Shard>> = {
+                        let table = state.table.read().expect("table poisoned");
+                        table.shards.values().cloned().collect()
+                    };
+                    for shard in shards {
+                        let ok =
+                            matches!(shard.backend.request("GET", "/readyz", b""), Ok((200, _)));
+                        shard.healthy.store(ok, Ordering::Relaxed);
+                    }
+                    let mut waited = Duration::ZERO;
+                    while waited < state.config.health_interval
+                        && thread_running.load(Ordering::SeqCst)
+                    {
+                        let step = Duration::from_millis(20);
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                }
+            })
+            .expect("spawning health checker");
+        HealthCheckerHandle {
+            running,
+            thread: Some(thread),
+        }
+    }
+
+    /// Binds the router's own HTTP server: the same front door as
+    /// [`ClusterRouter::handle`], over the workspace's std-net HTTP
+    /// layer. One thread per connection — the router's work per request
+    /// is forwarding, which blocks on the shard anyway.
+    pub fn serve_http(&self, addr: &str) -> Result<RouterHttpHandle, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = Arc::clone(&running);
+        let router = self.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("traj-cluster-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !accept_running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_router = router.clone();
+                    let conn_running = Arc::clone(&accept_running);
+                    let _ = std::thread::Builder::new()
+                        .name("traj-cluster-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &conn_router, &conn_running));
+                }
+            })
+            .map_err(|e| format!("spawning router acceptor: {e}"))?;
+        Ok(RouterHttpHandle {
+            addr: local_addr,
+            running,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Serves one (possibly keep-alive) connection against the router.
+fn handle_connection(stream: TcpStream, router: &ClusterRouter, running: &AtomicBool) {
+    let config = &router.state.config;
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while running.load(Ordering::SeqCst) {
+        match read_request(&mut reader, config.max_body_bytes) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let (status, body) = router.handle(&request.method, &request.path, &request.body);
+                if write_response_with_retry(&mut writer, status, &body, request.keep_alive, None)
+                    .is_err()
+                    || !request.keep_alive
+                {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some((status, message)) = error.status() {
+                    let _ = write_response_with_retry(
+                        &mut writer,
+                        status,
+                        &error_body(&message),
+                        false,
+                        None,
+                    );
+                } else if matches!(error, HttpError::Io(_)) {
+                    // Idle keep-alive timeout or client hangup.
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Stops the background health checker on drop.
+pub struct HealthCheckerHandle {
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HealthCheckerHandle {
+    /// Stops and joins the checker thread.
+    pub fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HealthCheckerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The router's HTTP front door; stops on drop.
+pub struct RouterHttpHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHttpHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the acceptor. Connection threads are
+    /// detached; they exit on their next read timeout.
+    pub fn stop(&mut self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterHttpHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ------------------------------------------------------ shard transfers
+
+/// The open-session user ids of one shard.
+fn sessions_of(shard: &Shard) -> Result<Vec<u32>, String> {
+    let (status, body) = shard
+        .backend
+        .request("GET", "/admin/sessions", b"")
+        .map_err(|e| format!("shard {}: {e}", shard.id))?;
+    if status != 200 {
+        return Err(format!("shard {}: sessions -> {status} {body}", shard.id));
+    }
+    let entries =
+        parse_map(&body).ok_or_else(|| format!("shard {}: unparseable sessions", shard.id))?;
+    match serde::map_get(&entries, "users") {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|v| value_u32(v).ok_or_else(|| format!("shard {}: non-u32 user id", shard.id)))
+            .collect(),
+        _ => Err(format!("shard {}: sessions without users", shard.id)),
+    }
+}
+
+/// Moves `users` from one shard to another through the handoff admin
+/// surface. The export response (`{"sessions": [...]}`) is exactly the
+/// import request shape, so the session bytes are forwarded verbatim —
+/// the router never decodes them, which is how bit-identical restore
+/// survives any router version.
+fn transfer(from: &Shard, to: &Shard, users: &[u32]) -> Result<usize, String> {
+    if users.is_empty() {
+        return Ok(0);
+    }
+    let list = users
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<String>>()
+        .join(",");
+    let (status, exported) = from
+        .backend
+        .request(
+            "POST",
+            "/admin/handoff/export",
+            format!("{{\"users\": [{list}]}}").as_bytes(),
+        )
+        .map_err(|e| format!("shard {}: export: {e}", from.id))?;
+    if status != 200 {
+        return Err(format!("shard {}: export -> {status} {exported}", from.id));
+    }
+    let (status, imported) = to
+        .backend
+        .request("POST", "/admin/handoff/import", exported.as_bytes())
+        .map_err(|e| {
+            format!(
+                "shard {}: import: {e} (exported sessions from shard {} are in the response of a failed transfer)",
+                to.id, from.id
+            )
+        })?;
+    if status != 200 {
+        return Err(format!("shard {}: import -> {status} {imported}", to.id));
+    }
+    let count = parse_map(&imported)
+        .and_then(|m| serde::map_get(&m, "imported").and_then(value_u32))
+        .unwrap_or(0);
+    Ok(count as usize)
+}

@@ -1,0 +1,84 @@
+//! Property-based checks of the consistent-hash ring.
+//!
+//! Three properties the cluster design leans on: assignment is a pure
+//! function of the member set (any router instance computes the same
+//! owner), load is balanced across shards (within ±20% of even on a
+//! 4-shard ring at the default vnode count), and adding one shard moves
+//! only ~1/N of the keys — all of them onto the new shard, none between
+//! the old ones.
+
+use proptest::prelude::*;
+use traj_cluster::HashRing;
+
+const VNODES: usize = 256;
+const SAMPLE: u32 = 8_000;
+
+/// A small set of distinct shard ids, in arbitrary order.
+fn shard_ids() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..10_000, 2..8).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    })
+}
+
+proptest! {
+    #[test]
+    fn assignment_is_a_pure_function_of_the_member_set(ids in shard_ids(), user in any::<u32>()) {
+        let forward = HashRing::new(&ids, VNODES);
+        let mut reversed = ids.clone();
+        reversed.reverse();
+        // Duplicate a member: construction must dedup.
+        reversed.push(ids[0]);
+        let backward = HashRing::new(&reversed, VNODES);
+        prop_assert_eq!(forward.shard_of(user), backward.shard_of(user));
+        let owner = forward.shard_of(user).unwrap();
+        prop_assert!(ids.contains(&owner));
+    }
+
+    #[test]
+    fn four_shards_balance_within_twenty_percent(ids in proptest::collection::vec(0u32..10_000, 4)) {
+        let mut distinct = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assume!(distinct.len() == 4);
+        let ring = HashRing::new(&distinct, VNODES);
+        let mut counts = std::collections::BTreeMap::new();
+        for user in 0..SAMPLE {
+            *counts.entry(ring.shard_of(user).unwrap()).or_insert(0u32) += 1;
+        }
+        let even = SAMPLE as f64 / 4.0;
+        for (&shard, &count) in &counts {
+            let share = count as f64 / even;
+            prop_assert!(
+                (0.8..=1.2).contains(&share),
+                "shard {shard} holds {count}/{SAMPLE} keys ({:.1}% of even)",
+                share * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_about_one_nth_of_keys(ids in shard_ids(), new_id in 10_000u32..20_000) {
+        let before = HashRing::new(&ids, VNODES);
+        let after = before.with_shard(new_id);
+        let mut moved = 0u32;
+        for user in 0..SAMPLE {
+            let old = before.shard_of(user).unwrap();
+            let new = after.shard_of(user).unwrap();
+            if old != new {
+                // A key may only move onto the new shard, never
+                // between surviving shards.
+                prop_assert_eq!(new, new_id, "user {} moved {} -> {}", user, old, new);
+                moved += 1;
+            }
+        }
+        let expected = SAMPLE as f64 / (ids.len() + 1) as f64;
+        prop_assert!(
+            (moved as f64) < expected * 1.6,
+            "moved {moved} keys, expected ~{expected:.0} (1/{} of {SAMPLE})",
+            ids.len() + 1
+        );
+        prop_assert!(moved > 0, "adding a shard moved nothing");
+    }
+}

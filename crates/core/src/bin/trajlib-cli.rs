@@ -8,6 +8,7 @@
 //! trajlib-cli cv      --csv features.csv --model rf --folds 5 [--grouped]
 //! trajlib-cli train-artifact --out rf.json [--geolife DIR | --users 8] --model rf [--top-k 20]
 //! trajlib-cli serve   --artifacts DIR [--addr 127.0.0.1:8080] [--workers N]
+//! trajlib-cli cluster --shards 127.0.0.1:8080,127.0.0.1:8081 [--addr 127.0.0.1:8090]
 //! ```
 //!
 //! `extract` consumes either a real GeoLife download or the output of
@@ -15,9 +16,11 @@
 //! three stages can run on different machines.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
+use traj_cluster::{ClusterConfig, ClusterRouter, HttpBackend};
 use traj_serve::artifact::{ModelArtifact, TrainSpec};
 use traj_serve::batch::SchedulerPolicy;
 use traj_serve::featurize::ServeFeatureSet;
@@ -53,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cv" => cmd_cv(&opts),
         "train-artifact" => cmd_train_artifact(&opts),
         "serve" => cmd_serve(&opts),
+        "cluster" => cmd_cluster(&opts),
         "help" | "--help" | "-h" => {
             println!(
                 "trajlib-cli — transportation-mode prediction (Etemad et al., 2019)\n\n\
@@ -71,7 +75,10 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20         [--ingest-gap-s SECS] [--ingest-min-points N] [--ingest-exact-cap N]\n\
                  \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]\n\
                  \x20         [--wal-dir DIR] [--wal-fsync always|interval|onclose]\n\
-                 \x20         [--wal-fsync-ms MS] [--wal-segment-bytes N] [--snapshot-interval-s SECS]"
+                 \x20         [--wal-fsync-ms MS] [--wal-segment-bytes N] [--snapshot-interval-s SECS]\n\
+                 \x20 cluster --shards HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]\n\
+                 \x20         [--vnodes N] [--retries N] [--backoff-ms MS]\n\
+                 \x20         [--mirror-every K] [--health-interval-ms MS]"
             );
             Ok(())
         }
@@ -420,6 +427,72 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     }
     println!(
         "endpoints: POST /predict  POST /predict_batch  POST /ingest  GET /healthz  GET /metrics"
+    );
+    // Block forever; Ctrl-C tears the process down.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_cluster(opts: &Options) -> Result<(), String> {
+    let shards: Vec<SocketAddr> = required(opts, "shards")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("invalid shard address {s:?}"))
+        })
+        .collect::<Result<_, String>>()?;
+    if shards.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".to_owned());
+    }
+
+    let mut config = ClusterConfig::default();
+    config.vnodes = parsed(opts, "vnodes", config.vnodes)?;
+    config.retries = parsed(opts, "retries", config.retries)?;
+    config.backoff = Duration::from_millis(parsed(
+        opts,
+        "backoff-ms",
+        config.backoff.as_millis() as u64,
+    )?);
+    config.mirror_every = parsed(opts, "mirror-every", config.mirror_every)?;
+    config.health_interval = Duration::from_millis(parsed(
+        opts,
+        "health-interval-ms",
+        config.health_interval.as_millis() as u64,
+    )?);
+    let read_timeout = config.read_timeout;
+
+    // Shard ids follow list order, so re-launching with the same list
+    // reproduces the same ring assignment.
+    let router = ClusterRouter::new(config);
+    for (id, addr) in shards.iter().enumerate() {
+        router
+            .add_shard(id as u32, Box::new(HttpBackend::new(*addr, read_timeout)))
+            .map_err(|e| format!("adding shard {id} ({addr}): {e}"))?;
+    }
+    let _health = router.start_health_checks();
+
+    let addr = opts
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8090");
+    let front = router.serve_http(addr)?;
+    println!(
+        "routing {} shard(s) [{}] on http://{}",
+        shards.len(),
+        shards
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        front.addr()
+    );
+    println!(
+        "endpoints: POST /predict  POST /predict_batch  POST /ingest  GET /healthz  GET /readyz\n\
+         \x20          GET /metrics  POST /admin/rollout/{{stage,promote,rollback}}  \
+         GET /admin/rollout/status"
     );
     // Block forever; Ctrl-C tears the process down.
     loop {

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:8080 [--connections 8] [--duration-secs 10]
 //!         [--model NAME] [--batch N] [--seed S]
+//! loadgen --targets 127.0.0.1:8080,127.0.0.1:8081,127.0.0.1:8082 ...
 //! ```
 //!
 //! Each connection is a keep-alive HTTP/1.1 client cycling through
@@ -13,6 +14,12 @@
 //! the shed (429) count and the non-2xx count — the acceptance gate for
 //! the serving stack. Admission-control sheds fail the run unless
 //! `--allow-shed` is passed (overload experiments expect them).
+//!
+//! `--targets a,b,c` spreads the connections round-robin across several
+//! endpoints (e.g. the shards of a `traj-cluster`, or shards next to
+//! their router) and adds a per-target goodput/shed/latency split to
+//! the summary, so an unbalanced or shedding member is visible at a
+//! glance. `--addr` is shorthand for a single target.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -25,7 +32,7 @@ use traj_geolife::{SynthConfig, SynthDataset};
 use traj_serve::http::client_request;
 
 struct Args {
-    addr: String,
+    targets: Vec<String>,
     connections: usize,
     duration: Duration,
     model: Option<String>,
@@ -58,11 +65,26 @@ fn parse_args() -> Result<Args, String> {
             Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
         }
     };
-    Ok(Args {
-        addr: map
+    if map.contains_key("addr") && map.contains_key("targets") {
+        return Err("--addr and --targets are mutually exclusive".to_owned());
+    }
+    let targets: Vec<String> = match map.get("targets") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(str::to_owned)
+            .collect(),
+        None => vec![map
             .get("addr")
             .cloned()
-            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned())],
+    };
+    if targets.is_empty() {
+        return Err("--targets needs at least one endpoint".to_owned());
+    }
+    Ok(Args {
+        targets,
         connections: parsed("connections", 8)? as usize,
         duration: Duration::from_secs(parsed("duration-secs", 10)?),
         model: map.get("model").cloned(),
@@ -185,8 +207,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
-                 [--model NAME] [--batch N] [--seed S] [--allow-shed]"
+                "usage: loadgen --addr HOST:PORT | --targets A,B,C [--connections N] \
+                 [--duration-secs S] [--model NAME] [--batch N] [--seed S] [--allow-shed]"
             );
             return ExitCode::FAILURE;
         }
@@ -204,36 +226,56 @@ fn main() -> ExitCode {
     let segments_per_request = args.batch.max(1) as u64;
 
     println!(
-        "loadgen: {} connections × {}s against http://{}{} ({} distinct bodies)",
+        "loadgen: {} connections × {}s against {}{} ({} distinct bodies)",
         args.connections,
         args.duration.as_secs(),
-        args.addr,
+        if args.targets.len() == 1 {
+            format!("http://{}", args.targets[0])
+        } else {
+            format!("{} targets", args.targets.len())
+        },
         path,
         bodies.len()
     );
 
+    // Connections spread round-robin across the targets.
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let handles: Vec<_> = (0..args.connections.max(1))
         .map(|c| {
-            let addr = args.addr.clone();
+            let target = c % args.targets.len();
+            let addr = args.targets[target].clone();
             let bodies = Arc::clone(&bodies);
             let stop = Arc::clone(&stop);
             let path = path.to_owned();
-            std::thread::spawn(move || worker(&addr, &path, &bodies, c * 7, &stop))
+            (
+                target,
+                std::thread::spawn(move || worker(&addr, &path, &bodies, c * 7, &stop)),
+            )
         })
         .collect();
 
     std::thread::sleep(args.duration);
     stop.store(true, Ordering::Relaxed);
     let mut all = WorkerStats::default();
-    for handle in handles {
+    let mut per_target: Vec<WorkerStats> = args
+        .targets
+        .iter()
+        .map(|_| WorkerStats::default())
+        .collect();
+    for (target, handle) in handles {
         let stats = handle.join().expect("worker panicked");
         all.requests += stats.requests;
         all.shed += stats.shed;
         all.non_2xx += stats.non_2xx;
         all.transport_errors += stats.transport_errors;
-        all.latencies_us.extend(stats.latencies_us);
+        all.latencies_us.extend(stats.latencies_us.iter().copied());
+        let bucket = &mut per_target[target];
+        bucket.requests += stats.requests;
+        bucket.shed += stats.shed;
+        bucket.non_2xx += stats.non_2xx;
+        bucket.transport_errors += stats.transport_errors;
+        bucket.latencies_us.extend(stats.latencies_us);
     }
     let elapsed = started.elapsed().as_secs_f64();
     all.latencies_us.sort_unstable();
@@ -256,6 +298,24 @@ fn main() -> ExitCode {
     println!("shed (429):        {:>10}", all.shed);
     println!("non-2xx (other):   {:>10}", all.non_2xx);
     println!("transport errors:  {:>10}", all.transport_errors);
+
+    // Per-target split: an unbalanced or shedding member stands out.
+    if args.targets.len() > 1 {
+        println!("per-target:");
+        for (target, stats) in per_target.iter_mut().enumerate() {
+            stats.latencies_us.sort_unstable();
+            println!(
+                "  {:<24} goodput {:>8.1} req/s   shed {:>6}   non-2xx {:>4}   \
+                 transport {:>4}   p95 {} µs",
+                args.targets[target],
+                stats.latencies_us.len() as f64 / elapsed,
+                stats.shed,
+                stats.non_2xx,
+                stats.transport_errors,
+                percentile(&stats.latencies_us, 0.95),
+            );
+        }
+    }
 
     if all.requests == 0 || all.non_2xx > 0 || (all.shed > 0 && !args.allow_shed) {
         return ExitCode::FAILURE;

@@ -548,9 +548,19 @@ impl ServeMetrics {
 
     /// The `/metrics` JSON document.
     pub fn render_json(&self) -> String {
+        self.render_json_with(None)
+    }
+
+    /// The `/metrics` JSON document with an optional pre-rendered
+    /// `"shard"` label object (shard id + served artifact versions) —
+    /// what a cluster router's aggregated `/metrics` keys shards by.
+    pub fn render_json_with(&self, shard: Option<&str>) -> String {
         let lat = &self.latency_us;
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
+        if let Some(label) = shard {
+            out.push_str(&format!("  \"shard\": {label},\n"));
+        }
         out.push_str(&format!(
             "  \"requests_total\": {},\n  \"responses_2xx\": {},\n  \"responses_4xx\": {},\n  \"responses_5xx\": {},\n",
             self.requests_total.load(Ordering::Relaxed),

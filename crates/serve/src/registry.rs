@@ -202,6 +202,62 @@ impl ModelRegistry {
         Ok(())
     }
 
+    /// Registers an artifact under its pinned `name@vN` key *only* —
+    /// the plain name keeps serving whatever it served before. Staging
+    /// is how a canary version becomes addressable (requests pin
+    /// `name@vN`) without receiving default traffic; [`Self::promote`]
+    /// repoints the plain name atomically afterwards.
+    ///
+    /// Returns the pinned key. Restaging an existing version replaces it.
+    pub fn insert_staged(&mut self, artifact: ModelArtifact) -> Result<String, String> {
+        let loaded = Arc::new(LoadedModel::new(artifact)?);
+        let key = loaded.versioned_key();
+        self.models.insert(key.clone(), loaded);
+        Ok(key)
+    }
+
+    /// Atomically repoints the plain `name` entry at the pinned
+    /// `name@vN`, making that version the default-traffic target.
+    /// Errors when the version was never inserted or staged.
+    pub fn promote(&mut self, name: &str, version: u32) -> Result<(), String> {
+        let key = format!("{name}@v{version}");
+        let Some(loaded) = self.models.get(&key).cloned() else {
+            return Err(format!("no staged artifact {key}"));
+        };
+        self.models.insert(name.to_owned(), loaded);
+        if self.default_name.is_none() {
+            self.default_name = Some(name.to_owned());
+        }
+        Ok(())
+    }
+
+    /// Removes a pinned `name@vN` entry — canary rollback. Refuses to
+    /// remove the version the plain name currently serves.
+    pub fn remove_pinned(&mut self, name: &str, version: u32) -> Result<(), String> {
+        let key = format!("{name}@v{version}");
+        if let Some(active) = self.models.get(name) {
+            if active.artifact.version == version {
+                return Err(format!(
+                    "{key} is the active version of {name:?}; promote another version first"
+                ));
+            }
+        }
+        self.models
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| format!("no pinned artifact {key}"))
+    }
+
+    /// `(plain name, version)` pairs of the versions default traffic is
+    /// served from — the per-shard artifact labels of `/metrics`.
+    pub fn active_versions(&self) -> Vec<(String, u32)> {
+        self.models
+            .iter()
+            .filter(|(k, _)| !k.contains("@v"))
+            .map(|(k, m)| (k.clone(), m.artifact.version))
+            .collect()
+    }
+
     /// Loads one artifact file.
     pub fn load_file(&mut self, path: &Path) -> Result<(), String> {
         self.insert(ModelArtifact::load(path)?)
@@ -298,6 +354,33 @@ mod tests {
         assert_eq!(reg.get(Some("alpha@v1")).unwrap().artifact.version, 1);
         assert_eq!(reg.names(), vec!["alpha", "beta"]);
         assert!(reg.get(Some("missing")).is_none());
+    }
+
+    #[test]
+    fn staged_versions_serve_only_after_promotion() {
+        let mut reg = ModelRegistry::new();
+        reg.insert(artifact("alpha", 1)).unwrap();
+
+        // Staging v2 makes it pin-addressable but default traffic stays
+        // on v1 until the explicit promote.
+        let key = reg.insert_staged(artifact("alpha", 2)).unwrap();
+        assert_eq!(key, "alpha@v2");
+        assert_eq!(reg.get(None).unwrap().artifact.version, 1);
+        assert_eq!(reg.get(Some("alpha@v2")).unwrap().artifact.version, 2);
+        assert_eq!(reg.active_versions(), vec![("alpha".to_owned(), 1)]);
+
+        reg.promote("alpha", 2).unwrap();
+        assert_eq!(reg.get(None).unwrap().artifact.version, 2);
+        assert_eq!(reg.active_versions(), vec![("alpha".to_owned(), 2)]);
+
+        // Rollback: the now-active v2 cannot be removed, the parked v1
+        // can after promoting back.
+        assert!(reg.remove_pinned("alpha", 2).is_err());
+        reg.promote("alpha", 1).unwrap();
+        reg.remove_pinned("alpha", 2).unwrap();
+        assert!(reg.get(Some("alpha@v2")).is_none());
+        assert_eq!(reg.get(None).unwrap().artifact.version, 1);
+        assert!(reg.promote("alpha", 9).is_err());
     }
 
     #[test]

@@ -22,17 +22,18 @@
 //! materialised and a prediction is emitted without re-featurising. A
 //! background sweeper closes idle sessions on the configured interval.
 
+use crate::artifact::ModelArtifact;
 use crate::batch::{BatchConfig, MicroBatcher, Priority};
 use crate::http::{read_request, write_response_with_retry, HttpError, Request};
 use crate::metrics::ServeMetrics;
-use crate::registry::{ModelRegistry, Prediction};
+use crate::registry::{LoadedModel, ModelRegistry, Prediction};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use traj_ml::PredictError;
@@ -88,6 +89,10 @@ pub struct ServerConfig {
     /// Durable ingestion (WAL + snapshots); `None` keeps stream state
     /// memory-only.
     pub durability: Option<DurabilityConfig>,
+    /// Cluster shard identity. When set, `/metrics` and `/healthz`
+    /// carry a `"shard"` label (id + served artifact versions) so a
+    /// router's aggregated views can keep shards apart.
+    pub shard_id: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             stream: traj_stream::StreamConfig::default(),
             idle_sweep_interval: Duration::from_secs(30),
             durability: None,
+            shard_id: None,
         }
     }
 }
@@ -223,15 +229,54 @@ fn points_of(dtos: &[PointDto]) -> Vec<traj_geo::TrajectoryPoint> {
 
 // ---------------------------------------------------------------- routing
 
+/// The WAL + snapshot store handles the admin surface needs to trigger
+/// snapshots outside the maintenance thread (handoff imports snapshot
+/// immediately so moved sessions are durable on their new owner).
+struct DurabilityHandles {
+    wal: Arc<Wal>,
+    store: Arc<SnapshotStore>,
+}
+
 /// Shared state of all workers.
 struct AppState {
-    registry: ModelRegistry,
+    /// Writers are rare (artifact rollout, promotion); the hot path
+    /// takes the read lock only long enough to clone a model `Arc`.
+    registry: RwLock<ModelRegistry>,
     metrics: Arc<ServeMetrics>,
     batcher: MicroBatcher,
     engine: traj_stream::StreamEngine,
+    /// Cluster shard identity (labels `/metrics` and health).
+    shard_id: Option<u32>,
+    /// Flips true once WAL replay + registry warm-up complete; traffic
+    /// endpoints answer 503 until then (and again while draining).
+    ready: AtomicBool,
+    /// Set during boot when durability is configured.
+    durability: OnceLock<DurabilityHandles>,
 }
 
 impl AppState {
+    /// Resolves a model by request name under the read lock.
+    fn model(&self, name: Option<&str>) -> Option<Arc<LoadedModel>> {
+        self.registry.read().expect("registry poisoned").get(name)
+    }
+
+    /// The pre-rendered `"shard"` label object, when this server has a
+    /// shard identity.
+    fn shard_label(&self) -> Option<String> {
+        let id = self.shard_id?;
+        let versions = self
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .active_versions();
+        let artifacts = versions
+            .iter()
+            .map(|(name, v)| format!("\"{name}\": {v}"))
+            .collect::<Vec<String>>()
+            .join(", ");
+        Some(format!("{{\"id\": {id}, \"artifacts\": {{{artifacts}}}}}"))
+    }
+
     /// Mirrors the engine's (and, when attached, the WAL's)
     /// authoritative counters and gauges into the `/metrics` snapshot.
     fn sync_ingest_metrics(&self) {
@@ -269,17 +314,55 @@ impl From<(u16, String)> for Response {
 
 /// Routes one request. Never panics on client input; internal failures
 /// map to 500.
+///
+/// Traffic endpoints (`/predict`, `/predict_batch`, `/ingest`) are
+/// gated on readiness: during WAL replay-on-boot, registry warm-up or
+/// an explicit drain they answer 503 so a cluster router can steer
+/// around this shard. Health, metrics and the admin surface always
+/// answer — a draining shard must still serve handoff exports.
 fn route(state: &AppState, request: &Request) -> Response {
+    let ready = state.ready.load(Ordering::SeqCst);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(state).into(),
+        ("GET", "/healthz") => handle_healthz(state, ready).into(),
+        ("GET", "/readyz") => handle_readyz(state, ready).into(),
         ("GET", "/metrics") => {
             state.sync_ingest_metrics();
-            (200, state.metrics.render_json()).into()
+            (
+                200,
+                state
+                    .metrics
+                    .render_json_with(state.shard_label().as_deref()),
+            )
+                .into()
         }
+        ("POST", "/predict" | "/predict_batch" | "/ingest") if !ready => Response {
+            status: 503,
+            body: error_body("server is not ready (starting or draining); retry"),
+            retry_after: Some(Duration::from_secs(1)),
+        },
         ("POST", "/predict") => handle_predict(state, &request.body),
         ("POST", "/predict_batch") => handle_predict_batch(state, &request.body),
         ("POST", "/ingest") => handle_ingest(state, &request.body).into(),
-        ("GET", "/predict" | "/predict_batch" | "/ingest") | ("POST", "/healthz" | "/metrics") => {
+        ("POST", "/admin/artifact/stage") => handle_artifact_stage(state, &request.body).into(),
+        ("POST", "/admin/artifact/promote") => {
+            handle_artifact_rollout(state, &request.body, true).into()
+        }
+        ("POST", "/admin/artifact/rollback") => {
+            handle_artifact_rollout(state, &request.body, false).into()
+        }
+        ("GET", "/admin/sessions") => handle_sessions(state).into(),
+        ("POST", "/admin/handoff/export") => handle_handoff_export(state, &request.body).into(),
+        ("POST", "/admin/handoff/import") => handle_handoff_import(state, &request.body).into(),
+        ("POST", "/admin/drain") => {
+            state.ready.store(false, Ordering::SeqCst);
+            (200, "{\"ready\": false}".to_owned()).into()
+        }
+        ("POST", "/admin/ready") => {
+            state.ready.store(true, Ordering::SeqCst);
+            (200, "{\"ready\": true}".to_owned()).into()
+        }
+        ("GET", "/predict" | "/predict_batch" | "/ingest")
+        | ("POST", "/healthz" | "/readyz" | "/metrics") => {
             (405, error_body("method not allowed")).into()
         }
         _ => (404, error_body("no such endpoint")).into(),
@@ -295,21 +378,44 @@ fn shed_response(retry_after: Duration) -> Response {
     }
 }
 
-fn handle_healthz(state: &AppState) -> (u16, String) {
+/// Liveness: answers 200 as soon as the acceptor runs, even while WAL
+/// replay is still rebuilding state. Readiness is a separate signal
+/// (`/readyz`) so supervisors don't kill a server that is merely busy
+/// recovering.
+fn handle_healthz(state: &AppState, ready: bool) -> (u16, String) {
     #[derive(Serialize)]
     struct Health {
         status: String,
+        ready: bool,
+        shard: Option<u32>,
         default_model: Option<String>,
         models: Vec<String>,
     }
+    let registry = state.registry.read().expect("registry poisoned");
     let health = Health {
         status: "ok".to_owned(),
-        default_model: state.registry.default_name().map(str::to_owned),
-        models: state.registry.keys(),
+        ready,
+        shard: state.shard_id,
+        default_model: registry.default_name().map(str::to_owned),
+        models: registry.keys(),
     };
+    drop(registry);
     match serde_json::to_string(&health) {
         Ok(body) => (200, body),
         Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// Readiness: 503 until WAL replay + registry warm-up complete (and
+/// again once draining); the router's health checks gate traffic on it.
+fn handle_readyz(state: &AppState, ready: bool) -> (u16, String) {
+    let shard = state
+        .shard_id
+        .map_or("null".to_owned(), |id| id.to_string());
+    if ready {
+        (200, format!("{{\"ready\": true, \"shard\": {shard}}}"))
+    } else {
+        (503, format!("{{\"ready\": false, \"shard\": {shard}}}"))
     }
 }
 
@@ -318,7 +424,7 @@ fn handle_predict(state: &AppState, body: &[u8]) -> Response {
         Ok(p) => p,
         Err(resp) => return resp.into(),
     };
-    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+    let Some(model) = state.model(parsed.model.as_deref()) else {
         return (404, error_body("unknown model")).into();
     };
     let points = points_of(&parsed.points);
@@ -360,7 +466,7 @@ fn handle_predict_batch(state: &AppState, body: &[u8]) -> Response {
         Ok(p) => p,
         Err(resp) => return resp.into(),
     };
-    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+    let Some(model) = state.model(parsed.model.as_deref()) else {
         return (404, error_body("unknown model")).into();
     };
     if parsed.segments.is_empty() {
@@ -448,7 +554,7 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let Some(model) = state.registry.get(parsed.model.as_deref()) else {
+    let Some(model) = state.model(parsed.model.as_deref()) else {
         return (404, error_body("unknown model"));
     };
     // The engine emits the canonical 70-feature row; models trained on
@@ -538,6 +644,187 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
     }
 }
 
+// ------------------------------------------------------- admin surface
+//
+// The cluster router drives shards through these endpoints: artifact
+// rollout (stage → canary traffic on the pinned key → promote or roll
+// back) and session handoff on reshard. They are plain POST routes —
+// the HTTP layer parses no query strings — and they bypass the ready
+// gate so a draining shard can still export its sessions.
+
+#[derive(Debug, Deserialize)]
+struct RolloutRequest {
+    name: String,
+    version: u32,
+}
+
+#[derive(Debug, Deserialize)]
+struct HandoffExportRequest {
+    users: Vec<u32>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SessionDto {
+    user: u32,
+    /// Hex-encoded `Session` codec bytes (the WAL/snapshot codec), so
+    /// binary state travels inside JSON without loss.
+    hex: String,
+}
+
+#[derive(Debug, Deserialize)]
+struct HandoffImportRequest {
+    sessions: Vec<SessionDto>,
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("odd-length hex".to_owned());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| format!("bad hex at byte {i}"))
+        })
+        .collect()
+}
+
+/// `POST /admin/artifact/stage`: body is a full [`ModelArtifact`] JSON
+/// document. Registers it under its pinned `name@vN` key only — default
+/// traffic is untouched until an explicit promote.
+fn handle_artifact_stage(state: &AppState, body: &[u8]) -> (u16, String) {
+    let artifact: ModelArtifact = match parse_json_body(body) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    let mut registry = state.registry.write().expect("registry poisoned");
+    match registry.insert_staged(artifact) {
+        Ok(key) => (200, format!("{{\"staged\": \"{key}\"}}")),
+        Err(e) => (422, error_body(&e)),
+    }
+}
+
+/// `POST /admin/artifact/promote` (`promote == true`) repoints default
+/// traffic at a staged version; `POST /admin/artifact/rollback` removes
+/// a parked pinned version. Both atomic under the registry write lock.
+fn handle_artifact_rollout(state: &AppState, body: &[u8], promote: bool) -> (u16, String) {
+    let parsed: RolloutRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let mut registry = state.registry.write().expect("registry poisoned");
+    // The version default traffic served before a promote, reported back
+    // so a cluster orchestrator can compensate a partially-failed
+    // cluster-wide promote by re-promoting the previous version.
+    let previous = promote
+        .then(|| registry.get(Some(&parsed.name)).map(|m| m.artifact.version))
+        .flatten();
+    let result = if promote {
+        registry.promote(&parsed.name, parsed.version)
+    } else {
+        registry.remove_pinned(&parsed.name, parsed.version)
+    };
+    match result {
+        Ok(()) => {
+            let previous = previous.map_or("null".to_owned(), |v| v.to_string());
+            let tail = if promote {
+                format!(", \"previous\": {previous}")
+            } else {
+                String::new()
+            };
+            (
+                200,
+                format!(
+                    "{{\"{}\": \"{}@v{}\"{tail}}}",
+                    if promote { "promoted" } else { "rolled_back" },
+                    parsed.name,
+                    parsed.version
+                ),
+            )
+        }
+        Err(e) => (409, error_body(&e)),
+    }
+}
+
+/// `GET /admin/sessions`: the user ids with open sessions — the reshard
+/// planner's input for deciding which sessions move.
+fn handle_sessions(state: &AppState) -> (u16, String) {
+    let users = state.engine.open_users();
+    let list = users
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<String>>()
+        .join(",");
+    (200, format!("{{\"users\": [{list}]}}"))
+}
+
+/// `POST /admin/handoff/export`: drains the named sessions out of this
+/// shard's engine (logging WAL closes so a replay cannot resurrect
+/// them) and returns their codec bytes hex-encoded. Users without an
+/// open session are skipped — exporting is idempotent.
+fn handle_handoff_export(state: &AppState, body: &[u8]) -> (u16, String) {
+    let parsed: HandoffExportRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let sessions: Vec<SessionDto> = state
+        .engine
+        .extract_sessions(&parsed.users)
+        .into_iter()
+        .map(|(user, bytes)| SessionDto {
+            user,
+            hex: hex_encode(&bytes),
+        })
+        .collect();
+    state.sync_ingest_metrics();
+    match serde_json::to_string(&sessions) {
+        Ok(list) => (200, format!("{{\"sessions\": {list}}}")),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /admin/handoff/import`: restores exported sessions
+/// bit-identically into this shard's engine, then — when durability is
+/// attached — snapshots immediately so the moved sessions survive a
+/// crash on their new owner.
+fn handle_handoff_import(state: &AppState, body: &[u8]) -> (u16, String) {
+    let parsed: HandoffImportRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let mut imported = 0usize;
+    for dto in &parsed.sessions {
+        let bytes = match hex_decode(&dto.hex) {
+            Ok(b) => b,
+            Err(e) => return (422, error_body(&format!("user {}: {e}", dto.user))),
+        };
+        if let Err(e) = state.engine.install_session_bytes(dto.user, &bytes) {
+            return (422, error_body(&e));
+        }
+        imported += 1;
+    }
+    if let Some(handles) = state.durability.get() {
+        if let Err(e) = write_snapshot(&state.engine, &handles.store, &handles.wal, &state.metrics)
+        {
+            return (
+                500,
+                error_body(&format!(
+                    "imported {imported} sessions but not durable: {e}"
+                )),
+            );
+        }
+    }
+    state.sync_ingest_metrics();
+    (200, format!("{{\"imported\": {imported}}}"))
+}
+
 fn parse_json_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, (u16, String)> {
     let text =
         std::str::from_utf8(body).map_err(|_| (400, error_body("request body is not UTF-8")))?;
@@ -610,6 +897,30 @@ impl ServerHandle {
         Arc::clone(&self.metrics)
     }
 
+    /// Whether the server is past WAL replay + warm-up and serving
+    /// traffic (the `/readyz` signal, without a socket).
+    pub fn is_ready(&self) -> bool {
+        self.state.ready.load(Ordering::SeqCst)
+    }
+
+    /// Dispatches one request in-process, bypassing sockets — the
+    /// cluster router's local backend. Same routing table, readiness
+    /// gating and metrics as the HTTP surface; returns `(status, body)`.
+    pub fn dispatch(&self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let started = Instant::now();
+        let request = Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: body.to_vec(),
+            keep_alive: true,
+        };
+        let response = route(&self.state, &request);
+        self.state
+            .metrics
+            .record_response(response.status, started.elapsed().as_micros() as u64);
+        (response.status, response.body)
+    }
+
     /// Stops accepting, drains in-flight connections, joins every thread
     /// and — when durability is configured — performs the final flush:
     /// one WAL sync plus one snapshot of the surviving sessions, so a
@@ -623,6 +934,9 @@ impl ServerHandle {
         if !self.running.swap(false, Ordering::SeqCst) {
             return Ok(());
         }
+        // Not ready anymore: routers health-checking mid-shutdown see a
+        // 503 instead of racing the dying acceptor.
+        self.state.ready.store(false, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -690,10 +1004,52 @@ pub fn serve(
 
     let metrics = Arc::new(ServeMetrics::new(&registry.names()));
 
-    // Durable ingest: recover stream state from snapshot + WAL replay
-    // BEFORE the listener starts accepting, so the first request already
-    // sees the pre-restart sessions.
     let engine = traj_stream::StreamEngine::new(config.stream);
+    let batcher = MicroBatcher::new(config.batch, Arc::clone(&metrics));
+    let state = Arc::new(AppState {
+        registry: RwLock::new(registry),
+        metrics: Arc::clone(&metrics),
+        batcher,
+        engine,
+        shard_id: config.shard_id,
+        ready: AtomicBool::new(false),
+        durability: OnceLock::new(),
+    });
+    let running = Arc::new(AtomicBool::new(true));
+
+    // The acceptor starts BEFORE recovery: liveness (`/healthz`) and the
+    // admin surface answer immediately, while traffic endpoints 503
+    // until the `ready` flip below. Connections run as detached tasks on
+    // a dedicated work-stealing pool (never the shared compute pool:
+    // connection tasks block on socket I/O). Queueing and shutdown
+    // draining come with the pool.
+    let workers = config.workers.max(1);
+    let runtime = Arc::new(traj_runtime::Runtime::named(workers, "traj-serve"));
+
+    let accept_running = Arc::clone(&running);
+    let accept_runtime = Arc::clone(&runtime);
+    let accept_state = Arc::clone(&state);
+    let accept_config = config.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("traj-serve-accept".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if !accept_running.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let state = Arc::clone(&accept_state);
+                    let config = accept_config.clone();
+                    accept_runtime.spawn(move || handle_connection(stream, &state, &config));
+                }
+            }
+        })
+        .map_err(|e| format!("spawning acceptor: {e}"))?;
+
+    // Durable ingest: recover stream state from snapshot + WAL replay.
+    // serve() only returns once recovery finished, so in-process callers
+    // still get a fully-ready server; concurrent clients see 503s on
+    // traffic endpoints meanwhile.
     let mut durability: Option<DurabilityResources> = None;
     if let Some(d) = &config.durability {
         let store = SnapshotStore::open(d.dir.join("snapshots"))
@@ -705,33 +1061,39 @@ pub fn serve(
         })
         .map_err(|e| format!("opening wal under {}: {e}", d.dir.display()))?;
         let wal = Arc::new(wal);
-        let report = traj_stream::recover(&engine, &store, &wal)
+        let report = traj_stream::recover(&state.engine, &store, &wal)
             .map_err(|e| format!("recovering stream state: {e}"))?;
         for diag in open_report.diagnostics.iter().chain(&report.diagnostics) {
             eprintln!("traj-serve durability: {diag}");
         }
-        engine.attach_wal(Arc::clone(&wal));
+        state.engine.attach_wal(Arc::clone(&wal));
         metrics.durability.enable();
         metrics.durability.record_recovery(&report);
         let fsync_metrics = Arc::clone(&metrics);
         wal.set_sync_observer(Box::new(move |us| {
             fsync_metrics.durability.fsync_us.record(us);
         }));
+        let store = Arc::new(store);
+        let _ = state.durability.set(DurabilityHandles {
+            wal: Arc::clone(&wal),
+            store: Arc::clone(&store),
+        });
         durability = Some(DurabilityResources {
             wal,
-            store: Arc::new(store),
+            store,
             recovered_lsn: report.snapshot_lsn,
         });
     }
 
-    let batcher = MicroBatcher::new(config.batch, Arc::clone(&metrics));
-    let state = Arc::new(AppState {
-        registry,
-        metrics: Arc::clone(&metrics),
-        batcher,
-        engine,
-    });
-    let running = Arc::new(AtomicBool::new(true));
+    // Registry warm-up: resolve every key once so first requests pay no
+    // lazy cost, then open the traffic gate.
+    {
+        let registry = state.registry.read().expect("registry poisoned");
+        for key in registry.keys() {
+            let _ = registry.get(Some(&key));
+        }
+    }
+    state.ready.store(true, Ordering::SeqCst);
 
     // WAL maintenance: drives the interval fsync policy and writes a
     // snapshot (then truncates the WAL) whenever the log advanced since
@@ -811,31 +1173,6 @@ pub fn serve(
             }
         })
         .map_err(|e| format!("spawning sweeper: {e}"))?;
-
-    // Connections run as detached tasks on a dedicated work-stealing
-    // pool (never the shared compute pool: connection tasks block on
-    // socket I/O). Queueing and shutdown draining come with the pool.
-    let workers = config.workers.max(1);
-    let runtime = Arc::new(traj_runtime::Runtime::named(workers, "traj-serve"));
-
-    let accept_running = Arc::clone(&running);
-    let accept_runtime = Arc::clone(&runtime);
-    let accept_state = Arc::clone(&state);
-    let accept_thread = std::thread::Builder::new()
-        .name("traj-serve-accept".to_owned())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if !accept_running.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    let state = Arc::clone(&accept_state);
-                    let config = config.clone();
-                    accept_runtime.spawn(move || handle_connection(stream, &state, &config));
-                }
-            }
-        })
-        .map_err(|e| format!("spawning acceptor: {e}"))?;
 
     Ok(ServerHandle {
         addr: local_addr,
@@ -985,6 +1322,196 @@ mod tests {
     #[test]
     fn refuses_empty_registry() {
         assert!(serve("127.0.0.1:0", ModelRegistry::new(), ServerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn readiness_gates_traffic_but_not_health_or_admin() {
+        let (registry, segs) = test_registry();
+        let mut handle = serve(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                workers: 1,
+                shard_id: Some(3),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        assert!(handle.is_ready());
+
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut client = ClientBufReader::new(stream);
+        let (status, body) = client_request(&mut client, "GET", "/readyz", None).expect("readyz");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"shard\": 3"), "{body}");
+
+        // Drained: liveness and metrics still answer, traffic 503s.
+        let (status, _) =
+            client_request(&mut client, "POST", "/admin/drain", Some("{}")).expect("drain");
+        assert_eq!(status, 200);
+        assert!(!handle.is_ready());
+        let (status, _) = client_request(&mut client, "GET", "/readyz", None).expect("readyz");
+        assert_eq!(status, 503);
+        let (status, body) = client_request(&mut client, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ready\":false"), "{body}");
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+        let (status, body) =
+            client_request(&mut client, "POST", "/predict", Some(&body_of(seg))).expect("predict");
+        assert_eq!(status, 503, "{body}");
+        let (status, body) = client_request(&mut client, "GET", "/metrics", None).expect("metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"shard\": {\"id\": 3"), "{body}");
+
+        // Back in rotation.
+        let (status, _) =
+            client_request(&mut client, "POST", "/admin/ready", Some("{}")).expect("ready");
+        assert_eq!(status, 200);
+        let (status, body) =
+            client_request(&mut client, "POST", "/predict", Some(&body_of(seg))).expect("predict");
+        assert_eq!(status, 200, "{body}");
+
+        handle.stop().expect("stop");
+    }
+
+    #[test]
+    fn artifact_stage_promote_rollback_over_dispatch() {
+        let (registry, segs) = test_registry();
+        let mut handle = serve(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+
+        // Stage v2: pinned key serves, default stays v1.
+        let spec = TrainSpec {
+            kind: traj_ml::ClassifierKind::DecisionTree,
+            version: 2,
+            ..TrainSpec::paper_default("tree")
+        };
+        let v2 = ModelArtifact::train(&spec, &segs).unwrap();
+        let (status, body) = handle.dispatch(
+            "POST",
+            "/admin/artifact/stage",
+            v2.to_json().unwrap().as_bytes(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("tree@v2"), "{body}");
+
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+        let (status, body) = handle.dispatch("POST", "/predict", body_of(seg).as_bytes());
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"version\":1"), "{body}");
+        let pinned = body_of(seg).replacen('{', "{\"model\":\"tree@v2\",", 1);
+        let (status, body) = handle.dispatch("POST", "/predict", pinned.as_bytes());
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"version\":2"), "{body}");
+
+        // Promote: default traffic flips to v2 atomically.
+        let (status, body) = handle.dispatch(
+            "POST",
+            "/admin/artifact/promote",
+            b"{\"name\":\"tree\",\"version\":2}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = handle.dispatch("POST", "/predict", body_of(seg).as_bytes());
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"version\":2"), "{body}");
+
+        // Rollback of the now-active version must refuse; a parked one
+        // is removable.
+        let (status, body) = handle.dispatch(
+            "POST",
+            "/admin/artifact/rollback",
+            b"{\"name\":\"tree\",\"version\":2}",
+        );
+        assert_eq!(status, 409, "{body}");
+        let (status, body) = handle.dispatch(
+            "POST",
+            "/admin/artifact/promote",
+            b"{\"name\":\"tree\",\"version\":1}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = handle.dispatch(
+            "POST",
+            "/admin/artifact/rollback",
+            b"{\"name\":\"tree\",\"version\":2}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, _) = handle.dispatch("POST", "/predict", pinned.as_bytes());
+        assert_eq!(status, 404);
+
+        handle.stop().expect("stop");
+    }
+
+    #[test]
+    fn handoff_export_import_moves_sessions() {
+        let (registry, segs) = test_registry();
+        let (registry2, _) = test_registry();
+        let mut source = serve("127.0.0.1:0", registry, ServerConfig::default()).expect("bind");
+        let mut target = serve("127.0.0.1:0", registry2, ServerConfig::default()).expect("bind");
+
+        // Open two streams on the source (no flush: sessions stay open).
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+        for user in [7u32, 11] {
+            let body = body_of(seg).replacen('{', &format!("{{\"user\":{user},"), 1);
+            let (status, body) = source.dispatch("POST", "/ingest", body.as_bytes());
+            assert_eq!(status, 200, "{body}");
+        }
+        let (status, body) = source.dispatch("GET", "/admin/sessions", b"");
+        assert_eq!(status, 200);
+        assert!(body.contains("[7,11]"), "{body}");
+
+        // Export 7 off the source and import it on the target.
+        let (status, export) = source.dispatch("POST", "/admin/handoff/export", b"{\"users\":[7]}");
+        assert_eq!(status, 200, "{export}");
+        let sessions = export.trim_start_matches("{\"sessions\": ");
+        let import = format!("{{\"sessions\": {}", sessions);
+        let (status, body) = target.dispatch("POST", "/admin/handoff/import", import.as_bytes());
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"imported\": 1"), "{body}");
+
+        let (_, body) = source.dispatch("GET", "/admin/sessions", b"");
+        assert!(body.contains("[11]"), "{body}");
+        let (_, body) = target.dispatch("GET", "/admin/sessions", b"");
+        assert!(body.contains("[7]"), "{body}");
+
+        // The moved stream keeps flowing on its new owner.
+        let shifted: String = {
+            let points: Vec<String> = seg
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"lat\":{},\"lon\":{},\"t\":{}}}",
+                        p.lat,
+                        p.lon,
+                        p.t.0 + 1_000_000_000
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"user\":7,\"flush\":true,\"points\":[{}]}}",
+                points.join(",")
+            )
+        };
+        let (status, body) = target.dispatch("POST", "/ingest", shifted.as_bytes());
+        assert_eq!(status, 200, "{body}");
+
+        // Corrupt hex is a 422, not a panic.
+        let (status, _) = target.dispatch(
+            "POST",
+            "/admin/handoff/import",
+            b"{\"sessions\":[{\"user\":9,\"hex\":\"zz\"}]}",
+        );
+        assert_eq!(status, 422);
+
+        source.stop().expect("stop source");
+        target.stop().expect("stop target");
     }
 
     #[test]

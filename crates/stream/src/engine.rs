@@ -422,6 +422,65 @@ impl StreamEngine {
         }
     }
 
+    /// User ids of every currently open session, sorted. The cluster
+    /// router uses this to decide which sessions a reshard moves.
+    pub fn open_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .keys()
+                    .copied()
+                    .collect::<Vec<UserId>>()
+            })
+            .collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// Extracts (removes and encodes) the listed users' open sessions
+    /// for handoff to another engine. Users without an open session are
+    /// skipped. With a WAL attached, a [`WalRecord::Close`] is logged
+    /// per extracted session under its shard lock — after the handoff
+    /// this engine no longer owns the session, so its own replay must
+    /// not resurrect it. The encoding is the snapshot codec's
+    /// per-session byte string; [`StreamEngine::install_session_bytes`]
+    /// restores it bit-identically.
+    pub fn extract_sessions(&self, users: &[UserId]) -> Vec<(UserId, Vec<u8>)> {
+        let logging = self.wal.get().is_some();
+        let mut out: Vec<(UserId, Vec<u8>)> = Vec::new();
+        for &user in users {
+            let shard_index = self.shard_of(user);
+            let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+            let Some(entry) = shard.remove(&user) else {
+                continue;
+            };
+            let mut bytes = Vec::new();
+            entry.session.encode_into(&mut bytes);
+            if logging {
+                let mut error = None;
+                self.append_wal_batch(&[WalRecord::Close { user }.encoded()], &mut error);
+            }
+            drop(shard);
+            out.push((user, bytes));
+        }
+        out.sort_by_key(|&(user, _)| user);
+        out
+    }
+
+    /// Installs a session extracted by [`StreamEngine::extract_sessions`]
+    /// (or decoded from a snapshot), replacing any open session the user
+    /// already has. Bypasses eviction and WAL logging — the next
+    /// periodic snapshot makes the imported state durable.
+    pub fn install_session_bytes(&self, user: UserId, bytes: &[u8]) -> Result<(), String> {
+        let session = Session::decode_from(&mut traj_wal::Reader::new(bytes))
+            .map_err(|e| format!("undecodable session for user {user}: {e}"))?;
+        self.restore_session(user, session);
+        Ok(())
+    }
+
     /// Restores one session (snapshot recovery). Bypasses eviction and
     /// WAL logging; intended for [`crate::durability::recover`], before
     /// traffic starts.
@@ -598,6 +657,47 @@ mod tests {
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].reason, CloseReason::Idle);
         assert_eq!(engine.open_sessions(), 0);
+    }
+
+    #[test]
+    fn extract_install_round_trips_bit_identically() {
+        let engine = StreamEngine::new(StreamConfig::default());
+        for user in 0u32..6 {
+            engine.ingest(user, &track(17, 0, 5), false);
+        }
+        assert_eq!(engine.open_users(), vec![0, 1, 2, 3, 4, 5]);
+
+        // Move users 1 and 4 (plus a non-existent 99, skipped) onto a
+        // second engine and compare the combined state against an
+        // uninterrupted reference.
+        let moved = engine.extract_sessions(&[4, 1, 99]);
+        assert_eq!(
+            moved.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        assert_eq!(engine.open_users(), vec![0, 2, 3, 5]);
+
+        let target = StreamEngine::new(StreamConfig::default());
+        for (user, bytes) in &moved {
+            target.install_session_bytes(*user, bytes).expect("install");
+        }
+        // Continued ingest on the new owner matches a never-moved run.
+        let more = track(9, 17 * 5 + 3, 5);
+        let reference = StreamEngine::new(StreamConfig::default());
+        for user in [1u32, 4] {
+            reference.ingest(user, &track(17, 0, 5), false);
+            reference.ingest(user, &more, false);
+            target.ingest(user, &more, false);
+        }
+        let state = |e: &StreamEngine| {
+            crate::durability::snapshot_sessions(&e.export_snapshot().payload)
+                .expect("decode")
+                .into_iter()
+                .map(|(user, _, bytes)| (user, bytes))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(state(&target), state(&reference));
+        assert!(target.install_session_bytes(7, &[1, 2, 3]).is_err());
     }
 
     #[test]
