@@ -78,10 +78,30 @@ impl HttpBackend {
     }
 }
 
+/// Whether a request may be transparently re-sent after an ambiguous
+/// transport failure (the shard may have processed it without the
+/// response arriving). GETs and the prediction endpoints are pure
+/// reads; `/ingest` is stateful but safe because the router stamps an
+/// idempotency key the shard dedupes on. Admin mutations (rollout,
+/// handoff) are NOT resendable — the router compensates those at the
+/// protocol level instead.
+fn resendable(method: &str, path: &str) -> bool {
+    method == "GET" || matches!(path, "/predict" | "/predict_batch" | "/ingest")
+}
+
 impl ShardBackend for HttpBackend {
     fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
         let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 body".to_owned())?;
         let payload = if text.is_empty() { None } else { Some(text) };
+        if !resendable(method, path) {
+            // Non-idempotent: never reuse a pooled connection (a stale
+            // keep-alive failure would be indistinguishable from the
+            // shard dying mid-request) and never re-send. One fresh
+            // connection, one attempt, the outcome reported verbatim.
+            let mut conn = self.connect()?;
+            return client_request(&mut conn, method, path, payload)
+                .map_err(|e| format!("{} {path} on {}: {e}", method, self.addr));
+        }
         let mut guard = self.conn.lock().expect("backend poisoned");
         // A pooled connection may have been closed by the server's idle
         // timeout; retry exactly once on a fresh connection. A failure

@@ -11,8 +11,12 @@
 //! The routing table (ring + shard map) sits behind an `RwLock`:
 //! requests hold the read lock across their forward, and a reshard
 //! holds the write lock across the whole handoff — so no request can
-//! slip into a shard whose sessions are mid-move, which is what makes
-//! the handoff lossless without any shard-side coordination.
+//! slip into a shard whose sessions are mid-move. Handoff itself is
+//! copy → import → evict: the source keeps its sessions until the
+//! target acknowledged the import, and a failure at any step aborts
+//! with exactly one authoritative copy left (see [`transfer`]) — which
+//! is what makes the handoff lossless without any shard-side
+//! coordination.
 
 use crate::backend::ShardBackend;
 use crate::ring::HashRing;
@@ -40,6 +44,12 @@ pub struct ClusterConfig {
     pub mirror_every: u64,
     /// Cadence of the background `/readyz` health checks.
     pub health_interval: Duration,
+    /// How long a shard marked unhealthy by a data-path transport error
+    /// stays out of the stateless rotation before it is re-probed with
+    /// live traffic. Without this, clusters not running the background
+    /// health checker would drop a shard forever on one transient
+    /// connect failure.
+    pub reprobe_after: Duration,
     /// Largest accepted request body on the router's own HTTP server.
     pub max_body_bytes: usize,
     /// Socket read timeout of the router's own HTTP server.
@@ -54,6 +64,7 @@ impl Default for ClusterConfig {
             backoff: Duration::from_millis(25),
             mirror_every: 4,
             health_interval: Duration::from_millis(500),
+            reprobe_after: Duration::from_secs(1),
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
         }
@@ -69,14 +80,39 @@ fn error_body(message: &str) -> String {
 }
 
 /// One member shard: identity, transport, and the health flag the
-/// background checker maintains.
+/// background checker and the data path maintain.
 struct Shard {
     id: u32,
     backend: Box<dyn ShardBackend>,
-    /// Cleared when `/readyz` fails; unhealthy shards are skipped for
-    /// stateless traffic. Starts healthy so clusters without a health
-    /// checker still route.
+    /// Cleared on a failed `/readyz` or a data-path transport error;
+    /// unhealthy shards are skipped for stateless traffic. Starts
+    /// healthy so clusters without a health checker still route, and a
+    /// successful response always restores it — combined with the
+    /// reprobe window below, one transient failure cannot remove a
+    /// shard from rotation forever.
     healthy: AtomicBool,
+    /// Milliseconds (since the router started) when the shard was last
+    /// marked unhealthy; after `config.reprobe_after` the stateless
+    /// rotation admits it again as a live probe.
+    down_at_ms: AtomicU64,
+}
+
+impl Shard {
+    fn mark_down(&self, now_ms: u64) {
+        self.down_at_ms.store(now_ms, Ordering::Relaxed);
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    fn mark_up(&self) {
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    /// In rotation: healthy, or down long enough to deserve a re-probe.
+    fn eligible(&self, now_ms: u64, reprobe: Duration) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+            || now_ms.saturating_sub(self.down_at_ms.load(Ordering::Relaxed))
+                >= reprobe.as_millis() as u64
+    }
 }
 
 /// The routing table: swapped atomically under the write lock on
@@ -108,6 +144,24 @@ struct RouterState {
     metrics: RouterMetrics,
     /// Round-robin cursor of the stateless endpoints.
     cursor: AtomicU64,
+    /// Epoch of the `down_at_ms` stamps on the shards.
+    started: Instant,
+    /// Idempotency keys stamped on forwarded `/ingest` requests:
+    /// a wall-clock base (so keys don't repeat across router restarts
+    /// within a shard's dedupe window) plus a per-request counter.
+    idem_base: u64,
+    idem_counter: AtomicU64,
+}
+
+impl RouterState {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn next_idem(&self) -> u64 {
+        self.idem_base
+            .wrapping_add(self.idem_counter.fetch_add(1, Ordering::Relaxed))
+    }
 }
 
 /// The cluster router. Cheap to clone (shared state behind an `Arc`);
@@ -154,6 +208,11 @@ impl ClusterRouter {
                 rollout: RolloutState::new(),
                 metrics: RouterMetrics::default(),
                 cursor: AtomicU64::new(0),
+                started: Instant::now(),
+                idem_base: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_nanos() as u64),
+                idem_counter: AtomicU64::new(0),
             }),
         }
     }
@@ -173,10 +232,13 @@ impl ClusterRouter {
     // ----------------------------------------------------------- reshard
 
     /// Adds a shard, moving the sessions the new ring assigns to it off
-    /// their current owners (export → import via the shards' handoff
-    /// admin surface). Holds the routing write lock for the whole move,
-    /// so no in-flight stream observes the half-resharded cluster.
-    /// Returns the number of sessions moved.
+    /// their current owners (copy-export → import → evict via the
+    /// shards' handoff admin surface). Holds the routing write lock for
+    /// the whole move, so no in-flight stream observes the
+    /// half-resharded cluster. On failure the reshard aborts and every
+    /// session already moved onto the joining shard is transferred back
+    /// to its old owner, so nothing strands on a shard the ring never
+    /// admitted. Returns the number of sessions moved.
     pub fn add_shard(&self, id: u32, backend: Box<dyn ShardBackend>) -> Result<usize, String> {
         let mut table = self.state.table.write().expect("table poisoned");
         if table.shards.contains_key(&id) {
@@ -186,16 +248,38 @@ impl ClusterRouter {
             id,
             backend,
             healthy: AtomicBool::new(true),
+            down_at_ms: AtomicU64::new(0),
         });
         let next_ring = table.ring.with_shard(id);
         let mut moved = 0usize;
+        // (old owner, users moved) per completed transfer, for rollback.
+        let mut done: Vec<(Arc<Shard>, Vec<u32>)> = Vec::new();
         for old in table.shards.values() {
-            let users = sessions_of(old)?;
-            let moving: Vec<u32> = users
-                .into_iter()
-                .filter(|&u| next_ring.shard_of(u) == Some(id))
-                .collect();
-            moved += transfer(old, &shard, &moving)?;
+            let step = sessions_of(old).and_then(|users| {
+                let moving: Vec<u32> = users
+                    .into_iter()
+                    .filter(|&u| next_ring.shard_of(u) == Some(id))
+                    .collect();
+                transfer(old, &shard, &moving).map(|n| (moving, n))
+            });
+            match step {
+                Ok((moving, n)) => {
+                    moved += n;
+                    if !moving.is_empty() {
+                        done.push((Arc::clone(old), moving));
+                    }
+                }
+                Err(e) => {
+                    let rollback = unwind_transfers(
+                        done.iter()
+                            .map(|(old, users)| (shard.as_ref(), old.as_ref(), users.as_slice())),
+                    );
+                    return Err(match rollback {
+                        Ok(()) => format!("{e} (reshard aborted; moved sessions returned)"),
+                        Err(re) => format!("{e}; rollback incomplete: {re}"),
+                    });
+                }
+            }
         }
         table.ring = next_ring;
         table.shards.insert(id, shard);
@@ -208,8 +292,11 @@ impl ClusterRouter {
     }
 
     /// Removes a shard, rehoming every session it owns onto the
-    /// surviving ring (grouped per new owner). Same write-lock contract
-    /// as [`ClusterRouter::add_shard`]. Returns the sessions moved.
+    /// surviving ring (grouped per new owner). Same write-lock and
+    /// abort-with-rollback contract as [`ClusterRouter::add_shard`]: on
+    /// failure, sessions already rehomed are transferred back to the
+    /// leaving shard, which stays in the ring. Returns the sessions
+    /// moved.
     pub fn remove_shard(&self, id: u32) -> Result<usize, String> {
         let mut table = self.state.table.write().expect("table poisoned");
         let Some(leaving) = table.shards.get(&id).cloned() else {
@@ -230,9 +317,25 @@ impl ClusterRouter {
             by_owner.entry(owner).or_default().push(user);
         }
         let mut moved = 0usize;
+        // (new owner, users moved) per completed transfer, for rollback.
+        let mut done: Vec<(Arc<Shard>, Vec<u32>)> = Vec::new();
         for (owner, users) in &by_owner {
             let target = table.shards.get(owner).expect("owner in table");
-            moved += transfer(&leaving, target, users)?;
+            match transfer(&leaving, target, users) {
+                Ok(n) => {
+                    moved += n;
+                    done.push((Arc::clone(target), users.clone()));
+                }
+                Err(e) => {
+                    let rollback = unwind_transfers(done.iter().map(|(target, users)| {
+                        (target.as_ref(), leaving.as_ref(), users.as_slice())
+                    }));
+                    return Err(match rollback {
+                        Ok(()) => format!("{e} (reshard aborted; moved sessions returned)"),
+                        Err(re) => format!("{e}; rollback incomplete: {re}"),
+                    });
+                }
+            }
         }
         table.ring = next_ring;
         table.shards.remove(&id);
@@ -418,10 +521,11 @@ impl ClusterRouter {
             // The read guard is held across the forward so a reshard
             // cannot swap the table under an in-flight request.
             let table = self.state.table.read().expect("table poisoned");
+            let now_ms = self.state.now_ms();
             let healthy: Vec<Arc<Shard>> = table
                 .shards
                 .values()
-                .filter(|s| s.healthy.load(Ordering::Relaxed))
+                .filter(|s| s.eligible(now_ms, self.state.config.reprobe_after))
                 .cloned()
                 .collect();
             if healthy.is_empty() {
@@ -435,14 +539,19 @@ impl ClusterRouter {
             let begun = Instant::now();
             match shard.backend.request("POST", path, body) {
                 Ok((status, response)) if status < 500 => {
+                    shard.mark_up();
                     if mirror && status == 200 {
                         self.maybe_mirror(shard, body, &response, begun.elapsed());
                     }
                     return (status, response);
                 }
-                Ok((status, response)) => last = (status, response),
+                Ok((status, response)) => {
+                    // Transport works; only its application is unhappy.
+                    shard.mark_up();
+                    last = (status, response);
+                }
                 Err(e) => {
-                    shard.healthy.store(false, Ordering::Relaxed);
+                    shard.mark_down(now_ms);
                     self.state.metrics.failovers.fetch_add(1, Ordering::Relaxed);
                     last = (502, error_body(&e));
                 }
@@ -453,18 +562,29 @@ impl ClusterRouter {
 
     /// `/ingest`: stateful — always the ring owner of the body's user
     /// id. Retries stay on the owner (its session state cannot fail
-    /// over) and ride out not-ready windows with backoff.
+    /// over) and ride out not-ready windows with backoff. Every forward
+    /// carries an idempotency key (one key across all attempts), so a
+    /// retry after an ambiguous transport failure replays the shard's
+    /// recorded response instead of double-applying the points.
     fn forward_ingest(&self, body: &[u8]) -> (u16, String) {
         self.state
             .metrics
             .forwarded_ingest
             .fetch_add(1, Ordering::Relaxed);
-        let user = std::str::from_utf8(body)
-            .ok()
-            .and_then(parse_map)
-            .and_then(|m| serde::map_get(&m, "user").and_then(value_u32));
-        let Some(user) = user else {
+        let entries = std::str::from_utf8(body).ok().and_then(parse_map);
+        let Some(mut entries) = entries else {
+            return (400, error_body("ingest body is not a JSON object"));
+        };
+        let Some(user) = serde::map_get(&entries, "user").and_then(value_u32) else {
             return (400, error_body("ingest body has no numeric \"user\""));
+        };
+        // Respect a client-supplied key; stamp one otherwise.
+        if serde::map_get(&entries, "idem").is_none() {
+            entries.push(("idem".to_owned(), Value::UInt(self.state.next_idem())));
+        }
+        let forwarded = match serde_json::to_string(&Value::Map(entries)) {
+            Ok(body) => body,
+            Err(e) => return (500, error_body(&e.to_string())),
         };
         let mut last = (503, error_body("no shards"));
         for attempt in 0..=self.state.config.retries {
@@ -481,11 +601,20 @@ impl ClusterRouter {
                 return (503, error_body("no shards"));
             };
             let shard = Arc::clone(table.shards.get(&owner).expect("ring member in table"));
-            match shard.backend.request("POST", "/ingest", body) {
+            match shard.backend.request("POST", "/ingest", forwarded.as_bytes()) {
                 // 503 = owner still starting or draining: retry below.
-                Ok((503, response)) => last = (503, response),
-                Ok((status, response)) => return (status, response),
-                Err(e) => last = (502, error_body(&e)),
+                Ok((503, response)) => {
+                    shard.mark_up();
+                    last = (503, response);
+                }
+                Ok((status, response)) => {
+                    shard.mark_up();
+                    return (status, response);
+                }
+                Err(e) => {
+                    shard.mark_down(self.state.now_ms());
+                    last = (502, error_body(&e));
+                }
             }
         }
         last
@@ -656,7 +785,14 @@ impl ClusterRouter {
                     for shard in shards {
                         let ok =
                             matches!(shard.backend.request("GET", "/readyz", b""), Ok((200, _)));
-                        shard.healthy.store(ok, Ordering::Relaxed);
+                        if ok {
+                            shard.mark_up();
+                        } else {
+                            // Re-stamped every failing round, so the
+                            // reprobe window stays closed while the
+                            // checker keeps seeing the shard down.
+                            shard.mark_down(state.now_ms());
+                        }
                     }
                     let mut waited = Duration::ZERO;
                     while waited < state.config.health_interval
@@ -826,10 +962,22 @@ fn sessions_of(shard: &Shard) -> Result<Vec<u32>, String> {
 }
 
 /// Moves `users` from one shard to another through the handoff admin
-/// surface. The export response (`{"sessions": [...]}`) is exactly the
-/// import request shape, so the session bytes are forwarded verbatim —
-/// the router never decodes them, which is how bit-identical restore
-/// survives any router version.
+/// surface, in three steps that keep exactly one authoritative copy at
+/// every failure point:
+///
+/// 1. **Copy**: `/admin/handoff/export` is non-destructive, so a
+///    failure here (or in the import below) leaves the source shard
+///    authoritative and loses nothing.
+/// 2. **Import** on the target. The export response
+///    (`{"sessions": [...]}`) is exactly the import request shape, so
+///    the session bytes are forwarded verbatim — the router never
+///    decodes them, which is how bit-identical restore survives any
+///    router version.
+/// 3. **Evict** from the source, only now that the target acknowledged
+///    the state. If the evict fails, the source is restored from the
+///    exported payload (bit-identical: the reshard holds the routing
+///    write lock, so nothing mutated since the copy) and the target's
+///    copy dropped.
 fn transfer(from: &Shard, to: &Shard, users: &[u32]) -> Result<usize, String> {
     if users.is_empty() {
         return Ok(0);
@@ -839,31 +987,102 @@ fn transfer(from: &Shard, to: &Shard, users: &[u32]) -> Result<usize, String> {
         .map(u32::to_string)
         .collect::<Vec<String>>()
         .join(",");
+    let users_body = format!("{{\"users\": [{list}]}}");
     let (status, exported) = from
         .backend
-        .request(
-            "POST",
-            "/admin/handoff/export",
-            format!("{{\"users\": [{list}]}}").as_bytes(),
-        )
+        .request("POST", "/admin/handoff/export", users_body.as_bytes())
         .map_err(|e| format!("shard {}: export: {e}", from.id))?;
     if status != 200 {
         return Err(format!("shard {}: export -> {status} {exported}", from.id));
     }
-    let (status, imported) = to
+    let count = match to
         .backend
         .request("POST", "/admin/handoff/import", exported.as_bytes())
-        .map_err(|e| {
-            format!(
-                "shard {}: import: {e} (exported sessions from shard {} are in the response of a failed transfer)",
+    {
+        Ok((200, imported)) => parse_map(&imported)
+            .and_then(|m| serde::map_get(&m, "imported").and_then(value_u32))
+            .unwrap_or(0),
+        Ok((status, imported)) => {
+            return Err(format!(
+                "shard {}: import -> {status} {imported} (shard {} still holds the sessions)",
                 to.id, from.id
-            )
-        })?;
-    if status != 200 {
-        return Err(format!("shard {}: import -> {status} {imported}", to.id));
+            ));
+        }
+        Err(e) => {
+            // Ambiguous: the import may have landed before the transport
+            // died. Drop any copy on the target so the source stays the
+            // sole owner; a leftover is harmless either way — the ring
+            // still routes these users to the source.
+            let _ = to
+                .backend
+                .request("POST", "/admin/handoff/evict", users_body.as_bytes());
+            return Err(format!(
+                "shard {}: import: {e} (shard {} still holds the sessions)",
+                to.id, from.id
+            ));
+        }
+    };
+    let evict = from
+        .backend
+        .request("POST", "/admin/handoff/evict", users_body.as_bytes());
+    match evict {
+        Ok((200, _)) => Ok(count as usize),
+        outcome => {
+            let failure = match outcome {
+                Ok((status, body)) => format!("evict -> {status} {body}"),
+                Err(e) => format!("evict: {e}"),
+            };
+            // The evict may have drained some users before failing:
+            // re-import the exported payload into the source (restoring
+            // any drained session bit-identically), then drop the
+            // target's copy. Only if the restore itself fails is state
+            // unrecoverable from the shards alone — surface the payload
+            // so the operator can re-import it by hand.
+            match from
+                .backend
+                .request("POST", "/admin/handoff/import", exported.as_bytes())
+            {
+                Ok((200, _)) => {
+                    let _ = to
+                        .backend
+                        .request("POST", "/admin/handoff/evict", users_body.as_bytes());
+                    Err(format!(
+                        "shard {}: {failure} (transfer aborted; source restored)",
+                        from.id
+                    ))
+                }
+                restore => {
+                    let restore_failure = match restore {
+                        Ok((status, body)) => format!("restore -> {status} {body}"),
+                        Err(e) => format!("restore: {e}"),
+                    };
+                    Err(format!(
+                        "shard {}: {failure}; {restore_failure}; shard {} holds an imported copy; \
+                         recover by re-importing this payload on shard {}: {exported}",
+                        from.id, to.id, from.id
+                    ))
+                }
+            }
+        }
     }
-    let count = parse_map(&imported)
-        .and_then(|m| serde::map_get(&m, "imported").and_then(value_u32))
-        .unwrap_or(0);
-    Ok(count as usize)
+}
+
+/// Rolls an aborted reshard's completed transfers back: each
+/// `(from, to, users)` move is re-applied in reverse. Errors are
+/// collected, not short-circuited — every pair gets its chance to go
+/// home.
+fn unwind_transfers<'a>(
+    moves: impl Iterator<Item = (&'a Shard, &'a Shard, &'a [u32])>,
+) -> Result<(), String> {
+    let mut errors = Vec::new();
+    for (from, to, users) in moves {
+        if let Err(e) = transfer(from, to, users) {
+            errors.push(e);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("; "))
+    }
 }

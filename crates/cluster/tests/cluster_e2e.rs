@@ -109,6 +109,16 @@ fn label_of(body: &str) -> &str {
     &body[start..end]
 }
 
+/// Whether an `/admin/sessions` body lists `user` (exact id match, not
+/// a substring hit).
+fn listed(sessions_body: &str, user: u32) -> bool {
+    let start = sessions_body.find('[').expect("users list") + 1;
+    let end = sessions_body[start..].find(']').expect("list close") + start;
+    sessions_body[start..end]
+        .split(',')
+        .any(|id| id.trim() == user.to_string())
+}
+
 // -------------------------------------------------------------- routing
 
 #[test]
@@ -330,8 +340,8 @@ fn reshard_3_to_4_restores_moved_sessions_bit_identically() {
         "no sessions would move — fixture too small"
     );
 
-    // Reference bytes: export each mover from its current owner, then
-    // import straight back (restore is part of the pin too).
+    // Reference bytes: export each mover from its current owner
+    // (export is a pure copy — the owner keeps serving the session).
     let shard_of = |id: u32| -> &Arc<ServerHandle> {
         match id {
             0 => &shards[0],
@@ -348,9 +358,6 @@ fn reshard_3_to_4_restores_moved_sessions_bit_identically() {
             format!("{{\"users\": [{user}]}}").as_bytes(),
         );
         assert_eq!(status, 200, "{exported}");
-        let (status, imported) =
-            shard_of(owner).dispatch("POST", "/admin/handoff/import", exported.as_bytes());
-        assert_eq!(status, 200, "{imported}");
         reference.push((user, exported));
     }
 
@@ -374,10 +381,14 @@ fn reshard_3_to_4_restores_moved_sessions_bit_identically() {
             &re_exported, expected,
             "user {user}: session bytes changed across the handoff"
         );
-        // Put it back so the stream can finish.
-        let (status, imported) =
-            joining.dispatch("POST", "/admin/handoff/import", re_exported.as_bytes());
-        assert_eq!(status, 200, "{imported}");
+        // And the old owner really evicted its copy — no stale
+        // duplicate left behind for a replay to resurrect.
+        let owner = ring_now.shard_of(*user).unwrap();
+        let (_, remaining) = shard_of(owner).dispatch("GET", "/admin/sessions", b"");
+        assert!(
+            !listed(&remaining, *user),
+            "user {user} still on old owner {owner}: {remaining}"
+        );
     }
 
     // Every stream — moved or not — finishes through the router with
@@ -424,6 +435,63 @@ fn reshard_3_to_4_restores_moved_sessions_bit_identically() {
 
 fn router_vnodes() -> usize {
     ClusterConfig::default().vnodes
+}
+
+/// A shard whose handoff import always fails: the reshard must abort
+/// WITHOUT losing a single session — every stream stays on its old
+/// owner and finishes with its full point count (the review-pinned
+/// failure mode was destructive export dropping state on a failed
+/// import).
+#[test]
+fn failed_import_aborts_reshard_losslessly() {
+    struct ImportRefused(LocalBackend);
+    impl traj_cluster::ShardBackend for ImportRefused {
+        fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
+            if path == "/admin/handoff/import" {
+                return Err("injected transport failure".to_owned());
+            }
+            self.0.request(method, path, body)
+        }
+    }
+
+    let (router, _shards) = local_cluster(&[0, 1], ClusterConfig::default());
+    let fx = fixture();
+    let half = fx.points.len() / 2;
+    let users: Vec<u32> = (0..20).collect();
+    for &user in &users {
+        let (status, response) = router.handle(
+            "POST",
+            "/ingest",
+            ingest_body(user, &fx.points[..half], false).as_bytes(),
+        );
+        assert_eq!(status, 200, "user {user}: {response}");
+    }
+
+    let broken = start_shard(3);
+    let result = router.add_shard(
+        3,
+        Box::new(ImportRefused(LocalBackend::new(Arc::clone(&broken)))),
+    );
+    assert!(result.is_err(), "reshard must fail");
+    assert_eq!(router.shard_ids(), vec![0, 1], "ring must not admit the shard");
+
+    // Nothing imported on the refused shard, and every stream finishes
+    // on its old owner with the full point count.
+    let (status, body) = broken.dispatch("GET", "/admin/sessions", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"users\": []"), "{body}");
+    for &user in &users {
+        let (status, response) = router.handle(
+            "POST",
+            "/ingest",
+            ingest_body(user, &fx.points[half..], true).as_bytes(),
+        );
+        assert_eq!(status, 200, "user {user}: {response}");
+        assert!(
+            response.contains(&format!("\"n_points\":{}", fx.points.len())),
+            "user {user} lost state across the aborted reshard: {response}"
+        );
+    }
 }
 
 // ------------------------------------------------------- HTTP front door

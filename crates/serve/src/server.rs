@@ -28,12 +28,13 @@ use crate::http::{read_request, write_response_with_retry, HttpError, Request};
 use crate::metrics::ServeMetrics;
 use crate::registry::{LoadedModel, ModelRegistry, Prediction};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use traj_ml::PredictError;
@@ -169,6 +170,13 @@ struct IngestRequest {
     points: Vec<PointDto>,
     /// Close the user's open segment after this batch.
     flush: Option<bool>,
+    /// Idempotency key. `/ingest` is not idempotent, so a proxy that
+    /// retries after an ambiguous transport failure (request possibly
+    /// applied, response lost) would double-apply the points. With a
+    /// key, a repeat of an already-applied `(user, idem)` replays the
+    /// recorded response instead of mutating the session again. The
+    /// cluster router stamps one on every forwarded request.
+    idem: Option<u64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -252,6 +260,41 @@ struct AppState {
     ready: AtomicBool,
     /// Set during boot when durability is configured.
     durability: OnceLock<DurabilityHandles>,
+    /// Replayed responses of recently applied keyed `/ingest` requests.
+    idem: Mutex<IdemCache>,
+}
+
+/// Bounded FIFO of `(user, idem key) → response` for `/ingest` retry
+/// dedupe. Only responses of requests that reached the engine are
+/// recorded — a replayed entry means "the points were applied; here is
+/// what you missed". The window only needs to cover a proxy's
+/// immediate-retry horizon, so a small cap suffices.
+#[derive(Default)]
+struct IdemCache {
+    responses: HashMap<(u32, u64), (u16, String)>,
+    order: VecDeque<(u32, u64)>,
+}
+
+impl IdemCache {
+    const CAP: usize = 1024;
+
+    fn get(&self, user: u32, key: u64) -> Option<(u16, String)> {
+        self.responses.get(&(user, key)).cloned()
+    }
+
+    fn put(&mut self, user: u32, key: u64, response: &(u16, String)) {
+        if self
+            .responses
+            .insert((user, key), response.clone())
+            .is_none()
+        {
+            self.order.push_back((user, key));
+        }
+        while self.order.len() > Self::CAP {
+            let oldest = self.order.pop_front().expect("len checked");
+            self.responses.remove(&oldest);
+        }
+    }
 }
 
 impl AppState {
@@ -353,6 +396,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", "/admin/sessions") => handle_sessions(state).into(),
         ("POST", "/admin/handoff/export") => handle_handoff_export(state, &request.body).into(),
         ("POST", "/admin/handoff/import") => handle_handoff_import(state, &request.body).into(),
+        ("POST", "/admin/handoff/evict") => handle_handoff_evict(state, &request.body).into(),
         ("POST", "/admin/drain") => {
             state.ready.store(false, Ordering::SeqCst);
             (200, "{\"ready\": false}".to_owned()).into()
@@ -554,6 +598,17 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
+    // A keyed request already applied replays its recorded response —
+    // the retry of a request whose response was lost in transit must
+    // not push the points into the session a second time. (A retry that
+    // races the still-executing original can slip past this check; the
+    // router only retries after the original's connection died, so that
+    // window is the tail of an already-failed request.)
+    if let Some(key) = parsed.idem {
+        if let Some(replay) = state.idem.lock().expect("idem poisoned").get(parsed.user, key) {
+            return replay;
+        }
+    }
     let Some(model) = state.model(parsed.model.as_deref()) else {
         return (404, error_body("unknown model"));
     };
@@ -569,6 +624,29 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
         );
     }
 
+    let response = ingest_apply(state, &parsed, &model, started);
+    // Record only now that the engine mutated state; the pure-read
+    // failures above are safe to re-attempt verbatim.
+    if let Some(key) = parsed.idem {
+        state
+            .idem
+            .lock()
+            .expect("idem poisoned")
+            .put(parsed.user, key, &response);
+    }
+    response
+}
+
+/// The stateful tail of `/ingest`: pushes the points into the engine
+/// and predicts every closed segment. Everything past the engine call
+/// mutates session state, so the caller records the response under the
+/// request's idempotency key no matter which branch returns.
+fn ingest_apply(
+    state: &AppState,
+    parsed: &IngestRequest,
+    model: &Arc<LoadedModel>,
+    started: Instant,
+) -> (u16, String) {
     let points = points_of(&parsed.points);
     let flush = parsed.flush.unwrap_or(false);
     let report = state.engine.ingest(parsed.user, &points, flush);
@@ -685,14 +763,24 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
-    if !text.len().is_multiple_of(2) {
+    // Work on bytes: indexing the &str would panic mid-character on
+    // multibyte UTF-8 client input.
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
         return Err("odd-length hex".to_owned());
     }
-    (0..text.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| format!("bad hex at byte {i}"))
-        })
+    let nibble = |b: u8, i: usize| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex at byte {i}")),
+        }
+    };
+    bytes
+        .chunks_exact(2)
+        .enumerate()
+        .map(|(pair, chunk)| Ok(nibble(chunk[0], pair * 2)? << 4 | nibble(chunk[1], pair * 2 + 1)?))
         .collect()
 }
 
@@ -765,10 +853,11 @@ fn handle_sessions(state: &AppState) -> (u16, String) {
     (200, format!("{{\"users\": [{list}]}}"))
 }
 
-/// `POST /admin/handoff/export`: drains the named sessions out of this
-/// shard's engine (logging WAL closes so a replay cannot resurrect
-/// them) and returns their codec bytes hex-encoded. Users without an
-/// open session are skipped — exporting is idempotent.
+/// `POST /admin/handoff/export`: returns the named sessions' codec
+/// bytes hex-encoded, without removing them — export is a pure read, so
+/// the source stays authoritative until an explicit
+/// `/admin/handoff/evict` after the import succeeded on the new owner.
+/// Users without an open session are skipped.
 fn handle_handoff_export(state: &AppState, body: &[u8]) -> (u16, String) {
     let parsed: HandoffExportRequest = match parse_json_body(body) {
         Ok(p) => p,
@@ -776,17 +865,36 @@ fn handle_handoff_export(state: &AppState, body: &[u8]) -> (u16, String) {
     };
     let sessions: Vec<SessionDto> = state
         .engine
-        .extract_sessions(&parsed.users)
+        .export_sessions(&parsed.users)
         .into_iter()
         .map(|(user, bytes)| SessionDto {
             user,
             hex: hex_encode(&bytes),
         })
         .collect();
-    state.sync_ingest_metrics();
     match serde_json::to_string(&sessions) {
         Ok(list) => (200, format!("{{\"sessions\": {list}}}")),
         Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /admin/handoff/evict`: drains the named sessions out of this
+/// shard's engine (logging WAL closes so a replay cannot resurrect
+/// them). The router calls this only after the new owner acknowledged
+/// the import, which is what makes the handoff lossless. Users without
+/// an open session are skipped — evicting is idempotent. A WAL failure
+/// aborts mid-list with 500 (already-evicted users stay evicted; the
+/// router compensates from the exported payload).
+fn handle_handoff_evict(state: &AppState, body: &[u8]) -> (u16, String) {
+    let parsed: HandoffExportRequest = match parse_json_body(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let result = state.engine.evict_sessions(&parsed.users);
+    state.sync_ingest_metrics();
+    match result {
+        Ok(evicted) => (200, format!("{{\"evicted\": {evicted}}}")),
+        Err(e) => (500, error_body(&e)),
     }
 }
 
@@ -1014,6 +1122,7 @@ pub fn serve(
         shard_id: config.shard_id,
         ready: AtomicBool::new(false),
         durability: OnceLock::new(),
+        idem: Mutex::new(IdemCache::default()),
     });
     let running = Arc::new(AtomicBool::new(true));
 
@@ -1466,14 +1575,20 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("[7,11]"), "{body}");
 
-        // Export 7 off the source and import it on the target.
+        // Export 7 off the source: a pure copy — the source still owns
+        // the session until the explicit evict below.
         let (status, export) = source.dispatch("POST", "/admin/handoff/export", b"{\"users\":[7]}");
         assert_eq!(status, 200, "{export}");
+        let (_, body) = source.dispatch("GET", "/admin/sessions", b"");
+        assert!(body.contains("[7,11]"), "export must not drain: {body}");
         let sessions = export.trim_start_matches("{\"sessions\": ");
         let import = format!("{{\"sessions\": {}", sessions);
         let (status, body) = target.dispatch("POST", "/admin/handoff/import", import.as_bytes());
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"imported\": 1"), "{body}");
+        let (status, body) = source.dispatch("POST", "/admin/handoff/evict", b"{\"users\":[7]}");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"evicted\": 1"), "{body}");
 
         let (_, body) = source.dispatch("GET", "/admin/sessions", b"");
         assert!(body.contains("[11]"), "{body}");
@@ -1502,16 +1617,57 @@ mod tests {
         let (status, body) = target.dispatch("POST", "/ingest", shifted.as_bytes());
         assert_eq!(status, 200, "{body}");
 
-        // Corrupt hex is a 422, not a panic.
+        // Corrupt hex is a 422, not a panic — including multibyte UTF-8,
+        // which would panic a byte-indexed &str slice mid-character.
         let (status, _) = target.dispatch(
             "POST",
             "/admin/handoff/import",
             b"{\"sessions\":[{\"user\":9,\"hex\":\"zz\"}]}",
         );
         assert_eq!(status, 422);
+        let (status, _) = target.dispatch(
+            "POST",
+            "/admin/handoff/import",
+            "{\"sessions\":[{\"user\":9,\"hex\":\"a\u{00e9}\u{00e9}a\"}]}".as_bytes(),
+        );
+        assert_eq!(status, 422);
 
         source.stop().expect("stop source");
         target.stop().expect("stop target");
+    }
+
+    #[test]
+    fn keyed_ingest_retry_replays_without_double_apply() {
+        let (registry, segs) = test_registry();
+        let mut handle = serve("127.0.0.1:0", registry, ServerConfig::default()).expect("bind");
+        let seg = segs.iter().find(|s| s.len() >= 10).expect("long segment");
+
+        // The same keyed request twice: the replay must return the
+        // recorded response and must NOT push the points again.
+        let body = body_of(seg).replacen('{', "{\"user\":3,\"idem\":42,", 1);
+        let (status, first) = handle.dispatch("POST", "/ingest", body.as_bytes());
+        assert_eq!(status, 200, "{first}");
+        let (status, replay) = handle.dispatch("POST", "/ingest", body.as_bytes());
+        assert_eq!(status, 200);
+        assert_eq!(first, replay, "replay must be the recorded response");
+        let (_, metrics) = handle.dispatch("GET", "/metrics", b"");
+        assert!(
+            metrics.contains(&format!("\"points_total\": {}", seg.len())),
+            "points were double-applied: {metrics}"
+        );
+
+        // A different key applies normally (fresh user: re-sending the
+        // same timestamps to user 3 would be dropped as stale).
+        let body2 = body_of(seg).replacen('{', "{\"user\":4,\"idem\":43,", 1);
+        let (status, second) = handle.dispatch("POST", "/ingest", body2.as_bytes());
+        assert_eq!(status, 200, "{second}");
+        let (_, metrics) = handle.dispatch("GET", "/metrics", b"");
+        assert!(
+            metrics.contains(&format!("\"points_total\": {}", 2 * seg.len())),
+            "{metrics}"
+        );
+
+        handle.stop().expect("stop");
     }
 
     #[test]

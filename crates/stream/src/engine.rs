@@ -440,29 +440,24 @@ impl StreamEngine {
         users
     }
 
-    /// Extracts (removes and encodes) the listed users' open sessions
-    /// for handoff to another engine. Users without an open session are
-    /// skipped. With a WAL attached, a [`WalRecord::Close`] is logged
-    /// per extracted session under its shard lock — after the handoff
-    /// this engine no longer owns the session, so its own replay must
-    /// not resurrect it. The encoding is the snapshot codec's
-    /// per-session byte string; [`StreamEngine::install_session_bytes`]
-    /// restores it bit-identically.
-    pub fn extract_sessions(&self, users: &[UserId]) -> Vec<(UserId, Vec<u8>)> {
-        let logging = self.wal.get().is_some();
+    /// Encodes (without removing) the listed users' open sessions for
+    /// handoff to another engine. Users without an open session are
+    /// skipped. Exporting is a pure read — the source stays
+    /// authoritative until [`StreamEngine::evict_sessions`] drains it —
+    /// so a failed handoff loses nothing. The encoding is the snapshot
+    /// codec's per-session byte string;
+    /// [`StreamEngine::install_session_bytes`] restores it
+    /// bit-identically.
+    pub fn export_sessions(&self, users: &[UserId]) -> Vec<(UserId, Vec<u8>)> {
         let mut out: Vec<(UserId, Vec<u8>)> = Vec::new();
         for &user in users {
             let shard_index = self.shard_of(user);
-            let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
-            let Some(entry) = shard.remove(&user) else {
+            let shard = self.shards[shard_index].lock().expect("shard poisoned");
+            let Some(entry) = shard.get(&user) else {
                 continue;
             };
             let mut bytes = Vec::new();
             entry.session.encode_into(&mut bytes);
-            if logging {
-                let mut error = None;
-                self.append_wal_batch(&[WalRecord::Close { user }.encoded()], &mut error);
-            }
             drop(shard);
             out.push((user, bytes));
         }
@@ -470,7 +465,42 @@ impl StreamEngine {
         out
     }
 
-    /// Installs a session extracted by [`StreamEngine::extract_sessions`]
+    /// Removes the listed users' open sessions after a handoff import
+    /// succeeded on the new owner. Users without an open session are
+    /// skipped. With a WAL attached, a [`WalRecord::Close`] is logged
+    /// per evicted session under its shard lock — this engine no longer
+    /// owns the session, so its own replay must not resurrect it. If
+    /// logging the Close fails the session is reinstalled and the error
+    /// returned: a silent failure here would leave a replay-resurrected
+    /// duplicate of state that now lives on another shard. Already
+    /// evicted users stay evicted (the caller retries or compensates
+    /// with the exported payload). Returns the number evicted.
+    pub fn evict_sessions(&self, users: &[UserId]) -> Result<usize, String> {
+        let logging = self.wal.get().is_some();
+        let mut evicted = 0usize;
+        for &user in users {
+            let shard_index = self.shard_of(user);
+            let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+            let Some(entry) = shard.remove(&user) else {
+                continue;
+            };
+            if logging {
+                let mut error = None;
+                self.append_wal_batch(&[WalRecord::Close { user }.encoded()], &mut error);
+                if let Some(e) = error {
+                    shard.insert(user, entry);
+                    return Err(format!(
+                        "user {user}: wal close append failed ({evicted} evicted before abort): {e}"
+                    ));
+                }
+            }
+            drop(shard);
+            evicted += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Installs a session exported by [`StreamEngine::export_sessions`]
     /// (or decoded from a snapshot), replacing any open session the user
     /// already has. Bypasses eviction and WAL logging — the next
     /// periodic snapshot makes the imported state durable.
@@ -669,12 +699,15 @@ mod tests {
 
         // Move users 1 and 4 (plus a non-existent 99, skipped) onto a
         // second engine and compare the combined state against an
-        // uninterrupted reference.
-        let moved = engine.extract_sessions(&[4, 1, 99]);
+        // uninterrupted reference. Export is a copy — the source keeps
+        // its sessions until the explicit evict.
+        let moved = engine.export_sessions(&[4, 1, 99]);
         assert_eq!(
             moved.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
             vec![1, 4]
         );
+        assert_eq!(engine.open_users(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(engine.evict_sessions(&[4, 1, 99]), Ok(2));
         assert_eq!(engine.open_users(), vec![0, 2, 3, 5]);
 
         let target = StreamEngine::new(StreamConfig::default());
