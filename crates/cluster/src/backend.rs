@@ -3,13 +3,16 @@
 //! The router is written against [`ShardBackend`] only, so the same
 //! routing, rollout and handoff logic fronts in-process multi-instance
 //! deployments (tests, benchmarks, single-box fan-out) and real
-//! `traj-serve` processes over the existing std-net HTTP layer.
+//! `traj-serve` processes over HTTP. The HTTP transport multiplexes on
+//! the shared [`traj_net::NetClient`] event loop: callers block for
+//! their response (the router's forwarding contract is synchronous),
+//! but the sockets themselves are serviced by one background thread,
+//! so a stalled shard never pins the calling thread inside a write.
 
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
-use traj_serve::http::client_request;
+use traj_net::NetClient;
 use traj_serve::ServerHandle;
 
 /// One request to one shard. Implementations return `Err` only for
@@ -50,13 +53,14 @@ impl ShardBackend for LocalBackend {
     }
 }
 
-/// HTTP backend over the workspace's std-net layer: one pooled
-/// keep-alive connection per shard, re-established on failure.
+/// HTTP backend over the shared [`NetClient`] multiplexer: keep-alive
+/// connections to the shard are pooled per address and reused across
+/// every backend pointing at it, re-established on failure.
 pub struct HttpBackend {
     addr: SocketAddr,
     read_timeout: Duration,
-    /// The pooled connection; `None` until first use or after a failure.
-    conn: Mutex<Option<BufReader<TcpStream>>>,
+    /// The pool key — all connections to one shard share a bucket.
+    pool_key: String,
 }
 
 impl HttpBackend {
@@ -65,16 +69,13 @@ impl HttpBackend {
         HttpBackend {
             addr,
             read_timeout,
-            conn: Mutex::new(None),
+            pool_key: addr.to_string(),
         }
     }
 
-    fn connect(&self) -> Result<BufReader<TcpStream>, String> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.read_timeout)
-            .map_err(|e| format!("connecting {}: {e}", self.addr))?;
-        let _ = stream.set_read_timeout(Some(self.read_timeout));
-        let _ = stream.set_nodelay(true);
-        Ok(BufReader::new(stream))
+    fn connect(&self) -> Result<TcpStream, String> {
+        TcpStream::connect_timeout(&self.addr, self.read_timeout)
+            .map_err(|e| format!("connecting {}: {e}", self.addr))
     }
 }
 
@@ -93,41 +94,43 @@ impl ShardBackend for HttpBackend {
     fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
         let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 body".to_owned())?;
         let payload = if text.is_empty() { None } else { Some(text) };
+        let rendered = traj_net::render_request(method, path, payload);
+        let client = NetClient::global();
         if !resendable(method, path) {
             // Non-idempotent: never reuse a pooled connection (a stale
             // keep-alive failure would be indistinguishable from the
             // shard dying mid-request) and never re-send. One fresh
-            // connection, one attempt, the outcome reported verbatim.
-            let mut conn = self.connect()?;
-            return client_request(&mut conn, method, path, payload)
+            // connection, one attempt, the outcome reported verbatim —
+            // no pool key, so the connection is closed after the reply.
+            let stream = self.connect()?;
+            return client
+                .execute(stream, rendered, self.read_timeout, None)
                 .map_err(|e| format!("{} {path} on {}: {e}", method, self.addr));
         }
-        let mut guard = self.conn.lock().expect("backend poisoned");
-        // A pooled connection may have been closed by the server's idle
-        // timeout; retry exactly once on a fresh connection. A failure
+        // A pooled connection may have been closed by the shard's idle
+        // reaper; retry exactly once on a fresh connection. A failure
         // on the fresh connection is the shard's problem, reported up
         // for the router's bounded-backoff retry policy.
-        let reused = guard.is_some();
-        if guard.is_none() {
-            *guard = Some(self.connect()?);
-        }
-        match client_request(guard.as_mut().expect("just set"), method, path, payload) {
-            Ok(response) => Ok(response),
-            Err(first) => {
-                *guard = None;
-                if !reused {
-                    return Err(format!("{} {path} on {}: {first}", method, self.addr));
-                }
-                *guard = Some(self.connect()?);
-                match client_request(guard.as_mut().expect("just set"), method, path, payload) {
-                    Ok(response) => Ok(response),
-                    Err(e) => {
-                        *guard = None;
-                        Err(format!("{} {path} on {}: {e}", method, self.addr))
-                    }
-                }
+        if let Some(stream) = client.take_pooled(&self.pool_key) {
+            match client.execute(
+                stream,
+                rendered.clone(),
+                self.read_timeout,
+                Some(self.pool_key.clone()),
+            ) {
+                Ok(response) => return Ok(response),
+                Err(_stale) => {} // fall through to the fresh attempt
             }
         }
+        let stream = self.connect()?;
+        client
+            .execute(
+                stream,
+                rendered,
+                self.read_timeout,
+                Some(self.pool_key.clone()),
+            )
+            .map_err(|e| format!("{} {path} on {}: {e}", method, self.addr))
     }
 
     fn addr(&self) -> Option<SocketAddr> {

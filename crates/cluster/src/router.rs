@@ -23,13 +23,11 @@ use crate::ring::HashRing;
 use crate::rollout::RolloutState;
 use serde::Value;
 use std::collections::BTreeMap;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use traj_serve::http::{read_request, write_response_with_retry, HttpError};
 
 /// Router tunables.
 #[derive(Debug, Clone)]
@@ -52,8 +50,15 @@ pub struct ClusterConfig {
     pub reprobe_after: Duration,
     /// Largest accepted request body on the router's own HTTP server.
     pub max_body_bytes: usize,
-    /// Socket read timeout of the router's own HTTP server.
+    /// Idle/slow-client deadline of the router's own HTTP server (and
+    /// the per-request timeout of its shard-facing HTTP backends).
     pub read_timeout: Duration,
+    /// Worker threads of the router's own HTTP server. Forwarding
+    /// blocks on the shard, so this bounds concurrent forwards — open
+    /// client connections are free (they live on the reactor thread).
+    pub http_workers: usize,
+    /// Open-connection cap of the router's own HTTP server.
+    pub max_connections: usize,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +72,8 @@ impl Default for ClusterConfig {
             reprobe_after: Duration::from_secs(1),
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
+            http_workers: 8,
+            max_connections: 16 * 1024,
         }
     }
 }
@@ -151,6 +158,9 @@ struct RouterState {
     /// within a shard's dedupe window) plus a per-request counter.
     idem_base: u64,
     idem_counter: AtomicU64,
+    /// The HTTP front door's reactor counters (set when `serve_http`
+    /// runs); fanned into `/metrics` as the router's own `"net"`.
+    http_net: OnceLock<Arc<traj_net::NetStats>>,
 }
 
 impl RouterState {
@@ -213,6 +223,7 @@ impl ClusterRouter {
                     .duration_since(std::time::UNIX_EPOCH)
                     .map_or(0, |d| d.as_nanos() as u64),
                 idem_counter: AtomicU64::new(0),
+                http_net: OnceLock::new(),
             }),
         }
     }
@@ -601,7 +612,10 @@ impl ClusterRouter {
                 return (503, error_body("no shards"));
             };
             let shard = Arc::clone(table.shards.get(&owner).expect("ring member in table"));
-            match shard.backend.request("POST", "/ingest", forwarded.as_bytes()) {
+            match shard
+                .backend
+                .request("POST", "/ingest", forwarded.as_bytes())
+            {
                 // 503 = owner still starting or draining: retry below.
                 Ok((503, response)) => {
                     shard.mark_up();
@@ -725,10 +739,18 @@ impl ClusterRouter {
     /// labels (id + artifact versions) survive aggregation untouched.
     fn metrics_fanin(&self) -> (u16, String) {
         let m = &self.state.metrics;
+        // The router's own reactor counters, when its HTTP front door is
+        // up — kept apart from the shards' `"net"` sections, which
+        // travel inside each shard document below.
+        let net = self
+            .state
+            .http_net
+            .get()
+            .map_or(String::new(), |n| format!(", \"net\": {}", n.render_json()));
         let router = format!(
             "{{\"requests_total\": {}, \"forwarded_predict\": {}, \"forwarded_predict_batch\": {}, \
              \"forwarded_ingest\": {}, \"retries\": {}, \"failovers\": {}, \"unavailable_503\": {}, \
-             \"reshards\": {}, \"handoff_sessions_moved\": {}, \"rollout\": {}}}",
+             \"reshards\": {}, \"handoff_sessions_moved\": {}, \"rollout\": {}{net}}}",
             m.requests_total.load(Ordering::Relaxed),
             m.forwarded_predict.load(Ordering::Relaxed),
             m.forwarded_batch.load(Ordering::Relaxed),
@@ -812,76 +834,58 @@ impl ClusterRouter {
     }
 
     /// Binds the router's own HTTP server: the same front door as
-    /// [`ClusterRouter::handle`], over the workspace's std-net HTTP
-    /// layer. One thread per connection — the router's work per request
-    /// is forwarding, which blocks on the shard anyway.
+    /// [`ClusterRouter::handle`], served by a [`traj_net`] connection
+    /// reactor. One event-loop thread multiplexes every client
+    /// connection; complete requests run on a small dedicated pool
+    /// (`http_workers` threads), which bounds concurrent shard fan-out
+    /// while idle keep-alive clients cost nothing but a descriptor.
     pub fn serve_http(&self, addr: &str) -> Result<RouterHttpHandle, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
         let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
-        let running = Arc::new(AtomicBool::new(true));
-        let accept_running = Arc::clone(&running);
-        let router = self.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("traj-cluster-accept".to_owned())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if !accept_running.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let conn_router = router.clone();
-                    let conn_running = Arc::clone(&accept_running);
-                    let _ = std::thread::Builder::new()
-                        .name("traj-cluster-conn".to_owned())
-                        .spawn(move || handle_connection(stream, &conn_router, &conn_running));
-                }
-            })
-            .map_err(|e| format!("spawning router acceptor: {e}"))?;
+        let config = &self.state.config;
+        let runtime = Arc::new(traj_runtime::Runtime::named(
+            config.http_workers.max(1),
+            "traj-cluster",
+        ));
+        let service = Arc::new(RouterService {
+            router: self.clone(),
+            runtime: Arc::clone(&runtime),
+        });
+        let reactor = traj_net::spawn(
+            listener,
+            traj_net::ReactorConfig {
+                name: "traj-cluster".to_owned(),
+                max_body_bytes: config.max_body_bytes,
+                idle_timeout: config.read_timeout,
+                max_connections: config.max_connections,
+                ..traj_net::ReactorConfig::default()
+            },
+            service,
+        )
+        .map_err(|e| format!("spawning router reactor: {e}"))?;
+        let _ = self.state.http_net.set(reactor.stats());
         Ok(RouterHttpHandle {
             addr: local_addr,
-            running,
-            accept_thread: Some(accept_thread),
+            reactor: Some(reactor),
+            runtime: Some(runtime),
         })
     }
 }
 
-/// Serves one (possibly keep-alive) connection against the router.
-fn handle_connection(stream: TcpStream, router: &ClusterRouter, running: &AtomicBool) {
-    let config = &router.state.config;
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    while running.load(Ordering::SeqCst) {
-        match read_request(&mut reader, config.max_body_bytes) {
-            Ok(None) => return,
-            Ok(Some(request)) => {
-                let (status, body) = router.handle(&request.method, &request.path, &request.body);
-                if write_response_with_retry(&mut writer, status, &body, request.keep_alive, None)
-                    .is_err()
-                    || !request.keep_alive
-                {
-                    return;
-                }
-            }
-            Err(error) => {
-                if let Some((status, message)) = error.status() {
-                    let _ = write_response_with_retry(
-                        &mut writer,
-                        status,
-                        &error_body(&message),
-                        false,
-                        None,
-                    );
-                } else if matches!(error, HttpError::Io(_)) {
-                    // Idle keep-alive timeout or client hangup.
-                }
-                return;
-            }
-        }
+/// The reactor→router bridge: every complete client request becomes one
+/// forwarding task on the router's HTTP pool.
+struct RouterService {
+    router: ClusterRouter,
+    runtime: Arc<traj_runtime::Runtime>,
+}
+
+impl traj_net::Service for RouterService {
+    fn call(&self, request: traj_net::Request, responder: traj_net::Responder) {
+        let router = self.router.clone();
+        self.runtime.spawn(move || {
+            let (status, body) = router.handle(&request.method, &request.path, &request.body);
+            responder.send(status, body, None);
+        });
     }
 }
 
@@ -910,8 +914,8 @@ impl Drop for HealthCheckerHandle {
 /// The router's HTTP front door; stops on drop.
 pub struct RouterHttpHandle {
     addr: SocketAddr,
-    running: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<traj_net::ReactorHandle>,
+    runtime: Option<Arc<traj_runtime::Runtime>>,
 }
 
 impl RouterHttpHandle {
@@ -920,16 +924,13 @@ impl RouterHttpHandle {
         self.addr
     }
 
-    /// Stops accepting and joins the acceptor. Connection threads are
-    /// detached; they exit on their next read timeout.
+    /// Stops accepting, drains in-flight forwards (bounded by the
+    /// reactor's drain grace) and joins the reactor and worker pool.
     pub fn stop(&mut self) {
-        if !self.running.swap(false, Ordering::SeqCst) {
-            return;
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.runtime.take();
     }
 }
 
@@ -1043,9 +1044,9 @@ fn transfer(from: &Shard, to: &Shard, users: &[u32]) -> Result<usize, String> {
                 .request("POST", "/admin/handoff/import", exported.as_bytes())
             {
                 Ok((200, _)) => {
-                    let _ = to
-                        .backend
-                        .request("POST", "/admin/handoff/evict", users_body.as_bytes());
+                    let _ =
+                        to.backend
+                            .request("POST", "/admin/handoff/evict", users_body.as_bytes());
                     Err(format!(
                         "shard {}: {failure} (transfer aborted; source restored)",
                         from.id

@@ -473,7 +473,11 @@ fn failed_import_aborts_reshard_losslessly() {
         Box::new(ImportRefused(LocalBackend::new(Arc::clone(&broken)))),
     );
     assert!(result.is_err(), "reshard must fail");
-    assert_eq!(router.shard_ids(), vec![0, 1], "ring must not admit the shard");
+    assert_eq!(
+        router.shard_ids(),
+        vec![0, 1],
+        "ring must not admit the shard"
+    );
 
     // Nothing imported on the refused shard, and every stream finishes
     // on its old owner with the full point count.

@@ -70,7 +70,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20         [--name NAME] [--version V] [--model KIND] [--scheme raw|dabiri|endo]\n\
                  \x20         [--top-k K] [--extended] [--seed S]\n\
                  \x20 serve   (--artifacts DIR | --artifact FILE.json) [--addr HOST:PORT]\n\
-                 \x20         [--workers N] [--scheduler adaptive|fixed] [--slo-ms MS]\n\
+                 \x20         [--workers N] [--idle-timeout-s SECS]\n\
+                 \x20         [--scheduler adaptive|fixed] [--slo-ms MS]\n\
                  \x20         [--queue-cap N] [--batch-max N] [--batch-delay-ms MS]\n\
                  \x20         [--ingest-gap-s SECS] [--ingest-min-points N] [--ingest-exact-cap N]\n\
                  \x20         [--ingest-max-sessions N] [--ingest-idle-s SECS]\n\
@@ -331,6 +332,14 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
 
     let mut config = ServerConfig::default();
     config.workers = parsed(opts, "workers", config.workers)?;
+    // Idle/slow-client deadline of the connection reactor. Soak runs
+    // that park idle keep-alive connections (loadgen --idle) need this
+    // above their duration, or the reaper closes the herd mid-run.
+    config.read_timeout = Duration::from_secs(parsed(
+        opts,
+        "idle-timeout-s",
+        config.read_timeout.as_secs(),
+    )?);
     // Scheduler: adaptive (deadline-aware, the default) or the fixed
     // size-or-delay baseline. Passing --batch-delay-ms implies fixed,
     // since only the fixed policy has a delay knob.

@@ -1,0 +1,828 @@
+//! The connection reactor: one thread owns accept, read and write for
+//! every connection on a listener, so an open connection costs a file
+//! descriptor and a couple of kilobytes of state instead of a parked
+//! worker thread.
+//!
+//! Ownership model:
+//!
+//! ```text
+//!   kernel ── epoll ──► reactor thread ──► Service::call(request, responder)
+//!                           ▲                      │ (spawns onto the worker pool)
+//!                           │                      ▼
+//!                        waker pipe ◄── Responder::send(status, body)
+//! ```
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!   Reading ──complete request──► InFlight ──completion──► Writing
+//!      ▲                                                      │
+//!      └────────────── response flushed, keep-alive ──────────┘
+//! ```
+//!
+//! While a request is in flight the connection's read interest is
+//! dropped, which is the backpressure: a client cannot queue a second
+//! request into the service until the first response has been written
+//! back (pipelined bytes simply wait in the kernel and the parse
+//! buffer). Admission control stays where it was — the service layer
+//! sheds with 429 — the reactor only bounds *connections* (cap, head
+//! and body sizes, idle and write-stall deadlines).
+//!
+//! The reactor thread must never block: `Service::call` runs on it, so
+//! implementations hand the actual work to a pool and return. The
+//! [`Responder`] can be completed from any thread; it enqueues the
+//! response and tickles the waker pipe.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http1::{self, Poll, Request, RequestParser};
+use crate::stats::NetStats;
+use crate::sys::{Event, Interest, Poller};
+
+/// Token for the listener fd.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for the waker pipe's read end.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// How long to stop accepting after the process runs out of fds.
+const ACCEPT_COOLOFF: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for a reactor.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Thread-name stem, e.g. `"traj-serve"` → thread `traj-serve-net`.
+    pub name: String,
+    /// Request line + headers cap (431 beyond it).
+    pub max_head_bytes: usize,
+    /// Body cap (413 beyond it).
+    pub max_body_bytes: usize,
+    /// A connection making no read progress for this long is reaped:
+    /// 408 if mid-request (slow-loris), silent close if idle keep-alive.
+    pub idle_timeout: Duration,
+    /// A response write making no progress for this long closes the
+    /// connection (slow-reading client).
+    pub write_stall_timeout: Duration,
+    /// Open-connection cap; accepts beyond it get a 503 and a close.
+    pub max_connections: usize,
+    /// On shutdown, how long to keep draining in-flight responses.
+    pub drain_grace: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            name: "traj".to_owned(),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(10),
+            write_stall_timeout: Duration::from_secs(10),
+            max_connections: 16 * 1024,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the reactor calls with each complete request. Runs **on the
+/// reactor thread** — implementations must not block; hand the work to
+/// a pool and complete the [`Responder`] from there.
+pub trait Service: Send + Sync + 'static {
+    /// Handles one request; the response goes through `responder`.
+    fn call(&self, request: Request, responder: Responder);
+}
+
+impl<F> Service for F
+where
+    F: Fn(Request, Responder) + Send + Sync + 'static,
+{
+    fn call(&self, request: Request, responder: Responder) {
+        self(request, responder)
+    }
+}
+
+/// One-shot reply handle for an in-flight request. Dropping it without
+/// sending produces a 500, so a panicking worker cannot wedge the
+/// connection in the in-flight state forever.
+#[derive(Debug)]
+pub struct Responder {
+    inner: Option<(Arc<Injector>, u64)>,
+}
+
+impl Responder {
+    /// Completes the request. Connection reuse follows the *request's*
+    /// keep-alive flag (tracked by the reactor), matching the blocking
+    /// path's behaviour.
+    pub fn send(mut self, status: u16, body: String, retry_after: Option<Duration>) {
+        if let Some((injector, token)) = self.inner.take() {
+            injector.push(Msg::Complete {
+                token,
+                status,
+                body,
+                retry_after,
+            });
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some((injector, token)) = self.inner.take() {
+            injector.push(Msg::Complete {
+                token,
+                status: 500,
+                body: http1::render_error_body("response handler dropped"),
+                retry_after: None,
+            });
+        }
+    }
+}
+
+/// Cross-thread mailbox into the reactor loop.
+#[derive(Debug)]
+struct Injector {
+    queue: Mutex<VecDeque<Msg>>,
+    waker: UnixStream,
+}
+
+#[derive(Debug)]
+enum Msg {
+    Complete {
+        token: u64,
+        status: u16,
+        body: String,
+        retry_after: Option<Duration>,
+    },
+    Shutdown,
+}
+
+impl Injector {
+    fn push(&self, msg: Msg) {
+        self.queue.lock().expect("injector poisoned").push_back(msg);
+        // A full pipe already guarantees a pending wakeup.
+        let _ = (&self.waker).write(&[1]);
+    }
+
+    fn drain(&self) -> Vec<Msg> {
+        let mut q = self.queue.lock().expect("injector poisoned");
+        q.drain(..).collect()
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    Reading,
+    InFlight,
+    Writing,
+    /// Error response delivered, write side shut; reads are drained and
+    /// discarded until the peer's EOF so an in-flight client write never
+    /// turns the close into an RST that beats the response to the peer.
+    Lingering,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    phase: Phase,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    then_close: bool,
+    keep_alive: bool,
+    last_activity: Instant,
+    write_progress: Instant,
+    write_queued: Option<Instant>,
+    read_started: Option<Instant>,
+    peer_closed: bool,
+    served: u64,
+}
+
+/// Handle to a running reactor; shutting down drains in-flight
+/// responses (bounded by `drain_grace`) before the thread exits.
+#[derive(Debug)]
+pub struct ReactorHandle {
+    addr: SocketAddr,
+    stats: Arc<NetStats>,
+    injector: Arc<Injector>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReactorHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The reactor's counters, for `/metrics`.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting, drains in-flight responses, joins the thread.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.injector.push(Msg::Shutdown);
+        let handle = self.thread.lock().expect("reactor handle poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns the reactor thread for `listener` and returns its handle.
+pub fn spawn(
+    listener: TcpListener,
+    config: ReactorConfig,
+    service: Arc<dyn Service>,
+) -> io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let (waker_rx, waker_tx) = UnixStream::pair()?;
+    waker_rx.set_nonblocking(true)?;
+    waker_tx.set_nonblocking(true)?;
+    let injector = Arc::new(Injector {
+        queue: Mutex::new(VecDeque::new()),
+        waker: waker_tx,
+    });
+    let stats = Arc::new(NetStats::new());
+
+    let mut reactor = Reactor {
+        poller: Poller::new()?,
+        listener,
+        waker_rx,
+        service,
+        stats: Arc::clone(&stats),
+        injector: Arc::clone(&injector),
+        config: config.clone(),
+        slots: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        occupied: 0,
+        accept_paused_until: None,
+        shutting_down: false,
+        drain_deadline: None,
+    };
+    reactor
+        .poller
+        .add(reactor.listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER)?;
+    reactor
+        .poller
+        .add(reactor.waker_rx.as_raw_fd(), Interest::READ, TOKEN_WAKER)?;
+
+    let thread = std::thread::Builder::new()
+        .name(format!("{}-net", config.name))
+        .spawn(move || reactor.run())?;
+
+    Ok(ReactorHandle {
+        addr,
+        stats,
+        injector,
+        thread: Mutex::new(Some(thread)),
+    })
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    waker_rx: UnixStream,
+    service: Arc<dyn Service>,
+    stats: Arc<NetStats>,
+    injector: Arc<Injector>,
+    config: ReactorConfig,
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    occupied: usize,
+    accept_paused_until: Option<Instant>,
+    shutting_down: bool,
+    drain_deadline: Option<Instant>,
+}
+
+fn pack_token(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn unpack_token(token: u64) -> (usize, u32) {
+    ((token & 0xffff_ffff) as usize, (token >> 32) as u32)
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        // Waking often enough that a deadline overshoots by at most a
+        // quarter of itself; bounded below so tight test deadlines stay
+        // accurate and above so an idle reactor costs ~10 wakeups/s.
+        let tick = (self
+            .config
+            .idle_timeout
+            .min(self.config.write_stall_timeout)
+            / 4)
+        .clamp(Duration::from_millis(5), Duration::from_millis(100));
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if let Err(e) = self.poller.wait(&mut events, Some(tick)) {
+                eprintln!("[{}-net] poller failed: {e}", self.config.name);
+                break;
+            }
+            let drained = std::mem::take(&mut events);
+            for ev in &drained {
+                self.dispatch_event(ev);
+            }
+            events = drained;
+            for msg in self.injector.drain() {
+                match msg {
+                    Msg::Complete {
+                        token,
+                        status,
+                        body,
+                        retry_after,
+                    } => self.complete(token, status, body, retry_after),
+                    Msg::Shutdown => self.begin_shutdown(),
+                }
+            }
+            self.reap_deadlines();
+            self.maybe_resume_accepts();
+            if self.shutting_down {
+                let done = self.occupied == 0
+                    || self
+                        .drain_deadline
+                        .map(|d| Instant::now() >= d)
+                        .unwrap_or(true);
+                if done {
+                    break;
+                }
+            }
+        }
+        // Remaining connections close on drop.
+    }
+
+    fn dispatch_event(&mut self, ev: &Event) {
+        match ev.token {
+            TOKEN_LISTENER => self.accept_ready(),
+            TOKEN_WAKER => {
+                let mut buf = [0u8; 64];
+                while matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {}
+            }
+            token => {
+                let (idx, gen) = unpack_token(token);
+                // A recycled slot's generation won't match a stale event.
+                if idx >= self.slots.len() || self.gens[idx] != gen {
+                    return;
+                }
+                if self.slots[idx].is_none() {
+                    return;
+                }
+                if ev.failed {
+                    // Drain what the kernel still buffers first, so the
+                    // abort-vs-idle distinction sees the real parser
+                    // state (a HUP can arrive before the data event).
+                    self.conn_readable(idx);
+                    if let Some(conn) = self.slots[idx].as_ref() {
+                        // Lingering conns already got their (error)
+                        // response; their hangup is the expected end of
+                        // the exchange, not an abort.
+                        let delivered = conn.phase == Phase::Lingering;
+                        if !delivered && (conn.phase != Phase::Reading || conn.parser.mid_request())
+                        {
+                            self.stats.client_aborts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.close(idx);
+                    }
+                    return;
+                }
+                if ev.readable {
+                    self.conn_readable(idx);
+                }
+                if ev.writable && self.slots[idx].is_some() {
+                    self.conn_writable(idx);
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        if self.shutting_down || self.accept_paused_until.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.stats.accepts.fetch_add(1, Ordering::Relaxed);
+                    if self.occupied >= self.config.max_connections {
+                        self.stats.accept_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nonblocking(true);
+                        let reply = http1::render_response(
+                            503,
+                            &http1::render_error_body("connection limit reached"),
+                            false,
+                            None,
+                        );
+                        let _ = (&stream).write(&reply);
+                        continue; // dropped: closed
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.insert_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    // Out of fds: stop accepting briefly instead of
+                    // spinning on a level-triggered listener event.
+                    if matches!(e.raw_os_error(), Some(23) | Some(24)) {
+                        let _ = self.poller.remove(self.listener.as_raw_fd());
+                        self.accept_paused_until = Some(Instant::now() + ACCEPT_COOLOFF);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn maybe_resume_accepts(&mut self) {
+        if let Some(until) = self.accept_paused_until {
+            if Instant::now() >= until && !self.shutting_down {
+                self.accept_paused_until = None;
+                let _ = self
+                    .poller
+                    .add(self.listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER);
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) {
+        let now = Instant::now();
+        let conn = Conn {
+            stream,
+            parser: RequestParser::new(self.config.max_head_bytes, self.config.max_body_bytes),
+            phase: Phase::Reading,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            then_close: false,
+            keep_alive: true,
+            last_activity: now,
+            write_progress: now,
+            write_queued: None,
+            read_started: None,
+            peer_closed: false,
+            served: 0,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        let token = pack_token(idx, self.gens[idx]);
+        let fd = self.slots[idx]
+            .as_ref()
+            .expect("just inserted")
+            .stream
+            .as_raw_fd();
+        if let Err(e) = self.poller.add(fd, Interest::READ, token) {
+            eprintln!("[{}-net] register failed: {e}", self.config.name);
+            self.slots[idx] = None;
+            self.free.push(idx);
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            return;
+        }
+        self.occupied += 1;
+        self.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close(&mut self, idx: usize) {
+        if self.slots[idx].take().is_some() {
+            // Closing the fd drops it from epoll automatically.
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.occupied -= 1;
+            self.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn set_interest(&mut self, idx: usize, interest: Interest) {
+        let token = pack_token(idx, self.gens[idx]);
+        if let Some(conn) = self.slots[idx].as_ref() {
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), interest, token);
+        }
+    }
+
+    fn conn_readable(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].as_mut() else {
+            return;
+        };
+        if conn.phase == Phase::Lingering {
+            // Post-reject drain: discard everything until EOF or error,
+            // then the connection can finally close without an RST.
+            let mut buf = [0u8; 16 * 1024];
+            let done = loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => break true,
+                    Ok(_) => conn.last_activity = Instant::now(),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            };
+            if done {
+                self.close(idx);
+            }
+            return;
+        }
+        if conn.phase != Phase::Reading {
+            // Only EPOLLRDHUP can get here: remember the half-close so
+            // the eventual response write knows not to expect a reader
+            // forever, but still deliver it — the peer may only have
+            // shut its write side.
+            conn.peer_closed = true;
+            return;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let mut saw_eof = false;
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if conn.read_started.is_none() {
+                        conn.read_started = Some(Instant::now());
+                    }
+                    conn.last_activity = Instant::now();
+                    conn.parser.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    if conn.parser.mid_request() {
+                        self.stats.client_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+        self.advance_parser(idx);
+        if saw_eof {
+            if let Some(conn) = self.slots[idx].as_mut() {
+                conn.peer_closed = true;
+                if conn.phase == Phase::Reading {
+                    if conn.parser.mid_request() {
+                        self.stats.client_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.close(idx);
+                }
+            }
+        }
+    }
+
+    /// Polls the parser while the connection is in the reading phase;
+    /// dispatches at most one request (single in-flight per connection
+    /// is the backpressure contract).
+    fn advance_parser(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].as_mut() else {
+            return;
+        };
+        if conn.phase != Phase::Reading {
+            return;
+        }
+        match conn.parser.poll() {
+            Poll::NeedMore => {}
+            Poll::Ready(request) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                if conn.served > 0 {
+                    self.stats
+                        .keepalive_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                conn.served += 1;
+                if let Some(started) = conn.read_started.take() {
+                    self.stats
+                        .request_read_us
+                        .record(started.elapsed().as_micros() as u64);
+                }
+                conn.keep_alive = request.keep_alive;
+                conn.phase = Phase::InFlight;
+                let token = pack_token(idx, self.gens[idx]);
+                self.set_interest(idx, Interest::NONE);
+                let responder = Responder {
+                    inner: Some((Arc::clone(&self.injector), token)),
+                };
+                let service = Arc::clone(&self.service);
+                service.call(request, responder);
+            }
+            Poll::Error(reject) => {
+                match reject.status {
+                    413 => self.stats.rejects_413.fetch_add(1, Ordering::Relaxed),
+                    431 => self.stats.rejects_431.fetch_add(1, Ordering::Relaxed),
+                    _ => self.stats.rejects_400.fetch_add(1, Ordering::Relaxed),
+                };
+                let wire = http1::render_response(
+                    reject.status,
+                    &http1::render_error_body(reject.message),
+                    false,
+                    None,
+                );
+                self.start_write(idx, wire, true);
+            }
+        }
+    }
+
+    fn complete(&mut self, token: u64, status: u16, body: String, retry_after: Option<Duration>) {
+        let (idx, gen) = unpack_token(token);
+        let live = idx < self.slots.len() && self.gens[idx] == gen && self.slots[idx].is_some();
+        if !live {
+            self.stats.dropped_responses.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let keep_alive = self.slots[idx]
+            .as_ref()
+            .map(|c| c.keep_alive)
+            .unwrap_or(false);
+        let wire = http1::render_response(status, &body, keep_alive, retry_after);
+        self.start_write(idx, wire, !keep_alive);
+    }
+
+    fn start_write(&mut self, idx: usize, wire: Vec<u8>, then_close: bool) {
+        let Some(conn) = self.slots[idx].as_mut() else {
+            return;
+        };
+        let now = Instant::now();
+        conn.write_buf = wire;
+        conn.write_pos = 0;
+        conn.then_close = then_close;
+        conn.phase = Phase::Writing;
+        conn.write_queued = Some(now);
+        conn.write_progress = now;
+        self.conn_writable(idx);
+        if self.slots[idx].as_ref().map(|c| c.phase == Phase::Writing) == Some(true) {
+            self.set_interest(idx, Interest::WRITE);
+        }
+    }
+
+    fn conn_writable(&mut self, idx: usize) {
+        let finished = {
+            let Some(conn) = self.slots[idx].as_mut() else {
+                return;
+            };
+            if conn.phase != Phase::Writing {
+                return;
+            }
+            loop {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => break Some(false),
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        conn.write_progress = Instant::now();
+                        if conn.write_pos == conn.write_buf.len() {
+                            break Some(true);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break None,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break Some(false),
+                }
+            }
+        };
+        match finished {
+            None => {} // WouldBlock: wait for writable.
+            Some(false) => {
+                self.stats.client_aborts.fetch_add(1, Ordering::Relaxed);
+                self.stats.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                self.close(idx);
+            }
+            Some(true) => {
+                self.stats.responses.fetch_add(1, Ordering::Relaxed);
+                let (then_close, peer_closed, buffered) = {
+                    let conn = self.slots[idx].as_mut().expect("conn vanished mid-write");
+                    if let Some(queued) = conn.write_queued.take() {
+                        self.stats
+                            .response_write_us
+                            .record(queued.elapsed().as_micros() as u64);
+                    }
+                    conn.write_buf = Vec::new();
+                    conn.write_pos = 0;
+                    (
+                        conn.then_close,
+                        conn.peer_closed,
+                        conn.parser.has_buffered(),
+                    )
+                };
+                if peer_closed || self.shutting_down {
+                    self.close(idx);
+                    return;
+                }
+                if then_close {
+                    // Lingering close: half-close and wait for the
+                    // peer's EOF so unread request bytes cannot RST the
+                    // response out from under a still-writing client.
+                    let conn = self.slots[idx].as_mut().expect("conn vanished mid-write");
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                    conn.phase = Phase::Lingering;
+                    conn.last_activity = Instant::now();
+                    self.set_interest(idx, Interest::READ);
+                    return;
+                }
+                let conn = self.slots[idx].as_mut().expect("conn vanished mid-write");
+                conn.phase = Phase::Reading;
+                conn.last_activity = Instant::now();
+                self.set_interest(idx, Interest::READ);
+                if buffered {
+                    // A pipelined request may already be complete.
+                    if let Some(conn) = self.slots[idx].as_mut() {
+                        if conn.read_started.is_none() && conn.parser.mid_request() {
+                            conn.read_started = Some(Instant::now());
+                        }
+                    }
+                    self.advance_parser(idx);
+                }
+            }
+        }
+    }
+
+    fn reap_deadlines(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.slots.len() {
+            let Some(conn) = self.slots[idx].as_ref() else {
+                continue;
+            };
+            match conn.phase {
+                Phase::Reading => {
+                    if now.duration_since(conn.last_activity) >= self.config.idle_timeout {
+                        if conn.parser.mid_request() {
+                            // Slow-loris: answer 408 and hang up.
+                            self.stats.idle_reaps_408.fetch_add(1, Ordering::Relaxed);
+                            let wire = http1::render_response(
+                                408,
+                                &http1::render_error_body("request read timed out"),
+                                false,
+                                None,
+                            );
+                            self.start_write(idx, wire, true);
+                        } else {
+                            self.stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+                            self.close(idx);
+                        }
+                    }
+                }
+                Phase::Writing => {
+                    if now.duration_since(conn.write_progress) >= self.config.write_stall_timeout {
+                        self.stats
+                            .write_stall_closes
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                        self.close(idx);
+                    }
+                }
+                Phase::Lingering => {
+                    // A rejected client that never reads its response
+                    // still may not hold the slot forever.
+                    if now.duration_since(conn.last_activity) >= self.config.idle_timeout {
+                        self.close(idx);
+                    }
+                }
+                Phase::InFlight => {}
+            }
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        if self.shutting_down {
+            return;
+        }
+        self.shutting_down = true;
+        self.drain_deadline = Some(Instant::now() + self.config.drain_grace);
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        // Idle and still-reading connections can't finish anything the
+        // exactly-once contract cares about; drop them now. In-flight
+        // and writing connections drain.
+        for idx in 0..self.slots.len() {
+            let reading = self.slots[idx]
+                .as_ref()
+                .map(|c| c.phase == Phase::Reading)
+                .unwrap_or(false);
+            if reading {
+                self.close(idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Lock-free counters and histograms for the reactor.
+//!
+//! Mirrors the shape of `traj_serve::metrics`: fixed-bucket histograms
+//! with atomic counts, rendered into a hand-built JSON object by the
+//! layer that owns the `/metrics` document. The reactor only mutates;
+//! rendering lives here so serve and the cluster router emit the same
+//! `"net"` section without duplicating the format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Microsecond bucket upper bounds for the stall histograms. Same
+/// ladder as serve's request-latency buckets: 50 µs to 1 s.
+pub const STALL_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// A fixed-bucket histogram with atomic counters.
+#[derive(Debug)]
+pub struct Hist {
+    counts: [AtomicU64; STALL_BOUNDS_US.len()],
+    overflow: AtomicU64,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Hist {
+    /// Records one observation in microseconds.
+    pub fn record(&self, us: u64) {
+        match STALL_BOUNDS_US.iter().position(|&b| us <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// q-th observation (the serve convention). Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return STALL_BOUNDS_US[i];
+            }
+        }
+        // Rank lands in the overflow bucket: report the max observed
+        // scale we can honestly claim, the top bound.
+        STALL_BOUNDS_US[STALL_BOUNDS_US.len() - 1]
+    }
+
+    /// Mean in microseconds, 0 when empty.
+    pub fn mean_us(&self) -> u64 {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        self.sum.load(Ordering::Relaxed) / total
+    }
+
+    fn render_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!(
+                "{{\"le_us\": {}, \"count\": {}}}",
+                STALL_BOUNDS_US[i],
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        buckets.push(']');
+        format!(
+            "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"overflow\": {}, \"buckets\": {}}}",
+            self.count(),
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.overflow.load(Ordering::Relaxed),
+            buckets
+        )
+    }
+}
+
+/// Everything the reactor counts. One instance per reactor; shared as
+/// `Arc<NetStats>` with whoever renders `/metrics`.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepts: AtomicU64,
+    /// Accepts refused because the connection cap was reached.
+    pub accept_rejected: AtomicU64,
+    /// accept(2) errors other than WouldBlock (EMFILE, ECONNABORTED…).
+    pub accept_errors: AtomicU64,
+    /// Currently open connections (gauge).
+    pub open_connections: AtomicU64,
+    /// Complete requests handed to the service.
+    pub requests: AtomicU64,
+    /// Requests that arrived on a reused (keep-alive) connection.
+    pub keepalive_requests: AtomicU64,
+    /// Responses fully written back.
+    pub responses: AtomicU64,
+    /// Connections reaped mid-request by the idle deadline (408 sent).
+    pub idle_reaps_408: AtomicU64,
+    /// Idle keep-alive connections closed silently by the deadline.
+    pub idle_closes: AtomicU64,
+    /// Peer disconnected before its request completed.
+    pub client_aborts: AtomicU64,
+    /// Malformed requests rejected with 400.
+    pub rejects_400: AtomicU64,
+    /// Bodies over the cap rejected with 413.
+    pub rejects_413: AtomicU64,
+    /// Header blocks over the cap rejected with 431.
+    pub rejects_431: AtomicU64,
+    /// Connections closed because a response write stalled past the
+    /// slow-client deadline.
+    pub write_stall_closes: AtomicU64,
+    /// Responses dropped because the connection was gone when the
+    /// service finished.
+    pub dropped_responses: AtomicU64,
+    /// Wall time from first request byte to complete head+body.
+    pub request_read_us: Hist,
+    /// Wall time from response queued to fully flushed.
+    pub response_write_us: Hist,
+    /// Reactor start, for accepts/s.
+    started: std::sync::OnceLock<Instant>,
+}
+
+impl NetStats {
+    /// Creates a zeroed stats block stamped with the current instant.
+    pub fn new() -> NetStats {
+        let s = NetStats::default();
+        let _ = s.started.set(Instant::now());
+        s
+    }
+
+    fn uptime_s(&self) -> f64 {
+        self.started
+            .get()
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+            .max(1e-9)
+    }
+
+    /// Accepted connections per second since the reactor started.
+    pub fn accepts_per_s(&self) -> f64 {
+        self.accepts.load(Ordering::Relaxed) as f64 / self.uptime_s()
+    }
+
+    /// Fraction of requests that rode a reused connection.
+    pub fn keepalive_reuse_ratio(&self) -> f64 {
+        let total = self.requests.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        self.keepalive_requests.load(Ordering::Relaxed) as f64 / total as f64
+    }
+
+    /// Renders the `"net"` section body (a JSON object) for `/metrics`.
+    pub fn render_json(&self) -> String {
+        let l = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"open_connections\": {}, \"accepts\": {}, \"accepts_per_s\": {:.3}, ",
+                "\"accept_rejected\": {}, \"accept_errors\": {}, ",
+                "\"requests\": {}, \"keepalive_requests\": {}, \"keepalive_reuse_ratio\": {:.4}, ",
+                "\"responses\": {}, \"idle_reaps_408\": {}, \"idle_closes\": {}, ",
+                "\"client_aborts\": {}, \"rejects_400\": {}, \"rejects_413\": {}, \"rejects_431\": {}, ",
+                "\"write_stall_closes\": {}, \"dropped_responses\": {}, ",
+                "\"request_read_us\": {}, \"response_write_us\": {}}}"
+            ),
+            l(&self.open_connections),
+            l(&self.accepts),
+            self.accepts_per_s(),
+            l(&self.accept_rejected),
+            l(&self.accept_errors),
+            l(&self.requests),
+            l(&self.keepalive_requests),
+            self.keepalive_reuse_ratio(),
+            l(&self.responses),
+            l(&self.idle_reaps_408),
+            l(&self.idle_closes),
+            l(&self.client_aborts),
+            l(&self.rejects_400),
+            l(&self.rejects_413),
+            l(&self.rejects_431),
+            l(&self.write_stall_closes),
+            l(&self.dropped_responses),
+            self.request_read_us.render_json(),
+            self.response_write_us.render_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_quantiles_land_in_buckets() {
+        let h = Hist::default();
+        for _ in 0..90 {
+            h.record(80); // ≤ 100 bucket
+        }
+        for _ in 0..10 {
+            h.record(400_000); // ≤ 500_000 bucket
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert_eq!(h.quantile_us(0.99), 500_000);
+        assert!(h.mean_us() > 0);
+    }
+
+    #[test]
+    fn hist_overflow_counts() {
+        let h = Hist::default();
+        h.record(5_000_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.99), 1_000_000);
+        assert!(h.render_json().contains("\"overflow\": 1"));
+    }
+
+    #[test]
+    fn stats_render_is_json_shaped() {
+        let s = NetStats::new();
+        s.accepts.fetch_add(3, Ordering::Relaxed);
+        s.requests.fetch_add(4, Ordering::Relaxed);
+        s.keepalive_requests.fetch_add(2, Ordering::Relaxed);
+        let doc = s.render_json();
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"accepts\": 3"));
+        assert!(doc.contains("\"keepalive_reuse_ratio\": 0.5000"));
+        assert!(doc.contains("\"request_read_us\": {\"count\": 0"));
+    }
+}

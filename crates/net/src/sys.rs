@@ -1,0 +1,317 @@
+//! The readiness syscall layer: `epoll` on Linux, `poll(2)` elsewhere.
+//!
+//! This is the workspace's second `unsafe` module (the first is
+//! `traj_runtime::scope`), and it follows the same discipline: the
+//! `unsafe` is confined to a handful of lines with a documented
+//! obligation, behind a fully safe API. There is no `libc` crate in the
+//! offline build, so the declarations below bind directly against the
+//! platform C library that `std` already links — the same symbols, the
+//! same ABI, just without the crates.io detour.
+//!
+//! The safe surface is [`Poller`]: register a file descriptor with an
+//! interest set and a `u64` token, wait for events. Tokens are opaque
+//! to this layer; the reactor packs a slot index and a generation
+//! counter into them so a stale event for a recycled slot can be
+//! detected and dropped.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No I/O interest — errors and hangups are still delivered.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes a half-closed peer: a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition on the fd.
+    pub failed: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::os::raw::c_int;
+
+    // The kernel ABI packs `epoll_event` on x86-64 only; every other
+    // architecture uses natural alignment. Mirroring glibc's
+    // `__EPOLL_PACKED` exactly is what makes the struct layout safe to
+    // hand to the kernel.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An epoll instance (level-triggered, the default mode).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance with close-on-exec set.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes a flag word and returns a new
+            // fd or -1; no pointers cross the boundary.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `ev` is a live, correctly-laid-out epoll_event for
+            // the duration of the call; the kernel copies it before
+            // returning. DEL ignores the pointer entirely.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` with `interest` under `token`.
+        pub fn add(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Removes `fd` from the set. Closing an fd also removes it, so
+        /// this exists for the cases where the fd stays open (e.g. the
+        /// listener during an accept cool-off).
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, Interest::NONE, 0)
+        }
+
+        /// Blocks until at least one event arrives or `timeout` passes,
+        /// appending events to `out` (cleared first). `None` blocks
+        /// indefinitely.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round up so a 200 µs timeout does not busy-spin at 0.
+                Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as c_int,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            // SAFETY: `buf` outlives the call and `maxevents` matches
+            // its length; the kernel writes at most that many entries.
+            let n =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(()); // Treated as a timeout; caller re-loops.
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    failed: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is owned by this Poller and closed once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    //! Portable fallback over POSIX `poll(2)`: the same [`Poller`] API,
+    //! with the registration table kept in userspace. O(n) per wait,
+    //! which is fine for the connection counts a dev laptop sees; the
+    //! production target (Linux) gets the real epoll above.
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// Userspace registration table driven through `poll(2)`.
+    #[derive(Debug)]
+    pub struct Poller {
+        table: Mutex<BTreeMap<RawFd, (Interest, u64)>>,
+    }
+
+    impl Poller {
+        /// Creates an empty table.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                table: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        /// Registers `fd` with `interest` under `token`.
+        pub fn add(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            self.table
+                .lock()
+                .expect("poller table poisoned")
+                .insert(fd, (interest, token));
+            Ok(())
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            self.add(fd, interest, token)
+        }
+
+        /// Removes `fd` from the set.
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.table
+                .lock()
+                .expect("poller table poisoned")
+                .remove(&fd);
+            Ok(())
+        }
+
+        /// Blocks until at least one event arrives or `timeout` passes.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let entries: Vec<(RawFd, Interest, u64)> = {
+                let table = self.table.lock().expect("poller table poisoned");
+                table.iter().map(|(&fd, &(i, t))| (fd, i, t)).collect()
+            };
+            let mut fds: Vec<PollFd> = entries
+                .iter()
+                .map(|&(fd, interest, _)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as c_int,
+            };
+            // SAFETY: `fds` outlives the call and `nfds` matches its
+            // length; the kernel writes only the `revents` fields.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, &(_, _, token)) in fds.iter().zip(&entries) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    failed: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!(
+    "traj-net needs a readiness syscall (epoll or poll); only Unix targets are supported"
+);
+
+pub use imp::Poller;

@@ -20,6 +20,16 @@
 //! their router) and adds a per-target goodput/shed/latency split to
 //! the summary, so an unbalanced or shedding member is visible at a
 //! glance. `--addr` is shorthand for a single target.
+//!
+//! `--idle N` switches on the open-loop mode: N extra keep-alive
+//! connections are opened up front, probed once (`GET /healthz`), then
+//! parked for the whole run while the `--connections` workers generate
+//! load — the event-driven server must hold them all without spending a
+//! worker thread on any of them. A final probe on each parked
+//! connection verifies it survived; `--require-idle-alive` fails the
+//! run if any died. Pick a server idle timeout above the run duration
+//! (`trajlib-cli serve --idle-timeout-s`), or the server's reaper will
+//! (correctly) close them mid-run.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -39,6 +49,8 @@ struct Args {
     batch: usize,
     seed: u64,
     allow_shed: bool,
+    idle: usize,
+    require_idle_alive: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,7 +62,7 @@ fn parse_args() -> Result<Args, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
         // Boolean flags take no value.
-        if key == "allow-shed" {
+        if key == "allow-shed" || key == "require-idle-alive" {
             map.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -91,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         batch: parsed("batch", 0)? as usize,
         seed: parsed("seed", 42)?,
         allow_shed: map.contains_key("allow-shed"),
+        idle: parsed("idle", 0)? as usize,
+        require_idle_alive: map.contains_key("require-idle-alive"),
     })
 }
 
@@ -136,6 +150,10 @@ struct WorkerStats {
     /// Client-side latency of successful (2xx) requests only — sheds are
     /// rejected in microseconds and would drag the percentiles down.
     latencies_us: Vec<u64>,
+    /// Requests served per connection opened, in open order — the
+    /// keep-alive reuse evidence (an event-driven server should serve a
+    /// whole worker's run on one connection).
+    requests_per_conn: Vec<u64>,
 }
 
 fn worker(
@@ -147,6 +165,7 @@ fn worker(
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut client = None;
+    let mut on_current_conn = 0u64;
     let mut i = offset;
     while !stop.load(Ordering::Relaxed) {
         if client.is_none() {
@@ -155,6 +174,8 @@ fn worker(
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
                     client = Some(BufReader::new(stream));
+                    stats.requests_per_conn.push(0);
+                    on_current_conn = 0;
                 }
                 Err(_) => {
                     stats.transport_errors += 1;
@@ -174,6 +195,8 @@ fn worker(
         ) {
             Ok((status, _)) => {
                 stats.requests += 1;
+                on_current_conn += 1;
+                *stats.requests_per_conn.last_mut().expect("conn pushed") = on_current_conn;
                 if (200..300).contains(&status) {
                     stats
                         .latencies_us
@@ -193,6 +216,52 @@ fn worker(
     stats
 }
 
+/// The parked keep-alive herd of `--idle N`: opened and probed before
+/// the load starts, then left silent until the final liveness probe.
+struct IdleHerd {
+    conns: Vec<BufReader<TcpStream>>,
+    open_failures: usize,
+}
+
+fn open_idle_herd(targets: &[String], n: usize) -> IdleHerd {
+    let mut herd = IdleHerd {
+        conns: Vec::with_capacity(n),
+        open_failures: 0,
+    };
+    for c in 0..n {
+        let addr = &targets[c % targets.len()];
+        let opened = TcpStream::connect(addr).ok().and_then(|stream| {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut conn = BufReader::new(stream);
+            match client_request(&mut conn, "GET", "/healthz", None) {
+                Ok((status, _)) if (200..300).contains(&status) => Some(conn),
+                _ => None,
+            }
+        });
+        match opened {
+            Some(conn) => herd.conns.push(conn),
+            None => herd.open_failures += 1,
+        }
+    }
+    herd
+}
+
+/// Probes every parked connection once more; returns how many answered
+/// on the same connection (= survived the whole run).
+fn probe_idle_herd(herd: &mut IdleHerd) -> usize {
+    let mut alive = 0usize;
+    for conn in &mut herd.conns {
+        if matches!(
+            client_request(conn, "GET", "/healthz", None),
+            Ok((status, _)) if (200..300).contains(&status)
+        ) {
+            alive += 1;
+        }
+    }
+    alive
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -208,7 +277,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: loadgen --addr HOST:PORT | --targets A,B,C [--connections N] \
-                 [--duration-secs S] [--model NAME] [--batch N] [--seed S] [--allow-shed]"
+                 [--duration-secs S] [--model NAME] [--batch N] [--seed S] [--allow-shed] \
+                 [--idle N] [--require-idle-alive]"
             );
             return ExitCode::FAILURE;
         }
@@ -237,6 +307,17 @@ fn main() -> ExitCode {
         path,
         bodies.len()
     );
+
+    // The idle herd opens (and is probed) before the load starts, so
+    // every parked connection rides out the whole run.
+    let mut herd = open_idle_herd(&args.targets, args.idle);
+    if args.idle > 0 {
+        println!(
+            "idle herd:         {:>10} open ({} failed to open)",
+            herd.conns.len(),
+            herd.open_failures
+        );
+    }
 
     // Connections spread round-robin across the targets.
     let stop = Arc::new(AtomicBool::new(false));
@@ -270,6 +351,8 @@ fn main() -> ExitCode {
         all.non_2xx += stats.non_2xx;
         all.transport_errors += stats.transport_errors;
         all.latencies_us.extend(stats.latencies_us.iter().copied());
+        all.requests_per_conn
+            .extend(stats.requests_per_conn.iter().copied());
         let bucket = &mut per_target[target];
         bucket.requests += stats.requests;
         bucket.shed += stats.shed;
@@ -299,6 +382,31 @@ fn main() -> ExitCode {
     println!("non-2xx (other):   {:>10}", all.non_2xx);
     println!("transport errors:  {:>10}", all.transport_errors);
 
+    // Keep-alive reuse: with an event-driven server every worker should
+    // hold exactly one connection for the whole run.
+    if !all.requests_per_conn.is_empty() {
+        let min = all.requests_per_conn.iter().min().copied().unwrap_or(0);
+        let max = all.requests_per_conn.iter().max().copied().unwrap_or(0);
+        let mean =
+            all.requests_per_conn.iter().sum::<u64>() as f64 / all.requests_per_conn.len() as f64;
+        println!(
+            "connections:       {:>10} opened   requests/conn min {min} mean {mean:.1} max {max}",
+            all.requests_per_conn.len()
+        );
+    }
+
+    // Final liveness probe over the parked herd: each survivor answered
+    // twice on one connection, bracketing the whole run.
+    let mut idle_died = 0usize;
+    if args.idle > 0 {
+        let alive = probe_idle_herd(&mut herd);
+        idle_died = herd.conns.len() - alive + herd.open_failures;
+        println!(
+            "idle herd:         {:>10} alive after {:.1}s ({} died)",
+            alive, elapsed, idle_died
+        );
+    }
+
     // Per-target split: an unbalanced or shedding member stands out.
     if args.targets.len() > 1 {
         println!("per-target:");
@@ -318,6 +426,10 @@ fn main() -> ExitCode {
     }
 
     if all.requests == 0 || all.non_2xx > 0 || (all.shed > 0 && !args.allow_shed) {
+        return ExitCode::FAILURE;
+    }
+    if args.require_idle_alive && idle_died > 0 {
+        eprintln!("error: {idle_died} idle connections died (--require-idle-alive)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -555,6 +555,14 @@ impl ServeMetrics {
     /// `"shard"` label object (shard id + served artifact versions) —
     /// what a cluster router's aggregated `/metrics` keys shards by.
     pub fn render_json_with(&self, shard: Option<&str>) -> String {
+        self.render_json_with_net(shard, None)
+    }
+
+    /// Like [`ServeMetrics::render_json_with`], additionally embedding a
+    /// pre-rendered `"net"` object (the connection reactor's counters,
+    /// `traj_net::NetStats::render_json`). Rendering stays string-based
+    /// so the reactor crate needs no dependency on this one.
+    pub fn render_json_with_net(&self, shard: Option<&str>, net: Option<&str>) -> String {
         let lat = &self.latency_us;
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
@@ -591,6 +599,9 @@ impl ServeMetrics {
             "  \"scheduler\": {},\n",
             self.scheduler.render_json()
         ));
+        if let Some(net) = net {
+            out.push_str(&format!("  \"net\": {net},\n"));
+        }
         out.push_str(&format!("  \"ingest\": {},\n", self.ingest.render_json()));
         out.push_str(&format!(
             "  \"durability\": {},\n",

@@ -1,12 +1,17 @@
-//! The inference server: a `TcpListener` accept loop feeding a
-//! dedicated [`traj_runtime`] pool (one task per connection), JSON
+//! The inference server: a [`traj_net`] connection reactor feeding a
+//! dedicated [`traj_runtime`] pool (one task per *request*), JSON
 //! routing, and graceful shutdown.
 //!
-//! The pool is *dedicated* — `Runtime::named(workers, "traj-serve")` —
-//! rather than the shared [`traj_runtime::global`] compute pool:
-//! connection tasks block on socket reads (up to the keep-alive read
-//! timeout), and parking compute workers behind slow clients would
-//! starve any training or cross-validation running in the same process.
+//! One event-loop thread owns every connection's accept, read and
+//! write; only complete requests are handed to the pool. Workers are
+//! therefore O(cores) while open connections are O(fd limit) — an idle
+//! keep-alive client costs a file descriptor and a parse buffer, never
+//! a parked thread. The pool is still *dedicated* —
+//! `Runtime::named(workers, "traj-serve")` rather than the shared
+//! [`traj_runtime::global`] compute pool — because request tasks block
+//! on the micro-batcher's flush, and parking compute workers behind
+//! prediction waits would starve any training or cross-validation
+//! running in the same process.
 //!
 //! ```text
 //! POST /predict        one segment  → label + per-class scores
@@ -24,13 +29,12 @@
 
 use crate::artifact::ModelArtifact;
 use crate::batch::{BatchConfig, MicroBatcher, Priority};
-use crate::http::{read_request, write_response_with_retry, HttpError, Request};
+use crate::http::Request;
 use crate::metrics::ServeMetrics;
 use crate::registry::{LoadedModel, ModelRegistry, Prediction};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
@@ -72,13 +76,20 @@ impl DurabilityConfig {
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads handling requests (the reactor's single I/O
+    /// thread is extra; connections themselves occupy no worker).
     pub workers: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Socket read timeout (bounds how long a worker waits on an idle
-    /// keep-alive connection).
+    /// Idle/slow-client deadline: a connection making no read progress
+    /// for this long is reaped — 408 mid-request (slow-loris), silent
+    /// close for an idle keep-alive connection.
     pub read_timeout: Duration,
+    /// A response write making no progress for this long closes the
+    /// connection (slow-reading client holding response memory).
+    pub write_stall_timeout: Duration,
+    /// Open-connection cap; accepts beyond it answer 503 and close.
+    pub max_connections: usize,
     /// Batching policy, SLO deadline and admission cap shared by
     /// `/predict` (interactive), `/predict_batch` (bulk) and `/ingest`
     /// close-time predictions (close, never shed).
@@ -102,6 +113,8 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
+            write_stall_timeout: Duration::from_secs(10),
+            max_connections: 16 * 1024,
             batch: BatchConfig::default(),
             stream: traj_stream::StreamConfig::default(),
             idle_sweep_interval: Duration::from_secs(30),
@@ -262,6 +275,9 @@ struct AppState {
     durability: OnceLock<DurabilityHandles>,
     /// Replayed responses of recently applied keyed `/ingest` requests.
     idem: Mutex<IdemCache>,
+    /// The connection reactor's counters (set right after the reactor
+    /// spawns); rendered as the `"net"` section of `/metrics`.
+    net: OnceLock<Arc<traj_net::NetStats>>,
 }
 
 /// Bounded FIFO of `(user, idem key) → response` for `/ingest` retry
@@ -370,11 +386,12 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", "/readyz") => handle_readyz(state, ready).into(),
         ("GET", "/metrics") => {
             state.sync_ingest_metrics();
+            let net = state.net.get().map(|n| n.render_json());
             (
                 200,
                 state
                     .metrics
-                    .render_json_with(state.shard_label().as_deref()),
+                    .render_json_with_net(state.shard_label().as_deref(), net.as_deref()),
             )
                 .into()
         }
@@ -605,7 +622,12 @@ fn handle_ingest(state: &AppState, body: &[u8]) -> (u16, String) {
     // router only retries after the original's connection died, so that
     // window is the tail of an already-failed request.)
     if let Some(key) = parsed.idem {
-        if let Some(replay) = state.idem.lock().expect("idem poisoned").get(parsed.user, key) {
+        if let Some(replay) = state
+            .idem
+            .lock()
+            .expect("idem poisoned")
+            .get(parsed.user, key)
+        {
             return replay;
         }
     }
@@ -673,7 +695,7 @@ fn ingest_apply(
         };
         match state
             .batcher
-            .submit(Arc::clone(&model), scaled, Priority::Close)
+            .submit(Arc::clone(model), scaled, Priority::Close)
         {
             Ok(rx) => waiting.push(rx),
             // Unreachable by policy (close is never shed); fail loudly
@@ -985,7 +1007,7 @@ fn write_snapshot(
 pub struct ServerHandle {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<traj_net::ReactorHandle>,
     sweep_thread: Option<JoinHandle<()>>,
     wal_thread: Option<JoinHandle<()>>,
     runtime: Option<Arc<traj_runtime::Runtime>>,
@@ -1045,10 +1067,10 @@ impl ServerHandle {
         // Not ready anymore: routers health-checking mid-shutdown see a
         // 503 instead of racing the dying acceptor.
         self.state.ready.store(false, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        // The reactor stops accepting, closes idle connections and
+        // drains in-flight responses (bounded by its drain grace).
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         if let Some(t) = self.sweep_thread.take() {
             let _ = t.join();
@@ -1056,11 +1078,11 @@ impl ServerHandle {
         if let Some(t) = self.wal_thread.take() {
             let _ = t.join();
         }
-        // The acceptor has exited, so ours is the last reference:
+        // The reactor has exited, so ours is the last reference:
         // dropping it shuts the pool down gracefully — already-queued
-        // connections are served to completion, then workers are joined.
-        // Only after that drain is the engine quiescent enough for the
-        // final flush below to cover every accepted point.
+        // request tasks are served to completion, then workers are
+        // joined. Only after that drain is the engine quiescent enough
+        // for the final flush below to cover every accepted point.
         self.runtime.take();
 
         let mut errors = Vec::new();
@@ -1123,37 +1145,38 @@ pub fn serve(
         ready: AtomicBool::new(false),
         durability: OnceLock::new(),
         idem: Mutex::new(IdemCache::default()),
+        net: OnceLock::new(),
     });
     let running = Arc::new(AtomicBool::new(true));
 
-    // The acceptor starts BEFORE recovery: liveness (`/healthz`) and the
+    // The reactor starts BEFORE recovery: liveness (`/healthz`) and the
     // admin surface answer immediately, while traffic endpoints 503
-    // until the `ready` flip below. Connections run as detached tasks on
-    // a dedicated work-stealing pool (never the shared compute pool:
-    // connection tasks block on socket I/O). Queueing and shutdown
+    // until the `ready` flip below. One event-loop thread owns every
+    // connection; only *complete* requests become tasks on a dedicated
+    // work-stealing pool (never the shared compute pool: request tasks
+    // block on the micro-batcher's flush). Queueing and shutdown
     // draining come with the pool.
     let workers = config.workers.max(1);
     let runtime = Arc::new(traj_runtime::Runtime::named(workers, "traj-serve"));
 
-    let accept_running = Arc::clone(&running);
-    let accept_runtime = Arc::clone(&runtime);
-    let accept_state = Arc::clone(&state);
-    let accept_config = config.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("traj-serve-accept".to_owned())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if !accept_running.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    let state = Arc::clone(&accept_state);
-                    let config = accept_config.clone();
-                    accept_runtime.spawn(move || handle_connection(stream, &state, &config));
-                }
-            }
-        })
-        .map_err(|e| format!("spawning acceptor: {e}"))?;
+    let service = Arc::new(ServeService {
+        state: Arc::clone(&state),
+        runtime: Arc::clone(&runtime),
+    });
+    let reactor = traj_net::spawn(
+        listener,
+        traj_net::ReactorConfig {
+            name: "traj-serve".to_owned(),
+            max_body_bytes: config.max_body_bytes,
+            idle_timeout: config.read_timeout,
+            write_stall_timeout: config.write_stall_timeout,
+            max_connections: config.max_connections,
+            ..traj_net::ReactorConfig::default()
+        },
+        service,
+    )
+    .map_err(|e| format!("spawning connection reactor: {e}"))?;
+    let _ = state.net.set(reactor.stats());
 
     // Durable ingest: recover stream state from snapshot + WAL replay.
     // serve() only returns once recovery finished, so in-process callers
@@ -1286,7 +1309,7 @@ pub fn serve(
     Ok(ServerHandle {
         addr: local_addr,
         running,
-        accept_thread: Some(accept_thread),
+        reactor: Some(reactor),
         sweep_thread: Some(sweep_thread),
         wal_thread,
         runtime: Some(runtime),
@@ -1296,62 +1319,34 @@ pub fn serve(
     })
 }
 
-/// Serves one (possibly keep-alive) connection to completion.
-fn handle_connection(stream: TcpStream, state: &Arc<AppState>, config: &ServerConfig) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
+/// The reactor→worker bridge: every complete request becomes one task
+/// on the dedicated pool, which routes it and hands the response back
+/// to the reactor through the [`traj_net::Responder`]. The latency
+/// clock starts *before* the spawn so queue wait inside the pool counts
+/// toward the recorded latency, exactly like the per-connection-thread
+/// model it replaces.
+struct ServeService {
+    state: Arc<AppState>,
+    runtime: Arc<traj_runtime::Runtime>,
+}
 
-    loop {
+impl traj_net::Service for ServeService {
+    fn call(&self, request: traj_net::Request, responder: traj_net::Responder) {
         let started = Instant::now();
-        match read_request(&mut reader, config.max_body_bytes) {
-            Ok(None) => return, // Clean close between requests.
-            Ok(Some(request)) => {
-                let response = route(state, &request);
-                state
-                    .metrics
-                    .record_response(response.status, started.elapsed().as_micros() as u64);
-                if write_response_with_retry(
-                    &mut writer,
-                    response.status,
-                    &response.body,
-                    request.keep_alive,
-                    response.retry_after,
-                )
-                .is_err()
-                {
-                    return;
-                }
-                if !request.keep_alive {
-                    return;
-                }
-            }
-            Err(error) => {
-                // Malformed input still gets a response when possible;
-                // framing is unrecoverable either way, so close after.
-                if let Some((status, message)) = error.status() {
-                    state
-                        .metrics
-                        .record_response(status, started.elapsed().as_micros() as u64);
-                    let _ = write_response_with_retry(
-                        &mut writer,
-                        status,
-                        &error_body(&message),
-                        false,
-                        None,
-                    );
-                } else if !matches!(error, HttpError::Io(_)) {
-                    state
-                        .metrics
-                        .record_response(400, started.elapsed().as_micros() as u64);
-                }
-                return;
-            }
-        }
+        let state = Arc::clone(&self.state);
+        self.runtime.spawn(move || {
+            let request = Request {
+                method: request.method,
+                path: request.path,
+                body: request.body,
+                keep_alive: request.keep_alive,
+            };
+            let response = route(&state, &request);
+            state
+                .metrics
+                .record_response(response.status, started.elapsed().as_micros() as u64);
+            responder.send(response.status, response.body, response.retry_after);
+        });
     }
 }
 
@@ -1361,6 +1356,7 @@ mod tests {
     use crate::artifact::{ModelArtifact, TrainSpec};
     use crate::http::client_request;
     use std::io::BufReader as ClientBufReader;
+    use std::net::TcpStream;
     use traj_geolife::{SynthConfig, SynthDataset};
 
     fn test_registry() -> (ModelRegistry, Vec<traj_geo::Segment>) {
